@@ -1,0 +1,183 @@
+// Command atpg runs the hybrid (GA-HITEC) or deterministic (HITEC) test
+// generator on a circuit and prints pass-by-pass statistics in the paper's
+// Det / Vec / Time / Unt format.
+//
+// Usage:
+//
+//	atpg -circuit s298 [-mode gahitec|hitec] [-scale 0.03] [-x 64] [-seed 1]
+//	atpg -bench path/to/netlist.bench -mode hitec
+//	atpg -circuit div -o tests.txt        # also dump the test vectors
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/circuits"
+	"gahitec/internal/compact"
+	"gahitec/internal/fault"
+	"gahitec/internal/hybrid"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/pattern"
+	"gahitec/internal/report"
+	"gahitec/internal/simgen"
+)
+
+func main() {
+	var (
+		circuitName = flag.String("circuit", "", "embedded benchmark name (see benchgen -list)")
+		benchFile   = flag.String("bench", "", "path to a .bench netlist")
+		mode        = flag.String("mode", "gahitec", "test generator: gahitec, hitec, simga or alternating")
+		scale       = flag.Float64("scale", 0.03, "wall-clock scale for the paper's per-fault limits")
+		x           = flag.Int("x", 0, "base GA sequence length (default 8x sequential depth)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		out         = flag.String("o", "", "write the generated test vectors to this file")
+		phases      = flag.Bool("phases", false, "print the Fig.1 phase trace")
+		compactSet  = flag.Bool("compact", false, "compact the test set before writing/reporting")
+		preprocess  = flag.Bool("preprocess", false, "screen untestable faults before pass 1")
+		interactive = flag.Bool("interactive", false, "prompt between passes, as the original tool did")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuitName, *benchFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atpg:", err)
+		os.Exit(1)
+	}
+	fmt.Println(c)
+
+	faults := fault.Collapse(c)
+	fmt.Printf("collapsed fault list: %d faults\n", len(faults))
+
+	seqLen := *x
+	if seqLen == 0 {
+		seqLen = 8 * c.SeqDepth()
+	}
+
+	// The two simulation-first generators report a single summary line and
+	// share the vector-dump path.
+	switch *mode {
+	case "simga":
+		r := simgen.Run(c, faults, simgen.Options{Seed: *seed, SeqLen: seqLen / 2, MaxRounds: 300})
+		fmt.Printf("\nsimulation-based GA: %d/%d detected (%.2f%%), %d vectors, %d rounds, %s\n",
+			r.Detected, len(faults), 100*float64(r.Detected)/float64(len(faults)),
+			r.Vectors(), r.Rounds, report.FormatDuration(r.Elapsed))
+		writeSet(c, *out, nil, r.TestSet, faults, *compactSet)
+		return
+	case "alternating":
+		r := hybrid.RunAlternating(c, faults, hybrid.AlternatingConfig{
+			Sim:             simgen.Options{SeqLen: seqLen / 2, MaxRounds: 300},
+			DetTimePerFault: time.Duration(100 * *scale * float64(time.Second)),
+			Seed:            *seed,
+		})
+		fmt.Printf("\nalternating hybrid: %d/%d detected (%.2f%%), %d vectors, %d interludes, %s\n",
+			r.Detected, len(faults), 100*float64(r.Detected)/float64(len(faults)),
+			r.Vectors, r.Interludes, report.FormatDuration(r.Elapsed))
+		writeSet(c, *out, nil, r.TestSet, faults, *compactSet)
+		return
+	}
+
+	var cfg hybrid.Config
+	switch *mode {
+	case "gahitec":
+		cfg = hybrid.GAHITECConfig(seqLen, *scale)
+	case "hitec":
+		cfg = hybrid.HITECConfig(3, *scale)
+	default:
+		fmt.Fprintf(os.Stderr, "atpg: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	cfg.Seed = *seed
+	cfg.PreprocessUntestable = *preprocess
+	if *interactive {
+		reader := bufio.NewReader(os.Stdin)
+		cfg.Continue = func(p hybrid.PassStats) bool {
+			fmt.Printf("pass %d: %d detected, %d vectors, %d untestable, %s — continue? [Y/n] ",
+				p.Pass, p.Detected, p.Vectors, p.Untestable, report.FormatDuration(p.Elapsed))
+			line, err := reader.ReadString('\n')
+			if err != nil {
+				return false
+			}
+			line = strings.TrimSpace(strings.ToLower(line))
+			return line == "" || line == "y" || line == "yes"
+		}
+	}
+
+	res := hybrid.Run(c, faults, cfg)
+	fmt.Printf("\n%-5s %6s %6s %9s %6s\n", "Pass", "Det", "Vec", "Time", "Unt")
+	for _, p := range res.Passes {
+		fmt.Printf("%-5d %6d %6d %9s %6d\n", p.Pass, p.Detected, p.Vectors,
+			report.FormatDuration(p.Elapsed), p.Untestable)
+	}
+	fmt.Printf("\nfault coverage: %.2f%% (%d/%d), %d untestable, %d undecided\n",
+		100*res.FaultCoverage(),
+		res.Passes[len(res.Passes)-1].Detected, res.TotalFaults,
+		res.Passes[len(res.Passes)-1].Untestable,
+		res.Passes[len(res.Passes)-1].Aborted)
+	if *phases {
+		fmt.Println()
+		fmt.Print(report.Phases(res))
+	}
+
+	writeSet(c, *out, res.Targets, res.TestSet, faults, *compactSet)
+}
+
+// writeSet optionally compacts and writes a test set in the pattern format.
+func writeSet(c *netlist.Circuit, path string, targets []fault.Fault, testSet [][]logic.Vector, faults []fault.Fault, compactSet bool) {
+	if compactSet {
+		compacted, st := compact.Run(c, faults, testSet)
+		testSet = compacted
+		targets = nil // compaction reorders coverage; drop the annotations
+		fmt.Printf("compaction: %d -> %d sequences, %d -> %d vectors (coverage preserved: %d detected)\n",
+			st.SequencesBefore, st.SequencesAfter, st.VectorsBefore, st.VectorsAfter, st.Detected)
+	}
+	if path == "" {
+		return
+	}
+	set := &pattern.Set{Circuit: c.Name}
+	for _, pi := range c.PIs {
+		set.Inputs = append(set.Inputs, c.Nodes[pi].Name)
+	}
+	for i, seq := range testSet {
+		q := pattern.Sequence{Vectors: seq}
+		if targets != nil && i < len(targets) {
+			q.Target = targets[i].String(c)
+		}
+		set.Sequences = append(set.Sequences, q)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atpg:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := set.Write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "atpg:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d vectors (%d sequences) to %s\n", set.NumVectors(), len(set.Sequences), path)
+}
+
+func loadCircuit(name, file string) (*netlist.Circuit, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("use only one of -circuit and -bench")
+	case name != "":
+		return circuits.Get(name)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return bench.Parse(f, file)
+	default:
+		return nil, fmt.Errorf("one of -circuit or -bench is required")
+	}
+}

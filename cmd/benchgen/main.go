@@ -1,0 +1,78 @@
+// Command benchgen materializes the embedded benchmark suite as .bench
+// files, or prints one circuit to stdout.
+//
+// Usage:
+//
+//	benchgen -list
+//	benchgen -circuit am2910            # .bench text to stdout
+//	benchgen -out ./benchmarks          # write every benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/circuits"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available benchmarks")
+		circuit = flag.String("circuit", "", "print this benchmark to stdout")
+		outDir  = flag.String("out", "", "write every benchmark into this directory")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, name := range circuits.Names() {
+			c, err := circuits.Get(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchgen: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println(c)
+		}
+	case *circuit != "":
+		c, err := circuits.Get(*circuit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := bench.Write(os.Stdout, c); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+	case *outDir != "":
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		for _, name := range circuits.Names() {
+			c, err := circuits.Get(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchgen:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, name+".bench")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchgen:", err)
+				os.Exit(1)
+			}
+			if err := bench.Write(f, c); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "benchgen:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Println("wrote", path)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

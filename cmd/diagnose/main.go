@@ -1,0 +1,159 @@
+// Command diagnose runs dictionary-based fault diagnosis: given a circuit, a
+// test set, and the failing measurements observed on a defective device, it
+// ranks the stuck-at faults that best explain the failures.
+//
+// Observations come either from a log file ("vector po" pairs, one per
+// line) or from -inject, which simulates a chosen fault as the defect — the
+// closed-loop self-test:
+//
+//	diagnose -circuit s344 -vectors tests.txt -inject "G11 s-a-0"
+//	diagnose -circuit s344 -vectors tests.txt -observed fails.log
+//	diagnose -circuit s344 -vectors tests.txt -inject @12   # 12th fault
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/circuits"
+	"gahitec/internal/diagnose"
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/netlist"
+	"gahitec/internal/pattern"
+)
+
+func main() {
+	var (
+		circuitName = flag.String("circuit", "", "embedded benchmark name")
+		benchFile   = flag.String("bench", "", "path to a .bench netlist")
+		vectorsFile = flag.String("vectors", "", "test-set file (pattern format or bare vectors)")
+		injectSpec  = flag.String("inject", "", `defect to simulate: "NAME s-a-V", "NAME.inP s-a-V", or @N (Nth collapsed fault)`)
+		observed    = flag.String("observed", "", "observation log: one 'vector po' index pair per line")
+		top         = flag.Int("top", 10, "number of candidates to report")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuitName, *benchFile)
+	if err != nil {
+		fatal(err)
+	}
+	if *vectorsFile == "" {
+		fatal(fmt.Errorf("-vectors is required"))
+	}
+	f, err := os.Open(*vectorsFile)
+	if err != nil {
+		fatal(err)
+	}
+	set, err := pattern.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	seq := set.Flatten()
+	faults := fault.Collapse(c)
+	fmt.Printf("%s, %d vectors, %d collapsed faults\n", c, len(seq), len(faults))
+
+	var obs []faultsim.Observation
+	switch {
+	case *injectSpec != "":
+		defect, err := parseFault(c, faults, *injectSpec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("injected defect: %s\n", defect.String(c))
+		obs = diagnose.ObservedFrom(c, defect, seq)
+	case *observed != "":
+		obs, err = readObservations(*observed)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("one of -inject or -observed is required"))
+	}
+	fmt.Printf("observations: %d failing measurements\n\n", len(obs))
+	if len(obs) == 0 {
+		fmt.Println("device passes the test set; nothing to diagnose")
+		return
+	}
+
+	dict := diagnose.Build(c, faults, seq)
+	cands := dict.Diagnose(obs, *top)
+	fmt.Printf("%-4s %-24s %7s %7s %7s\n", "rank", "fault", "score", "missed", "extra")
+	for i, cand := range cands {
+		fmt.Printf("%-4d %-24s %7.3f %7d %7d\n",
+			i+1, cand.Fault.String(c), cand.Score, cand.Missed, cand.Extra)
+	}
+}
+
+func parseFault(c *netlist.Circuit, faults []fault.Fault, spec string) (fault.Fault, error) {
+	if strings.HasPrefix(spec, "@") {
+		n, err := strconv.Atoi(spec[1:])
+		if err != nil || n < 0 || n >= len(faults) {
+			return fault.Fault{}, fmt.Errorf("bad fault index %q (0..%d)", spec, len(faults)-1)
+		}
+		return faults[n], nil
+	}
+	for _, f := range faults {
+		if f.String(c) == spec {
+			return f, nil
+		}
+	}
+	return fault.Fault{}, fmt.Errorf("no collapsed fault %q (try @N)", spec)
+}
+
+func readObservations(path string) ([]faultsim.Observation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []faultsim.Observation
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want 'vector po'", path, line)
+		}
+		v, err1 := strconv.Atoi(fields[0])
+		p, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s:%d: bad indices", path, line)
+		}
+		out = append(out, faultsim.Observation{Vector: v, PO: p})
+	}
+	return out, sc.Err()
+}
+
+func loadCircuit(name, file string) (*netlist.Circuit, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("use only one of -circuit and -bench")
+	case name != "":
+		return circuits.Get(name)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return bench.Parse(f, file)
+	default:
+		return nil, fmt.Errorf("one of -circuit or -bench is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diagnose:", err)
+	os.Exit(1)
+}

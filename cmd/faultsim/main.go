@@ -1,0 +1,128 @@
+// Command faultsim grades a test-vector file against a circuit's collapsed
+// stuck-at fault list using the bit-parallel sequential fault simulator.
+//
+// The vector file holds one vector per line, one 0/1/X character per primary
+// input, in circuit input order (the format written by atpg -o).
+//
+// Usage:
+//
+//	faultsim -circuit s298 -vectors tests.txt
+//	faultsim -bench mydesign.bench -vectors tests.txt -random 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/circuits"
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/pattern"
+)
+
+func main() {
+	var (
+		circuitName = flag.String("circuit", "", "embedded benchmark name")
+		benchFile   = flag.String("bench", "", "path to a .bench netlist")
+		vectorsFile = flag.String("vectors", "", "test vector file (one 0/1/X string per line)")
+		random      = flag.Int("random", 0, "append this many random vectors")
+		seed        = flag.Int64("seed", 1, "seed for -random")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuitName, *benchFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(c)
+
+	var seq []logic.Vector
+	if *vectorsFile != "" {
+		seq, err = readVectors(*vectorsFile, len(c.PIs))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultsim:", err)
+			os.Exit(1)
+		}
+	}
+	if *random > 0 {
+		rng := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *random; i++ {
+			v := make(logic.Vector, len(c.PIs))
+			for j := range v {
+				v[j] = logic.FromBit(uint64(rng.Intn(2)))
+			}
+			seq = append(seq, v)
+		}
+	}
+	if len(seq) == 0 {
+		fmt.Fprintln(os.Stderr, "faultsim: no vectors (-vectors and/or -random)")
+		os.Exit(1)
+	}
+
+	faults := fault.Collapse(c)
+	fs := faultsim.New(c, faults)
+	fs.ApplySequence(seq)
+	fmt.Printf("%d vectors, %d/%d faults detected (%.2f%% coverage)\n",
+		len(seq), fs.NumDetected(), len(faults),
+		100*float64(fs.NumDetected())/float64(len(faults)))
+
+	// Detection profile: cumulative detections at each 10% of the sequence.
+	marks := 10
+	cum := make([]int, marks)
+	for _, d := range fs.Detections() {
+		bucket := d.Vector * marks / len(seq)
+		if bucket >= marks {
+			bucket = marks - 1
+		}
+		cum[bucket]++
+	}
+	total := 0
+	fmt.Println("detection profile (cumulative by sequence decile):")
+	for i, n := range cum {
+		total += n
+		fmt.Printf("  %3d%%: %d\n", (i+1)*marks, total)
+	}
+}
+
+func readVectors(path string, width int) ([]logic.Vector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set, err := pattern.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := set.Flatten()
+	for i, v := range out {
+		if len(v) != width {
+			return nil, fmt.Errorf("%s: vector %d width %d, circuit has %d inputs", path, i, len(v), width)
+		}
+	}
+	return out, nil
+}
+
+func loadCircuit(name, file string) (*netlist.Circuit, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("use only one of -circuit and -bench")
+	case name != "":
+		return circuits.Get(name)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return bench.Parse(f, file)
+	default:
+		return nil, fmt.Errorf("one of -circuit or -bench is required")
+	}
+}

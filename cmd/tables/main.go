@@ -1,0 +1,173 @@
+// Command tables regenerates the paper's tables and the Fig. 1 phase trace:
+//
+//	tables -table 1                 # the pass schedule (configuration)
+//	tables -table 2                 # GA-HITEC vs HITEC on the ISCAS89 suite
+//	tables -table 2 -circuits s298,s344,s386
+//	tables -table 3                 # the synthesized circuits (Am2910, ...)
+//	tables -fig 1 -circuits s298    # phase-transition counts for one run
+//
+// Per-fault time limits are scaled (default 0.03: the paper's 1 s / 10 s /
+// 100 s become 30 ms / 300 ms / 3 s) so a full table regenerates in minutes
+// on a modern machine. Only the comparative shape is expected to match the
+// paper; see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gahitec/internal/circuits"
+	"gahitec/internal/fault"
+	"gahitec/internal/hybrid"
+	"gahitec/internal/randgen"
+	"gahitec/internal/report"
+	"gahitec/internal/simgen"
+)
+
+func main() {
+	var (
+		table       = flag.Int("table", 0, "paper table to regenerate (1, 2 or 3)")
+		fig         = flag.Int("fig", 0, "paper figure to trace (1)")
+		compare     = flag.Bool("compare", false, "compare four generators (GA-HITEC, HITEC, simulation-based, alternating)")
+		circuitList = flag.String("circuits", "", "comma-separated circuit subset")
+		scale       = flag.Float64("scale", 0.03, "wall-clock scale for per-fault limits")
+		seed        = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *compare:
+		names := splitOr(*circuitList, []string{"mult", "s386"})
+		runComparison(names, *scale, *seed)
+	case *table == 1:
+		fmt.Println("Table I: test generation approach (pass schedule)")
+		fmt.Print(report.TableI(hybrid.GAHITECConfig(24, 1)))
+	case *table == 2:
+		names := splitOr(*circuitList, defaultTable2)
+		runTable(names, true, *scale, *seed)
+	case *table == 3:
+		names := splitOr(*circuitList, circuits.Table3Names)
+		runTable(names, false, *scale, *seed)
+	case *fig == 1:
+		names := splitOr(*circuitList, []string{"s298"})
+		for _, n := range names {
+			res := runOne(n, true, *scale, *seed)
+			fmt.Print(report.Phases(res))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// defaultTable2 is the subset that regenerates in minutes; pass -circuits
+// with the full list for everything.
+var defaultTable2 = []string{"s298", "s344", "s349", "s382", "s386", "s400", "s444", "s526", "s820", "s832"}
+
+func splitOr(s string, def []string) []string {
+	if s == "" {
+		return def
+	}
+	return strings.Split(s, ",")
+}
+
+func runTable(names []string, withDepth bool, scale float64, seed int64) {
+	fmt.Print(report.Header(withDepth))
+	for _, name := range names {
+		c, err := circuits.Get(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		faults := fault.Collapse(c)
+		fmt.Fprintf(os.Stderr, "running %s (%d faults)...\n", c, len(faults))
+
+		x := seqLenFor(c.SeqDepth(), name)
+		ga := hybrid.GAHITECConfig(x, scale)
+		ga.Seed = seed
+		gaRes := hybrid.Run(c, faults, ga)
+
+		ht := hybrid.HITECConfig(3, scale)
+		ht.Seed = seed
+		htRes := hybrid.Run(c, faults, ht)
+
+		fmt.Print(report.RowBlock(report.Row{
+			Circuit: name, SeqDepth: c.SeqDepth(), TotalFaults: len(faults),
+			GA: gaRes, HT: htRes,
+		}, withDepth))
+	}
+}
+
+func runOne(name string, gaMode bool, scale float64, seed int64) *hybrid.Result {
+	c, err := circuits.Get(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	faults := fault.Collapse(c)
+	var cfg hybrid.Config
+	if gaMode {
+		cfg = hybrid.GAHITECConfig(seqLenFor(c.SeqDepth(), name), scale)
+	} else {
+		cfg = hybrid.HITECConfig(3, scale)
+	}
+	cfg.Seed = seed
+	return hybrid.Run(c, faults, cfg)
+}
+
+// runComparison prints detections for all four generator strategies,
+// reproducing the paper's introductory data-dominant vs control-dominant
+// contrast.
+func runComparison(names []string, scale float64, seed int64) {
+	fmt.Printf("%-8s %7s | %9s %7s %7s %11s %7s\n",
+		"Circuit", "Faults", "GA-HITEC", "HITEC", "SimGA", "Alternating", "WRand")
+	fmt.Println(strings.Repeat("-", 70))
+	for _, name := range names {
+		c, err := circuits.Get(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		faults := fault.Collapse(c)
+		fmt.Fprintf(os.Stderr, "running %s (%d faults)...\n", c, len(faults))
+
+		ga := hybrid.GAHITECConfig(seqLenFor(c.SeqDepth(), name), scale)
+		ga.Seed = seed
+		gaRes := hybrid.Run(c, faults, ga)
+
+		ht := hybrid.HITECConfig(3, scale)
+		ht.Seed = seed
+		htRes := hybrid.Run(c, faults, ht)
+
+		simRes := simgen.Run(c, faults, simgen.Options{Seed: seed, MaxRounds: 150})
+
+		altRes := hybrid.RunAlternating(c, faults, hybrid.AlternatingConfig{
+			Sim:             simgen.Options{MaxRounds: 150},
+			DetTimePerFault: time.Duration(100 * scale * float64(time.Second)),
+			Seed:            seed,
+		})
+
+		wrRes := randgen.Run(c, faults, randgen.Options{Seed: seed, Weighted: true})
+
+		fmt.Printf("%-8s %7d | %9d %7d %7d %11d %7d\n", name, len(faults),
+			gaRes.Passes[len(gaRes.Passes)-1].Detected,
+			htRes.Passes[len(htRes.Passes)-1].Detected,
+			simRes.Detected, altRes.Detected, wrRes.Detected)
+	}
+}
+
+// seqLenFor applies the paper's sequence-length policy: 8x the sequential
+// depth, except one-half the depth for the two largest circuits (s5378,
+// s35932) and a fixed 48 for the synthesized circuits of Table III.
+func seqLenFor(depth int, name string) int {
+	switch name {
+	case "s5378", "s35932":
+		return depth / 2
+	case "am2910", "div", "mult", "pcont2":
+		return 48
+	}
+	return 8 * depth
+}

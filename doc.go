@@ -1,0 +1,20 @@
+// Package gahitec is a from-scratch Go reproduction of the hybrid
+// sequential-circuit test generator GA-HITEC from:
+//
+//	E. M. Rudnick and J. H. Patel, "Combining Deterministic and Genetic
+//	Approaches for Sequential Circuit Test Generation", Proc. 32nd
+//	ACM/IEEE Design Automation Conference (DAC), 1995.
+//
+// The repository contains the full stack the paper depends on: gate-level
+// netlists and the ISCAS89 .bench format, the stuck-at fault model with
+// equivalence collapsing, serial and bit-parallel three-valued simulators, a
+// PROOFS-style sequential fault simulator, a PODEM-based deterministic ATPG
+// engine over time-frame expansion, GA-based and deterministic state
+// justification, the multi-pass hybrid driver, and a synthesized benchmark
+// suite (Am2910, div, mult, pcont2, and ISCAS89 stand-ins).
+//
+// See README.md for a tour, DESIGN.md for the architecture and the
+// paper-to-code experiment index, and EXPERIMENTS.md for measured results.
+// The root test file bench_test.go regenerates every table and figure of
+// the paper's evaluation.
+package gahitec

@@ -1,0 +1,57 @@
+// Closed-loop diagnosis: generate tests for a circuit, "manufacture" a
+// defective device by injecting a stuck-at fault, run the tests, collect the
+// failing measurements, and ask the fault dictionary which defect explains
+// them. The full test flow — generate, apply, diagnose — on one substrate.
+//
+//	go run ./examples/diagnosis
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gahitec/internal/circuits"
+	"gahitec/internal/diagnose"
+	"gahitec/internal/fault"
+	"gahitec/internal/testgen"
+)
+
+func main() {
+	c, err := circuits.Get("s344")
+	if err != nil {
+		log.Fatal(err)
+	}
+	faults := fault.Collapse(c)
+	fmt.Printf("circuit: %s, %d collapsed faults\n", c, len(faults))
+
+	// Any decent test set works for diagnosis; random vectors keep the
+	// example fast (swap in hybrid.Run for ATPG-grade coverage).
+	r := rand.New(rand.NewSource(7))
+	seq := testgen.RandomSequence(r, 300, len(c.PIs), 0)
+
+	dict := diagnose.Build(c, faults, seq)
+	fmt.Printf("dictionary built over %d vectors\n\n", len(seq))
+
+	// Manufacture three defective devices and diagnose each.
+	defects := []int{10, 25, 40}
+	for _, di := range defects {
+		defect := faults[di%len(faults)]
+		obs := diagnose.ObservedFrom(c, defect, seq)
+		fmt.Printf("device with defect %-16s -> %d failing measurements\n",
+			defect.String(c), len(obs))
+		if len(obs) == 0 {
+			fmt.Println("  escapes this test set (undetected defect)")
+			continue
+		}
+		for rank, cand := range dict.Diagnose(obs, 3) {
+			marker := ""
+			if cand.Fault == defect {
+				marker = "  <-- injected defect"
+			}
+			fmt.Printf("  #%d %-16s score %.3f%s\n",
+				rank+1, cand.Fault.String(c), cand.Score, marker)
+		}
+	}
+
+}

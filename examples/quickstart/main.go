@@ -1,0 +1,49 @@
+// Quickstart: generate tests for a benchmark circuit with the hybrid
+// GA-HITEC test generator and print the paper-style pass statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gahitec/internal/circuits"
+	"gahitec/internal/fault"
+	"gahitec/internal/hybrid"
+	"gahitec/internal/report"
+)
+
+func main() {
+	// 1. Load a circuit. The suite has the genuine s27, stand-ins for the
+	//    ISCAS89 benchmarks, and the paper's synthesized circuits.
+	c, err := circuits.Get("s298")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("circuit:", c)
+
+	// 2. Build the collapsed single-stuck-at fault list.
+	faults := fault.Collapse(c)
+	fmt.Printf("faults : %d collapsed\n\n", len(faults))
+
+	// 3. Configure the paper's three-pass schedule (Table I). The first
+	//    argument is the base GA sequence length x (the paper uses a
+	//    multiple of the sequential depth); the second scales the paper's
+	//    1 s / 10 s / 100 s per-fault limits down to something a modern
+	//    machine justifies.
+	cfg := hybrid.GAHITECConfig(8*c.SeqDepth(), 0.01)
+	cfg.Seed = 42
+
+	// 4. Run. Detected faults are dropped by the built-in fault simulator;
+	//    every counted test was confirmed by simulation.
+	res := hybrid.Run(c, faults, cfg)
+
+	fmt.Printf("%-5s %6s %6s %9s %6s\n", "Pass", "Det", "Vec", "Time", "Unt")
+	for _, p := range res.Passes {
+		fmt.Printf("%-5d %6d %6d %9s %6d\n",
+			p.Pass, p.Detected, p.Vectors, report.FormatDuration(p.Elapsed), p.Untestable)
+	}
+	fmt.Printf("\nfault coverage %.1f%%, %d test sequences, %d vectors total\n",
+		100*res.FaultCoverage(), len(res.TestSet), len(res.Vectors()))
+}

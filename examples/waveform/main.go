@@ -1,0 +1,49 @@
+// Waveform dump: run a generated test sequence through the traced simulator
+// and write a VCD file viewable in GTKWave or any waveform viewer — the
+// standard way to debug why a test does (or does not) expose a fault.
+//
+//	go run ./examples/waveform && gtkwave /tmp/s27.vcd
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gahitec/internal/circuits"
+	"gahitec/internal/logic"
+	"gahitec/internal/sim"
+)
+
+func main() {
+	c, err := circuits.Get("s27")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A short hand-written stimulus: clear-ish patterns then activity.
+	stimulus := []string{"0000", "1111", "0101", "0011", "1000", "0110", "1001", "0000"}
+
+	s := sim.NewSerial(c)
+	tr := sim.NewTracer(s, nil) // nil = trace PIs, flip-flops and POs
+	for _, in := range stimulus {
+		v, err := logic.ParseVector(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr.Step(v)
+	}
+
+	path := "/tmp/s27.vcd"
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteVCD(f); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("traced %d cycles of %s\n", len(stimulus), c)
+	fmt.Printf("wrote %s (%d bytes) — open with gtkwave\n", path, st.Size())
+}

@@ -1,0 +1,3 @@
+module gahitec
+
+go 1.22

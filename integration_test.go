@@ -1,0 +1,101 @@
+package gahitec_test
+
+// End-to-end integration of the full flow a downstream user would run:
+// build a circuit, generate tests with the hybrid generator, serialize the
+// test set, re-load it, fault-grade it, compact it, and diagnose a defect —
+// every stage feeding the next.
+
+import (
+	"strings"
+	"testing"
+
+	"gahitec/internal/circuits"
+	"gahitec/internal/compact"
+	"gahitec/internal/diagnose"
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/hybrid"
+	"gahitec/internal/pattern"
+)
+
+func TestEndToEndFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	c, err := circuits.Get("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Collapse(c)
+
+	// 1. Generate.
+	cfg := hybrid.GAHITECConfig(8*c.SeqDepth(), 0.003)
+	cfg.Seed = 42
+	res := hybrid.Run(c, faults, cfg)
+	if len(res.TestSet) == 0 {
+		t.Fatal("no tests generated")
+	}
+	reported := res.Passes[len(res.Passes)-1].Detected
+
+	// 2. Serialize and re-load.
+	set := &pattern.Set{Circuit: c.Name}
+	for _, pi := range c.PIs {
+		set.Inputs = append(set.Inputs, c.Nodes[pi].Name)
+	}
+	for i, seq := range res.TestSet {
+		q := pattern.Sequence{Vectors: seq}
+		if i < len(res.Targets) {
+			q.Target = res.Targets[i].String(c)
+		}
+		set.Sequences = append(set.Sequences, q)
+	}
+	var sb strings.Builder
+	if err := set.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := pattern.Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumVectors() != set.NumVectors() {
+		t.Fatal("serialization changed the vector count")
+	}
+
+	// 3. Grade the re-loaded set: targeted detections must reproduce.
+	fs := faultsim.New(c, faults)
+	for _, q := range loaded.Sequences {
+		fs.ApplySequence(q.Vectors)
+	}
+	if fs.NumDetected() != reported {
+		t.Fatalf("graded %d detections, generator reported %d", fs.NumDetected(), reported)
+	}
+
+	// 4. Compact; coverage must be preserved.
+	compacted, st := compact.Run(c, faults, res.TestSet)
+	if st.Detected < reported {
+		t.Fatalf("compaction lost coverage: %d < %d", st.Detected, reported)
+	}
+	if st.VectorsAfter > st.VectorsBefore {
+		t.Fatal("compaction grew the test set")
+	}
+
+	// 5. Diagnose a "manufactured defect" against the full test set.
+	allVecs := loaded.Flatten()
+	dict := diagnose.Build(c, faults, allVecs)
+	detected := fs.Detections()
+	if len(detected) == 0 {
+		t.Fatal("nothing detected to diagnose")
+	}
+	defect := detected[0].Fault
+	obs := diagnose.ObservedFrom(c, defect, allVecs)
+	if len(obs) == 0 {
+		t.Fatal("defect produced no observations on the full set")
+	}
+	cands := dict.Diagnose(obs, 5)
+	if len(cands) == 0 || cands[0].Score != 1.0 {
+		t.Fatalf("diagnosis failed: %+v", cands)
+	}
+	if len(compacted) > len(res.TestSet) {
+		t.Fatal("compaction grew the sequence count")
+	}
+}

@@ -1,0 +1,114 @@
+// Package atpg implements the deterministic test-generation engine of the
+// hybrid test generator: a PODEM-style branch-and-bound search over a
+// time-frame expansion of the circuit, operating in the nine-valued
+// good/faulty composite algebra (a superset of Roth's D-calculus).
+//
+// The engine provides the two deterministic services the paper's GA-HITEC
+// architecture needs:
+//
+//   - Generate: fault excitation in time frame zero and fault-effect
+//     propagation to a primary output across successive time frames,
+//     returning the propagation vectors and the required frame-zero state
+//     (a three-valued cube over the flip-flops, for both machines).
+//
+//   - Justify: deterministic state justification by reverse time processing
+//     — a search for an input sequence that drives the circuit from the
+//     all-unknown state into a required state cube.
+//
+// Untestable faults are identified when the search space is exhausted
+// without ever pushing a fault effect into the next time frame, which makes
+// the exhaustion argument independent of the frame bound.
+package atpg
+
+import (
+	"time"
+
+	"gahitec/internal/logic"
+)
+
+// Status is the outcome of a Generate or Justify call.
+type Status uint8
+
+const (
+	// Success: a test (or justification sequence) was found.
+	Success Status = iota
+	// Untestable: the search space was exhausted; no test exists.
+	Untestable
+	// Aborted: a time, backtrack or frame limit stopped the search.
+	Aborted
+	// Unjustified: justification exhausted its bounded search without
+	// success. Unlike Untestable this carries no proof: the state may be
+	// reachable via longer sequences or from specific initial states.
+	Unjustified
+)
+
+// String returns a short status name.
+func (s Status) String() string {
+	switch s {
+	case Success:
+		return "success"
+	case Untestable:
+		return "untestable"
+	case Aborted:
+		return "aborted"
+	case Unjustified:
+		return "unjustified"
+	default:
+		return "unknown"
+	}
+}
+
+// Limits bounds a deterministic search.
+type Limits struct {
+	// MaxFrames bounds the number of forward propagation frames
+	// (Generate) or backward justification frames (Justify).
+	MaxFrames int
+	// MaxBacktracks bounds the total number of backtracks.
+	MaxBacktracks int
+	// Deadline, if non-zero, stops the search when passed.
+	Deadline time.Time
+}
+
+// DefaultLimits returns the limits used when a field is zero.
+func (l Limits) withDefaults(seqDepth int) Limits {
+	if l.MaxFrames <= 0 {
+		l.MaxFrames = 4 * seqDepth
+		if l.MaxFrames < 4 {
+			l.MaxFrames = 4
+		}
+	}
+	if l.MaxBacktracks <= 0 {
+		l.MaxBacktracks = 10000
+	}
+	return l
+}
+
+// Result reports the outcome of a Generate call.
+type Result struct {
+	Status Status
+
+	// Vectors are the primary-input vectors of frames 0..k-1 (excitation
+	// and propagation). Unassigned positions are X.
+	Vectors []logic.Vector
+
+	// RequiredGood is the three-valued cube over the flip-flops that must
+	// hold in the good machine at the start of frame 0.
+	RequiredGood logic.Vector
+
+	// RequiredFaulty is the corresponding cube for the faulty machine. It
+	// differs from RequiredGood only where the fault itself forces a
+	// flip-flop value.
+	RequiredFaulty logic.Vector
+
+	// Backtracks and Frames describe the search effort.
+	Backtracks int
+	Frames     int
+}
+
+// JustifyResult reports the outcome of a deterministic Justify call.
+type JustifyResult struct {
+	Status     Status
+	Vectors    []logic.Vector // sequence driving all-X into the target cube
+	Backtracks int
+	Frames     int
+}

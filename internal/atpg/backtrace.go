@@ -1,0 +1,276 @@
+package atpg
+
+import (
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// objective is a desired good-machine value at a node in a frame.
+type objective struct {
+	frame int
+	node  netlist.ID
+	value logic.V
+}
+
+// backtrace walks an objective backward through X-valued lines to an
+// unassigned decision variable (a frame PI, or a frame-0 pseudo-input when
+// those are free), flipping the target value through inverting gates. When a
+// path dead-ends — on a constant, or on a frame-0 pseudo-input pinned to X
+// by justification's all-unknown-start semantics — alternative X fanins are
+// explored depth-first, so backtrace fails only when no free input can
+// influence the objective at all.
+func (fr *frames) backtrace(obj objective) (decision, bool) {
+	// Memoize failed (frame, node, value) subgoals for the duration of this
+	// call: values are fixed during one backtrace, so a subtree that failed
+	// once fails on every other path to it. Without this, reconvergent
+	// fanout (adder carry trees) makes the DFS exponential.
+	if fr.btFailed == nil {
+		fr.btFailed = make(map[btKey]bool)
+	} else {
+		for k := range fr.btFailed {
+			delete(fr.btFailed, k)
+		}
+	}
+	return fr.backtraceFrom(obj.frame, obj.node, obj.value)
+}
+
+// btKey identifies a backtrace subgoal.
+type btKey struct {
+	frame int32
+	node  netlist.ID
+	value logic.V
+}
+
+func (fr *frames) backtraceFrom(f int, id netlist.ID, v logic.V) (decision, bool) {
+	key := btKey{int32(f), id, v}
+	if fr.btFailed[key] {
+		return decision{}, false
+	}
+	d, ok := fr.backtraceStep(f, id, v)
+	if !ok {
+		fr.btFailed[key] = true
+	}
+	return d, ok
+}
+
+func (fr *frames) backtraceStep(f int, id netlist.ID, v logic.V) (decision, bool) {
+	n := &fr.c.Nodes[id]
+	switch n.Kind {
+	case netlist.KInput:
+		return decision{frame: f, idx: fr.c.PIIndex(id), value: v}, true
+	case netlist.KDFF:
+		if f == 0 {
+			if fr.ppiA == nil {
+				return decision{}, false // pinned to X (all-unknown start)
+			}
+			return decision{frame: -1, idx: fr.c.DFFIndex(id), value: v}, true
+		}
+		return fr.backtraceFrom(f-1, n.Fanin[0], v)
+	case netlist.KConst0, netlist.KConst1:
+		return decision{}, false
+	}
+
+	// Combinational gate: try each X-valued fanin until a path reaches a
+	// free input, in testability order when a SCOAP guide is present.
+	want := v
+	if n.Kind.Inverting() {
+		want = v.Not()
+	}
+	var pins [8]int
+	cand := pins[:0]
+	for p := range n.Fanin {
+		if fr.val[f][n.Fanin[p]].G == logic.X {
+			cand = append(cand, p)
+		}
+	}
+	if fr.guide != nil && len(cand) > 1 {
+		fr.orderPins(n, cand, want)
+	}
+	for _, p := range cand {
+		target := want
+		if n.Kind == netlist.KXor || n.Kind == netlist.KXnor {
+			// Target = want xor (known part of the other inputs, X as 0).
+			target = want
+			for q := range n.Fanin {
+				if q == p {
+					continue
+				}
+				if g := fr.val[f][n.Fanin[q]].G; g == logic.One {
+					target = target.Not()
+				}
+			}
+		}
+		if d, ok := fr.backtraceFrom(f, n.Fanin[p], target); ok {
+			return d, true
+		}
+	}
+	return decision{}, false
+}
+
+// orderPins sorts candidate pins by the classic SCOAP backtrace heuristic:
+// when the wanted input value is controlling (one input suffices), try the
+// *easiest* line first; when it is non-controlling (all inputs must be set),
+// try the *hardest* first so infeasible branches fail early.
+func (fr *frames) orderPins(n *netlist.Node, cand []int, want logic.V) {
+	type keyed struct {
+		pin int
+		key int32
+	}
+	var buf [8]keyed
+	ks := buf[:0]
+	easiestFirst := true
+	cost := func(fi netlist.ID) int32 {
+		return fr.guide.CC(fi, want == logic.One)
+	}
+	switch n.Kind {
+	case netlist.KAnd, netlist.KNand:
+		easiestFirst = want == logic.Zero
+	case netlist.KOr, netlist.KNor:
+		easiestFirst = want == logic.One
+	default: // XOR family: any value works; prefer overall-easiest lines
+		cost = func(fi netlist.ID) int32 {
+			c0, c1 := fr.guide.CC0[fi], fr.guide.CC1[fi]
+			if c0 < c1 {
+				return c0
+			}
+			return c1
+		}
+	}
+	for _, p := range cand {
+		ks = append(ks, keyed{p, cost(n.Fanin[p])})
+	}
+	// Insertion sort (candidate lists are tiny).
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0; j-- {
+			better := ks[j].key < ks[j-1].key
+			if !easiestFirst {
+				better = ks[j].key > ks[j-1].key
+			}
+			if !better {
+				break
+			}
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+	for i, k := range ks {
+		cand[i] = k.pin
+	}
+}
+
+// nextObjective derives the next PODEM objective, in the classic order:
+// excite the fault in frame 0, then propagate through the D-frontier. The
+// second return value distinguishes "no objective because the branch is
+// hopeless" (needBacktrack) from "objective found".
+type objectiveStatus uint8
+
+const (
+	objFound objectiveStatus = iota
+	objBacktrack
+	objNeedMoreFrames // effects alive only at the last frame's PPOs
+)
+
+// excitationLine returns the node whose good value must be driven to the
+// complement of the stuck value in frame 0.
+func (fr *frames) excitationLine() netlist.ID {
+	if fr.flt.IsStem() {
+		return fr.flt.Node
+	}
+	return fr.c.Nodes[fr.flt.Node].Fanin[fr.flt.Pin]
+}
+
+func (fr *frames) nextObjective(distPO []int32) (objective, objectiveStatus) {
+	line := fr.excitationLine()
+	g := fr.val[0][line].G
+	switch {
+	case g == fr.flt.Stuck:
+		return objective{}, objBacktrack // excitation impossible here
+	case g == logic.X:
+		return objective{0, line, fr.flt.Stuck.Not()}, objFound
+	}
+
+	// Fault is excited; find the best D-frontier gate.
+	bestFrame, bestGate, bestPin := -1, netlist.None, -1
+	bestDist := int32(1 << 30)
+	for f := 0; f < fr.k; f++ {
+		for _, id := range fr.c.Order {
+			out := fr.val[f][id]
+			if out.IsFaultEffect() || (out.G != logic.X && out.F != logic.X) {
+				continue
+			}
+			n := &fr.c.Nodes[id]
+			if len(n.Fanin) < 2 {
+				continue
+			}
+			hasD, xPin := false, -1
+			for p := range n.Fanin {
+				in := fr.faninDV(f, id, p)
+				if in.IsFaultEffect() {
+					hasD = true
+				} else if in.G == logic.X {
+					xPin = p
+				}
+			}
+			if !hasD || xPin < 0 {
+				continue
+			}
+			// Prefer gates structurally close to a PO; tie-break on the
+			// latest frame (closest to eventual observation).
+			d := distPO[id]
+			if d < bestDist || (d == bestDist && f > bestFrame) {
+				bestDist, bestFrame, bestGate, bestPin = d, f, id, xPin
+			}
+		}
+	}
+	if bestGate == netlist.None {
+		if fr.faultEffectAtLastPPO() {
+			return objective{}, objNeedMoreFrames
+		}
+		return objective{}, objBacktrack
+	}
+	n := &fr.c.Nodes[bestGate]
+	return objective{bestFrame, n.Fanin[bestPin], nonControlling(n.Kind)}, objFound
+}
+
+// nonControlling returns the value that lets a fault effect pass through a
+// gate of the given kind. For XOR/XNOR any known value propagates; zero is
+// used.
+func nonControlling(kind netlist.Kind) logic.V {
+	switch kind {
+	case netlist.KAnd, netlist.KNand:
+		return logic.One
+	case netlist.KOr, netlist.KNor:
+		return logic.Zero
+	default:
+		return logic.Zero
+	}
+}
+
+// poDistances computes, for every node, the minimum combinational distance
+// to a primary output (a large value if a PO is only reachable through
+// flip-flops).
+func poDistances(c *netlist.Circuit) []int32 {
+	const inf = int32(1 << 29)
+	dist := make([]int32, len(c.Nodes))
+	for i := range dist {
+		dist[i] = inf
+	}
+	for _, po := range c.POs {
+		dist[po] = 0
+	}
+	// Process gates in reverse topological order so readers are final.
+	for i := len(c.Order) - 1; i >= 0; i-- {
+		id := c.Order[i]
+		d := dist[id]
+		if d == inf {
+			continue
+		}
+		for _, fi := range c.Nodes[id].Fanin {
+			if d+1 < dist[fi] {
+				dist[fi] = d + 1
+			}
+		}
+	}
+	// One more sweep for PO gates' fanins when the PO is a source node (PI
+	// or DFF marked as output) — nothing to do, they have no fanin.
+	return dist
+}

@@ -1,0 +1,253 @@
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/testgen"
+)
+
+func TestDeepeningLadder(t *testing.T) {
+	cases := map[int][]int{
+		1:  {1},
+		2:  {1, 2},
+		3:  {1, 2, 3},
+		8:  {1, 2, 4, 8},
+		10: {1, 2, 4, 8, 10},
+		33: {1, 2, 4, 8, 16, 32, 33},
+	}
+	for max, want := range cases {
+		got := deepening(max)
+		if len(got) != len(want) {
+			t.Fatalf("deepening(%d) = %v, want %v", max, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("deepening(%d) = %v, want %v", max, got, want)
+			}
+		}
+	}
+}
+
+// XOR-dominated circuits exercise the backtrace's parity target adjustment.
+func TestGenerateXorChain(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+x1 = XOR(a, b)
+x2 = XOR(x1, c)
+x3 = XOR(x2, d)
+y = BUF(x3)
+`
+	cc := mustParse(t, src, "xchain")
+	e := NewEngine(cc)
+	for _, f := range fault.Collapse(cc) {
+		r := e.Generate(f, Limits{MaxFrames: 1, MaxBacktracks: 2000})
+		if r.Status != Success {
+			t.Errorf("%s: %s (XOR chain is fully testable)", f.String(cc), r.Status)
+			continue
+		}
+		if ok, _ := faultsim.Detects(cc, f, fillX(r.Vectors)); !ok {
+			t.Errorf("%s: test does not detect", f.String(cc))
+		}
+	}
+}
+
+// Fault effects must be observable through whichever PO is reachable; a
+// two-PO circuit where one PO is blocked still yields tests via the other.
+func TestGenerateMultiPO(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(dead)
+OUTPUT(live)
+k0 = CONST0()
+n = AND(a, b)
+dead = AND(n, k0)
+live = OR(n, c)
+`
+	cc := mustParse(t, src, "mpo")
+	e := NewEngine(cc)
+	n, _ := cc.Lookup("n")
+	r := e.Generate(fault.Fault{Node: n, Pin: fault.StemPin, Stuck: logic.Zero}, Limits{MaxFrames: 1, MaxBacktracks: 1000})
+	if r.Status != Success {
+		t.Fatalf("status %s", r.Status)
+	}
+}
+
+// GenerateNth must return distinct solutions (different vectors or required
+// states) for increasing n until it runs out.
+func TestGenerateNthDistinct(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	e := NewEngine(c)
+	g11, _ := c.Lookup("G11")
+	f := fault.Fault{Node: g11, Pin: fault.StemPin, Stuck: logic.Zero}
+	lim := Limits{MaxFrames: 4, MaxBacktracks: 5000}
+	r0 := e.GenerateNth(f, lim, 0)
+	r1 := e.GenerateNth(f, lim, 1)
+	if r0.Status != Success {
+		t.Fatalf("first solution: %s", r0.Status)
+	}
+	if r1.Status != Success {
+		t.Skip("only one solution within limits")
+	}
+	same := r0.RequiredGood.String() == r1.RequiredGood.String() &&
+		len(r0.Vectors) == len(r1.Vectors)
+	if same {
+		for i := range r0.Vectors {
+			if r0.Vectors[i].String() != r1.Vectors[i].String() {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("GenerateNth(1) returned the same solution as GenerateNth(0)")
+	}
+}
+
+// The required-state cube minimization must never produce an inconsistent
+// result: the minimized cube still detects from the required state.
+func TestMinimizedCubeStillDetects(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	e := NewEngine(c)
+	for _, f := range fault.Collapse(c) {
+		r := e.Generate(f, Limits{MaxFrames: 8, MaxBacktracks: 2000})
+		if r.Status != Success {
+			continue
+		}
+		if ok, _ := faultsim.DetectsFrom(c, f, r.RequiredGood, r.RequiredFaulty, fillX(r.Vectors)); !ok {
+			t.Errorf("%s: minimized cube does not detect", f.String(c))
+		}
+	}
+}
+
+// Property over random sequential circuits: every Generate success must
+// detect when replayed from its required states, and the faulty-machine
+// required cube must differ from the good one only at a stuck flip-flop.
+func TestGenerateContractOnRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	checked := 0
+	for trial := 0; trial < 12; trial++ {
+		c := testgen.RandomCircuit(r, "rc", 2+r.Intn(3), 1+r.Intn(4), 8+r.Intn(20))
+		e := NewEngine(c)
+		for _, f := range fault.Collapse(c) {
+			res := e.Generate(f, Limits{MaxFrames: 12, MaxBacktracks: 1500})
+			if res.Status != Success {
+				continue
+			}
+			checked++
+			if ok, _ := faultsim.DetectsFrom(c, f, res.RequiredGood, res.RequiredFaulty, fillX(res.Vectors)); !ok {
+				t.Fatalf("trial %d %s: replay from required state fails", trial, f.String(c))
+			}
+			for i := range res.RequiredGood {
+				if res.RequiredGood[i] == res.RequiredFaulty[i] {
+					continue
+				}
+				if !f.IsStem() || f.Node != c.DFFs[i] {
+					t.Fatalf("trial %d %s: required cubes diverge at FF %d without a stuck stem",
+						trial, f.String(c), i)
+				}
+			}
+			if len(res.Vectors) != res.Frames {
+				t.Fatalf("trial %d %s: %d vectors for %d frames",
+					trial, f.String(c), len(res.Vectors), res.Frames)
+			}
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d successes checked", checked)
+	}
+}
+
+// Regression: backtrace must memoize failed subgoals. A wide reconvergent
+// carry chain (every stage reads the previous stage twice through distinct
+// gates) made the un-memoized DFS exponential — this test generated for
+// hours before the fix and takes milliseconds after it.
+func TestBacktraceReconvergenceNotExponential(t *testing.T) {
+	b := netlist.NewBuilder("carry")
+	a := b.Input("a0")
+	prev := a
+	const stages = 40
+	for i := 0; i < stages; i++ {
+		x := b.Input(fmt.Sprintf("x%d", i))
+		// Two parallel paths from prev that reconverge.
+		p := b.Gate(netlist.KAnd, fmt.Sprintf("p%d", i), prev, x)
+		q := b.Gate(netlist.KOr, fmt.Sprintf("q%d", i), prev, x)
+		prev = b.Gate(netlist.KAnd, fmt.Sprintf("c%d", i), p, q)
+	}
+	b.Output(fmt.Sprintf("c%d", stages-1))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(c)
+	deadline := time.Now().Add(10 * time.Second)
+	for _, f := range fault.Collapse(c)[:20] {
+		e.Generate(f, Limits{MaxFrames: 1, MaxBacktracks: 200, Deadline: deadline})
+		if time.Now().After(deadline) {
+			t.Fatal("backtrace exponential blowup: deadline exceeded")
+		}
+	}
+}
+
+// Justification with a 1-frame limit can still solve targets reachable in a
+// single vector and must not claim more.
+func TestJustifySingleFrameWindow(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(z)
+q1 = DFF(a)
+q2 = DFF(q1)
+z = BUF(q2)
+`
+	c := mustParse(t, src, "sh2")
+	e := NewEngine(c)
+	oneFrame := Limits{MaxFrames: 1, MaxBacktracks: 100}
+	// q1=1 reachable in one vector.
+	t1, _ := logic.ParseVector("1X")
+	if r := e.Justify(t1, oneFrame); r.Status != Success {
+		t.Errorf("q1=1 in one frame: %s", r.Status)
+	}
+	// q2=1 needs two vectors: must NOT succeed with a 1-frame window.
+	t2, _ := logic.ParseVector("X1")
+	if r := e.Justify(t2, oneFrame); r.Status == Success {
+		t.Error("q2=1 claimed justified in one frame")
+	}
+	// With two frames it succeeds.
+	if r := e.Justify(t2, Limits{MaxFrames: 2, MaxBacktracks: 100}); r.Status != Success {
+		t.Errorf("q2=1 in two frames: %s", r.Status)
+	}
+}
+
+// A justification target on a flip-flop fed by a constant succeeds for the
+// constant's value and is unjustifiable for the complement.
+func TestJustifyConstantFF(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(z)
+k1 = CONST1()
+q = DFF(k1)
+z = AND(q, a)
+`
+	c := mustParse(t, src, "kff")
+	e := NewEngine(c)
+	up, _ := logic.ParseVector("1")
+	if r := e.Justify(up, Limits{MaxFrames: 3, MaxBacktracks: 100}); r.Status != Success {
+		t.Errorf("q=1: %s", r.Status)
+	}
+	down, _ := logic.ParseVector("0")
+	if r := e.Justify(down, Limits{MaxFrames: 3, MaxBacktracks: 100}); r.Status == Success {
+		t.Error("q=0 justified against a constant-1 D input")
+	}
+}

@@ -1,0 +1,233 @@
+package atpg
+
+import (
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/scoap"
+)
+
+// frames is a k-frame unrolling of the circuit's combinational core in the
+// nine-valued composite algebra. Frame i's pseudo-inputs (flip-flop Q
+// values) are tied to frame i-1's pseudo-outputs (flip-flop D values); frame
+// zero's pseudo-inputs are either free decision variables (Generate) or
+// pinned to X (Justify, which models the all-unknown starting state).
+//
+// Implication is a full re-simulation of all frames. It is simple, obviously
+// correct, and fast enough under the per-fault time limits the multi-pass
+// driver imposes.
+type frames struct {
+	c   *netlist.Circuit
+	flt *fault.Fault // nil for fault-free search
+
+	k   int          // number of frames
+	val [][]logic.DV // [frame][node]
+
+	piA  [][]logic.V // [frame][pi index] assignments
+	ppiA []logic.V   // frame-0 PPI assignments; nil = pinned to X
+
+	guide *scoap.Measures // optional backtrace guidance
+
+	btFailed map[btKey]bool // per-backtrace failed-subgoal memo
+}
+
+// newFrames allocates a k-frame model. If ppiFree, frame-0 flip-flop values
+// are assignable; otherwise they are X.
+func newFrames(c *netlist.Circuit, flt *fault.Fault, k int, ppiFree bool) *frames {
+	fr := &frames{
+		c:   c,
+		flt: flt,
+		k:   k,
+		val: make([][]logic.DV, k),
+		piA: make([][]logic.V, k),
+	}
+	for i := 0; i < k; i++ {
+		fr.val[i] = make([]logic.DV, len(c.Nodes))
+		fr.piA[i] = make([]logic.V, len(c.PIs))
+		for j := range fr.piA[i] {
+			fr.piA[i][j] = logic.X
+		}
+		// Constants never change; set them once per frame here rather than
+		// on every implication pass.
+		for j := range c.Nodes {
+			switch c.Nodes[j].Kind {
+			case netlist.KConst0:
+				fr.val[i][j] = fr.stemFixed(netlist.ID(j), logic.DV0)
+			case netlist.KConst1:
+				fr.val[i][j] = fr.stemFixed(netlist.ID(j), logic.DV1)
+			}
+		}
+	}
+	if ppiFree {
+		fr.ppiA = make([]logic.V, len(c.DFFs))
+		for j := range fr.ppiA {
+			fr.ppiA[j] = logic.X
+		}
+	}
+	return fr
+}
+
+// stemFixed applies the fault's stem forcing to the faulty component.
+func (fr *frames) stemFixed(id netlist.ID, v logic.DV) logic.DV {
+	if fr.flt != nil && fr.flt.IsStem() && fr.flt.Node == id {
+		v.F = fr.flt.Stuck
+	}
+	return v
+}
+
+// faninDV reads the composite value seen by pin p of node g in frame f,
+// honouring branch faults on the faulty component.
+func (fr *frames) faninDV(f int, g netlist.ID, p int) logic.DV {
+	v := fr.val[f][fr.c.Nodes[g].Fanin[p]]
+	if fr.flt != nil && !fr.flt.IsStem() && fr.flt.Node == g && fr.flt.Pin == p {
+		v.F = fr.flt.Stuck
+	}
+	return v
+}
+
+// imply re-simulates all frames from the current assignments.
+func (fr *frames) imply() { fr.implyFrom(0) }
+
+// implyFrom re-simulates frames start..k-1. A decision in frame f can only
+// influence frames >= f (frame-0 pseudo-input decisions use start 0), so
+// callers pass the lowest modified frame.
+func (fr *frames) implyFrom(start int) {
+	if start < 0 {
+		start = 0
+	}
+	for f := start; f < fr.k; f++ {
+		vals := fr.val[f]
+		// Sources: PIs from assignments, PPIs from previous frame (or
+		// assignments / X for frame 0), constants.
+		for i, pi := range fr.c.PIs {
+			vals[pi] = fr.stemFixed(pi, logic.FromV(fr.piA[f][i]))
+		}
+		for di, ff := range fr.c.DFFs {
+			var v logic.DV
+			switch {
+			case f > 0:
+				v = fr.faninDV(f-1, ff, 0) // previous frame's D value
+			case fr.ppiA != nil:
+				v = logic.FromV(fr.ppiA[di])
+			default:
+				v = logic.DVX
+			}
+			vals[ff] = fr.stemFixed(ff, v)
+		}
+		for _, id := range fr.c.Order {
+			n := &fr.c.Nodes[id]
+			// Inline gate evaluation: this is the single hottest loop of
+			// the deterministic engine (every decision re-implies the
+			// suffix frames), so the accumulate pattern avoids building a
+			// fanin slice per gate.
+			var v logic.DV
+			switch n.Kind {
+			case netlist.KBuf:
+				v = fr.faninDV(f, id, 0)
+			case netlist.KNot:
+				v = fr.faninDV(f, id, 0).Not()
+			case netlist.KAnd, netlist.KNand:
+				v = logic.DV1
+				for p := range n.Fanin {
+					v = logic.AndDV(v, fr.faninDV(f, id, p))
+				}
+				if n.Kind == netlist.KNand {
+					v = v.Not()
+				}
+			case netlist.KOr, netlist.KNor:
+				v = logic.DV0
+				for p := range n.Fanin {
+					v = logic.OrDV(v, fr.faninDV(f, id, p))
+				}
+				if n.Kind == netlist.KNor {
+					v = v.Not()
+				}
+			case netlist.KXor, netlist.KXnor:
+				v = fr.faninDV(f, id, 0)
+				for p := 1; p < len(n.Fanin); p++ {
+					v = logic.XorDV(v, fr.faninDV(f, id, p))
+				}
+				if n.Kind == netlist.KXnor {
+					v = v.Not()
+				}
+			default:
+				v = logic.DVX
+			}
+			vals[id] = fr.stemFixed(id, v)
+		}
+	}
+}
+
+// ppoDV returns the composite D-input value of flip-flop index di in frame f.
+func (fr *frames) ppoDV(f, di int) logic.DV {
+	return fr.faninDV(f, fr.c.DFFs[di], 0)
+}
+
+// faultEffectAtPO reports the earliest frame in which a primary output
+// carries a fault effect, or -1.
+func (fr *frames) faultEffectAtPO() int {
+	for f := 0; f < fr.k; f++ {
+		for _, po := range fr.c.POs {
+			if fr.val[f][po].IsFaultEffect() {
+				return f
+			}
+		}
+	}
+	return -1
+}
+
+// faultEffectAtLastPPO reports whether any flip-flop D input of the last
+// frame carries a fault effect (i.e. the effect would survive into frame k).
+func (fr *frames) faultEffectAtLastPPO() bool {
+	for di := range fr.c.DFFs {
+		if fr.ppoDV(fr.k-1, di).IsFaultEffect() {
+			return true
+		}
+	}
+	return false
+}
+
+// decision is one entry of the PODEM decision stack.
+type decision struct {
+	frame     int // frame of the assigned PI; -1 for a frame-0 PPI
+	idx       int // PI index or DFF index
+	value     logic.V
+	triedBoth bool
+}
+
+// assign writes a decision variable.
+func (fr *frames) assign(d decision) {
+	if d.frame < 0 {
+		fr.ppiA[d.idx] = d.value
+	} else {
+		fr.piA[d.frame][d.idx] = d.value
+	}
+}
+
+// implyFrameOf returns the lowest frame whose values decision d can change.
+func implyFrameOf(d decision) int {
+	if d.frame < 0 {
+		return 0
+	}
+	return d.frame
+}
+
+// unassign clears a decision variable.
+func (fr *frames) unassign(d decision) {
+	if d.frame < 0 {
+		fr.ppiA[d.idx] = logic.X
+	} else {
+		fr.piA[d.frame][d.idx] = logic.X
+	}
+}
+
+// vectors extracts the PI assignments of frames 0..upto (inclusive).
+func (fr *frames) vectors(upto int) []logic.Vector {
+	out := make([]logic.Vector, 0, upto+1)
+	for f := 0; f <= upto; f++ {
+		v := make(logic.Vector, len(fr.c.PIs))
+		copy(v, fr.piA[f])
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package atpg
+
+import (
+	"time"
+
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+)
+
+// Justify searches for an input sequence that drives the circuit from the
+// all-unknown state into the target flip-flop cube (X entries are don't
+// cares). This is the deterministic reverse-time-processing fallback the
+// hybrid generator uses when the GA fails, and the only justification method
+// of the HITEC baseline.
+//
+// The search is a PODEM over a backward window of j frames (iterative
+// deepening on j): the window's first-frame flip-flop values are pinned to
+// X — a sequence only counts if it forces the target regardless of the
+// unknown starting state — and the decision variables are the primary
+// inputs of the window.
+//
+// An Unjustified result is not a proof of unreachability (longer windows
+// might succeed); Untestable is never returned here.
+func (e *Engine) Justify(target logic.Vector, lim Limits) JustifyResult {
+	lim = lim.withDefaults(e.c.SeqDepth())
+	if target.CountKnown() == 0 {
+		return JustifyResult{Status: Success}
+	}
+	total := JustifyResult{Status: Unjustified}
+	budget := lim.MaxBacktracks
+	for _, j := range deepening(lim.MaxFrames) {
+		r := e.justifyJ(target, j, lim, &budget)
+		total.Backtracks += r.Backtracks
+		total.Frames = j
+		switch r.Status {
+		case Success:
+			r.Backtracks = total.Backtracks
+			return r
+		case Aborted:
+			total.Status = Aborted
+			return total
+		}
+	}
+	return total
+}
+
+// JustifyDual is the fault-aware justification HITEC proper performs: the
+// backward window is simulated in the nine-valued composite algebra with the
+// fault injected, and the search succeeds only when the window's final state
+// covers the good-machine target in the good components AND the
+// faulty-machine target in the faulty components. This closes the soundness
+// gap of fault-free justification (fault effects excited during the
+// justification prefix can silently violate the faulty-machine requirement,
+// which otherwise surfaces as a verify failure in the driver).
+//
+// Objectives are derived from the good components; faulty-component
+// mismatches whose good counterpart is already satisfied fall back to an
+// objective on the same line (driving the good value usually drags the
+// faulty value along except across the fault site, where the search
+// backtracks on conflict).
+func (e *Engine) JustifyDual(f fault.Fault, targetGood, targetFaulty logic.Vector, lim Limits) JustifyResult {
+	lim = lim.withDefaults(e.c.SeqDepth())
+	if targetGood.CountKnown() == 0 && targetFaulty.CountKnown() == 0 {
+		return JustifyResult{Status: Success}
+	}
+	total := JustifyResult{Status: Unjustified}
+	budget := lim.MaxBacktracks
+	for _, j := range deepening(lim.MaxFrames) {
+		r := e.justifyDualJ(f, targetGood, targetFaulty, j, lim, &budget)
+		total.Backtracks += r.Backtracks
+		total.Frames = j
+		switch r.Status {
+		case Success:
+			r.Backtracks = total.Backtracks
+			return r
+		case Aborted:
+			total.Status = Aborted
+			return total
+		}
+	}
+	return total
+}
+
+// nextStateDV returns the value flip-flop di would latch at the end of frame
+// f, honouring D-pin branch faults and Q stem forcing.
+func (fr *frames) nextStateDV(f, di int) logic.DV {
+	return fr.stemFixed(fr.c.DFFs[di], fr.ppoDV(f, di))
+}
+
+func (e *Engine) justifyDualJ(f fault.Fault, targetGood, targetFaulty logic.Vector, j int, lim Limits, budget *int) JustifyResult {
+	flt := f
+	fr := e.newFrames(&flt, j, false)
+	fr.imply()
+
+	var stack []decision
+	backtracks := 0
+	deadlineCheck := 0
+
+	for {
+		if *budget <= 0 {
+			return JustifyResult{Status: Aborted, Backtracks: backtracks, Frames: j}
+		}
+		deadlineCheck++
+		if !lim.Deadline.IsZero() && deadlineCheck%16 == 0 && time.Now().After(lim.Deadline) {
+			return JustifyResult{Status: Aborted, Backtracks: backtracks, Frames: j}
+		}
+
+		conflict := false
+		var obj objective
+		haveObj := false
+		for di := range e.c.DFFs {
+			next := fr.nextStateDV(j-1, di)
+			if wg := targetGood[di]; wg != logic.X {
+				switch next.G {
+				case wg:
+				case logic.X:
+					if !haveObj {
+						obj = objective{j - 1, e.c.Nodes[e.c.DFFs[di]].Fanin[0], wg}
+						haveObj = true
+					}
+				default:
+					conflict = true
+				}
+			}
+			if conflict {
+				break
+			}
+			if di < len(targetFaulty) {
+				if wf := targetFaulty[di]; wf != logic.X {
+					switch next.F {
+					case wf:
+					case logic.X:
+						if !haveObj {
+							// Drive the corresponding good value; across the
+							// fault site the faulty value follows or the
+							// search detects the conflict on a later pass.
+							obj = objective{j - 1, e.c.Nodes[e.c.DFFs[di]].Fanin[0], wf}
+							haveObj = true
+						}
+					default:
+						conflict = true
+					}
+				}
+			}
+			if conflict {
+				break
+			}
+		}
+
+		if !conflict && !haveObj {
+			return JustifyResult{
+				Status:     Success,
+				Vectors:    fr.vectors(j - 1),
+				Backtracks: backtracks,
+				Frames:     j,
+			}
+		}
+
+		mustBacktrack := conflict
+		if !mustBacktrack {
+			d, ok := fr.backtrace(obj)
+			if ok {
+				stack = append(stack, d)
+				fr.assign(d)
+				fr.implyFrom(implyFrameOf(d))
+				continue
+			}
+			mustBacktrack = true
+		}
+		_ = mustBacktrack
+
+		flipped := false
+		minFrame := j
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if mf := implyFrameOf(*top); mf < minFrame {
+				minFrame = mf
+			}
+			if !top.triedBoth {
+				top.triedBoth = true
+				top.value = top.value.Not()
+				fr.assign(*top)
+				backtracks++
+				*budget--
+				flipped = true
+				break
+			}
+			fr.unassign(*top)
+			stack = stack[:len(stack)-1]
+		}
+		if !flipped {
+			return JustifyResult{Status: Unjustified, Backtracks: backtracks, Frames: j}
+		}
+		fr.implyFrom(minFrame)
+	}
+}
+
+// justifyJ runs one PODEM search over a j-frame backward window.
+func (e *Engine) justifyJ(target logic.Vector, j int, lim Limits, budget *int) JustifyResult {
+	fr := e.newFrames(nil, j, false)
+	fr.imply()
+
+	var stack []decision
+	backtracks := 0
+	deadlineCheck := 0
+
+	for {
+		if *budget <= 0 {
+			return JustifyResult{Status: Aborted, Backtracks: backtracks, Frames: j}
+		}
+		deadlineCheck++
+		if !lim.Deadline.IsZero() && deadlineCheck%16 == 0 && time.Now().After(lim.Deadline) {
+			return JustifyResult{Status: Aborted, Backtracks: backtracks, Frames: j}
+		}
+
+		// Examine the window's final pseudo-outputs against the target.
+		conflict := false
+		var obj objective
+		haveObj := false
+		for di, want := range target {
+			if want == logic.X {
+				continue
+			}
+			got := fr.ppoDV(j-1, di).G
+			if got == want {
+				continue
+			}
+			if got != logic.X {
+				conflict = true
+				break
+			}
+			if !haveObj {
+				obj = objective{j - 1, e.c.Nodes[e.c.DFFs[di]].Fanin[0], want}
+				haveObj = true
+			}
+		}
+
+		if !conflict && !haveObj {
+			return JustifyResult{
+				Status:     Success,
+				Vectors:    fr.vectors(j - 1),
+				Backtracks: backtracks,
+				Frames:     j,
+			}
+		}
+
+		mustBacktrack := conflict
+		if !mustBacktrack {
+			d, ok := fr.backtrace(obj)
+			if ok {
+				stack = append(stack, d)
+				fr.assign(d)
+				fr.implyFrom(implyFrameOf(d))
+				continue
+			}
+			mustBacktrack = true
+		}
+		_ = mustBacktrack
+
+		flipped := false
+		minFrame := j
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if mf := implyFrameOf(*top); mf < minFrame {
+				minFrame = mf
+			}
+			if !top.triedBoth {
+				top.triedBoth = true
+				top.value = top.value.Not()
+				fr.assign(*top)
+				backtracks++
+				*budget--
+				flipped = true
+				break
+			}
+			fr.unassign(*top)
+			stack = stack[:len(stack)-1]
+		}
+		if !flipped {
+			return JustifyResult{Status: Unjustified, Backtracks: backtracks, Frames: j}
+		}
+		fr.implyFrom(minFrame)
+	}
+}

@@ -1,0 +1,89 @@
+package atpg
+
+import (
+	"testing"
+
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+	"gahitec/internal/sim"
+)
+
+const shift4 = `
+INPUT(a)
+OUTPUT(z)
+q1 = DFF(a)
+q2 = DFF(q1)
+q3 = DFF(q2)
+q4 = DFF(q3)
+z = BUF(q4)
+`
+
+// JustifyDual success must hold in BOTH machines when replayed.
+func TestJustifyDualBothMachines(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	e := NewEngine(c)
+	q1, _ := c.Lookup("q1")
+	f := fault.Fault{Node: q1, Pin: fault.StemPin, Stuck: logic.Zero}
+
+	tg, _ := logic.ParseVector("X11X") // good machine wants q2=q3=1
+	tf, _ := logic.ParseVector("0X0X") // faulty machine: q1 stuck 0, q3=0
+	r := e.JustifyDual(f, tg, tf, Limits{MaxFrames: 8, MaxBacktracks: 4000})
+	if r.Status != Success {
+		t.Fatalf("dual justify: %s", r.Status)
+	}
+	seq := fillX(r.Vectors)
+	good := sim.NewSerial(c)
+	bad := sim.NewSerial(c)
+	bad.InjectFault(f)
+	for _, in := range seq {
+		good.Step(in)
+		bad.Step(in)
+	}
+	if !tg.Covers(good.State()) {
+		t.Fatalf("good state %s does not cover %s", good.State(), tg)
+	}
+	if !tf.Covers(bad.State()) {
+		t.Fatalf("faulty state %s does not cover %s", bad.State(), tf)
+	}
+}
+
+// A faulty-machine target contradicting the stuck value is unjustifiable.
+func TestJustifyDualImpossibleFaultyTarget(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	e := NewEngine(c)
+	q1, _ := c.Lookup("q1")
+	f := fault.Fault{Node: q1, Pin: fault.StemPin, Stuck: logic.Zero}
+	tf, _ := logic.ParseVector("1XXX") // faulty q1 = 1 is impossible
+	r := e.JustifyDual(f, logic.NewVector(4), tf, Limits{MaxFrames: 6, MaxBacktracks: 2000})
+	if r.Status == Success {
+		t.Fatal("justified a faulty state contradicting the stuck value")
+	}
+}
+
+// The trivial all-X dual request succeeds immediately.
+func TestJustifyDualTrivial(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	e := NewEngine(c)
+	q1, _ := c.Lookup("q1")
+	f := fault.Fault{Node: q1, Pin: fault.StemPin, Stuck: logic.One}
+	r := e.JustifyDual(f, logic.NewVector(4), logic.NewVector(4), Limits{})
+	if r.Status != Success || len(r.Vectors) != 0 {
+		t.Fatalf("trivial dual justify: %s, %d vectors", r.Status, len(r.Vectors))
+	}
+}
+
+// Dual justification with the fault injected must agree with the fault-free
+// path when the fault is far from the justification cone: on s27, G17 (the
+// PO inverter) cannot disturb state justification.
+func TestJustifyDualMatchesPlainWhenFaultIrrelevant(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	e := NewEngine(c)
+	g17, _ := c.Lookup("G17")
+	f := fault.Fault{Node: g17, Pin: fault.StemPin, Stuck: logic.Zero}
+	target, _ := logic.ParseVector("001")
+	plain := e.Justify(target, Limits{MaxFrames: 8, MaxBacktracks: 4000})
+	dual := e.JustifyDual(f, target, target, Limits{MaxFrames: 8, MaxBacktracks: 4000})
+	if plain.Status != Success || dual.Status != Success {
+		t.Fatalf("plain=%s dual=%s", plain.Status, dual.Status)
+	}
+}

@@ -1,0 +1,196 @@
+// Package bench reads and writes the ISCAS89 ".bench" netlist interchange
+// format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G17 = NAND(G1, G5)
+//	G5  = DFF(G10)
+//	G7  = NOT(G3)
+//
+// Gate keywords are case-insensitive. Signal names may contain any
+// non-whitespace characters except '(', ')', ',' and '='.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"gahitec/internal/netlist"
+)
+
+var kindByKeyword = map[string]netlist.Kind{
+	"BUF":    netlist.KBuf,
+	"BUFF":   netlist.KBuf,
+	"NOT":    netlist.KNot,
+	"INV":    netlist.KNot,
+	"AND":    netlist.KAnd,
+	"NAND":   netlist.KNand,
+	"OR":     netlist.KOr,
+	"NOR":    netlist.KNor,
+	"XOR":    netlist.KXor,
+	"XNOR":   netlist.KXnor,
+	"DFF":    netlist.KDFF,
+	"CONST0": netlist.KConst0,
+	"CONST1": netlist.KConst1,
+}
+
+// Parse reads a .bench description and returns the circuit. The name
+// parameter names the resulting circuit (the format has no name directive).
+func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
+	b := netlist.NewBuilder(name)
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("bench %s line %d: %w", name, lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", name, err)
+	}
+	return b.Build()
+}
+
+// ParseString is Parse on a string.
+func ParseString(s, name string) (*netlist.Circuit, error) {
+	return Parse(strings.NewReader(s), name)
+}
+
+func parseLine(b *netlist.Builder, line string) error {
+	upper := strings.ToUpper(line)
+	switch {
+	case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "INPUT ("):
+		name, err := argOf(line)
+		if err != nil {
+			return err
+		}
+		b.Input(name)
+		return b.Err()
+	case strings.HasPrefix(upper, "OUTPUT(") || strings.HasPrefix(upper, "OUTPUT ("):
+		name, err := argOf(line)
+		if err != nil {
+			return err
+		}
+		b.Output(name)
+		return b.Err()
+	}
+
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return fmt.Errorf("unrecognized statement %q", line)
+	}
+	target := strings.TrimSpace(line[:eq])
+	if target == "" {
+		return fmt.Errorf("missing target in %q", line)
+	}
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	close_ := strings.LastIndexByte(rhs, ')')
+	if open < 0 || close_ < open {
+		return fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	keyword := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	kind, ok := kindByKeyword[keyword]
+	if !ok {
+		return fmt.Errorf("unknown gate type %q", keyword)
+	}
+	var args []string
+	inner := strings.TrimSpace(rhs[open+1 : close_])
+	if inner != "" {
+		for _, a := range strings.Split(inner, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return fmt.Errorf("empty operand in %q", rhs)
+			}
+			args = append(args, a)
+		}
+	}
+	switch kind {
+	case netlist.KDFF:
+		if len(args) != 1 {
+			return fmt.Errorf("DFF takes one operand, got %d", len(args))
+		}
+		b.DFF(target, b.Ref(args[0]))
+	case netlist.KConst0, netlist.KConst1:
+		if len(args) != 0 {
+			return fmt.Errorf("constant takes no operands")
+		}
+		b.Const(target, kind == netlist.KConst1)
+	default:
+		if len(args) == 0 {
+			return fmt.Errorf("gate %q has no operands", target)
+		}
+		ids := make([]netlist.ID, len(args))
+		for i, a := range args {
+			ids[i] = b.Ref(a)
+		}
+		b.Gate(kind, target, ids...)
+	}
+	return b.Err()
+}
+
+func argOf(line string) (string, error) {
+	open := strings.IndexByte(line, '(')
+	close_ := strings.LastIndexByte(line, ')')
+	if open < 0 || close_ < open {
+		return "", fmt.Errorf("malformed directive %q", line)
+	}
+	name := strings.TrimSpace(line[open+1 : close_])
+	if name == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return name, nil
+}
+
+// Write serializes the circuit in .bench format: inputs, outputs, then
+// flip-flops and gates in node order.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.String())
+	for _, pi := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Nodes[pi].Name)
+	}
+	for _, po := range c.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Nodes[po].Name)
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch {
+		case n.Kind == netlist.KInput:
+			continue
+		case n.Kind == netlist.KDFF:
+			fmt.Fprintf(bw, "%s = DFF(%s)\n", n.Name, c.Nodes[n.Fanin[0]].Name)
+		case n.Kind == netlist.KConst0:
+			fmt.Fprintf(bw, "%s = CONST0()\n", n.Name)
+		case n.Kind == netlist.KConst1:
+			fmt.Fprintf(bw, "%s = CONST1()\n", n.Name)
+		default:
+			names := make([]string, len(n.Fanin))
+			for j, f := range n.Fanin {
+				names[j] = c.Nodes[f].Name
+			}
+			fmt.Fprintf(bw, "%s = %s(%s)\n", n.Name, n.Kind, strings.Join(names, ", "))
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteString returns the .bench text for the circuit.
+func WriteString(c *netlist.Circuit) string {
+	var sb strings.Builder
+	_ = Write(&sb, c)
+	return sb.String()
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"gahitec/internal/netlist"
+)
+
+// S27 is the genuine ISCAS89 s27 benchmark (4 PIs, 1 PO, 3 DFFs, 10 gates),
+// small enough to be reproduced verbatim and used as a ground-truth fixture
+// throughout the repository.
+const S27 = `
+# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+func parseS27(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := ParseString(S27, "s27")
+	if err != nil {
+		t.Fatalf("parse s27: %v", err)
+	}
+	return c
+}
+
+func TestParseS27(t *testing.T) {
+	c := parseS27(t)
+	s := c.Stats()
+	if s.PIs != 4 || s.POs != 1 || s.DFFs != 3 || s.Gates != 10 {
+		t.Fatalf("s27 stats = %+v", s)
+	}
+	g11, ok := c.Lookup("G11")
+	if !ok {
+		t.Fatal("G11 missing")
+	}
+	if c.Nodes[g11].Kind != netlist.KNor || len(c.Nodes[g11].Fanin) != 2 {
+		t.Fatal("G11 wrong")
+	}
+	g17, _ := c.Lookup("G17")
+	if !c.IsPO(g17) {
+		t.Fatal("G17 not marked PO")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := parseS27(t)
+	text := WriteString(c)
+	c2, err := ParseString(text, "s27rt")
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if c.Stats() != func() netlist.Stats { s := c2.Stats(); return s }() {
+		t.Fatalf("round trip changed stats: %+v vs %+v", c.Stats(), c2.Stats())
+	}
+	// Every node must exist with the same kind and the same fanin names.
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		id2, ok := c2.Lookup(n.Name)
+		if !ok {
+			t.Fatalf("node %s lost in round trip", n.Name)
+		}
+		n2 := c2.Node(id2)
+		if n2.Kind != n.Kind || len(n2.Fanin) != len(n.Fanin) {
+			t.Fatalf("node %s changed: %s/%d vs %s/%d",
+				n.Name, n.Kind, len(n.Fanin), n2.Kind, len(n2.Fanin))
+		}
+		for j, f := range n.Fanin {
+			if c.Nodes[f].Name != c2.Nodes[n2.Fanin[j]].Name {
+				t.Fatalf("node %s fanin %d renamed", n.Name, j)
+			}
+		}
+	}
+}
+
+func TestParseCaseInsensitiveAndAliases(t *testing.T) {
+	src := `
+input(a)
+input(b)
+output(y)
+n1 = buff(a)
+n2 = inv(b)
+y = and(n1, n2)
+`
+	c, err := ParseString(src, "ci")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := c.Lookup("n1")
+	n2, _ := c.Lookup("n2")
+	if c.Nodes[n1].Kind != netlist.KBuf || c.Nodes[n2].Kind != netlist.KNot {
+		t.Fatal("aliases BUFF/INV not handled")
+	}
+}
+
+func TestParseConsts(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(y)
+c1 = CONST1()
+y = AND(a, c1)
+`
+	c, err := ParseString(src, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := c.Lookup("c1")
+	if c.Nodes[c1].Kind != netlist.KConst1 {
+		t.Fatal("CONST1 not parsed")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# full line comment
+INPUT(a)  # trailing comment
+OUTPUT(y)
+y = NOT(a)
+`
+	if _, err := ParseString(src, "c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"garbage", "INPUT(a)\nOUTPUT(y)\nwat\ny = NOT(a)"},
+		{"unknown gate", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)"},
+		{"missing paren", "INPUT(a)\nOUTPUT(y)\ny = NOT a"},
+		{"empty operand", "INPUT(a)\nOUTPUT(y)\ny = AND(a,)"},
+		{"dff arity", "INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)"},
+		{"const arity", "INPUT(a)\nOUTPUT(y)\ny = CONST0(a)"},
+		{"no operands", "INPUT(a)\nOUTPUT(y)\ny = AND()"},
+		{"empty input name", "INPUT()\nOUTPUT(y)\ny = CONST0()"},
+		{"undefined signal", "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)"},
+		{"missing target", "INPUT(a)\nOUTPUT(y)\n = NOT(a)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseString(tc.src, tc.name); err == nil {
+				t.Fatalf("accepted invalid input")
+			}
+		})
+	}
+}
+
+func TestWriteStringHeader(t *testing.T) {
+	c := parseS27(t)
+	text := WriteString(c)
+	if !strings.HasPrefix(text, "# s27:") {
+		t.Errorf("missing summary header: %q", text[:20])
+	}
+	if !strings.Contains(text, "INPUT(G0)") || !strings.Contains(text, "OUTPUT(G17)") {
+		t.Error("interface lines missing")
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	// A gate may reference a DFF defined later; s27 relies on this.
+	src := `
+INPUT(a)
+OUTPUT(y)
+y = AND(a, q)
+q = DFF(y)
+`
+	c, err := ParseString(src, "fw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.DFFs) != 1 {
+		t.Fatal("DFF missing")
+	}
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"gahitec/internal/netlist"
+)
+
+func TestParseCRLF(t *testing.T) {
+	src := "INPUT(a)\r\nOUTPUT(y)\r\ny = NOT(a)\r\n"
+	c, err := ParseString(src, "crlf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Lookup("a"); !ok {
+		t.Fatal("signal name corrupted by CR")
+	}
+}
+
+func TestParseWhitespaceVariants(t *testing.T) {
+	src := "  INPUT( a )\n\tOUTPUT( y )\n  y   =   NAND( a , a )\n"
+	c, err := ParseString(src, "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Lookup("y")
+	if c.Nodes[y].Kind != netlist.KNand || len(c.Nodes[y].Fanin) != 2 {
+		t.Fatal("whitespace parsing wrong")
+	}
+}
+
+func TestParseDuplicateOutputDirective(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n"
+	c, err := ParseString(src, "dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.POs) != 1 {
+		t.Fatalf("duplicate OUTPUT created %d POs", len(c.POs))
+	}
+}
+
+func TestParseRepeatedFanin(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = XOR(a, a)\n"
+	c, err := ParseString(src, "rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Lookup("y")
+	if len(c.Nodes[y].Fanin) != 2 || c.Nodes[y].Fanin[0] != c.Nodes[y].Fanin[1] {
+		t.Fatal("repeated fanin lost")
+	}
+}
+
+func TestParseEmptyFile(t *testing.T) {
+	if _, err := ParseString("", "empty"); err != nil {
+		// An empty circuit is structurally valid (no nodes); accept either
+		// behavior but it must not panic.
+		t.Logf("empty file rejected: %v", err)
+	}
+}
+
+func TestParseLongLineBuffer(t *testing.T) {
+	// A gate with hundreds of operands exercises the scanner buffer.
+	var sb strings.Builder
+	sb.WriteString("OUTPUT(y)\n")
+	names := make([]string, 400)
+	for i := range names {
+		n := "in" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+		names[i] = n
+	}
+	seen := map[string]bool{}
+	var uniq []string
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+			sb.WriteString("INPUT(" + n + ")\n")
+		}
+	}
+	sb.WriteString("y = OR(" + strings.Join(uniq, ", ") + ")\n")
+	c, err := ParseString(sb.String(), "long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Lookup("y")
+	if len(c.Nodes[y].Fanin) != len(uniq) {
+		t.Fatalf("fanin count %d, want %d", len(c.Nodes[y].Fanin), len(uniq))
+	}
+}
+
+func TestWriteParseConsts(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\nk0 = CONST0()\nk1 = CONST1()\ny = AND(a, k1, k0)\n"
+	c, err := ParseString(src, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseString(WriteString(c), "k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, _ := c2.Lookup("k0")
+	k1, _ := c2.Lookup("k1")
+	if c2.Nodes[k0].Kind != netlist.KConst0 || c2.Nodes[k1].Kind != netlist.KConst1 {
+		t.Fatal("constants lost in round trip")
+	}
+}

@@ -1,0 +1,34 @@
+package bench_test
+
+import (
+	"fmt"
+
+	"gahitec/internal/bench"
+)
+
+func ExampleParseString() {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q = DFF(y)
+y = NAND(a, b)
+`
+	c, err := bench.ParseString(src, "tiny")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c)
+	// Output:
+	// tiny: 2 PIs, 1 POs, 1 DFFs, 1 gates, depth 1
+}
+
+func ExampleWriteString() {
+	c, _ := bench.ParseString("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "inv")
+	fmt.Print(bench.WriteString(c))
+	// Output:
+	// # inv: 1 PIs, 1 POs, 0 DFFs, 1 gates, depth 0
+	// INPUT(a)
+	// OUTPUT(y)
+	// y = NOT(a)
+}

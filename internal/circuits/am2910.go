@@ -1,0 +1,148 @@
+package circuits
+
+import (
+	"gahitec/internal/netlist"
+	"gahitec/internal/synth"
+)
+
+// Am2910 synthesizes a 12-bit microprogram sequencer modeled on the AMD
+// Am2910: a microprogram counter (uPC), a register/counter (R), a three-deep
+// subroutine stack with a saturating stack pointer, and the 16-instruction
+// next-address logic. The condition-code input CC is qualified by the
+// active-low enable CCEN_n ("pass" holds when CCEN_n is high or CC is low,
+// as in the data sheet); RLD_n loads R from D regardless of instruction, and
+// CI is the carry-in of the uPC incrementer.
+//
+//	inputs : I[3:0], D[11:0], CC, CCEN_n, RLD_n, CI
+//	outputs: Y[11:0], PL_n, MAP_n, VECT_n, FULL
+func Am2910() (*netlist.Circuit, error) {
+	m := synth.New("am2910")
+	instr := m.InputWord("I", 4)
+	d := m.InputWord("D", 12)
+	cc := m.Input("CC")
+	ccen := m.Input("CCEN_n")
+	rld := m.Input("RLD_n")
+	ci := m.Input("CI")
+
+	upc := m.RegRefWord("upc", 12)
+	r := m.RegRefWord("r", 12)
+	s0 := m.RegRefWord("s0", 12) // stack top
+	s1 := m.RegRefWord("s1", 12)
+	s2 := m.RegRefWord("s2", 12)
+	sp := m.RegRefWord("sp", 2)
+
+	// pass = CCEN_n OR NOT(CC): condition tests pass when disabled or CC low.
+	pass := m.Or(ccen, m.Not(cc))
+	fail := m.Not(pass)
+	rZero := m.IsZero(r)
+	rNotZero := m.Not(rZero)
+
+	// One-hot instruction decode.
+	op := make([]netlist.ID, 16)
+	for k := 0; k < 16; k++ {
+		op[k] = m.EqualsConst(instr, uint64(k))
+	}
+	const (
+		opJZ = iota
+		opCJS
+		opJMAP
+		opCJP
+		opPUSH
+		opJSRP
+		opCJV
+		opJRP
+		opRFCT
+		opRPCT
+		opCRTN
+		opCJPP
+		opLDCT
+		opLOOP
+		opCONT
+		opTWB
+	)
+
+	// Y source selects (one-hot, mutually exclusive by construction).
+	selD := m.Or(
+		m.And(op[opCJS], pass),
+		op[opJMAP],
+		m.And(op[opCJP], pass),
+		m.And(op[opCJV], pass),
+		m.And(op[opJRP], pass),
+		m.And(op[opRPCT], rNotZero),
+		m.And(op[opCJPP], pass),
+		m.And(op[opTWB], fail, rZero),
+	)
+	selR := m.Or(
+		m.And(op[opJSRP], fail),
+		m.And(op[opJRP], fail),
+	)
+	selStack := m.Or(
+		m.And(op[opRFCT], rNotZero),
+		m.And(op[opCRTN], pass),
+		m.And(op[opLOOP], fail),
+		m.And(op[opTWB], fail, rNotZero),
+	)
+	selZero := op[opJZ]
+	selPC := m.Nor(selD, selR, selStack, selZero)
+
+	y := make(synth.Word, 12)
+	for i := 0; i < 12; i++ {
+		y[i] = m.Or(
+			m.And(selD, d[i]),
+			m.And(selR, r[i]),
+			m.And(selStack, s0[i]),
+			m.And(selPC, upc[i]),
+		)
+	}
+
+	// uPC = Y + CI.
+	upcNext, _ := m.Adder(y, m.ConstWord(12, 0), ci)
+	m.RegisterWord("upc", upcNext)
+
+	// Register/counter R: loaded by RLD_n=0 or LDCT or PUSH-with-pass;
+	// decremented by RFCT/RPCT/TWB when nonzero.
+	loadR := m.Or(m.Not(rld), op[opLDCT], m.And(op[opPUSH], pass))
+	decR := m.And(rNotZero, m.Or(op[opRFCT], op[opRPCT], m.And(op[opTWB], fail)))
+	rMinus1, _ := m.Sub(r, m.ConstWord(12, 1))
+	rNext := m.MuxWord(decR, rMinus1, r)
+	rNext = m.MuxWord(loadR, d, rNext)
+	m.RegisterWord("r", rNext)
+
+	// Stack: push on CJS(pass)/PUSH/JSRP, pop on RFCT(done)/CRTN(pass)/
+	// CJPP(pass)/LOOP(pass)/TWB(pass), clear on JZ.
+	push := m.Or(m.And(op[opCJS], pass), op[opPUSH], op[opJSRP])
+	pop := m.Or(
+		m.And(op[opRFCT], rZero),
+		m.And(op[opCRTN], pass),
+		m.And(op[opCJPP], pass),
+		m.And(op[opLOOP], pass),
+		m.And(op[opTWB], pass),
+	)
+	clear := op[opJZ]
+
+	s0n := m.MuxWord(push, upc, m.MuxWord(pop, s1, s0))
+	s1n := m.MuxWord(push, s0, m.MuxWord(pop, s2, s1))
+	s2n := m.MuxWord(push, s1, s2)
+	zero12 := m.ConstWord(12, 0)
+	m.RegisterWord("s0", m.MuxWord(clear, zero12, s0n))
+	m.RegisterWord("s1", m.MuxWord(clear, zero12, s1n))
+	m.RegisterWord("s2", m.MuxWord(clear, zero12, s2n))
+
+	// Saturating 2-bit stack pointer (0..3; 3 = full).
+	spFull := m.EqualsConst(sp, 3)
+	spZero := m.IsZero(sp)
+	spInc := m.Inc(sp)
+	spDec, _ := m.Sub(sp, m.ConstWord(2, 1))
+	spNext := m.MuxWord(m.And(push, m.Not(spFull)), spInc,
+		m.MuxWord(m.And(pop, m.Not(spZero)), spDec, sp))
+	m.RegisterWord("sp", m.MuxWord(clear, m.ConstWord(2, 0), spNext))
+
+	m.OutputWord(y, "Y")
+	// Data-source enables, active low: PL_n except for JMAP (MAP_n) and
+	// CJV (VECT_n).
+	m.Output(m.Not(op[opJMAP]), "MAP_n")
+	m.Output(m.Not(op[opCJV]), "VECT_n")
+	m.Output(m.Not(m.Nor(op[opJMAP], op[opCJV])), "PL_n")
+	m.Output(spFull, "FULL")
+	return m.Build()
+}

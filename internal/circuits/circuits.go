@@ -1,0 +1,90 @@
+// Package circuits provides the benchmark suite of the reproduction: the
+// genuine ISCAS89 s27, synthesized stand-ins for the larger ISCAS89 circuits
+// of the paper's Table II, and re-synthesized versions of the four
+// high-level circuits of Table III (Am2910, div, mult, pcont2).
+package circuits
+
+import (
+	"fmt"
+	"sort"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/netlist"
+)
+
+// S27Bench is the genuine ISCAS89 s27 netlist.
+const S27Bench = `
+# s27 (ISCAS89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+// S27 returns the genuine s27 benchmark.
+func S27() (*netlist.Circuit, error) {
+	c, err := bench.ParseString(S27Bench, "s27")
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Table3Names are the synthesized circuits of the paper's Table III.
+var Table3Names = []string{"am2910", "div", "mult", "pcont2"}
+
+// Table2Names are the ISCAS89 circuits of the paper's Table II (stand-ins;
+// see Profile).
+func Table2Names() []string {
+	names := make([]string, len(ISCAS89Profiles))
+	for i, p := range ISCAS89Profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Get builds a benchmark circuit by name. Recognized names: "s27", every
+// Table II profile name, and the Table III circuits.
+func Get(name string) (*netlist.Circuit, error) {
+	switch name {
+	case "s27":
+		return S27()
+	case "am2910":
+		return Am2910()
+	case "div":
+		return Div16()
+	case "mult":
+		return Mult16()
+	case "pcont2":
+		return PCont2()
+	}
+	for _, p := range ISCAS89Profiles {
+		if p.Name == name {
+			return StandIn(p)
+		}
+	}
+	return nil, fmt.Errorf("circuits: unknown benchmark %q", name)
+}
+
+// Names lists every available benchmark, sorted.
+func Names() []string {
+	names := []string{"s27"}
+	names = append(names, Table2Names()...)
+	names = append(names, Table3Names...)
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,381 @@
+package circuits
+
+import (
+	"fmt"
+	"testing"
+
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/sim"
+)
+
+// driver wraps a serial simulator with by-name input/output access.
+type driver struct {
+	c   *netlist.Circuit
+	s   *sim.Serial
+	in  logic.Vector
+	idx map[string]int // PI name -> vector position
+}
+
+func newDriver(t *testing.T, c *netlist.Circuit) *driver {
+	t.Helper()
+	d := &driver{c: c, s: sim.NewSerial(c), in: make(logic.Vector, len(c.PIs)), idx: map[string]int{}}
+	for i, pi := range c.PIs {
+		d.idx[c.Nodes[pi].Name] = i
+	}
+	return d
+}
+
+func (d *driver) set(name string, v uint64) {
+	i, ok := d.idx[name]
+	if !ok {
+		panic("no input " + name)
+	}
+	d.in[i] = logic.FromBit(v)
+}
+
+func (d *driver) setWord(name string, w int, v uint64) {
+	for i := 0; i < w; i++ {
+		d.set(fmt.Sprintf("%s_%d", name, i), v>>uint(i))
+	}
+}
+
+func (d *driver) step() { d.s.Step(d.in) }
+
+func (d *driver) out(name string) logic.V {
+	// Outputs are evaluated against the *current* state and inputs.
+	d.s.Eval(d.in)
+	id, ok := d.c.Lookup(name)
+	if !ok {
+		panic("no signal " + name)
+	}
+	return d.s.Value(id)
+}
+
+func (d *driver) outWord(name string, w int) (uint64, bool) {
+	d.s.Eval(d.in)
+	var v uint64
+	for i := 0; i < w; i++ {
+		id, ok := d.c.Lookup(fmt.Sprintf("%s_%d", name, i))
+		if !ok {
+			panic("no signal " + name)
+		}
+		b := d.s.Value(id)
+		if !b.IsKnown() {
+			return 0, false
+		}
+		if b == logic.One {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, true
+}
+
+func TestDiv16Divides(t *testing.T) {
+	c, err := Div16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ n, d, q, r uint64 }{
+		{100, 7, 14, 2},
+		{255, 16, 15, 15},
+		{5, 9, 0, 5},
+		{42, 1, 42, 0},
+		{17, 0, 0, 17}, // zero divisor terminates
+		{0, 3, 0, 0},
+	}
+	for _, tc := range cases {
+		d := newDriver(t, c)
+		d.set("start", 1)
+		d.setWord("dvnd", 16, tc.n)
+		d.setWord("dvsr", 16, tc.d)
+		d.step()
+		d.set("start", 0)
+		for i := 0; i < 300; i++ {
+			if d.out("done") == logic.One {
+				break
+			}
+			d.step()
+		}
+		if d.out("done") != logic.One {
+			t.Fatalf("%d/%d: never finished", tc.n, tc.d)
+		}
+		q, ok1 := d.outWord("quot", 16)
+		r, ok2 := d.outWord("remo", 16)
+		if !ok1 || !ok2 || q != tc.q || r != tc.r {
+			t.Errorf("%d/%d = q%d r%d, want q%d r%d", tc.n, tc.d, q, r, tc.q, tc.r)
+		}
+	}
+}
+
+func TestMult16Multiplies(t *testing.T) {
+	c, err := Mult16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ a, b int64 }{
+		{3, 5},
+		{1234, 567},
+		{-3, 5},
+		{3, -5},
+		{-1234, -567},
+		{32767, 32767},
+		{-32768, 2},
+		{0, 999},
+	}
+	for _, tc := range cases {
+		d := newDriver(t, c)
+		d.set("start", 1)
+		d.setWord("a", 16, uint64(uint16(tc.a)))
+		d.setWord("b", 16, uint64(uint16(tc.b)))
+		d.step()
+		d.set("start", 0)
+		for i := 0; i < 40; i++ {
+			if d.out("done") == logic.One {
+				break
+			}
+			d.step()
+		}
+		lo, ok1 := d.outWord("p_lo", 16)
+		hi, ok2 := d.outWord("p_hi", 16)
+		if !ok1 || !ok2 {
+			t.Fatalf("%d*%d: product unknown", tc.a, tc.b)
+		}
+		got := int64(int32(uint32(hi)<<16 | uint32(lo)))
+		want := tc.a * tc.b
+		if got != want {
+			t.Errorf("%d*%d = %d, want %d", tc.a, tc.b, got, want)
+		}
+	}
+}
+
+func TestAm2910Sequencing(t *testing.T) {
+	c, err := Am2910()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDriver(t, c)
+	d.set("CI", 1)
+	d.set("CCEN_n", 1) // pass always
+	d.set("RLD_n", 1)
+
+	// JZ: Y = 0, stack cleared, uPC becomes 1.
+	d.setWord("I", 4, 0)
+	if y, ok := d.outWord("Y", 12); !ok || y != 0 {
+		t.Fatalf("JZ: Y = %d", y)
+	}
+	d.step()
+
+	// CONT: Y = uPC = 1, then 2, 3 ...
+	d.setWord("I", 4, 14)
+	for want := uint64(1); want < 4; want++ {
+		y, ok := d.outWord("Y", 12)
+		if !ok || y != want {
+			t.Fatalf("CONT: Y = %d, want %d", y, want)
+		}
+		d.step()
+	}
+
+	// CJS (pass): jump to D=100, pushing uPC(=4).
+	d.setWord("I", 4, 1)
+	d.setWord("D", 12, 100)
+	if y, _ := d.outWord("Y", 12); y != 100 {
+		t.Fatalf("CJS: Y = %d", y)
+	}
+	d.step()
+
+	// CONT at 101.
+	d.setWord("I", 4, 14)
+	if y, _ := d.outWord("Y", 12); y != 101 {
+		t.Fatalf("after CJS: Y = %d", y)
+	}
+	d.step()
+
+	// CRTN (pass): return to pushed address 4.
+	d.setWord("I", 4, 10)
+	if y, _ := d.outWord("Y", 12); y != 4 {
+		t.Fatalf("CRTN: Y = %d", y)
+	}
+	d.step()
+
+	// LDCT: load counter with 2; Y = uPC.
+	d.setWord("I", 4, 12)
+	d.setWord("D", 12, 2)
+	d.step()
+
+	// RPCT: repeat at D=200 while R != 0 (two iterations), then fall through.
+	d.setWord("I", 4, 9)
+	d.setWord("D", 12, 200)
+	for i := 0; i < 2; i++ {
+		if y, _ := d.outWord("Y", 12); y != 200 {
+			t.Fatalf("RPCT iter %d: Y = %d", i, y)
+		}
+		d.step()
+	}
+	if y, _ := d.outWord("Y", 12); y == 200 {
+		t.Fatal("RPCT did not fall through at R=0")
+	}
+}
+
+func TestAm2910ConditionFail(t *testing.T) {
+	c, err := Am2910()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDriver(t, c)
+	d.set("CI", 1)
+	d.set("RLD_n", 1)
+	// JZ to initialize.
+	d.setWord("I", 4, 0)
+	d.step()
+	// CJP with condition failing (CCEN_n=0, CC=1): continue, not jump.
+	d.set("CCEN_n", 0)
+	d.set("CC", 1)
+	d.setWord("I", 4, 3)
+	d.setWord("D", 12, 500)
+	if y, _ := d.outWord("Y", 12); y != 1 {
+		t.Fatalf("CJP fail: Y = %d, want uPC=1", y)
+	}
+	// Now passing (CC low): jump.
+	d.set("CC", 0)
+	if y, _ := d.outWord("Y", 12); y != 500 {
+		t.Fatalf("CJP pass: Y = %d, want 500", y)
+	}
+}
+
+func TestPCont2ChannelPulse(t *testing.T) {
+	c, err := PCont2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDriver(t, c)
+	// Sync-clear everything.
+	d.set("sync", 1)
+	d.step()
+	d.set("sync", 0)
+
+	// Program channel 3: count 2, mode 10 (output gated on, no reload).
+	d.set("load", 1)
+	d.setWord("ch", 3, 3)
+	d.setWord("cnt", 4, 2)
+	d.setWord("mode", 2, 2)
+	d.step()
+	d.set("load", 0)
+
+	// Start it.
+	d.set("gostrobe", 1)
+	d.step()
+	d.set("gostrobe", 0)
+
+	if d.out("busy_3") != logic.One {
+		t.Fatal("channel 3 not busy after gostrobe")
+	}
+	if d.out("busy_2") == logic.One {
+		t.Fatal("channel 2 spuriously busy")
+	}
+	// Two decrements, then the expiry pulse.
+	pulseSeen := false
+	for i := 0; i < 5; i++ {
+		if d.out("out_3") == logic.One {
+			pulseSeen = true
+			break
+		}
+		d.step()
+	}
+	if !pulseSeen {
+		t.Fatal("no expiry pulse on channel 3")
+	}
+	d.step()
+	if d.out("busy_3") == logic.One {
+		t.Fatal("channel 3 still busy after expiry (no auto-reload)")
+	}
+}
+
+func TestStandInProfilesMatch(t *testing.T) {
+	for _, p := range ISCAS89Profiles {
+		c, err := StandIn(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		st := c.Stats()
+		if st.PIs != p.PI || st.POs != p.PO || st.DFFs != p.FF {
+			t.Errorf("%s: interface %d/%d/%d, profile %d/%d/%d",
+				p.Name, st.PIs, st.POs, st.DFFs, p.PI, p.PO, p.FF)
+		}
+		if st.SeqDepth != p.Depth {
+			t.Errorf("%s: depth %d, want %d", p.Name, st.SeqDepth, p.Depth)
+		}
+		// Gate count within a factor of two of the target.
+		if st.Gates < p.Gates/2 || st.Gates > p.Gates*3 {
+			t.Errorf("%s: %d gates, target %d", p.Name, st.Gates, p.Gates)
+		}
+	}
+}
+
+// Stand-ins must be initializable: the synchronous clear (in0=in1=1) drives
+// every flip-flop to a known value within a few cycles.
+func TestStandInInitializable(t *testing.T) {
+	for _, p := range ISCAS89Profiles[:6] {
+		c, err := StandIn(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sim.NewSerial(c)
+		in := logic.NewVector(len(c.PIs))
+		for i := range in {
+			in[i] = logic.One
+		}
+		s.Step(in)
+		st := s.State()
+		if st.CountKnown() != len(st) {
+			t.Errorf("%s: %d/%d flip-flops known after clear", p.Name, st.CountKnown(), len(st))
+		}
+	}
+}
+
+func TestStandInDeterministic(t *testing.T) {
+	p := ISCAS89Profiles[0]
+	a, _ := StandIn(p)
+	b, _ := StandIn(p)
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("construction not deterministic")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Kind != b.Nodes[i].Kind || a.Nodes[i].Name != b.Nodes[i].Name {
+			t.Fatal("node mismatch across identical builds")
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		c, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		if c.Name != name {
+			t.Errorf("Get(%s) returned circuit named %s", name, c.Name)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if len(Table2Names()) != len(ISCAS89Profiles) {
+		t.Error("Table2Names incomplete")
+	}
+}
+
+func TestS35932Scales(t *testing.T) {
+	small := S35932Profile(0.1)
+	full := S35932Profile(1)
+	if small.FF >= full.FF || full.FF != 1728 {
+		t.Errorf("scaling wrong: %d vs %d", small.FF, full.FF)
+	}
+	c, err := StandIn(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().DFFs != small.FF {
+		t.Error("scaled profile not honoured")
+	}
+}

@@ -1,0 +1,58 @@
+package circuits
+
+import (
+	"gahitec/internal/netlist"
+	"gahitec/internal/synth"
+)
+
+// Div16 synthesizes the paper's "div" circuit: a 16-bit divider that uses
+// repeated subtraction. On start the dividend and divisor are loaded; each
+// busy cycle subtracts the divisor from the remainder and increments the
+// quotient while remainder >= divisor, then clears busy. A zero divisor
+// terminates immediately (quotient zero, remainder = dividend).
+//
+//	inputs : start, dvnd[15:0], dvsr[15:0]
+//	outputs: quo[15:0], rem[15:0], busy, done
+func Div16() (*netlist.Circuit, error) {
+	m := synth.New("div")
+	start := m.Input("start")
+	dvnd := m.InputWord("dvnd", 16)
+	dvsr := m.InputWord("dvsr", 16)
+
+	rem := m.RegRefWord("rem", 16)
+	dsr := m.RegRefWord("dsr", 16)
+	quo := m.RegRefWord("quo", 16)
+	busy := m.RegRef("busy")
+
+	diff, geq := m.Sub(rem, dsr)
+	dsrZero := m.IsZero(dsr)
+	canStep := m.And(busy, geq, m.Not(dsrZero))
+	finish := m.And(busy, m.Not(canStep))
+
+	// start dominates: asserting it (re)loads the datapath even when busy,
+	// which also makes the controller initializable from the unknown state.
+	load := start
+
+	// Remainder: load dividend on start, subtract while stepping, else hold.
+	remNext := m.MuxWord(canStep, diff, rem)
+	remNext = m.MuxWord(load, dvnd, remNext)
+	m.RegisterWord("rem", remNext)
+
+	// Divisor: load on start, else hold.
+	m.RegisterWord("dsr", m.MuxWord(load, dvsr, dsr))
+
+	// Quotient: clear on start, increment while stepping.
+	quoNext := m.MuxWord(canStep, m.Inc(quo), quo)
+	quoNext = m.MuxWord(load, m.ConstWord(16, 0), quoNext)
+	m.RegisterWord("quo", quoNext)
+
+	// Busy: set on start, cleared when no further subtraction is possible.
+	busyNext := m.Or(load, m.And(busy, m.Not(finish)))
+	m.Register("busy", busyNext)
+
+	m.OutputWord(quo, "quot")
+	m.OutputWord(rem, "remo")
+	m.Output(busy, "busyo")
+	m.Output(m.Not(busy), "done")
+	return m.Build()
+}

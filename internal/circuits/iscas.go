@@ -1,0 +1,195 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gahitec/internal/netlist"
+	"gahitec/internal/synth"
+)
+
+// Profile describes the interface shape of an ISCAS89 benchmark. The
+// original gate lists are not redistributable in this offline workspace, so
+// StandIn synthesizes a circuit with the same primary-input, primary-output
+// and flip-flop counts, a matching sequential depth, a comparable gate
+// count, and — where the original is known to contain redundant logic —
+// deliberately injected redundancy. See DESIGN.md for the substitution
+// argument.
+type Profile struct {
+	Name      string
+	PI, PO    int
+	FF        int
+	Depth     int   // declared sequential depth (paper Table II)
+	Gates     int   // approximate gate-count target
+	Redundant int   // number of injected redundant structures
+	Seed      int64 // deterministic construction seed
+}
+
+// StandIn synthesizes a benchmark stand-in from a profile. The construction
+// is deterministic for a given profile.
+//
+// Structure: a counter chain of length Depth provides the sequential depth
+// and a register file (shift register plus mode flags) holds the remaining
+// flip-flops; a seeded random logic cloud over inputs and state feeds the
+// outputs, with every flip-flop wired into some output cone so that state
+// faults are observable. A synchronous clear (the conjunction of the first
+// two inputs) makes the whole state initializable — the property that lets
+// both GA and deterministic justification operate, as on the real
+// benchmarks.
+func StandIn(p Profile) (*netlist.Circuit, error) {
+	if p.PI < 2 || p.PO < 1 || p.FF < 1 {
+		return nil, fmt.Errorf("circuits: profile %s too small", p.Name)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	m := synth.New(p.Name)
+
+	ins := make([]netlist.ID, p.PI)
+	for i := range ins {
+		ins[i] = m.Input(fmt.Sprintf("in%d", i))
+	}
+	clr := m.And(ins[0], ins[1])
+	nclr := m.Not(clr)
+
+	// Flip-flop allocation.
+	nChain := p.Depth
+	if nChain > p.FF {
+		nChain = p.FF
+	}
+	if nChain < 1 {
+		nChain = 1
+	}
+	nShift := p.FF - nChain
+
+	// Counter chain: bit i toggles when all lower bits are one and the
+	// enable input is high; synchronously cleared.
+	en := ins[2%p.PI]
+	ctr := make(synth.Word, nChain)
+	for i := range ctr {
+		ctr[i] = m.RegRef(fmt.Sprintf("ctr%d", i))
+	}
+	carry := en
+	for i := 0; i < nChain; i++ {
+		t := m.Xor(ctr[i], carry)
+		m.Register(fmt.Sprintf("ctr%d", i), m.And(t, nclr))
+		if i < nChain-1 {
+			carry = m.And(carry, ctr[i])
+		}
+	}
+
+	// State pool available to the logic cloud.
+	pool := append([]netlist.ID{}, ins...)
+	pool = append(pool, ctr...)
+
+	shift := make([]netlist.ID, nShift)
+	for i := range shift {
+		shift[i] = m.RegRef(fmt.Sprintf("sh%d", i))
+		pool = append(pool, shift[i])
+	}
+
+	// Random logic cloud. Half the gate budget goes to the cloud; the other
+	// half goes to the per-output collection trees that make EVERY cloud
+	// gate observable at a primary output — unobservable logic would show
+	// up as a flood of trivially untestable faults, which the real
+	// benchmarks do not have.
+	kinds := []func(...netlist.ID) netlist.ID{m.And, m.Or, m.Nand, m.Nor, m.Xor, m.Xnor}
+	cloudBudget := (p.Gates - 3*nChain - 2*nShift) / 2
+	if cloudBudget < p.PO {
+		cloudBudget = p.PO
+	}
+	cloud := make([]netlist.ID, 0, cloudBudget)
+	pick := func() netlist.ID {
+		// Mix pool signals and recent cloud gates.
+		if len(cloud) > 0 && rng.Intn(2) == 0 {
+			return cloud[rng.Intn(len(cloud))]
+		}
+		return pool[rng.Intn(len(pool))]
+	}
+	for i := 0; i < cloudBudget; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		n := 2 + rng.Intn(2)
+		fin := make([]netlist.ID, n)
+		for j := range fin {
+			fin[j] = pick()
+		}
+		cloud = append(cloud, k(fin...))
+	}
+
+	// Shift-register next-state: shift in a cloud signal, cleared by clr.
+	for i := 0; i < nShift; i++ {
+		var din netlist.ID
+		if i == 0 {
+			din = cloud[rng.Intn(len(cloud))]
+		} else {
+			din = shift[i-1]
+		}
+		m.Register(fmt.Sprintf("sh%d", i), m.And(din, nclr))
+	}
+
+	// Outputs: the cloud gates are dealt round-robin across the outputs and
+	// folded into XOR trees (XOR never blocks observability), together with
+	// the flip-flops, so every gate and every state bit reaches a PO.
+	ffs := append(append([]netlist.ID{}, ctr...), shift...)
+	for o := 0; o < p.PO; o++ {
+		po := ffs[o%len(ffs)]
+		for i := o; i < len(cloud); i += p.PO {
+			po = m.Xor(po, cloud[i])
+		}
+		po = m.Xor(po, ffs[(o*7+3)%len(ffs)])
+		// Redundancy injection: wrap the first Redundant outputs in
+		// z' = OR(z, AND(z, x)) — the absorbed term makes several faults
+		// in the AND untestable, as in the redundant originals.
+		if o < p.Redundant {
+			x := ins[(o+3)%p.PI]
+			po = m.Or(po, m.And(po, x))
+		}
+		m.Output(po, fmt.Sprintf("out%d", o))
+	}
+
+	m.B.SetDeclaredDepth(p.Depth)
+	return m.Build()
+}
+
+// ISCAS89Profiles lists the stand-in profiles for the circuits of the
+// paper's Table II, with interface counts and sequential depths from the
+// published benchmark statistics. s35932 is scaled down by default (full
+// size is available through S35932Profile).
+var ISCAS89Profiles = []Profile{
+	{Name: "s298", PI: 3, PO: 6, FF: 14, Depth: 8, Gates: 119, Redundant: 1, Seed: 298},
+	{Name: "s344", PI: 9, PO: 11, FF: 15, Depth: 6, Gates: 160, Redundant: 0, Seed: 344},
+	{Name: "s349", PI: 9, PO: 11, FF: 15, Depth: 6, Gates: 161, Redundant: 2, Seed: 344}, // s349 = s344 + redundancy
+	{Name: "s382", PI: 3, PO: 6, FF: 21, Depth: 11, Gates: 158, Redundant: 1, Seed: 382},
+	{Name: "s386", PI: 7, PO: 7, FF: 6, Depth: 5, Gates: 159, Redundant: 6, Seed: 386},
+	{Name: "s400", PI: 3, PO: 6, FF: 21, Depth: 11, Gates: 162, Redundant: 2, Seed: 382}, // s400 = s382 variant
+	{Name: "s444", PI: 3, PO: 6, FF: 21, Depth: 11, Gates: 181, Redundant: 3, Seed: 444},
+	{Name: "s526", PI: 3, PO: 6, FF: 21, Depth: 11, Gates: 193, Redundant: 3, Seed: 526},
+	{Name: "s641", PI: 35, PO: 24, FF: 19, Depth: 6, Gates: 379, Redundant: 8, Seed: 641},
+	{Name: "s713", PI: 35, PO: 23, FF: 19, Depth: 6, Gates: 393, Redundant: 16, Seed: 641}, // s713 = s641 + redundancy
+	{Name: "s820", PI: 18, PO: 19, FF: 5, Depth: 4, Gates: 289, Redundant: 4, Seed: 820},
+	{Name: "s832", PI: 18, PO: 19, FF: 5, Depth: 4, Gates: 287, Redundant: 9, Seed: 820}, // s832 = s820 + redundancy
+	{Name: "s1196", PI: 14, PO: 14, FF: 18, Depth: 4, Gates: 529, Redundant: 1, Seed: 1196},
+	{Name: "s1238", PI: 14, PO: 14, FF: 18, Depth: 4, Gates: 508, Redundant: 12, Seed: 1196},
+	{Name: "s1423", PI: 17, PO: 5, FF: 74, Depth: 10, Gates: 657, Redundant: 2, Seed: 1423},
+	{Name: "s1488", PI: 8, PO: 19, FF: 6, Depth: 5, Gates: 653, Redundant: 2, Seed: 1488},
+	{Name: "s1494", PI: 8, PO: 19, FF: 6, Depth: 5, Gates: 647, Redundant: 5, Seed: 1488},
+	{Name: "s5378", PI: 35, PO: 49, FF: 179, Depth: 36, Gates: 2779, Redundant: 20, Seed: 5378},
+	{Name: "s35932", PI: 35, PO: 60, FF: 260, Depth: 35, Gates: 3000, Redundant: 30, Seed: 35932}, // scaled stand-in
+}
+
+// S35932Profile returns a stand-in profile for s35932 at the given scale in
+// (0, 1]; scale 1 approximates the full published size (1728 flip-flops).
+func S35932Profile(scale float64) Profile {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	f := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return Profile{
+		Name: "s35932", PI: 35, PO: f(320), FF: f(1728), Depth: 35,
+		Gates: f(16065), Redundant: f(100), Seed: 35932,
+	}
+}

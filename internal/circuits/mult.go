@@ -1,0 +1,72 @@
+package circuits
+
+import (
+	"gahitec/internal/netlist"
+	"gahitec/internal/synth"
+)
+
+// Mult16 synthesizes the paper's "mult" circuit: a 16-bit two's-complement
+// multiplier using a shift-and-add algorithm. On start, the multiplicand and
+// multiplier are latched and a 16-cycle add/shift loop runs; the final cycle
+// subtracts instead of adds (Booth-style correction for the multiplier's
+// sign bit), giving a correct signed 32-bit product.
+//
+//	inputs : start, a[15:0] (multiplicand), b[15:0] (multiplier)
+//	outputs: p[31:0], busy, done
+func Mult16() (*netlist.Circuit, error) {
+	m := synth.New("mult")
+	start := m.Input("start")
+	a := m.InputWord("a", 16)
+	b := m.InputWord("b", 16)
+
+	accHi := m.RegRefWord("acch", 17) // one guard bit for the adder carry
+	accLo := m.RegRefWord("accl", 16)
+	mcand := m.RegRefWord("mcand", 16)
+	cnt := m.RegRefWord("cnt", 5)
+	busy := m.RegRef("busy")
+
+	// start dominates: asserting it (re)loads the datapath even when busy,
+	// which also makes the controller initializable from the unknown state.
+	load := start
+	lastCycle := m.EqualsConst(cnt, 15)
+
+	// Sign-extended multiplicand (17 bits).
+	mc17 := append(append(synth.Word{}, mcand...), mcand[15])
+
+	// addend = accLo[0] ? (last ? -mcand : +mcand) : 0
+	negMc, _ := m.Sub(m.ConstWord(17, 0), mc17)
+	addend := m.MuxWord(lastCycle, negMc, mc17)
+	zero17 := m.ConstWord(17, 0)
+	addend = m.MuxWord(accLo[0], addend, zero17)
+	sum, _ := m.Adder(accHi, addend, m.Zero())
+
+	// Arithmetic shift right of {sum, accLo}.
+	newHi := m.ShiftRight(sum, sum[16])
+	newLo := m.ShiftRight(accLo, sum[0])
+
+	step := m.And(busy, m.Not(m.EqualsConst(cnt, 16)))
+	doneNow := m.And(busy, m.EqualsConst(cnt, 16))
+
+	hiNext := m.MuxWord(step, newHi, accHi)
+	hiNext = m.MuxWord(load, zero17, hiNext)
+	m.RegisterWord("acch", hiNext)
+
+	loNext := m.MuxWord(step, newLo, accLo)
+	loNext = m.MuxWord(load, b, loNext)
+	m.RegisterWord("accl", loNext)
+
+	m.RegisterWord("mcand", m.MuxWord(load, a, mcand))
+
+	cntNext := m.MuxWord(step, m.Inc(cnt), cnt)
+	cntNext = m.MuxWord(load, m.ConstWord(5, 0), cntNext)
+	m.RegisterWord("cnt", cntNext)
+
+	busyNext := m.Or(load, m.And(busy, m.Not(doneNow)))
+	m.Register("busy", busyNext)
+
+	m.OutputWord(accLo, "p_lo")
+	m.OutputWord(accHi[:16], "p_hi")
+	m.Output(busy, "busyo")
+	m.Output(m.Not(busy), "done")
+	return m.Build()
+}

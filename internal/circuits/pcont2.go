@@ -1,0 +1,76 @@
+package circuits
+
+import (
+	"fmt"
+
+	"gahitec/internal/netlist"
+	"gahitec/internal/synth"
+)
+
+// PCont2 synthesizes the paper's "pcont2": an 8-bit parallel controller of
+// the kind used in DSP systems. Eight identical channel controllers run in
+// parallel; each holds a 4-bit down-counter, a 2-bit mode register and an
+// active flag. A channel is programmed by selecting it (ch), loading the
+// count and mode (load), and started with gostrobe; while active the counter
+// decrements and the channel raises busy, pulsing out on expiry. Mode bit 0
+// selects auto-reload (the counter restarts from the reload register), mode
+// bit 1 gates the output pulse. A global sync input clears every channel.
+//
+//	inputs : load, gostrobe, sync, ch[2:0], cnt[3:0], mode[1:0]
+//	outputs: out[7:0], busy[7:0]
+func PCont2() (*netlist.Circuit, error) {
+	m := synth.New("pcont2")
+	load := m.Input("load")
+	gostrobe := m.Input("gostrobe")
+	sync := m.Input("sync")
+	ch := m.InputWord("ch", 3)
+	cntIn := m.InputWord("cnt", 4)
+	modeIn := m.InputWord("mode", 2)
+
+	outs := make([]netlist.ID, 8)
+	busys := make([]netlist.ID, 8)
+	notSync := m.Not(sync)
+
+	for c := 0; c < 8; c++ {
+		selected := m.EqualsConst(ch, uint64(c))
+		doLoad := m.And(load, selected, notSync)
+		doGo := m.And(gostrobe, selected, notSync)
+
+		cnt := m.RegRefWord(fmt.Sprintf("c%d_cnt", c), 4)
+		reload := m.RegRefWord(fmt.Sprintf("c%d_rld", c), 4)
+		mode := m.RegRefWord(fmt.Sprintf("c%d_mode", c), 2)
+		active := m.RegRef(fmt.Sprintf("c%d_act", c))
+
+		expired := m.And(active, m.IsZero(cnt))
+		dec, _ := m.Sub(cnt, m.ConstWord(4, 1))
+
+		// Counter: load counts, decrement while active, auto-reload on
+		// expiry when mode[0] is set.
+		cntNext := m.MuxWord(m.And(active, m.Not(expired)), dec, cnt)
+		cntNext = m.MuxWord(m.And(expired, mode[0]), reload, cntNext)
+		cntNext = m.MuxWord(doLoad, cntIn, cntNext)
+		cntNext = m.MuxWord(sync, m.ConstWord(4, 0), cntNext)
+		m.RegisterWord(fmt.Sprintf("c%d_cnt", c), cntNext)
+
+		rldNext := m.MuxWord(doLoad, cntIn, reload)
+		rldNext = m.MuxWord(sync, m.ConstWord(4, 0), rldNext)
+		m.RegisterWord(fmt.Sprintf("c%d_rld", c), rldNext)
+
+		modeNext := m.MuxWord(doLoad, modeIn, mode)
+		modeNext = m.MuxWord(sync, m.ConstWord(2, 0), modeNext)
+		m.RegisterWord(fmt.Sprintf("c%d_mode", c), modeNext)
+
+		// Active: set by gostrobe, cleared on expiry (unless auto-reload)
+		// and by sync.
+		stayActive := m.And(active, m.Or(m.Not(expired), mode[0]))
+		m.Register(fmt.Sprintf("c%d_act", c), m.And(m.Or(doGo, stayActive), notSync))
+
+		outs[c] = m.And(expired, mode[1])
+		busys[c] = active
+	}
+	for c := 0; c < 8; c++ {
+		m.Output(outs[c], fmt.Sprintf("out_%d", c))
+		m.Output(busys[c], fmt.Sprintf("busy_%d", c))
+	}
+	return m.Build()
+}

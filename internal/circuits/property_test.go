@@ -1,0 +1,239 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+
+	"gahitec/internal/logic"
+)
+
+// Property: the divider matches Go integer division on random operands.
+func TestDiv16RandomProperty(t *testing.T) {
+	c, err := Div16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		n := uint64(r.Intn(1 << 16))
+		dv := uint64(r.Intn(1 << 16))
+		d := newDriver(t, c)
+		d.set("start", 1)
+		d.setWord("dvnd", 16, n)
+		d.setWord("dvsr", 16, dv)
+		d.step()
+		d.set("start", 0)
+		for i := 0; i < 1<<17 && d.out("done") != logic.One; i++ {
+			d.step()
+		}
+		q, ok1 := d.outWord("quot", 16)
+		rem, ok2 := d.outWord("remo", 16)
+		if !ok1 || !ok2 {
+			t.Fatalf("%d/%d: outputs unknown", n, dv)
+		}
+		wq, wr := uint64(0), n
+		if dv != 0 {
+			wq, wr = n/dv, n%dv
+		}
+		if q != wq || rem != wr {
+			t.Fatalf("%d/%d = q%d r%d, want q%d r%d", n, dv, q, rem, wq, wr)
+		}
+	}
+}
+
+// Property: the multiplier matches Go signed multiplication on random
+// operands.
+func TestMult16RandomProperty(t *testing.T) {
+	c, err := Mult16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 40; trial++ {
+		a := int64(int16(r.Uint32()))
+		bv := int64(int16(r.Uint32()))
+		d := newDriver(t, c)
+		d.set("start", 1)
+		d.setWord("a", 16, uint64(uint16(a)))
+		d.setWord("b", 16, uint64(uint16(bv)))
+		d.step()
+		d.set("start", 0)
+		for i := 0; i < 40 && d.out("done") != logic.One; i++ {
+			d.step()
+		}
+		lo, ok1 := d.outWord("p_lo", 16)
+		hi, ok2 := d.outWord("p_hi", 16)
+		if !ok1 || !ok2 {
+			t.Fatalf("%d*%d: unknown product", a, bv)
+		}
+		got := int64(int32(uint32(hi)<<16 | uint32(lo)))
+		if got != a*bv {
+			t.Fatalf("%d*%d = %d, want %d", a, bv, got, a*bv)
+		}
+	}
+}
+
+// The Am2910 stack: three pushes fill it (FULL), CRTN pops back in LIFO
+// order.
+func TestAm2910StackLIFO(t *testing.T) {
+	c, err := Am2910()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDriver(t, c)
+	d.set("CI", 1)
+	d.set("CCEN_n", 1)
+	d.set("RLD_n", 1)
+	d.setWord("I", 4, 0) // JZ
+	d.step()
+
+	// Three CJS jumps push return addresses 1, 101, 201.
+	targets := []uint64{100, 200, 300}
+	for _, tgt := range targets {
+		d.setWord("I", 4, 1) // CJS
+		d.setWord("D", 12, tgt)
+		d.step()
+		d.setWord("I", 4, 14) // CONT to advance uPC past the target
+		d.step()
+	}
+	if d.out("FULL") != logic.One {
+		t.Error("stack not FULL after three pushes")
+	}
+	// Returns come back innermost first. The pushed addresses are the uPC
+	// values at each CJS: 1, 102, 202 (uPC had advanced by one CONT between
+	// calls), so pops yield 202, 102, 1.
+	for _, want := range []uint64{202, 102, 1} {
+		d.setWord("I", 4, 10) // CRTN
+		y, ok := d.outWord("Y", 12)
+		if !ok || y != want {
+			t.Fatalf("CRTN: Y = %d, want %d", y, want)
+		}
+		d.step()
+	}
+	if d.out("FULL") == logic.One {
+		t.Error("stack still FULL after three pops")
+	}
+}
+
+// Am2910 RLD_n loads the register/counter regardless of instruction.
+func TestAm2910RLD(t *testing.T) {
+	c, err := Am2910()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDriver(t, c)
+	d.set("CI", 1)
+	d.set("CCEN_n", 1)
+	d.set("RLD_n", 1)
+	d.setWord("I", 4, 0) // JZ
+	d.step()
+	// Load R = 1 via RLD during a CONT.
+	d.setWord("I", 4, 14)
+	d.setWord("D", 12, 1)
+	d.set("RLD_n", 0)
+	d.step()
+	d.set("RLD_n", 1)
+	// RPCT with R=1: jump once to D, then fall through.
+	d.setWord("I", 4, 9)
+	d.setWord("D", 12, 700)
+	if y, _ := d.outWord("Y", 12); y != 700 {
+		t.Fatalf("RPCT with R=1: Y = %d", y)
+	}
+	d.step()
+	if y, _ := d.outWord("Y", 12); y == 700 {
+		t.Fatal("RPCT did not terminate after R reached 0")
+	}
+}
+
+// PCont2 auto-reload (mode bit 0): the channel stays busy and pulses
+// periodically.
+func TestPCont2AutoReload(t *testing.T) {
+	c, err := PCont2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDriver(t, c)
+	d.set("sync", 1)
+	d.step()
+	d.set("sync", 0)
+	d.set("load", 1)
+	d.setWord("ch", 3, 1)
+	d.setWord("cnt", 4, 1)
+	d.setWord("mode", 2, 3) // reload + output gated
+	d.step()
+	d.set("load", 0)
+	d.set("gostrobe", 1)
+	d.step()
+	d.set("gostrobe", 0)
+
+	pulses := 0
+	for i := 0; i < 12; i++ {
+		if d.out("out_1") == logic.One {
+			pulses++
+		}
+		if d.out("busy_1") != logic.One {
+			t.Fatalf("auto-reload channel went idle at step %d", i)
+		}
+		d.step()
+	}
+	if pulses < 3 {
+		t.Errorf("auto-reload produced only %d pulses in 12 cycles", pulses)
+	}
+}
+
+// PCont2 sync must clear every channel at once.
+func TestPCont2SyncClearsAll(t *testing.T) {
+	c, err := PCont2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDriver(t, c)
+	d.set("sync", 1)
+	d.step()
+	d.set("sync", 0)
+	// Start two channels.
+	for _, ch := range []uint64{0, 5} {
+		d.set("load", 1)
+		d.setWord("ch", 3, ch)
+		d.setWord("cnt", 4, 8)
+		d.setWord("mode", 2, 0)
+		d.step()
+		d.set("load", 0)
+		d.set("gostrobe", 1)
+		d.step()
+		d.set("gostrobe", 0)
+	}
+	if d.out("busy_0") != logic.One || d.out("busy_5") != logic.One {
+		t.Fatal("channels not started")
+	}
+	d.set("sync", 1)
+	d.step()
+	d.set("sync", 0)
+	if d.out("busy_0") == logic.One || d.out("busy_5") == logic.One {
+		t.Fatal("sync did not clear the channels")
+	}
+}
+
+// Randomized state-walk: the divider's outputs must never go unknown once
+// the machine is initialized by a start pulse, whatever the later inputs.
+func TestDiv16NoXAfterInit(t *testing.T) {
+	c, err := Div16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	d := newDriver(t, c)
+	d.set("start", 1)
+	d.setWord("dvnd", 16, 1000)
+	d.setWord("dvsr", 16, 3)
+	d.step()
+	for i := 0; i < 50; i++ {
+		d.set("start", uint64(r.Intn(2)))
+		d.setWord("dvnd", 16, uint64(r.Intn(1<<16)))
+		d.setWord("dvsr", 16, uint64(r.Intn(1<<16)))
+		d.step()
+		if _, ok := d.outWord("quot", 16); !ok {
+			t.Fatalf("quotient went unknown at step %d", i)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package compact implements static test-set compaction for sequential
+// test sets. The generators of the paper era emitted one justification +
+// propagation sequence per targeted fault; later sequences often cover
+// earlier faults incidentally, so whole sequences can frequently be dropped
+// without losing coverage. Compaction is coverage-preserving by
+// construction: every candidate reduction is re-graded with the fault
+// simulator before it is accepted.
+package compact
+
+import (
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// grade returns the number of faults the concatenated test set detects.
+func grade(c *netlist.Circuit, faults []fault.Fault, set [][]logic.Vector) int {
+	fs := faultsim.New(c, faults)
+	for _, seq := range set {
+		fs.ApplySequence(seq)
+	}
+	return fs.NumDetected()
+}
+
+// Sequences removes whole test sequences, scanning from the last added to
+// the first (later sequences were generated against harder faults and tend
+// to subsume earlier ones), keeping only those whose removal would reduce
+// coverage. The returned set preserves the relative order of the survivors.
+func Sequences(c *netlist.Circuit, faults []fault.Fault, set [][]logic.Vector) [][]logic.Vector {
+	baseline := grade(c, faults, set)
+	kept := append([][]logic.Vector(nil), set...)
+	for i := len(kept) - 1; i >= 0; i-- {
+		trial := make([][]logic.Vector, 0, len(kept)-1)
+		trial = append(trial, kept[:i]...)
+		trial = append(trial, kept[i+1:]...)
+		if grade(c, faults, trial) >= baseline {
+			kept = trial
+		}
+	}
+	return kept
+}
+
+// TrimTail removes trailing vectors from the final sequence while coverage
+// is preserved (the last vectors of the last test often only clock the
+// machine past the final observation).
+func TrimTail(c *netlist.Circuit, faults []fault.Fault, set [][]logic.Vector) [][]logic.Vector {
+	if len(set) == 0 {
+		return set
+	}
+	baseline := grade(c, faults, set)
+	out := append([][]logic.Vector(nil), set...)
+	last := append([]logic.Vector(nil), out[len(out)-1]...)
+	for len(last) > 0 {
+		trial := append([][]logic.Vector(nil), out[:len(out)-1]...)
+		if len(last) > 1 {
+			trial = append(trial, last[:len(last)-1])
+		}
+		if grade(c, faults, trial) < baseline {
+			break
+		}
+		last = last[:len(last)-1]
+		out = trial
+	}
+	return out
+}
+
+// Stats summarizes a compaction outcome.
+type Stats struct {
+	SequencesBefore, SequencesAfter int
+	VectorsBefore, VectorsAfter     int
+	Detected                        int
+}
+
+// Run applies Sequences then TrimTail and reports before/after statistics.
+func Run(c *netlist.Circuit, faults []fault.Fault, set [][]logic.Vector) ([][]logic.Vector, Stats) {
+	st := Stats{SequencesBefore: len(set), VectorsBefore: countVectors(set)}
+	out := TrimTail(c, faults, Sequences(c, faults, set))
+	st.SequencesAfter = len(out)
+	st.VectorsAfter = countVectors(out)
+	st.Detected = grade(c, faults, out)
+	return out, st
+}
+
+func countVectors(set [][]logic.Vector) int {
+	n := 0
+	for _, seq := range set {
+		n += len(seq)
+	}
+	return n
+}

@@ -1,0 +1,156 @@
+package compact
+
+import (
+	"math/rand"
+	"testing"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/testgen"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+func setup(t *testing.T) (*netlist.Circuit, []fault.Fault, [][]logic.Vector) {
+	t.Helper()
+	c, err := bench.ParseString(s27, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Collapse(c)
+	r := rand.New(rand.NewSource(4))
+	var set [][]logic.Vector
+	for i := 0; i < 8; i++ {
+		set = append(set, testgen.RandomSequence(r, 10, len(c.PIs), 0))
+	}
+	return c, faults, set
+}
+
+func coverage(c *netlist.Circuit, faults []fault.Fault, set [][]logic.Vector) int {
+	fs := faultsim.New(c, faults)
+	for _, seq := range set {
+		fs.ApplySequence(seq)
+	}
+	return fs.NumDetected()
+}
+
+func TestSequencesPreservesCoverage(t *testing.T) {
+	c, faults, set := setup(t)
+	before := coverage(c, faults, set)
+	out := Sequences(c, faults, set)
+	after := coverage(c, faults, out)
+	if after < before {
+		t.Fatalf("compaction lost coverage: %d -> %d", before, after)
+	}
+	if len(out) > len(set) {
+		t.Fatal("compaction grew the test set")
+	}
+}
+
+func TestSequencesDropsDuplicates(t *testing.T) {
+	c, faults, set := setup(t)
+	// Duplicate the whole set: at least the duplicates must go.
+	dup := append(append([][]logic.Vector{}, set...), set...)
+	out := Sequences(c, faults, dup)
+	if len(out) > len(set) {
+		t.Fatalf("duplicated set compacted to %d sequences, original had %d", len(out), len(set))
+	}
+}
+
+func TestTrimTailPreservesCoverage(t *testing.T) {
+	c, faults, set := setup(t)
+	before := coverage(c, faults, set)
+	out := TrimTail(c, faults, set)
+	if coverage(c, faults, out) < before {
+		t.Fatal("tail trimming lost coverage")
+	}
+	nb, na := 0, 0
+	for _, s := range set {
+		nb += len(s)
+	}
+	for _, s := range out {
+		na += len(s)
+	}
+	if na > nb {
+		t.Fatal("tail trimming grew the set")
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	c, faults, set := setup(t)
+	before := coverage(c, faults, set)
+	out, st := Run(c, faults, set)
+	if st.Detected < before {
+		t.Fatalf("Run lost coverage: %d -> %d", before, st.Detected)
+	}
+	if st.SequencesAfter != len(out) || st.SequencesBefore != len(set) {
+		t.Fatal("stats wrong")
+	}
+	if st.VectorsAfter > st.VectorsBefore {
+		t.Fatal("vector count grew")
+	}
+}
+
+// Survivors keep their relative order (sequential tests depend on the
+// machine state their predecessors left behind).
+func TestSequencesPreservesOrder(t *testing.T) {
+	c, faults, set := setup(t)
+	out := Sequences(c, faults, set)
+	// Every surviving sequence must appear in the original, in order.
+	i := 0
+	for _, kept := range out {
+		found := false
+		for ; i < len(set); i++ {
+			if sameSeq(set[i], kept) {
+				found = true
+				i++
+				break
+			}
+		}
+		if !found {
+			t.Fatal("survivor out of order or not from the original set")
+		}
+	}
+}
+
+func sameSeq(a, b []logic.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptySet(t *testing.T) {
+	c, faults, _ := setup(t)
+	out, st := Run(c, faults, nil)
+	if len(out) != 0 || st.VectorsAfter != 0 {
+		t.Fatal("empty set mishandled")
+	}
+}

@@ -1,0 +1,115 @@
+// Package diagnose implements dictionary-based fault diagnosis: given the
+// failing measurements observed when a manufactured chip runs a test set,
+// rank the modeled stuck-at faults by how well their simulated failure
+// signatures explain the observations. This is the classic downstream
+// application of the fault simulator, included to demonstrate that the
+// substrate supports the full test flow (generate → apply → diagnose).
+package diagnose
+
+import (
+	"sort"
+
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// Dictionary holds precomputed failure signatures for a fault list under a
+// fixed test sequence.
+type Dictionary struct {
+	c      *netlist.Circuit
+	faults []fault.Fault
+	sigs   []map[faultsim.Observation]bool
+}
+
+// Build fault-simulates the test sequence and records every fault's full
+// failure signature.
+func Build(c *netlist.Circuit, faults []fault.Fault, seq []logic.Vector) *Dictionary {
+	raw := faultsim.Signatures(c, faults, seq)
+	d := &Dictionary{
+		c:      c,
+		faults: append([]fault.Fault(nil), faults...),
+		sigs:   make([]map[faultsim.Observation]bool, len(faults)),
+	}
+	for i, obs := range raw {
+		m := make(map[faultsim.Observation]bool, len(obs))
+		for _, o := range obs {
+			m[o] = true
+		}
+		d.sigs[i] = m
+	}
+	return d
+}
+
+// Signature returns the stored signature of fault index i.
+func (d *Dictionary) Signature(i int) []faultsim.Observation {
+	var out []faultsim.Observation
+	for o := range d.sigs[i] {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Vector != out[b].Vector {
+			return out[a].Vector < out[b].Vector
+		}
+		return out[a].PO < out[b].PO
+	})
+	return out
+}
+
+// Candidate is one ranked diagnosis.
+type Candidate struct {
+	Fault fault.Fault
+	// Score is the Jaccard similarity between the observed failures and
+	// the candidate's signature (1 = exact explanation).
+	Score float64
+	// Missed and Extra count observations the candidate fails to explain
+	// and predicted failures that were not observed.
+	Missed, Extra int
+}
+
+// Diagnose ranks faults against the observed failures. Faults with empty
+// signatures (undetected by the test set) never appear. Ties break toward
+// exact-match candidates, then deterministically by fault order.
+func (d *Dictionary) Diagnose(observed []faultsim.Observation, top int) []Candidate {
+	obs := make(map[faultsim.Observation]bool, len(observed))
+	for _, o := range observed {
+		obs[o] = true
+	}
+	var cands []Candidate
+	for i, sig := range d.sigs {
+		if len(sig) == 0 {
+			continue
+		}
+		inter := 0
+		for o := range sig {
+			if obs[o] {
+				inter++
+			}
+		}
+		union := len(sig) + len(obs) - inter
+		if union == 0 || inter == 0 {
+			continue
+		}
+		cands = append(cands, Candidate{
+			Fault:  d.faults[i],
+			Score:  float64(inter) / float64(union),
+			Missed: len(obs) - inter,
+			Extra:  len(sig) - inter,
+		})
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].Score > cands[b].Score })
+	if top > 0 && len(cands) > top {
+		cands = cands[:top]
+	}
+	return cands
+}
+
+// ObservedFrom simulates a defective machine (the injected fault plays the
+// role of the physical defect) against the good machine and returns the
+// failing observations a tester would log — a convenience for closed-loop
+// diagnosis experiments.
+func ObservedFrom(c *netlist.Circuit, defect fault.Fault, seq []logic.Vector) []faultsim.Observation {
+	sigs := faultsim.Signatures(c, []fault.Fault{defect}, seq)
+	return sigs[0]
+}

@@ -1,0 +1,156 @@
+package diagnose
+
+import (
+	"math/rand"
+	"testing"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/testgen"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+func setup(t *testing.T) (*netlist.Circuit, []fault.Fault, []logic.Vector) {
+	t.Helper()
+	c, err := bench.ParseString(s27, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Collapse(c)
+	r := rand.New(rand.NewSource(6))
+	seq := testgen.RandomSequence(r, 120, len(c.PIs), 0)
+	return c, faults, seq
+}
+
+// Closed loop: injecting each detectable fault as the "defect" must rank
+// that fault (or an equivalent one with an identical signature) first.
+func TestDiagnoseClosedLoop(t *testing.T) {
+	c, faults, seq := setup(t)
+	d := Build(c, faults, seq)
+	diagnosed, detectable := 0, 0
+	for i, f := range faults {
+		obs := ObservedFrom(c, f, seq)
+		if len(obs) == 0 {
+			continue // undetectable by this test set
+		}
+		detectable++
+		cands := d.Diagnose(obs, 5)
+		if len(cands) == 0 {
+			t.Fatalf("%s: no candidates", f.String(c))
+		}
+		if cands[0].Score != 1.0 {
+			t.Errorf("%s: top candidate score %.2f, want 1.0", f.String(c), cands[0].Score)
+			continue
+		}
+		// The injected fault must be among the perfect-score candidates.
+		found := false
+		for _, cand := range cands {
+			if cand.Score == 1.0 && cand.Fault == f {
+				found = true
+			}
+		}
+		if found {
+			diagnosed++
+		} else {
+			// Equivalent-signature faults are acceptable; verify the top
+			// candidate's signature really equals the observation set.
+			top := cands[0]
+			ti := -1
+			for k, g := range faults {
+				if g == top.Fault {
+					ti = k
+				}
+			}
+			if len(d.Signature(ti)) != len(obs) {
+				t.Errorf("%s: top candidate %s has different signature size",
+					f.String(c), top.Fault.String(c))
+			}
+		}
+		_ = i
+	}
+	if detectable == 0 {
+		t.Fatal("no detectable faults in the experiment")
+	}
+	if diagnosed < detectable/2 {
+		t.Errorf("only %d/%d defects self-diagnosed", diagnosed, detectable)
+	}
+}
+
+func TestDiagnoseEmptyObservation(t *testing.T) {
+	c, faults, seq := setup(t)
+	d := Build(c, faults, seq)
+	if cands := d.Diagnose(nil, 10); len(cands) != 0 {
+		t.Fatal("candidates produced for a passing chip")
+	}
+}
+
+func TestDiagnoseTopLimit(t *testing.T) {
+	c, faults, seq := setup(t)
+	d := Build(c, faults, seq)
+	obs := ObservedFrom(c, faults[4], seq)
+	if len(obs) == 0 {
+		t.Skip("fault 4 undetected by this sequence")
+	}
+	if cands := d.Diagnose(obs, 3); len(cands) > 3 {
+		t.Fatal("top limit ignored")
+	}
+}
+
+func TestSignatureDeterministicSorted(t *testing.T) {
+	c, faults, seq := setup(t)
+	d := Build(c, faults, seq)
+	for i := range faults {
+		sig := d.Signature(i)
+		for k := 1; k < len(sig); k++ {
+			if sig[k-1].Vector > sig[k].Vector ||
+				(sig[k-1].Vector == sig[k].Vector && sig[k-1].PO >= sig[k].PO) {
+				t.Fatal("signature not sorted")
+			}
+		}
+	}
+}
+
+// Signatures agree with the incremental fault simulator's first detections.
+func TestSignaturesMatchDetections(t *testing.T) {
+	c, faults, seq := setup(t)
+	sigs := faultsim.Signatures(c, faults, seq)
+	fs := faultsim.New(c, faults)
+	fs.ApplySequence(seq)
+	first := map[fault.Fault]int{}
+	for _, det := range fs.Detections() {
+		first[det.Fault] = det.Vector
+	}
+	for i, f := range faults {
+		if v, ok := first[f]; ok {
+			if len(sigs[i]) == 0 || sigs[i][0].Vector != v {
+				t.Fatalf("%s: signature first failure %v, simulator says %d",
+					f.String(c), sigs[i], v)
+			}
+		} else if len(sigs[i]) != 0 {
+			t.Fatalf("%s: signature nonempty but simulator never detected it", f.String(c))
+		}
+	}
+}

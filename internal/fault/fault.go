@@ -1,0 +1,198 @@
+// Package fault defines the single stuck-at fault model: fault sites, full
+// fault-list enumeration and structural equivalence collapsing. Fault sites
+// follow standard practice: one pair of faults per stem (gate output) and one
+// pair per fanout branch (a gate input pin whose driver feeds more than one
+// reader). Fanout-free gate inputs are the same physical line as the driving
+// stem and are not separate sites.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// Fault is a single stuck-at fault. Pin == StemPin means the fault is on the
+// node's output stem; otherwise it is on input pin Pin of node Node (a
+// fanout branch).
+type Fault struct {
+	Node  netlist.ID
+	Pin   int
+	Stuck logic.V // Zero or One
+}
+
+// StemPin marks an output-stem fault.
+const StemPin = -1
+
+// IsStem reports whether the fault is on an output stem.
+func (f Fault) IsStem() bool { return f.Pin == StemPin }
+
+// Site returns the node whose *value* is directly affected: for a stem fault
+// the faulty node itself, for a pin fault the reading gate.
+func (f Fault) Site() netlist.ID { return f.Node }
+
+// String renders the fault in conventional notation, e.g. "G11 s-a-0" or
+// "G9.in1 s-a-1".
+func (f Fault) String(c *netlist.Circuit) string {
+	name := c.Nodes[f.Node].Name
+	if f.IsStem() {
+		return fmt.Sprintf("%s s-a-%s", name, f.Stuck)
+	}
+	return fmt.Sprintf("%s.in%d s-a-%s", name, f.Pin, f.Stuck)
+}
+
+// Less orders faults deterministically: by node, then pin, then stuck value.
+func (f Fault) Less(g Fault) bool {
+	if f.Node != g.Node {
+		return f.Node < g.Node
+	}
+	if f.Pin != g.Pin {
+		return f.Pin < g.Pin
+	}
+	return f.Stuck < g.Stuck
+}
+
+// All enumerates the full (uncollapsed) fault list: both stuck-at faults on
+// every stem and on every fanout branch. Constant nodes get no stem faults
+// (a constant line stuck at its own value is undetectable by definition and
+// stuck at the opposite value is the constant's complement, modeled on the
+// reading pins).
+func All(c *netlist.Circuit) []Fault {
+	var fs []Fault
+	for i := range c.Nodes {
+		id := netlist.ID(i)
+		k := c.Nodes[i].Kind
+		if k == netlist.KConst0 || k == netlist.KConst1 {
+			continue
+		}
+		fs = append(fs, Fault{id, StemPin, logic.Zero}, Fault{id, StemPin, logic.One})
+	}
+	for i := range c.Nodes {
+		id := netlist.ID(i)
+		for pin, drv := range c.Nodes[i].Fanin {
+			if len(c.Fanouts[drv]) > 1 {
+				fs = append(fs, Fault{id, pin, logic.Zero}, Fault{id, pin, logic.One})
+			}
+		}
+	}
+	sort.Slice(fs, func(a, b int) bool { return fs[a].Less(fs[b]) })
+	return fs
+}
+
+// Collapse performs structural equivalence collapsing on the full fault list
+// and returns one representative per equivalence class, deterministically
+// ordered. The classic gate-level equivalences are applied:
+//
+//	AND : any input s-a-0  ≡ output s-a-0
+//	NAND: any input s-a-0  ≡ output s-a-1
+//	OR  : any input s-a-1  ≡ output s-a-1
+//	NOR : any input s-a-1  ≡ output s-a-0
+//	NOT : input s-a-v      ≡ output s-a-v̄
+//	BUF : input s-a-v      ≡ output s-a-v
+//	DFF : D input s-a-v    ≡ Q output s-a-v (one frame later; equivalent
+//	      for detection in sequential operation)
+//
+// An "input" fault here is the fault on the line feeding the pin: the branch
+// fault if the pin is a fanout branch, else the driver's stem fault. Branch
+// faults never merge across the fanout stem.
+func Collapse(c *netlist.Circuit) []Fault {
+	all := All(c)
+	index := make(map[Fault]int, len(all))
+	for i, f := range all {
+		index[f] = i
+	}
+	parent := make([]int, len(all))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	// inputFault returns the index of the fault on the line feeding pin p of
+	// node g, stuck at v, or -1 if that site doesn't exist.
+	inputFault := func(g netlist.ID, p int, v logic.V) int {
+		drv := c.Nodes[g].Fanin[p]
+		var f Fault
+		if len(c.Fanouts[drv]) > 1 {
+			f = Fault{g, p, v}
+		} else {
+			f = Fault{drv, StemPin, v}
+		}
+		if i, ok := index[f]; ok {
+			return i
+		}
+		return -1
+	}
+	outFault := func(g netlist.ID, v logic.V) int {
+		if i, ok := index[Fault{g, StemPin, v}]; ok {
+			return i
+		}
+		return -1
+	}
+
+	for i := range c.Nodes {
+		g := netlist.ID(i)
+		var inVal logic.V // controlling value at input
+		var outVal logic.V
+		switch c.Nodes[i].Kind {
+		case netlist.KAnd:
+			inVal, outVal = logic.Zero, logic.Zero
+		case netlist.KNand:
+			inVal, outVal = logic.Zero, logic.One
+		case netlist.KOr:
+			inVal, outVal = logic.One, logic.One
+		case netlist.KNor:
+			inVal, outVal = logic.One, logic.Zero
+		case netlist.KBuf, netlist.KDFF:
+			// Both polarities pass through.
+			for _, v := range []logic.V{logic.Zero, logic.One} {
+				if in, out := inputFault(g, 0, v), outFault(g, v); in >= 0 && out >= 0 {
+					union(in, out)
+				}
+			}
+			continue
+		case netlist.KNot:
+			for _, v := range []logic.V{logic.Zero, logic.One} {
+				if in, out := inputFault(g, 0, v), outFault(g, v.Not()); in >= 0 && out >= 0 {
+					union(in, out)
+				}
+			}
+			continue
+		default:
+			continue // XOR/XNOR/INPUT/CONST: no equivalences
+		}
+		out := outFault(g, outVal)
+		if out < 0 {
+			continue
+		}
+		for p := range c.Nodes[i].Fanin {
+			if in := inputFault(g, p, inVal); in >= 0 {
+				union(in, out)
+			}
+		}
+	}
+
+	var reps []Fault
+	for i := range all {
+		if find(i) == i {
+			reps = append(reps, all[i])
+		}
+	}
+	return reps
+}

@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"fmt"
+
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// InjectedCircuit returns a structurally modified copy of c in which fault f
+// is permanently present, using the PROOFS construction the paper describes:
+// an OR gate with a constant-one side input models stuck-at-one, an AND gate
+// with a constant-zero side input models stuck-at-zero. Simulating the
+// returned circuit with a fault-free simulator must behave identically to
+// simulating c with f injected — the property tests use this as an
+// independent oracle for the simulators' built-in fault injection.
+func InjectedCircuit(c *netlist.Circuit, f Fault) (*netlist.Circuit, error) {
+	b := netlist.NewBuilder(c.Name + "+" + f.String(c))
+
+	// For a stem fault the faulty node is renamed and a wrapper gate takes
+	// its public name, so every reader (and the PO list) picks up the faulty
+	// value. For a pin fault only the one fanin reference is redirected.
+	const origSuffix = "__orig"
+	stem := f.IsStem()
+	faultyName := c.Nodes[f.Node].Name
+
+	// declName is used when declaring a node (the faulty node is renamed so
+	// the wrapper can take its public name); references always use the
+	// public name, so readers see the wrapped (faulty) value.
+	declName := func(id netlist.ID) string {
+		if stem && id == f.Node {
+			return c.Nodes[id].Name + origSuffix
+		}
+		return c.Nodes[id].Name
+	}
+	refName := func(id netlist.ID) string { return c.Nodes[id].Name }
+
+	constName := "__fault_const"
+	b.Const(constName, f.Stuck == logic.One)
+
+	wrapKind := netlist.KAnd
+	if f.Stuck == logic.One {
+		wrapKind = netlist.KOr
+	}
+
+	for i := range c.Nodes {
+		id := netlist.ID(i)
+		n := &c.Nodes[i]
+		refs := make([]netlist.ID, len(n.Fanin))
+		for p, fi := range n.Fanin {
+			if !stem && id == f.Node && p == f.Pin {
+				// Branch fault: this pin reads a private wrapped copy.
+				wrapped := fmt.Sprintf("__fault_pin_%s_%d", n.Name, p)
+				refs[p] = b.Gate(wrapKind, wrapped, b.Ref(refName(fi)), b.Ref(constName))
+				continue
+			}
+			refs[p] = b.Ref(refName(fi))
+		}
+		switch n.Kind {
+		case netlist.KInput:
+			b.Input(declName(id))
+		case netlist.KDFF:
+			b.DFF(declName(id), refs[0])
+		case netlist.KConst0, netlist.KConst1:
+			b.Const(declName(id), n.Kind == netlist.KConst1)
+		default:
+			b.Gate(n.Kind, declName(id), refs...)
+		}
+	}
+	if stem {
+		b.Gate(wrapKind, faultyName, b.Ref(faultyName+origSuffix), b.Ref(constName))
+	}
+	for _, po := range c.POs {
+		b.Output(c.Nodes[po].Name)
+	}
+	return b.Build()
+}

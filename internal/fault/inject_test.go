@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"testing"
+
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+func TestSite(t *testing.T) {
+	stem := Fault{Node: 3, Pin: StemPin, Stuck: logic.Zero}
+	pin := Fault{Node: 5, Pin: 1, Stuck: logic.One}
+	if stem.Site() != 3 || pin.Site() != 5 {
+		t.Fatal("Site wrong")
+	}
+	if !stem.IsStem() || pin.IsStem() {
+		t.Fatal("IsStem wrong")
+	}
+}
+
+func TestInjectedCircuitStemStructure(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nn = AND(a, b)\ny = OR(n, b)\n", "m")
+	n, _ := c.Lookup("n")
+	mut, err := InjectedCircuit(c, Fault{Node: n, Pin: StemPin, Stuck: logic.One})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The public name n must now be an OR wrapper of n__orig and a const.
+	id, ok := mut.Lookup("n")
+	if !ok {
+		t.Fatal("wrapper missing")
+	}
+	if mut.Nodes[id].Kind != netlist.KOr {
+		t.Fatalf("wrapper kind %s", mut.Nodes[id].Kind)
+	}
+	if _, ok := mut.Lookup("n__orig"); !ok {
+		t.Fatal("original node not preserved")
+	}
+	// Same interface.
+	if len(mut.PIs) != len(c.PIs) || len(mut.POs) != len(c.POs) {
+		t.Fatal("interface changed")
+	}
+}
+
+func TestInjectedCircuitPinStructure(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, b)\nz = OR(a, b)\n", "m2")
+	y, _ := c.Lookup("y")
+	mut, err := InjectedCircuit(c, Fault{Node: y, Pin: 0, Stuck: logic.Zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only pin 0 of y is redirected; z still reads 'a' directly.
+	my, _ := mut.Lookup("y")
+	mz, _ := mut.Lookup("z")
+	ma, _ := mut.Lookup("a")
+	if mut.Nodes[my].Fanin[0] == ma {
+		t.Fatal("pin fault not wrapped")
+	}
+	if mut.Nodes[mz].Fanin[0] != ma {
+		t.Fatal("unrelated pin rewired")
+	}
+	wrap := mut.Nodes[my].Fanin[0]
+	if mut.Nodes[wrap].Kind != netlist.KAnd {
+		t.Fatalf("s-a-0 wrapper kind %s", mut.Nodes[wrap].Kind)
+	}
+}
+
+func TestInjectedCircuitOnDFF(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = BUF(q)\n", "m3")
+	q, _ := c.Lookup("q")
+	mut, err := InjectedCircuit(c, Fault{Node: q, Pin: StemPin, Stuck: logic.Zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mut.DFFs) != 1 {
+		t.Fatal("flip-flop count changed")
+	}
+	mq, _ := mut.Lookup("q")
+	if mut.Nodes[mq].Kind != netlist.KAnd {
+		t.Fatalf("stuck-0 FF wrapper kind %s", mut.Nodes[mq].Kind)
+	}
+}

@@ -1,0 +1,215 @@
+package faultsim
+
+import (
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// batch is a 64-lane faulty-machine simulator where every lane carries a
+// *different* fault. Fault injection is mask-based: for each node, the lanes
+// whose fault sticks that node's stem are precomputed, and likewise per gate
+// input pin for branch faults. Evaluation is event-driven over the levelized
+// netlist (the PROOFS scheduling discipline): only gates whose fanin words
+// changed are re-evaluated, which matters because consecutive vectors leave
+// most of the circuit untouched.
+type batch struct {
+	c   *netlist.Circuit
+	val []logic.Word
+
+	// stem0/stem1: per node, lanes whose fault forces the stem to 0/1.
+	stem0, stem1 []uint64
+	// pin masks, keyed by (node, pin): lanes forcing that pin.
+	pin map[pinKey]maskPair
+
+	buckets   [][]netlist.ID
+	scheduled []bool
+	maxLevel  int
+
+	nextQ []logic.Word
+}
+
+type pinKey struct {
+	node netlist.ID
+	pin  int
+}
+
+type maskPair struct {
+	m0, m1 uint64
+}
+
+func newBatch(c *netlist.Circuit, faults []fault.Fault) *batch {
+	maxLevel := 0
+	for _, l := range c.Level {
+		if int(l) > maxLevel {
+			maxLevel = int(l)
+		}
+	}
+	b := &batch{
+		c:         c,
+		val:       make([]logic.Word, len(c.Nodes)),
+		stem0:     make([]uint64, len(c.Nodes)),
+		stem1:     make([]uint64, len(c.Nodes)),
+		pin:       make(map[pinKey]maskPair),
+		buckets:   make([][]netlist.ID, maxLevel+1),
+		scheduled: make([]bool, len(c.Nodes)),
+		maxLevel:  maxLevel,
+		nextQ:     make([]logic.Word, len(c.DFFs)),
+	}
+	for l, f := range faults {
+		bit := uint64(1) << uint(l)
+		if f.IsStem() {
+			if f.Stuck == logic.Zero {
+				b.stem0[f.Node] |= bit
+			} else {
+				b.stem1[f.Node] |= bit
+			}
+		} else {
+			k := pinKey{f.Node, f.Pin}
+			mp := b.pin[k]
+			if f.Stuck == logic.Zero {
+				mp.m0 |= bit
+			} else {
+				mp.m1 |= bit
+			}
+			b.pin[k] = mp
+		}
+	}
+	// Initialize: everything unknown, constants and stuck stems forced, and
+	// every gate scheduled for the first settle.
+	for i := range b.val {
+		w := logic.WordAllX
+		switch c.Nodes[i].Kind {
+		case netlist.KConst0:
+			w = logic.WordAll(logic.Zero)
+		case netlist.KConst1:
+			w = logic.WordAll(logic.One)
+		}
+		b.val[i] = b.stemFixed(netlist.ID(i), w)
+	}
+	for _, id := range c.Order {
+		b.schedule(id)
+	}
+	return b
+}
+
+func (b *batch) schedule(id netlist.ID) {
+	if b.scheduled[id] {
+		return
+	}
+	b.scheduled[id] = true
+	lvl := b.c.Level[id]
+	b.buckets[lvl] = append(b.buckets[lvl], id)
+}
+
+// setNode writes a value and schedules gate readers if it changed.
+func (b *batch) setNode(id netlist.ID, w logic.Word) {
+	if b.val[id] == w {
+		return
+	}
+	b.val[id] = w
+	for _, fo := range b.c.Fanouts[id] {
+		if b.c.Nodes[fo].Kind.IsGate() {
+			b.schedule(fo)
+		}
+	}
+}
+
+// stemFixed forces the lanes whose fault sticks node id.
+func (b *batch) stemFixed(id netlist.ID, w logic.Word) logic.Word {
+	if m := b.stem0[id]; m != 0 {
+		w = logic.SpreadV(w, m, logic.Zero)
+	}
+	if m := b.stem1[id]; m != 0 {
+		w = logic.SpreadV(w, m, logic.One)
+	}
+	return w
+}
+
+// faninWord reads the word seen by pin p of node g, honouring branch faults.
+func (b *batch) faninWord(g netlist.ID, p int) logic.Word {
+	w := b.val[b.c.Nodes[g].Fanin[p]]
+	if len(b.pin) != 0 {
+		if mp, ok := b.pin[pinKey{g, p}]; ok {
+			if mp.m0 != 0 {
+				w = logic.SpreadV(w, mp.m0, logic.Zero)
+			}
+			if mp.m1 != 0 {
+				w = logic.SpreadV(w, mp.m1, logic.One)
+			}
+		}
+	}
+	return w
+}
+
+// setFFs loads the per-lane flip-flop states.
+func (b *batch) setFFs(ws []logic.Word) {
+	for i, ff := range b.c.DFFs {
+		b.setNode(ff, b.stemFixed(ff, ws[i]))
+	}
+}
+
+// settle applies a (broadcast) input vector and propagates events in level
+// order.
+func (b *batch) settle(in logic.Vector) {
+	for i, pi := range b.c.PIs {
+		v := logic.X
+		if i < len(in) {
+			v = in[i]
+		}
+		b.setNode(pi, b.stemFixed(pi, logic.WordAll(v)))
+	}
+	for lvl := 0; lvl <= b.maxLevel; lvl++ {
+		bucket := b.buckets[lvl]
+		for k := 0; k < len(bucket); k++ {
+			id := bucket[k]
+			b.scheduled[id] = false
+			n := &b.c.Nodes[id]
+			var w logic.Word
+			switch n.Kind {
+			case netlist.KBuf:
+				w = b.faninWord(id, 0)
+			case netlist.KNot:
+				w = logic.NotW(b.faninWord(id, 0))
+			case netlist.KAnd, netlist.KNand:
+				w = logic.WordAll(logic.One)
+				for p := range n.Fanin {
+					w = logic.AndW(w, b.faninWord(id, p))
+				}
+				if n.Kind == netlist.KNand {
+					w = logic.NotW(w)
+				}
+			case netlist.KOr, netlist.KNor:
+				w = logic.WordAll(logic.Zero)
+				for p := range n.Fanin {
+					w = logic.OrW(w, b.faninWord(id, p))
+				}
+				if n.Kind == netlist.KNor {
+					w = logic.NotW(w)
+				}
+			case netlist.KXor, netlist.KXnor:
+				w = b.faninWord(id, 0)
+				for p := 1; p < len(n.Fanin); p++ {
+					w = logic.XorW(w, b.faninWord(id, p))
+				}
+				if n.Kind == netlist.KXnor {
+					w = logic.NotW(w)
+				}
+			default:
+				w = logic.WordAllX
+			}
+			b.setNode(id, b.stemFixed(id, w))
+		}
+		b.buckets[lvl] = bucket[:0]
+	}
+}
+
+// clock latches D into Q for every flip-flop.
+func (b *batch) clock() {
+	for i, ff := range b.c.DFFs {
+		b.nextQ[i] = b.faninWord(ff, 0)
+	}
+	for i, ff := range b.c.DFFs {
+		b.setNode(ff, b.stemFixed(ff, b.nextQ[i]))
+	}
+}

@@ -1,0 +1,160 @@
+package faultsim
+
+import (
+	"testing"
+
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+)
+
+// Detection index must be the first vector exposing the fault, globally
+// counted across ApplySequence calls.
+func TestDetectionIndexGlobal(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(z)
+q = DFF(a)
+z = BUF(q)
+`
+	c := mustParse(t, src, "d1")
+	q, _ := c.Lookup("q")
+	f := fault.Fault{Node: q, Pin: fault.StemPin, Stuck: logic.Zero}
+	fs := New(c, []fault.Fault{f})
+	zero := logic.Vector{logic.Zero}
+	one := logic.Vector{logic.One}
+	// Sequence 1: drive 0 twice (no difference: faulty q=0, good q=0).
+	fs.ApplySequence([]logic.Vector{zero, zero})
+	if fs.NumDetected() != 0 {
+		t.Fatal("detected without sensitization")
+	}
+	// Sequence 2: drive 1; the good machine latches 1 at the end of the
+	// first vector, so the second vector observes good z=1 vs faulty z=0.
+	fs.ApplySequence([]logic.Vector{one, one})
+	if fs.NumDetected() != 1 {
+		t.Fatal("not detected")
+	}
+	if got := fs.Detections()[0].Vector; got != 3 {
+		t.Fatalf("detection at global vector %d, want 3", got)
+	}
+}
+
+// A stuck flip-flop is detectable immediately if the PO reads it and the
+// good machine's value differs.
+func TestStuckFFImmediateDetection(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(z)
+q = DFF(a)
+z = BUF(q)
+`
+	c := mustParse(t, src, "d2")
+	q, _ := c.Lookup("q")
+	f := fault.Fault{Node: q, Pin: fault.StemPin, Stuck: logic.One}
+	fs := New(c, []fault.Fault{f})
+	one := logic.Vector{logic.One}
+	zero := logic.Vector{logic.Zero}
+	// Latch 0 into good q, then observe.
+	fs.ApplySequence([]logic.Vector{zero, one})
+	// At vector 2 (index 1), good z = 0 (latched), faulty z = 1 (stuck).
+	if fs.NumDetected() != 1 {
+		t.Fatalf("stuck-FF not detected: %d", fs.NumDetected())
+	}
+}
+
+// X outputs never count as detections even when the faulty value is known.
+func TestNoDetectionThroughX(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(z)
+q = DFF(q2)
+q2 = DFF(q)
+z = XOR(q, a)
+`
+	c := mustParse(t, src, "d3")
+	q, _ := c.Lookup("q")
+	f := fault.Fault{Node: q, Pin: fault.StemPin, Stuck: logic.One}
+	fs := New(c, []fault.Fault{f})
+	// Good q is never initializable (feedback pair with no input), so good
+	// z stays X: no detection, ever.
+	seq := make([]logic.Vector, 20)
+	for i := range seq {
+		seq[i] = logic.Vector{logic.FromBit(uint64(i))}
+	}
+	fs.ApplySequence(seq)
+	if fs.NumDetected() != 0 {
+		t.Fatal("detected through an unknown good value")
+	}
+}
+
+// Pin fault on a PO gate input is detected like any other.
+func TestPOPinFault(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+OUTPUT(w)
+y = AND(a, b)
+w = OR(a, b)
+`
+	c := mustParse(t, src, "d4")
+	y, _ := c.Lookup("y")
+	f := fault.Fault{Node: y, Pin: 1, Stuck: logic.One} // b-pin of the AND
+	fs := New(c, []fault.Fault{f})
+	in, _ := logic.ParseVector("10")
+	fs.ApplySequence([]logic.Vector{in})
+	if fs.NumDetected() != 1 {
+		t.Fatalf("pin fault not detected (good y=0, faulty y=1)")
+	}
+}
+
+// Potential detections: a fault that drives a PO to X against a known good
+// value is reported as potentially detected, not detected.
+func TestPotentialDetection(t *testing.T) {
+	// The faulty machine's q stays X (it can only latch the unknowable
+	// feedback value) while the good machine sees a through the mux.
+	src := `
+INPUT(a)
+INPUT(s)
+OUTPUT(z)
+q = DFF(z)
+ns = NOT(s)
+t1 = AND(s, a)
+t2 = AND(ns, q)
+z = OR(t1, t2)
+`
+	c := mustParse(t, src, "pd")
+	// Fault: s stuck at 0 makes z = q = X forever in the faulty machine.
+	sID, _ := c.Lookup("s")
+	f := fault.Fault{Node: sID, Pin: fault.StemPin, Stuck: logic.Zero}
+	fs := New(c, []fault.Fault{f})
+	one := logic.Vector{logic.One, logic.One}
+	fs.ApplySequence([]logic.Vector{one, one})
+	if fs.NumDetected() != 0 {
+		t.Fatal("X-output fault counted as detected")
+	}
+	if len(fs.PotentiallyDetected()) != 1 {
+		t.Fatalf("potential detections = %d, want 1", len(fs.PotentiallyDetected()))
+	}
+}
+
+// Batches keep per-fault state independent: two faults whose detection
+// requires opposite state trajectories both get detected.
+func TestIndependentFaultyStates(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(z)
+q = DFF(a)
+z = BUF(q)
+`
+	c := mustParse(t, src, "d5")
+	q, _ := c.Lookup("q")
+	f0 := fault.Fault{Node: q, Pin: fault.StemPin, Stuck: logic.Zero}
+	f1 := fault.Fault{Node: q, Pin: fault.StemPin, Stuck: logic.One}
+	fs := New(c, []fault.Fault{f0, f1})
+	one := logic.Vector{logic.One}
+	zero := logic.Vector{logic.Zero}
+	fs.ApplySequence([]logic.Vector{one, one, zero, zero})
+	if fs.NumDetected() != 2 {
+		t.Fatalf("detected %d of 2 complementary stuck-FF faults", fs.NumDetected())
+	}
+}

@@ -1,0 +1,215 @@
+// Package faultsim implements a PROOFS-style bit-parallel sequential fault
+// simulator: up to 64 faulty machines are simulated per pass, one per bit
+// lane, against a serially simulated good machine. The simulator maintains
+// per-fault flip-flop state across calls, so a growing test set can be graded
+// incrementally exactly as the hybrid test generator builds it: every new
+// test sequence is applied on top of the state left by the previous ones,
+// detected faults are dropped, and incidental detections are credited.
+//
+// A fault is counted as detected when a primary output has a binary value in
+// the good machine and the opposite binary value in the faulty machine
+// (potential detections through unknowns are not counted, matching HITEC's
+// conservative accounting).
+package faultsim
+
+import (
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/sim"
+)
+
+// Detection records one detected fault.
+type Detection struct {
+	Fault  fault.Fault
+	Vector int // global index of the detecting vector (0-based)
+}
+
+// Simulator grades test sequences against a fault list.
+type Simulator struct {
+	c *netlist.Circuit
+
+	good *sim.Serial // good-machine reference state
+
+	remaining []fault.Fault
+	fstate    [][]logic.V // per remaining fault: faulty flip-flop state
+
+	detections []Detection
+	potential  map[fault.Fault]bool // potentially detected (good known, faulty X)
+	nVectors   int
+}
+
+// New returns a Simulator over the given fault list. All machines start in
+// the all-unknown state (stuck flip-flop stems start at their stuck value).
+func New(c *netlist.Circuit, faults []fault.Fault) *Simulator {
+	return NewFromState(c, faults, nil)
+}
+
+// NewFromState is New with the good machine preset to the given flip-flop
+// state (nil = all unknown). Faulty machines still start all-unknown — the
+// convention the paper's fitness evaluation uses to avoid resimulating the
+// full test set on every faulty circuit.
+func NewFromState(c *netlist.Circuit, faults []fault.Fault, goodState logic.Vector) *Simulator {
+	s := &Simulator{
+		c:         c,
+		good:      sim.NewSerial(c),
+		remaining: append([]fault.Fault(nil), faults...),
+		potential: make(map[fault.Fault]bool),
+	}
+	if goodState != nil {
+		s.good.SetState(goodState)
+	}
+	s.fstate = make([][]logic.V, len(s.remaining))
+	for i, f := range s.remaining {
+		s.fstate[i] = initialFaultyState(c, f)
+	}
+	return s
+}
+
+// initialFaultyState is the all-unknown state with stuck flip-flops held.
+func initialFaultyState(c *netlist.Circuit, f fault.Fault) []logic.V {
+	st := make([]logic.V, len(c.DFFs))
+	for i := range st {
+		st[i] = logic.X
+		if f.IsStem() && f.Node == c.DFFs[i] {
+			st[i] = f.Stuck
+		}
+	}
+	return st
+}
+
+// Remaining returns the undetected faults (caller must not modify).
+func (s *Simulator) Remaining() []fault.Fault { return s.remaining }
+
+// Detections returns all detections so far in detection order.
+func (s *Simulator) Detections() []Detection { return s.detections }
+
+// NumDetected returns the number of faults detected so far.
+func (s *Simulator) NumDetected() int { return len(s.detections) }
+
+// NumVectors returns the total number of vectors applied so far.
+func (s *Simulator) NumVectors() int { return s.nVectors }
+
+// PotentiallyDetected returns the still-undetected faults that at some point
+// produced an unknown faulty value against a known good value at a primary
+// output — HITEC's "potential detections", which a tester observing the real
+// (binary) machine might or might not catch. They are never counted in
+// NumDetected.
+func (s *Simulator) PotentiallyDetected() []fault.Fault {
+	var out []fault.Fault
+	for _, f := range s.remaining {
+		if s.potential[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// GoodState returns the good machine's current flip-flop state.
+func (s *Simulator) GoodState() logic.Vector { return s.good.State() }
+
+// ApplySequence applies the vectors to the good machine and to every
+// remaining faulty machine, drops faults detected along the way, and returns
+// the newly detected faults.
+func (s *Simulator) ApplySequence(seq []logic.Vector) []fault.Fault {
+	if len(seq) == 0 {
+		return nil
+	}
+	// Record good PO values and next-states once.
+	goodOut := make([]logic.Vector, len(seq))
+	for i, in := range seq {
+		goodOut[i] = s.good.Step(in)
+	}
+
+	detected := make([]bool, len(s.remaining))
+	var newly []fault.Fault
+	for base := 0; base < len(s.remaining); base += logic.Lanes {
+		end := base + logic.Lanes
+		if end > len(s.remaining) {
+			end = len(s.remaining)
+		}
+		s.runBatch(base, end, seq, goodOut, detected, &newly)
+	}
+	s.nVectors += len(seq)
+
+	// Compact the remaining fault list.
+	var keepF []fault.Fault
+	var keepS [][]logic.V
+	for i := range s.remaining {
+		if !detected[i] {
+			keepF = append(keepF, s.remaining[i])
+			keepS = append(keepS, s.fstate[i])
+		}
+	}
+	s.remaining = keepF
+	s.fstate = keepS
+	return newly
+}
+
+// runBatch simulates faults [base, end) over the sequence.
+func (s *Simulator) runBatch(base, end int, seq []logic.Vector, goodOut []logic.Vector, detected []bool, newly *[]fault.Fault) {
+	n := end - base
+	b := newBatch(s.c, s.remaining[base:end])
+
+	// Load the per-fault faulty states into the lanes.
+	ffWords := make([]logic.Word, len(s.c.DFFs))
+	for ffi := range s.c.DFFs {
+		w := logic.WordAllX
+		for l := 0; l < n; l++ {
+			w = w.WithLane(l, s.fstate[base+l][ffi])
+		}
+		ffWords[ffi] = w
+	}
+	b.setFFs(ffWords)
+
+	done := uint64(0) // lanes already detected
+	for vi, in := range seq {
+		b.settle(in)
+		for poi, po := range s.c.POs {
+			g := goodOut[vi][poi]
+			if !g.IsKnown() {
+				continue
+			}
+			goodW := logic.WordAll(g)
+			diff := logic.DiffMask(goodW, b.val[po]) &^ done
+			for diff != 0 {
+				l := trailingBit(diff)
+				diff &^= 1 << uint(l)
+				done |= 1 << uint(l)
+				detected[base+l] = true
+				*newly = append(*newly, s.remaining[base+l])
+				s.detections = append(s.detections, Detection{
+					Fault:  s.remaining[base+l],
+					Vector: s.nVectors + vi,
+				})
+			}
+			// Potential detections: faulty value unknown where the good
+			// machine drives a binary value.
+			pot := ^b.val[po].Defined() &^ done
+			for pot != 0 {
+				l := trailingBit(pot)
+				pot &^= 1 << uint(l)
+				if l < end-base {
+					s.potential[s.remaining[base+l]] = true
+				}
+			}
+		}
+		b.clock()
+	}
+	// Save the faulty states back.
+	for ffi, ff := range s.c.DFFs {
+		w := b.val[ff]
+		for l := 0; l < n; l++ {
+			s.fstate[base+l][ffi] = w.Get(l)
+		}
+	}
+}
+
+func trailingBit(m uint64) int {
+	n := 0
+	for m&1 == 0 {
+		m >>= 1
+		n++
+	}
+	return n
+}

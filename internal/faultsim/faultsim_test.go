@@ -1,0 +1,213 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/sim"
+	"gahitec/internal/testgen"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+func mustParse(t *testing.T, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(src, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Oracle: detection decided by two independent serial simulations of the
+// full vector history.
+func oracleDetect(c *netlist.Circuit, f fault.Fault, history []logic.Vector) (bool, int) {
+	good := sim.NewSerial(c)
+	bad := sim.NewSerial(c)
+	bad.InjectFault(f)
+	for i, in := range history {
+		g := good.Step(in)
+		b := bad.Step(in)
+		for o := range g {
+			if g[o].IsKnown() && b[o].IsKnown() && g[o] != b[o] {
+				return true, i
+			}
+		}
+	}
+	return false, -1
+}
+
+// The parallel fault simulator must agree exactly with the serial oracle,
+// fault by fault, including across incremental ApplySequence calls.
+func TestParallelMatchesSerialOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		c := testgen.RandomCircuit(r, "rc", 2+r.Intn(4), 1+r.Intn(5), 8+r.Intn(40))
+		faults := fault.All(c)
+		fs := New(c, faults)
+		var history []logic.Vector
+		detectedAt := make(map[fault.Fault]int)
+		for chunk := 0; chunk < 3; chunk++ {
+			seq := testgen.RandomSequence(r, 4+r.Intn(5), len(c.PIs), 0.1)
+			history = append(history, seq...)
+			for _, f := range fs.ApplySequence(seq) {
+				detectedAt[f] = 1 // recorded below from Detections
+			}
+		}
+		for _, d := range fs.Detections() {
+			ok, vi := oracleDetect(c, d.Fault, history)
+			if !ok {
+				t.Fatalf("trial %d: %s reported detected but oracle says no", trial, d.Fault.String(c))
+			}
+			if vi != d.Vector {
+				t.Fatalf("trial %d: %s detected at vector %d, oracle says %d",
+					trial, d.Fault.String(c), d.Vector, vi)
+			}
+		}
+		for _, f := range fs.Remaining() {
+			if ok, _ := oracleDetect(c, f, history); ok {
+				t.Fatalf("trial %d: %s missed (oracle detects it)", trial, f.String(c))
+			}
+		}
+	}
+}
+
+func TestFaultDropping(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+	fs := New(c, faults)
+	r := rand.New(rand.NewSource(1))
+	seq := testgen.RandomSequence(r, 50, len(c.PIs), 0)
+	newly := fs.ApplySequence(seq)
+	if len(newly) == 0 {
+		t.Fatal("random 50-vector sequence detected nothing on s27")
+	}
+	if len(fs.Remaining())+fs.NumDetected() != len(faults) {
+		t.Fatalf("accounting broken: %d remaining + %d detected != %d",
+			len(fs.Remaining()), fs.NumDetected(), len(faults))
+	}
+	// A second application of the same sequence must not re-detect.
+	before := fs.NumDetected()
+	fs.ApplySequence(seq)
+	after := fs.NumDetected()
+	if after < before {
+		t.Fatal("detection count decreased")
+	}
+	if fs.NumVectors() != 100 {
+		t.Fatalf("NumVectors = %d", fs.NumVectors())
+	}
+}
+
+// Random vectors detect a solid fraction of s27's faults. Full coverage is
+// NOT expected under three-valued unknown-start semantics: once G7 latches
+// to 1 (G12=NOR(G1,G7), G13=NAND(G2,G12), G7=DFF(G13)), the state G12=1 is
+// unreachable, and reaching it from the initial all-X state would require
+// resolving G7=0 from X, which three-valued simulation soundly refuses.
+func TestS27RandomCoverage(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+	fs := New(c, faults)
+	r := rand.New(rand.NewSource(2))
+	fs.ApplySequence(testgen.RandomSequence(r, 500, len(c.PIs), 0))
+	cov := float64(fs.NumDetected()) / float64(len(faults))
+	if cov < 0.3 {
+		t.Errorf("random coverage on s27 only %.0f%% (%d/%d)", cov*100, fs.NumDetected(), len(faults))
+	}
+}
+
+func TestDetectsFromStates(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	g17, _ := c.Lookup("G17")
+	f := fault.Fault{Node: g17, Pin: fault.StemPin, Stuck: logic.Zero}
+	// G17 s-a-0 is detected by any vector making G17=1 in the good machine:
+	// G17 = NOT(G11), G11 = NOR(G5, G9); with state 000 and input 0000,
+	// the hand simulation in the sim tests showed G17 = 1.
+	st, _ := logic.ParseVector("000")
+	in, _ := logic.ParseVector("0000")
+	ok, vi := DetectsFrom(c, f, st, st, []logic.Vector{in})
+	if !ok || vi != 0 {
+		t.Fatalf("DetectsFrom = %v, %d", ok, vi)
+	}
+	// From an all-unknown state the same single vector cannot establish a
+	// known good output... unless the logic forces it; verify consistency
+	// with the serial oracle instead of asserting a specific value.
+	ok2, _ := Detects(c, f, []logic.Vector{in})
+	okO, _ := oracleDetect(c, f, []logic.Vector{in})
+	if ok2 != okO {
+		t.Fatalf("Detects=%v oracle=%v", ok2, okO)
+	}
+}
+
+// Batch boundaries: more than 64 faults must split into multiple batches and
+// still agree with the oracle.
+func TestMultipleBatches(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	c := testgen.RandomCircuit(r, "big", 6, 6, 120)
+	faults := fault.All(c)
+	if len(faults) <= 2*logic.Lanes {
+		t.Skipf("want >128 faults, got %d", len(faults))
+	}
+	fs := New(c, faults)
+	seq := testgen.RandomSequence(r, 6, len(c.PIs), 0)
+	fs.ApplySequence(seq)
+	for _, d := range fs.Detections() {
+		if ok, _ := oracleDetect(c, d.Fault, seq); !ok {
+			t.Fatalf("false detection %s", d.Fault.String(c))
+		}
+	}
+	for _, f := range fs.Remaining() {
+		if ok, _ := oracleDetect(c, f, seq); ok {
+			t.Fatalf("missed detection %s", f.String(c))
+		}
+	}
+}
+
+func TestEmptySequenceNoop(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	fs := New(c, fault.Collapse(c))
+	if got := fs.ApplySequence(nil); got != nil {
+		t.Fatal("empty sequence detected faults")
+	}
+	if fs.NumVectors() != 0 {
+		t.Fatal("vector count changed")
+	}
+}
+
+// The good machine state advances exactly like a plain serial simulation.
+func TestGoodStateTracksSerial(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	fs := New(c, fault.Collapse(c))
+	ref := sim.NewSerial(c)
+	r := rand.New(rand.NewSource(8))
+	seq := testgen.RandomSequence(r, 20, len(c.PIs), 0)
+	fs.ApplySequence(seq)
+	for _, in := range seq {
+		ref.Step(in)
+	}
+	if fs.GoodState().String() != ref.State().String() {
+		t.Fatalf("good state %s != serial %s", fs.GoodState(), ref.State())
+	}
+}

@@ -1,0 +1,128 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// CrossoverProb 0 must clone parents unchanged.
+func TestNoCrossoverClones(t *testing.T) {
+	p1 := Individual{Genes: []byte{1, 1, 1, 1}}
+	p2 := Individual{Genes: []byte{0, 0, 0, 0}}
+	cfg := Config{CrossoverProb: -1} // Float64() >= -1 never true... use tiny
+	cfg.CrossoverProb = 1e-18
+	rng := rand.New(rand.NewSource(1))
+	c1, c2 := cross(cfg, rng, p1, p2)
+	for j := range p1.Genes {
+		if c1.Genes[j] != 1 || c2.Genes[j] != 0 {
+			t.Fatal("children differ from parents without crossover")
+		}
+	}
+}
+
+// Children must be independent copies: mutating a child never touches the
+// parent's genes.
+func TestCrossoverDeepCopies(t *testing.T) {
+	p1 := Individual{Genes: []byte{1, 0, 1, 0}}
+	p2 := Individual{Genes: []byte{0, 1, 0, 1}}
+	cfg := Config{CrossoverProb: 1}
+	rng := rand.New(rand.NewSource(2))
+	c1, _ := cross(cfg, rng, p1, p2)
+	for j := range c1.Genes {
+		c1.Genes[j] = 9
+	}
+	for j, g := range p1.Genes {
+		if g == 9 {
+			t.Fatalf("parent gene %d mutated through child", j)
+		}
+	}
+}
+
+// Zero mutation probability leaves genes untouched across a run.
+func TestZeroMutation(t *testing.T) {
+	genes := make([]byte, 1000)
+	for i := range genes {
+		genes[i] = byte(i % 2)
+	}
+	saved := append([]byte(nil), genes...)
+	cfg := Config{MutationProb: 1e-18}
+	mutate(cfg, rand.New(rand.NewSource(3)), genes)
+	for i := range genes {
+		if genes[i] != saved[i] {
+			t.Fatal("gene flipped despite ~zero mutation probability")
+		}
+	}
+}
+
+// OnePoint crossover produces children that are prefixes/suffixes of the
+// parents.
+func TestOnePointStructure(t *testing.T) {
+	n := 16
+	p1 := Individual{Genes: make([]byte, n)}
+	p2 := Individual{Genes: make([]byte, n)}
+	for i := 0; i < n; i++ {
+		p1.Genes[i] = 1
+	}
+	cfg := Config{CrossoverProb: 1, Crossover: OnePoint}
+	rng := rand.New(rand.NewSource(4))
+	c1, c2 := cross(cfg, rng, p1, p2)
+	// c1 must be 1...10...0 and c2 the complement.
+	seenZero := false
+	for i := 0; i < n; i++ {
+		if c1.Genes[i] == 0 {
+			seenZero = true
+		} else if seenZero {
+			t.Fatal("one-point child is not a prefix/suffix split")
+		}
+		if c1.Genes[i]+c2.Genes[i] != 1 {
+			t.Fatal("alleles lost")
+		}
+	}
+	if !seenZero {
+		t.Fatal("cut produced no exchange (cut at 0 is disallowed)")
+	}
+}
+
+// The engine must handle a population where everyone solves instantly.
+func TestImmediateSolve(t *testing.T) {
+	eval := func(pop []Individual) EvalResult {
+		for i := range pop {
+			pop[i].Fitness = 1
+		}
+		return EvalResult{Solved: 0}
+	}
+	res, err := Run(Config{PopulationSize: 4, Generations: 10, GenomeBits: 4, Seed: 6}, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved || res.Generations != 1 || res.Evaluations != 4 {
+		t.Fatalf("immediate solve mishandled: %+v", res)
+	}
+}
+
+// Selection pressure: across many generations of a flat-then-peaked fitness
+// landscape, tournament selection must enrich the peak.
+func TestSelectionPressure(t *testing.T) {
+	// Fitness = leading bit; after several generations nearly all
+	// individuals should have it set.
+	eval := func(pop []Individual) EvalResult {
+		for i := range pop {
+			pop[i].Fitness = float64(pop[i].Genes[0])
+		}
+		return EvalResult{Solved: -1}
+	}
+	res, err := Run(Config{PopulationSize: 64, Generations: 12, GenomeBits: 1, Seed: 7}, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Fitness != 1 {
+		t.Fatal("peak never found")
+	}
+}
+
+// Genome bits of 1 work (degenerate but legal).
+func TestTinyGenome(t *testing.T) {
+	if _, err := Run(Config{PopulationSize: 2, Generations: 2, GenomeBits: 1, Seed: 8}, oneMaxEval); err != nil {
+		t.Fatal(err)
+	}
+}

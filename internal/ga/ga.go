@@ -1,0 +1,257 @@
+// Package ga implements the simple genetic algorithm of Goldberg as
+// configured in the paper: binary-string individuals, tournament selection
+// without replacement, uniform crossover with crossover probability one,
+// mutation probability 1/64, non-overlapping generations, and the best
+// individual ever seen saved outside the population. Alternative selection
+// and crossover schemes are provided for the ablation benchmarks.
+package ga
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Selection enumerates selection schemes.
+type Selection uint8
+
+const (
+	// TournamentNoReplacement is the paper's scheme: individuals are drawn
+	// in pairs from a shuffled pool (each individual appearing exactly once
+	// per pass over the pool) and the fitter of each pair is selected.
+	TournamentNoReplacement Selection = iota
+	// Proportional is classic roulette-wheel selection, provided for the
+	// ablation study.
+	Proportional
+)
+
+// Crossover enumerates crossover operators.
+type Crossover uint8
+
+const (
+	// Uniform swaps each gene between the parents with probability 1/2.
+	Uniform Crossover = iota
+	// OnePoint cuts both parents at one random point.
+	OnePoint
+)
+
+// Config parameterizes a GA run. Zero values select the paper's defaults
+// where a default exists.
+type Config struct {
+	PopulationSize int // must be even and > 0
+	Generations    int
+	GenomeBits     int
+	MutationProb   float64   // default 1/64
+	CrossoverProb  float64   // default 1.0
+	Selection      Selection // default TournamentNoReplacement
+	Crossover      Crossover // default Uniform
+	Overlapping    bool      // keep the fitter half across generations (ablation)
+	Seed           int64
+}
+
+func (c *Config) setDefaults() error {
+	if c.PopulationSize <= 0 || c.PopulationSize%2 != 0 {
+		return fmt.Errorf("ga: population size %d must be positive and even", c.PopulationSize)
+	}
+	if c.Generations <= 0 {
+		return fmt.Errorf("ga: generations %d must be positive", c.Generations)
+	}
+	if c.GenomeBits <= 0 {
+		return fmt.Errorf("ga: genome size %d must be positive", c.GenomeBits)
+	}
+	if c.MutationProb == 0 {
+		c.MutationProb = 1.0 / 64.0
+	}
+	if c.CrossoverProb == 0 {
+		c.CrossoverProb = 1.0
+	}
+	return nil
+}
+
+// Individual is one candidate solution: a bit string (one byte per bit, each
+// 0 or 1) with its fitness.
+type Individual struct {
+	Genes   []byte
+	Fitness float64
+}
+
+// Clone returns a deep copy.
+func (ind Individual) Clone() Individual {
+	g := make([]byte, len(ind.Genes))
+	copy(g, ind.Genes)
+	return Individual{Genes: g, Fitness: ind.Fitness}
+}
+
+// EvalResult is returned by the fitness callback.
+type EvalResult struct {
+	// Solved, if >= 0, is the index of an individual that fully solves the
+	// problem; the engine stops immediately and returns it.
+	Solved int
+}
+
+// EvalFunc assigns a fitness to every individual in the population. It is
+// called once per generation with the whole population so implementations
+// can evaluate many individuals in parallel (the state-justification
+// evaluator simulates 64 per pass).
+type EvalFunc func(pop []Individual) EvalResult
+
+// Result summarizes a run.
+type Result struct {
+	Best        Individual // best individual ever seen
+	Solved      bool       // true if the evaluator reported a solution
+	Generations int        // generations actually evaluated
+	Evaluations int        // total individual evaluations
+}
+
+// Run executes the GA and returns the best individual found. The evaluator
+// is called once per generation; if it reports Solved, that individual is
+// returned immediately.
+func Run(cfg Config, eval EvalFunc) (Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pop := make([]Individual, cfg.PopulationSize)
+	for i := range pop {
+		genes := make([]byte, cfg.GenomeBits)
+		for j := range genes {
+			genes[j] = byte(rng.Intn(2))
+		}
+		pop[i] = Individual{Genes: genes}
+	}
+
+	var res Result
+	res.Best.Fitness = -1
+	for gen := 0; gen < cfg.Generations; gen++ {
+		er := eval(pop)
+		res.Generations = gen + 1
+		res.Evaluations += len(pop)
+		for i := range pop {
+			if pop[i].Fitness > res.Best.Fitness {
+				res.Best = pop[i].Clone()
+			}
+		}
+		if er.Solved >= 0 {
+			res.Best = pop[er.Solved].Clone()
+			res.Solved = true
+			return res, nil
+		}
+		if gen == cfg.Generations-1 {
+			break
+		}
+		pop = nextGeneration(cfg, rng, pop)
+	}
+	return res, nil
+}
+
+// nextGeneration produces a full new population.
+func nextGeneration(cfg Config, rng *rand.Rand, pop []Individual) []Individual {
+	parents := selectParents(cfg, rng, pop, len(pop))
+	next := make([]Individual, 0, len(pop))
+	for i := 0; i+1 < len(parents); i += 2 {
+		c1, c2 := cross(cfg, rng, parents[i], parents[i+1])
+		mutate(cfg, rng, c1.Genes)
+		mutate(cfg, rng, c2.Genes)
+		next = append(next, c1, c2)
+	}
+	if cfg.Overlapping {
+		// Ablation mode: the fitter half of the old population survives,
+		// displacing half of the offspring.
+		surv := append([]Individual(nil), pop...)
+		sortByFitnessDesc(surv)
+		half := len(pop) / 2
+		next = next[:half]
+		for i := 0; i < len(pop)-half; i++ {
+			next = append(next, surv[i].Clone())
+		}
+	}
+	return next
+}
+
+// selectParents draws n parents using the configured scheme.
+func selectParents(cfg Config, rng *rand.Rand, pop []Individual, n int) []Individual {
+	out := make([]Individual, 0, n)
+	switch cfg.Selection {
+	case Proportional:
+		total := 0.0
+		for i := range pop {
+			if pop[i].Fitness > 0 {
+				total += pop[i].Fitness
+			}
+		}
+		for len(out) < n {
+			if total <= 0 {
+				out = append(out, pop[rng.Intn(len(pop))])
+				continue
+			}
+			r := rng.Float64() * total
+			acc := 0.0
+			picked := len(pop) - 1
+			for i := range pop {
+				if pop[i].Fitness > 0 {
+					acc += pop[i].Fitness
+				}
+				if acc >= r {
+					picked = i
+					break
+				}
+			}
+			out = append(out, pop[picked])
+		}
+	default: // TournamentNoReplacement
+		for len(out) < n {
+			perm := rng.Perm(len(pop))
+			for i := 0; i+1 < len(perm) && len(out) < n; i += 2 {
+				a, b := pop[perm[i]], pop[perm[i+1]]
+				if b.Fitness > a.Fitness {
+					a = b
+				}
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// cross produces two offspring from two parents.
+func cross(cfg Config, rng *rand.Rand, p1, p2 Individual) (Individual, Individual) {
+	c1 := p1.Clone()
+	c2 := p2.Clone()
+	c1.Fitness, c2.Fitness = 0, 0
+	if rng.Float64() >= cfg.CrossoverProb {
+		return c1, c2
+	}
+	switch cfg.Crossover {
+	case OnePoint:
+		if len(c1.Genes) > 1 {
+			cut := 1 + rng.Intn(len(c1.Genes)-1)
+			for j := cut; j < len(c1.Genes); j++ {
+				c1.Genes[j], c2.Genes[j] = c2.Genes[j], c1.Genes[j]
+			}
+		}
+	default: // Uniform
+		for j := range c1.Genes {
+			if rng.Intn(2) == 1 {
+				c1.Genes[j], c2.Genes[j] = c2.Genes[j], c1.Genes[j]
+			}
+		}
+	}
+	return c1, c2
+}
+
+// mutate flips each gene with the configured probability.
+func mutate(cfg Config, rng *rand.Rand, genes []byte) {
+	for j := range genes {
+		if rng.Float64() < cfg.MutationProb {
+			genes[j] ^= 1
+		}
+	}
+}
+
+func sortByFitnessDesc(pop []Individual) {
+	for i := 1; i < len(pop); i++ {
+		for j := i; j > 0 && pop[j].Fitness > pop[j-1].Fitness; j-- {
+			pop[j], pop[j-1] = pop[j-1], pop[j]
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// countOnes is the classic OneMax fitness.
+func countOnes(genes []byte) float64 {
+	n := 0.0
+	for _, g := range genes {
+		n += float64(g)
+	}
+	return n
+}
+
+func oneMaxEval(pop []Individual) EvalResult {
+	solved := -1
+	for i := range pop {
+		pop[i].Fitness = countOnes(pop[i].Genes)
+		if int(pop[i].Fitness) == len(pop[i].Genes) {
+			solved = i
+		}
+	}
+	return EvalResult{Solved: solved}
+}
+
+func TestOneMaxImproves(t *testing.T) {
+	cfg := Config{PopulationSize: 64, Generations: 30, GenomeBits: 48, Seed: 1}
+	res, err := Run(cfg, oneMaxEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 generations on 48-bit OneMax should get close to optimal; random
+	// search would sit near 24.
+	if res.Best.Fitness < 40 {
+		t.Errorf("best fitness %v after %d generations", res.Best.Fitness, res.Generations)
+	}
+}
+
+func TestSolvedStopsEarly(t *testing.T) {
+	cfg := Config{PopulationSize: 32, Generations: 200, GenomeBits: 8, Seed: 3}
+	res, err := Run(cfg, oneMaxEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("8-bit OneMax not solved in 200 generations of 32")
+	}
+	if res.Generations >= 200 {
+		t.Error("did not stop early on solve")
+	}
+	if countOnes(res.Best.Genes) != 8 {
+		t.Error("returned individual is not the solution")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{PopulationSize: 0, Generations: 1, GenomeBits: 1},
+		{PopulationSize: 3, Generations: 1, GenomeBits: 1}, // odd
+		{PopulationSize: 2, Generations: 0, GenomeBits: 1},
+		{PopulationSize: 2, Generations: 1, GenomeBits: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg, oneMaxEval); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	cfg := Config{PopulationSize: 32, Generations: 10, GenomeBits: 32, Seed: 7}
+	r1, _ := Run(cfg, oneMaxEval)
+	r2, _ := Run(cfg, oneMaxEval)
+	if r1.Best.Fitness != r2.Best.Fitness || r1.Generations != r2.Generations {
+		t.Error("same seed produced different runs")
+	}
+	cfg.Seed = 8
+	r3, _ := Run(cfg, oneMaxEval)
+	// Not guaranteed different, but the full trajectory almost surely is;
+	// compare evaluation counts AND genes to avoid flakiness.
+	same := r1.Best.Fitness == r3.Best.Fitness
+	if same {
+		for i := range r1.Best.Genes {
+			if r1.Best.Genes[i] != r3.Best.Genes[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && r1.Generations == r3.Generations {
+		t.Log("warning: different seeds converged identically (possible but unlikely)")
+	}
+}
+
+// Property: uniform crossover permutes alleles position-wise — at every
+// position, the multiset {child1[j], child2[j]} equals {parent1[j],
+// parent2[j]}.
+func TestCrossoverPreservesAlleles(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := Config{CrossoverProb: 1}
+	f := func(seed int64, bits []bool) bool {
+		if len(bits) == 0 {
+			return true
+		}
+		p1 := Individual{Genes: make([]byte, len(bits))}
+		p2 := Individual{Genes: make([]byte, len(bits))}
+		for j, b := range bits {
+			if b {
+				p1.Genes[j] = 1
+			}
+			p2.Genes[j] = byte(rng.Intn(2))
+		}
+		for _, scheme := range []Crossover{Uniform, OnePoint} {
+			cfg.Crossover = scheme
+			c1, c2 := cross(cfg, rand.New(rand.NewSource(seed)), p1, p2)
+			for j := range bits {
+				if c1.Genes[j]+c2.Genes[j] != p1.Genes[j]+p2.Genes[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tournament without replacement — in one pass over the pool each
+// individual competes exactly once, so with distinct fitnesses the selected
+// set of one full pass has exactly popSize/2 members and never contains the
+// overall loser.
+func TestTournamentWithoutReplacement(t *testing.T) {
+	pop := make([]Individual, 8)
+	for i := range pop {
+		pop[i] = Individual{Genes: []byte{byte(i)}, Fitness: float64(i)}
+	}
+	cfg := Config{Selection: TournamentNoReplacement}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		sel := selectParents(cfg, rng, pop, 4) // one pass over 8 = 4 winners
+		if len(sel) != 4 {
+			t.Fatalf("selected %d", len(sel))
+		}
+		seen := map[byte]int{}
+		for _, s := range sel {
+			seen[s.Genes[0]]++
+			if s.Fitness == 0 {
+				t.Fatal("overall loser selected in a 2-way tournament")
+			}
+		}
+		for g, n := range seen {
+			if n > 1 {
+				t.Fatalf("individual %d selected %d times in one pass", g, n)
+			}
+		}
+		// The overall winner always survives its tournament.
+		if seen[7] != 1 {
+			t.Fatal("overall winner not selected")
+		}
+	}
+}
+
+func TestProportionalSelectionBias(t *testing.T) {
+	pop := []Individual{
+		{Genes: []byte{0}, Fitness: 1},
+		{Genes: []byte{1}, Fitness: 99},
+	}
+	cfg := Config{Selection: Proportional}
+	rng := rand.New(rand.NewSource(12))
+	sel := selectParents(cfg, rng, pop, 1000)
+	hi := 0
+	for _, s := range sel {
+		if s.Genes[0] == 1 {
+			hi++
+		}
+	}
+	if hi < 900 {
+		t.Errorf("high-fitness individual selected only %d/1000", hi)
+	}
+}
+
+func TestProportionalAllZeroFitness(t *testing.T) {
+	pop := []Individual{{Genes: []byte{0}}, {Genes: []byte{1}}}
+	cfg := Config{Selection: Proportional}
+	rng := rand.New(rand.NewSource(1))
+	sel := selectParents(cfg, rng, pop, 10)
+	if len(sel) != 10 {
+		t.Fatal("selection stalled on zero total fitness")
+	}
+}
+
+func TestMutationRate(t *testing.T) {
+	cfg := Config{MutationProb: 0.5}
+	rng := rand.New(rand.NewSource(2))
+	genes := make([]byte, 10000)
+	mutate(cfg, rng, genes)
+	flipped := 0
+	for _, g := range genes {
+		flipped += int(g)
+	}
+	if flipped < 4500 || flipped > 5500 {
+		t.Errorf("mutation rate 0.5 flipped %d/10000", flipped)
+	}
+}
+
+func TestOverlappingKeepsElite(t *testing.T) {
+	cfg := Config{PopulationSize: 16, Generations: 1, GenomeBits: 8, Overlapping: true}
+	if err := func() error {
+		_, err := Run(cfg, oneMaxEval)
+		return err
+	}(); err != nil {
+		t.Fatal(err)
+	}
+	// Structural check on nextGeneration: the best of the old population
+	// must appear in the new one.
+	rng := rand.New(rand.NewSource(3))
+	pop := make([]Individual, 8)
+	for i := range pop {
+		pop[i] = Individual{Genes: []byte{byte(i), 0, 0}, Fitness: float64(i)}
+	}
+	cfg2 := cfg
+	cfg2.MutationProb = 1e-12
+	next := nextGeneration(cfg2, rng, pop)
+	found := false
+	for _, ind := range next {
+		if ind.Genes[0] == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("elite lost in overlapping mode")
+	}
+	if len(next) != len(pop) {
+		t.Errorf("population size changed: %d", len(next))
+	}
+}
+
+func TestBestSavedAcrossGenerations(t *testing.T) {
+	// An adversarial evaluator: fitness decreases over time, so the best
+	// individual appears in generation 0 and must still be reported.
+	gen := 0
+	eval := func(pop []Individual) EvalResult {
+		for i := range pop {
+			pop[i].Fitness = 100 - float64(gen)
+		}
+		gen++
+		return EvalResult{Solved: -1}
+	}
+	res, err := Run(Config{PopulationSize: 8, Generations: 5, GenomeBits: 4, Seed: 5}, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Fitness != 100 {
+		t.Errorf("best fitness %v, want 100 (from generation 0)", res.Best.Fitness)
+	}
+	if res.Evaluations != 40 {
+		t.Errorf("evaluations = %d, want 40", res.Evaluations)
+	}
+}

@@ -1,0 +1,164 @@
+package hybrid
+
+import (
+	"time"
+
+	"gahitec/internal/atpg"
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/simgen"
+
+	"math/rand"
+)
+
+// AlternatingConfig configures the Saab-style hybrid of paper reference
+// [19]: "switches from simulation-based to deterministic test generation
+// when a fixed number of test vectors are generated without improving the
+// fault coverage; simulation-based test generation resumes after a test
+// sequence is obtained from the deterministic procedure." It is implemented
+// here as the comparison point the paper contrasts GA-HITEC against.
+type AlternatingConfig struct {
+	Sim simgen.Options
+
+	// StallRounds simulation rounds without improvement trigger a
+	// deterministic interlude (default 3).
+	StallRounds int
+	// DetTimePerFault bounds each deterministic interlude target.
+	DetTimePerFault time.Duration
+	// DetBacktracks bounds each deterministic search (default 10000).
+	DetBacktracks int
+	// MaxInterludes bounds the number of deterministic interludes
+	// (default 50).
+	MaxInterludes int
+	// MaxFrames as in Config.
+	MaxFrames int
+
+	Seed int64
+}
+
+func (a *AlternatingConfig) setDefaults() {
+	if a.StallRounds <= 0 {
+		a.StallRounds = 3
+	}
+	if a.DetTimePerFault <= 0 {
+		a.DetTimePerFault = 100 * time.Millisecond
+	}
+	if a.DetBacktracks <= 0 {
+		a.DetBacktracks = 10000
+	}
+	if a.MaxInterludes <= 0 {
+		a.MaxInterludes = 50
+	}
+}
+
+// AlternatingResult reports a RunAlternating outcome.
+type AlternatingResult struct {
+	Detected   int
+	Vectors    int
+	Untestable int
+	SimRounds  int
+	Interludes int
+	Elapsed    time.Duration
+	TestSet    [][]logic.Vector
+}
+
+// RunAlternating executes the alternating simulation/deterministic hybrid.
+func RunAlternating(c *netlist.Circuit, faults []fault.Fault, cfg AlternatingConfig) *AlternatingResult {
+	cfg.setDefaults()
+	start := time.Now()
+	cfg.Sim.Seed = cfg.Seed
+	session := simgen.NewSession(c, faults, cfg.Sim)
+	engine := atpg.NewEngine(c)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	res := &AlternatingResult{}
+	untestable := make(map[fault.Fault]bool)
+	stall := 0
+	nextTarget := 0
+
+	for {
+		seq, _ := session.TryRound()
+		res.SimRounds++
+		if seq != nil {
+			res.TestSet = append(res.TestSet, seq)
+			stall = 0
+			continue
+		}
+		stall++
+		if stall < cfg.StallRounds {
+			continue
+		}
+		// Deterministic interlude: target the next undetected fault with a
+		// full generate + justify + verify attempt.
+		if res.Interludes >= cfg.MaxInterludes {
+			break
+		}
+		res.Interludes++
+		stall = 0
+		remaining := session.Grader().Remaining()
+		if len(remaining) == 0 {
+			break
+		}
+		produced := false
+		for tries := 0; tries < len(remaining); tries++ {
+			f := remaining[(nextTarget+tries)%len(remaining)]
+			if untestable[f] {
+				continue
+			}
+			seq, status := deterministicTest(c, engine, rng, f, cfg, session.Grader().GoodState())
+			if status == atpg.Untestable {
+				untestable[f] = true
+				res.Untestable++
+				continue
+			}
+			if seq == nil {
+				continue
+			}
+			nextTarget = (nextTarget + tries + 1) % len(remaining)
+			session.Apply(seq)
+			res.TestSet = append(res.TestSet, seq)
+			produced = true
+			break
+		}
+		if !produced {
+			break // deterministic interlude also dry: terminate
+		}
+	}
+	res.Detected = session.Grader().NumDetected()
+	res.Vectors = session.Grader().NumVectors()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// deterministicTest produces a verified test for one fault, or nil.
+func deterministicTest(c *netlist.Circuit, e *atpg.Engine, rng *rand.Rand, f fault.Fault, cfg AlternatingConfig, goodState logic.Vector) ([]logic.Vector, atpg.Status) {
+	lim := atpg.Limits{
+		MaxFrames:     cfg.MaxFrames,
+		MaxBacktracks: cfg.DetBacktracks,
+		Deadline:      time.Now().Add(cfg.DetTimePerFault),
+	}
+	gen := e.Generate(f, lim)
+	if gen.Status != atpg.Success {
+		return nil, gen.Status
+	}
+	j := e.JustifyDual(f, gen.RequiredGood, gen.RequiredFaulty, lim)
+	if j.Status != atpg.Success {
+		return nil, j.Status
+	}
+	seq := make([]logic.Vector, 0, len(j.Vectors)+len(gen.Vectors))
+	for _, v := range append(append([]logic.Vector{}, j.Vectors...), gen.Vectors...) {
+		w := v.Clone()
+		for k := range w {
+			if w[k] == logic.X {
+				w[k] = logic.FromBit(uint64(rng.Intn(2)))
+			}
+		}
+		seq = append(seq, w)
+	}
+	if ok, _ := faultsim.DetectsFrom(c, f, goodState, nil, seq); !ok {
+		return nil, atpg.Aborted
+	}
+	return seq, atpg.Success
+}

@@ -1,0 +1,121 @@
+package hybrid
+
+import (
+	"testing"
+	"time"
+
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+)
+
+func TestFaultCoverageEmpty(t *testing.T) {
+	r := &Result{TotalFaults: 0, Passes: []PassStats{{}}}
+	if r.FaultCoverage() != 0 {
+		t.Error("coverage of empty fault list should be 0")
+	}
+}
+
+func TestGAHITECConfigClampsX(t *testing.T) {
+	cfg := GAHITECConfig(0, 1)
+	if cfg.Passes[0].SeqLen < 1 {
+		t.Error("sequence length not clamped")
+	}
+}
+
+func TestHITECConfigDefaultPasses(t *testing.T) {
+	cfg := HITECConfig(0, 1)
+	if len(cfg.Passes) != 3 {
+		t.Errorf("default passes = %d", len(cfg.Passes))
+	}
+}
+
+// An empty fault list runs to completion with empty stats.
+func TestRunEmptyFaultList(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	cfg := GAHITECConfig(8, 0.01)
+	res := Run(c, nil, cfg)
+	last := res.Passes[len(res.Passes)-1]
+	if last.Detected != 0 || last.Untestable != 0 || last.Aborted != 0 {
+		t.Fatalf("empty run produced stats %+v", last)
+	}
+}
+
+// A single-fault list works and the time limits are respected loosely: the
+// run must finish far faster than a pathological bound.
+func TestRunSingleFault(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	g17, _ := c.Lookup("G17")
+	f := fault.Fault{Node: g17, Pin: fault.StemPin, Stuck: logic.Zero}
+	cfg := GAHITECConfig(8, 0.01)
+	cfg.Seed = 3
+	start := time.Now()
+	res := Run(c, []fault.Fault{f}, cfg)
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("single-fault run took implausibly long")
+	}
+	last := res.Passes[len(res.Passes)-1]
+	if last.Detected+last.Untestable+last.Aborted != 1 {
+		t.Fatalf("accounting: %+v", last)
+	}
+	if last.Detected != 1 {
+		t.Logf("G17 s-a-0 not detected (status: %d unt, %d abort)", last.Untestable, last.Aborted)
+	}
+}
+
+// Custom pass schedules work: one GA-only pass.
+func TestCustomSchedule(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+	cfg := Config{
+		Passes: []Pass{{
+			Method: MethodGA, TimePerFault: 50 * time.Millisecond,
+			Population: 64, Generations: 4, SeqLen: 8,
+			MaxBacktracks: 500, JustifyAttempts: 1,
+		}},
+		Seed: 5,
+	}
+	res := Run(c, faults, cfg)
+	if len(res.Passes) != 1 {
+		t.Fatalf("passes = %d", len(res.Passes))
+	}
+	if res.Phases.DetJustifyCalls != 0 {
+		t.Error("GA-only schedule called deterministic justification")
+	}
+}
+
+// The Continue hook stops the run after the pass it rejects.
+func TestContinueHookStops(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+	cfg := GAHITECConfig(8, 0.01)
+	cfg.Seed = 12
+	calls := 0
+	cfg.Continue = func(p PassStats) bool {
+		calls++
+		return false // stop after pass 1
+	}
+	res := Run(c, faults, cfg)
+	if len(res.Passes) != 1 {
+		t.Fatalf("run continued to %d passes", len(res.Passes))
+	}
+	if calls != 1 {
+		t.Fatalf("Continue called %d times", calls)
+	}
+}
+
+// PassStats Aborted excludes proven untestables.
+func TestAbortedExcludesUntestable(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nn = AND(a, b)\nz = OR(a, n)\nq = DFF(z)\n"
+	c := mustParse(t, src, "redu")
+	faults := fault.Collapse(c)
+	cfg := GAHITECConfig(4, 0.02)
+	cfg.Seed = 6
+	res := Run(c, faults, cfg)
+	last := res.Passes[len(res.Passes)-1]
+	if last.Untestable == 0 {
+		t.Skip("no untestables proven in this configuration")
+	}
+	if last.Detected+last.Untestable+last.Aborted != res.TotalFaults {
+		t.Fatalf("accounting violated: %+v vs %d", last, res.TotalFaults)
+	}
+}

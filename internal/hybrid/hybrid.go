@@ -1,0 +1,189 @@
+// Package hybrid implements the paper's test-generation architecture: the
+// GA-HITEC hybrid (deterministic fault excitation and propagation, genetic
+// state justification in the first passes, deterministic state justification
+// afterwards) and the HITEC-style purely deterministic baseline, both driven
+// through a multi-pass schedule over the fault list with per-fault time
+// limits (paper Table I).
+//
+// Every candidate test is confirmed by the independent fault simulator
+// before it is counted, and detected faults — targeted or incidental — are
+// dropped from the fault list.
+package hybrid
+
+import (
+	"time"
+
+	"gahitec/internal/fault"
+	"gahitec/internal/ga"
+	"gahitec/internal/logic"
+)
+
+// Method selects the state-justification approach of a pass.
+type Method uint8
+
+const (
+	// MethodGA justifies the required state with the genetic algorithm,
+	// starting from the good machine's current state (GA-HITEC passes 1-2).
+	MethodGA Method = iota
+	// MethodDet justifies deterministically by reverse time processing from
+	// the all-unknown state (GA-HITEC pass 3+, all HITEC passes).
+	MethodDet
+)
+
+func (m Method) String() string {
+	if m == MethodGA {
+		return "GA"
+	}
+	return "deterministic"
+}
+
+// Pass configures one pass over the fault list.
+type Pass struct {
+	Method       Method
+	TimePerFault time.Duration
+
+	// GA parameters (MethodGA only).
+	Population  int
+	Generations int
+	SeqLen      int
+
+	// Deterministic search budget for this pass (excitation/propagation
+	// always; justification too for MethodDet).
+	MaxBacktracks int
+
+	// JustifyAttempts is how many alternative required states (propagation
+	// solutions) are tried when justification fails. At least 1.
+	JustifyAttempts int
+}
+
+// Config configures a full run.
+type Config struct {
+	Passes []Pass
+
+	// Seed drives every stochastic component (GA populations, X-fill).
+	Seed int64
+
+	// MaxFrames bounds forward propagation and backward justification
+	// windows (0: 4x sequential depth).
+	MaxFrames int
+
+	// GA knobs for the ablation benchmarks; zero values are the paper's.
+	WeightGood  float64
+	Selection   ga.Selection
+	Crossover   ga.Crossover
+	Overlapping bool
+
+	// FaultFreeJustify makes deterministic passes justify only the
+	// good-machine state (the weaker fallback); by default deterministic
+	// justification is fault-aware (nine-valued, both machines), as in
+	// HITEC proper. Exposed for the ablation benchmarks.
+	FaultFreeJustify bool
+
+	// PreprocessUntestable runs a cheap untestability screen over the fault
+	// list before the first pass (the speedup suggested in the paper's
+	// conclusions), removing provably untestable faults so the GA passes do
+	// not waste their per-fault budget on them.
+	PreprocessUntestable bool
+
+	// Continue, if non-nil, is consulted after each pass with the
+	// cumulative statistics; returning false stops the run. This is the
+	// paper's "after each pass, the user is prompted as to whether to
+	// continue" hook (cmd/atpg -interactive wires it to stdin).
+	Continue func(PassStats) bool
+}
+
+// GAHITECConfig builds the paper's Table I schedule. x is the base sequence
+// length (the paper uses a multiple of the sequential depth) and scale
+// compresses the per-fault wall-clock limits (the paper's SPARCstation
+// seconds become scale-seconds here: scale=0.03 turns 1s/10s/100s into
+// 30ms/300ms/3s).
+func GAHITECConfig(x int, scale float64) Config {
+	if x < 2 {
+		x = 2
+	}
+	lim := func(s float64) time.Duration { return time.Duration(s * scale * float64(time.Second)) }
+	return Config{
+		Passes: []Pass{
+			{Method: MethodGA, TimePerFault: lim(1), Population: 64, Generations: 4, SeqLen: x / 2, MaxBacktracks: 1000, JustifyAttempts: 2},
+			{Method: MethodGA, TimePerFault: lim(10), Population: 128, Generations: 8, SeqLen: x, MaxBacktracks: 4000, JustifyAttempts: 3},
+			{Method: MethodDet, TimePerFault: lim(100), MaxBacktracks: 20000, JustifyAttempts: 3},
+		},
+	}
+}
+
+// HITECConfig builds the baseline schedule: deterministic justification in
+// every pass, time limits 1s, 10s, 100s (scaled) and backtrack limits
+// multiplied by ten each pass, as the paper describes.
+func HITECConfig(passes int, scale float64) Config {
+	if passes <= 0 {
+		passes = 3
+	}
+	cfg := Config{}
+	t := 1.0
+	bt := 1000
+	for i := 0; i < passes; i++ {
+		cfg.Passes = append(cfg.Passes, Pass{
+			Method:          MethodDet,
+			TimePerFault:    time.Duration(t * scale * float64(time.Second)),
+			MaxBacktracks:   bt,
+			JustifyAttempts: 3,
+		})
+		t *= 10
+		bt *= 10
+	}
+	return cfg
+}
+
+// PassStats reports cumulative results at the end of a pass, matching the
+// paper's Det / Vec / Time / Unt columns.
+type PassStats struct {
+	Pass       int
+	Detected   int           // cumulative faults detected
+	Vectors    int           // cumulative test vectors generated
+	Elapsed    time.Duration // cumulative wall-clock time
+	Untestable int           // cumulative untestable faults identified
+	Aborted    int           // faults still undecided after this pass
+}
+
+// PhaseStats counts the Fig. 1 flow transitions across a run.
+type PhaseStats struct {
+	Targeted          int // faults targeted by the deterministic engine
+	ExciteProp        int // successful excitation+propagation attempts
+	GAJustifyCalls    int
+	GAJustifyFound    int
+	DetJustifyCalls   int
+	DetJustifyFound   int
+	PropBacktracks    int // alternative propagation solutions requested
+	VerifyFailures    int // candidate tests rejected by the fault simulator
+	IncidentalDetects int // faults dropped without being targeted
+	Preprocessed      int // untestables filtered by the preprocessing screen
+}
+
+// Result is the outcome of a full run.
+type Result struct {
+	Circuit     string
+	TotalFaults int
+	Passes      []PassStats
+	Phases      PhaseStats
+	TestSet     [][]logic.Vector // one sequence per accepted test
+	Targets     []fault.Fault    // per TestSet entry: the fault it targeted
+	Untestable  []fault.Fault
+}
+
+// FaultCoverage returns detected / total.
+func (r *Result) FaultCoverage() float64 {
+	if r.TotalFaults == 0 {
+		return 0
+	}
+	last := r.Passes[len(r.Passes)-1]
+	return float64(last.Detected) / float64(r.TotalFaults)
+}
+
+// Vectors returns the flattened test set.
+func (r *Result) Vectors() []logic.Vector {
+	var out []logic.Vector
+	for _, seq := range r.TestSet {
+		out = append(out, seq...)
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package hybrid
+
+import (
+	"math/rand"
+	"time"
+
+	"gahitec/internal/atpg"
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/justify"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// runner holds the mutable state of one test-generation run.
+type runner struct {
+	c      *netlist.Circuit
+	cfg    Config
+	engine *atpg.Engine
+	fsim   *faultsim.Simulator
+	rng    *rand.Rand
+
+	res        *Result
+	untestable map[fault.Fault]bool
+}
+
+// Run executes the configured multi-pass schedule over the fault list and
+// returns the per-pass statistics, the test set, and the identified
+// untestable faults.
+func Run(c *netlist.Circuit, faults []fault.Fault, cfg Config) *Result {
+	r := &runner{
+		c:      c,
+		cfg:    cfg,
+		engine: atpg.NewEngine(c),
+		fsim:   faultsim.New(c, faults),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		res: &Result{
+			Circuit:     c.Name,
+			TotalFaults: len(faults),
+		},
+		untestable: make(map[fault.Fault]bool),
+	}
+	start := time.Now()
+	if cfg.PreprocessUntestable {
+		r.preprocess()
+	}
+	for pi, pass := range cfg.Passes {
+		r.runPass(pi, pass)
+		remaining := 0
+		for _, f := range r.fsim.Remaining() {
+			if !r.untestable[f] {
+				remaining++
+			}
+		}
+		stats := PassStats{
+			Pass:       pi + 1,
+			Detected:   r.fsim.NumDetected(),
+			Vectors:    r.fsim.NumVectors(),
+			Elapsed:    time.Since(start),
+			Untestable: len(r.res.Untestable),
+			Aborted:    remaining,
+		}
+		r.res.Passes = append(r.res.Passes, stats)
+		if cfg.Continue != nil && pi < len(cfg.Passes)-1 && !cfg.Continue(stats) {
+			break
+		}
+	}
+	return r.res
+}
+
+// preprocess runs a cheap exhaustive screen over the fault list and marks
+// faults whose excitation or propagation provably cannot succeed (the
+// "filter untestable faults in advance" speedup from the paper's
+// conclusions). The screen uses a two-frame window — untestability proofs
+// are frame-independent (exhaustion without a fault effect crossing the
+// window boundary) — and a small backtrack budget so screening stays cheap.
+func (r *runner) preprocess() {
+	for _, f := range r.fsim.Remaining() {
+		res := r.engine.Generate(f, atpg.Limits{MaxFrames: 2, MaxBacktracks: 256})
+		if res.Status == atpg.Untestable {
+			r.untestable[f] = true
+			r.res.Untestable = append(r.res.Untestable, f)
+			r.res.Phases.Preprocessed++
+		}
+	}
+}
+
+// runPass targets every still-undetected, not-proven-untestable fault once.
+func (r *runner) runPass(passIdx int, pass Pass) {
+	if pass.JustifyAttempts < 1 {
+		pass.JustifyAttempts = 1
+	}
+	// Snapshot: faults detected mid-pass are skipped when their turn comes.
+	targets := append([]fault.Fault(nil), r.fsim.Remaining()...)
+	stillRemaining := make(map[fault.Fault]bool, len(targets))
+	for _, f := range targets {
+		stillRemaining[f] = true
+	}
+	for _, f := range targets {
+		if !stillRemaining[f] || r.untestable[f] {
+			continue
+		}
+		for _, g := range r.targetFault(f, pass) {
+			delete(stillRemaining, g)
+		}
+	}
+}
+
+// targetFault runs the Fig. 1 flow for one fault and returns the faults
+// newly detected by any accepted test.
+func (r *runner) targetFault(f fault.Fault, pass Pass) []fault.Fault {
+	deadline := time.Now().Add(pass.TimePerFault)
+	lim := atpg.Limits{
+		MaxFrames:     r.cfg.MaxFrames,
+		MaxBacktracks: pass.MaxBacktracks,
+		Deadline:      deadline,
+	}
+	r.res.Phases.Targeted++
+
+	for attempt := 0; attempt < pass.JustifyAttempts; attempt++ {
+		if attempt > 0 {
+			r.res.Phases.PropBacktracks++
+		}
+		gen := r.engine.GenerateNth(f, lim, attempt)
+		switch gen.Status {
+		case atpg.Untestable:
+			if attempt == 0 {
+				r.untestable[f] = true
+				r.res.Untestable = append(r.res.Untestable, f)
+			}
+			return nil
+		case atpg.Aborted:
+			return nil
+		}
+		r.res.Phases.ExciteProp++
+
+		seq, ok := r.justifyAndBuild(f, pass, gen, deadline)
+		if !ok {
+			if time.Now().After(deadline) {
+				return nil
+			}
+			continue // backtrack into propagation: try the next solution
+		}
+
+		// Confirm with the independent fault simulator before counting.
+		if det, _ := faultsim.DetectsFrom(r.c, f, r.fsim.GoodState(), nil, seq); !det {
+			r.res.Phases.VerifyFailures++
+			if time.Now().After(deadline) {
+				return nil
+			}
+			continue
+		}
+		r.res.TestSet = append(r.res.TestSet, seq)
+		r.res.Targets = append(r.res.Targets, f)
+		newly := r.fsim.ApplySequence(seq)
+		r.res.Phases.IncidentalDetects += len(newly) - 1
+		return newly
+	}
+	return nil
+}
+
+// justifyAndBuild runs state justification for one propagation solution and,
+// on success, assembles the full candidate test sequence (justification
+// prefix + excitation/propagation vectors, X positions filled randomly).
+func (r *runner) justifyAndBuild(f fault.Fault, pass Pass, gen atpg.Result, deadline time.Time) ([]logic.Vector, bool) {
+	var prefix []logic.Vector
+	switch pass.Method {
+	case MethodGA:
+		r.res.Phases.GAJustifyCalls++
+		req := justify.Request{
+			TargetGood:   gen.RequiredGood,
+			TargetFaulty: gen.RequiredFaulty,
+			Fault:        &f,
+			StartGood:    r.fsim.GoodState(),
+		}
+		jres := justify.GA(r.c, req, justify.Options{
+			Population:  pass.Population,
+			Generations: pass.Generations,
+			SeqLen:      pass.SeqLen,
+			WeightGood:  r.cfg.WeightGood,
+			Seed:        r.rng.Int63(),
+			Selection:   r.cfg.Selection,
+			Crossover:   r.cfg.Crossover,
+			Overlapping: r.cfg.Overlapping,
+		})
+		if !jres.Found {
+			return nil, false
+		}
+		r.res.Phases.GAJustifyFound++
+		prefix = jres.Sequence
+	case MethodDet:
+		r.res.Phases.DetJustifyCalls++
+		lim := atpg.Limits{
+			MaxFrames:     r.cfg.MaxFrames,
+			MaxBacktracks: pass.MaxBacktracks,
+			Deadline:      deadline,
+		}
+		var jres atpg.JustifyResult
+		if r.cfg.FaultFreeJustify {
+			jres = r.engine.Justify(gen.RequiredGood, lim)
+		} else {
+			jres = r.engine.JustifyDual(f, gen.RequiredGood, gen.RequiredFaulty, lim)
+		}
+		if jres.Status != atpg.Success {
+			return nil, false
+		}
+		r.res.Phases.DetJustifyFound++
+		prefix = r.fillX(jres.Vectors)
+	}
+	seq := make([]logic.Vector, 0, len(prefix)+len(gen.Vectors))
+	seq = append(seq, prefix...)
+	seq = append(seq, r.fillX(gen.Vectors)...)
+	return seq, true
+}
+
+// fillX replaces unassigned input bits with random binary values; random
+// fill maximizes incidental fault detection, which the fault simulator then
+// credits.
+func (r *runner) fillX(seq []logic.Vector) []logic.Vector {
+	out := make([]logic.Vector, len(seq))
+	for i, v := range seq {
+		w := v.Clone()
+		for j := range w {
+			if w[j] == logic.X {
+				w[j] = logic.FromBit(uint64(r.rng.Intn(2)))
+			}
+		}
+		out[i] = w
+	}
+	return out
+}

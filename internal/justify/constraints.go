@@ -1,0 +1,107 @@
+package justify
+
+import (
+	"gahitec/internal/logic"
+)
+
+// Constraints restricts the input sequences the GA may generate. The paper
+// singles this out as a strength of simulation-based justification: because
+// processing is forward-only, environmental constraints that are hard to
+// honour in reverse-time deterministic search are trivially imposed on
+// candidate sequences.
+//
+// Pinned and OneHot are enforced by repairing every decoded vector before
+// simulation, so any returned sequence satisfies them exactly. Forbidden
+// patterns are enforced at acceptance: a candidate that still contains a
+// forbidden vector is not allowed to terminate the search.
+type Constraints struct {
+	// Pinned fixes a primary input to a constant in every vector.
+	Pinned map[int]logic.V
+	// OneHot lists groups of PI indices of which exactly one must be 1 in
+	// every vector (e.g. one-hot encoded opcodes or chip selects).
+	OneHot [][]int
+	// Forbidden lists vector patterns (X = wildcard) that no vector of a
+	// justification sequence may match.
+	Forbidden []logic.Vector
+}
+
+// Empty reports whether the constraints impose nothing.
+func (cs *Constraints) Empty() bool {
+	return cs == nil || (len(cs.Pinned) == 0 && len(cs.OneHot) == 0 && len(cs.Forbidden) == 0)
+}
+
+// Repair rewrites v in place to satisfy the Pinned and OneHot constraints.
+// The repair is deterministic: in a one-hot group the lowest-index asserted
+// member wins, and a group with no asserted member asserts its first.
+// Pinned values are applied after one-hot repair so a pinned member of a
+// group always keeps its pinned value.
+func (cs *Constraints) Repair(v logic.Vector) {
+	if cs == nil {
+		return
+	}
+	for _, group := range cs.OneHot {
+		first := -1
+		for _, pi := range group {
+			if pi < len(v) && v[pi] == logic.One {
+				first = pi
+				break
+			}
+		}
+		if first < 0 && len(group) > 0 {
+			first = group[0]
+		}
+		for _, pi := range group {
+			if pi >= len(v) {
+				continue
+			}
+			if pi == first {
+				v[pi] = logic.One
+			} else {
+				v[pi] = logic.Zero
+			}
+		}
+	}
+	for pi, val := range cs.Pinned {
+		if pi < len(v) {
+			v[pi] = val
+		}
+	}
+}
+
+// matchesForbidden reports whether v matches any forbidden pattern (a
+// pattern matches when all of its non-X positions equal v's).
+func (cs *Constraints) matchesForbidden(v logic.Vector) bool {
+	if cs == nil {
+		return false
+	}
+	for _, pat := range cs.Forbidden {
+		match := true
+		for i, p := range pat {
+			if p == logic.X {
+				continue
+			}
+			if i >= len(v) || v[i] != p {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// SequenceAllowed reports whether every vector of the sequence avoids the
+// forbidden patterns (Pinned/OneHot are guaranteed by construction).
+func (cs *Constraints) SequenceAllowed(seq []logic.Vector) bool {
+	if cs == nil {
+		return true
+	}
+	for _, v := range seq {
+		if cs.matchesForbidden(v) {
+			return false
+		}
+	}
+	return true
+}

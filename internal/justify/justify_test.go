@@ -1,0 +1,262 @@
+package justify
+
+import (
+	"fmt"
+	"testing"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/sim"
+)
+
+const shift4 = `
+INPUT(a)
+OUTPUT(z)
+q1 = DFF(a)
+q2 = DFF(q1)
+q3 = DFF(q2)
+q4 = DFF(q3)
+z = BUF(q4)
+`
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+func mustParse(t *testing.T, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(src, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// verify simulates the justification sequence and checks both targets.
+func verify(t *testing.T, c *netlist.Circuit, req Request, res Result) {
+	t.Helper()
+	if !res.Found {
+		t.Fatal("justification not found")
+	}
+	good := sim.NewSerial(c)
+	if req.StartGood != nil {
+		good.SetState(req.StartGood)
+	}
+	for _, in := range res.Sequence {
+		good.Step(in)
+	}
+	if !req.TargetGood.Covers(good.State()) {
+		t.Fatalf("good state %s does not cover target %s", good.State(), req.TargetGood)
+	}
+	if req.Fault != nil {
+		bad := sim.NewSerial(c)
+		bad.InjectFault(*req.Fault)
+		for _, in := range res.Sequence {
+			bad.Step(in)
+		}
+		if !req.TargetFaulty.Covers(bad.State()) {
+			t.Fatalf("faulty state %s does not cover target %s", bad.State(), req.TargetFaulty)
+		}
+	}
+}
+
+func TestGAJustifyShiftRegister(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	target, _ := logic.ParseVector("1011")
+	req := Request{TargetGood: target, TargetFaulty: logic.NewVector(4)}
+	res := GA(c, req, Options{Population: 64, Generations: 8, SeqLen: 8, Seed: 1})
+	verify(t, c, req, res)
+	if len(res.Sequence) < 4 {
+		t.Errorf("shift register justified in %d vectors, needs >= 4", len(res.Sequence))
+	}
+}
+
+func TestGAJustifyFromCurrentState(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	// Starting from 1111, reaching X111 needs one vector; from all-X it
+	// would need four.
+	start, _ := logic.ParseVector("1111")
+	target, _ := logic.ParseVector("X111")
+	req := Request{TargetGood: target, StartGood: start}
+	res := GA(c, req, Options{Population: 64, Generations: 4, SeqLen: 4, Seed: 2})
+	verify(t, c, req, res)
+	if len(res.Sequence) > 1 {
+		t.Errorf("justified in %d vectors from a state needing at most 1", len(res.Sequence))
+	}
+}
+
+func TestGAJustifyAlreadySatisfied(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	start, _ := logic.ParseVector("1010")
+	target, _ := logic.ParseVector("1XXX")
+	req := Request{TargetGood: target, StartGood: start}
+	if NeedsJustification(c, req) {
+		t.Fatal("satisfied request reported as needing justification")
+	}
+	res := GA(c, req, Options{Seed: 3})
+	if !res.Found || len(res.Sequence) != 0 {
+		t.Fatalf("expected trivial success, got %+v", res)
+	}
+}
+
+func TestNeedsJustificationFaultyTarget(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	q1, _ := c.Lookup("q1")
+	f := fault.Fault{Node: q1, Pin: fault.StemPin, Stuck: logic.One}
+	// Good target satisfied; faulty target requires q2=1, but the faulty
+	// machine starts all-X (except q1 stuck) -> justification needed.
+	tf := logic.NewVector(4)
+	tf[1] = logic.One
+	req := Request{
+		TargetGood:   logic.NewVector(4),
+		TargetFaulty: tf,
+		Fault:        &f,
+	}
+	if !NeedsJustification(c, req) {
+		t.Fatal("faulty-target mismatch not detected")
+	}
+	// A target matching the stuck value IS satisfied at start.
+	tf2 := logic.NewVector(4)
+	tf2[0] = logic.One // q1 stuck at one
+	req2 := Request{TargetGood: logic.NewVector(4), TargetFaulty: tf2, Fault: &f}
+	if NeedsJustification(c, req2) {
+		t.Fatal("stuck flip-flop start value not honoured")
+	}
+}
+
+func TestGAJustifyWithFaultyMachine(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	q4, _ := c.Lookup("q4")
+	f := fault.Fault{Node: q4, Pin: fault.StemPin, Stuck: logic.Zero}
+	tg, _ := logic.ParseVector("11XX")
+	tf, _ := logic.ParseVector("11X0")
+	req := Request{TargetGood: tg, TargetFaulty: tf, Fault: &f}
+	res := GA(c, req, Options{Population: 64, Generations: 8, SeqLen: 8, Seed: 4})
+	verify(t, c, req, res)
+}
+
+func TestGAJustifyS27(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	// 001 (G5=0, G6=0, G7=1) is reachable (the sim tests reach it from 000
+	// in one step; G7 initializes to 1 easily from X).
+	target, _ := logic.ParseVector("001")
+	req := Request{TargetGood: target, TargetFaulty: logic.NewVector(3)}
+	res := GA(c, req, Options{Population: 64, Generations: 8, SeqLen: 8, Seed: 5})
+	verify(t, c, req, res)
+}
+
+func TestGAJustifyImpossibleTargetFails(t *testing.T) {
+	// q2 can never differ from q1's previous value... build a genuinely
+	// unreachable state: q1 and q1copy always equal, target requires them
+	// to differ.
+	src := `
+INPUT(a)
+OUTPUT(z)
+q1 = DFF(a)
+q2 = DFF(a)
+z = BUF(q1)
+`
+	c := mustParse(t, src, "dup")
+	target, _ := logic.ParseVector("10")
+	req := Request{TargetGood: target}
+	res := GA(c, req, Options{Population: 64, Generations: 6, SeqLen: 6, Seed: 6})
+	if res.Found {
+		t.Fatal("justified an unreachable state")
+	}
+	if res.BestFitness <= 0 {
+		t.Error("fitness should still reward partial matches")
+	}
+}
+
+// The 0.9/0.1 weighting must hold in the fitness computation: with a good
+// match and a faulty mismatch the fitness is 0.9*n + 0.1*m.
+func TestFitnessWeighting(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	q1, _ := c.Lookup("q1")
+	f := fault.Fault{Node: q1, Pin: fault.StemPin, Stuck: logic.Zero}
+	// Target good = all-X (4 matches), target faulty requires q1=1 which
+	// the stuck-at-0 machine can never reach: 3 of 4 match at best.
+	tf, _ := logic.ParseVector("1XXX")
+	req := Request{TargetGood: logic.NewVector(4), TargetFaulty: tf, Fault: &f}
+	// NeedsJustification is true (faulty target unsatisfied) and the GA can
+	// never solve it; best fitness approaches 0.9*4 + 0.1*3 = 3.9.
+	res := GA(c, req, Options{Population: 64, Generations: 4, SeqLen: 4, Seed: 7})
+	if res.Found {
+		t.Fatal("solved an unsolvable faulty target")
+	}
+	want := 0.9*4 + 0.1*3
+	if res.BestFitness != want {
+		t.Errorf("best fitness %.3f, want %.3f", res.BestFitness, want)
+	}
+}
+
+// Population sizes above one lane batch (128, as in pass 2) work and find
+// solutions.
+func TestGAJustifyLargePopulation(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	target, _ := logic.ParseVector("1111")
+	req := Request{TargetGood: target}
+	res := GA(c, req, Options{Population: 128, Generations: 8, SeqLen: 6, Seed: 8})
+	verify(t, c, req, res)
+}
+
+func TestGADeterministicForSeed(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	target, _ := logic.ParseVector("0110")
+	req := Request{TargetGood: target}
+	a := GA(c, req, Options{Population: 64, Generations: 6, SeqLen: 6, Seed: 9})
+	b := GA(c, req, Options{Population: 64, Generations: 6, SeqLen: 6, Seed: 9})
+	if a.Found != b.Found || len(a.Sequence) != len(b.Sequence) {
+		t.Fatal("same seed, different result")
+	}
+	for i := range a.Sequence {
+		if a.Sequence[i].String() != b.Sequence[i].String() {
+			t.Fatal("same seed, different sequence")
+		}
+	}
+}
+
+// Sequences returned must be fully binary (appliable on a tester).
+func TestSequencesBinary(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	target, _ := logic.ParseVector("1101")
+	res := GA(c, Request{TargetGood: target}, Options{Population: 64, Generations: 8, SeqLen: 8, Seed: 10})
+	if !res.Found {
+		t.Skip("not found with this seed")
+	}
+	for i, v := range res.Sequence {
+		for j, b := range v {
+			if !b.IsKnown() {
+				t.Fatalf("vector %d bit %d is %s", i, j, b)
+			}
+		}
+	}
+}
+
+func ExampleGA() {
+	c, _ := bench.ParseString(shift4, "shift4")
+	target, _ := logic.ParseVector("1111")
+	res := GA(c, Request{TargetGood: target}, Options{Population: 64, Generations: 8, SeqLen: 8, Seed: 1})
+	fmt.Println("found:", res.Found)
+	// Output:
+	// found: true
+}

@@ -1,0 +1,77 @@
+package logic
+
+import "fmt"
+
+// DV is a composite good-machine/faulty-machine logic value: the nine-valued
+// algebra obtained by pairing two three-valued values. It subsumes Roth's
+// five-valued D-calculus:
+//
+//	0  = (0,0)    1  = (1,1)
+//	D  = (1,0)    D̄ = (0,1)
+//	X  = (X,X)
+//
+// plus the four partially specified values (0,X), (1,X), (X,0), (X,1) that
+// arise naturally in sequential time-frame expansion. Gate evaluation is
+// simply componentwise three-valued evaluation, which keeps the deterministic
+// engine's implication step in exact agreement with the simulators.
+type DV struct {
+	G V // good-machine value
+	F V // faulty-machine value
+}
+
+// The five classic D-calculus constants.
+var (
+	DV0 = DV{Zero, Zero}
+	DV1 = DV{One, One}
+	DD  = DV{One, Zero} // D: good 1, faulty 0
+	DB  = DV{Zero, One} // D-bar: good 0, faulty 1
+	DVX = DV{X, X}      // completely unknown
+)
+
+// FromV lifts a three-valued value into the composite algebra with identical
+// good and faulty components.
+func FromV(v V) DV { return DV{v, v} }
+
+// IsFaultEffect reports whether the value carries a visible fault effect
+// (good and faulty components both known and different: D or D̄).
+func (d DV) IsFaultEffect() bool {
+	return d.G.IsKnown() && d.F.IsKnown() && d.G != d.F
+}
+
+// IsKnown reports whether both components are fully specified.
+func (d DV) IsKnown() bool { return d.G.IsKnown() && d.F.IsKnown() }
+
+// Not returns the componentwise complement.
+func (d DV) Not() DV { return DV{d.G.Not(), d.F.Not()} }
+
+// AndDV returns the componentwise conjunction.
+func AndDV(a, b DV) DV { return DV{And(a.G, b.G), And(a.F, b.F)} }
+
+// OrDV returns the componentwise disjunction.
+func OrDV(a, b DV) DV { return DV{Or(a.G, b.G), Or(a.F, b.F)} }
+
+// XorDV returns the componentwise exclusive-or.
+func XorDV(a, b DV) DV { return DV{Xor(a.G, b.G), Xor(a.F, b.F)} }
+
+// Compatible reports whether d could be refined to w componentwise.
+func (d DV) Compatible(w DV) bool {
+	return d.G.Compatible(w.G) && d.F.Compatible(w.F)
+}
+
+// String renders the value in D-calculus notation where possible.
+func (d DV) String() string {
+	switch d {
+	case DV0:
+		return "0"
+	case DV1:
+		return "1"
+	case DD:
+		return "D"
+	case DB:
+		return "D'"
+	case DVX:
+		return "X"
+	default:
+		return fmt.Sprintf("(%s/%s)", d.G, d.F)
+	}
+}

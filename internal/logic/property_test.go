@@ -1,0 +1,139 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// sanitize turns two arbitrary words into a valid Word.
+func sanitize(o, z uint64) Word {
+	return Word{Ones: o &^ z, Zeros: z &^ o}
+}
+
+// Absorption: a AND (a OR b) == a, a OR (a AND b) == a — holds in Kleene
+// three-valued logic and must hold lanewise.
+func TestWordAbsorptionProperty(t *testing.T) {
+	f := func(o1, z1, o2, z2 uint64) bool {
+		a := sanitize(o1, z1)
+		b := sanitize(o2, z2)
+		if AndW(a, OrW(a, b)) != a {
+			return false
+		}
+		return OrW(a, AndW(a, b)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Distributivity: a AND (b OR c) == (a AND b) OR (a AND c), lanewise.
+func TestWordDistributivityProperty(t *testing.T) {
+	f := func(o1, z1, o2, z2, o3, z3 uint64) bool {
+		a := sanitize(o1, z1)
+		b := sanitize(o2, z2)
+		c := sanitize(o3, z3)
+		return AndW(a, OrW(b, c)) == OrW(AndW(a, b), AndW(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Double negation and XOR self-inverse.
+func TestWordInvolutionsProperty(t *testing.T) {
+	f := func(o1, z1, o2 uint64) bool {
+		a := sanitize(o1, z1)
+		if NotW(NotW(a)) != a {
+			return false
+		}
+		// (a XOR b) XOR b == a where b is fully defined.
+		bd := Word{Ones: o2, Zeros: ^o2}
+		return XorW(XorW(a, bd), bd) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// SpreadV then Get agree for all three values.
+func TestSpreadVGetProperty(t *testing.T) {
+	f := func(o, z, mask uint64, sel uint8) bool {
+		w := sanitize(o, z)
+		v := allV[int(sel)%3]
+		out := SpreadV(w, mask, v)
+		if !out.Valid() {
+			return false
+		}
+		for lane := 0; lane < Lanes; lane += 5 {
+			bit := uint64(1) << uint(lane)
+			want := w.Get(lane)
+			if mask&bit != 0 {
+				want = v
+			}
+			if out.Get(lane) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// EqMask and DiffMask partition the fully-defined agreeing/disagreeing
+// lanes and never overlap.
+func TestEqDiffDisjointProperty(t *testing.T) {
+	f := func(o1, z1, o2, z2 uint64) bool {
+		a := sanitize(o1, z1)
+		b := sanitize(o2, z2)
+		eq := EqMask(a, b)
+		df := DiffMask(a, b)
+		if eq&df != 0 {
+			return false
+		}
+		both := a.Defined() & b.Defined()
+		return eq|df == both
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The monotone-refinement property at word level: refining X lanes of the
+// inputs never changes already-defined output lanes of AndW.
+func TestWordMonotonicityProperty(t *testing.T) {
+	f := func(o1, z1, o2, z2, refineMask uint64, toOne bool) bool {
+		a := sanitize(o1, z1)
+		b := sanitize(o2, z2)
+		before := AndW(a, b)
+		// Refine some X lanes of a.
+		xLanes := ^a.Defined() & refineMask
+		v := Zero
+		if toOne {
+			v = One
+		}
+		a2 := SpreadV(a, xLanes, v)
+		after := AndW(a2, b)
+		// Every lane defined before must be identical after.
+		definedBefore := before.Defined()
+		return before.Ones&definedBefore == after.Ones&definedBefore &&
+			before.Zeros&definedBefore == after.Zeros&definedBefore
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// DV round trip: FromV on each scalar keeps components equal.
+func TestFromVProperty(t *testing.T) {
+	for _, v := range allV {
+		d := FromV(v)
+		if d.G != v || d.F != v {
+			t.Errorf("FromV(%s) = %v", v, d)
+		}
+		if d.IsFaultEffect() {
+			t.Errorf("FromV(%s) is a fault effect", v)
+		}
+	}
+}

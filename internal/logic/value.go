@@ -1,0 +1,197 @@
+// Package logic provides the multi-valued logic algebras used throughout the
+// test generator: a scalar three-valued algebra (0, 1, X) for serial
+// simulation, a packed 64-lane representation for bit-parallel simulation in
+// the style of PROOFS, and a nine-valued good/faulty composite algebra (the
+// superset of Roth's five-valued D-calculus) for the deterministic
+// test-generation engine.
+package logic
+
+import "fmt"
+
+// V is a three-valued logic value: logic zero, logic one, or unknown.
+type V uint8
+
+// The three logic values. Zero is the zero value of the type so freshly
+// allocated value arrays start at logic zero; simulators that need an
+// all-unknown start state must initialize explicitly.
+const (
+	Zero V = iota
+	One
+	X
+)
+
+// FromBool converts a Go bool to a fully specified logic value.
+func FromBool(b bool) V {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// FromBit converts the low bit of an integer to a logic value.
+func FromBit(b uint64) V {
+	return V(b & 1)
+}
+
+// IsKnown reports whether v is 0 or 1 (not X).
+func (v V) IsKnown() bool { return v == Zero || v == One }
+
+// Not returns the three-valued complement of v.
+func (v V) Not() V {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// And returns the three-valued conjunction of a and b: a controlling Zero on
+// either input forces Zero even if the other input is unknown.
+func And(a, b V) V {
+	if a == Zero || b == Zero {
+		return Zero
+	}
+	if a == One && b == One {
+		return One
+	}
+	return X
+}
+
+// Or returns the three-valued disjunction of a and b.
+func Or(a, b V) V {
+	if a == One || b == One {
+		return One
+	}
+	if a == Zero && b == Zero {
+		return Zero
+	}
+	return X
+}
+
+// Xor returns the three-valued exclusive-or of a and b. Unlike And/Or there
+// is no controlling value: any unknown input makes the output unknown.
+func Xor(a, b V) V {
+	if !a.IsKnown() || !b.IsKnown() {
+		return X
+	}
+	if a != b {
+		return One
+	}
+	return Zero
+}
+
+// Compatible reports whether v could take the value w: an unknown is
+// compatible with anything, and known values must be equal.
+func (v V) Compatible(w V) bool {
+	return v == X || w == X || v == w
+}
+
+// String returns "0", "1" or "X".
+func (v V) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("V(%d)", uint8(v))
+	}
+}
+
+// ParseV parses '0', '1', 'X' or 'x' into a logic value.
+func ParseV(c byte) (V, error) {
+	switch c {
+	case '0':
+		return Zero, nil
+	case '1':
+		return One, nil
+	case 'X', 'x':
+		return X, nil
+	default:
+		return X, fmt.Errorf("logic: invalid value character %q", c)
+	}
+}
+
+// Vector is a slice of three-valued logic values, e.g. one circuit input
+// vector or one state cube over the flip-flops.
+type Vector []V
+
+// NewVector returns a Vector of n unknowns.
+func NewVector(n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = X
+	}
+	return v
+}
+
+// ParseVector parses a string of 0/1/X characters.
+func ParseVector(s string) (Vector, error) {
+	v := make(Vector, len(s))
+	for i := 0; i < len(s); i++ {
+		val, err := ParseV(s[i])
+		if err != nil {
+			return nil, err
+		}
+		v[i] = val
+	}
+	return v, nil
+}
+
+// String renders the vector as a string of 0/1/X characters.
+func (vec Vector) String() string {
+	b := make([]byte, len(vec))
+	for i, v := range vec {
+		b[i] = v.String()[0]
+	}
+	return string(b)
+}
+
+// Clone returns a copy of the vector.
+func (vec Vector) Clone() Vector {
+	out := make(Vector, len(vec))
+	copy(out, vec)
+	return out
+}
+
+// CountKnown returns the number of fully specified (non-X) entries.
+func (vec Vector) CountKnown() int {
+	n := 0
+	for _, v := range vec {
+		if v.IsKnown() {
+			n++
+		}
+	}
+	return n
+}
+
+// Matches counts positions where want is satisfied by got: a position matches
+// if want is X (no particular value required) or want equals got. This is the
+// flip-flop matching rule of the paper's fitness function.
+func (vec Vector) Matches(got Vector) int {
+	n := 0
+	for i, w := range vec {
+		if w == X || (i < len(got) && got[i] == w) {
+			n++
+		}
+	}
+	return n
+}
+
+// Covers reports whether every required (non-X) entry of vec is met by got.
+func (vec Vector) Covers(got Vector) bool {
+	for i, w := range vec {
+		if w == X {
+			continue
+		}
+		if i >= len(got) || got[i] != w {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,234 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var allV = []V{Zero, One, X}
+
+func TestNotTable(t *testing.T) {
+	cases := map[V]V{Zero: One, One: Zero, X: X}
+	for in, want := range cases {
+		if got := in.Not(); got != want {
+			t.Errorf("Not(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestAndTable(t *testing.T) {
+	want := map[[2]V]V{
+		{Zero, Zero}: Zero, {Zero, One}: Zero, {Zero, X}: Zero,
+		{One, Zero}: Zero, {One, One}: One, {One, X}: X,
+		{X, Zero}: Zero, {X, One}: X, {X, X}: X,
+	}
+	for in, w := range want {
+		if got := And(in[0], in[1]); got != w {
+			t.Errorf("And(%s,%s) = %s, want %s", in[0], in[1], got, w)
+		}
+	}
+}
+
+func TestOrTable(t *testing.T) {
+	want := map[[2]V]V{
+		{Zero, Zero}: Zero, {Zero, One}: One, {Zero, X}: X,
+		{One, Zero}: One, {One, One}: One, {One, X}: One,
+		{X, Zero}: X, {X, One}: One, {X, X}: X,
+	}
+	for in, w := range want {
+		if got := Or(in[0], in[1]); got != w {
+			t.Errorf("Or(%s,%s) = %s, want %s", in[0], in[1], got, w)
+		}
+	}
+}
+
+func TestXorTable(t *testing.T) {
+	want := map[[2]V]V{
+		{Zero, Zero}: Zero, {Zero, One}: One, {Zero, X}: X,
+		{One, Zero}: One, {One, One}: Zero, {One, X}: X,
+		{X, Zero}: X, {X, One}: X, {X, X}: X,
+	}
+	for in, w := range want {
+		if got := Xor(in[0], in[1]); got != w {
+			t.Errorf("Xor(%s,%s) = %s, want %s", in[0], in[1], got, w)
+		}
+	}
+}
+
+// De Morgan's law must hold in the three-valued algebra.
+func TestDeMorgan(t *testing.T) {
+	for _, a := range allV {
+		for _, b := range allV {
+			if And(a, b).Not() != Or(a.Not(), b.Not()) {
+				t.Errorf("De Morgan violated for %s,%s", a, b)
+			}
+		}
+	}
+}
+
+func TestCommutativityAssociativity(t *testing.T) {
+	for _, a := range allV {
+		for _, b := range allV {
+			if And(a, b) != And(b, a) {
+				t.Errorf("And not commutative for %s,%s", a, b)
+			}
+			if Or(a, b) != Or(b, a) {
+				t.Errorf("Or not commutative for %s,%s", a, b)
+			}
+			if Xor(a, b) != Xor(b, a) {
+				t.Errorf("Xor not commutative for %s,%s", a, b)
+			}
+			for _, c := range allV {
+				if And(And(a, b), c) != And(a, And(b, c)) {
+					t.Errorf("And not associative for %s,%s,%s", a, b, c)
+				}
+				if Or(Or(a, b), c) != Or(a, Or(b, c)) {
+					t.Errorf("Or not associative for %s,%s,%s", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// Monotonicity: refining an X input to a concrete value must never change an
+// already-known output. This is the property that makes three-valued
+// simulation a sound abstraction of binary simulation.
+func TestMonotonicity(t *testing.T) {
+	type op struct {
+		name string
+		f    func(a, b V) V
+	}
+	ops := []op{{"And", And}, {"Or", Or}, {"Xor", Xor}}
+	refinements := []V{Zero, One}
+	for _, o := range ops {
+		for _, b := range allV {
+			known := o.f(X, b)
+			if !known.IsKnown() {
+				continue
+			}
+			for _, r := range refinements {
+				if got := o.f(r, b); got != known {
+					t.Errorf("%s: refining X->%s with other input %s changed output %s->%s",
+						o.name, r, b, known, got)
+				}
+			}
+		}
+	}
+}
+
+func TestFromBoolFromBit(t *testing.T) {
+	if FromBool(true) != One || FromBool(false) != Zero {
+		t.Fatal("FromBool wrong")
+	}
+	if FromBit(7) != One || FromBit(6) != Zero {
+		t.Fatal("FromBit wrong")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	for _, a := range allV {
+		if !a.Compatible(X) || !X.Compatible(a) {
+			t.Errorf("X must be compatible with %s", a)
+		}
+	}
+	if Zero.Compatible(One) || One.Compatible(Zero) {
+		t.Error("0 and 1 must be incompatible")
+	}
+	if !One.Compatible(One) || !Zero.Compatible(Zero) {
+		t.Error("equal values must be compatible")
+	}
+}
+
+func TestParseVRoundTrip(t *testing.T) {
+	for _, v := range allV {
+		got, err := ParseV(v.String()[0])
+		if err != nil || got != v {
+			t.Errorf("ParseV(%s) = %s, %v", v, got, err)
+		}
+	}
+	if _, err := ParseV('?'); err == nil {
+		t.Error("ParseV('?') should fail")
+	}
+}
+
+func TestVectorParseString(t *testing.T) {
+	vec, err := ParseVector("01X10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.String() != "01X10" {
+		t.Errorf("round trip gave %s", vec)
+	}
+	if _, err := ParseVector("01?"); err == nil {
+		t.Error("invalid char should fail")
+	}
+}
+
+func TestVectorMatchesCovers(t *testing.T) {
+	want, _ := ParseVector("1X0X")
+	got, _ := ParseVector("1100")
+	if n := want.Matches(got); n != 4 {
+		t.Errorf("Matches = %d, want 4 (X positions always match)", n)
+	}
+	if !want.Covers(got) {
+		t.Error("want should cover got")
+	}
+	got2, _ := ParseVector("0100")
+	if n := want.Matches(got2); n != 3 {
+		t.Errorf("Matches = %d, want 3", n)
+	}
+	if want.Covers(got2) {
+		t.Error("mismatched required bit must not be covered")
+	}
+	// A required bit left X in got is not covered.
+	got3, _ := ParseVector("XX0X")
+	if want.Matches(got3) != 3 {
+		t.Errorf("X in got must not match a required 1")
+	}
+}
+
+func TestVectorCloneIndependence(t *testing.T) {
+	a, _ := ParseVector("01X")
+	b := a.Clone()
+	b[0] = One
+	if a[0] != Zero {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestVectorCountKnown(t *testing.T) {
+	v, _ := ParseVector("0X1XX1")
+	if v.CountKnown() != 3 {
+		t.Errorf("CountKnown = %d, want 3", v.CountKnown())
+	}
+	if NewVector(5).CountKnown() != 0 {
+		t.Error("NewVector must be all-X")
+	}
+}
+
+// Property: Matches is bounded by len and Covers implies Matches == len.
+func TestMatchesCoversProperty(t *testing.T) {
+	f := func(wantBits, gotBits []bool) bool {
+		n := len(wantBits)
+		if len(gotBits) < n {
+			n = len(gotBits)
+		}
+		want := make(Vector, n)
+		got := make(Vector, n)
+		for i := 0; i < n; i++ {
+			want[i] = FromBool(wantBits[i])
+			got[i] = FromBool(gotBits[i])
+		}
+		m := want.Matches(got)
+		if m > n {
+			return false
+		}
+		if want.Covers(got) != (m == n) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

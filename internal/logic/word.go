@@ -1,0 +1,124 @@
+package logic
+
+import "math/bits"
+
+// Lanes is the number of independent patterns packed into one Word. The paper
+// used the 32-bit machine word of a SPARCstation 20; on a 64-bit machine we
+// simulate 64 sequences (or 64 faults) in parallel.
+const Lanes = 64
+
+// Word packs 64 three-valued logic values using the classic two-word
+// encoding: bit i of Ones set means lane i carries logic 1, bit i of Zeros
+// set means lane i carries logic 0, neither bit set means unknown. A lane
+// must never have both bits set; all operations preserve that invariant.
+type Word struct {
+	Ones  uint64
+	Zeros uint64
+}
+
+// WordAllX is the all-unknown word.
+var WordAllX = Word{}
+
+// WordAll returns a word with every lane set to v.
+func WordAll(v V) Word {
+	switch v {
+	case Zero:
+		return Word{Zeros: ^uint64(0)}
+	case One:
+		return Word{Ones: ^uint64(0)}
+	default:
+		return Word{}
+	}
+}
+
+// Get returns the value in lane i.
+func (w Word) Get(i int) V {
+	bit := uint64(1) << uint(i)
+	switch {
+	case w.Ones&bit != 0:
+		return One
+	case w.Zeros&bit != 0:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// WithLane returns w with lane i set to v.
+func (w Word) WithLane(i int, v V) Word {
+	bit := uint64(1) << uint(i)
+	w.Ones &^= bit
+	w.Zeros &^= bit
+	switch v {
+	case One:
+		w.Ones |= bit
+	case Zero:
+		w.Zeros |= bit
+	}
+	return w
+}
+
+// Valid reports whether no lane has both the one and zero bits set.
+func (w Word) Valid() bool { return w.Ones&w.Zeros == 0 }
+
+// Defined returns the mask of lanes carrying a known value.
+func (w Word) Defined() uint64 { return w.Ones | w.Zeros }
+
+// NotW returns the lanewise complement (X stays X).
+func NotW(a Word) Word { return Word{Ones: a.Zeros, Zeros: a.Ones} }
+
+// AndW returns the lanewise three-valued conjunction.
+func AndW(a, b Word) Word {
+	return Word{Ones: a.Ones & b.Ones, Zeros: a.Zeros | b.Zeros}
+}
+
+// OrW returns the lanewise three-valued disjunction.
+func OrW(a, b Word) Word {
+	return Word{Ones: a.Ones | b.Ones, Zeros: a.Zeros & b.Zeros}
+}
+
+// XorW returns the lanewise three-valued exclusive-or: a lane is known only
+// when both operand lanes are known.
+func XorW(a, b Word) Word {
+	both := a.Defined() & b.Defined()
+	ones := (a.Ones & b.Zeros) | (a.Zeros & b.Ones)
+	zeros := (a.Ones & b.Ones) | (a.Zeros & b.Zeros)
+	return Word{Ones: ones & both, Zeros: zeros & both}
+}
+
+// MuxW returns the lanewise select: sel==1 picks t, sel==0 picks f, and an
+// unknown select yields a known output only where t and f agree. The
+// consensus term t·f removes the X-pessimism of the naive sum-of-products
+// decomposition.
+func MuxW(sel, t, f Word) Word {
+	return OrW(OrW(AndW(sel, t), AndW(NotW(sel), f)), AndW(t, f))
+}
+
+// EqMask returns the mask of lanes where a and b are both known and equal.
+func EqMask(a, b Word) uint64 {
+	return (a.Ones & b.Ones) | (a.Zeros & b.Zeros)
+}
+
+// DiffMask returns the mask of lanes where a and b are both known and differ.
+// This is the fault-detection test: a good/faulty output pair differing with
+// both values binary.
+func DiffMask(a, b Word) uint64 {
+	return (a.Ones & b.Zeros) | (a.Zeros & b.Ones)
+}
+
+// PopCount returns the number of set bits in m.
+func PopCount(m uint64) int { return bits.OnesCount64(m) }
+
+// SpreadV returns a word whose lanes selected by mask carry v and whose other
+// lanes carry old's values.
+func SpreadV(old Word, mask uint64, v V) Word {
+	old.Ones &^= mask
+	old.Zeros &^= mask
+	switch v {
+	case One:
+		old.Ones |= mask
+	case Zero:
+		old.Zeros |= mask
+	}
+	return old
+}

@@ -1,0 +1,252 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomWord builds a valid Word with random lanes and returns the scalar
+// values alongside for cross-checking.
+func randomWord(r *rand.Rand) (Word, [Lanes]V) {
+	var w Word
+	var vals [Lanes]V
+	for i := 0; i < Lanes; i++ {
+		v := allV[r.Intn(len(allV))]
+		w = w.WithLane(i, v)
+		vals[i] = v
+	}
+	return w, vals
+}
+
+// The central property of the packed representation: every lanewise word
+// operation must agree with the scalar three-valued operation in every lane.
+func TestWordOpsAgreeWithScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	type binOp struct {
+		name   string
+		word   func(a, b Word) Word
+		scalar func(a, b V) V
+	}
+	ops := []binOp{
+		{"And", AndW, And},
+		{"Or", OrW, Or},
+		{"Xor", XorW, Xor},
+	}
+	for trial := 0; trial < 200; trial++ {
+		wa, va := randomWord(r)
+		wb, vb := randomWord(r)
+		for _, op := range ops {
+			got := op.word(wa, wb)
+			if !got.Valid() {
+				t.Fatalf("%s produced invalid word", op.name)
+			}
+			for i := 0; i < Lanes; i++ {
+				want := op.scalar(va[i], vb[i])
+				if got.Get(i) != want {
+					t.Fatalf("%s lane %d: got %s, want %s (a=%s b=%s)",
+						op.name, i, got.Get(i), want, va[i], vb[i])
+				}
+			}
+		}
+		gotNot := NotW(wa)
+		for i := 0; i < Lanes; i++ {
+			if gotNot.Get(i) != va[i].Not() {
+				t.Fatalf("Not lane %d: got %s, want %s", i, gotNot.Get(i), va[i].Not())
+			}
+		}
+	}
+}
+
+func TestWordAll(t *testing.T) {
+	for _, v := range allV {
+		w := WordAll(v)
+		if !w.Valid() {
+			t.Fatalf("WordAll(%s) invalid", v)
+		}
+		for i := 0; i < Lanes; i += 7 {
+			if w.Get(i) != v {
+				t.Fatalf("WordAll(%s) lane %d = %s", v, i, w.Get(i))
+			}
+		}
+	}
+	if WordAllX != WordAll(X) {
+		t.Error("WordAllX mismatch")
+	}
+}
+
+func TestWithLaneGetRoundTrip(t *testing.T) {
+	w := WordAll(Zero)
+	w = w.WithLane(5, One)
+	w = w.WithLane(9, X)
+	if w.Get(5) != One || w.Get(9) != X || w.Get(0) != Zero {
+		t.Errorf("lane round trip failed: %v", w)
+	}
+	if !w.Valid() {
+		t.Error("WithLane broke validity")
+	}
+}
+
+func TestDefinedMask(t *testing.T) {
+	w := WordAllX
+	w = w.WithLane(3, One)
+	w = w.WithLane(17, Zero)
+	want := uint64(1)<<3 | uint64(1)<<17
+	if w.Defined() != want {
+		t.Errorf("Defined = %#x, want %#x", w.Defined(), want)
+	}
+}
+
+func TestEqDiffMask(t *testing.T) {
+	a := WordAllX.WithLane(0, One).WithLane(1, Zero).WithLane(2, One).WithLane(3, X)
+	b := WordAllX.WithLane(0, One).WithLane(1, One).WithLane(2, X).WithLane(3, Zero)
+	if EqMask(a, b) != 1 {
+		t.Errorf("EqMask = %#x, want 1", EqMask(a, b))
+	}
+	if DiffMask(a, b) != 2 {
+		t.Errorf("DiffMask = %#x, want 2", DiffMask(a, b))
+	}
+}
+
+func TestMuxW(t *testing.T) {
+	tv := WordAll(One)
+	fv := WordAll(Zero)
+	if got := MuxW(WordAll(One), tv, fv); got != tv {
+		t.Errorf("mux sel=1 gave %v", got)
+	}
+	if got := MuxW(WordAll(Zero), tv, fv); got != fv {
+		t.Errorf("mux sel=0 gave %v", got)
+	}
+	// Unknown select with agreeing data stays known.
+	if got := MuxW(WordAllX, tv, tv); got != tv {
+		t.Errorf("mux selX same data gave %v", got)
+	}
+	// Unknown select with different data is unknown.
+	if got := MuxW(WordAllX, tv, fv); got != WordAllX {
+		t.Errorf("mux selX diff data gave %v", got)
+	}
+}
+
+func TestSpreadV(t *testing.T) {
+	w := WordAll(Zero)
+	w = SpreadV(w, 0xFF, One)
+	for i := 0; i < 8; i++ {
+		if w.Get(i) != One {
+			t.Fatalf("lane %d not spread", i)
+		}
+	}
+	if w.Get(8) != Zero {
+		t.Fatal("lane 8 clobbered")
+	}
+	w = SpreadV(w, 0xF, X)
+	if w.Get(0) != X || w.Get(4) != One {
+		t.Fatal("SpreadV X failed")
+	}
+	if !w.Valid() {
+		t.Fatal("SpreadV broke validity")
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	if PopCount(0) != 0 || PopCount(^uint64(0)) != 64 || PopCount(0b1011) != 3 {
+		t.Fatal("PopCount wrong")
+	}
+}
+
+// Property: operations on arbitrary (possibly invalid-bit-pattern) inputs
+// sanitized through WithLane keep validity, and De Morgan holds lanewise.
+func TestWordDeMorganProperty(t *testing.T) {
+	f := func(o1, z1, o2, z2 uint64) bool {
+		a := Word{Ones: o1 &^ z1, Zeros: z1 &^ o1}
+		b := Word{Ones: o2 &^ z2, Zeros: z2 &^ o2}
+		lhs := NotW(AndW(a, b))
+		rhs := OrW(NotW(a), NotW(b))
+		return lhs == rhs && lhs.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDVAlgebra(t *testing.T) {
+	if !DD.IsFaultEffect() || !DB.IsFaultEffect() {
+		t.Error("D and D' must be fault effects")
+	}
+	if DV0.IsFaultEffect() || DV1.IsFaultEffect() || DVX.IsFaultEffect() {
+		t.Error("0/1/X are not fault effects")
+	}
+	if DD.Not() != DB || DB.Not() != DD {
+		t.Error("Not(D) must be D'")
+	}
+	// D AND 1 = D; D AND 0 = 0; D AND D' = 0; D OR D' = 1.
+	if AndDV(DD, DV1) != DD {
+		t.Error("D AND 1 != D")
+	}
+	if AndDV(DD, DV0) != DV0 {
+		t.Error("D AND 0 != 0")
+	}
+	if AndDV(DD, DB) != DV0 {
+		t.Error("D AND D' != 0")
+	}
+	if OrDV(DD, DB) != DV1 {
+		t.Error("D OR D' != 1")
+	}
+	if XorDV(DD, DB) != DV1 {
+		t.Error("D XOR D' != 1")
+	}
+	if XorDV(DD, DD) != DV0 {
+		t.Error("D XOR D != 0")
+	}
+}
+
+// Property: the composite algebra is exactly componentwise three-valued
+// evaluation (this is what lets the ATPG engine share semantics with the
+// simulator).
+func TestDVComponentwise(t *testing.T) {
+	for _, ag := range allV {
+		for _, af := range allV {
+			for _, bg := range allV {
+				for _, bf := range allV {
+					a := DV{ag, af}
+					b := DV{bg, bf}
+					if AndDV(a, b) != (DV{And(ag, bg), And(af, bf)}) {
+						t.Fatalf("AndDV not componentwise at %v,%v", a, b)
+					}
+					if OrDV(a, b) != (DV{Or(ag, bg), Or(af, bf)}) {
+						t.Fatalf("OrDV not componentwise at %v,%v", a, b)
+					}
+					if XorDV(a, b) != (DV{Xor(ag, bg), Xor(af, bf)}) {
+						t.Fatalf("XorDV not componentwise at %v,%v", a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDVString(t *testing.T) {
+	cases := map[DV]string{
+		DV0: "0", DV1: "1", DD: "D", DB: "D'", DVX: "X",
+		{One, X}: "(1/X)",
+	}
+	for in, want := range cases {
+		if in.String() != want {
+			t.Errorf("String(%v) = %s, want %s", in, in.String(), want)
+		}
+	}
+}
+
+func TestDVCompatible(t *testing.T) {
+	if !DVX.Compatible(DD) {
+		t.Error("X compatible with D")
+	}
+	if DD.Compatible(DB) {
+		t.Error("D incompatible with D'")
+	}
+	if !(DV{One, X}).Compatible(DD) {
+		t.Error("(1/X) compatible with D")
+	}
+	if (DV{Zero, X}).Compatible(DD) {
+		t.Error("(0/X) incompatible with D")
+	}
+}

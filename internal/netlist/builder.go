@@ -1,0 +1,234 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder constructs a Circuit incrementally. Signals may be referenced
+// before they are defined (necessary for feedback through flip-flops); all
+// references are resolved at Build time.
+type Builder struct {
+	name    string
+	nodes   []Node
+	byName  map[string]ID
+	pis     []ID
+	pos     []string // output names, resolved at Build
+	dffs    []ID
+	depth   int
+	err     error
+	autoGen int
+}
+
+// NewBuilder returns a Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]ID)}
+}
+
+// fail records the first error; subsequent calls keep building so the caller
+// can use the fluent style without checking every call.
+func (b *Builder) fail(format string, args ...any) ID {
+	if b.err == nil {
+		b.err = fmt.Errorf("netlist %s: %s", b.name, fmt.Sprintf(format, args...))
+	}
+	return None
+}
+
+// declare creates the node for name, or fills in a forward-referenced
+// placeholder.
+func (b *Builder) declare(name string, kind Kind, fanin []ID) ID {
+	if id, ok := b.byName[name]; ok {
+		n := &b.nodes[id]
+		if n.Kind != kindForward {
+			return b.fail("signal %q defined twice", name)
+		}
+		n.Kind = kind
+		n.Fanin = fanin
+		return id
+	}
+	id := ID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{Kind: kind, Name: name, Fanin: fanin})
+	b.byName[name] = id
+	return id
+}
+
+// kindForward marks a node that has been referenced but not yet defined.
+const kindForward = numKinds
+
+// Ref returns the ID for a signal name, creating a forward reference if the
+// signal has not been defined yet.
+func (b *Builder) Ref(name string) ID {
+	if id, ok := b.byName[name]; ok {
+		return id
+	}
+	id := ID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{Kind: kindForward, Name: name})
+	b.byName[name] = id
+	return id
+}
+
+// FreshName returns a generated signal name guaranteed not to collide with
+// user names that avoid the "__" prefix.
+func (b *Builder) FreshName() string {
+	b.autoGen++
+	return fmt.Sprintf("__n%d", b.autoGen)
+}
+
+// Input declares a primary input.
+func (b *Builder) Input(name string) ID {
+	id := b.declare(name, KInput, nil)
+	if id != None {
+		b.pis = append(b.pis, id)
+	}
+	return id
+}
+
+// Output marks a signal name as a primary output.
+func (b *Builder) Output(name string) {
+	b.pos = append(b.pos, name)
+}
+
+// Gate declares a logic gate driving signal name.
+func (b *Builder) Gate(kind Kind, name string, fanin ...ID) ID {
+	if !kind.IsGate() {
+		return b.fail("Gate called with non-gate kind %s", kind)
+	}
+	for _, f := range fanin {
+		if f == None {
+			return b.fail("gate %q has invalid fanin", name)
+		}
+	}
+	fi := make([]ID, len(fanin))
+	copy(fi, fanin)
+	return b.declare(name, kind, fi)
+}
+
+// DFF declares a flip-flop whose Q output drives signal name and whose D
+// input is d.
+func (b *Builder) DFF(name string, d ID) ID {
+	if d == None {
+		return b.fail("dff %q has invalid fanin", name)
+	}
+	id := b.declare(name, KDFF, []ID{d})
+	if id != None {
+		b.dffs = append(b.dffs, id)
+	}
+	return id
+}
+
+// Const declares a constant-0 or constant-1 signal.
+func (b *Builder) Const(name string, one bool) ID {
+	k := KConst0
+	if one {
+		k = KConst1
+	}
+	return b.declare(name, k, nil)
+}
+
+// SetDeclaredDepth overrides the computed sequential depth (used by
+// benchmark constructors to match the paper's published depths).
+func (b *Builder) SetDeclaredDepth(d int) { b.depth = d }
+
+// Err returns the first error recorded so far.
+func (b *Builder) Err() error { return b.err }
+
+// Build validates the circuit and computes the derived structure.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for i := range b.nodes {
+		n := &b.nodes[i]
+		if n.Kind == kindForward {
+			return nil, fmt.Errorf("netlist %s: signal %q referenced but never defined", b.name, n.Name)
+		}
+		if got, min, max := len(n.Fanin), n.Kind.MinFanin(), n.Kind.MaxFanin(); got < min || (max >= 0 && got > max) {
+			return nil, fmt.Errorf("netlist %s: %s %q has %d fanins", b.name, n.Kind, n.Name, got)
+		}
+	}
+	c := &Circuit{
+		Name:          b.name,
+		Nodes:         b.nodes,
+		PIs:           b.pis,
+		DFFs:          b.dffs,
+		byName:        b.byName,
+		declaredDepth: b.depth,
+	}
+	seenPO := make(map[string]bool)
+	for _, name := range b.pos {
+		id, ok := b.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("netlist %s: output %q undefined", b.name, name)
+		}
+		if seenPO[name] {
+			continue
+		}
+		seenPO[name] = true
+		c.POs = append(c.POs, id)
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// finish computes fanouts, levels, topological order, and validates that the
+// combinational core is acyclic.
+func (c *Circuit) finish() error {
+	n := len(c.Nodes)
+	c.Fanouts = make([][]ID, n)
+	for i := range c.Nodes {
+		for _, f := range c.Nodes[i].Fanin {
+			c.Fanouts[f] = append(c.Fanouts[f], ID(i))
+		}
+	}
+
+	// Levelize: PIs, DFF outputs and constants are at level 0. A gate is at
+	// 1 + max(level of fanins). DFF D-inputs do not contribute to levels
+	// (they close the sequential loop).
+	c.Level = make([]int32, n)
+	state := make([]uint8, n) // 0 = unvisited, 1 = in progress, 2 = done
+	var order []ID
+	var visit func(id ID) error
+	visit = func(id ID) error {
+		switch state[id] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("netlist %s: combinational cycle through %q", c.Name, c.Nodes[id].Name)
+		}
+		state[id] = 1
+		nd := &c.Nodes[id]
+		lvl := int32(0)
+		if nd.Kind.IsGate() {
+			for _, f := range nd.Fanin {
+				if err := visit(f); err != nil {
+					return err
+				}
+				if l := c.Level[f] + 1; l > lvl {
+					lvl = l
+				}
+			}
+		}
+		c.Level[id] = lvl
+		state[id] = 2
+		if nd.Kind.IsGate() {
+			order = append(order, id)
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := visit(ID(i)); err != nil {
+			return err
+		}
+	}
+	// Stable level order (ties broken by ID) gives deterministic evaluation.
+	sort.SliceStable(order, func(i, j int) bool {
+		if c.Level[order[i]] != c.Level[order[j]] {
+			return c.Level[order[i]] < c.Level[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	c.Order = order
+	return nil
+}

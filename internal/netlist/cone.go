@@ -1,0 +1,91 @@
+package netlist
+
+// This file provides structural cone utilities: the transitive fanin of a
+// signal (through or stopping at flip-flops) and the transitive fanout
+// reach. ATPG debugging, diagnosis and the redundancy analyses use them to
+// answer "what can influence this node?" and "where can this fault go?".
+
+// FaninCone returns every node in the combinational transitive fanin of id,
+// including id itself. Traversal stops at flip-flops, primary inputs and
+// constants (their IDs are included; their fanins are not followed).
+func (c *Circuit) FaninCone(id ID) []ID {
+	seen := make(map[ID]bool)
+	var stack []ID
+	stack = append(stack, id)
+	var out []ID
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+		if c.Nodes[n].Kind.IsGate() {
+			stack = append(stack, c.Nodes[n].Fanin...)
+		}
+	}
+	return out
+}
+
+// SequentialFaninCone is FaninCone extended through flip-flops: the full set
+// of nodes that can influence id across any number of clock cycles.
+func (c *Circuit) SequentialFaninCone(id ID) []ID {
+	seen := make(map[ID]bool)
+	var stack []ID
+	stack = append(stack, id)
+	var out []ID
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+		switch c.Nodes[n].Kind {
+		case KInput, KConst0, KConst1:
+		default:
+			stack = append(stack, c.Nodes[n].Fanin...)
+		}
+	}
+	return out
+}
+
+// FanoutReach returns every node reachable from id through fanout edges,
+// crossing flip-flops, including id itself. A fault on id can only ever be
+// observed at primary outputs inside this set.
+func (c *Circuit) FanoutReach(id ID) []ID {
+	seen := make(map[ID]bool)
+	var stack []ID
+	stack = append(stack, id)
+	var out []ID
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+		stack = append(stack, c.Fanouts[n]...)
+	}
+	return out
+}
+
+// ObservablePOs returns the primary outputs structurally reachable from id.
+// An empty result proves every fault on id untestable (necessary condition
+// only in the other direction: reachability does not imply testability).
+func (c *Circuit) ObservablePOs(id ID) []ID {
+	reach := make(map[ID]bool)
+	for _, n := range c.FanoutReach(id) {
+		reach[n] = true
+	}
+	var out []ID
+	for _, po := range c.POs {
+		if reach[po] {
+			out = append(out, po)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package netlist
+
+import "testing"
+
+func TestFaninConeStopsAtFFs(t *testing.T) {
+	c := buildToy(t) // n1 = AND(a, q); n2 = OR(n1, b); q = DFF(n2)
+	n2, _ := c.Lookup("n2")
+	cone := c.FaninCone(n2)
+	names := map[string]bool{}
+	for _, id := range cone {
+		names[c.Nodes[id].Name] = true
+	}
+	for _, want := range []string{"n2", "n1", "a", "b", "q"} {
+		if !names[want] {
+			t.Errorf("cone missing %s", want)
+		}
+	}
+	if len(cone) != 5 {
+		t.Errorf("cone size %d, want 5", len(cone))
+	}
+}
+
+func TestSequentialConeCrossesFFs(t *testing.T) {
+	c := buildToy(t)
+	n1, _ := c.Lookup("n1")
+	seq := c.SequentialFaninCone(n1)
+	// Through q the cone reaches n2 and thus b.
+	names := map[string]bool{}
+	for _, id := range seq {
+		names[c.Nodes[id].Name] = true
+	}
+	if !names["b"] || !names["n2"] {
+		t.Errorf("sequential cone did not cross the flip-flop: %v", names)
+	}
+}
+
+func TestFanoutReachAndObservability(t *testing.T) {
+	c := buildToy(t)
+	a, _ := c.Lookup("a")
+	pos := c.ObservablePOs(a)
+	if len(pos) != 1 {
+		t.Fatalf("a observes %d POs, want 1", len(pos))
+	}
+	// A node feeding only a dead cone observes nothing.
+	b := NewBuilder("dead")
+	in := b.Input("x")
+	k0 := b.Const("k0", false)
+	n := b.Gate(KNot, "n", in)
+	b.Gate(KAnd, "dead", n, k0)
+	y := b.Gate(KBuf, "y", in)
+	_ = y
+	b.Output("y")
+	cc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nID, _ := cc.Lookup("n")
+	if got := cc.ObservablePOs(nID); len(got) != 0 {
+		t.Fatalf("dead node observes %d POs", len(got))
+	}
+	xID, _ := cc.Lookup("x")
+	if got := cc.ObservablePOs(xID); len(got) != 1 {
+		t.Fatalf("x observes %d POs, want 1", len(got))
+	}
+}
+
+func TestFanoutReachIncludesSelf(t *testing.T) {
+	c := buildToy(t)
+	n2, _ := c.Lookup("n2")
+	reach := c.FanoutReach(n2)
+	found := false
+	for _, id := range reach {
+		if id == n2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("reach must include the node itself")
+	}
+}

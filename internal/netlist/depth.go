@@ -1,0 +1,182 @@
+package netlist
+
+// This file computes the sequential depth of a circuit: the length of the
+// longest register-to-register dependency chain. The paper sizes the GA's
+// candidate-sequence length as a multiple of this depth. Flip-flop feedback
+// makes the dependency graph cyclic, so the depth is computed on the
+// strongly-connected-component condensation, each component contributing one
+// level (a cycle can be traversed once per frame, but revisiting it does not
+// deepen the *shortest* controlling prefix).
+
+// ffDeps returns, for each flip-flop index, the set of flip-flop indices its
+// D-input cone reads.
+func (c *Circuit) ffDeps() [][]int {
+	ffIndex := make(map[ID]int, len(c.DFFs))
+	for i, f := range c.DFFs {
+		ffIndex[f] = i
+	}
+	deps := make([][]int, len(c.DFFs))
+	// Reverse reachability from each D input through combinational nodes.
+	for i, f := range c.DFFs {
+		d := c.Nodes[f].Fanin[0]
+		seen := make(map[ID]bool)
+		var stack []ID
+		stack = append(stack, d)
+		var ds []int
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			nd := &c.Nodes[id]
+			if nd.Kind == KDFF {
+				ds = append(ds, ffIndex[id])
+				continue
+			}
+			stack = append(stack, nd.Fanin...)
+		}
+		deps[i] = ds
+	}
+	return deps
+}
+
+// SeqDepth returns the declared sequential depth if one was set by the
+// builder, otherwise the computed depth.
+func (c *Circuit) SeqDepth() int {
+	if c.declaredDepth > 0 {
+		return c.declaredDepth
+	}
+	return c.ComputedSeqDepth()
+}
+
+// ComputedSeqDepth computes the sequential depth from the structure: the
+// longest path in the SCC condensation of the flip-flop dependency graph,
+// counting one frame per component on the path. A circuit with no flip-flops
+// has depth 0; flip-flops fed only by primary inputs contribute depth 1.
+func (c *Circuit) ComputedSeqDepth() int {
+	nFF := len(c.DFFs)
+	if nFF == 0 {
+		return 0
+	}
+	deps := c.ffDeps()
+	comp := tarjanSCC(nFF, deps)
+
+	// Longest path over the condensation DAG (edges dep -> dependent).
+	nComp := 0
+	for _, cid := range comp {
+		if cid+1 > nComp {
+			nComp = cid + 1
+		}
+	}
+	// depth[k] = longest chain ending at component k.
+	depth := make([]int, nComp)
+	var compDepth func(k int) int
+	memo := make([]bool, nComp)
+	// Component edges: for FF i with dep j, edge comp[j] -> comp[i].
+	preds := make([][]int, nComp)
+	for i, ds := range deps {
+		for _, j := range ds {
+			if comp[j] != comp[i] {
+				preds[comp[i]] = append(preds[comp[i]], comp[j])
+			}
+		}
+	}
+	compDepth = func(k int) int {
+		if memo[k] {
+			return depth[k]
+		}
+		memo[k] = true
+		best := 0
+		for _, p := range preds[k] {
+			if d := compDepth(p); d > best {
+				best = d
+			}
+		}
+		depth[k] = best + 1
+		return depth[k]
+	}
+	max := 0
+	for k := 0; k < nComp; k++ {
+		if d := compDepth(k); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// tarjanSCC assigns a component ID to each of n vertices given adjacency
+// lists adj (edges v -> adj[v], read as "v depends on"). Component IDs are
+// in reverse topological order of the condensation; only membership is used.
+func tarjanSCC(n int, adj [][]int) []int {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	counter := 0
+	nComp := 0
+
+	type frame struct {
+		v, i int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		work := []frame{{root, 0}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.i == 0 {
+				index[v] = counter
+				low[v] = counter
+				counter++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.i < len(adj[v]) {
+				w := adj[v][f.i]
+				f.i++
+				if index[w] == unvisited {
+					work = append(work, frame{w, 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return comp
+}

@@ -1,0 +1,136 @@
+package netlist
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFaninArityTable(t *testing.T) {
+	cases := []struct {
+		kind     Kind
+		min, max int
+	}{
+		{KInput, 0, 0},
+		{KConst0, 0, 0},
+		{KConst1, 0, 0},
+		{KBuf, 1, 1},
+		{KNot, 1, 1},
+		{KDFF, 1, 1},
+		{KAnd, 1, -1},
+		{KXor, 1, -1},
+	}
+	for _, tc := range cases {
+		if tc.kind.MinFanin() != tc.min || tc.kind.MaxFanin() != tc.max {
+			t.Errorf("%s: fanin bounds %d/%d, want %d/%d",
+				tc.kind, tc.kind.MinFanin(), tc.kind.MaxFanin(), tc.min, tc.max)
+		}
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	c := buildToy(t)
+	if _, ok := c.Lookup("ghost"); ok {
+		t.Error("Lookup found a nonexistent signal")
+	}
+	if c.DFFIndex(ID(0)) != -1 && c.Nodes[0].Kind != KDFF {
+		t.Error("DFFIndex hit on non-DFF")
+	}
+	if c.PIIndex(ID(len(c.Nodes)-1)) != -1 && c.Nodes[len(c.Nodes)-1].Kind != KInput {
+		t.Error("PIIndex hit on non-PI")
+	}
+}
+
+func TestIsPONegative(t *testing.T) {
+	c := buildToy(t)
+	n1, _ := c.Lookup("n1")
+	if c.IsPO(n1) {
+		t.Error("n1 is not a PO")
+	}
+}
+
+// A thousand-gate chain levelizes without stack trouble and with strictly
+// increasing levels.
+func TestDeepChainLevelization(t *testing.T) {
+	b := NewBuilder("deep")
+	prev := b.Input("in")
+	const depth = 1000
+	for i := 0; i < depth; i++ {
+		prev = b.Gate(KNot, fmt.Sprintf("n%d", i), prev)
+	}
+	b.Output(fmt.Sprintf("n%d", depth-1))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := c.Lookup(fmt.Sprintf("n%d", depth-1))
+	if c.Level[last] != depth {
+		t.Errorf("deepest level %d, want %d", c.Level[last], depth)
+	}
+}
+
+// Self-loop DFF (q = DFF(q)) is structurally legal (a hold register).
+func TestSelfLoopDFF(t *testing.T) {
+	b := NewBuilder("hold")
+	q := b.Ref("q")
+	b.DFF("q", q)
+	b.Input("a")
+	b.Output("q")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ComputedSeqDepth() != 1 {
+		t.Errorf("self-loop depth = %d", c.ComputedSeqDepth())
+	}
+}
+
+// Two parallel FF chains: depth is the longer one.
+func TestSeqDepthParallelChains(t *testing.T) {
+	b := NewBuilder("par")
+	in := b.Input("in")
+	prev := in
+	for i := 0; i < 3; i++ {
+		prev = b.DFF(fmt.Sprintf("a%d", i), prev)
+	}
+	prev2 := in
+	for i := 0; i < 7; i++ {
+		prev2 = b.DFF(fmt.Sprintf("b%d", i), prev2)
+	}
+	y := b.Gate(KAnd, "y", prev, prev2)
+	_ = y
+	b.Output("y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ComputedSeqDepth(); got != 7 {
+		t.Errorf("parallel chains depth = %d, want 7", got)
+	}
+}
+
+// Stats MaxLevel reflects the deepest gate.
+func TestStatsMaxLevel(t *testing.T) {
+	c := buildToy(t)
+	if c.Stats().MaxLevel != 2 {
+		t.Errorf("MaxLevel = %d", c.Stats().MaxLevel)
+	}
+}
+
+func TestBuilderErrSticky(t *testing.T) {
+	b := NewBuilder("sticky")
+	a := b.Input("a")
+	b.Gate(KDFF, "bad", a) // records an error
+	b.Input("c")           // continues without panicking
+	if b.Err() == nil {
+		t.Fatal("error not recorded")
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build ignored recorded error")
+	}
+}
+
+func TestKindStringBounds(t *testing.T) {
+	if Kind(200).String() == "" {
+		t.Error("out-of-range kind produced empty string")
+	}
+}

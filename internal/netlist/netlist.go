@@ -1,0 +1,208 @@
+// Package netlist defines the gate-level circuit representation shared by
+// every subsystem of the test generator: the parsers, the logic and fault
+// simulators, the deterministic ATPG engine and the benchmark synthesizer.
+//
+// A circuit is a flat array of nodes. Every node produces exactly one signal
+// (its "output net") and is identified by a dense integer ID, so simulators
+// can keep per-node values in plain slices. Primary inputs and D flip-flops
+// are node kinds of their own: the value of a DFF node is its Q output (the
+// present-state bit), and its single fanin is the D input read by the clock
+// tick. The clock itself is implicit, as in the ISCAS89 benchmarks.
+package netlist
+
+import "fmt"
+
+// ID is a dense node index within one Circuit.
+type ID int32
+
+// None is the invalid node ID.
+const None ID = -1
+
+// Kind enumerates node kinds. The gate set is the ISCAS89 .bench set.
+type Kind uint8
+
+const (
+	KInput Kind = iota // primary input
+	KBuf               // buffer
+	KNot               // inverter
+	KAnd
+	KNand
+	KOr
+	KNor
+	KXor
+	KXnor
+	KDFF    // D flip-flop: node value = Q, Fanin[0] = D
+	KConst0 // constant 0
+	KConst1 // constant 1
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"INPUT", "BUF", "NOT", "AND", "NAND", "OR", "NOR", "XOR", "XNOR",
+	"DFF", "CONST0", "CONST1",
+}
+
+// String returns the .bench-style keyword for the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// MinFanin returns the minimum legal fanin count for the kind.
+func (k Kind) MinFanin() int {
+	switch k {
+	case KInput, KConst0, KConst1:
+		return 0
+	case KBuf, KNot, KDFF:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// MaxFanin returns the maximum legal fanin count (-1 = unbounded).
+func (k Kind) MaxFanin() int {
+	switch k {
+	case KInput, KConst0, KConst1:
+		return 0
+	case KBuf, KNot, KDFF:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// IsGate reports whether the kind is a combinational logic gate (has fanin
+// and computes a function of it).
+func (k Kind) IsGate() bool {
+	switch k {
+	case KBuf, KNot, KAnd, KNand, KOr, KNor, KXor, KXnor:
+		return true
+	}
+	return false
+}
+
+// Inverting reports whether the gate kind complements its base function
+// (NAND/NOR/XNOR/NOT).
+func (k Kind) Inverting() bool {
+	switch k {
+	case KNot, KNand, KNor, KXnor:
+		return true
+	}
+	return false
+}
+
+// Node is one circuit node.
+type Node struct {
+	Kind  Kind
+	Name  string
+	Fanin []ID
+}
+
+// Circuit is an immutable gate-level sequential circuit. Build one with a
+// Builder (or the bench parser); the constructor performs structural
+// validation and precomputes the derived fields.
+type Circuit struct {
+	Name  string
+	Nodes []Node
+
+	PIs  []ID // primary inputs, in declaration order
+	POs  []ID // primary outputs (node IDs whose value is observable)
+	DFFs []ID // flip-flops, in declaration order
+
+	// Derived structure, filled in by finish():
+	Fanouts [][]ID // per node: nodes reading it
+	Level   []int32
+	Order   []ID // combinational nodes in topological (level) order
+
+	byName map[string]ID
+
+	declaredDepth int
+}
+
+// NumNodes returns the total node count.
+func (c *Circuit) NumNodes() int { return len(c.Nodes) }
+
+// NumGates returns the number of combinational logic gates.
+func (c *Circuit) NumGates() int {
+	n := 0
+	for i := range c.Nodes {
+		if c.Nodes[i].Kind.IsGate() {
+			n++
+		}
+	}
+	return n
+}
+
+// Node returns the node with the given ID.
+func (c *Circuit) Node(id ID) *Node { return &c.Nodes[id] }
+
+// Lookup returns the node ID for a signal name.
+func (c *Circuit) Lookup(name string) (ID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// IsPO reports whether id is a primary output.
+func (c *Circuit) IsPO(id ID) bool {
+	for _, po := range c.POs {
+		if po == id {
+			return true
+		}
+	}
+	return false
+}
+
+// DFFIndex returns the index of id within DFFs, or -1.
+func (c *Circuit) DFFIndex(id ID) int {
+	for i, f := range c.DFFs {
+		if f == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// PIIndex returns the index of id within PIs, or -1.
+func (c *Circuit) PIIndex(id ID) int {
+	for i, p := range c.PIs {
+		if p == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Stats summarizes the circuit for reports.
+type Stats struct {
+	PIs, POs, DFFs, Gates int
+	SeqDepth              int
+	MaxLevel              int
+}
+
+// Stats returns summary statistics.
+func (c *Circuit) Stats() Stats {
+	maxLevel := 0
+	for _, l := range c.Level {
+		if int(l) > maxLevel {
+			maxLevel = int(l)
+		}
+	}
+	return Stats{
+		PIs:      len(c.PIs),
+		POs:      len(c.POs),
+		DFFs:     len(c.DFFs),
+		Gates:    c.NumGates(),
+		SeqDepth: c.SeqDepth(),
+		MaxLevel: maxLevel,
+	}
+}
+
+// String returns a one-line summary.
+func (c *Circuit) String() string {
+	s := c.Stats()
+	return fmt.Sprintf("%s: %d PIs, %d POs, %d DFFs, %d gates, depth %d",
+		c.Name, s.PIs, s.POs, s.DFFs, s.Gates, s.SeqDepth)
+}

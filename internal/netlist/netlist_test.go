@@ -1,0 +1,336 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildToy builds a small sequential circuit:
+//
+//	in a, b;  n1 = AND(a, q);  n2 = OR(n1, b);  q = DFF(n2);  out n2
+func buildToy(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("toy")
+	a := b.Input("a")
+	bb := b.Input("b")
+	q := b.Ref("q")
+	n1 := b.Gate(KAnd, "n1", a, q)
+	n2 := b.Gate(KOr, "n2", n1, bb)
+	b.DFF("q", n2)
+	b.Output("n2")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c
+}
+
+func TestBuilderToy(t *testing.T) {
+	c := buildToy(t)
+	if len(c.PIs) != 2 || len(c.POs) != 1 || len(c.DFFs) != 1 {
+		t.Fatalf("wrong interface: %v", c.Stats())
+	}
+	if c.NumGates() != 2 {
+		t.Fatalf("NumGates = %d", c.NumGates())
+	}
+	q, ok := c.Lookup("q")
+	if !ok || c.Nodes[q].Kind != KDFF {
+		t.Fatal("q not a DFF")
+	}
+	n2, _ := c.Lookup("n2")
+	if c.Nodes[q].Fanin[0] != n2 {
+		t.Fatal("DFF D-input wrong")
+	}
+	if !c.IsPO(n2) {
+		t.Fatal("n2 should be a PO")
+	}
+	if c.DFFIndex(q) != 0 || c.PIIndex(c.PIs[1]) != 1 {
+		t.Fatal("index helpers wrong")
+	}
+}
+
+func TestLevelization(t *testing.T) {
+	c := buildToy(t)
+	a, _ := c.Lookup("a")
+	q, _ := c.Lookup("q")
+	n1, _ := c.Lookup("n1")
+	n2, _ := c.Lookup("n2")
+	if c.Level[a] != 0 || c.Level[q] != 0 {
+		t.Error("sources must be level 0")
+	}
+	if c.Level[n1] != 1 || c.Level[n2] != 2 {
+		t.Errorf("levels: n1=%d n2=%d", c.Level[n1], c.Level[n2])
+	}
+	// Order contains exactly the gates, in non-decreasing level order.
+	if len(c.Order) != 2 {
+		t.Fatalf("Order has %d entries", len(c.Order))
+	}
+	prev := int32(-1)
+	for _, id := range c.Order {
+		if !c.Nodes[id].Kind.IsGate() {
+			t.Errorf("non-gate %s in Order", c.Nodes[id].Name)
+		}
+		if c.Level[id] < prev {
+			t.Error("Order not level-sorted")
+		}
+		prev = c.Level[id]
+	}
+}
+
+// Order must be a topological order: every gate appears after all of its
+// gate fanins.
+func TestOrderTopological(t *testing.T) {
+	c := buildToy(t)
+	pos := make(map[ID]int)
+	for i, id := range c.Order {
+		pos[id] = i
+	}
+	for _, id := range c.Order {
+		for _, f := range c.Nodes[id].Fanin {
+			if c.Nodes[f].Kind.IsGate() && pos[f] > pos[id] {
+				t.Fatalf("gate %s before its fanin %s", c.Nodes[id].Name, c.Nodes[f].Name)
+			}
+		}
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	c := buildToy(t)
+	q, _ := c.Lookup("q")
+	n1, _ := c.Lookup("n1")
+	n2, _ := c.Lookup("n2")
+	if len(c.Fanouts[q]) != 1 || c.Fanouts[q][0] != n1 {
+		t.Errorf("fanout of q = %v", c.Fanouts[q])
+	}
+	// n2 feeds the DFF.
+	qid, _ := c.Lookup("q")
+	found := false
+	for _, f := range c.Fanouts[n2] {
+		if f == qid {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("n2 must fan out to the DFF")
+	}
+}
+
+func TestCombinationalCycleRejected(t *testing.T) {
+	b := NewBuilder("cyc")
+	a := b.Input("a")
+	y := b.Ref("y")
+	x := b.Gate(KAnd, "x", a, y)
+	b.Gate(KOr, "y", x, a)
+	b.Output("y")
+	_, err := b.Build()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestSequentialLoopAllowed(t *testing.T) {
+	// A loop through a DFF is legal.
+	b := NewBuilder("loop")
+	q := b.Ref("q")
+	inv := b.Gate(KNot, "inv", q)
+	b.DFF("q", inv)
+	b.Output("q")
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("toggle FF rejected: %v", err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("duplicate definition", func(t *testing.T) {
+		b := NewBuilder("d")
+		a := b.Input("a")
+		b.Gate(KNot, "a", a)
+		b.Output("a")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("duplicate definition accepted")
+		}
+	})
+	t.Run("undefined reference", func(t *testing.T) {
+		b := NewBuilder("u")
+		b.Gate(KNot, "y", b.Ref("ghost"))
+		b.Output("y")
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "never defined") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("undefined output", func(t *testing.T) {
+		b := NewBuilder("o")
+		b.Input("a")
+		b.Output("nope")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("undefined output accepted")
+		}
+	})
+	t.Run("bad arity", func(t *testing.T) {
+		b := NewBuilder("ar")
+		a := b.Input("a")
+		bb := b.Input("b")
+		b.Gate(KNot, "y", a, bb)
+		b.Output("y")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("2-input NOT accepted")
+		}
+	})
+	t.Run("non-gate kind", func(t *testing.T) {
+		b := NewBuilder("ng")
+		a := b.Input("a")
+		b.Gate(KDFF, "y", a)
+		if b.Err() == nil {
+			t.Fatal("Gate(KDFF) accepted")
+		}
+	})
+}
+
+func TestConstNodes(t *testing.T) {
+	b := NewBuilder("c")
+	one := b.Const("one", true)
+	zero := b.Const("zero", false)
+	b.Gate(KAnd, "y", one, zero)
+	b.Output("y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes[one].Kind != KConst1 || c.Nodes[zero].Kind != KConst0 {
+		t.Fatal("const kinds wrong")
+	}
+}
+
+func TestFreshNameUnique(t *testing.T) {
+	b := NewBuilder("f")
+	n1 := b.FreshName()
+	n2 := b.FreshName()
+	if n1 == n2 {
+		t.Fatal("FreshName collided")
+	}
+}
+
+// Sequential depth: a shift chain of k FFs has depth k.
+func TestSeqDepthChain(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 9} {
+		b := NewBuilder("chain")
+		prev := b.Input("in")
+		var last ID
+		for i := 0; i < k; i++ {
+			last = b.DFF(b.FreshName(), prev)
+			prev = last
+		}
+		b.Output(b.nodes[last].Name)
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.ComputedSeqDepth(); got != k {
+			t.Errorf("chain of %d FFs: depth %d", k, got)
+		}
+	}
+}
+
+// A binary ripple counter: bit i toggles when all lower bits are 1, so bit i
+// depends on bits 0..i (including itself). Depth must equal the bit count.
+func TestSeqDepthCounter(t *testing.T) {
+	const k = 6
+	b := NewBuilder("ctr")
+	en := b.Input("en")
+	qs := make([]ID, k)
+	for i := 0; i < k; i++ {
+		qs[i] = b.Ref(counterBit(i))
+	}
+	carry := en
+	for i := 0; i < k; i++ {
+		t0 := b.Gate(KXor, b.FreshName(), qs[i], carry)
+		b.DFF(counterBit(i), t0)
+		carry = b.Gate(KAnd, b.FreshName(), carry, qs[i])
+	}
+	b.Output(counterBit(k - 1))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ComputedSeqDepth(); got != k {
+		t.Errorf("counter depth = %d, want %d", got, k)
+	}
+}
+
+func counterBit(i int) string { return "q" + string(rune('A'+i)) }
+
+// All FFs in one big cycle form one SCC: depth 1.
+func TestSeqDepthRing(t *testing.T) {
+	b := NewBuilder("ring")
+	const k = 4
+	qs := make([]ID, k)
+	for i := 0; i < k; i++ {
+		qs[i] = b.Ref(counterBit(i))
+	}
+	for i := 0; i < k; i++ {
+		b.DFF(counterBit(i), qs[(i+k-1)%k])
+	}
+	b.Output(counterBit(0))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ComputedSeqDepth(); got != 1 {
+		t.Errorf("ring depth = %d, want 1 (single SCC)", got)
+	}
+}
+
+func TestSeqDepthCombinational(t *testing.T) {
+	b := NewBuilder("comb")
+	a := b.Input("a")
+	b.Gate(KNot, "y", a)
+	b.Output("y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SeqDepth() != 0 {
+		t.Error("combinational circuit must have depth 0")
+	}
+}
+
+func TestDeclaredDepthOverride(t *testing.T) {
+	b := NewBuilder("dd")
+	in := b.Input("in")
+	b.DFF("q", in)
+	b.Output("q")
+	b.SetDeclaredDepth(7)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SeqDepth() != 7 {
+		t.Errorf("declared depth ignored: %d", c.SeqDepth())
+	}
+	if c.ComputedSeqDepth() != 1 {
+		t.Errorf("computed depth = %d", c.ComputedSeqDepth())
+	}
+}
+
+func TestKindProperties(t *testing.T) {
+	if !KNand.Inverting() || KAnd.Inverting() {
+		t.Error("Inverting wrong")
+	}
+	if KDFF.IsGate() || KInput.IsGate() || !KXor.IsGate() {
+		t.Error("IsGate wrong")
+	}
+	if KInput.String() != "INPUT" || KDFF.String() != "DFF" {
+		t.Error("String wrong")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	c := buildToy(t)
+	s := c.Stats()
+	if s.PIs != 2 || s.POs != 1 || s.DFFs != 1 || s.Gates != 2 || s.MaxLevel != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if !strings.Contains(c.String(), "toy") {
+		t.Error("String missing name")
+	}
+}

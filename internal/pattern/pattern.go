@@ -1,0 +1,134 @@
+// Package pattern defines the on-disk test-set format: a plain-text,
+// comment-annotated container for the sequences a test generator produces.
+// The format is a strict superset of a bare vector list (one 0/1/X string
+// per line), so fault simulators that only care about vectors can ignore
+// the structure:
+//
+//	# circuit: s298
+//	# inputs: in0 in1 in2
+//	seq 1 target "G11 s-a-0"
+//	010
+//	110
+//	seq 2
+//	001
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gahitec/internal/logic"
+)
+
+// Sequence is one test: a vector run with an optional annotation naming the
+// fault it was generated for.
+type Sequence struct {
+	Target  string // e.g. "G11 s-a-0"; empty for incidental/random tests
+	Vectors []logic.Vector
+}
+
+// Set is a complete test set.
+type Set struct {
+	Circuit   string
+	Inputs    []string // primary input names, in vector order
+	Sequences []Sequence
+}
+
+// NumVectors counts all vectors.
+func (s *Set) NumVectors() int {
+	n := 0
+	for _, q := range s.Sequences {
+		n += len(q.Vectors)
+	}
+	return n
+}
+
+// Flatten concatenates all sequences.
+func (s *Set) Flatten() []logic.Vector {
+	out := make([]logic.Vector, 0, s.NumVectors())
+	for _, q := range s.Sequences {
+		out = append(out, q.Vectors...)
+	}
+	return out
+}
+
+// Write serializes the set.
+func (s *Set) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# circuit: %s\n", s.Circuit)
+	if len(s.Inputs) > 0 {
+		fmt.Fprintf(bw, "# inputs: %s\n", strings.Join(s.Inputs, " "))
+	}
+	for i, q := range s.Sequences {
+		if q.Target != "" {
+			fmt.Fprintf(bw, "seq %d target %q\n", i+1, q.Target)
+		} else {
+			fmt.Fprintf(bw, "seq %d\n", i+1)
+		}
+		for _, v := range q.Vectors {
+			fmt.Fprintln(bw, v)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a set. Bare vector lists (no seq headers) load as one
+// sequence.
+func Read(r io.Reader) (*Set, error) {
+	s := &Set{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur *Sequence
+	lineNo := 0
+	width := -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# circuit:"):
+			s.Circuit = strings.TrimSpace(strings.TrimPrefix(line, "# circuit:"))
+			continue
+		case strings.HasPrefix(line, "# inputs:"):
+			s.Inputs = strings.Fields(strings.TrimPrefix(line, "# inputs:"))
+			continue
+		case strings.HasPrefix(line, "#"):
+			continue
+		case strings.HasPrefix(line, "seq"):
+			target := ""
+			if i := strings.Index(line, "target"); i >= 0 {
+				t := strings.TrimSpace(line[i+len("target"):])
+				if unq, err := strconv.Unquote(t); err == nil {
+					target = unq
+				} else {
+					target = t
+				}
+			}
+			s.Sequences = append(s.Sequences, Sequence{Target: target})
+			cur = &s.Sequences[len(s.Sequences)-1]
+			continue
+		}
+		v, err := logic.ParseVector(line)
+		if err != nil {
+			return nil, fmt.Errorf("pattern: line %d: %v", lineNo, err)
+		}
+		if width < 0 {
+			width = len(v)
+		} else if len(v) != width {
+			return nil, fmt.Errorf("pattern: line %d: width %d, expected %d", lineNo, len(v), width)
+		}
+		if cur == nil {
+			s.Sequences = append(s.Sequences, Sequence{})
+			cur = &s.Sequences[len(s.Sequences)-1]
+		}
+		cur.Vectors = append(cur.Vectors, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

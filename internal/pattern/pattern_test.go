@@ -1,0 +1,100 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"gahitec/internal/logic"
+)
+
+func mustVec(t *testing.T, s string) logic.Vector {
+	t.Helper()
+	v, err := logic.ParseVector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func sample(t *testing.T) *Set {
+	return &Set{
+		Circuit: "s298",
+		Inputs:  []string{"in0", "in1", "in2"},
+		Sequences: []Sequence{
+			{Target: "G11 s-a-0", Vectors: []logic.Vector{mustVec(t, "010"), mustVec(t, "11X")}},
+			{Vectors: []logic.Vector{mustVec(t, "001")}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := sample(t)
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Circuit != "s298" || len(got.Inputs) != 3 {
+		t.Fatalf("header lost: %+v", got)
+	}
+	if len(got.Sequences) != 2 {
+		t.Fatalf("sequences = %d", len(got.Sequences))
+	}
+	if got.Sequences[0].Target != "G11 s-a-0" {
+		t.Errorf("target = %q", got.Sequences[0].Target)
+	}
+	if got.Sequences[1].Target != "" {
+		t.Errorf("untargeted sequence got %q", got.Sequences[1].Target)
+	}
+	if got.Sequences[0].Vectors[1].String() != "11X" {
+		t.Error("vector corrupted")
+	}
+	if got.NumVectors() != 3 {
+		t.Errorf("NumVectors = %d", got.NumVectors())
+	}
+}
+
+func TestReadBareVectorList(t *testing.T) {
+	src := "010\n111\nX00\n"
+	s, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Sequences) != 1 || len(s.Sequences[0].Vectors) != 3 {
+		t.Fatalf("bare list parsed as %+v", s)
+	}
+}
+
+func TestReadRejectsMixedWidth(t *testing.T) {
+	if _, err := Read(strings.NewReader("010\n01\n")); err == nil {
+		t.Fatal("mixed widths accepted")
+	}
+}
+
+func TestReadRejectsBadChars(t *testing.T) {
+	if _, err := Read(strings.NewReader("01?\n")); err == nil {
+		t.Fatal("invalid character accepted")
+	}
+}
+
+func TestFlattenOrder(t *testing.T) {
+	s := sample(t)
+	flat := s.Flatten()
+	if len(flat) != 3 || flat[0].String() != "010" || flat[2].String() != "001" {
+		t.Fatalf("flatten wrong: %v", flat)
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	src := "# arbitrary comment\n# circuit: x\nseq 1\n01\n# mid comment\n10\n"
+	s, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Circuit != "x" || len(s.Sequences[0].Vectors) != 2 {
+		t.Fatalf("comment handling wrong: %+v", s)
+	}
+}

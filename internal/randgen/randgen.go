@@ -1,0 +1,112 @@
+// Package randgen implements the oldest simulation-based baselines the
+// paper's introduction cites: plain random test generation (Breuer, ref [9])
+// and adaptive weighted-random generation (Schnurmann et al. / Lisanke et
+// al., refs [10-12]). Vectors are drawn with per-input one-probabilities —
+// uniform 1/2 for plain random, hill-climbed per input for the weighted
+// variant — and graded in chunks with the bit-parallel fault simulator,
+// stopping when the coverage stalls.
+package randgen
+
+import (
+	"math/rand"
+	"time"
+
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// Options configures a run. Zero values select defaults.
+type Options struct {
+	MaxVectors  int     // hard bound (default 4096)
+	ChunkSize   int     // vectors graded per chunk (default 32)
+	StallChunks int     // stop after this many chunks with no detection (default 8)
+	Weighted    bool    // adapt per-input one-probabilities
+	Step        float64 // weight perturbation step (default 0.15)
+	Seed        int64
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxVectors <= 0 {
+		o.MaxVectors = 4096
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 32
+	}
+	if o.StallChunks <= 0 {
+		o.StallChunks = 8
+	}
+	if o.Step == 0 {
+		o.Step = 0.15
+	}
+}
+
+// Result reports a run.
+type Result struct {
+	Detected int
+	Vectors  int
+	Weights  []float64 // final per-input one-probabilities (weighted mode)
+	Sequence []logic.Vector
+	Elapsed  time.Duration
+}
+
+// Run generates and grades random vectors until the coverage stalls or the
+// vector budget is exhausted.
+func Run(c *netlist.Circuit, faults []fault.Fault, opt Options) *Result {
+	opt.setDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	start := time.Now()
+
+	weights := make([]float64, len(c.PIs))
+	for i := range weights {
+		weights[i] = 0.5
+	}
+	fs := faultsim.New(c, faults)
+	res := &Result{}
+	stall := 0
+	lastGain := 0
+
+	for res.Vectors < opt.MaxVectors && stall < opt.StallChunks {
+		// In weighted mode, propose a perturbation and keep it if the chunk
+		// detects at least as much as the previous one (1+1 hill climbing).
+		trial := weights
+		if opt.Weighted {
+			trial = append([]float64(nil), weights...)
+			for k := 0; k < 1+len(trial)/8; k++ {
+				i := rng.Intn(len(trial))
+				trial[i] += opt.Step * (rng.Float64()*2 - 1)
+				if trial[i] < 0.1 {
+					trial[i] = 0.1
+				}
+				if trial[i] > 0.9 {
+					trial[i] = 0.9
+				}
+			}
+		}
+		chunk := make([]logic.Vector, opt.ChunkSize)
+		for t := range chunk {
+			v := make(logic.Vector, len(c.PIs))
+			for i := range v {
+				v[i] = logic.FromBool(rng.Float64() < trial[i])
+			}
+			chunk[t] = v
+		}
+		newly := fs.ApplySequence(chunk)
+		res.Sequence = append(res.Sequence, chunk...)
+		res.Vectors += len(chunk)
+		if opt.Weighted && len(newly) >= lastGain {
+			weights = trial
+		}
+		lastGain = len(newly)
+		if len(newly) == 0 {
+			stall++
+		} else {
+			stall = 0
+		}
+	}
+	res.Detected = fs.NumDetected()
+	res.Weights = weights
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,103 @@
+package randgen
+
+import (
+	"testing"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/netlist"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+func mustParse(t *testing.T, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(src, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRandomDetects(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+	res := Run(c, faults, Options{Seed: 1})
+	if res.Detected == 0 {
+		t.Fatal("random generation detected nothing on s27")
+	}
+	if res.Vectors != len(res.Sequence) {
+		t.Fatal("vector accounting wrong")
+	}
+	// Replay check.
+	fs := faultsim.New(c, faults)
+	fs.ApplySequence(res.Sequence)
+	if fs.NumDetected() != res.Detected {
+		t.Fatalf("replay %d != reported %d", fs.NumDetected(), res.Detected)
+	}
+}
+
+func TestWeightedRunsAndAdapts(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+	res := Run(c, faults, Options{Seed: 2, Weighted: true})
+	if res.Detected == 0 {
+		t.Fatal("weighted random detected nothing")
+	}
+	if len(res.Weights) != len(c.PIs) {
+		t.Fatal("weights missing")
+	}
+	for _, w := range res.Weights {
+		if w < 0.1 || w > 0.9 {
+			t.Fatalf("weight %f escaped clamp", w)
+		}
+	}
+}
+
+func TestStallStops(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+	res := Run(c, faults, Options{Seed: 3, MaxVectors: 100000, StallChunks: 2, ChunkSize: 16})
+	if res.Vectors >= 100000 {
+		t.Fatal("never stalled")
+	}
+}
+
+func TestBudgetStops(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+	res := Run(c, faults, Options{Seed: 4, MaxVectors: 64, ChunkSize: 32, StallChunks: 1000})
+	if res.Vectors > 64 {
+		t.Fatalf("budget exceeded: %d", res.Vectors)
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+	a := Run(c, faults, Options{Seed: 5, Weighted: true})
+	b := Run(c, faults, Options{Seed: 5, Weighted: true})
+	if a.Detected != b.Detected || a.Vectors != b.Vectors {
+		t.Fatal("same seed, different result")
+	}
+}

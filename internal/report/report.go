@@ -1,0 +1,132 @@
+// Package report renders test-generation results in the layout of the
+// paper's tables: one row per pass, with Det / Vec / Time / Unt columns for
+// GA-HITEC and the HITEC baseline side by side.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gahitec/internal/hybrid"
+)
+
+// FormatDuration renders a duration in the paper's style: seconds below one
+// minute ("49.5s"), minutes below an hour ("5.96m"), hours above ("2.39h").
+func FormatDuration(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s < 60:
+		return fmt.Sprintf("%.3gs", s)
+	case s < 3600:
+		return fmt.Sprintf("%.3gm", s/60)
+	default:
+		return fmt.Sprintf("%.3gh", s/3600)
+	}
+}
+
+// Row is one circuit's results for a side-by-side table.
+type Row struct {
+	Circuit     string
+	SeqDepth    int
+	TotalFaults int
+	GA          *hybrid.Result // GA-HITEC
+	HT          *hybrid.Result // HITEC baseline (may be nil)
+}
+
+// Header renders the column headers of the side-by-side table.
+func Header(withDepth bool) string {
+	var b strings.Builder
+	if withDepth {
+		fmt.Fprintf(&b, "%-8s %5s %7s | %28s | %28s\n", "Circuit", "Depth", "Faults", "GA-HITEC", "HITEC")
+	} else {
+		fmt.Fprintf(&b, "%-8s %7s | %28s | %28s\n", "Circuit", "Faults", "GA-HITEC", "HITEC")
+	}
+	hdr := fmt.Sprintf("%6s %5s %8s %5s", "Det", "Vec", "Time", "Unt")
+	if withDepth {
+		fmt.Fprintf(&b, "%-8s %5s %7s | %s | %s\n", "", "", "", hdr, hdr)
+	} else {
+		fmt.Fprintf(&b, "%-8s %7s | %s | %s\n", "", "", hdr, hdr)
+	}
+	fmt.Fprintln(&b, strings.Repeat("-", 84))
+	return b.String()
+}
+
+// RowBlock renders one circuit's pass lines followed by a separator.
+func RowBlock(r Row, withDepth bool) string {
+	var b strings.Builder
+	n := len(r.GA.Passes)
+	if r.HT != nil && len(r.HT.Passes) > n {
+		n = len(r.HT.Passes)
+	}
+	for p := 0; p < n; p++ {
+		name, depth, faults := "", "", ""
+		if p == 0 {
+			name = r.Circuit
+			depth = fmt.Sprintf("%d", r.SeqDepth)
+			faults = fmt.Sprintf("%d", r.TotalFaults)
+		}
+		ga := passCols(r.GA, p)
+		ht := passCols(r.HT, p)
+		if withDepth {
+			fmt.Fprintf(&b, "%-8s %5s %7s | %s | %s\n", name, depth, faults, ga, ht)
+		} else {
+			fmt.Fprintf(&b, "%-8s %7s | %s | %s\n", name, faults, ga, ht)
+		}
+	}
+	fmt.Fprintln(&b, strings.Repeat("-", 84))
+	return b.String()
+}
+
+// SideBySide renders rows in the format of the paper's Tables II/III: one
+// line per pass per circuit.
+func SideBySide(rows []Row, withDepth bool) string {
+	var b strings.Builder
+	b.WriteString(Header(withDepth))
+	for _, r := range rows {
+		b.WriteString(RowBlock(r, withDepth))
+	}
+	return b.String()
+}
+
+func passCols(res *hybrid.Result, p int) string {
+	if res == nil || p >= len(res.Passes) {
+		return fmt.Sprintf("%6s %5s %8s %5s", "-", "-", "-", "-")
+	}
+	ps := res.Passes[p]
+	return fmt.Sprintf("%6d %5d %8s %5d", ps.Detected, ps.Vectors, FormatDuration(ps.Elapsed), ps.Untestable)
+}
+
+// TableI renders the pass schedule of the paper's Table I for a config.
+func TableI(cfg hybrid.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-14s %s\n", "Pass", "Approach", "Conditions")
+	fmt.Fprintln(&b, strings.Repeat("-", 60))
+	for i, p := range cfg.Passes {
+		cond := fmt.Sprintf("%s limit per fault", FormatDuration(p.TimePerFault))
+		fmt.Fprintf(&b, "%-5d %-14s %s\n", i+1, p.Method, cond)
+		if p.Method == hybrid.MethodGA {
+			fmt.Fprintf(&b, "%-5s %-14s population size = %d\n", "", "", p.Population)
+			fmt.Fprintf(&b, "%-5s %-14s %d generations\n", "", "", p.Generations)
+			fmt.Fprintf(&b, "%-5s %-14s sequence length = %d\n", "", "", p.SeqLen)
+		} else {
+			fmt.Fprintf(&b, "%-5s %-14s backtrack limit = %d\n", "", "", p.MaxBacktracks)
+		}
+	}
+	return b.String()
+}
+
+// Phases renders the Fig. 1 flow counters for a run.
+func Phases(res *hybrid.Result) string {
+	p := res.Phases
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig.1 phase trace for %s:\n", res.Circuit)
+	fmt.Fprintf(&b, "  faults targeted                 %6d\n", p.Targeted)
+	fmt.Fprintf(&b, "  excitation+propagation found    %6d\n", p.ExciteProp)
+	fmt.Fprintf(&b, "  GA justification calls/found    %6d / %d\n", p.GAJustifyCalls, p.GAJustifyFound)
+	fmt.Fprintf(&b, "  det justification calls/found   %6d / %d\n", p.DetJustifyCalls, p.DetJustifyFound)
+	fmt.Fprintf(&b, "  propagation backtracks (retry)  %6d\n", p.PropBacktracks)
+	fmt.Fprintf(&b, "  verify failures                 %6d\n", p.VerifyFailures)
+	fmt.Fprintf(&b, "  incidental detections           %6d\n", p.IncidentalDetects)
+	return b.String()
+}

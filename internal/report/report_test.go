@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gahitec/internal/hybrid"
+)
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		49500 * time.Millisecond:                   "49.5s",
+		time.Duration(5.96 * float64(time.Minute)): "5.96m",
+		time.Duration(2.39 * float64(time.Hour)):   "2.39h",
+		100 * time.Millisecond:                     "0.1s",
+	}
+	for in, want := range cases {
+		if got := FormatDuration(in); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func fakeResult(passes int) *hybrid.Result {
+	r := &hybrid.Result{Circuit: "fake", TotalFaults: 100}
+	for p := 0; p < passes; p++ {
+		r.Passes = append(r.Passes, hybrid.PassStats{
+			Pass: p + 1, Detected: 10 * (p + 1), Vectors: 20 * (p + 1),
+			Elapsed: time.Duration(p+1) * time.Second, Untestable: p,
+		})
+	}
+	return r
+}
+
+func TestSideBySide(t *testing.T) {
+	rows := []Row{{
+		Circuit: "s298", SeqDepth: 8, TotalFaults: 308,
+		GA: fakeResult(3), HT: fakeResult(3),
+	}}
+	out := SideBySide(rows, true)
+	if !strings.Contains(out, "s298") || !strings.Contains(out, "GA-HITEC") || !strings.Contains(out, "HITEC") {
+		t.Fatalf("table missing headers:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 6 {
+		t.Error("table too short")
+	}
+	// Missing baseline renders dashes.
+	rows[0].HT = nil
+	out = SideBySide(rows, false)
+	if !strings.Contains(out, "-") {
+		t.Error("nil baseline should render dashes")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	out := TableI(hybrid.GAHITECConfig(24, 1))
+	for _, want := range []string{"GA", "deterministic", "population size = 64", "population size = 128",
+		"4 generations", "8 generations", "sequence length = 12", "sequence length = 24", "1s limit", "10s limit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPhases(t *testing.T) {
+	r := fakeResult(1)
+	r.Phases = hybrid.PhaseStats{Targeted: 5, ExciteProp: 4, GAJustifyCalls: 3, GAJustifyFound: 2}
+	out := Phases(r)
+	if !strings.Contains(out, "faults targeted") || !strings.Contains(out, "5") {
+		t.Errorf("phase trace wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,27 @@
+package scoap_test
+
+import (
+	"fmt"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/scoap"
+)
+
+func ExampleCompute() {
+	c, _ := bench.ParseString(`
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+n = AND(a, b)
+y = OR(n, c)
+`, "ex")
+	m := scoap.Compute(c)
+	n, _ := c.Lookup("n")
+	y, _ := c.Lookup("y")
+	fmt.Printf("CC0(n)=%d CC1(n)=%d\n", m.CC0[n], m.CC1[n])
+	fmt.Printf("CC0(y)=%d CC1(y)=%d CO(n)=%d\n", m.CC0[y], m.CC1[y], m.CO[n])
+	// Output:
+	// CC0(n)=2 CC1(n)=3
+	// CC0(y)=4 CC1(y)=2 CO(n)=2
+}

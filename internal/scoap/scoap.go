@@ -1,0 +1,221 @@
+// Package scoap computes SCOAP-style testability measures: the
+// controllability of each line to 0 and to 1 (how many input assignments,
+// roughly, it takes to force the value) and the observability of each line
+// (how hard it is to propagate its value to a primary output). The
+// deterministic engine uses the measures to guide backtracing — choose the
+// easiest input for a controlling objective and the hardest first for a
+// non-controlling one — which is the classic heuristic HITEC-generation
+// tools relied on.
+//
+// Sequential circuits are handled by fixpoint iteration over the flip-flop
+// loops, with a unit cost per clock-frame crossing.
+package scoap
+
+import (
+	"gahitec/internal/netlist"
+)
+
+// Inf is the cost assigned to unachievable values (e.g. forcing a constant
+// to its complement).
+const Inf int32 = 1 << 28
+
+// Measures holds per-node testability costs.
+type Measures struct {
+	CC0 []int32 // cost of driving the node to 0
+	CC1 []int32 // cost of driving the node to 1
+	CO  []int32 // cost of observing the node at a primary output
+}
+
+// saturating addition below Inf.
+func add(a, b int32) int32 {
+	s := a + b
+	if s >= Inf || s < 0 {
+		return Inf
+	}
+	return s
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Compute returns the testability measures of the circuit. Fixpoint
+// iteration converges because all updates are monotone non-increasing from
+// the Inf start; iterations are capped defensively.
+func Compute(c *netlist.Circuit) *Measures {
+	n := len(c.Nodes)
+	m := &Measures{
+		CC0: make([]int32, n),
+		CC1: make([]int32, n),
+		CO:  make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		m.CC0[i], m.CC1[i], m.CO[i] = Inf, Inf, Inf
+	}
+	for _, pi := range c.PIs {
+		m.CC0[pi], m.CC1[pi] = 1, 1
+	}
+	for i := range c.Nodes {
+		switch c.Nodes[i].Kind {
+		case netlist.KConst0:
+			m.CC0[i], m.CC1[i] = 0, Inf
+		case netlist.KConst1:
+			m.CC0[i], m.CC1[i] = Inf, 0
+		}
+	}
+
+	// Controllability fixpoint: evaluate gates in level order, propagate
+	// through flip-flops (one extra unit per frame), repeat until stable.
+	for iter := 0; iter < n+2; iter++ {
+		changed := false
+		for _, id := range c.Order {
+			cc0, cc1 := gateCC(c, m, id)
+			if cc0 < m.CC0[id] {
+				m.CC0[id] = cc0
+				changed = true
+			}
+			if cc1 < m.CC1[id] {
+				m.CC1[id] = cc1
+				changed = true
+			}
+		}
+		for _, ff := range c.DFFs {
+			d := c.Nodes[ff].Fanin[0]
+			if v := add(m.CC0[d], 1); v < m.CC0[ff] {
+				m.CC0[ff] = v
+				changed = true
+			}
+			if v := add(m.CC1[d], 1); v < m.CC1[ff] {
+				m.CC1[ff] = v
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Observability fixpoint: POs cost 0; walk gates in reverse level
+	// order, propagate through flip-flop D pins, repeat until stable.
+	for _, po := range c.POs {
+		m.CO[po] = 0
+	}
+	for iter := 0; iter < n+2; iter++ {
+		changed := false
+		for i := len(c.Order) - 1; i >= 0; i-- {
+			id := c.Order[i]
+			if m.CO[id] >= Inf {
+				continue
+			}
+			n := &c.Nodes[id]
+			for p, fi := range n.Fanin {
+				co := pinCO(c, m, id, p)
+				if co < m.CO[fi] {
+					m.CO[fi] = co
+					changed = true
+				}
+			}
+		}
+		for _, ff := range c.DFFs {
+			if m.CO[ff] >= Inf {
+				continue
+			}
+			d := c.Nodes[ff].Fanin[0]
+			if v := add(m.CO[ff], 1); v < m.CO[d] {
+				m.CO[d] = v
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return m
+}
+
+// gateCC computes a gate's controllability from its fanins.
+func gateCC(c *netlist.Circuit, m *Measures, id netlist.ID) (cc0, cc1 int32) {
+	nd := &c.Nodes[id]
+	switch nd.Kind {
+	case netlist.KBuf:
+		f := nd.Fanin[0]
+		return add(m.CC0[f], 1), add(m.CC1[f], 1)
+	case netlist.KNot:
+		f := nd.Fanin[0]
+		return add(m.CC1[f], 1), add(m.CC0[f], 1)
+	case netlist.KAnd, netlist.KNand:
+		// Output 1 needs all inputs 1; output 0 needs any input 0.
+		all1 := int32(1)
+		any0 := Inf
+		for _, f := range nd.Fanin {
+			all1 = add(all1, m.CC1[f])
+			any0 = min32(any0, m.CC0[f])
+		}
+		any0 = add(any0, 1)
+		if nd.Kind == netlist.KNand {
+			return all1, any0
+		}
+		return any0, all1
+	case netlist.KOr, netlist.KNor:
+		all0 := int32(1)
+		any1 := Inf
+		for _, f := range nd.Fanin {
+			all0 = add(all0, m.CC0[f])
+			any1 = min32(any1, m.CC1[f])
+		}
+		any1 = add(any1, 1)
+		if nd.Kind == netlist.KNor {
+			return any1, all0
+		}
+		return all0, any1
+	case netlist.KXor, netlist.KXnor:
+		// Fold pairwise: cost of even/odd parity over the fanins.
+		even, odd := int32(0), Inf
+		for _, f := range nd.Fanin {
+			e2 := min32(add(even, m.CC0[f]), add(odd, m.CC1[f]))
+			o2 := min32(add(even, m.CC1[f]), add(odd, m.CC0[f]))
+			even, odd = e2, o2
+		}
+		even = add(even, 1)
+		odd = add(odd, 1)
+		if nd.Kind == netlist.KXnor {
+			return odd, even
+		}
+		return even, odd
+	default:
+		return Inf, Inf
+	}
+}
+
+// pinCO computes the observability of fanin pin p of gate id: the gate's
+// own observability plus the cost of setting the other inputs to
+// non-masking values.
+func pinCO(c *netlist.Circuit, m *Measures, id netlist.ID, p int) int32 {
+	nd := &c.Nodes[id]
+	co := add(m.CO[id], 1)
+	for q, f := range nd.Fanin {
+		if q == p {
+			continue
+		}
+		switch nd.Kind {
+		case netlist.KAnd, netlist.KNand:
+			co = add(co, m.CC1[f])
+		case netlist.KOr, netlist.KNor:
+			co = add(co, m.CC0[f])
+		case netlist.KXor, netlist.KXnor:
+			co = add(co, min32(m.CC0[f], m.CC1[f]))
+		}
+	}
+	return co
+}
+
+// CC returns the controllability cost of driving node id to value one?1:0.
+func (m *Measures) CC(id netlist.ID, one bool) int32 {
+	if one {
+		return m.CC1[id]
+	}
+	return m.CC0[id]
+}

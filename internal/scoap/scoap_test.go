@@ -1,0 +1,170 @@
+package scoap
+
+import (
+	"testing"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/netlist"
+)
+
+func mustParse(t *testing.T, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(src, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Hand-computed SCOAP values for a two-input AND:
+// CC0/CC1(inputs) = 1; CC1(y) = 1+1+1 = 3; CC0(y) = min(1,1)+1 = 2.
+// CO(y) = 0; CO(a) = CO(y)+1+CC1(b) = 2.
+func TestAndGateValues(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and")
+	m := Compute(c)
+	a, _ := c.Lookup("a")
+	y, _ := c.Lookup("y")
+	if m.CC1[y] != 3 || m.CC0[y] != 2 {
+		t.Errorf("AND CC = %d/%d, want 2/3 (cc0/cc1)", m.CC0[y], m.CC1[y])
+	}
+	if m.CO[y] != 0 {
+		t.Errorf("CO(PO) = %d", m.CO[y])
+	}
+	if m.CO[a] != 2 {
+		t.Errorf("CO(a) = %d, want 2", m.CO[a])
+	}
+}
+
+// OR gate duals.
+func TestOrGateValues(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n", "or")
+	m := Compute(c)
+	y, _ := c.Lookup("y")
+	if m.CC0[y] != 3 || m.CC1[y] != 2 {
+		t.Errorf("OR CC = %d/%d, want 3/2", m.CC0[y], m.CC1[y])
+	}
+}
+
+// XOR2: CC1 = min(CC1+CC0, CC0+CC1)+1 = 3, CC0 = min(CC0+CC0, CC1+CC1)+1 = 3.
+func TestXorGateValues(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n", "xor")
+	m := Compute(c)
+	y, _ := c.Lookup("y")
+	a, _ := c.Lookup("a")
+	if m.CC0[y] != 3 || m.CC1[y] != 3 {
+		t.Errorf("XOR CC = %d/%d, want 3/3", m.CC0[y], m.CC1[y])
+	}
+	// CO(a) = CO(y) + 1 + min(CC0(b), CC1(b)) = 0+1+1 = 2.
+	if m.CO[a] != 2 {
+		t.Errorf("CO(a) = %d, want 2", m.CO[a])
+	}
+}
+
+// Constants: forcing the complement is impossible.
+func TestConstants(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nOUTPUT(y)\nk1 = CONST1()\ny = AND(a, k1)\n", "k")
+	m := Compute(c)
+	k1, _ := c.Lookup("k1")
+	if m.CC1[k1] != 0 || m.CC0[k1] < Inf {
+		t.Errorf("CONST1 CC = %d/%d", m.CC0[k1], m.CC1[k1])
+	}
+}
+
+// Inverter chains add one per stage.
+func TestInverterChain(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nOUTPUT(y)\nn1 = NOT(a)\nn2 = NOT(n1)\ny = NOT(n2)\n", "inv")
+	m := Compute(c)
+	y, _ := c.Lookup("y")
+	// y = NOT(NOT(NOT(a))): CC1(y) = CC0(a)+3 = 4.
+	if m.CC1[y] != 4 || m.CC0[y] != 4 {
+		t.Errorf("chain CC = %d/%d, want 4/4", m.CC0[y], m.CC1[y])
+	}
+}
+
+// Sequential semantics: the controllability fixpoint measures reachability
+// from the all-unknown power-on state, exactly like the justification
+// engines. A reset-free toggle flip-flop (q = DFF(XOR(q, en))) can never be
+// driven to a known value from X, so its controllability is infinite — and
+// adding a synchronous clear makes it finite.
+func TestSequentialFixpoint(t *testing.T) {
+	toggle := `
+INPUT(en)
+OUTPUT(z)
+t = XOR(q, en)
+q = DFF(t)
+z = BUF(q)
+`
+	c := mustParse(t, toggle, "tff")
+	m := Compute(c)
+	q, _ := c.Lookup("q")
+	if m.CC0[q] < Inf || m.CC1[q] < Inf {
+		t.Errorf("reset-free toggle FF should be uncontrollable, CC = %d/%d", m.CC0[q], m.CC1[q])
+	}
+	if z, _ := c.Lookup("z"); m.CO[z] != 0 {
+		t.Errorf("CO(z) = %d", m.CO[z])
+	}
+
+	resettable := `
+INPUT(en)
+INPUT(clr)
+OUTPUT(z)
+t = XOR(q, en)
+nc = NOT(clr)
+d = AND(t, nc)
+q = DFF(d)
+z = BUF(q)
+`
+	c2 := mustParse(t, resettable, "tffr")
+	m2 := Compute(c2)
+	q2, _ := c2.Lookup("q")
+	if m2.CC0[q2] >= Inf || m2.CC1[q2] >= Inf {
+		t.Errorf("resettable toggle FF uncontrollable: CC = %d/%d", m2.CC0[q2], m2.CC1[q2])
+	}
+	if m2.CO[q2] >= Inf {
+		t.Error("q unobservable")
+	}
+}
+
+// Deep state costs more: the far end of a shift register is harder to
+// control and observe than the near end.
+func TestShiftRegisterGradient(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(z)
+q1 = DFF(a)
+q2 = DFF(q1)
+q3 = DFF(q2)
+z = BUF(q3)
+`
+	c := mustParse(t, src, "sh")
+	m := Compute(c)
+	q1, _ := c.Lookup("q1")
+	q3, _ := c.Lookup("q3")
+	if !(m.CC1[q3] > m.CC1[q1]) {
+		t.Errorf("CC1 gradient violated: q1=%d q3=%d", m.CC1[q1], m.CC1[q3])
+	}
+	if !(m.CO[q1] > m.CO[q3]) {
+		t.Errorf("CO gradient violated: q1=%d q3=%d", m.CO[q1], m.CO[q3])
+	}
+}
+
+// An unobservable node keeps CO = Inf.
+func TestUnobservable(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\nk0 = CONST0()\nn = NOT(a)\ndead = AND(n, k0)\ny = BUF(a)\nq = DFF(dead)\n"
+	c := mustParse(t, src, "dead")
+	m := Compute(c)
+	n, _ := c.Lookup("n")
+	// n feeds only the dead AND; its observability requires CC1(k0) = Inf.
+	if m.CO[n] < Inf {
+		t.Errorf("CO(n) = %d, want Inf", m.CO[n])
+	}
+}
+
+func TestCCHelper(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "h")
+	m := Compute(c)
+	y, _ := c.Lookup("y")
+	if m.CC(y, true) != m.CC1[y] || m.CC(y, false) != m.CC0[y] {
+		t.Error("CC helper wrong")
+	}
+}

@@ -1,0 +1,99 @@
+// Package sim provides logic simulation for sequential circuits: a serial
+// three-valued reference simulator and a 64-lane bit-parallel event-driven
+// simulator (the PROOFS-style engine the paper uses to evaluate 32 candidate
+// sequences per pass — 64 here). Both support single-stuck-at fault
+// injection so the good and faulty machines of the paper's fitness function
+// can be simulated with identical semantics.
+package sim
+
+import (
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// evalScalar computes the three-valued output of a gate from its fanin
+// values.
+func evalScalar(kind netlist.Kind, in []logic.V) logic.V {
+	switch kind {
+	case netlist.KBuf:
+		return in[0]
+	case netlist.KNot:
+		return in[0].Not()
+	case netlist.KAnd, netlist.KNand:
+		acc := logic.One
+		for _, v := range in {
+			acc = logic.And(acc, v)
+		}
+		if kind == netlist.KNand {
+			acc = acc.Not()
+		}
+		return acc
+	case netlist.KOr, netlist.KNor:
+		acc := logic.Zero
+		for _, v := range in {
+			acc = logic.Or(acc, v)
+		}
+		if kind == netlist.KNor {
+			acc = acc.Not()
+		}
+		return acc
+	case netlist.KXor, netlist.KXnor:
+		acc := in[0]
+		for _, v := range in[1:] {
+			acc = logic.Xor(acc, v)
+		}
+		if kind == netlist.KXnor {
+			acc = acc.Not()
+		}
+		return acc
+	case netlist.KConst0:
+		return logic.Zero
+	case netlist.KConst1:
+		return logic.One
+	default:
+		return logic.X
+	}
+}
+
+// evalWord computes the 64-lane output of a gate from its fanin words.
+func evalWord(kind netlist.Kind, in []logic.Word) logic.Word {
+	switch kind {
+	case netlist.KBuf:
+		return in[0]
+	case netlist.KNot:
+		return logic.NotW(in[0])
+	case netlist.KAnd, netlist.KNand:
+		acc := logic.WordAll(logic.One)
+		for _, w := range in {
+			acc = logic.AndW(acc, w)
+		}
+		if kind == netlist.KNand {
+			acc = logic.NotW(acc)
+		}
+		return acc
+	case netlist.KOr, netlist.KNor:
+		acc := logic.WordAll(logic.Zero)
+		for _, w := range in {
+			acc = logic.OrW(acc, w)
+		}
+		if kind == netlist.KNor {
+			acc = logic.NotW(acc)
+		}
+		return acc
+	case netlist.KXor, netlist.KXnor:
+		acc := in[0]
+		for _, w := range in[1:] {
+			acc = logic.XorW(acc, w)
+		}
+		if kind == netlist.KXnor {
+			acc = logic.NotW(acc)
+		}
+		return acc
+	case netlist.KConst0:
+		return logic.WordAll(logic.Zero)
+	case netlist.KConst1:
+		return logic.WordAll(logic.One)
+	default:
+		return logic.WordAllX
+	}
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// PatternSim simulates up to 64 independent input sequences through one
+// machine (good or faulty) in bit-parallel fashion. Lane i of every word
+// belongs to sequence i. Evaluation is event-driven over the levelized
+// netlist: only gates whose fanin changed are re-evaluated, which is the
+// PROOFS scheduling discipline the paper relies on for speed.
+type PatternSim struct {
+	c   *netlist.Circuit
+	val []logic.Word
+
+	flt    fault.Fault
+	hasFlt bool
+
+	// Event scheduling: one bucket of node IDs per combinational level.
+	buckets   [][]netlist.ID
+	scheduled []bool
+	maxLevel  int
+
+	scratch []logic.Word
+	nextQ   []logic.Word
+}
+
+// NewPatternSim returns a simulator in the all-unknown state.
+func NewPatternSim(c *netlist.Circuit) *PatternSim {
+	maxLevel := 0
+	for _, l := range c.Level {
+		if int(l) > maxLevel {
+			maxLevel = int(l)
+		}
+	}
+	p := &PatternSim{
+		c:         c,
+		val:       make([]logic.Word, len(c.Nodes)),
+		buckets:   make([][]netlist.ID, maxLevel+1),
+		scheduled: make([]bool, len(c.Nodes)),
+		maxLevel:  maxLevel,
+		scratch:   make([]logic.Word, 0, 8),
+		nextQ:     make([]logic.Word, len(c.DFFs)),
+	}
+	p.Reset()
+	return p
+}
+
+// Circuit returns the simulated circuit.
+func (p *PatternSim) Circuit() *netlist.Circuit { return p.c }
+
+// InjectFault makes all subsequent evaluation see the given stuck-at fault
+// in every lane and resets the simulator (a stuck line holds its value from
+// power-on).
+func (p *PatternSim) InjectFault(f fault.Fault) {
+	p.flt = f
+	p.hasFlt = true
+	p.Reset()
+}
+
+// ClearFault removes any injected fault and resets the simulator.
+func (p *PatternSim) ClearFault() {
+	p.hasFlt = false
+	p.Reset()
+}
+
+// Reset puts every node to X in all lanes and schedules a full evaluation.
+// Constant nodes are evaluated here since they are not part of the gate
+// order.
+func (p *PatternSim) Reset() {
+	for i := range p.val {
+		var w logic.Word
+		switch p.c.Nodes[i].Kind {
+		case netlist.KConst0:
+			w = logic.WordAll(logic.Zero)
+		case netlist.KConst1:
+			w = logic.WordAll(logic.One)
+		default:
+			w = logic.WordAllX
+		}
+		// A stuck stem holds its value from power-on, before any clocking.
+		p.val[i] = p.stemFixed(netlist.ID(i), w)
+	}
+	for _, id := range p.c.Order {
+		p.schedule(id)
+	}
+}
+
+func (p *PatternSim) schedule(id netlist.ID) {
+	if p.scheduled[id] {
+		return
+	}
+	p.scheduled[id] = true
+	lvl := p.c.Level[id]
+	p.buckets[lvl] = append(p.buckets[lvl], id)
+}
+
+func (p *PatternSim) scheduleFanouts(id netlist.ID) {
+	for _, fo := range p.c.Fanouts[id] {
+		if p.c.Nodes[fo].Kind.IsGate() {
+			p.schedule(fo)
+		}
+	}
+}
+
+// setNode writes a value and schedules readers if it changed.
+func (p *PatternSim) setNode(id netlist.ID, w logic.Word) {
+	if p.val[id] == w {
+		return
+	}
+	p.val[id] = w
+	p.scheduleFanouts(id)
+}
+
+// stemFixed applies a stem fault at node id.
+func (p *PatternSim) stemFixed(id netlist.ID, w logic.Word) logic.Word {
+	if p.hasFlt && p.flt.IsStem() && p.flt.Node == id {
+		return logic.WordAll(p.flt.Stuck)
+	}
+	return w
+}
+
+func (p *PatternSim) faninWord(g netlist.ID, pin int) logic.Word {
+	if p.hasFlt && !p.flt.IsStem() && p.flt.Node == g && p.flt.Pin == pin {
+		return logic.WordAll(p.flt.Stuck)
+	}
+	return p.val[p.c.Nodes[g].Fanin[pin]]
+}
+
+// SetStateBroadcast forces every lane's flip-flops to the same state vector.
+func (p *PatternSim) SetStateBroadcast(st logic.Vector) {
+	for i, ff := range p.c.DFFs {
+		p.setNode(ff, p.stemFixed(ff, logic.WordAll(st[i])))
+	}
+}
+
+// SetStateWords forces the flip-flop state per lane; ws has one word per
+// flip-flop.
+func (p *PatternSim) SetStateWords(ws []logic.Word) {
+	for i, ff := range p.c.DFFs {
+		p.setNode(ff, p.stemFixed(ff, ws[i]))
+	}
+}
+
+// StateWords returns the current per-lane flip-flop state (one word per
+// flip-flop). The returned slice is freshly allocated.
+func (p *PatternSim) StateWords() []logic.Word {
+	out := make([]logic.Word, len(p.c.DFFs))
+	for i, ff := range p.c.DFFs {
+		out[i] = p.val[ff]
+	}
+	return out
+}
+
+// StateLane extracts one lane's flip-flop state.
+func (p *PatternSim) StateLane(lane int) logic.Vector {
+	st := make(logic.Vector, len(p.c.DFFs))
+	for i, ff := range p.c.DFFs {
+		st[i] = p.val[ff].Get(lane)
+	}
+	return st
+}
+
+// NodeWord returns the settled word at a node.
+func (p *PatternSim) NodeWord(id netlist.ID) logic.Word { return p.val[id] }
+
+// settle applies PI words and propagates events level by level.
+func (p *PatternSim) settle(in []logic.Word) {
+	for i, pi := range p.c.PIs {
+		w := logic.WordAllX
+		if i < len(in) {
+			w = in[i]
+		}
+		p.setNode(pi, p.stemFixed(pi, w))
+	}
+	for lvl := 0; lvl <= p.maxLevel; lvl++ {
+		bucket := p.buckets[lvl]
+		for k := 0; k < len(bucket); k++ { // fanouts land at higher levels only
+			id := bucket[k]
+			p.scheduled[id] = false
+			n := &p.c.Nodes[id]
+			fin := p.scratch[:0]
+			for pin := range n.Fanin {
+				fin = append(fin, p.faninWord(id, pin))
+			}
+			p.setNode(id, p.stemFixed(id, evalWord(n.Kind, fin)))
+			p.scratch = fin[:0]
+		}
+		p.buckets[lvl] = bucket[:0]
+	}
+}
+
+// Outputs captures the current PO words.
+func (p *PatternSim) Outputs() []logic.Word {
+	out := make([]logic.Word, len(p.c.POs))
+	for i, po := range p.c.POs {
+		out[i] = p.val[po]
+	}
+	return out
+}
+
+// Eval applies one set of PI words (one word per PI) and settles, without
+// clocking.
+func (p *PatternSim) Eval(in []logic.Word) []logic.Word {
+	p.settle(in)
+	return p.Outputs()
+}
+
+// Step applies one set of PI words, settles, captures outputs, then clocks
+// the flip-flops.
+func (p *PatternSim) Step(in []logic.Word) []logic.Word {
+	p.settle(in)
+	out := p.Outputs()
+	p.clock()
+	return out
+}
+
+func (p *PatternSim) clock() {
+	for i, ff := range p.c.DFFs {
+		p.nextQ[i] = p.faninWord(ff, 0)
+	}
+	for i, ff := range p.c.DFFs {
+		p.setNode(ff, p.stemFixed(ff, p.nextQ[i]))
+	}
+}

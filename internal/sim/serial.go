@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// Serial is the reference three-valued simulator: one pattern at a time,
+// full levelized sweep per vector. It is deliberately simple — it serves as
+// the oracle against which the bit-parallel engines are property-tested.
+type Serial struct {
+	c   *netlist.Circuit
+	val []logic.V
+
+	flt    fault.Fault
+	hasFlt bool
+
+	scratch []logic.V // fanin value buffer
+}
+
+// NewSerial returns a Serial simulator in the all-unknown state.
+func NewSerial(c *netlist.Circuit) *Serial {
+	s := &Serial{c: c, val: make([]logic.V, len(c.Nodes)), scratch: make([]logic.V, 0, 8)}
+	s.Reset()
+	return s
+}
+
+// Circuit returns the simulated circuit.
+func (s *Serial) Circuit() *netlist.Circuit { return s.c }
+
+// InjectFault makes all subsequent evaluation see the given stuck-at fault
+// and resets the simulator (a stuck line holds its value from power-on).
+func (s *Serial) InjectFault(f fault.Fault) {
+	s.flt = f
+	s.hasFlt = true
+	s.Reset()
+}
+
+// ClearFault removes any injected fault and resets the simulator.
+func (s *Serial) ClearFault() {
+	s.hasFlt = false
+	s.Reset()
+}
+
+// Reset puts every node, including the flip-flops, to X. Constant nodes are
+// evaluated here since they are not part of the gate order.
+func (s *Serial) Reset() {
+	for i := range s.val {
+		var v logic.V
+		switch s.c.Nodes[i].Kind {
+		case netlist.KConst0:
+			v = logic.Zero
+		case netlist.KConst1:
+			v = logic.One
+		default:
+			v = logic.X
+		}
+		// A stuck stem holds its value from power-on, before any clocking.
+		s.val[i] = s.stemFixed(netlist.ID(i), v)
+	}
+}
+
+// SetState forces the flip-flop outputs (present state). len(st) must equal
+// the flip-flop count; a stem fault on a flip-flop still overrides.
+func (s *Serial) SetState(st logic.Vector) {
+	for i, ff := range s.c.DFFs {
+		s.val[ff] = s.stemFixed(ff, st[i])
+	}
+}
+
+// State returns the current flip-flop values.
+func (s *Serial) State() logic.Vector {
+	st := make(logic.Vector, len(s.c.DFFs))
+	for i, ff := range s.c.DFFs {
+		st[i] = s.val[ff]
+	}
+	return st
+}
+
+// Value returns the settled value of a node (valid after Eval or Step).
+func (s *Serial) Value(id netlist.ID) logic.V { return s.val[id] }
+
+// stemFixed applies a stem fault at node id to value v.
+func (s *Serial) stemFixed(id netlist.ID, v logic.V) logic.V {
+	if s.hasFlt && s.flt.IsStem() && s.flt.Node == id {
+		return s.flt.Stuck
+	}
+	return v
+}
+
+// faninValue reads the value seen by pin p of gate g, honouring branch
+// faults.
+func (s *Serial) faninValue(g netlist.ID, p int) logic.V {
+	if s.hasFlt && !s.flt.IsStem() && s.flt.Node == g && s.flt.Pin == p {
+		return s.flt.Stuck
+	}
+	return s.val[s.c.Nodes[g].Fanin[p]]
+}
+
+// settle applies the input vector and evaluates the combinational core.
+func (s *Serial) settle(in logic.Vector) {
+	for i, pi := range s.c.PIs {
+		v := logic.X
+		if i < len(in) {
+			v = in[i]
+		}
+		s.val[pi] = s.stemFixed(pi, v)
+	}
+	for _, id := range s.c.Order {
+		n := &s.c.Nodes[id]
+		fin := s.scratch[:0]
+		for p := range n.Fanin {
+			fin = append(fin, s.faninValue(id, p))
+		}
+		s.val[id] = s.stemFixed(id, evalScalar(n.Kind, fin))
+		s.scratch = fin[:0]
+	}
+}
+
+// outputs captures the PO values.
+func (s *Serial) outputs() logic.Vector {
+	out := make(logic.Vector, len(s.c.POs))
+	for i, po := range s.c.POs {
+		out[i] = s.val[po]
+	}
+	return out
+}
+
+// Eval applies one input vector, settles the combinational logic and returns
+// the primary-output values without clocking the flip-flops.
+func (s *Serial) Eval(in logic.Vector) logic.Vector {
+	s.settle(in)
+	return s.outputs()
+}
+
+// Step applies one input vector, settles, captures the outputs, and then
+// clocks the flip-flops (Q <- D).
+func (s *Serial) Step(in logic.Vector) logic.Vector {
+	s.settle(in)
+	out := s.outputs()
+	s.clock()
+	return out
+}
+
+// clock latches each flip-flop's D value into Q, honouring D-pin branch
+// faults and Q stem faults.
+func (s *Serial) clock() {
+	next := make([]logic.V, len(s.c.DFFs))
+	for i, ff := range s.c.DFFs {
+		next[i] = s.faninValue(ff, 0)
+	}
+	for i, ff := range s.c.DFFs {
+		s.val[ff] = s.stemFixed(ff, next[i])
+	}
+}
+
+// Run applies a sequence of vectors with Step and returns the PO values
+// after each vector.
+func (s *Serial) Run(seq []logic.Vector) []logic.Vector {
+	out := make([]logic.Vector, len(seq))
+	for i, in := range seq {
+		out[i] = s.Step(in)
+	}
+	return out
+}

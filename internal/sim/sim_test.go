@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/testgen"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+func mustParse(t *testing.T, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(src, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func vec(t *testing.T, s string) logic.Vector {
+	t.Helper()
+	v, err := logic.ParseVector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// Hand-checked combinational behavior of a tiny circuit.
+func TestSerialCombinational(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = NAND(a, b)\nz = XOR(a, b)\n", "c1")
+	s := NewSerial(c)
+	cases := []struct{ in, want string }{
+		{"00", "10"}, {"01", "11"}, {"10", "11"}, {"11", "00"},
+		{"0X", "1X"}, {"X1", "XX"}, {"XX", "XX"},
+	}
+	for _, tc := range cases {
+		got := s.Eval(vec(t, tc.in))
+		if got.String() != tc.want {
+			t.Errorf("Eval(%s) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+// With a known state, s27's logic follows by hand: G12 = NOR(G1,G7),
+// G13 = NAND(G2,G12), G17 = NOT(G11).
+func TestSerialS27KnownState(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	s := NewSerial(c)
+	// State order is DFF declaration order: G5, G6, G7.
+	s.SetState(vec(t, "000"))
+	// Inputs G0..G3 = 0,0,0,0:
+	// G14=NOT(0)=1; G8=AND(1,G6=0)=0; G12=NOR(0,0)=1; G15=OR(1,0)=1;
+	// G16=OR(0,0)=0; G9=NAND(0,1)=1; G11=NOR(G5=0,1)=0; G17=NOT(0)=1.
+	out := s.Eval(vec(t, "0000"))
+	if out.String() != "1" {
+		t.Errorf("G17 = %s, want 1", out)
+	}
+	// Next state: G10=NOR(G14=1,G11=0)=0, G11=0, G13=NAND(G2=0,G12=1)=1.
+	out = s.Step(vec(t, "0000"))
+	if out.String() != "1" {
+		t.Errorf("Step output = %s", out)
+	}
+	if st := s.State(); st.String() != "001" {
+		t.Errorf("next state = %s, want 001", st)
+	}
+}
+
+func TestSerialResetAllX(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	s := NewSerial(c)
+	if st := s.State(); st.String() != "XXX" {
+		t.Errorf("initial state = %s", st)
+	}
+	// With all inputs X, output must be X (no constants force values).
+	out := s.Eval(vec(t, "XXXX"))
+	if out.String() != "X" {
+		t.Errorf("all-X eval = %s", out)
+	}
+}
+
+func TestSerialRunLength(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	s := NewSerial(c)
+	seq := testgen.RandomSequence(rand.New(rand.NewSource(3)), 5, len(c.PIs), 0)
+	outs := s.Run(seq)
+	if len(outs) != 5 {
+		t.Fatalf("Run returned %d outputs", len(outs))
+	}
+}
+
+// Property: every lane of the pattern simulator agrees with an independent
+// serial simulation of that lane's sequence, on random circuits, with and
+// without X inputs.
+func TestPatternMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		c := testgen.RandomCircuit(r, "rc", 2+r.Intn(5), r.Intn(6), 5+r.Intn(40))
+		const seqLen = 6
+		// One independent sequence per lane (use 8 lanes to keep it fast).
+		lanes := 8
+		seqs := make([][]logic.Vector, lanes)
+		for l := 0; l < lanes; l++ {
+			seqs[l] = testgen.RandomSequence(r, seqLen, len(c.PIs), 0.2)
+		}
+		ps := NewPatternSim(c)
+		for step := 0; step < seqLen; step++ {
+			in := make([]logic.Word, len(c.PIs))
+			for pi := range in {
+				w := logic.WordAllX
+				for l := 0; l < lanes; l++ {
+					w = w.WithLane(l, seqs[l][step][pi])
+				}
+				in[pi] = w
+			}
+			outW := ps.Step(in)
+			for l := 0; l < lanes; l++ {
+				ser := NewSerial(c)
+				for s2 := 0; s2 < step; s2++ {
+					ser.Step(seqs[l][s2])
+				}
+				want := ser.Step(seqs[l][step])
+				for o := range outW {
+					if got := outW[o].Get(l); got != want[o] {
+						t.Fatalf("trial %d step %d lane %d PO %d: pattern %s, serial %s\ncircuit:\n%s",
+							trial, step, l, o, got, want, bench.WriteString(c))
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: built-in fault injection (serial) equals fault-free simulation
+// of the structurally mutated circuit, for random faults on random circuits.
+func TestFaultInjectionMatchesMutation(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		c := testgen.RandomCircuit(r, "rc", 2+r.Intn(4), 1+r.Intn(4), 5+r.Intn(25))
+		faults := fault.All(c)
+		f := faults[r.Intn(len(faults))]
+		mut, err := fault.InjectedCircuit(c, f)
+		if err != nil {
+			t.Fatalf("InjectedCircuit(%s): %v", f.String(c), err)
+		}
+		sFlt := NewSerial(c)
+		sFlt.InjectFault(f)
+		sMut := NewSerial(mut)
+		seq := testgen.RandomSequence(r, 8, len(c.PIs), 0.15)
+		for step, in := range seq {
+			got := sFlt.Step(in)
+			want := sMut.Step(in)
+			if got.String() != want.String() {
+				t.Fatalf("trial %d step %d fault %s: injected %s, mutated %s\ncircuit:\n%s",
+					trial, step, f.String(c), got, want, bench.WriteString(c))
+			}
+		}
+	}
+}
+
+// Property: pattern sim with injected fault equals serial sim with the same
+// fault, lane by lane.
+func TestPatternFaultMatchesSerialFault(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		c := testgen.RandomCircuit(r, "rc", 2+r.Intn(4), 1+r.Intn(4), 5+r.Intn(25))
+		faults := fault.All(c)
+		f := faults[r.Intn(len(faults))]
+		lanes := 4
+		seqLen := 5
+		seqs := make([][]logic.Vector, lanes)
+		for l := range seqs {
+			seqs[l] = testgen.RandomSequence(r, seqLen, len(c.PIs), 0.1)
+		}
+		ps := NewPatternSim(c)
+		ps.InjectFault(f)
+		ps.Reset()
+		for step := 0; step < seqLen; step++ {
+			in := make([]logic.Word, len(c.PIs))
+			for pi := range in {
+				w := logic.WordAllX
+				for l := 0; l < lanes; l++ {
+					w = w.WithLane(l, seqs[l][step][pi])
+				}
+				in[pi] = w
+			}
+			outW := ps.Step(in)
+			for l := 0; l < lanes; l++ {
+				ser := NewSerial(c)
+				ser.InjectFault(f)
+				for s2 := 0; s2 <= step; s2++ {
+					want := ser.Step(seqs[l][s2])
+					if s2 == step {
+						for o := range outW {
+							if outW[o].Get(l) != want[o] {
+								t.Fatalf("trial %d fault %s lane %d step %d: mismatch",
+									trial, f.String(c), l, step)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPatternBroadcastState(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	ps := NewPatternSim(c)
+	ps.SetStateBroadcast(vec(t, "010"))
+	st := ps.StateLane(0)
+	if st.String() != "010" {
+		t.Errorf("lane 0 state = %s", st)
+	}
+	st63 := ps.StateLane(63)
+	if st63.String() != "010" {
+		t.Errorf("lane 63 state = %s", st63)
+	}
+}
+
+func TestPatternStateWordsRoundTrip(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	ps := NewPatternSim(c)
+	ws := []logic.Word{
+		logic.WordAll(logic.One),
+		logic.WordAllX.WithLane(3, logic.Zero),
+		logic.WordAll(logic.Zero),
+	}
+	ps.SetStateWords(ws)
+	got := ps.StateWords()
+	for i := range ws {
+		if got[i] != ws[i] {
+			t.Errorf("state word %d: %+v != %+v", i, got[i], ws[i])
+		}
+	}
+}
+
+// A stuck-at fault on the single PO must make the faulty machine's output
+// constant.
+func TestInjectStemFaultOnPO(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	g17, _ := c.Lookup("G17")
+	s := NewSerial(c)
+	s.InjectFault(fault.Fault{Node: g17, Pin: fault.StemPin, Stuck: logic.Zero})
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		out := s.Step(testgen.RandomBinaryVector(r, 4))
+		if out[0] != logic.Zero {
+			t.Fatalf("PO s-a-0 produced %s", out[0])
+		}
+	}
+}
+
+// Event-driven invariant: two different stimulus orders ending in the same
+// vector and state give identical node values (no stale events).
+func TestPatternEventConsistency(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	in1 := make([]logic.Word, 4)
+	in2 := make([]logic.Word, 4)
+	for i := range in1 {
+		in1[i] = logic.WordAll(logic.One)
+		in2[i] = logic.WordAll(logic.Zero)
+	}
+	a := NewPatternSim(c)
+	a.SetStateBroadcast(logic.Vector{logic.Zero, logic.Zero, logic.Zero})
+	a.Eval(in1)
+	a.SetStateBroadcast(logic.Vector{logic.Zero, logic.Zero, logic.Zero})
+	outA := a.Eval(in2)
+
+	b := NewPatternSim(c)
+	b.SetStateBroadcast(logic.Vector{logic.Zero, logic.Zero, logic.Zero})
+	outB := b.Eval(in2)
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("PO %d differs between stimulus histories", i)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// Tracer records the value of selected nodes after every simulation step
+// and writes the result as a Value Change Dump (VCD) file, the standard
+// waveform interchange format — handy for debugging generated tests in any
+// waveform viewer. One timescale unit corresponds to one clock cycle.
+type Tracer struct {
+	c     *netlist.Circuit
+	s     *Serial
+	nodes []netlist.ID
+	ids   map[netlist.ID]string // VCD identifier codes
+	steps []traceStep
+}
+
+type traceStep struct {
+	values []logic.V
+}
+
+// NewTracer wraps a serial simulator and traces the given nodes (all
+// primary inputs, outputs and flip-flops when nodes is nil).
+func NewTracer(s *Serial, nodes []netlist.ID) *Tracer {
+	c := s.Circuit()
+	if nodes == nil {
+		nodes = append(nodes, c.PIs...)
+		nodes = append(nodes, c.DFFs...)
+		for _, po := range c.POs {
+			seen := false
+			for _, n := range nodes {
+				if n == po {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				nodes = append(nodes, po)
+			}
+		}
+	}
+	t := &Tracer{c: c, s: s, nodes: nodes, ids: make(map[netlist.ID]string)}
+	for i, n := range nodes {
+		t.ids[n] = vcdID(i)
+	}
+	return t
+}
+
+// vcdID produces the compact printable identifier codes VCD uses.
+func vcdID(i int) string {
+	const base = 94 // printable ASCII '!'..'~'
+	id := ""
+	for {
+		id = string(rune('!'+i%base)) + id
+		i /= base
+		if i == 0 {
+			return id
+		}
+	}
+}
+
+// Step applies one input vector through the underlying simulator and
+// records the traced values.
+func (t *Tracer) Step(in logic.Vector) logic.Vector {
+	out := t.s.Step(in)
+	vals := make([]logic.V, len(t.nodes))
+	for i, n := range t.nodes {
+		vals[i] = t.s.Value(n)
+	}
+	t.steps = append(t.steps, traceStep{values: vals})
+	return out
+}
+
+// Run steps through a whole sequence.
+func (t *Tracer) Run(seq []logic.Vector) {
+	for _, in := range seq {
+		t.Step(in)
+	}
+}
+
+// vcdChar maps a logic value to its VCD scalar character.
+func vcdChar(v logic.V) byte {
+	switch v {
+	case logic.Zero:
+		return '0'
+	case logic.One:
+		return '1'
+	default:
+		return 'x'
+	}
+}
+
+// WriteVCD emits the recorded trace.
+func (t *Tracer) WriteVCD(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$date gahitec trace $end\n")
+	fmt.Fprintf(bw, "$timescale 1ns $end\n")
+	fmt.Fprintf(bw, "$scope module %s $end\n", t.c.Name)
+	// Stable declaration order.
+	ordered := append([]netlist.ID(nil), t.nodes...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, n := range ordered {
+		fmt.Fprintf(bw, "$var wire 1 %s %s $end\n", t.ids[n], t.c.Nodes[n].Name)
+	}
+	fmt.Fprintf(bw, "$upscope $end\n$enddefinitions $end\n")
+
+	prev := make(map[netlist.ID]logic.V, len(t.nodes))
+	for i, st := range t.steps {
+		emitted := false
+		for k, n := range t.nodes {
+			v := st.values[k]
+			if i > 0 {
+				if p, ok := prev[n]; ok && p == v {
+					continue
+				}
+			}
+			if !emitted {
+				fmt.Fprintf(bw, "#%d\n", i)
+				emitted = true
+			}
+			fmt.Fprintf(bw, "%c%s\n", vcdChar(v), t.ids[n])
+			prev[n] = v
+		}
+	}
+	fmt.Fprintf(bw, "#%d\n", len(t.steps))
+	return bw.Flush()
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+func TestTracerVCD(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	s := NewSerial(c)
+	tr := NewTracer(s, nil)
+	seq := []string{"0000", "1111", "0101", "0101"}
+	for _, in := range seq {
+		tr.Step(vec(t, in))
+	}
+	var sb strings.Builder
+	if err := tr.WriteVCD(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale", "$scope module s27", "$var wire 1 ", " G0 $end",
+		" G17 $end", "$enddefinitions", "#0", "#4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// The first timestamp must dump a value for every traced node.
+	header := out[strings.Index(out, "#0"):]
+	if strings.Count(header[:strings.Index(header, "#1")], "\n") < 8 {
+		t.Error("initial dump too small")
+	}
+}
+
+func TestTracerSelectedNodes(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	g17, _ := c.Lookup("G17")
+	s := NewSerial(c)
+	tr := NewTracer(s, []netlist.ID{g17})
+	tr.Step(vec(t, "0000"))
+	var sb strings.Builder
+	if err := tr.WriteVCD(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, " G17 $end") {
+		t.Error("selected node missing")
+	}
+	if strings.Contains(out, " G0 $end") {
+		t.Error("unselected node present")
+	}
+}
+
+func TestTracerUnchangedValuesNotRepeated(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n"
+	c := mustParse(t, src, "buf")
+	s := NewSerial(c)
+	tr := NewTracer(s, nil)
+	one := logic.Vector{logic.One}
+	tr.Run([]logic.Vector{one, one, one})
+	var sb strings.Builder
+	if err := tr.WriteVCD(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// After the initial dump, constant signals emit no further changes:
+	// "#1" and "#2" must not appear.
+	if strings.Contains(out, "#1\n") || strings.Contains(out, "#2\n") {
+		t.Errorf("unchanged values re-emitted:\n%s", out)
+	}
+}
+
+func TestVCDIdentifiersUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,197 @@
+// Package simgen implements a purely simulation-based GA test generator in
+// the style of the authors' earlier GATEST work (paper references [17, 18]):
+// no backtracing at all. Candidate test *sequences* are evolved by a GA
+// whose fitness is the number of faults a candidate detects (evaluated with
+// the bit-parallel fault simulator over a sample of the remaining faults);
+// the best sequence of each round is appended to the test set and graded for
+// real, and rounds continue until the coverage stalls.
+//
+// The paper's introduction positions this family as strong on data-dominant
+// circuits and weak on control-dominant ones — the three-generator
+// comparison benchmark reproduces exactly that contrast against HITEC and
+// GA-HITEC.
+package simgen
+
+import (
+	"math/rand"
+	"time"
+
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/ga"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// Options configures a run. Zero values select defaults.
+type Options struct {
+	Population  int // default 32
+	Generations int // default 8 per round
+	SeqLen      int // default 4x sequential depth
+	SampleSize  int // faults per fitness evaluation; default 64 (one batch)
+	StallLimit  int // stop after this many rounds without new detections (default 5)
+	MaxRounds   int // hard round bound (default 200)
+	Seed        int64
+}
+
+func (o *Options) setDefaults(c *netlist.Circuit) {
+	if o.Population <= 0 {
+		o.Population = 32
+	}
+	if o.Population%2 != 0 {
+		o.Population++
+	}
+	if o.Generations <= 0 {
+		o.Generations = 8
+	}
+	if o.SeqLen <= 0 {
+		o.SeqLen = 4 * c.SeqDepth()
+		if o.SeqLen < 4 {
+			o.SeqLen = 4
+		}
+	}
+	if o.SampleSize <= 0 {
+		o.SampleSize = logic.Lanes
+	}
+	if o.StallLimit <= 0 {
+		o.StallLimit = 5
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 200
+	}
+}
+
+// Result reports a run.
+type Result struct {
+	TestSet   [][]logic.Vector
+	Detected  int
+	Rounds    int
+	Elapsed   time.Duration
+	Remaining []fault.Fault
+}
+
+// Vectors returns the flattened test set.
+func (r *Result) Vectors() int {
+	n := 0
+	for _, s := range r.TestSet {
+		n += len(s)
+	}
+	return n
+}
+
+// Session is an incremental simulation-based generation session: one GA
+// round at a time against a shared fault-simulation grader. The alternating
+// hybrid (Saab-style, paper reference [19]) interleaves Session rounds with
+// deterministic targeting through the same grader.
+type Session struct {
+	c      *netlist.Circuit
+	opt    Options
+	rng    *rand.Rand
+	grader *faultsim.Simulator
+}
+
+// NewSession starts a session over the fault list.
+func NewSession(c *netlist.Circuit, faults []fault.Fault, opt Options) *Session {
+	opt.setDefaults(c)
+	return &Session{
+		c:      c,
+		opt:    opt,
+		rng:    rand.New(rand.NewSource(opt.Seed)),
+		grader: faultsim.New(c, faults),
+	}
+}
+
+// Grader exposes the shared fault simulator (read-only use expected).
+func (s *Session) Grader() *faultsim.Simulator { return s.grader }
+
+// Apply grades an externally produced sequence (e.g. from a deterministic
+// interlude), dropping whatever it detects.
+func (s *Session) Apply(seq []logic.Vector) []fault.Fault {
+	return s.grader.ApplySequence(seq)
+}
+
+// TryRound evolves one candidate sequence and applies it if it detects
+// anything new. It returns the applied sequence and the newly detected
+// faults; a nil sequence means the round stalled.
+func (s *Session) TryRound() ([]logic.Vector, []fault.Fault) {
+	remaining := s.grader.Remaining()
+	if len(remaining) == 0 {
+		return nil, nil
+	}
+	sample := sampleFaults(s.rng, remaining, s.opt.SampleSize)
+	goodState := s.grader.GoodState()
+
+	eval := func(pop []ga.Individual) ga.EvalResult {
+		for i := range pop {
+			seq := decode(pop[i].Genes, len(s.c.PIs))
+			probe := faultsim.NewFromState(s.c, sample, goodState)
+			probe.ApplySequence(seq)
+			pop[i].Fitness = float64(probe.NumDetected())
+		}
+		return ga.EvalResult{Solved: -1}
+	}
+	gaRes, err := ga.Run(ga.Config{
+		PopulationSize: s.opt.Population,
+		Generations:    s.opt.Generations,
+		GenomeBits:     s.opt.SeqLen * len(s.c.PIs),
+		Seed:           s.rng.Int63(),
+	}, eval)
+	if err != nil || gaRes.Best.Fitness <= 0 {
+		return nil, nil
+	}
+	seq := decode(gaRes.Best.Genes, len(s.c.PIs))
+	newly := s.grader.ApplySequence(seq)
+	if len(newly) == 0 {
+		return nil, nil
+	}
+	return seq, newly
+}
+
+// Run generates tests until the coverage stalls or the round bound is hit.
+func Run(c *netlist.Circuit, faults []fault.Fault, opt Options) *Result {
+	start := time.Now()
+	s := NewSession(c, faults, opt)
+	res := &Result{}
+	stall := 0
+	for round := 0; round < s.opt.MaxRounds && stall < s.opt.StallLimit; round++ {
+		res.Rounds = round + 1
+		seq, _ := s.TryRound()
+		if seq == nil {
+			stall++
+			continue
+		}
+		stall = 0
+		res.TestSet = append(res.TestSet, seq)
+	}
+	res.Detected = s.grader.NumDetected()
+	res.Remaining = append([]fault.Fault(nil), s.grader.Remaining()...)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// sampleFaults picks up to n faults without replacement.
+func sampleFaults(rng *rand.Rand, faults []fault.Fault, n int) []fault.Fault {
+	if len(faults) <= n {
+		return append([]fault.Fault(nil), faults...)
+	}
+	idx := rng.Perm(len(faults))[:n]
+	out := make([]fault.Fault, n)
+	for i, j := range idx {
+		out[i] = faults[j]
+	}
+	return out
+}
+
+// decode converts a genome to a binary vector sequence.
+func decode(genes []byte, nPI int) []logic.Vector {
+	nVec := len(genes) / nPI
+	out := make([]logic.Vector, nVec)
+	for t := 0; t < nVec; t++ {
+		v := make(logic.Vector, nPI)
+		for i := 0; i < nPI; i++ {
+			v[i] = logic.FromBit(uint64(genes[t*nPI+i]))
+		}
+		out[t] = v
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package simgen
+
+import (
+	"testing"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/netlist"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+func mustParse(t *testing.T, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(src, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRunDetectsOnS27(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+	res := Run(c, faults, Options{Seed: 1, MaxRounds: 40})
+	if res.Detected == 0 {
+		t.Fatal("simulation-based generator detected nothing on s27")
+	}
+	if res.Detected+len(res.Remaining) != len(faults) {
+		t.Fatalf("accounting: %d + %d != %d", res.Detected, len(res.Remaining), len(faults))
+	}
+	// Replay check: the reported test set really detects that many.
+	replay := faultsim.New(c, faults)
+	for _, seq := range res.TestSet {
+		replay.ApplySequence(seq)
+	}
+	if replay.NumDetected() != res.Detected {
+		t.Fatalf("replay %d != reported %d", replay.NumDetected(), res.Detected)
+	}
+}
+
+func TestRunStallTerminates(t *testing.T) {
+	// An untestable-only circuit: z = OR(a, AND(a,b)); the AND's s-a-0
+	// class is undetectable, everything else is found quickly, then the
+	// generator must stall out rather than loop forever.
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nn = AND(a, b)\nz = OR(a, n)\n"
+	c := mustParse(t, src, "red")
+	faults := fault.Collapse(c)
+	res := Run(c, faults, Options{Seed: 2, StallLimit: 3, MaxRounds: 100})
+	if res.Rounds >= 100 {
+		t.Fatal("did not stall")
+	}
+	if len(res.Remaining) == 0 {
+		t.Fatal("detected a redundant fault?!")
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+	a := Run(c, faults, Options{Seed: 3, MaxRounds: 10})
+	b := Run(c, faults, Options{Seed: 3, MaxRounds: 10})
+	if a.Detected != b.Detected || a.Vectors() != b.Vectors() {
+		t.Fatal("same seed, different result")
+	}
+}
+
+func TestSessionRoundsAndApply(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+	s := NewSession(c, faults, Options{Seed: 9})
+	before := s.Grader().NumDetected()
+	seq, newly := s.TryRound()
+	if seq == nil {
+		t.Skip("first round stalled with this seed")
+	}
+	if len(newly) == 0 {
+		t.Fatal("round applied but detected nothing")
+	}
+	if s.Grader().NumDetected() != before+len(newly) {
+		t.Fatal("grader not advanced")
+	}
+	// External sequences flow through the same grader.
+	ext := seq // replaying the same sequence must detect nothing new
+	if more := s.Apply(ext); len(more) != 0 {
+		t.Fatalf("replay detected %d new faults", len(more))
+	}
+}
+
+func TestSessionEmptyFaultList(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	s := NewSession(c, nil, Options{Seed: 10})
+	if seq, _ := s.TryRound(); seq != nil {
+		t.Fatal("round produced a sequence with no faults to target")
+	}
+}
+
+func TestVectorsCount(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	res := Run(c, fault.Collapse(c), Options{Seed: 4, MaxRounds: 5})
+	n := 0
+	for _, s := range res.TestSet {
+		n += len(s)
+	}
+	if res.Vectors() != n {
+		t.Fatal("Vectors() wrong")
+	}
+}

@@ -1,0 +1,416 @@
+// Package synth is a small word-level synthesis layer over the gate-level
+// netlist builder. It provides the registers, adders, comparators,
+// multiplexers and FSM scaffolding from which the benchmark suite
+// (Am2910, div, mult, pcont2 and the ISCAS89 stand-ins) is constructed.
+// Everything lowers to the ISCAS89 gate set; flip-flops are plain DFFs with
+// an implicit clock, exactly as the test generator expects.
+package synth
+
+import (
+	"fmt"
+
+	"gahitec/internal/netlist"
+)
+
+// Word is a little-endian bundle of signals (index 0 = LSB).
+type Word []netlist.ID
+
+// Module wraps a netlist builder with word-level operations.
+type Module struct {
+	B *netlist.Builder
+
+	zero netlist.ID // lazily created shared constants
+	one  netlist.ID
+}
+
+// New returns an empty module.
+func New(name string) *Module {
+	return &Module{B: netlist.NewBuilder(name), zero: netlist.None, one: netlist.None}
+}
+
+// Build finalizes the circuit.
+func (m *Module) Build() (*netlist.Circuit, error) { return m.B.Build() }
+
+// fresh returns a unique internal signal name.
+func (m *Module) fresh() string { return m.B.FreshName() }
+
+// Zero returns the shared constant-0 node.
+func (m *Module) Zero() netlist.ID {
+	if m.zero == netlist.None {
+		m.zero = m.B.Const("__const0", false)
+	}
+	return m.zero
+}
+
+// One returns the shared constant-1 node.
+func (m *Module) One() netlist.ID {
+	if m.one == netlist.None {
+		m.one = m.B.Const("__const1", true)
+	}
+	return m.one
+}
+
+// Input declares a single-bit primary input.
+func (m *Module) Input(name string) netlist.ID { return m.B.Input(name) }
+
+// InputWord declares a w-bit input bus named name_0 .. name_{w-1}.
+func (m *Module) InputWord(name string, w int) Word {
+	out := make(Word, w)
+	for i := range out {
+		out[i] = m.B.Input(fmt.Sprintf("%s_%d", name, i))
+	}
+	return out
+}
+
+// Output marks a signal as primary output under its own name.
+func (m *Module) Output(id netlist.ID, name string) netlist.ID {
+	n := m.B.Gate(netlist.KBuf, name, id)
+	m.B.Output(name)
+	return n
+}
+
+// OutputWord marks each bit of w as a primary output name_0 ...
+func (m *Module) OutputWord(w Word, name string) {
+	for i, id := range w {
+		m.Output(id, fmt.Sprintf("%s_%d", name, i))
+	}
+}
+
+// --- single-bit gates ---
+
+// Not returns the complement of a (constants fold).
+func (m *Module) Not(a netlist.ID) netlist.ID {
+	switch a {
+	case m.zero:
+		return m.One()
+	case m.one:
+		return m.Zero()
+	}
+	return m.B.Gate(netlist.KNot, m.fresh(), a)
+}
+
+// foldAnd drops constant-one operands and reports whether a constant zero
+// forces the result. All gate builders fold constants so that datapaths
+// built against constant words (increment, clear muxes, …) contain no dead
+// gates — dead gates would be a source of artificial untestable faults.
+func (m *Module) foldAnd(xs []netlist.ID) (kept []netlist.ID, forcedZero bool) {
+	for _, x := range xs {
+		switch x {
+		case m.one:
+			continue
+		case m.zero:
+			return nil, true
+		}
+		kept = append(kept, x)
+	}
+	return kept, false
+}
+
+func (m *Module) foldOr(xs []netlist.ID) (kept []netlist.ID, forcedOne bool) {
+	for _, x := range xs {
+		switch x {
+		case m.zero:
+			continue
+		case m.one:
+			return nil, true
+		}
+		kept = append(kept, x)
+	}
+	return kept, false
+}
+
+// And returns the conjunction of the operands.
+func (m *Module) And(xs ...netlist.ID) netlist.ID {
+	kept, zero := m.foldAnd(xs)
+	switch {
+	case zero:
+		return m.Zero()
+	case len(kept) == 0:
+		return m.One()
+	case len(kept) == 1:
+		return kept[0]
+	}
+	return m.B.Gate(netlist.KAnd, m.fresh(), kept...)
+}
+
+// Or returns the disjunction of the operands.
+func (m *Module) Or(xs ...netlist.ID) netlist.ID {
+	kept, one := m.foldOr(xs)
+	switch {
+	case one:
+		return m.One()
+	case len(kept) == 0:
+		return m.Zero()
+	case len(kept) == 1:
+		return kept[0]
+	}
+	return m.B.Gate(netlist.KOr, m.fresh(), kept...)
+}
+
+// Nand returns the complemented conjunction.
+func (m *Module) Nand(xs ...netlist.ID) netlist.ID {
+	kept, zero := m.foldAnd(xs)
+	switch {
+	case zero:
+		return m.One()
+	case len(kept) == 0:
+		return m.Zero()
+	case len(kept) == 1:
+		return m.Not(kept[0])
+	case len(kept) == len(xs):
+		return m.B.Gate(netlist.KNand, m.fresh(), kept...)
+	}
+	return m.Not(m.B.Gate(netlist.KAnd, m.fresh(), kept...))
+}
+
+// Nor returns the complemented disjunction.
+func (m *Module) Nor(xs ...netlist.ID) netlist.ID {
+	kept, one := m.foldOr(xs)
+	switch {
+	case one:
+		return m.Zero()
+	case len(kept) == 0:
+		return m.One()
+	case len(kept) == 1:
+		return m.Not(kept[0])
+	case len(kept) == len(xs):
+		return m.B.Gate(netlist.KNor, m.fresh(), kept...)
+	}
+	return m.Not(m.B.Gate(netlist.KOr, m.fresh(), kept...))
+}
+
+// foldXor drops constant-zero operands; constant ones toggle the inversion.
+func (m *Module) foldXor(xs []netlist.ID) (kept []netlist.ID, inverted bool) {
+	for _, x := range xs {
+		switch x {
+		case m.zero:
+			continue
+		case m.one:
+			inverted = !inverted
+			continue
+		}
+		kept = append(kept, x)
+	}
+	return kept, inverted
+}
+
+// Xor returns the exclusive-or of the operands.
+func (m *Module) Xor(xs ...netlist.ID) netlist.ID {
+	kept, inv := m.foldXor(xs)
+	switch {
+	case len(kept) == 0:
+		if inv {
+			return m.One()
+		}
+		return m.Zero()
+	case len(kept) == 1:
+		if inv {
+			return m.Not(kept[0])
+		}
+		return kept[0]
+	}
+	k := netlist.KXor
+	if inv {
+		k = netlist.KXnor
+	}
+	return m.B.Gate(k, m.fresh(), kept...)
+}
+
+// Xnor returns the complemented exclusive-or.
+func (m *Module) Xnor(xs ...netlist.ID) netlist.ID {
+	kept, inv := m.foldXor(xs)
+	inv = !inv
+	switch {
+	case len(kept) == 0:
+		if inv {
+			return m.One()
+		}
+		return m.Zero()
+	case len(kept) == 1:
+		if inv {
+			return m.Not(kept[0])
+		}
+		return kept[0]
+	}
+	k := netlist.KXor
+	if inv {
+		k = netlist.KXnor
+	}
+	return m.B.Gate(k, m.fresh(), kept...)
+}
+
+// Mux returns sel ? t : f. Constant and degenerate data inputs are folded —
+// a naive And/Or expansion of e.g. "clear" muxes (t = 0) would leave dead
+// gates whose faults are untestable by construction, polluting the
+// synthesized benchmarks with artificial redundancy.
+func (m *Module) Mux(sel, t, f netlist.ID) netlist.ID {
+	switch {
+	case t == f:
+		return t
+	case t == m.zero:
+		return m.And(m.Not(sel), f)
+	case t == m.one:
+		return m.Or(sel, f)
+	case f == m.zero:
+		return m.And(sel, t)
+	case f == m.one:
+		return m.Or(m.Not(sel), t)
+	}
+	return m.Or(m.And(sel, t), m.And(m.Not(sel), f))
+}
+
+// --- word operations ---
+
+// ConstWord returns a w-bit constant.
+func (m *Module) ConstWord(w int, value uint64) Word {
+	out := make(Word, w)
+	for i := range out {
+		if value>>uint(i)&1 == 1 {
+			out[i] = m.One()
+		} else {
+			out[i] = m.Zero()
+		}
+	}
+	return out
+}
+
+// NotWord complements every bit.
+func (m *Module) NotWord(a Word) Word {
+	out := make(Word, len(a))
+	for i := range a {
+		out[i] = m.Not(a[i])
+	}
+	return out
+}
+
+// AndWord / OrWord / XorWord are bitwise operations (operands equal width).
+func (m *Module) AndWord(a, b Word) Word {
+	out := make(Word, len(a))
+	for i := range a {
+		out[i] = m.And(a[i], b[i])
+	}
+	return out
+}
+
+// OrWord is the bitwise disjunction.
+func (m *Module) OrWord(a, b Word) Word {
+	out := make(Word, len(a))
+	for i := range a {
+		out[i] = m.Or(a[i], b[i])
+	}
+	return out
+}
+
+// XorWord is the bitwise exclusive-or.
+func (m *Module) XorWord(a, b Word) Word {
+	out := make(Word, len(a))
+	for i := range a {
+		out[i] = m.Xor(a[i], b[i])
+	}
+	return out
+}
+
+// MuxWord returns sel ? t : f bitwise.
+func (m *Module) MuxWord(sel netlist.ID, t, f Word) Word {
+	out := make(Word, len(t))
+	for i := range t {
+		out[i] = m.Mux(sel, t[i], f[i])
+	}
+	return out
+}
+
+// Adder is a ripple-carry adder; returns sum and carry-out.
+func (m *Module) Adder(a, b Word, cin netlist.ID) (Word, netlist.ID) {
+	sum := make(Word, len(a))
+	c := cin
+	for i := range a {
+		sum[i] = m.Xor(a[i], b[i], c)
+		c = m.Or(m.And(a[i], b[i]), m.And(a[i], c), m.And(b[i], c))
+	}
+	return sum, c
+}
+
+// Sub computes a - b (two's complement); the second result is the NOT-borrow
+// (carry-out), i.e. 1 when a >= b for unsigned operands.
+func (m *Module) Sub(a, b Word) (Word, netlist.ID) {
+	return m.Adder(a, m.NotWord(b), m.One())
+}
+
+// Inc returns a + 1.
+func (m *Module) Inc(a Word) Word {
+	sum, _ := m.Adder(a, m.ConstWord(len(a), 0), m.One())
+	return sum
+}
+
+// IsZero returns 1 when every bit of a is 0.
+func (m *Module) IsZero(a Word) netlist.ID {
+	return m.Nor(a...)
+}
+
+// Equals returns 1 when a == b.
+func (m *Module) Equals(a, b Word) netlist.ID {
+	xs := make([]netlist.ID, len(a))
+	for i := range a {
+		xs[i] = m.Xnor(a[i], b[i])
+	}
+	return m.And(xs...)
+}
+
+// EqualsConst returns 1 when a equals the constant k.
+func (m *Module) EqualsConst(a Word, k uint64) netlist.ID {
+	xs := make([]netlist.ID, len(a))
+	for i := range a {
+		if k>>uint(i)&1 == 1 {
+			xs[i] = a[i]
+		} else {
+			xs[i] = m.Not(a[i])
+		}
+	}
+	return m.And(xs...)
+}
+
+// ShiftLeft returns {a[w-2:0], in} (combinational rewiring).
+func (m *Module) ShiftLeft(a Word, in netlist.ID) Word {
+	out := make(Word, len(a))
+	out[0] = in
+	copy(out[1:], a[:len(a)-1])
+	return out
+}
+
+// ShiftRight returns {in, a[w-1:1]}.
+func (m *Module) ShiftRight(a Word, in netlist.ID) Word {
+	out := make(Word, len(a))
+	out[len(a)-1] = in
+	copy(out[:len(a)-1], a[1:])
+	return out
+}
+
+// --- registers ---
+
+// Register declares a single flip-flop named name with next-value d.
+// Use RegisterFeedback when the next-value logic needs the Q output.
+func (m *Module) Register(name string, d netlist.ID) netlist.ID {
+	return m.B.DFF(name, d)
+}
+
+// RegRef returns a forward reference to a register (or any signal) that will
+// be defined later — the standard way to close sequential feedback loops.
+func (m *Module) RegRef(name string) netlist.ID { return m.B.Ref(name) }
+
+// RegisterWord declares a w-bit register bank name_0.. with next values d.
+func (m *Module) RegisterWord(name string, d Word) Word {
+	out := make(Word, len(d))
+	for i := range d {
+		out[i] = m.B.DFF(fmt.Sprintf("%s_%d", name, i), d[i])
+	}
+	return out
+}
+
+// RegRefWord returns forward references to a register word defined later.
+func (m *Module) RegRefWord(name string, w int) Word {
+	out := make(Word, w)
+	for i := range out {
+		out[i] = m.B.Ref(fmt.Sprintf("%s_%d", name, i))
+	}
+	return out
+}

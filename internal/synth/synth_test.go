@@ -1,0 +1,423 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/sim"
+)
+
+// wordVal assembles an integer from the simulated bits of a word.
+func wordVal(s *sim.Serial, w Word) (uint64, bool) {
+	var v uint64
+	for i, id := range w {
+		b := s.Value(id)
+		if !b.IsKnown() {
+			return 0, false
+		}
+		if b == logic.One {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, true
+}
+
+// inVec builds the input vector for a circuit whose PIs are the given words
+// (in declaration order).
+func inVec(vals ...uint64) func(widths ...int) logic.Vector {
+	return func(widths ...int) logic.Vector {
+		var v logic.Vector
+		for k, w := range widths {
+			for i := 0; i < w; i++ {
+				v = append(v, logic.FromBit(vals[k]>>uint(i)))
+			}
+		}
+		return v
+	}
+}
+
+func TestAdderExhaustive(t *testing.T) {
+	m := New("add4")
+	a := m.InputWord("a", 4)
+	b := m.InputWord("b", 4)
+	cin := m.Input("cin")
+	sum, cout := m.Adder(a, b, cin)
+	m.OutputWord(sum, "s")
+	m.Output(cout, "co")
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSerial(c)
+	for av := uint64(0); av < 16; av++ {
+		for bv := uint64(0); bv < 16; bv++ {
+			for cv := uint64(0); cv < 2; cv++ {
+				var in logic.Vector
+				for i := 0; i < 4; i++ {
+					in = append(in, logic.FromBit(av>>uint(i)))
+				}
+				for i := 0; i < 4; i++ {
+					in = append(in, logic.FromBit(bv>>uint(i)))
+				}
+				in = append(in, logic.FromBit(cv))
+				s.Eval(in)
+				got, ok := wordVal(s, sum)
+				if !ok {
+					t.Fatal("sum unknown")
+				}
+				co := s.Value(cout)
+				want := av + bv + cv
+				if got != want&0xF || (co == logic.One) != (want > 15) {
+					t.Fatalf("%d+%d+%d = %d co=%s, want %d", av, bv, cv, got, co, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSubAndCompare(t *testing.T) {
+	m := New("sub4")
+	a := m.InputWord("a", 4)
+	b := m.InputWord("b", 4)
+	diff, geq := m.Sub(a, b)
+	eq := m.Equals(a, b)
+	zero := m.IsZero(a)
+	m.OutputWord(diff, "d")
+	m.Output(geq, "geq")
+	m.Output(eq, "eq")
+	m.Output(zero, "z")
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSerial(c)
+	for av := uint64(0); av < 16; av++ {
+		for bv := uint64(0); bv < 16; bv++ {
+			var in logic.Vector
+			for i := 0; i < 4; i++ {
+				in = append(in, logic.FromBit(av>>uint(i)))
+			}
+			for i := 0; i < 4; i++ {
+				in = append(in, logic.FromBit(bv>>uint(i)))
+			}
+			s.Eval(in)
+			got, _ := wordVal(s, diff)
+			if got != (av-bv)&0xF {
+				t.Fatalf("%d-%d = %d", av, bv, got)
+			}
+			if (s.Value(geq) == logic.One) != (av >= bv) {
+				t.Fatalf("geq wrong for %d,%d", av, bv)
+			}
+			if (s.Value(eq) == logic.One) != (av == bv) {
+				t.Fatalf("eq wrong for %d,%d", av, bv)
+			}
+			if (s.Value(zero) == logic.One) != (av == 0) {
+				t.Fatalf("zero wrong for %d", av)
+			}
+		}
+	}
+}
+
+func TestEqualsConstAndMux(t *testing.T) {
+	m := New("misc")
+	a := m.InputWord("a", 4)
+	sel := m.Input("sel")
+	b := m.InputWord("b", 4)
+	is5 := m.EqualsConst(a, 5)
+	mx := m.MuxWord(sel, a, b)
+	m.Output(is5, "is5")
+	m.OutputWord(mx, "m")
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSerial(c)
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		av := uint64(r.Intn(16))
+		bv := uint64(r.Intn(16))
+		sv := uint64(r.Intn(2))
+		var in logic.Vector
+		for i := 0; i < 4; i++ {
+			in = append(in, logic.FromBit(av>>uint(i)))
+		}
+		in = append(in, logic.FromBit(sv))
+		for i := 0; i < 4; i++ {
+			in = append(in, logic.FromBit(bv>>uint(i)))
+		}
+		s.Eval(in)
+		if (s.Value(is5) == logic.One) != (av == 5) {
+			t.Fatalf("is5 wrong for %d", av)
+		}
+		got, _ := wordVal(s, mx)
+		want := bv
+		if sv == 1 {
+			want = av
+		}
+		if got != want {
+			t.Fatalf("mux(%d,%d,%d) = %d", sv, av, bv, got)
+		}
+	}
+}
+
+// A synthesized 4-bit counter with synchronous clear must count and clear.
+func TestCounterRegister(t *testing.T) {
+	m := New("ctr")
+	clr := m.Input("clr")
+	en := m.Input("en")
+	q := m.RegRefWord("q", 4)
+	next := m.MuxWord(en, m.Inc(q), q)
+	next = m.MuxWord(clr, m.ConstWord(4, 0), next)
+	m.RegisterWord("q", next)
+	m.OutputWord(q, "count")
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSerial(c)
+	step := func(clrV, enV uint64) {
+		s.Step(logic.Vector{logic.FromBit(clrV), logic.FromBit(enV)})
+	}
+	step(1, 0) // clear
+	qw := m.RegRefWord("q", 4)
+	// After clear, count from 0.
+	for i := uint64(0); i < 20; i++ {
+		got, ok := wordVal(s, qw)
+		if !ok || got != i&0xF {
+			t.Fatalf("count at step %d = %d (known=%v)", i, got, ok)
+		}
+		step(0, 1)
+	}
+	// Hold.
+	before, _ := wordVal(s, qw)
+	step(0, 0)
+	after, _ := wordVal(s, qw)
+	if before != after {
+		t.Fatal("counter did not hold with en=0")
+	}
+}
+
+func TestShiftWiring(t *testing.T) {
+	m := New("sh")
+	a := m.InputWord("a", 4)
+	in := m.Input("in")
+	l := m.ShiftLeft(a, in)
+	r := m.ShiftRight(a, in)
+	m.OutputWord(Word{m.B.Gate(netlist.KBuf, "l0", l[0]), m.B.Gate(netlist.KBuf, "l3", l[3])}, "lo")
+	m.OutputWord(Word{m.B.Gate(netlist.KBuf, "r0", r[0]), m.B.Gate(netlist.KBuf, "r3", r[3])}, "ro")
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSerial(c)
+	// a = 0b0110, in = 1: left -> 0b1101, right -> 0b1011.
+	in5, _ := logic.ParseVector("01101")
+	s.Eval(in5)
+	lo0, _ := c.Lookup("l0")
+	lo3, _ := c.Lookup("l3")
+	ro0, _ := c.Lookup("r0")
+	ro3, _ := c.Lookup("r3")
+	if s.Value(lo0) != logic.One || s.Value(lo3) != logic.One {
+		t.Errorf("shift left bits: %s %s", s.Value(lo0), s.Value(lo3))
+	}
+	if s.Value(ro0) != logic.One || s.Value(ro3) != logic.One {
+		t.Errorf("shift right bits: %s %s", s.Value(ro0), s.Value(ro3))
+	}
+}
+
+func TestSharedConstants(t *testing.T) {
+	m := New("k")
+	a := m.Input("a")
+	w := m.ConstWord(8, 0xA5)
+	x := m.ConstWord(8, 0x5A)
+	_ = x
+	y := m.And(a, w[0])
+	m.Output(y, "y")
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only two constant nodes regardless of how many ConstWords were made.
+	n0, n1 := 0, 0
+	for i := range c.Nodes {
+		switch c.Nodes[i].Kind {
+		case netlist.KConst0:
+			n0++
+		case netlist.KConst1:
+			n1++
+		}
+	}
+	if n0 != 1 || n1 != 1 {
+		t.Errorf("constants not shared: %d zeros, %d ones", n0, n1)
+	}
+}
+
+// Constant folding in every gate builder: the truth tables must still hold
+// and constant operands must not create gates.
+func TestGateFoldingSemantics(t *testing.T) {
+	m := New("fold")
+	a := m.Input("a")
+	b := m.Input("b")
+	outs := map[string]netlist.ID{
+		"and_k1":  m.And(a, m.One(), b),  // = a AND b
+		"and_k0":  m.And(a, m.Zero()),    // = 0
+		"or_k0":   m.Or(a, m.Zero(), b),  // = a OR b
+		"or_k1":   m.Or(a, m.One()),      // = 1
+		"nand_k1": m.Nand(a, m.One(), b), // = NAND(a, b)
+		"nand_k0": m.Nand(a, m.Zero()),   // = 1
+		"nor_k0":  m.Nor(a, m.Zero(), b), // = NOR(a, b)
+		"nor_k1":  m.Nor(a, m.One()),     // = 0
+		"xor_k0":  m.Xor(a, m.Zero(), b), // = a XOR b
+		"xor_k1":  m.Xor(a, m.One()),     // = NOT a
+		"xnor_k0": m.Xnor(a, m.Zero()),   // = NOT a
+		"xnor_k1": m.Xnor(a, m.One(), b), // = a XOR b
+		"not_k0":  m.Not(m.Zero()),       // = 1
+		"not_k1":  m.Not(m.One()),        // = 0
+		"andw":    m.AndWord(Word{a}, Word{b})[0],
+		"orw":     m.OrWord(Word{a}, Word{b})[0],
+		"xorw":    m.XorWord(Word{a}, Word{b})[0],
+		"nand1":   m.Nand(a, b),
+	}
+	names := make([]string, 0, len(outs))
+	for n := range outs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m.Output(outs[n], "o_"+n)
+	}
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSerial(c)
+	val := func(name string) logic.V {
+		id, ok := c.Lookup("o_" + name)
+		if !ok {
+			t.Fatalf("missing output %s", name)
+		}
+		return s.Value(id)
+	}
+	for av := uint64(0); av < 2; av++ {
+		for bv := uint64(0); bv < 2; bv++ {
+			s.Eval(logic.Vector{logic.FromBit(av), logic.FromBit(bv)})
+			checks := map[string]uint64{
+				"and_k1":  av & bv,
+				"and_k0":  0,
+				"or_k0":   av | bv,
+				"or_k1":   1,
+				"nand_k1": 1 ^ (av & bv),
+				"nand_k0": 1,
+				"nor_k0":  1 ^ (av | bv),
+				"nor_k1":  0,
+				"xor_k0":  av ^ bv,
+				"xor_k1":  1 ^ av,
+				"xnor_k0": 1 ^ av,
+				"xnor_k1": av ^ bv,
+				"not_k0":  1,
+				"not_k1":  0,
+				"andw":    av & bv,
+				"orw":     av | bv,
+				"xorw":    av ^ bv,
+				"nand1":   1 ^ (av & bv),
+			}
+			for n, want := range checks {
+				if got := val(n); got != logic.FromBit(want) {
+					t.Errorf("a=%d b=%d: %s = %s, want %d", av, bv, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRegisterAndRegRef(t *testing.T) {
+	m := New("reg")
+	in := m.Input("in")
+	q := m.RegRef("q")
+	d := m.Xor(q, in)
+	m.Register("q", d)
+	m.Output(q, "qo")
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.DFFs) != 1 {
+		t.Fatal("register missing")
+	}
+}
+
+// Mux with constant data inputs folds to a single gate (no dead logic).
+func TestMuxConstantFolding(t *testing.T) {
+	m := New("muxfold")
+	sel := m.Input("sel")
+	d := m.Input("d")
+	z := m.Mux(sel, m.Zero(), d)  // = !sel & d
+	o := m.Mux(sel, m.One(), d)   // = sel | d
+	z2 := m.Mux(sel, d, m.Zero()) // = sel & d
+	o2 := m.Mux(sel, d, m.One())  // = !sel | d
+	same := m.Mux(sel, d, d)      // = d
+	m.Output(z, "z")
+	m.Output(o, "o")
+	m.Output(z2, "z2")
+	m.Output(o2, "o2")
+	m.Output(same, "same")
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSerial(c)
+	for sv := uint64(0); sv < 2; sv++ {
+		for dv := uint64(0); dv < 2; dv++ {
+			out := s.Eval(logic.Vector{logic.FromBit(sv), logic.FromBit(dv)})
+			want := []uint64{
+				(^sv & dv) & 1, sv | dv, sv & dv, (^sv | dv) & 1, dv,
+			}
+			for i, w := range want {
+				if out[i] != logic.FromBit(w) {
+					t.Fatalf("sel=%d d=%d output %d = %s, want %d", sv, dv, i, out[i], w)
+				}
+			}
+		}
+	}
+	// Folding must keep the gate count tight: 4 muxes with constants plus
+	// the pass-through need at most ~8 gates (two NOTs, four two-input
+	// gates, five output buffers).
+	if g := c.NumGates(); g > 12 {
+		t.Errorf("constant muxes lowered to %d gates", g)
+	}
+}
+
+func TestIncWraps(t *testing.T) {
+	m := New("inc")
+	a := m.InputWord("a", 3)
+	m.OutputWord(m.Inc(a), "y")
+	c, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSerial(c)
+	y := m.RegRefWord("", 0)
+	_ = y
+	yw := make(Word, 3)
+	for i := range yw {
+		id, ok := c.Lookup("y_" + string(rune('0'+i)))
+		if !ok {
+			t.Fatal("output missing")
+		}
+		yw[i] = id
+	}
+	for av := uint64(0); av < 8; av++ {
+		var in logic.Vector
+		for i := 0; i < 3; i++ {
+			in = append(in, logic.FromBit(av>>uint(i)))
+		}
+		s.Eval(in)
+		got, _ := wordVal(s, yw)
+		if got != (av+1)&0x7 {
+			t.Fatalf("inc(%d) = %d", av, got)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package testgen generates random circuits and stimulus for property-based
+// testing. Generated circuits are structurally valid by construction: gates
+// only reference already-created signals, primary inputs, or flip-flop
+// outputs, so the combinational core is acyclic while sequential feedback
+// through flip-flops is unrestricted.
+package testgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+var gateKinds = []netlist.Kind{
+	netlist.KBuf, netlist.KNot, netlist.KAnd, netlist.KNand,
+	netlist.KOr, netlist.KNor, netlist.KXor, netlist.KXnor,
+}
+
+// RandomCircuit builds a random sequential circuit with the given interface
+// size. nGates counts combinational gates; every flip-flop and a handful of
+// gates become primary outputs so that most of the circuit is observable.
+func RandomCircuit(r *rand.Rand, name string, nPI, nFF, nGates int) *netlist.Circuit {
+	if nPI < 1 {
+		nPI = 1
+	}
+	b := netlist.NewBuilder(name)
+	var signals []netlist.ID
+	for i := 0; i < nPI; i++ {
+		signals = append(signals, b.Input(fmt.Sprintf("pi%d", i)))
+	}
+	ffNames := make([]string, nFF)
+	for i := 0; i < nFF; i++ {
+		ffNames[i] = fmt.Sprintf("ff%d", i)
+		signals = append(signals, b.Ref(ffNames[i]))
+	}
+	var gates []netlist.ID
+	for i := 0; i < nGates; i++ {
+		kind := gateKinds[r.Intn(len(gateKinds))]
+		nIn := 1
+		if kind.MaxFanin() != 1 {
+			nIn = 1 + r.Intn(3)
+		}
+		fanin := make([]netlist.ID, nIn)
+		for j := range fanin {
+			fanin[j] = signals[r.Intn(len(signals))]
+		}
+		g := b.Gate(kind, fmt.Sprintf("g%d", i), fanin...)
+		signals = append(signals, g)
+		gates = append(gates, g)
+	}
+	pick := func() netlist.ID { return signals[r.Intn(len(signals))] }
+	for i := 0; i < nFF; i++ {
+		b.DFF(ffNames[i], pick())
+	}
+	// Mark some gates (or, if there are none, a PI) as primary outputs.
+	if len(gates) == 0 {
+		b.Output("pi0")
+	} else {
+		nPO := 1 + r.Intn(3)
+		for i := 0; i < nPO; i++ {
+			g := gates[r.Intn(len(gates))]
+			b.Output(fmt.Sprintf("g%d", int(g)-nPI-nFF))
+		}
+		// Always observe the last gate so deep logic is reachable.
+		b.Output(fmt.Sprintf("g%d", nGates-1))
+	}
+	c, err := b.Build()
+	if err != nil {
+		panic("testgen: generated invalid circuit: " + err.Error())
+	}
+	return c
+}
+
+// RandomVector returns a random input vector over {0,1,X} with the given
+// probability of X per position.
+func RandomVector(r *rand.Rand, n int, pX float64) logic.Vector {
+	v := make(logic.Vector, n)
+	for i := range v {
+		if r.Float64() < pX {
+			v[i] = logic.X
+		} else {
+			v[i] = logic.FromBool(r.Intn(2) == 1)
+		}
+	}
+	return v
+}
+
+// RandomBinaryVector returns a fully specified random input vector.
+func RandomBinaryVector(r *rand.Rand, n int) logic.Vector {
+	return RandomVector(r, n, 0)
+}
+
+// RandomSequence returns a sequence of length l of random vectors.
+func RandomSequence(r *rand.Rand, l, n int, pX float64) []logic.Vector {
+	seq := make([]logic.Vector, l)
+	for i := range seq {
+		seq[i] = RandomVector(r, n, pX)
+	}
+	return seq
+}
