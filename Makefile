@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test check bench golden
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the full suite, as the roadmap verifies it.
+test: build
+	$(GO) test ./...
+
+# Robustness tier: static analysis plus the short-mode suite under the race
+# detector (the resilience paths — cancellation, checkpointing, panic
+# isolation, injection hooks — are exercised concurrently there).
+check: build
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Re-bless the cmd/atpg golden files after an intentional output change.
+golden:
+	$(GO) test ./cmd/atpg/ -run TestPassStatisticsGolden -update

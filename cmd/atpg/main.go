@@ -7,14 +7,32 @@
 //	atpg -circuit s298 [-mode gahitec|hitec] [-scale 0.03] [-x 64] [-seed 1]
 //	atpg -bench path/to/netlist.bench -mode hitec
 //	atpg -circuit div -o tests.txt        # also dump the test vectors
+//
+// Long runs are interruptible and resumable: with -checkpoint the run
+// journals its state (atomically, as JSON) every -checkpoint-every faults
+// and on SIGINT/SIGTERM, and -resume restarts from a journal mid-pass. A
+// resumed run with the same seed and flags produces the same test set as an
+// uninterrupted one (per-fault wall-clock limits permitting).
+//
+//	atpg -circuit div -checkpoint run.json     # ^C writes the journal
+//	atpg -circuit div -resume run.json         # continues where it stopped
+//
+// The GAHITEC_FAULT_INJECT environment variable arms the runctl
+// fault-injection harness (e.g. "generate:*:sleep=20ms"); it exists for the
+// resilience integration tests.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"gahitec/internal/bench"
@@ -26,34 +44,79 @@ import (
 	"gahitec/internal/netlist"
 	"gahitec/internal/pattern"
 	"gahitec/internal/report"
+	"gahitec/internal/runctl"
 	"gahitec/internal/simgen"
 )
 
+// exitInterrupted is the conventional exit status after SIGINT.
+const exitInterrupted = 130
+
 func main() {
+	// Every path out of run returns here, so the output writer is always
+	// flushed — an error exit never truncates what was already reported.
+	out := bufio.NewWriter(os.Stdout)
+	code := run(os.Args[1:], out, os.Stderr)
+	out.Flush()
+	os.Exit(code)
+}
+
+// run is the whole tool behind a testable seam: flags in, exit status out,
+// all exits through a single return path.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("atpg", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		circuitName = flag.String("circuit", "", "embedded benchmark name (see benchgen -list)")
-		benchFile   = flag.String("bench", "", "path to a .bench netlist")
-		mode        = flag.String("mode", "gahitec", "test generator: gahitec, hitec, simga or alternating")
-		scale       = flag.Float64("scale", 0.03, "wall-clock scale for the paper's per-fault limits")
-		x           = flag.Int("x", 0, "base GA sequence length (default 8x sequential depth)")
-		seed        = flag.Int64("seed", 1, "random seed")
-		out         = flag.String("o", "", "write the generated test vectors to this file")
-		phases      = flag.Bool("phases", false, "print the Fig.1 phase trace")
-		compactSet  = flag.Bool("compact", false, "compact the test set before writing/reporting")
-		preprocess  = flag.Bool("preprocess", false, "screen untestable faults before pass 1")
-		interactive = flag.Bool("interactive", false, "prompt between passes, as the original tool did")
+		circuitName = fs.String("circuit", "", "embedded benchmark name (see benchgen -list)")
+		benchFile   = fs.String("bench", "", "path to a .bench netlist")
+		mode        = fs.String("mode", "gahitec", "test generator: gahitec, hitec, simga or alternating")
+		scale       = fs.Float64("scale", 0.03, "wall-clock scale for the paper's per-fault limits")
+		x           = fs.Int("x", 0, "base GA sequence length (default 8x sequential depth)")
+		seed        = fs.Int64("seed", 1, "random seed")
+		out         = fs.String("o", "", "write the generated test vectors to this file")
+		phases      = fs.Bool("phases", false, "print the Fig.1 phase trace")
+		compactSet  = fs.Bool("compact", false, "compact the test set before writing/reporting")
+		preprocess  = fs.Bool("preprocess", false, "screen untestable faults before pass 1")
+		interactive = fs.Bool("interactive", false, "prompt between passes, as the original tool did")
+		checkpoint  = fs.String("checkpoint", "", "journal run state to this file (written atomically; also on SIGINT/SIGTERM)")
+		ckptEvery   = fs.Int("checkpoint-every", 16, "checkpoint cadence in targeted faults")
+		resume      = fs.String("resume", "", "resume a gahitec/hitec run from this checkpoint journal")
+		timeout     = fs.Duration("timeout", 0, "overall wall-clock budget for the run (0: none)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "atpg: "+format+"\n", a...)
+		return 1
+	}
+
+	// The run context carries both the overall budget and SIGINT/SIGTERM:
+	// cancellation aborts the in-flight search via the engine budget and
+	// the run emits its last consistent checkpoint before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var hooks *runctl.Hooks
+	if spec := os.Getenv("GAHITEC_FAULT_INJECT"); spec != "" {
+		var err error
+		if hooks, err = runctl.ParseInjectSpec(spec); err != nil {
+			return fail("%v", err)
+		}
+	}
 
 	c, err := loadCircuit(*circuitName, *benchFile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "atpg:", err)
-		os.Exit(1)
+		return fail("%v", err)
 	}
-	fmt.Println(c)
+	fmt.Fprintln(stdout, c)
 
 	faults := fault.Collapse(c)
-	fmt.Printf("collapsed fault list: %d faults\n", len(faults))
+	fmt.Fprintf(stdout, "collapsed fault list: %d faults\n", len(faults))
 
 	seqLen := *x
 	if seqLen == 0 {
@@ -61,26 +124,25 @@ func main() {
 	}
 
 	// The two simulation-first generators report a single summary line and
-	// share the vector-dump path.
+	// share the vector-dump path. They honor cancellation but have no
+	// checkpoint journal.
 	switch *mode {
 	case "simga":
-		r := simgen.Run(c, faults, simgen.Options{Seed: *seed, SeqLen: seqLen / 2, MaxRounds: 300})
-		fmt.Printf("\nsimulation-based GA: %d/%d detected (%.2f%%), %d vectors, %d rounds, %s\n",
+		r := simgen.RunCtx(ctx, c, faults, simgen.Options{Seed: *seed, SeqLen: seqLen / 2, MaxRounds: 300})
+		fmt.Fprintf(stdout, "\nsimulation-based GA: %d/%d detected (%.2f%%), %d vectors, %d rounds, %s\n",
 			r.Detected, len(faults), 100*float64(r.Detected)/float64(len(faults)),
 			r.Vectors(), r.Rounds, report.FormatDuration(r.Elapsed))
-		writeSet(c, *out, nil, r.TestSet, faults, *compactSet)
-		return
+		return writeSet(stdout, fail, c, *out, nil, r.TestSet, faults, *compactSet)
 	case "alternating":
-		r := hybrid.RunAlternating(c, faults, hybrid.AlternatingConfig{
+		r := hybrid.RunAlternatingCtx(ctx, c, faults, hybrid.AlternatingConfig{
 			Sim:             simgen.Options{SeqLen: seqLen / 2, MaxRounds: 300},
 			DetTimePerFault: time.Duration(100 * *scale * float64(time.Second)),
 			Seed:            *seed,
 		})
-		fmt.Printf("\nalternating hybrid: %d/%d detected (%.2f%%), %d vectors, %d interludes, %s\n",
+		fmt.Fprintf(stdout, "\nalternating hybrid: %d/%d detected (%.2f%%), %d vectors, %d interludes, %s\n",
 			r.Detected, len(faults), 100*float64(r.Detected)/float64(len(faults)),
 			r.Vectors, r.Interludes, report.FormatDuration(r.Elapsed))
-		writeSet(c, *out, nil, r.TestSet, faults, *compactSet)
-		return
+		return writeSet(stdout, fail, c, *out, nil, r.TestSet, faults, *compactSet)
 	}
 
 	var cfg hybrid.Config
@@ -90,16 +152,19 @@ func main() {
 	case "hitec":
 		cfg = hybrid.HITECConfig(3, *scale)
 	default:
-		fmt.Fprintf(os.Stderr, "atpg: unknown mode %q\n", *mode)
-		os.Exit(1)
+		return fail("unknown mode %q", *mode)
 	}
 	cfg.Seed = *seed
 	cfg.PreprocessUntestable = *preprocess
+	cfg.Hooks = hooks
 	if *interactive {
 		reader := bufio.NewReader(os.Stdin)
 		cfg.Continue = func(p hybrid.PassStats) bool {
-			fmt.Printf("pass %d: %d detected, %d vectors, %d untestable, %s — continue? [Y/n] ",
+			fmt.Fprintf(stdout, "pass %d: %d detected, %d vectors, %d untestable, %s — continue? [Y/n] ",
 				p.Pass, p.Detected, p.Vectors, p.Untestable, report.FormatDuration(p.Elapsed))
+			if f, ok := stdout.(*bufio.Writer); ok {
+				f.Flush()
+			}
 			line, err := reader.ReadString('\n')
 			if err != nil {
 				return false
@@ -109,36 +174,84 @@ func main() {
 		}
 	}
 
-	res := hybrid.Run(c, faults, cfg)
-	fmt.Printf("\n%-5s %6s %6s %9s %6s\n", "Pass", "Det", "Vec", "Time", "Unt")
-	for _, p := range res.Passes {
-		fmt.Printf("%-5d %6d %6d %9s %6d\n", p.Pass, p.Detected, p.Vectors,
-			report.FormatDuration(p.Elapsed), p.Untestable)
+	// -resume implies journaling back to the same file unless -checkpoint
+	// redirects it.
+	ckptPath := *checkpoint
+	if ckptPath == "" && *resume != "" {
+		ckptPath = *resume
 	}
-	fmt.Printf("\nfault coverage: %.2f%% (%d/%d), %d untestable, %d undecided\n",
-		100*res.FaultCoverage(),
-		res.Passes[len(res.Passes)-1].Detected, res.TotalFaults,
-		res.Passes[len(res.Passes)-1].Untestable,
-		res.Passes[len(res.Passes)-1].Aborted)
-	if *phases {
-		fmt.Println()
-		fmt.Print(report.Phases(res))
+	if ckptPath != "" {
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.Checkpoint = func(ck *hybrid.Checkpoint) {
+			if err := runctl.SaveJSON(ckptPath, ck); err != nil {
+				fmt.Fprintf(stderr, "atpg: checkpoint: %v\n", err)
+			}
+		}
 	}
 
-	writeSet(c, *out, res.Targets, res.TestSet, faults, *compactSet)
+	var res *hybrid.Result
+	if *resume != "" {
+		var ck hybrid.Checkpoint
+		if err := runctl.LoadJSON(*resume, &ck); err != nil {
+			return fail("%v", err)
+		}
+		res, err = hybrid.Resume(ctx, c, faults, cfg, &ck)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(stdout, "resumed from %s: pass %d, fault %d, %d sequences restored\n",
+			*resume, ck.PassIndex+1, ck.FaultIndex, len(ck.TestSet))
+	} else {
+		res = hybrid.RunCtx(ctx, c, faults, cfg)
+	}
+
+	if len(res.Passes) > 0 {
+		fmt.Fprintf(stdout, "\n%-5s %6s %6s %9s %6s\n", "Pass", "Det", "Vec", "Time", "Unt")
+		for _, p := range res.Passes {
+			fmt.Fprintf(stdout, "%-5d %6d %6d %9s %6d\n", p.Pass, p.Detected, p.Vectors,
+				report.FormatDuration(p.Elapsed), p.Untestable)
+		}
+	}
+	if res.FirstPanic != "" {
+		fmt.Fprintf(stderr, "atpg: %d fault(s) aborted by recovered panic; first:\n%s\n",
+			res.Phases.Panics, res.FirstPanic)
+	}
+	if res.Interrupted {
+		if ckptPath != "" {
+			fmt.Fprintf(stdout, "\ninterrupted; checkpoint journal at %s (resume with -resume %s)\n",
+				ckptPath, ckptPath)
+		} else {
+			fmt.Fprintln(stdout, "\ninterrupted (no -checkpoint journal; progress lost)")
+		}
+		return exitInterrupted
+	}
+
+	last := res.Passes[len(res.Passes)-1]
+	fmt.Fprintf(stdout, "\nfault coverage: %.2f%% (%d/%d), %d untestable, %d undecided\n",
+		100*res.FaultCoverage(), last.Detected, res.TotalFaults, last.Untestable, last.Aborted)
+	if *phases {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.Phases(res))
+	}
+
+	return writeSet(stdout, fail, c, *out, res.Targets, res.TestSet, faults, *compactSet)
 }
 
 // writeSet optionally compacts and writes a test set in the pattern format.
-func writeSet(c *netlist.Circuit, path string, targets []fault.Fault, testSet [][]logic.Vector, faults []fault.Fault, compactSet bool) {
+// The file is written through a buffered writer into a temp file that is
+// flushed, synced and renamed into place only on success, so an interrupted
+// or failed dump never leaves a truncated vector file for downstream
+// faultsim to silently mis-grade. Returns the process exit status.
+func writeSet(stdout io.Writer, fail func(string, ...any) int, c *netlist.Circuit, path string, targets []fault.Fault, testSet [][]logic.Vector, faults []fault.Fault, compactSet bool) int {
 	if compactSet {
 		compacted, st := compact.Run(c, faults, testSet)
 		testSet = compacted
 		targets = nil // compaction reorders coverage; drop the annotations
-		fmt.Printf("compaction: %d -> %d sequences, %d -> %d vectors (coverage preserved: %d detected)\n",
+		fmt.Fprintf(stdout, "compaction: %d -> %d sequences, %d -> %d vectors (coverage preserved: %d detected)\n",
 			st.SequencesBefore, st.SequencesAfter, st.VectorsBefore, st.VectorsAfter, st.Detected)
 	}
 	if path == "" {
-		return
+		return 0
 	}
 	set := &pattern.Set{Circuit: c.Name}
 	for _, pi := range c.PIs {
@@ -151,17 +264,37 @@ func writeSet(c *netlist.Circuit, path string, targets []fault.Fault, testSet []
 		}
 		set.Sequences = append(set.Sequences, q)
 	}
-	f, err := os.Create(path)
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "atpg:", err)
-		os.Exit(1)
+		return fail("%v", err)
 	}
-	defer f.Close()
-	if err := set.Write(f); err != nil {
-		fmt.Fprintln(os.Stderr, "atpg:", err)
-		os.Exit(1)
+	tmpName := tmp.Name()
+	discard := func(err error) int {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fail("writing %s: %v", path, err)
 	}
-	fmt.Printf("wrote %d vectors (%d sequences) to %s\n", set.NumVectors(), len(set.Sequences), path)
+	bw := bufio.NewWriter(tmp)
+	if err := set.Write(bw); err != nil {
+		return discard(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return discard(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return discard(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fail("writing %s: %v", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fail("writing %s: %v", path, err)
+	}
+	fmt.Fprintf(stdout, "wrote %d vectors (%d sequences) to %s\n", set.NumVectors(), len(set.Sequences), path)
+	return 0
 }
 
 func loadCircuit(name, file string) (*netlist.Circuit, error) {

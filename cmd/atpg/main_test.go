@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// durations matches the Time column (report.FormatDuration output, e.g.
+// "0.0097s", "1.59s", "9.7e-05s", "5.96m") together with its column
+// padding; runs vary in wall-clock — and so does the rendered width — so
+// the golden comparison replaces both with one fixed token.
+var durations = regexp.MustCompile(` *\b\d+(\.\d+)?(e[+-]?\d+)?[smh]\b`)
+
+func normalize(s string) string {
+	return durations.ReplaceAllString(s, " <dur>")
+}
+
+// The pass-statistics output for a fixed seed is deterministic apart from
+// the Time column: -scale 1000 makes every per-fault wall-clock limit far
+// larger than the whole run, so only seeded randomness and backtrack
+// budgets decide the outcome.
+func TestPassStatisticsGolden(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-circuit", "s27", "-seed", "1", "-scale", "1000", "-phases"}, &out, &out)
+	if code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, out.String())
+	}
+	got := normalize(out.String())
+
+	golden := filepath.Join("testdata", "s27_stats.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from %s (re-bless with -update):\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+func TestBadFlagsAndModes(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &out); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-circuit", "s27", "-mode", "bogus"}, &out, &out); code != 1 {
+		t.Errorf("bad mode: exit %d, want 1", code)
+	}
+	if code := run([]string{}, &out, &out); code != 1 {
+		t.Errorf("no circuit: exit %d, want 1", code)
+	}
+	if code := run([]string{"-circuit", "s27", "-resume", "/no/such/journal"}, &out, &out); code != 1 {
+		t.Errorf("missing journal: exit %d, want 1", code)
+	}
+}
+
+// A failed -o write must not leave a truncated vector file behind.
+func TestWriteSetFailureLeavesNoFile(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "sub", "out.vec") // parent dir missing
+	var out bytes.Buffer
+	code := run([]string{"-circuit", "s27", "-seed", "1", "-scale", "1000", "-o", target}, &out, &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if _, err := os.Stat(target); !os.IsNotExist(err) {
+		t.Errorf("partial output file left behind: %v", err)
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Errorf("temp litter left in %s: %v", dir, ents)
+	}
+}
+
+// The acceptance scenario end to end through the real binary: a run is
+// SIGINT-interrupted mid-pass (slowed by the fault-injection harness so the
+// signal reliably lands mid-run), resumed from its checkpoint journal, and
+// must report the same final detected count and write the identical test
+// set as the same-seed run left uninterrupted.
+func TestInterruptResumeIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the atpg binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "atpg")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	base := []string{"-circuit", "s27", "-seed", "3", "-scale", "1000"}
+	refVec := filepath.Join(dir, "ref.vec")
+	ref := exec.Command(bin, append(base, "-o", refVec)...)
+	refOut, err := ref.CombinedOutput()
+	if err != nil {
+		t.Fatalf("reference run: %v\n%s", err, refOut)
+	}
+
+	// Interrupted run: sleep injection stretches every targeted search so
+	// SIGINT lands mid-pass; -checkpoint-every 1 journals each boundary.
+	journal := filepath.Join(dir, "run.json")
+	intr := exec.Command(bin, append(base, "-checkpoint", journal, "-checkpoint-every", "1")...)
+	intr.Env = append(os.Environ(), "GAHITEC_FAULT_INJECT=generate:*:sleep=100ms")
+	var intrOut bytes.Buffer
+	intr.Stdout, intr.Stderr = &intrOut, &intrOut
+	if err := intr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(journal); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			intr.Process.Kill()
+			t.Fatalf("no checkpoint journal appeared:\n%s", intrOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := intr.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err = intr.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != exitInterrupted {
+		t.Fatalf("interrupted run exited %v, want status %d:\n%s", err, exitInterrupted, intrOut.String())
+	}
+	if !strings.Contains(intrOut.String(), "interrupted; checkpoint journal at") {
+		t.Fatalf("missing interrupt notice:\n%s", intrOut.String())
+	}
+
+	resVec := filepath.Join(dir, "resumed.vec")
+	res := exec.Command(bin, append(base, "-resume", journal, "-o", resVec)...)
+	resOut, err := res.CombinedOutput()
+	if err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, resOut)
+	}
+
+	coverage := regexp.MustCompile(`fault coverage: .*`)
+	refCov := coverage.FindString(string(refOut))
+	resCov := coverage.FindString(string(resOut))
+	if refCov == "" || refCov != resCov {
+		t.Errorf("coverage diverged:\n  uninterrupted: %s\n  resumed:       %s", refCov, resCov)
+	}
+	refBytes, err := os.ReadFile(refVec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBytes, err := os.ReadFile(resVec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBytes, resBytes) {
+		t.Errorf("test sets diverged:\n--- uninterrupted ---\n%s--- resumed ---\n%s", refBytes, resBytes)
+	}
+}

@@ -13,6 +13,15 @@
 // justification, the multi-pass hybrid driver, and a synthesized benchmark
 // suite (Am2910, div, mult, pcont2, and ISCAS89 stand-ins).
 //
+// Runs are resilient: every generator has a context-aware entry point whose
+// cancellation or deadline is folded, together with the backtrack allowance,
+// into a single cadence-checked search budget (internal/runctl); engine
+// panics abort one fault, not the run; and the hybrid driver journals
+// resumable checkpoints at fault boundaries, so an interrupted run continued
+// with hybrid.Resume (or `atpg -resume`) reproduces the uninterrupted run's
+// test set for the same seed. A fault-injection harness (runctl.Hooks)
+// exercises these paths in the tests.
+//
 // See README.md for a tour, DESIGN.md for the architecture and the
 // paper-to-code experiment index, and EXPERIMENTS.md for measured results.
 // The root test file bench_test.go regenerates every table and figure of

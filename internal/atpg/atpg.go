@@ -58,14 +58,18 @@ func (s Status) String() string {
 	}
 }
 
-// Limits bounds a deterministic search.
+// Limits bounds a deterministic search. The Ctx engine entry points fold
+// these limits together with the context's deadline and cancellation into a
+// single runctl.Budget, checked inside the search on one cheap cadence.
 type Limits struct {
 	// MaxFrames bounds the number of forward propagation frames
 	// (Generate) or backward justification frames (Justify).
 	MaxFrames int
 	// MaxBacktracks bounds the total number of backtracks.
 	MaxBacktracks int
-	// Deadline, if non-zero, stops the search when passed.
+	// Deadline, if non-zero, stops the search when passed. With the Ctx
+	// entry points the effective deadline is the earlier of this and the
+	// context's own.
 	Deadline time.Time
 }
 

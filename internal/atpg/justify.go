@@ -1,10 +1,11 @@
 package atpg
 
 import (
-	"time"
+	"context"
 
 	"gahitec/internal/fault"
 	"gahitec/internal/logic"
+	"gahitec/internal/runctl"
 )
 
 // Justify searches for an input sequence that drives the circuit from the
@@ -22,14 +23,23 @@ import (
 // An Unjustified result is not a proof of unreachability (longer windows
 // might succeed); Untestable is never returned here.
 func (e *Engine) Justify(target logic.Vector, lim Limits) JustifyResult {
+	return e.JustifyCtx(context.Background(), target, lim)
+}
+
+// JustifyCtx is Justify bounded additionally by ctx: cancellation or the
+// context deadline aborts the search on the engine's usual check cadence.
+func (e *Engine) JustifyCtx(ctx context.Context, target logic.Vector, lim Limits) JustifyResult {
 	lim = lim.withDefaults(e.c.SeqDepth())
 	if target.CountKnown() == 0 {
 		return JustifyResult{Status: Success}
 	}
+	budget := runctl.NewBudget(ctx, lim.Deadline, lim.MaxBacktracks)
+	if e.hooks.Enter("justify") == runctl.ActExpire {
+		budget.ForceExpire()
+	}
 	total := JustifyResult{Status: Unjustified}
-	budget := lim.MaxBacktracks
 	for _, j := range deepening(lim.MaxFrames) {
-		r := e.justifyJ(target, j, lim, &budget)
+		r := e.justifyJ(target, j, budget)
 		total.Backtracks += r.Backtracks
 		total.Frames = j
 		switch r.Status {
@@ -59,14 +69,22 @@ func (e *Engine) Justify(target logic.Vector, lim Limits) JustifyResult {
 // faulty value along except across the fault site, where the search
 // backtracks on conflict).
 func (e *Engine) JustifyDual(f fault.Fault, targetGood, targetFaulty logic.Vector, lim Limits) JustifyResult {
+	return e.JustifyDualCtx(context.Background(), f, targetGood, targetFaulty, lim)
+}
+
+// JustifyDualCtx is JustifyDual bounded additionally by ctx.
+func (e *Engine) JustifyDualCtx(ctx context.Context, f fault.Fault, targetGood, targetFaulty logic.Vector, lim Limits) JustifyResult {
 	lim = lim.withDefaults(e.c.SeqDepth())
 	if targetGood.CountKnown() == 0 && targetFaulty.CountKnown() == 0 {
 		return JustifyResult{Status: Success}
 	}
+	budget := runctl.NewBudget(ctx, lim.Deadline, lim.MaxBacktracks)
+	if e.hooks.Enter("justify-dual") == runctl.ActExpire {
+		budget.ForceExpire()
+	}
 	total := JustifyResult{Status: Unjustified}
-	budget := lim.MaxBacktracks
 	for _, j := range deepening(lim.MaxFrames) {
-		r := e.justifyDualJ(f, targetGood, targetFaulty, j, lim, &budget)
+		r := e.justifyDualJ(f, targetGood, targetFaulty, j, budget)
 		total.Backtracks += r.Backtracks
 		total.Frames = j
 		switch r.Status {
@@ -87,21 +105,16 @@ func (fr *frames) nextStateDV(f, di int) logic.DV {
 	return fr.stemFixed(fr.c.DFFs[di], fr.ppoDV(f, di))
 }
 
-func (e *Engine) justifyDualJ(f fault.Fault, targetGood, targetFaulty logic.Vector, j int, lim Limits, budget *int) JustifyResult {
+func (e *Engine) justifyDualJ(f fault.Fault, targetGood, targetFaulty logic.Vector, j int, budget *runctl.Budget) JustifyResult {
 	flt := f
 	fr := e.newFrames(&flt, j, false)
 	fr.imply()
 
 	var stack []decision
 	backtracks := 0
-	deadlineCheck := 0
 
 	for {
-		if *budget <= 0 {
-			return JustifyResult{Status: Aborted, Backtracks: backtracks, Frames: j}
-		}
-		deadlineCheck++
-		if !lim.Deadline.IsZero() && deadlineCheck%16 == 0 && time.Now().After(lim.Deadline) {
+		if budget.Exhausted() {
 			return JustifyResult{Status: Aborted, Backtracks: backtracks, Frames: j}
 		}
 
@@ -181,7 +194,7 @@ func (e *Engine) justifyDualJ(f fault.Fault, targetGood, targetFaulty logic.Vect
 				top.value = top.value.Not()
 				fr.assign(*top)
 				backtracks++
-				*budget--
+				budget.Spend()
 				flipped = true
 				break
 			}
@@ -196,20 +209,15 @@ func (e *Engine) justifyDualJ(f fault.Fault, targetGood, targetFaulty logic.Vect
 }
 
 // justifyJ runs one PODEM search over a j-frame backward window.
-func (e *Engine) justifyJ(target logic.Vector, j int, lim Limits, budget *int) JustifyResult {
+func (e *Engine) justifyJ(target logic.Vector, j int, budget *runctl.Budget) JustifyResult {
 	fr := e.newFrames(nil, j, false)
 	fr.imply()
 
 	var stack []decision
 	backtracks := 0
-	deadlineCheck := 0
 
 	for {
-		if *budget <= 0 {
-			return JustifyResult{Status: Aborted, Backtracks: backtracks, Frames: j}
-		}
-		deadlineCheck++
-		if !lim.Deadline.IsZero() && deadlineCheck%16 == 0 && time.Now().After(lim.Deadline) {
+		if budget.Exhausted() {
 			return JustifyResult{Status: Aborted, Backtracks: backtracks, Frames: j}
 		}
 
@@ -269,7 +277,7 @@ func (e *Engine) justifyJ(target logic.Vector, j int, lim Limits, budget *int) J
 				top.value = top.value.Not()
 				fr.assign(*top)
 				backtracks++
-				*budget--
+				budget.Spend()
 				flipped = true
 				break
 			}

@@ -1,7 +1,9 @@
 package atpg
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"gahitec/internal/fault"
 	"gahitec/internal/logic"
@@ -85,5 +87,61 @@ func TestJustifyDualMatchesPlainWhenFaultIrrelevant(t *testing.T) {
 	dual := e.JustifyDual(f, target, target, Limits{MaxFrames: 8, MaxBacktracks: 4000})
 	if plain.Status != Success || dual.Status != Success {
 		t.Fatalf("plain=%s dual=%s", plain.Status, dual.Status)
+	}
+}
+
+// An already-expired context must abort deterministic justification
+// promptly, before any of the backtrack budget is consumed.
+func TestJustifyDualExpiredContext(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	e := NewEngine(c)
+	q1, _ := c.Lookup("q1")
+	f := fault.Fault{Node: q1, Pin: fault.StemPin, Stuck: logic.Zero}
+	tg, _ := logic.ParseVector("X11X")
+	tf, _ := logic.ParseVector("0X0X")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := e.JustifyDualCtx(ctx, f, tg, tf, Limits{MaxFrames: 8, MaxBacktracks: 1 << 20})
+	if r.Status != Aborted {
+		t.Fatalf("status %s with cancelled context", r.Status)
+	}
+	if r.Backtracks != 0 {
+		t.Fatalf("consumed %d backtracks despite expired context", r.Backtracks)
+	}
+}
+
+// Same contract for fault-free justification.
+func TestJustifyExpiredContext(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	e := NewEngine(c)
+	target, _ := logic.ParseVector("1111")
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	r := e.JustifyCtx(ctx, target, Limits{MaxFrames: 8, MaxBacktracks: 1 << 20})
+	if r.Status != Aborted {
+		t.Fatalf("status %s with expired deadline", r.Status)
+	}
+	if r.Backtracks != 0 {
+		t.Fatalf("consumed %d backtracks despite expired deadline", r.Backtracks)
+	}
+}
+
+// And for generation: a cancelled context aborts before any search effort.
+func TestGenerateExpiredContext(t *testing.T) {
+	c := mustParse(t, shift4, "shift4")
+	e := NewEngine(c)
+	q1, _ := c.Lookup("q1")
+	f := fault.Fault{Node: q1, Pin: fault.StemPin, Stuck: logic.Zero}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := e.GenerateCtx(ctx, f, Limits{MaxFrames: 16, MaxBacktracks: 1 << 20})
+	if r.Status != Aborted {
+		t.Fatalf("status %s with cancelled context", r.Status)
+	}
+	if r.Backtracks != 0 {
+		t.Fatalf("consumed %d backtracks despite cancelled context", r.Backtracks)
 	}
 }

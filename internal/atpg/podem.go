@@ -1,11 +1,12 @@
 package atpg
 
 import (
-	"time"
+	"context"
 
 	"gahitec/internal/fault"
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
+	"gahitec/internal/runctl"
 	"gahitec/internal/scoap"
 )
 
@@ -28,6 +29,7 @@ type Engine struct {
 	c      *netlist.Circuit
 	distPO []int32
 	guide  *scoap.Measures
+	hooks  *runctl.Hooks
 }
 
 // NewEngine returns a deterministic ATPG engine for the circuit, with
@@ -35,6 +37,11 @@ type Engine struct {
 func NewEngine(c *netlist.Circuit) *Engine {
 	return &Engine{c: c, distPO: poDistances(c), guide: scoap.Compute(c)}
 }
+
+// SetHooks installs a fault-injection harness consulted at the entry of
+// every Generate/Justify call (sites "generate", "justify", "justify-dual").
+// A nil harness is inert; this is test machinery.
+func (e *Engine) SetHooks(h *runctl.Hooks) { e.hooks = h }
 
 // SetGuided enables or disables SCOAP backtrace guidance (the ablation
 // benchmarks compare both).
@@ -60,7 +67,13 @@ func (e *Engine) newFrames(flt *fault.Fault, k int, ppiFree bool) *frames {
 // are free variables; the assignments they receive become the required state
 // that must subsequently be justified (by the GA or deterministically).
 func (e *Engine) Generate(f fault.Fault, lim Limits) Result {
-	return e.GenerateNth(f, lim, 0)
+	return e.GenerateNthCtx(context.Background(), f, lim, 0)
+}
+
+// GenerateCtx is Generate bounded additionally by ctx: cancellation or the
+// context deadline aborts the search on the engine's usual check cadence.
+func (e *Engine) GenerateCtx(ctx context.Context, f fault.Fault, lim Limits) Result {
+	return e.GenerateNthCtx(ctx, f, lim, 0)
 }
 
 // GenerateNth skips the first n excitation/propagation solutions and returns
@@ -69,12 +82,22 @@ func (e *Engine) Generate(f fault.Fault, lim Limits) Result {
 // "backtracks are made in the fault propagation phase, and attempts are made
 // to justify the new state."
 func (e *Engine) GenerateNth(f fault.Fault, lim Limits, skip int) Result {
+	return e.GenerateNthCtx(context.Background(), f, lim, skip)
+}
+
+// GenerateNthCtx is GenerateNth bounded additionally by ctx. The context,
+// the Limits deadline and the backtrack allowance are folded into one
+// runctl.Budget checked on a cheap cadence inside the search.
+func (e *Engine) GenerateNthCtx(ctx context.Context, f fault.Fault, lim Limits, skip int) Result {
 	lim = lim.withDefaults(e.c.SeqDepth())
+	budget := runctl.NewBudget(ctx, lim.Deadline, lim.MaxBacktracks)
+	if e.hooks.Enter("generate") == runctl.ActExpire {
+		budget.ForceExpire()
+	}
 	total := Result{Status: Untestable}
-	budget := lim.MaxBacktracks
 	remaining := skip // shared across deepening so solutions are not re-counted
 	for _, k := range deepening(lim.MaxFrames) {
-		r, reachedPPO := e.generateK(f, k, lim, &budget, &remaining)
+		r, reachedPPO := e.generateK(f, k, budget, &remaining)
 		total.Backtracks += r.Backtracks
 		total.Frames = k
 		switch r.Status {
@@ -105,25 +128,20 @@ func (e *Engine) GenerateNth(f fault.Fault, lim Limits, skip int) Result {
 // generateK runs one PODEM search over a k-frame unrolling, skipping the
 // first `skip` solutions. It returns the result and whether any explored
 // branch had a live fault effect at the last frame's pseudo-outputs.
-func (e *Engine) generateK(f fault.Fault, k int, lim Limits, budget *int, skip *int) (Result, bool) {
+func (e *Engine) generateK(f fault.Fault, k int, budget *runctl.Budget, skip *int) (Result, bool) {
 	fr := e.newFrames(&f, k, true)
 	fr.imply()
 
 	var stack []decision
 	backtracks := 0
 	reachedPPO := false
-	deadlineCheck := 0
 
 	abort := func() (Result, bool) {
 		return Result{Status: Aborted, Backtracks: backtracks, Frames: k}, reachedPPO
 	}
 
 	for {
-		if *budget <= 0 {
-			return abort()
-		}
-		deadlineCheck++
-		if !lim.Deadline.IsZero() && deadlineCheck%16 == 0 && time.Now().After(lim.Deadline) {
+		if budget.Exhausted() {
 			return abort()
 		}
 
@@ -176,7 +194,7 @@ func (e *Engine) generateK(f fault.Fault, k int, lim Limits, budget *int, skip *
 				top.value = top.value.Not()
 				fr.assign(*top)
 				backtracks++
-				*budget--
+				budget.Spend()
 				flipped = true
 				break
 			}

@@ -46,6 +46,12 @@ type Config struct {
 	Crossover      Crossover // default Uniform
 	Overlapping    bool      // keep the fitter half across generations (ablation)
 	Seed           int64
+
+	// Stop, if non-nil, is polled before every generation's evaluation;
+	// returning true ends the run with the best individual seen so far.
+	// The justification drivers wire it to their context so a cancelled or
+	// timed-out run stops the GA between generations.
+	Stop func() bool
 }
 
 func (c *Config) setDefaults() error {
@@ -123,6 +129,9 @@ func Run(cfg Config, eval EvalFunc) (Result, error) {
 	var res Result
 	res.Best.Fitness = -1
 	for gen := 0; gen < cfg.Generations; gen++ {
+		if cfg.Stop != nil && cfg.Stop() {
+			return res, nil
+		}
 		er := eval(pop)
 		res.Generations = gen + 1
 		res.Evaluations += len(pop)

@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"context"
 	"time"
 
 	"gahitec/internal/atpg"
@@ -62,10 +63,21 @@ type AlternatingResult struct {
 	Interludes int
 	Elapsed    time.Duration
 	TestSet    [][]logic.Vector
+
+	// Interrupted is set when the run's context was cancelled before the
+	// generator terminated on its own.
+	Interrupted bool
 }
 
 // RunAlternating executes the alternating simulation/deterministic hybrid.
 func RunAlternating(c *netlist.Circuit, faults []fault.Fault, cfg AlternatingConfig) *AlternatingResult {
+	return RunAlternatingCtx(context.Background(), c, faults, cfg)
+}
+
+// RunAlternatingCtx is RunAlternating under a context: cancellation (or the
+// context deadline) stops the generator at the next round boundary, or
+// inside a deterministic interlude via the engine budget.
+func RunAlternatingCtx(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg AlternatingConfig) *AlternatingResult {
 	cfg.setDefaults()
 	start := time.Now()
 	cfg.Sim.Seed = cfg.Seed
@@ -79,7 +91,11 @@ func RunAlternating(c *netlist.Circuit, faults []fault.Fault, cfg AlternatingCon
 	nextTarget := 0
 
 	for {
-		seq, _ := session.TryRound()
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
+		seq, _ := session.TryRoundCtx(ctx)
 		res.SimRounds++
 		if seq != nil {
 			res.TestSet = append(res.TestSet, seq)
@@ -107,7 +123,7 @@ func RunAlternating(c *netlist.Circuit, faults []fault.Fault, cfg AlternatingCon
 			if untestable[f] {
 				continue
 			}
-			seq, status := deterministicTest(c, engine, rng, f, cfg, session.Grader().GoodState())
+			seq, status := deterministicTest(ctx, c, engine, rng, f, cfg, session.Grader().GoodState())
 			if status == atpg.Untestable {
 				untestable[f] = true
 				res.Untestable++
@@ -133,17 +149,17 @@ func RunAlternating(c *netlist.Circuit, faults []fault.Fault, cfg AlternatingCon
 }
 
 // deterministicTest produces a verified test for one fault, or nil.
-func deterministicTest(c *netlist.Circuit, e *atpg.Engine, rng *rand.Rand, f fault.Fault, cfg AlternatingConfig, goodState logic.Vector) ([]logic.Vector, atpg.Status) {
+func deterministicTest(ctx context.Context, c *netlist.Circuit, e *atpg.Engine, rng *rand.Rand, f fault.Fault, cfg AlternatingConfig, goodState logic.Vector) ([]logic.Vector, atpg.Status) {
 	lim := atpg.Limits{
 		MaxFrames:     cfg.MaxFrames,
 		MaxBacktracks: cfg.DetBacktracks,
 		Deadline:      time.Now().Add(cfg.DetTimePerFault),
 	}
-	gen := e.Generate(f, lim)
+	gen := e.GenerateCtx(ctx, f, lim)
 	if gen.Status != atpg.Success {
 		return nil, gen.Status
 	}
-	j := e.JustifyDual(f, gen.RequiredGood, gen.RequiredFaulty, lim)
+	j := e.JustifyDualCtx(ctx, f, gen.RequiredGood, gen.RequiredFaulty, lim)
 	if j.Status != atpg.Success {
 		return nil, j.Status
 	}

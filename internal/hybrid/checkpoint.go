@@ -1,0 +1,151 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// CheckpointVersion is the journal format version written by this build.
+const CheckpointVersion = 1
+
+// Checkpoint is a resumable snapshot of a hybrid run, always taken at a
+// fault boundary (never mid-search). It records everything Resume needs to
+// continue the run bit-identically: the accumulated test set (replayed
+// through a fresh fault simulator to rebuild detection state), the proven
+// untestables, the schedule position, and the exact position in the seeded
+// pseudo-random stream.
+//
+// The struct is plain JSON; runctl.SaveJSON writes it atomically so an
+// interrupted writer never leaves a torn journal.
+type Checkpoint struct {
+	Version     int    `json:"version"`
+	Circuit     string `json:"circuit"`
+	Seed        int64  `json:"seed"`
+	TotalFaults int    `json:"total_faults"`
+
+	// PassIndex and FaultIndex locate the next fault to target: the
+	// FaultIndex-th entry of the PassIndex-th pass's target snapshot.
+	PassIndex  int `json:"pass_index"`
+	FaultIndex int `json:"fault_index"`
+
+	// PassStartSeqs is how many test sequences existed when the current
+	// pass began; Resume replays that prefix, re-derives the pass's target
+	// snapshot from the simulator, then replays the rest.
+	PassStartSeqs int `json:"pass_start_seqs"`
+
+	PreprocessDone bool `json:"preprocess_done"`
+
+	// RNGDraws is the raw-draw position in the seeded random stream
+	// (runctl.Rand); Resume fast-forwards a fresh stream to it.
+	RNGDraws uint64 `json:"rng_draws"`
+
+	// ElapsedNS is wall-clock time accumulated before the snapshot, so
+	// resumed pass statistics keep counting from where the run left off.
+	ElapsedNS int64 `json:"elapsed_ns"`
+
+	TestSet    [][]string   `json:"test_set"` // one string per vector
+	Targets    []SavedFault `json:"targets"`  // per TestSet entry
+	Untestable []SavedFault `json:"untestable"`
+	Passes     []PassStats  `json:"passes"`
+	Phases     PhaseStats   `json:"phases"`
+	FirstPanic string       `json:"first_panic,omitempty"`
+}
+
+// SavedFault is the JSON form of a fault site. Node indices are stable for
+// a given netlist, which Validate pins down via the circuit name and fault
+// count.
+type SavedFault struct {
+	Node  int    `json:"node"`
+	Pin   int    `json:"pin"`
+	Stuck string `json:"stuck"`
+}
+
+func saveFault(f fault.Fault) SavedFault {
+	return SavedFault{Node: int(f.Node), Pin: f.Pin, Stuck: f.Stuck.String()}
+}
+
+func (sf SavedFault) fault(c *netlist.Circuit) (fault.Fault, error) {
+	if sf.Node < 0 || sf.Node >= len(c.Nodes) {
+		return fault.Fault{}, fmt.Errorf("node %d out of range", sf.Node)
+	}
+	if len(sf.Stuck) != 1 {
+		return fault.Fault{}, fmt.Errorf("bad stuck value %q", sf.Stuck)
+	}
+	v, err := logic.ParseV(sf.Stuck[0])
+	if err != nil || !v.IsKnown() {
+		return fault.Fault{}, fmt.Errorf("bad stuck value %q", sf.Stuck)
+	}
+	return fault.Fault{Node: netlist.ID(sf.Node), Pin: sf.Pin, Stuck: v}, nil
+}
+
+func saveFaults(fs []fault.Fault) []SavedFault {
+	out := make([]SavedFault, len(fs))
+	for i, f := range fs {
+		out[i] = saveFault(f)
+	}
+	return out
+}
+
+func saveSeq(seq []logic.Vector) []string {
+	out := make([]string, len(seq))
+	for i, v := range seq {
+		out[i] = v.String()
+	}
+	return out
+}
+
+func parseSeq(ss []string, nPI int) ([]logic.Vector, error) {
+	out := make([]logic.Vector, len(ss))
+	for i, s := range ss {
+		v, err := logic.ParseVector(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != nPI {
+			return nil, fmt.Errorf("vector %q has %d bits, circuit has %d inputs", s, len(v), nPI)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Validate checks that the checkpoint is internally consistent and belongs
+// to this circuit and configuration. Resume calls it before touching any
+// state; a mismatched seed or circuit is rejected rather than silently
+// producing a non-reproducible run.
+func (ck *Checkpoint) Validate(c *netlist.Circuit, cfg Config, totalFaults int) error {
+	switch {
+	case ck.Version != CheckpointVersion:
+		return fmt.Errorf("hybrid: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+	case ck.Circuit != c.Name:
+		return fmt.Errorf("hybrid: checkpoint is for circuit %q, not %q", ck.Circuit, c.Name)
+	case ck.Seed != cfg.Seed:
+		return fmt.Errorf("hybrid: checkpoint seed %d does not match configured seed %d", ck.Seed, cfg.Seed)
+	case ck.TotalFaults != totalFaults:
+		return fmt.Errorf("hybrid: checkpoint has %d faults, fault list has %d", ck.TotalFaults, totalFaults)
+	case ck.PassIndex < 0 || ck.PassIndex > len(cfg.Passes):
+		return fmt.Errorf("hybrid: checkpoint pass %d outside the %d-pass schedule", ck.PassIndex, len(cfg.Passes))
+	case ck.FaultIndex < 0:
+		return fmt.Errorf("hybrid: negative fault index %d", ck.FaultIndex)
+	case len(ck.Targets) != len(ck.TestSet):
+		return fmt.Errorf("hybrid: %d targets for %d sequences", len(ck.Targets), len(ck.TestSet))
+	case ck.PassStartSeqs < 0 || ck.PassStartSeqs > len(ck.TestSet):
+		return fmt.Errorf("hybrid: pass start %d outside test set of %d", ck.PassStartSeqs, len(ck.TestSet))
+	case len(ck.Passes) > len(cfg.Passes):
+		return fmt.Errorf("hybrid: checkpoint has %d completed passes, schedule has %d", len(ck.Passes), len(cfg.Passes))
+	}
+	for _, ss := range ck.TestSet {
+		if _, err := parseSeq(ss, len(c.PIs)); err != nil {
+			return fmt.Errorf("hybrid: bad checkpoint sequence: %w", err)
+		}
+	}
+	for _, sf := range append(append([]SavedFault(nil), ck.Targets...), ck.Untestable...) {
+		if _, err := sf.fault(c); err != nil {
+			return fmt.Errorf("hybrid: bad checkpoint fault: %w", err)
+		}
+	}
+	return nil
+}

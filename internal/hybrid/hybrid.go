@@ -16,6 +16,7 @@ import (
 	"gahitec/internal/fault"
 	"gahitec/internal/ga"
 	"gahitec/internal/logic"
+	"gahitec/internal/runctl"
 )
 
 // Method selects the state-justification approach of a pass.
@@ -90,6 +91,23 @@ type Config struct {
 	// paper's "after each pass, the user is prompted as to whether to
 	// continue" hook (cmd/atpg -interactive wires it to stdin).
 	Continue func(PassStats) bool
+
+	// Checkpoint, if non-nil, receives a resumable snapshot of the run
+	// every CheckpointEvery fault boundaries, at every pass boundary, and
+	// when the run is interrupted. Snapshots are only ever taken between
+	// faults, so resuming one replays the interrupted fault from scratch
+	// and the resumed run stays bit-identical to an uninterrupted one
+	// (same seed, per-fault time limits permitting). The callback
+	// typically persists the snapshot with runctl.SaveJSON.
+	Checkpoint func(*Checkpoint)
+
+	// CheckpointEvery is the fault-boundary cadence of the Checkpoint
+	// callback (default 16 when Checkpoint is set).
+	CheckpointEvery int
+
+	// Hooks, if non-nil, is the runctl fault-injection harness, threaded
+	// into the deterministic engine and the GA justifier; test machinery.
+	Hooks *runctl.Hooks
 }
 
 // GAHITECConfig builds the paper's Table I schedule. x is the base sequence
@@ -157,6 +175,7 @@ type PhaseStats struct {
 	VerifyFailures    int // candidate tests rejected by the fault simulator
 	IncidentalDetects int // faults dropped without being targeted
 	Preprocessed      int // untestables filtered by the preprocessing screen
+	Panics            int // faults aborted by a recovered engine panic
 }
 
 // Result is the outcome of a full run.
@@ -168,11 +187,22 @@ type Result struct {
 	TestSet     [][]logic.Vector // one sequence per accepted test
 	Targets     []fault.Fault    // per TestSet entry: the fault it targeted
 	Untestable  []fault.Fault
+
+	// Interrupted is set when the run's context was cancelled (or its
+	// deadline passed) before the schedule completed; the Result then
+	// holds the partial state, and the last Checkpoint snapshot can
+	// resume it.
+	Interrupted bool
+
+	// FirstPanic holds the message and stack of the first engine panic
+	// recovered during the run (the fault it hit is counted in
+	// Phases.Panics and left undecided rather than killing the run).
+	FirstPanic string
 }
 
 // FaultCoverage returns detected / total.
 func (r *Result) FaultCoverage() float64 {
-	if r.TotalFaults == 0 {
+	if r.TotalFaults == 0 || len(r.Passes) == 0 {
 		return 0
 	}
 	last := r.Passes[len(r.Passes)-1]

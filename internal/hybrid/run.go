@@ -1,7 +1,9 @@
 package hybrid
 
 import (
-	"math/rand"
+	"context"
+	"fmt"
+	"runtime/debug"
 	"time"
 
 	"gahitec/internal/atpg"
@@ -10,42 +12,178 @@ import (
 	"gahitec/internal/justify"
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
+	"gahitec/internal/runctl"
 )
 
 // runner holds the mutable state of one test-generation run.
 type runner struct {
+	ctx    context.Context
 	c      *netlist.Circuit
 	cfg    Config
 	engine *atpg.Engine
 	fsim   *faultsim.Simulator
-	rng    *rand.Rand
+	rng    *runctl.Rand
 
 	res        *Result
 	untestable map[fault.Fault]bool
+
+	start       time.Time
+	prevElapsed time.Duration // accumulated before a resume
+	deadline    time.Time     // run context deadline (zero: none)
+
+	// Resume position (zero values for a fresh run).
+	preprocessDone bool
+	startPass      int
+	startFault     int
+	resumeTargets  []fault.Fault // restored mid-pass target snapshot
+	resumeSeqs     int           // PassStartSeqs of the restored pass
+
+	lastSnap  *Checkpoint // most recent fault-boundary snapshot
+	sinceCkpt int
 }
 
 // Run executes the configured multi-pass schedule over the fault list and
 // returns the per-pass statistics, the test set, and the identified
 // untestable faults.
 func Run(c *netlist.Circuit, faults []fault.Fault, cfg Config) *Result {
+	return RunCtx(context.Background(), c, faults, cfg)
+}
+
+// RunCtx is Run under a context: cancellation (or the context deadline)
+// interrupts the run at the next fault boundary or mid-search via the
+// engine budget, returning the partial Result with Interrupted set. If
+// cfg.Checkpoint is set, the last consistent snapshot is emitted before
+// returning, so the run can be continued with Resume.
+func RunCtx(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Config) *Result {
+	return newRunner(ctx, c, faults, cfg).run()
+}
+
+// Resume continues a run from a Checkpoint: it replays the recorded test
+// set through a fresh fault simulator, fast-forwards the random stream to
+// the recorded position, and picks the schedule up at the recorded fault
+// boundary. With the same seed and schedule, the combined interrupted+
+// resumed run produces the same test set and fault accounting as an
+// uninterrupted run (as long as per-fault wall-clock limits are generous
+// enough not to bind differently across the two executions).
+func Resume(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Config, ck *Checkpoint) (*Result, error) {
+	r := newRunner(ctx, c, faults, cfg)
+	if err := r.restore(ck); err != nil {
+		return nil, err
+	}
+	return r.run(), nil
+}
+
+func newRunner(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Config) *runner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Checkpoint != nil && cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 16
+	}
 	r := &runner{
+		ctx:    ctx,
 		c:      c,
 		cfg:    cfg,
 		engine: atpg.NewEngine(c),
 		fsim:   faultsim.New(c, faults),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rng:    runctl.NewRand(cfg.Seed),
 		res: &Result{
 			Circuit:     c.Name,
 			TotalFaults: len(faults),
 		},
 		untestable: make(map[fault.Fault]bool),
 	}
-	start := time.Now()
-	if cfg.PreprocessUntestable {
-		r.preprocess()
+	if d, ok := ctx.Deadline(); ok {
+		r.deadline = d
 	}
-	for pi, pass := range cfg.Passes {
-		r.runPass(pi, pass)
+	r.engine.SetHooks(cfg.Hooks)
+	return r
+}
+
+// expired reports whether the run context is done or its deadline has
+// passed. The deadline is compared against the wall clock directly, matching
+// the engines' budgets: a context timer can fire microseconds after the
+// deadline itself, and a fault whose search was clipped inside that window
+// must count as interrupted, not be recorded as a regular outcome.
+func (r *runner) expired() bool {
+	return r.ctx.Err() != nil ||
+		(!r.deadline.IsZero() && time.Now().After(r.deadline))
+}
+
+// restore rebuilds the runner's state from a checkpoint (see Resume).
+func (r *runner) restore(ck *Checkpoint) error {
+	if err := ck.Validate(r.c, r.cfg, r.res.TotalFaults); err != nil {
+		return err
+	}
+	for _, sf := range ck.Untestable {
+		f, err := sf.fault(r.c)
+		if err != nil {
+			return err
+		}
+		r.untestable[f] = true
+		r.res.Untestable = append(r.res.Untestable, f)
+	}
+	r.res.Passes = append(r.res.Passes, ck.Passes...)
+	r.res.Phases = ck.Phases
+	r.res.FirstPanic = ck.FirstPanic
+	r.prevElapsed = time.Duration(ck.ElapsedNS)
+	r.preprocessDone = ck.PreprocessDone
+
+	// Replay the accumulated test set: the fault simulator re-derives the
+	// detection state deterministically, and the pass's target snapshot is
+	// re-taken at the exact sequence count where the pass originally began.
+	for i, ss := range ck.TestSet {
+		if i == ck.PassStartSeqs {
+			r.resumeTargets = append([]fault.Fault(nil), r.fsim.Remaining()...)
+		}
+		seq, err := parseSeq(ss, len(r.c.PIs))
+		if err != nil {
+			return err
+		}
+		tf, err := ck.Targets[i].fault(r.c)
+		if err != nil {
+			return err
+		}
+		r.fsim.ApplySequence(seq)
+		r.res.TestSet = append(r.res.TestSet, seq)
+		r.res.Targets = append(r.res.Targets, tf)
+	}
+	if ck.PassStartSeqs == len(ck.TestSet) {
+		r.resumeTargets = append([]fault.Fault(nil), r.fsim.Remaining()...)
+	}
+	r.resumeSeqs = ck.PassStartSeqs
+	r.rng.Skip(ck.RNGDraws)
+	r.startPass = ck.PassIndex
+	r.startFault = ck.FaultIndex
+	return nil
+}
+
+// run drives the schedule from the runner's (possibly restored) position.
+func (r *runner) run() *Result {
+	r.start = time.Now()
+	if r.cfg.PreprocessUntestable && !r.preprocessDone {
+		if !r.preprocess() {
+			return r.interrupted()
+		}
+		r.preprocessDone = true
+	}
+	for pi := r.startPass; pi < len(r.cfg.Passes); pi++ {
+		pass := r.cfg.Passes[pi]
+		fi0 := 0
+		passStartSeqs := len(r.res.TestSet)
+		var targets []fault.Fault
+		if pi == r.startPass && r.resumeTargets != nil {
+			fi0 = r.startFault
+			targets = r.resumeTargets
+			passStartSeqs = r.resumeSeqs
+		} else {
+			// Snapshot: faults detected mid-pass are skipped when their
+			// turn comes.
+			targets = append([]fault.Fault(nil), r.fsim.Remaining()...)
+		}
+		if !r.runPass(pi, pass, fi0, targets, passStartSeqs) {
+			return r.interrupted()
+		}
 		remaining := 0
 		for _, f := range r.fsim.Remaining() {
 			if !r.untestable[f] {
@@ -56,16 +194,90 @@ func Run(c *netlist.Circuit, faults []fault.Fault, cfg Config) *Result {
 			Pass:       pi + 1,
 			Detected:   r.fsim.NumDetected(),
 			Vectors:    r.fsim.NumVectors(),
-			Elapsed:    time.Since(start),
+			Elapsed:    r.elapsed(),
 			Untestable: len(r.res.Untestable),
 			Aborted:    remaining,
 		}
 		r.res.Passes = append(r.res.Passes, stats)
-		if cfg.Continue != nil && pi < len(cfg.Passes)-1 && !cfg.Continue(stats) {
+		r.noteBoundary(pi+1, 0, len(r.res.TestSet), true)
+		if r.cfg.Continue != nil && pi < len(r.cfg.Passes)-1 && !r.cfg.Continue(stats) {
 			break
 		}
 	}
 	return r.res
+}
+
+func (r *runner) elapsed() time.Duration {
+	return r.prevElapsed + time.Since(r.start)
+}
+
+// interrupted finalizes an interrupted run: the last consistent snapshot is
+// emitted so the run can be resumed, and the partial result returned.
+func (r *runner) interrupted() *Result {
+	r.res.Interrupted = true
+	if r.cfg.Checkpoint != nil && r.lastSnap != nil {
+		r.cfg.Checkpoint(r.lastSnap)
+	}
+	return r.res
+}
+
+// noteBoundary records a fault-boundary snapshot (position = next fault to
+// target) and emits it on the configured cadence; force emits regardless.
+func (r *runner) noteBoundary(pi, fi, passStartSeqs int, force bool) {
+	if r.cfg.Checkpoint == nil {
+		return
+	}
+	r.lastSnap = r.snapshot(pi, fi, passStartSeqs)
+	r.sinceCkpt++
+	if force || r.sinceCkpt >= r.cfg.CheckpointEvery {
+		r.sinceCkpt = 0
+		r.cfg.Checkpoint(r.lastSnap)
+	}
+}
+
+// snapshot captures the run state at a fault boundary. Sequence and fault
+// slices are converted to their serialized forms, so the snapshot shares no
+// mutable state with the runner.
+func (r *runner) snapshot(pi, fi, passStartSeqs int) *Checkpoint {
+	ck := &Checkpoint{
+		Version:        CheckpointVersion,
+		Circuit:        r.c.Name,
+		Seed:           r.cfg.Seed,
+		TotalFaults:    r.res.TotalFaults,
+		PassIndex:      pi,
+		FaultIndex:     fi,
+		PassStartSeqs:  passStartSeqs,
+		PreprocessDone: r.preprocessDone,
+		RNGDraws:       r.rng.Draws(),
+		ElapsedNS:      int64(r.elapsed()),
+		Targets:        saveFaults(r.res.Targets),
+		Untestable:     saveFaults(r.res.Untestable),
+		Passes:         append([]PassStats(nil), r.res.Passes...),
+		Phases:         r.res.Phases,
+		FirstPanic:     r.res.FirstPanic,
+	}
+	ck.TestSet = make([][]string, len(r.res.TestSet))
+	for i, seq := range r.res.TestSet {
+		ck.TestSet[i] = saveSeq(seq)
+	}
+	return ck
+}
+
+// guard runs fn inside a recover boundary: a panic in the engines marks the
+// current fault aborted instead of killing the run. The first stack trace
+// is kept for the report; every recovered panic is counted.
+func (r *runner) guard(fn func()) (ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.res.Phases.Panics++
+			if r.res.FirstPanic == "" {
+				r.res.FirstPanic = fmt.Sprintf("%v\n\n%s", p, debug.Stack())
+			}
+			ok = false
+		}
+	}()
+	fn()
+	return true
 }
 
 // preprocess runs a cheap exhaustive screen over the fault list and marks
@@ -74,46 +286,91 @@ func Run(c *netlist.Circuit, faults []fault.Fault, cfg Config) *Result {
 // conclusions). The screen uses a two-frame window — untestability proofs
 // are frame-independent (exhaustion without a fault effect crossing the
 // window boundary) — and a small backtrack budget so screening stays cheap.
-func (r *runner) preprocess() {
+// The run context bounds the whole screen: cancellation (or the run
+// deadline) stops it between faults and aborts the in-flight search.
+// It returns false when interrupted.
+func (r *runner) preprocess() bool {
 	for _, f := range r.fsim.Remaining() {
-		res := r.engine.Generate(f, atpg.Limits{MaxFrames: 2, MaxBacktracks: 256})
+		if r.expired() {
+			return false
+		}
+		var res atpg.Result
+		if !r.guard(func() {
+			res = r.engine.GenerateCtx(r.ctx, f, atpg.Limits{MaxFrames: 2, MaxBacktracks: 256})
+		}) {
+			continue
+		}
 		if res.Status == atpg.Untestable {
 			r.untestable[f] = true
 			r.res.Untestable = append(r.res.Untestable, f)
 			r.res.Phases.Preprocessed++
 		}
 	}
+	return true
 }
 
-// runPass targets every still-undetected, not-proven-untestable fault once.
-func (r *runner) runPass(passIdx int, pass Pass) {
+// runPass targets every still-undetected, not-proven-untestable fault once,
+// starting at fi0 within the pass's target snapshot. It returns false when
+// the run context was cancelled.
+func (r *runner) runPass(pi int, pass Pass, fi0 int, targets []fault.Fault, passStartSeqs int) bool {
 	if pass.JustifyAttempts < 1 {
 		pass.JustifyAttempts = 1
 	}
-	// Snapshot: faults detected mid-pass are skipped when their turn comes.
-	targets := append([]fault.Fault(nil), r.fsim.Remaining()...)
+	remaining := make(map[fault.Fault]bool, len(r.fsim.Remaining()))
+	for _, f := range r.fsim.Remaining() {
+		remaining[f] = true
+	}
+	// Restrict to targets still undetected now; on a fresh pass this is the
+	// whole snapshot, on a resumed pass it excludes faults detected by the
+	// replayed mid-pass sequences.
 	stillRemaining := make(map[fault.Fault]bool, len(targets))
 	for _, f := range targets {
-		stillRemaining[f] = true
+		if remaining[f] {
+			stillRemaining[f] = true
+		}
 	}
-	for _, f := range targets {
+	for fi := fi0; fi < len(targets); fi++ {
+		if r.expired() {
+			return false
+		}
+		f := targets[fi]
 		if !stillRemaining[f] || r.untestable[f] {
 			continue
 		}
-		for _, g := range r.targetFault(f, pass) {
-			delete(stillRemaining, g)
+		var newly []fault.Fault
+		ok := r.guard(func() { newly = r.targetFault(f, pass) })
+		if r.expired() {
+			// The run context died while this fault's search was in flight,
+			// possibly clipping it mid-search. Its outcome is not what an
+			// uninterrupted run would have computed, so it must not reach
+			// the checkpoint stream: interrupt here and let the previous
+			// boundary's snapshot stand as the last consistent state.
+			return false
 		}
+		if ok {
+			for _, g := range newly {
+				delete(stillRemaining, g)
+			}
+		}
+		r.noteBoundary(pi, fi+1, passStartSeqs, false)
 	}
+	return true
 }
 
 // targetFault runs the Fig. 1 flow for one fault and returns the faults
-// newly detected by any accepted test.
+// newly detected by any accepted test. The fault's whole budget — the
+// pass's wall-clock allowance and the run context — is carried by a derived
+// context; the engine folds it into its search budget.
 func (r *runner) targetFault(f fault.Fault, pass Pass) []fault.Fault {
-	deadline := time.Now().Add(pass.TimePerFault)
+	fctx := r.ctx
+	if pass.TimePerFault > 0 {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithDeadline(r.ctx, time.Now().Add(pass.TimePerFault))
+		defer cancel()
+	}
 	lim := atpg.Limits{
 		MaxFrames:     r.cfg.MaxFrames,
 		MaxBacktracks: pass.MaxBacktracks,
-		Deadline:      deadline,
 	}
 	r.res.Phases.Targeted++
 
@@ -121,7 +378,7 @@ func (r *runner) targetFault(f fault.Fault, pass Pass) []fault.Fault {
 		if attempt > 0 {
 			r.res.Phases.PropBacktracks++
 		}
-		gen := r.engine.GenerateNth(f, lim, attempt)
+		gen := r.engine.GenerateNthCtx(fctx, f, lim, attempt)
 		switch gen.Status {
 		case atpg.Untestable:
 			if attempt == 0 {
@@ -134,9 +391,9 @@ func (r *runner) targetFault(f fault.Fault, pass Pass) []fault.Fault {
 		}
 		r.res.Phases.ExciteProp++
 
-		seq, ok := r.justifyAndBuild(f, pass, gen, deadline)
+		seq, ok := r.justifyAndBuild(fctx, f, pass, gen)
 		if !ok {
-			if time.Now().After(deadline) {
+			if fctx.Err() != nil {
 				return nil
 			}
 			continue // backtrack into propagation: try the next solution
@@ -145,7 +402,7 @@ func (r *runner) targetFault(f fault.Fault, pass Pass) []fault.Fault {
 		// Confirm with the independent fault simulator before counting.
 		if det, _ := faultsim.DetectsFrom(r.c, f, r.fsim.GoodState(), nil, seq); !det {
 			r.res.Phases.VerifyFailures++
-			if time.Now().After(deadline) {
+			if fctx.Err() != nil {
 				return nil
 			}
 			continue
@@ -162,7 +419,7 @@ func (r *runner) targetFault(f fault.Fault, pass Pass) []fault.Fault {
 // justifyAndBuild runs state justification for one propagation solution and,
 // on success, assembles the full candidate test sequence (justification
 // prefix + excitation/propagation vectors, X positions filled randomly).
-func (r *runner) justifyAndBuild(f fault.Fault, pass Pass, gen atpg.Result, deadline time.Time) ([]logic.Vector, bool) {
+func (r *runner) justifyAndBuild(ctx context.Context, f fault.Fault, pass Pass, gen atpg.Result) ([]logic.Vector, bool) {
 	var prefix []logic.Vector
 	switch pass.Method {
 	case MethodGA:
@@ -173,7 +430,7 @@ func (r *runner) justifyAndBuild(f fault.Fault, pass Pass, gen atpg.Result, dead
 			Fault:        &f,
 			StartGood:    r.fsim.GoodState(),
 		}
-		jres := justify.GA(r.c, req, justify.Options{
+		jres := justify.GACtx(ctx, r.c, req, justify.Options{
 			Population:  pass.Population,
 			Generations: pass.Generations,
 			SeqLen:      pass.SeqLen,
@@ -182,6 +439,7 @@ func (r *runner) justifyAndBuild(f fault.Fault, pass Pass, gen atpg.Result, dead
 			Selection:   r.cfg.Selection,
 			Crossover:   r.cfg.Crossover,
 			Overlapping: r.cfg.Overlapping,
+			Hooks:       r.cfg.Hooks,
 		})
 		if !jres.Found {
 			return nil, false
@@ -193,13 +451,12 @@ func (r *runner) justifyAndBuild(f fault.Fault, pass Pass, gen atpg.Result, dead
 		lim := atpg.Limits{
 			MaxFrames:     r.cfg.MaxFrames,
 			MaxBacktracks: pass.MaxBacktracks,
-			Deadline:      deadline,
 		}
 		var jres atpg.JustifyResult
 		if r.cfg.FaultFreeJustify {
-			jres = r.engine.Justify(gen.RequiredGood, lim)
+			jres = r.engine.JustifyCtx(ctx, gen.RequiredGood, lim)
 		} else {
-			jres = r.engine.JustifyDual(f, gen.RequiredGood, gen.RequiredFaulty, lim)
+			jres = r.engine.JustifyDualCtx(ctx, f, gen.RequiredGood, gen.RequiredFaulty, lim)
 		}
 		if jres.Status != atpg.Success {
 			return nil, false

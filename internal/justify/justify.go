@@ -17,10 +17,13 @@
 package justify
 
 import (
+	"context"
+
 	"gahitec/internal/fault"
 	"gahitec/internal/ga"
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
+	"gahitec/internal/runctl"
 	"gahitec/internal/sim"
 )
 
@@ -55,6 +58,10 @@ type Options struct {
 	// Constraints, if non-nil, restricts the generated input sequences
 	// (pinned pins, one-hot groups, forbidden vectors); see Constraints.
 	Constraints *Constraints
+
+	// Hooks, if non-nil, is the fault-injection harness consulted at entry
+	// (site "ga"); test machinery.
+	Hooks *runctl.Hooks
 }
 
 func (o *Options) setDefaults(c *netlist.Circuit) {
@@ -121,7 +128,18 @@ func faultyStart(c *netlist.Circuit, f fault.Fault) logic.Vector {
 
 // GA runs the genetic search for a justification sequence.
 func GA(c *netlist.Circuit, req Request, opt Options) Result {
+	return GACtx(context.Background(), c, req, opt)
+}
+
+// GACtx is GA bounded by ctx: an already-cancelled (or expired) context
+// returns not-found immediately without evaluating anything, and
+// cancellation mid-search stops the GA at the next generation boundary.
+func GACtx(ctx context.Context, c *netlist.Circuit, req Request, opt Options) Result {
 	opt.setDefaults(c)
+	expired := opt.Hooks.Enter("ga") == runctl.ActExpire
+	if expired || ctx.Err() != nil {
+		return Result{}
+	}
 	if !NeedsJustification(c, req) {
 		return Result{Found: true}
 	}
@@ -147,6 +165,7 @@ func GA(c *netlist.Circuit, req Request, opt Options) Result {
 		Crossover:      opt.Crossover,
 		Overlapping:    opt.Overlapping,
 		Seed:           opt.Seed,
+		Stop:           func() bool { return ctx.Err() != nil },
 	}
 	res, err := ga.Run(cfg, ev.evaluate)
 	if err != nil {

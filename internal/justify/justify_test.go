@@ -1,6 +1,7 @@
 package justify
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"gahitec/internal/fault"
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
+	"gahitec/internal/runctl"
 	"gahitec/internal/sim"
 )
 
@@ -259,4 +261,39 @@ func ExampleGA() {
 	fmt.Println("found:", res.Found)
 	// Output:
 	// found: true
+}
+
+// An already-expired context returns not-found immediately: no generations,
+// no evaluations.
+func TestGAExpiredContext(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	target := logic.NewVector(len(c.DFFs))
+	for i := range target {
+		target[i] = logic.One
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := GACtx(ctx, c, Request{TargetGood: target}, Options{Seed: 1})
+	if res.Found {
+		t.Fatal("cancelled GA reported success")
+	}
+	if res.Evaluations != 0 || res.Generations != 0 {
+		t.Fatalf("cancelled GA still evaluated: %d evals, %d gens", res.Evaluations, res.Generations)
+	}
+}
+
+// Injected expiry through the fault-injection harness behaves the same.
+func TestGAInjectedExpiry(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	target := logic.NewVector(len(c.DFFs))
+	target[0] = logic.One
+	h := runctl.NewHooks()
+	h.Arm("ga", 1, runctl.ActExpire)
+	res := GA(c, Request{TargetGood: target}, Options{Seed: 1, Hooks: h})
+	if res.Found || res.Evaluations != 0 {
+		t.Fatalf("expired GA ran anyway: %+v", res)
+	}
+	if h.Calls("ga") != 1 {
+		t.Fatalf("hook site entered %d times", h.Calls("ga"))
+	}
 }

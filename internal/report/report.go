@@ -128,5 +128,11 @@ func Phases(res *hybrid.Result) string {
 	fmt.Fprintf(&b, "  propagation backtracks (retry)  %6d\n", p.PropBacktracks)
 	fmt.Fprintf(&b, "  verify failures                 %6d\n", p.VerifyFailures)
 	fmt.Fprintf(&b, "  incidental detections           %6d\n", p.IncidentalDetects)
+	if p.Preprocessed > 0 {
+		fmt.Fprintf(&b, "  untestables preprocessed        %6d\n", p.Preprocessed)
+	}
+	if p.Panics > 0 {
+		fmt.Fprintf(&b, "  faults aborted by panic         %6d\n", p.Panics)
+	}
 	return b.String()
 }

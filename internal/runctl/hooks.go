@@ -1,0 +1,149 @@
+package runctl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Action is what an armed fault-injection rule does when it fires.
+type Action uint8
+
+const (
+	// ActNone: nothing armed for this call.
+	ActNone Action = iota
+	// ActPanic: panic at the call site (exercises recover boundaries).
+	ActPanic
+	// ActExpire: report forced budget expiry to the caller (exercises the
+	// in-search abort paths without waiting for a real deadline).
+	ActExpire
+	// ActSleep: delay the call (simulates a slow search so wall-clock
+	// machinery — signals, deadlines, checkpoint cadence — can engage).
+	ActSleep
+)
+
+// InjectedPanic is the panic value used by ActPanic, so recover boundaries
+// can be tested without conflating injected and genuine panics.
+type InjectedPanic struct{ Site string }
+
+func (p InjectedPanic) Error() string {
+	return fmt.Sprintf("runctl: injected panic at %q", p.Site)
+}
+
+// rule arms one action at one site. Call 0 means every call; call k>0 means
+// only the k-th call (1-based) at that site.
+type rule struct {
+	site   string
+	call   int
+	action Action
+	sleep  time.Duration
+}
+
+// Hooks is the fault-injection harness: a set of armed rules consulted at
+// named sites inside the engines. A nil *Hooks is inert, so production code
+// threads it unconditionally and pays one nil check when disarmed. Hooks is
+// safe for concurrent use.
+type Hooks struct {
+	mu    sync.Mutex
+	rules []rule
+	calls map[string]int
+}
+
+// NewHooks returns an empty (disarmed) harness.
+func NewHooks() *Hooks { return &Hooks{calls: make(map[string]int)} }
+
+// Arm installs a rule: perform action at the call-th call (1-based; 0 =
+// every call) of site. ActSleep rules sleep for d.
+func (h *Hooks) Arm(site string, call int, action Action, d ...time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := rule{site: site, call: call, action: action}
+	if len(d) > 0 {
+		r.sleep = d[0]
+	}
+	h.rules = append(h.rules, r)
+}
+
+// Calls returns how many times site has been entered.
+func (h *Hooks) Calls(site string) int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.calls[site]
+}
+
+// Enter records one call at site and applies any armed rule: ActPanic
+// panics, ActSleep sleeps, and ActExpire is returned for the caller to
+// translate (typically Budget.ForceExpire). Safe on a nil receiver.
+func (h *Hooks) Enter(site string) Action {
+	if h == nil {
+		return ActNone
+	}
+	h.mu.Lock()
+	n := h.calls[site] + 1
+	h.calls[site] = n
+	act, sleep := ActNone, time.Duration(0)
+	for _, r := range h.rules {
+		if r.site == site && (r.call == 0 || r.call == n) {
+			act, sleep = r.action, r.sleep
+			break
+		}
+	}
+	h.mu.Unlock()
+	switch act {
+	case ActPanic:
+		panic(InjectedPanic{Site: site})
+	case ActSleep:
+		time.Sleep(sleep)
+		return ActNone
+	}
+	return act
+}
+
+// ParseInjectSpec builds a harness from a comma-separated spec of
+// site:call:action rules, e.g. "generate:3:panic,justify:*:sleep=20ms".
+// call is a 1-based call number or "*" for every call; action is one of
+// panic, expire, or sleep=<duration>. Command-line tools expose this through
+// an environment variable so integration tests can inject faults into a
+// real process.
+func ParseInjectSpec(spec string) (*Hooks, error) {
+	h := NewHooks()
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.SplitN(part, ":", 3)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("runctl: bad inject rule %q (want site:call:action)", part)
+		}
+		site := fields[0]
+		call := 0
+		if fields[1] != "*" {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("runctl: bad call number %q in %q", fields[1], part)
+			}
+			call = n
+		}
+		switch {
+		case fields[2] == "panic":
+			h.Arm(site, call, ActPanic)
+		case fields[2] == "expire":
+			h.Arm(site, call, ActExpire)
+		case strings.HasPrefix(fields[2], "sleep="):
+			d, err := time.ParseDuration(strings.TrimPrefix(fields[2], "sleep="))
+			if err != nil {
+				return nil, fmt.Errorf("runctl: bad sleep duration in %q: %v", part, err)
+			}
+			h.Arm(site, call, ActSleep, d)
+		default:
+			return nil, fmt.Errorf("runctl: unknown action %q in %q", fields[2], part)
+		}
+	}
+	return h, nil
+}

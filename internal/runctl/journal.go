@@ -1,0 +1,55 @@
+package runctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SaveJSON marshals v and writes it to path atomically: the bytes go to a
+// temporary file in the same directory, which is fsynced and renamed over
+// path. A reader (or a resumed run) therefore never observes a torn or
+// truncated journal, even if the writer is killed mid-write.
+func SaveJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return fmt.Errorf("runctl: marshal journal: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runctl: create journal temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("runctl: write journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("runctl: sync journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("runctl: close journal: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("runctl: publish journal: %w", err)
+	}
+	return nil
+}
+
+// LoadJSON reads path and unmarshals it into v.
+func LoadJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("runctl: read journal: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("runctl: parse journal %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package runctl
+
+import "math/rand"
+
+// Rand is a *rand.Rand whose underlying source counts its raw draws. The
+// count is position in the pseudo-random stream: a checkpoint records it and
+// a resumed run calls Skip to fast-forward a freshly seeded source to the
+// same position, making the resumed run's random decisions bit-identical to
+// the uninterrupted run's.
+//
+// Counting happens at the source level, below rejection sampling and other
+// variable-draw derivations in math/rand, so the count is exact regardless
+// of which Rand methods the caller mixes.
+type Rand struct {
+	*rand.Rand
+	src *countingSource
+}
+
+// NewRand returns a counting Rand seeded with seed.
+func NewRand(seed int64) *Rand {
+	cs := &countingSource{inner: rand.NewSource(seed)}
+	return &Rand{Rand: rand.New(cs), src: cs}
+}
+
+// Draws returns the number of raw source draws made so far.
+func (r *Rand) Draws() uint64 { return r.src.draws }
+
+// Skip advances the source by n raw draws.
+func (r *Rand) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		r.src.Int63()
+	}
+}
+
+// countingSource wraps a Source and counts every raw draw. It deliberately
+// does NOT implement Source64: math/rand then derives every value (Uint64
+// included) from Int63 calls, so each counted draw is exactly one source
+// step and Skip can replay the position faithfully.
+type countingSource struct {
+	inner rand.Source
+	draws uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.inner.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.draws = 0
+	s.inner.Seed(seed)
+}

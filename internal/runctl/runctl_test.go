@@ -1,0 +1,218 @@
+package runctl
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// An already-cancelled context trips the budget on the very first check, so
+// a search aborts before spending any of its backtrack allowance.
+func TestBudgetExpiredContextTripsFirstCheck(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := NewBudget(ctx, time.Time{}, 1000)
+	if !b.Expired() {
+		t.Fatal("first Expired() call missed the cancelled context")
+	}
+	if !b.Exhausted() {
+		t.Fatal("Exhausted() false after expiry")
+	}
+	if b.Remaining() != 1000 {
+		t.Fatalf("backtracks consumed: %d left", b.Remaining())
+	}
+}
+
+func TestBudgetPastDeadlineTrips(t *testing.T) {
+	b := NewBudget(context.Background(), time.Now().Add(-time.Second), 10)
+	if !b.Expired() {
+		t.Fatal("past deadline not detected")
+	}
+}
+
+// The effective deadline is the earlier of the explicit one and the
+// context's own.
+func TestBudgetMergesContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Minute))
+	defer cancel()
+	b := NewBudget(ctx, time.Now().Add(time.Hour), 10)
+	if !b.Expired() {
+		t.Fatal("context deadline ignored")
+	}
+}
+
+func TestBudgetBacktrackExhaustion(t *testing.T) {
+	b := NewBudget(context.Background(), time.Time{}, 2)
+	if b.Exhausted() {
+		t.Fatal("fresh budget exhausted")
+	}
+	b.Spend()
+	b.Spend()
+	if !b.Exhausted() {
+		t.Fatal("spent budget not exhausted")
+	}
+}
+
+func TestBudgetForceExpire(t *testing.T) {
+	b := NewBudget(context.Background(), time.Time{}, 100)
+	b.ForceExpire()
+	if !b.Expired() || !b.Exhausted() {
+		t.Fatal("ForceExpire did not trip the budget")
+	}
+}
+
+// Skip(Draws()) reproduces the exact stream position, across a mix of Rand
+// methods including rejection-sampling ones.
+func TestRandSkipReproducesStream(t *testing.T) {
+	use := func(r *Rand) []int64 {
+		var out []int64
+		for i := 0; i < 20; i++ {
+			out = append(out, r.Int63(), int64(r.Intn(3)), int64(r.Intn(2)))
+			r.Float64()
+		}
+		return out
+	}
+	a := NewRand(42)
+	use(a)
+	mark := a.Draws()
+	want := []int64{a.Int63(), int64(a.Intn(1000))}
+
+	b := NewRand(42)
+	b.Skip(mark)
+	got := []int64{b.Int63(), int64(b.Intn(1000))}
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("resumed stream diverged: got %v want %v", got, want)
+	}
+}
+
+// The counting source must not change the values math/rand produces for a
+// given seed (checkpoints aside, seeds must keep meaning what they meant).
+func TestRandMatchesPlainRand(t *testing.T) {
+	a := NewRand(7)
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		if x, y := a.Int63(), b.Int63(); x != y {
+			t.Fatalf("draw %d: counting %d != plain %d", i, x, y)
+		}
+	}
+}
+
+func TestSaveLoadJSONRoundTrip(t *testing.T) {
+	type doc struct {
+		Name string
+		Seq  []int
+	}
+	path := filepath.Join(t.TempDir(), "journal.json")
+	want := doc{Name: "ckpt", Seq: []int{3, 1, 4}}
+	if err := SaveJSON(path, want); err != nil {
+		t.Fatal(err)
+	}
+	var got doc
+	if err := LoadJSON(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || len(got.Seq) != 3 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory not clean after save: %v", entries)
+	}
+}
+
+func TestSaveJSONFailureLeavesNoPartialFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "missing-subdir", "journal.json")
+	if err := SaveJSON(path, map[string]int{"a": 1}); err == nil {
+		t.Fatal("expected error writing into a missing directory")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("partial journal left behind")
+	}
+}
+
+func TestHooksPanicAtKthCall(t *testing.T) {
+	h := NewHooks()
+	h.Arm("generate", 3, ActPanic)
+	for i := 1; i <= 2; i++ {
+		if act := h.Enter("generate"); act != ActNone {
+			t.Fatalf("call %d: unexpected action %d", i, act)
+		}
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("armed panic did not fire")
+		}
+		if ip, ok := p.(InjectedPanic); !ok || ip.Site != "generate" {
+			t.Fatalf("unexpected panic value %v", p)
+		}
+		if h.Calls("generate") != 3 {
+			t.Fatalf("call count %d", h.Calls("generate"))
+		}
+	}()
+	h.Enter("generate")
+}
+
+func TestHooksExpireAndNilSafety(t *testing.T) {
+	h := NewHooks()
+	h.Arm("justify", 0, ActExpire)
+	if h.Enter("justify") != ActExpire {
+		t.Fatal("every-call expire rule did not fire")
+	}
+	var nilHooks *Hooks
+	if nilHooks.Enter("anything") != ActNone || nilHooks.Calls("anything") != 0 {
+		t.Fatal("nil hooks not inert")
+	}
+}
+
+func TestHooksSleepDelays(t *testing.T) {
+	h := NewHooks()
+	h.Arm("slow", 1, ActSleep, 30*time.Millisecond)
+	start := time.Now()
+	h.Enter("slow")
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("sleep rule slept only %s", d)
+	}
+}
+
+func TestHooksConcurrentEnter(t *testing.T) {
+	h := NewHooks()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				h.Enter("site")
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Calls("site") != 800 {
+		t.Fatalf("lost calls: %d", h.Calls("site"))
+	}
+}
+
+func TestParseInjectSpec(t *testing.T) {
+	h, err := ParseInjectSpec("generate:3:panic, justify:*:expire,ga:2:sleep=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Enter("justify") != ActExpire {
+		t.Fatal("parsed expire rule did not fire")
+	}
+	for _, bad := range []string{"x", "a:b:panic", "a:1:explode", "a:1:sleep=xyz", "a:-1:panic"} {
+		if _, err := ParseInjectSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 package simgen
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -114,6 +115,15 @@ func (s *Session) Apply(seq []logic.Vector) []fault.Fault {
 // anything new. It returns the applied sequence and the newly detected
 // faults; a nil sequence means the round stalled.
 func (s *Session) TryRound() ([]logic.Vector, []fault.Fault) {
+	return s.TryRoundCtx(context.Background())
+}
+
+// TryRoundCtx is TryRound bounded by ctx: a cancelled context stalls the
+// round immediately (before evaluation) or at the next GA generation.
+func (s *Session) TryRoundCtx(ctx context.Context) ([]logic.Vector, []fault.Fault) {
+	if ctx.Err() != nil {
+		return nil, nil
+	}
 	remaining := s.grader.Remaining()
 	if len(remaining) == 0 {
 		return nil, nil
@@ -135,6 +145,7 @@ func (s *Session) TryRound() ([]logic.Vector, []fault.Fault) {
 		Generations:    s.opt.Generations,
 		GenomeBits:     s.opt.SeqLen * len(s.c.PIs),
 		Seed:           s.rng.Int63(),
+		Stop:           func() bool { return ctx.Err() != nil },
 	}, eval)
 	if err != nil || gaRes.Best.Fitness <= 0 {
 		return nil, nil
@@ -149,13 +160,19 @@ func (s *Session) TryRound() ([]logic.Vector, []fault.Fault) {
 
 // Run generates tests until the coverage stalls or the round bound is hit.
 func Run(c *netlist.Circuit, faults []fault.Fault, opt Options) *Result {
+	return RunCtx(context.Background(), c, faults, opt)
+}
+
+// RunCtx is Run bounded by ctx; cancellation stops the session at the next
+// round (or GA generation) boundary with the tests generated so far.
+func RunCtx(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, opt Options) *Result {
 	start := time.Now()
 	s := NewSession(c, faults, opt)
 	res := &Result{}
 	stall := 0
-	for round := 0; round < s.opt.MaxRounds && stall < s.opt.StallLimit; round++ {
+	for round := 0; round < s.opt.MaxRounds && stall < s.opt.StallLimit && ctx.Err() == nil; round++ {
 		res.Rounds = round + 1
-		seq, _ := s.TryRound()
+		seq, _ := s.TryRoundCtx(ctx)
 		if seq == nil {
 			stall++
 			continue
