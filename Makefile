@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench golden
+.PHONY: build test check bench golden fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ check: build
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Short fuzz pass over the .bench parser: no panics, accepted inputs
+# round-trip. CI runs this on every push; run with a longer -fuzztime to dig.
+fuzz-smoke:
+	$(GO) test ./internal/bench/ -run=^$$ -fuzz=FuzzParse -fuzztime=10s
 
 # Re-bless the cmd/atpg golden files after an intentional output change.
 golden:

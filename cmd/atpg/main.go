@@ -17,9 +17,20 @@
 //	atpg -circuit div -checkpoint run.json     # ^C writes the journal
 //	atpg -circuit div -resume run.json         # continues where it stopped
 //
+// The generated test set can be independently verified: -audit replays
+// every claimed detection against the serial reference simulator and
+// demotes claims it cannot reproduce; -audit=strict additionally exits with
+// status 3 when any claim miscompares. -retry N re-targets quarantined
+// faults (budget-expired, panicked, or audit-demoted) up to N times with
+// exponentially escalated per-fault budgets.
+//
+//	atpg -circuit s298 -audit -retry 2
+//	atpg -circuit s298 -audit=strict    # CI gate: non-zero exit on miscompare
+//
 // The GAHITEC_FAULT_INJECT environment variable arms the runctl
-// fault-injection harness (e.g. "generate:*:sleep=20ms"); it exists for the
-// resilience integration tests.
+// fault-injection harness (e.g. "generate:*:sleep=20ms" or
+// "faultsim.word:3:corrupt"); it exists for the resilience integration
+// tests.
 package main
 
 import (
@@ -51,6 +62,44 @@ import (
 // exitInterrupted is the conventional exit status after SIGINT.
 const exitInterrupted = 130
 
+// exitAuditFailed is returned by -audit=strict when any detection claim
+// fails independent verification.
+const exitAuditFailed = 3
+
+// auditMode is the -audit flag: a boolean flag ("-audit", "-audit=false")
+// that also accepts the value "strict".
+type auditMode struct {
+	enabled bool
+	strict  bool
+}
+
+func (a *auditMode) String() string {
+	switch {
+	case a.strict:
+		return "strict"
+	case a.enabled:
+		return "true"
+	}
+	return "false"
+}
+
+func (a *auditMode) Set(s string) error {
+	switch strings.ToLower(s) {
+	case "", "1", "t", "true", "on", "yes":
+		a.enabled, a.strict = true, false
+	case "0", "f", "false", "off", "no":
+		a.enabled, a.strict = false, false
+	case "strict":
+		a.enabled, a.strict = true, true
+	default:
+		return fmt.Errorf("must be true, false or strict")
+	}
+	return nil
+}
+
+// IsBoolFlag lets plain "-audit" enable the audit without a value.
+func (a *auditMode) IsBoolFlag() bool { return true }
+
 func main() {
 	// Every path out of run returns here, so the output writer is always
 	// flushed — an error exit never truncates what was already reported.
@@ -81,7 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ckptEvery   = fs.Int("checkpoint-every", 16, "checkpoint cadence in targeted faults")
 		resume      = fs.String("resume", "", "resume a gahitec/hitec run from this checkpoint journal")
 		timeout     = fs.Duration("timeout", 0, "overall wall-clock budget for the run (0: none)")
+		retries     = fs.Int("retry", 0, "retry quarantined faults up to N times with escalated budgets")
 	)
+	var auditFlag auditMode
+	fs.Var(&auditFlag, "audit", "independently verify every detection on the serial reference simulator (true, false or strict)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -125,7 +177,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// The two simulation-first generators report a single summary line and
 	// share the vector-dump path. They honor cancellation but have no
-	// checkpoint journal.
+	// checkpoint journal — nor the audit/retry machinery.
+	if (auditFlag.enabled || *retries > 0) && (*mode == "simga" || *mode == "alternating") {
+		return fail("-audit and -retry require -mode gahitec or hitec")
+	}
 	switch *mode {
 	case "simga":
 		r := simgen.RunCtx(ctx, c, faults, simgen.Options{Seed: *seed, SeqLen: seqLen / 2, MaxRounds: 300})
@@ -157,6 +212,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Seed = *seed
 	cfg.PreprocessUntestable = *preprocess
 	cfg.Hooks = hooks
+	cfg.Audit = auditFlag.enabled
+	cfg.Retry = runctl.Escalation{MaxAttempts: *retries}
 	if *interactive {
 		reader := bufio.NewReader(os.Stdin)
 		cfg.Continue = func(p hybrid.PassStats) bool {
@@ -229,12 +286,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	last := res.Passes[len(res.Passes)-1]
 	fmt.Fprintf(stdout, "\nfault coverage: %.2f%% (%d/%d), %d untestable, %d undecided\n",
 		100*res.FaultCoverage(), last.Detected, res.TotalFaults, last.Untestable, last.Aborted)
+	if auditFlag.enabled && res.Audit != nil {
+		fmt.Fprint(stdout, report.Audit(c, res.Audit))
+		verified := res.Audit.VerifiedDetections()
+		fmt.Fprintf(stdout, "audited fault coverage: %.2f%% (%d/%d)\n",
+			100*float64(verified)/float64(res.TotalFaults), verified, res.TotalFaults)
+	}
+	if auditFlag.enabled || *retries > 0 {
+		fmt.Fprint(stdout, report.Retry(res))
+	}
 	if *phases {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, report.Phases(res))
 	}
 
-	return writeSet(stdout, fail, c, *out, res.Targets, res.TestSet, faults, *compactSet)
+	code := writeSet(stdout, fail, c, *out, res.Targets, res.TestSet, faults, *compactSet)
+	if code == 0 && auditFlag.strict && res.Audit != nil && !res.Audit.Clean() {
+		fmt.Fprintf(stderr, "atpg: strict audit failed: %d claim(s) not confirmed at their claimed vector\n",
+			res.Audit.ConfirmedOther+res.Audit.Unverified)
+		return exitAuditFailed
+	}
+	return code
 }
 
 // writeSet optionally compacts and writes a test set in the pattern format.

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -64,6 +65,78 @@ func TestBadFlagsAndModes(t *testing.T) {
 	}
 	if code := run([]string{"-circuit", "s27", "-resume", "/no/such/journal"}, &out, &out); code != 1 {
 		t.Errorf("missing journal: exit %d, want 1", code)
+	}
+}
+
+// Trust-but-verify end to end: a hook corrupts one packed word inside the
+// bit-parallel simulator, fabricating one detection. -audit must catch it,
+// demote exactly that one claim, and (in strict mode) exit non-zero; the
+// same run without corruption must audit clean.
+func TestAuditCatchesInjectedCorruption(t *testing.T) {
+	base := []string{"-circuit", "s27", "-seed", "1", "-scale", "1000"}
+	runWith := func(inject string, extra ...string) (int, string) {
+		t.Helper()
+		t.Setenv("GAHITEC_FAULT_INJECT", inject)
+		var out bytes.Buffer
+		code := run(append(append([]string{}, base...), extra...), &out, &out)
+		return code, out.String()
+	}
+
+	code, clean := runWith("", "-audit=strict")
+	if code != 0 {
+		t.Fatalf("clean strict audit exited %d:\n%s", code, clean)
+	}
+	if !strings.Contains(clean, "0 demoted") || !strings.Contains(clean, "all detections independently confirmed") {
+		t.Fatalf("clean run did not audit clean:\n%s", clean)
+	}
+
+	// Find an injection call whose corruption fabricates a demotable claim
+	// (calls landing where the good PO is unknown corrupt nothing).
+	demote := regexp.MustCompile(`(\d+) demoted`)
+	inject, corrupted := "", ""
+	for k := 1; k <= 8; k++ {
+		spec := fmt.Sprintf("faultsim.word:%d:corrupt", k)
+		code, out := runWith(spec, "-audit")
+		if code != 0 {
+			t.Fatalf("non-strict audit of corrupted run exited %d:\n%s", code, out)
+		}
+		if m := demote.FindStringSubmatch(out); m != nil && m[1] == "1" {
+			inject, corrupted = spec, out
+			break
+		}
+	}
+	if inject == "" {
+		t.Fatal("no injection call produced a demotable fabricated detection")
+	}
+	if !strings.Contains(corrupted, "miscompare:") || !strings.Contains(corrupted, "reference never detects") {
+		t.Fatalf("missing structured miscompare record:\n%s", corrupted)
+	}
+	if !strings.Contains(corrupted, "1 audit)") {
+		t.Fatalf("demoted fault not quarantined under the audit reason:\n%s", corrupted)
+	}
+
+	// Strict mode turns the same miscompare into a non-zero exit.
+	code, out := runWith(inject, "-audit=strict")
+	if code != exitAuditFailed {
+		t.Fatalf("strict audit of corrupted run exited %d, want %d:\n%s", code, exitAuditFailed, out)
+	}
+	if !strings.Contains(out, "strict audit failed") {
+		t.Fatalf("missing strict failure notice:\n%s", out)
+	}
+}
+
+// The audit/retry flags are rejected where they cannot work, and bad -audit
+// values are flag errors.
+func TestAuditFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-circuit", "s27", "-mode", "simga", "-audit"}, &out, &out); code != 1 {
+		t.Errorf("simga -audit: exit %d, want 1", code)
+	}
+	if code := run([]string{"-circuit", "s27", "-mode", "alternating", "-retry", "2"}, &out, &out); code != 1 {
+		t.Errorf("alternating -retry: exit %d, want 1", code)
+	}
+	if code := run([]string{"-circuit", "s27", "-audit=banana"}, &out, &out); code != 2 {
+		t.Errorf("-audit=banana: exit %d, want 2", code)
 	}
 }
 

@@ -22,6 +22,14 @@
 // test set for the same seed. A fault-injection harness (runctl.Hooks)
 // exercises these paths in the tests.
 //
+// Runs are also independently verifiable: internal/audit replays every
+// detection claim on the serial reference simulator and demotes claims the
+// oracle cannot reproduce (atpg -audit; -audit=strict exits non-zero on any
+// miscompare), the hybrid driver quarantines faults that failed audit,
+// panicked, or exhausted their budget and re-targets them with escalated
+// budgets (-retry), and checkpoint journals carry a schema version and a
+// structural circuit fingerprint that Resume validates before trusting them.
+//
 // See README.md for a tour, DESIGN.md for the architecture and the
 // paper-to-code experiment index, and EXPERIMENTS.md for measured results.
 // The root test file bench_test.go regenerates every table and figure of

@@ -1,0 +1,227 @@
+// Package audit independently verifies a generated test set: every fault the
+// bit-parallel PROOFS-style fault simulator claims to detect is replayed
+// against the serial reference simulator (sim.Serial), one fault at a time,
+// and the detection must reproduce — same fault, same test set, no shared
+// code with the packed 3-valued engine beyond the netlist itself.
+//
+// The trust model is "tests as proofs": the coverage number a run reports is
+// only as good as the simulator that produced it, and a silent miscompare in
+// packed evaluation inflates coverage with no way to notice. The audit turns
+// each detection claim into a checkable statement — "vector v drives a
+// binary value at some primary output that the faulty machine contradicts" —
+// and demotes claims the reference simulator cannot reproduce to unverified
+// instead of trusting them.
+//
+// The replay contract matches the incremental grading discipline of
+// faultsim.Simulator: the good machine and every faulty machine start from
+// power-on (all flip-flops unknown, stuck stems held at their stuck value)
+// and step through the concatenation of all test sequences without any reset
+// in between.
+package audit
+
+import (
+	"context"
+	"fmt"
+
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+	"gahitec/internal/sim"
+)
+
+// Claim is one detection asserted by the bit-parallel fault simulator: the
+// fault and the global index (across the concatenated test set) of the
+// vector it was first detected at.
+type Claim struct {
+	Fault  fault.Fault
+	Vector int
+}
+
+// Verdict is the outcome of auditing one claim.
+type Verdict uint8
+
+const (
+	// Unverified: the serial reference never detects the fault anywhere in
+	// the test set. The claim is demoted — the fault must not be counted as
+	// covered.
+	Unverified Verdict = iota
+	// Confirmed: the serial reference detects the fault at exactly the
+	// claimed vector.
+	Confirmed
+	// ConfirmedOther: the serial reference detects the fault, but at a
+	// different vector than claimed. The detection is real, but the two
+	// engines disagree — still a miscompare for strict accounting.
+	ConfirmedOther
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Confirmed:
+		return "confirmed"
+	case ConfirmedOther:
+		return "confirmed-other-vector"
+	default:
+		return "unverified"
+	}
+}
+
+// Record is the structured audit result for one claim: the fault, where the
+// detection was claimed versus where (if anywhere) the reference simulator
+// observed it, and the primary-output values at the decisive vector — the
+// reference's detecting vector when one exists, else the claimed vector, so
+// an unverified record shows exactly the non-miscompare that voids the
+// claim.
+type Record struct {
+	Fault   fault.Fault
+	Claimed int // claimed detecting vector (global index)
+	Serial  int // reference detecting vector, -1 if never detected
+
+	// Expected is the good machine's PO vector at the decisive vector;
+	// Observed is the faulty machine's.
+	Expected logic.Vector
+	Observed logic.Vector
+
+	Verdict Verdict
+}
+
+// String renders the record for reports and error messages.
+func (r Record) String(c *netlist.Circuit) string {
+	switch r.Verdict {
+	case Confirmed:
+		return fmt.Sprintf("%s: confirmed at vector %d", r.Fault.String(c), r.Claimed)
+	case ConfirmedOther:
+		return fmt.Sprintf("%s: claimed at vector %d, reference detects at %d",
+			r.Fault.String(c), r.Claimed, r.Serial)
+	default:
+		return fmt.Sprintf("%s: claimed at vector %d, reference never detects (PO good=%s faulty=%s)",
+			r.Fault.String(c), r.Claimed, r.Expected, r.Observed)
+	}
+}
+
+// Report is the outcome of auditing a whole test set.
+type Report struct {
+	Vectors int // vectors replayed (concatenated test set length)
+	Claims  int // claims audited
+
+	Confirmed      int
+	ConfirmedOther int
+	Unverified     int
+
+	// Records holds one entry per claim, in claim order.
+	Records []Record
+}
+
+// Clean reports whether every claim was confirmed at its claimed vector —
+// the strict-mode criterion.
+func (r *Report) Clean() bool { return r.ConfirmedOther == 0 && r.Unverified == 0 }
+
+// Demoted returns the faults whose claims could not be verified at all.
+func (r *Report) Demoted() []fault.Fault {
+	var out []fault.Fault
+	for _, rec := range r.Records {
+		if rec.Verdict == Unverified {
+			out = append(out, rec.Fault)
+		}
+	}
+	return out
+}
+
+// VerifiedDetections returns the number of claims whose detection the
+// reference simulator reproduced (at the claimed vector or elsewhere) — the
+// audited coverage numerator.
+func (r *Report) VerifiedDetections() int { return r.Confirmed + r.ConfirmedOther }
+
+// Verify audits every claim against the serial reference simulator. The good
+// machine is replayed once over the concatenated test set; then each claimed
+// fault is injected into a fresh serial machine and replayed from power-on,
+// exactly mirroring the bit-parallel simulator's incremental grading (no
+// reset between sequences, faulty flip-flop stems held from power-on).
+//
+// ctx bounds the replay: cancellation between faults returns the error with
+// a nil report. A claim whose vector index is out of range is recorded as
+// Unverified with Serial -1 rather than rejected, so a corrupted detection
+// log is surfaced through the same demotion path as a miscompare.
+func Verify(ctx context.Context, c *netlist.Circuit, testSet [][]logic.Vector, claims []Claim) (*Report, error) {
+	var seq []logic.Vector
+	for _, s := range testSet {
+		seq = append(seq, s...)
+	}
+
+	// One good-machine replay serves every claim.
+	good := sim.NewSerial(c)
+	goodOut := make([]logic.Vector, len(seq))
+	for i, in := range seq {
+		goodOut[i] = good.Step(in)
+	}
+
+	rep := &Report{Vectors: len(seq), Claims: len(claims)}
+	for _, cl := range claims {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rec := auditClaim(c, cl, seq, goodOut)
+		switch rec.Verdict {
+		case Confirmed:
+			rep.Confirmed++
+		case ConfirmedOther:
+			rep.ConfirmedOther++
+		default:
+			rep.Unverified++
+		}
+		rep.Records = append(rep.Records, rec)
+	}
+	return rep, nil
+}
+
+// auditClaim replays one faulty machine over the whole test set and compares
+// against the recorded good-machine outputs.
+func auditClaim(c *netlist.Circuit, cl Claim, seq []logic.Vector, goodOut []logic.Vector) Record {
+	rec := Record{Fault: cl.Fault, Claimed: cl.Vector, Serial: -1}
+
+	bad := sim.NewSerial(c)
+	bad.InjectFault(cl.Fault)
+	for i, in := range seq {
+		out := bad.Step(in)
+		if miscompares(goodOut[i], out) {
+			rec.Serial = i
+			rec.Expected = goodOut[i].Clone()
+			rec.Observed = out
+			break
+		}
+	}
+
+	switch {
+	case rec.Serial == cl.Vector:
+		rec.Verdict = Confirmed
+	case rec.Serial >= 0:
+		rec.Verdict = ConfirmedOther
+	default:
+		rec.Verdict = Unverified
+		// Show the PO values at the claimed vector: the evidence that no
+		// miscompare happens where one was claimed. Replaying up to the
+		// claimed vector again is cheap relative to the full sweep above.
+		if cl.Vector >= 0 && cl.Vector < len(seq) {
+			bad := sim.NewSerial(c)
+			bad.InjectFault(cl.Fault)
+			var out logic.Vector
+			for i := 0; i <= cl.Vector; i++ {
+				out = bad.Step(seq[i])
+			}
+			rec.Expected = goodOut[cl.Vector].Clone()
+			rec.Observed = out
+		}
+	}
+	return rec
+}
+
+// miscompares applies HITEC's conservative detection rule: some primary
+// output must carry a binary value in both machines, and the values must
+// differ. Unknowns never count.
+func miscompares(good, bad logic.Vector) bool {
+	for i, g := range good {
+		if g.IsKnown() && bad[i].IsKnown() && g != bad[i] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,182 @@
+package audit
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+// A small sequential circuit: q latches (a OR q), z observes (b AND q).
+const latchSrc = `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+q = DFF(d)
+d = OR(a, q)
+z = AND(b, q)
+`
+
+func latchCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(latchSrc, "latch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func vec(t *testing.T, s string) logic.Vector {
+	t.Helper()
+	v, err := logic.ParseVector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// grade runs the bit-parallel simulator over the test set and returns its
+// claims plus the still-undetected faults.
+func grade(t *testing.T, c *netlist.Circuit, testSet [][]logic.Vector) ([]Claim, []fault.Fault) {
+	t.Helper()
+	fs := faultsim.New(c, fault.Collapse(c))
+	for _, seq := range testSet {
+		fs.ApplySequence(seq)
+	}
+	var claims []Claim
+	for _, d := range fs.Detections() {
+		claims = append(claims, Claim{Fault: d.Fault, Vector: d.Vector})
+	}
+	return claims, fs.Remaining()
+}
+
+func testSet(t *testing.T) [][]logic.Vector {
+	return [][]logic.Vector{
+		{vec(t, "11"), vec(t, "11"), vec(t, "01")},
+		{vec(t, "00"), vec(t, "01")},
+	}
+}
+
+// Every genuine bit-parallel detection must reproduce on the serial
+// reference at exactly the claimed vector.
+func TestAuditConfirmsGenuineDetections(t *testing.T) {
+	c := latchCircuit(t)
+	set := testSet(t)
+	claims, _ := grade(t, c, set)
+	if len(claims) == 0 {
+		t.Fatal("test set detected nothing; test is vacuous")
+	}
+
+	rep, err := Verify(context.Background(), c, set, claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("genuine detections did not audit clean: %+v", rep)
+	}
+	if rep.Confirmed != len(claims) || rep.Claims != len(claims) {
+		t.Fatalf("confirmed %d of %d claims", rep.Confirmed, len(claims))
+	}
+	if rep.VerifiedDetections() != len(claims) {
+		t.Fatalf("VerifiedDetections = %d, want %d", rep.VerifiedDetections(), len(claims))
+	}
+	if rep.Vectors != 5 {
+		t.Fatalf("replayed %d vectors, want 5", rep.Vectors)
+	}
+}
+
+// A fabricated claim — a fault the reference simulator never sees detected —
+// is demoted to unverified, and only that claim.
+func TestAuditDemotesFabricatedClaim(t *testing.T) {
+	c := latchCircuit(t)
+	set := testSet(t)
+	claims, remaining := grade(t, c, set)
+	if len(remaining) == 0 {
+		t.Fatal("no undetected fault available to fabricate a claim for")
+	}
+	bogus := remaining[0]
+	claims = append(claims, Claim{Fault: bogus, Vector: 0})
+
+	rep, err := Verify(context.Background(), c, set, claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unverified != 1 {
+		t.Fatalf("unverified = %d, want exactly 1", rep.Unverified)
+	}
+	demoted := rep.Demoted()
+	if len(demoted) != 1 || demoted[0] != bogus {
+		t.Fatalf("demoted %v, want [%s]", demoted, bogus.String(c))
+	}
+	rec := rep.Records[len(rep.Records)-1]
+	if rec.Verdict != Unverified || rec.Serial != -1 {
+		t.Fatalf("bogus claim record: %+v", rec)
+	}
+	if len(rec.Expected) != len(c.POs) || len(rec.Observed) != len(c.POs) {
+		t.Fatalf("record missing PO evidence: %+v", rec)
+	}
+	if rep.Clean() {
+		t.Fatal("report with a demotion claims to be clean")
+	}
+	if !strings.Contains(rec.String(c), "never detects") {
+		t.Fatalf("unhelpful record rendering: %s", rec.String(c))
+	}
+}
+
+// A claim whose vector index disagrees with the reference's detection is a
+// miscompare even though the detection itself is real.
+func TestAuditFlagsShiftedClaim(t *testing.T) {
+	c := latchCircuit(t)
+	set := testSet(t)
+	claims, _ := grade(t, c, set)
+	if len(claims) == 0 {
+		t.Fatal("no claims")
+	}
+	claims[0].Vector++
+
+	rep, err := Verify(context.Background(), c, set, claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConfirmedOther != 1 {
+		t.Fatalf("confirmed-other = %d, want 1: %+v", rep.ConfirmedOther, rep.Records[0])
+	}
+	if rep.Clean() {
+		t.Fatal("index disagreement not treated as a miscompare")
+	}
+	// The detection is still real: it counts toward audited coverage.
+	if rep.VerifiedDetections() != len(claims) {
+		t.Fatalf("VerifiedDetections = %d, want %d", rep.VerifiedDetections(), len(claims))
+	}
+}
+
+// An out-of-range claimed vector is demoted, not a crash.
+func TestAuditOutOfRangeClaim(t *testing.T) {
+	c := latchCircuit(t)
+	set := testSet(t)
+	_, remaining := grade(t, c, set)
+	claims := []Claim{{Fault: remaining[0], Vector: 999}}
+	rep, err := Verify(context.Background(), c, set, claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unverified != 1 {
+		t.Fatalf("out-of-range claim not demoted: %+v", rep.Records)
+	}
+}
+
+func TestAuditHonorsCancellation(t *testing.T) {
+	c := latchCircuit(t)
+	set := testSet(t)
+	claims, _ := grade(t, c, set)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Verify(ctx, c, set, claims); err == nil {
+		t.Fatal("cancelled audit returned no error")
+	}
+}

@@ -14,12 +14,19 @@ package bench
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"unicode"
 
 	"gahitec/internal/netlist"
 )
+
+// MaxLineBytes bounds one .bench line. A longer line is a malformed (or
+// hostile) input and is rejected with its line number rather than surfacing
+// as a bare bufio.ErrTooLong.
+const MaxLineBytes = 1 << 20
 
 var kindByKeyword = map[string]netlist.Kind{
 	"BUF":    netlist.KBuf,
@@ -37,12 +44,34 @@ var kindByKeyword = map[string]netlist.Kind{
 	"CONST1": netlist.KConst1,
 }
 
+// parseState tracks definitions and references across lines, so diagnostics
+// the Builder can only raise at Build time ("referenced but never defined")
+// come back with the line that introduced the problem.
+type parseState struct {
+	defined  map[string]bool
+	firstRef map[string]int // signal -> line of its first use
+}
+
+func (st *parseState) def(name string) { st.defined[name] = true }
+
+func (st *parseState) ref(name string, line int) {
+	if _, ok := st.firstRef[name]; !ok {
+		st.firstRef[name] = line
+	}
+}
+
 // Parse reads a .bench description and returns the circuit. The name
 // parameter names the resulting circuit (the format has no name directive).
+//
+// Parse validates more than the Builder requires so that every rejection
+// carries a line number: duplicate signal definitions, signals used but
+// never defined, malformed names, and over-long lines are all reported with
+// the offending line.
 func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
 	b := netlist.NewBuilder(name)
 	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	scanner.Buffer(make([]byte, 64*1024), MaxLineBytes)
+	st := &parseState{defined: make(map[string]bool), firstRef: make(map[string]int)}
 	lineNo := 0
 	for scanner.Scan() {
 		lineNo++
@@ -54,12 +83,30 @@ func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
 		if line == "" {
 			continue
 		}
-		if err := parseLine(b, line); err != nil {
+		if err := parseLine(b, st, lineNo, line); err != nil {
 			return nil, fmt.Errorf("bench %s line %d: %w", name, lineNo, err)
 		}
 	}
 	if err := scanner.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("bench %s line %d: line longer than %d bytes", name, lineNo+1, MaxLineBytes)
+		}
 		return nil, fmt.Errorf("bench %s: %w", name, err)
+	}
+	// Undefined references, reported at their first use (earliest line wins;
+	// name order breaks ties so the diagnostic is deterministic).
+	var bad string
+	badLine := 0
+	for n, ln := range st.firstRef {
+		if st.defined[n] {
+			continue
+		}
+		if badLine == 0 || ln < badLine || (ln == badLine && n < bad) {
+			bad, badLine = n, ln
+		}
+	}
+	if badLine != 0 {
+		return nil, fmt.Errorf("bench %s line %d: signal %q referenced but never defined", name, badLine, bad)
 	}
 	return b.Build()
 }
@@ -69,7 +116,21 @@ func ParseString(s, name string) (*netlist.Circuit, error) {
 	return Parse(strings.NewReader(s), name)
 }
 
-func parseLine(b *netlist.Builder, line string) error {
+// checkName enforces the documented signal-name rule: any non-whitespace
+// characters except '(', ')', ',' and '='.
+func checkName(name string) error {
+	for _, r := range name {
+		switch {
+		case r == '(' || r == ')' || r == ',' || r == '=':
+			return fmt.Errorf("signal name %q contains %q", name, r)
+		case unicode.IsSpace(r):
+			return fmt.Errorf("signal name %q contains whitespace", name)
+		}
+	}
+	return nil
+}
+
+func parseLine(b *netlist.Builder, st *parseState, lineNo int, line string) error {
 	upper := strings.ToUpper(line)
 	switch {
 	case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "INPUT ("):
@@ -77,6 +138,13 @@ func parseLine(b *netlist.Builder, line string) error {
 		if err != nil {
 			return err
 		}
+		if err := checkName(name); err != nil {
+			return err
+		}
+		if st.defined[name] {
+			return fmt.Errorf("signal %q defined twice", name)
+		}
+		st.def(name)
 		b.Input(name)
 		return b.Err()
 	case strings.HasPrefix(upper, "OUTPUT(") || strings.HasPrefix(upper, "OUTPUT ("):
@@ -84,6 +152,10 @@ func parseLine(b *netlist.Builder, line string) error {
 		if err != nil {
 			return err
 		}
+		if err := checkName(name); err != nil {
+			return err
+		}
+		st.ref(name, lineNo)
 		b.Output(name)
 		return b.Err()
 	}
@@ -96,11 +168,20 @@ func parseLine(b *netlist.Builder, line string) error {
 	if target == "" {
 		return fmt.Errorf("missing target in %q", line)
 	}
+	if err := checkName(target); err != nil {
+		return err
+	}
+	if st.defined[target] {
+		return fmt.Errorf("signal %q defined twice", target)
+	}
 	rhs := strings.TrimSpace(line[eq+1:])
 	open := strings.IndexByte(rhs, '(')
 	close_ := strings.LastIndexByte(rhs, ')')
 	if open < 0 || close_ < open {
 		return fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	if rest := strings.TrimSpace(rhs[close_+1:]); rest != "" {
+		return fmt.Errorf("trailing %q after gate expression", rest)
 	}
 	keyword := strings.ToUpper(strings.TrimSpace(rhs[:open]))
 	kind, ok := kindByKeyword[keyword]
@@ -115,6 +196,9 @@ func parseLine(b *netlist.Builder, line string) error {
 			if a == "" {
 				return fmt.Errorf("empty operand in %q", rhs)
 			}
+			if err := checkName(a); err != nil {
+				return err
+			}
 			args = append(args, a)
 		}
 	}
@@ -123,11 +207,14 @@ func parseLine(b *netlist.Builder, line string) error {
 		if len(args) != 1 {
 			return fmt.Errorf("DFF takes one operand, got %d", len(args))
 		}
+		st.def(target)
+		st.ref(args[0], lineNo)
 		b.DFF(target, b.Ref(args[0]))
 	case netlist.KConst0, netlist.KConst1:
 		if len(args) != 0 {
 			return fmt.Errorf("constant takes no operands")
 		}
+		st.def(target)
 		b.Const(target, kind == netlist.KConst1)
 	default:
 		if len(args) == 0 {
@@ -135,8 +222,10 @@ func parseLine(b *netlist.Builder, line string) error {
 		}
 		ids := make([]netlist.ID, len(args))
 		for i, a := range args {
+			st.ref(a, lineNo)
 			ids[i] = b.Ref(a)
 		}
+		st.def(target)
 		b.Gate(kind, target, ids...)
 	}
 	return b.Err()

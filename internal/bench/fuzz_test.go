@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"gahitec/internal/netlist"
+)
+
+// shape canonicalizes a circuit by names, independent of node numbering
+// (the builder renumbers nodes at Build time, so numbering is not a
+// round-trip invariant — netlist.Fingerprint deliberately is not either).
+func shape(c *netlist.Circuit) string {
+	lines := make([]string, 0, len(c.Nodes)+3)
+	byName := func(ids []netlist.ID) []string {
+		names := make([]string, len(ids))
+		for i, id := range ids {
+			names[i] = c.Nodes[id].Name
+		}
+		return names
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		lines = append(lines, fmt.Sprintf("%s=%s(%s)", n.Name, n.Kind, strings.Join(byName(n.Fanin), ",")))
+	}
+	sort.Strings(lines)
+	lines = append(lines,
+		"PI:"+strings.Join(byName(c.PIs), ","),
+		"PO:"+strings.Join(byName(c.POs), ","),
+		"FF:"+strings.Join(byName(c.DFFs), ","))
+	return strings.Join(lines, "\n")
+}
+
+// FuzzParse checks the parser's two safety properties on arbitrary input:
+// it never panics (it must reject, not crash, on hostile files), and any
+// input it accepts round-trips — the written form re-parses to a circuit
+// with the same named structure.
+func FuzzParse(f *testing.F) {
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("INPUT(a)\nOUTPUT(q)\nq = DFF(g)\ng = AND(a, q)\n")
+	f.Add("# comment\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XNOR(a, b)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = CONST1()\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a) junk\n")
+	f.Add("y = AND(,)\n")
+	f.Add("INPUT(a)\nINPUT(a)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return
+		}
+		text := WriteString(c)
+		c2, err := ParseString(text, "fuzz")
+		if err != nil {
+			t.Fatalf("accepted input does not round-trip: %v\ninput: %q\nwritten:\n%s", err, src, text)
+		}
+		if got, want := shape(c2), shape(c); got != want {
+			t.Fatalf("round-trip changed structure:\n--- reparsed ---\n%s\n--- original ---\n%s\ninput: %q", got, want, src)
+		}
+	})
+}

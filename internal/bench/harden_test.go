@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every hardening rejection names the offending line, so a bad file in a
+// thousand-line benchmark suite is a one-look fix.
+func TestParseHardeningDiagnostics(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{
+			"duplicate gate definition",
+			"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)",
+			`line 4: signal "y" defined twice`,
+		},
+		{
+			"duplicate input",
+			"INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)",
+			`line 2: signal "a" defined twice`,
+		},
+		{
+			"input shadowing gate",
+			"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nINPUT(y)",
+			`line 4: signal "y" defined twice`,
+		},
+		{
+			"undefined operand",
+			"INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)",
+			`line 3: signal "ghost" referenced but never defined`,
+		},
+		{
+			"undefined output",
+			"INPUT(a)\nOUTPUT(nope)\nOUTPUT(y)\ny = NOT(a)",
+			`line 2: signal "nope" referenced but never defined`,
+		},
+		{
+			"undefined dff input",
+			"INPUT(a)\nOUTPUT(q)\nq = DFF(missing)",
+			`line 3: signal "missing" referenced but never defined`,
+		},
+		{
+			"trailing garbage after gate",
+			"INPUT(a)\nOUTPUT(y)\ny = NOT(a) junk",
+			`line 3: trailing "junk" after gate expression`,
+		},
+		{
+			"equals in name",
+			"INPUT(a=b)\nOUTPUT(y)\ny = CONST0()",
+			`line 1: signal name "a=b" contains '='`,
+		},
+		{
+			"paren in operand",
+			"INPUT(a)\nOUTPUT(y)\ny = AND(a, NOT(a)",
+			"line 3:",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.src, "h")
+			if err == nil {
+				t.Fatal("accepted invalid input")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// The earliest undefined reference wins, no matter how many there are.
+func TestParseUndefinedReportsEarliestLine(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = AND(first, second)\nz = OR(a, third)"
+	_, err := ParseString(src, "h")
+	if err == nil {
+		t.Fatal("accepted invalid input")
+	}
+	if !strings.Contains(err.Error(), `line 3: signal "first"`) {
+		t.Fatalf("error %q should report the earliest undefined signal", err)
+	}
+}
+
+func TestParseRejectsOverlongLine(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n# " + strings.Repeat("x", MaxLineBytes+1)
+	_, err := ParseString(src, "h")
+	if err == nil {
+		t.Fatal("accepted over-long line")
+	}
+	if !strings.Contains(err.Error(), "line 4: line longer than") {
+		t.Fatalf("error %q should name line 4 and the limit", err)
+	}
+}
+
+// A line just under the limit still parses (the scanner buffer grows to it).
+func TestParseAcceptsLongComment(t *testing.T) {
+	src := "# " + strings.Repeat("x", 100_000) + "\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)"
+	if _, err := ParseString(src, "h"); err != nil {
+		t.Fatal(err)
+	}
+}

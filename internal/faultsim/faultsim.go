@@ -16,8 +16,16 @@ import (
 	"gahitec/internal/fault"
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
+	"gahitec/internal/runctl"
 	"gahitec/internal/sim"
 )
+
+// SiteWord is the fault-injection site consulted once per (batch, vector)
+// evaluation. Arming it with runctl.ActCorrupt flips one lane of one packed
+// primary-output word — the smallest possible silent miscompare in the
+// bit-parallel engine — so the tests can prove the independent audit
+// catches a corrupted detection instead of trusting it.
+const SiteWord = "faultsim.word"
 
 // Detection records one detected fault.
 type Detection struct {
@@ -37,7 +45,13 @@ type Simulator struct {
 	detections []Detection
 	potential  map[fault.Fault]bool // potentially detected (good known, faulty X)
 	nVectors   int
+
+	hooks *runctl.Hooks // fault-injection harness; nil when disarmed
 }
+
+// SetHooks installs the fault-injection harness consulted at SiteWord. A nil
+// harness is inert.
+func (s *Simulator) SetHooks(h *runctl.Hooks) { s.hooks = h }
 
 // New returns a Simulator over the given fault list. All machines start in
 // the all-unknown state (stuck flip-flop stems start at their stuck value).
@@ -165,6 +179,9 @@ func (s *Simulator) runBatch(base, end int, seq []logic.Vector, goodOut []logic.
 	done := uint64(0) // lanes already detected
 	for vi, in := range seq {
 		b.settle(in)
+		if s.hooks.Enter(SiteWord) == runctl.ActCorrupt {
+			corruptWord(s.c, b, n, goodOut[vi], done)
+		}
 		for poi, po := range s.c.POs {
 			g := goodOut[vi][poi]
 			if !g.IsKnown() {
@@ -201,6 +218,31 @@ func (s *Simulator) runBatch(base, end int, seq []logic.Vector, goodOut []logic.
 		w := b.val[ff]
 		for l := 0; l < n; l++ {
 			s.fstate[base+l][ffi] = w.Get(l)
+		}
+	}
+}
+
+// corruptWord simulates the smallest silent packed-evaluation bug: it finds
+// the first primary output whose good value is binary and the first live
+// lane (< n, not yet detected) that currently agrees with it, and flips that
+// lane to the complement. The fault in that lane is then spuriously
+// "detected" by the comparison loop that follows — exactly the class of
+// miscompare the independent audit exists to catch.
+func corruptWord(c *netlist.Circuit, b *batch, n int, good logic.Vector, done uint64) {
+	for poi, po := range c.POs {
+		g := good[poi]
+		if !g.IsKnown() {
+			continue
+		}
+		w := b.val[po]
+		for l := 0; l < n; l++ {
+			if done&(1<<uint(l)) != 0 {
+				continue
+			}
+			if w.Get(l) == g {
+				b.val[po] = w.WithLane(l, g.Not())
+				return
+			}
 		}
 	}
 }

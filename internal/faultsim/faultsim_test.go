@@ -8,6 +8,7 @@ import (
 	"gahitec/internal/fault"
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
+	"gahitec/internal/runctl"
 	"gahitec/internal/sim"
 	"gahitec/internal/testgen"
 )
@@ -209,5 +210,51 @@ func TestGoodStateTracksSerial(t *testing.T) {
 	}
 	if fs.GoodState().String() != ref.State().String() {
 		t.Fatalf("good state %s != serial %s", fs.GoodState(), ref.State())
+	}
+}
+
+// An armed ActCorrupt rule flips exactly one live lane of one packed PO
+// word, fabricating exactly one detection that the serial oracle refutes at
+// the claimed vector.
+func TestCorruptionHookFabricatesOneDetection(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+	rng := rand.New(rand.NewSource(5))
+	var seq []logic.Vector
+	for i := 0; i < 6; i++ {
+		v := make(logic.Vector, len(c.PIs))
+		for j := range v {
+			v[j] = logic.FromBit(rng.Uint64())
+		}
+		seq = append(seq, v)
+	}
+
+	clean := New(c, faults)
+	clean.ApplySequence(seq)
+
+	dirty := New(c, faults)
+	h := runctl.NewHooks()
+	h.Arm(SiteWord, 2, runctl.ActCorrupt) // vector 1: first vector with a binary good PO
+	dirty.SetHooks(h)
+	dirty.ApplySequence(seq)
+
+	// Every clean claim must match the serial oracle exactly; the corrupted
+	// run must carry at least one claim the oracle refutes (wrong vector or
+	// no detection at all) — the miscompare the audit subsystem exists for.
+	refuted := func(s *Simulator) []Detection {
+		var out []Detection
+		for _, d := range s.Detections() {
+			if det, at := oracleDetect(c, d.Fault, seq); !det || at != d.Vector {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+	if bad := refuted(clean); len(bad) != 0 {
+		t.Fatalf("clean run already disagrees with the oracle: %v", bad)
+	}
+	bad := refuted(dirty)
+	if len(bad) != 1 {
+		t.Fatalf("corrupted run has %d refutable claims, want exactly 1: %v", len(bad), bad)
 	}
 }

@@ -9,7 +9,10 @@ import (
 )
 
 // CheckpointVersion is the journal format version written by this build.
-const CheckpointVersion = 1
+// Version 2 added the circuit structural fingerprint and the quarantine
+// list; version-1 journals are refused rather than resumed with unchecked
+// assumptions.
+const CheckpointVersion = 2
 
 // Checkpoint is a resumable snapshot of a hybrid run, always taken at a
 // fault boundary (never mid-search). It records everything Resume needs to
@@ -21,10 +24,17 @@ const CheckpointVersion = 1
 // The struct is plain JSON; runctl.SaveJSON writes it atomically so an
 // interrupted writer never leaves a torn journal.
 type Checkpoint struct {
-	Version     int    `json:"version"`
-	Circuit     string `json:"circuit"`
-	Seed        int64  `json:"seed"`
-	TotalFaults int    `json:"total_faults"`
+	Version int    `json:"version"`
+	Circuit string `json:"circuit"`
+
+	// Fingerprint is the circuit's structural hash (netlist.Fingerprint).
+	// The name alone cannot tell two revisions of a netlist apart, and
+	// replaying a journal against a changed circuit silently produces
+	// garbage; Validate refuses the mismatch instead.
+	Fingerprint string `json:"fingerprint"`
+
+	Seed        int64 `json:"seed"`
+	TotalFaults int   `json:"total_faults"`
 
 	// PassIndex and FaultIndex locate the next fault to target: the
 	// FaultIndex-th entry of the PassIndex-th pass's target snapshot.
@@ -52,6 +62,19 @@ type Checkpoint struct {
 	Passes     []PassStats  `json:"passes"`
 	Phases     PhaseStats   `json:"phases"`
 	FirstPanic string       `json:"first_panic,omitempty"`
+
+	// Quarantine carries the faults set aside for the end-of-run retry
+	// phase, in capture order, so a resumed run retries exactly what the
+	// uninterrupted run would have.
+	Quarantine []SavedQuarantine `json:"quarantine,omitempty"`
+}
+
+// SavedQuarantine is the JSON form of one quarantine entry.
+type SavedQuarantine struct {
+	Fault    SavedFault `json:"fault"`
+	Reason   string     `json:"reason"`
+	Attempts int        `json:"attempts,omitempty"`
+	Resolved bool       `json:"resolved,omitempty"`
 }
 
 // SavedFault is the JSON form of a fault site. Node indices are stable for
@@ -122,6 +145,9 @@ func (ck *Checkpoint) Validate(c *netlist.Circuit, cfg Config, totalFaults int) 
 		return fmt.Errorf("hybrid: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
 	case ck.Circuit != c.Name:
 		return fmt.Errorf("hybrid: checkpoint is for circuit %q, not %q", ck.Circuit, c.Name)
+	case ck.Fingerprint != c.Fingerprint():
+		return fmt.Errorf("hybrid: checkpoint fingerprint %s does not match circuit %q (%s): the netlist changed since the journal was written",
+			ck.Fingerprint, c.Name, c.Fingerprint())
 	case ck.Seed != cfg.Seed:
 		return fmt.Errorf("hybrid: checkpoint seed %d does not match configured seed %d", ck.Seed, cfg.Seed)
 	case ck.TotalFaults != totalFaults:
@@ -145,6 +171,14 @@ func (ck *Checkpoint) Validate(c *netlist.Circuit, cfg Config, totalFaults int) 
 	for _, sf := range append(append([]SavedFault(nil), ck.Targets...), ck.Untestable...) {
 		if _, err := sf.fault(c); err != nil {
 			return fmt.Errorf("hybrid: bad checkpoint fault: %w", err)
+		}
+	}
+	for _, sq := range ck.Quarantine {
+		if _, err := sq.Fault.fault(c); err != nil {
+			return fmt.Errorf("hybrid: bad quarantined fault: %w", err)
+		}
+		if _, err := parseReason(sq.Reason); err != nil {
+			return err
 		}
 	}
 	return nil

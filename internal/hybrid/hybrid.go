@@ -13,7 +13,9 @@ package hybrid
 import (
 	"time"
 
+	"gahitec/internal/audit"
 	"gahitec/internal/fault"
+	"gahitec/internal/faultsim"
 	"gahitec/internal/ga"
 	"gahitec/internal/logic"
 	"gahitec/internal/runctl"
@@ -106,8 +108,23 @@ type Config struct {
 	CheckpointEvery int
 
 	// Hooks, if non-nil, is the runctl fault-injection harness, threaded
-	// into the deterministic engine and the GA justifier; test machinery.
+	// into the deterministic engine, the GA justifier, and the bit-parallel
+	// fault simulator; test machinery.
 	Hooks *runctl.Hooks
+
+	// Audit independently re-verifies every detection claim at the end of
+	// the run: the final test set is replayed on the serial reference
+	// simulator (internal/audit), one claimed fault at a time. Claims the
+	// reference cannot reproduce are demoted, recorded in Result.Audit, and
+	// quarantined for retry.
+	Audit bool
+
+	// Retry configures the end-of-run quarantine retry loop: faults that
+	// panicked, exhausted their per-fault budget, or failed the audit are
+	// re-targeted with budgets escalated per attempt (bounded by
+	// Retry.MaxAttempts; bases default to the schedule's last pass). The
+	// zero value disables retries.
+	Retry runctl.Escalation
 }
 
 // GAHITECConfig builds the paper's Table I schedule. x is the base sequence
@@ -198,6 +215,21 @@ type Result struct {
 	// recovered during the run (the fault it hit is counted in
 	// Phases.Panics and left undecided rather than killing the run).
 	FirstPanic string
+
+	// Detections is the bit-parallel simulator's full detection log (fault
+	// plus claimed detecting vector) — the claims the audit verifies. Nil
+	// when the run was interrupted before the schedule completed.
+	Detections []faultsim.Detection
+
+	// Audit is the independent verification report (Config.Audit). When the
+	// retry phase re-targeted faults, this is the post-retry re-audit. Nil
+	// when auditing was disabled or the run was interrupted first.
+	Audit *audit.Report
+
+	// Quarantine lists every fault quarantined during the run with its
+	// final disposition; Retry summarizes the retry phase.
+	Quarantine []Quarantined
+	Retry      RetryStats
 }
 
 // FaultCoverage returns detected / total.

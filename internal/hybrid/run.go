@@ -26,6 +26,10 @@ type runner struct {
 
 	res        *Result
 	untestable map[fault.Fault]bool
+	fp         string // circuit structural fingerprint, cached
+
+	quar      map[fault.Fault]*Quarantined
+	quarOrder []*Quarantined // quarantine entries in capture order
 
 	start       time.Time
 	prevElapsed time.Duration // accumulated before a resume
@@ -92,11 +96,14 @@ func newRunner(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cf
 			TotalFaults: len(faults),
 		},
 		untestable: make(map[fault.Fault]bool),
+		fp:         c.Fingerprint(),
+		quar:       make(map[fault.Fault]*Quarantined),
 	}
 	if d, ok := ctx.Deadline(); ok {
 		r.deadline = d
 	}
 	r.engine.SetHooks(cfg.Hooks)
+	r.fsim.SetHooks(cfg.Hooks)
 	return r
 }
 
@@ -128,6 +135,19 @@ func (r *runner) restore(ck *Checkpoint) error {
 	r.res.FirstPanic = ck.FirstPanic
 	r.prevElapsed = time.Duration(ck.ElapsedNS)
 	r.preprocessDone = ck.PreprocessDone
+	for _, sq := range ck.Quarantine {
+		f, err := sq.Fault.fault(r.c)
+		if err != nil {
+			return err
+		}
+		reason, err := parseReason(sq.Reason)
+		if err != nil {
+			return err
+		}
+		q := r.quarantineFault(f, reason)
+		q.Attempts = sq.Attempts
+		q.Resolved = sq.Resolved
+	}
 
 	// Replay the accumulated test set: the fault simulator re-derives the
 	// detection state deterministically, and the pass's target snapshot is
@@ -204,6 +224,31 @@ func (r *runner) run() *Result {
 			break
 		}
 	}
+	return r.verifyAndRetry()
+}
+
+// verifyAndRetry runs the trust-but-verify tail of a completed schedule:
+// audit the detection claims, re-target quarantined faults with escalated
+// budgets, and re-audit if the retry phase changed the test set. The tail
+// also runs after an early stop via Config.Continue — the test set is final
+// either way — but not after an interrupt, where the checkpoint takes over.
+func (r *runner) verifyAndRetry() *Result {
+	r.snapshotDetections()
+	if r.cfg.Audit && !r.runAudit() {
+		return r.interrupted()
+	}
+	if !r.retryQuarantined() {
+		r.finalizeQuarantine()
+		return r.interrupted()
+	}
+	if r.res.Retry.Retried > 0 {
+		r.snapshotDetections()
+		if r.cfg.Audit && !r.runAudit() {
+			r.finalizeQuarantine()
+			return r.interrupted()
+		}
+	}
+	r.finalizeQuarantine()
 	return r.res
 }
 
@@ -242,6 +287,7 @@ func (r *runner) snapshot(pi, fi, passStartSeqs int) *Checkpoint {
 	ck := &Checkpoint{
 		Version:        CheckpointVersion,
 		Circuit:        r.c.Name,
+		Fingerprint:    r.fp,
 		Seed:           r.cfg.Seed,
 		TotalFaults:    r.res.TotalFaults,
 		PassIndex:      pi,
@@ -259,6 +305,14 @@ func (r *runner) snapshot(pi, fi, passStartSeqs int) *Checkpoint {
 	ck.TestSet = make([][]string, len(r.res.TestSet))
 	for i, seq := range r.res.TestSet {
 		ck.TestSet[i] = saveSeq(seq)
+	}
+	for _, q := range r.quarOrder {
+		ck.Quarantine = append(ck.Quarantine, SavedQuarantine{
+			Fault:    saveFault(q.Fault),
+			Reason:   q.Reason.String(),
+			Attempts: q.Attempts,
+			Resolved: q.Resolved,
+		})
 	}
 	return ck
 }
@@ -338,7 +392,8 @@ func (r *runner) runPass(pi int, pass Pass, fi0 int, targets []fault.Fault, pass
 			continue
 		}
 		var newly []fault.Fault
-		ok := r.guard(func() { newly = r.targetFault(f, pass) })
+		var accepted bool
+		ok := r.guard(func() { newly, accepted = r.targetFault(f, pass) })
 		if r.expired() {
 			// The run context died while this fault's search was in flight,
 			// possibly clipping it mid-search. Its outcome is not what an
@@ -347,21 +402,31 @@ func (r *runner) runPass(pi int, pass Pass, fi0 int, targets []fault.Fault, pass
 			// boundary's snapshot stand as the last consistent state.
 			return false
 		}
-		if ok {
+		switch {
+		case !ok:
+			r.quarantineFault(f, ReasonPanic)
+		case accepted:
 			for _, g := range newly {
 				delete(stillRemaining, g)
 			}
+		case !r.untestable[f]:
+			// Undecided: the fault's budget expired without a test or an
+			// untestability proof. Quarantine it for the end-of-run retry.
+			r.quarantineFault(f, ReasonBudget)
 		}
 		r.noteBoundary(pi, fi+1, passStartSeqs, false)
 	}
 	return true
 }
 
-// targetFault runs the Fig. 1 flow for one fault and returns the faults
-// newly detected by any accepted test. The fault's whole budget — the
-// pass's wall-clock allowance and the run context — is carried by a derived
-// context; the engine folds it into its search budget.
-func (r *runner) targetFault(f fault.Fault, pass Pass) []fault.Fault {
+// targetFault runs the Fig. 1 flow for one fault. It returns the faults
+// newly detected by an accepted test, plus whether a test was accepted at
+// all — false means the fault ended the attempt undecided (budget expired
+// or proven untestable; the caller distinguishes via r.untestable). The
+// fault's whole budget — the pass's wall-clock allowance and the run
+// context — is carried by a derived context; the engine folds it into its
+// search budget.
+func (r *runner) targetFault(f fault.Fault, pass Pass) ([]fault.Fault, bool) {
 	fctx := r.ctx
 	if pass.TimePerFault > 0 {
 		var cancel context.CancelFunc
@@ -381,20 +446,20 @@ func (r *runner) targetFault(f fault.Fault, pass Pass) []fault.Fault {
 		gen := r.engine.GenerateNthCtx(fctx, f, lim, attempt)
 		switch gen.Status {
 		case atpg.Untestable:
-			if attempt == 0 {
+			if attempt == 0 && !r.untestable[f] {
 				r.untestable[f] = true
 				r.res.Untestable = append(r.res.Untestable, f)
 			}
-			return nil
+			return nil, false
 		case atpg.Aborted:
-			return nil
+			return nil, false
 		}
 		r.res.Phases.ExciteProp++
 
 		seq, ok := r.justifyAndBuild(fctx, f, pass, gen)
 		if !ok {
 			if fctx.Err() != nil {
-				return nil
+				return nil, false
 			}
 			continue // backtrack into propagation: try the next solution
 		}
@@ -403,17 +468,24 @@ func (r *runner) targetFault(f fault.Fault, pass Pass) []fault.Fault {
 		if det, _ := faultsim.DetectsFrom(r.c, f, r.fsim.GoodState(), nil, seq); !det {
 			r.res.Phases.VerifyFailures++
 			if fctx.Err() != nil {
-				return nil
+				return nil, false
 			}
 			continue
 		}
 		r.res.TestSet = append(r.res.TestSet, seq)
 		r.res.Targets = append(r.res.Targets, f)
 		newly := r.fsim.ApplySequence(seq)
-		r.res.Phases.IncidentalDetects += len(newly) - 1
-		return newly
+		// Incidental = detected without being this attempt's target. When an
+		// audit-demoted fault is re-targeted it is no longer in the
+		// simulator's fault list, so the target may be absent from newly.
+		for _, g := range newly {
+			if g != f {
+				r.res.Phases.IncidentalDetects++
+			}
+		}
+		return newly, true
 	}
-	return nil
+	return nil, false
 }
 
 // justifyAndBuild runs state justification for one propagation solution and,

@@ -1,0 +1,56 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every rejected character comes back named in the error, and the fallback
+// value is the safe unknown.
+func TestParseVErrorPaths(t *testing.T) {
+	for _, c := range []byte{'2', '?', ' ', 'b', 0, '\n', 0xff} {
+		v, err := ParseV(c)
+		if err == nil {
+			t.Errorf("ParseV(%q) accepted", c)
+			continue
+		}
+		if v != X {
+			t.Errorf("ParseV(%q) fallback = %s, want X", c, v)
+		}
+		if !strings.Contains(err.Error(), "invalid value character") {
+			t.Errorf("ParseV(%q) error %q lacks diagnostic", c, err)
+		}
+	}
+	if v, err := ParseV('x'); err != nil || v != X {
+		t.Errorf("ParseV('x') = %s, %v; want X", v, err)
+	}
+}
+
+func TestParseVectorErrorPaths(t *testing.T) {
+	cases := []string{"01?", "?01", "0 1", "01\n", "012", "abc"}
+	for _, s := range cases {
+		vec, err := ParseVector(s)
+		if err == nil {
+			t.Errorf("ParseVector(%q) accepted", s)
+			continue
+		}
+		if vec != nil {
+			t.Errorf("ParseVector(%q) returned partial vector %v with error", s, vec)
+		}
+	}
+	// The error names the first offending character, not a later one.
+	if _, err := ParseVector("0?2"); err == nil || !strings.Contains(err.Error(), `'?'`) {
+		t.Errorf("ParseVector(\"0?2\") error = %v, want mention of '?'", err)
+	}
+}
+
+func TestParseVectorEmptyAndCase(t *testing.T) {
+	vec, err := ParseVector("")
+	if err != nil || len(vec) != 0 {
+		t.Errorf("ParseVector(\"\") = %v, %v; want empty", vec, err)
+	}
+	vec, err = ParseVector("xX")
+	if err != nil || vec[0] != X || vec[1] != X {
+		t.Errorf("ParseVector(\"xX\") = %v, %v; want XX", vec, err)
+	}
+}

@@ -1,0 +1,44 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable hex digest of the circuit's identity and
+// structure: the name, every node's kind, name and fanin list, and the
+// PI/PO/DFF orderings. Two circuits with the same fingerprint have identical
+// node numbering, so serialized artifacts that store node IDs (checkpoint
+// journals, saved fault lists) are only replayable against a circuit whose
+// fingerprint matches the one recorded when they were written.
+func (c *Circuit) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	num := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		num(len(s))
+		h.Write([]byte(s))
+	}
+	ids := func(xs []ID) {
+		num(len(xs))
+		for _, x := range xs {
+			num(int(x))
+		}
+	}
+	str(c.Name)
+	num(len(c.Nodes))
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		num(int(n.Kind))
+		str(n.Name)
+		ids(n.Fanin)
+	}
+	ids(c.PIs)
+	ids(c.POs)
+	ids(c.DFFs)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -1,0 +1,60 @@
+package netlist
+
+import "testing"
+
+func buildSmall(t *testing.T, name string, extraGate bool) *Circuit {
+	t.Helper()
+	b := NewBuilder(name)
+	a := b.Input("a")
+	x := b.Input("x")
+	n := b.Gate(KNot, "n", a)
+	g := b.Gate(KAnd, "g", n, x)
+	b.DFF("q", g)
+	if extraGate {
+		b.Gate(KOr, "extra", a, x)
+	}
+	b.Output("g")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFingerprintStableAcrossRebuilds(t *testing.T) {
+	a := buildSmall(t, "c", false)
+	b := buildSmall(t, "c", false)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical circuits produced different fingerprints")
+	}
+	if len(a.Fingerprint()) != 32 {
+		t.Fatalf("unexpected fingerprint length %d", len(a.Fingerprint()))
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := buildSmall(t, "c", false)
+	if got := buildSmall(t, "c2", false).Fingerprint(); got == base.Fingerprint() {
+		t.Error("rename did not change the fingerprint")
+	}
+	if got := buildSmall(t, "c", true).Fingerprint(); got == base.Fingerprint() {
+		t.Error("structural change did not change the fingerprint")
+	}
+
+	// Same gates, different PO set: still a different circuit for replay
+	// purposes.
+	b := NewBuilder("c")
+	a := b.Input("a")
+	x := b.Input("x")
+	n := b.Gate(KNot, "n", a)
+	g := b.Gate(KAnd, "g", n, x)
+	b.DFF("q", g)
+	b.Output("n")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == base.Fingerprint() {
+		t.Error("different PO set did not change the fingerprint")
+	}
+}

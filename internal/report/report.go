@@ -8,7 +8,9 @@ import (
 	"strings"
 	"time"
 
+	"gahitec/internal/audit"
 	"gahitec/internal/hybrid"
+	"gahitec/internal/netlist"
 )
 
 // FormatDuration renders a duration in the paper's style: seconds below one
@@ -112,6 +114,47 @@ func TableI(cfg hybrid.Config) string {
 		} else {
 			fmt.Fprintf(&b, "%-5s %-14s backtrack limit = %d\n", "", "", p.MaxBacktracks)
 		}
+	}
+	return b.String()
+}
+
+// Audit renders the independent verification summary: how many detection
+// claims the serial reference reproduced, followed by one line per
+// miscompare (claims confirmed at a different vector, or demoted outright).
+func Audit(c *netlist.Circuit, rep *audit.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d claims replayed over %d vectors: %d confirmed, %d at other vectors, %d demoted\n",
+		rep.Claims, rep.Vectors, rep.Confirmed, rep.ConfirmedOther, rep.Unverified)
+	for _, rec := range rep.Records {
+		if rec.Verdict != audit.Confirmed {
+			fmt.Fprintf(&b, "  miscompare: %s\n", rec.String(c))
+		}
+	}
+	if rep.Clean() {
+		b.WriteString("  all detections independently confirmed\n")
+	}
+	return b.String()
+}
+
+// Retry renders the quarantine-and-retry summary for a run.
+func Retry(res *hybrid.Result) string {
+	rt := res.Retry
+	if rt.Quarantined == 0 {
+		return "quarantine: empty (every fault was decided in the schedule)\n"
+	}
+	var byReason [3]int
+	for _, q := range res.Quarantine {
+		byReason[q.Reason]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "quarantine: %d faults (%d budget, %d panic, %d audit)\n",
+		rt.Quarantined, byReason[hybrid.ReasonBudget], byReason[hybrid.ReasonPanic], byReason[hybrid.ReasonAudit])
+	if rt.Retried > 0 {
+		fmt.Fprintf(&b, "  retries: %d attempts, %d faults recovered, %d exhausted (escalated to %s / %d backtracks)\n",
+			rt.Retried, rt.Recovered, rt.Exhausted,
+			FormatDuration(time.Duration(rt.EscalatedTime)), rt.EscalatedBacktracks)
+	} else {
+		fmt.Fprintf(&b, "  retries disabled; %d faults left unresolved\n", rt.Exhausted)
 	}
 	return b.String()
 }

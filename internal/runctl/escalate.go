@@ -1,0 +1,60 @@
+package runctl
+
+import "time"
+
+// Escalation is a bounded exponential budget schedule for retrying a search
+// that exhausted its budget (or was lost to a panic or a failed audit): each
+// attempt gets the base budget multiplied by Factor^attempt, so a fault that
+// merely needed a little more room is recovered on the first retry and a
+// genuinely hard one is given up after MaxAttempts rather than looping
+// forever.
+type Escalation struct {
+	// MaxAttempts is the retry bound; zero disables retrying entirely.
+	MaxAttempts int
+
+	// BaseTime and BaseBacktracks are the pre-escalation per-fault budgets
+	// (typically the final pass's). A zero base leaves that dimension
+	// unbounded at zero — callers fill the bases before use.
+	BaseTime       time.Duration
+	BaseBacktracks int
+
+	// Factor is the per-attempt growth multiplier (default 2). Values at or
+	// below 1 fall back to the default so a zero-valued Escalation still
+	// escalates.
+	Factor float64
+}
+
+// growth returns the effective per-attempt multiplier.
+func (e Escalation) growth() float64 {
+	if e.Factor <= 1 {
+		return 2
+	}
+	return e.Factor
+}
+
+// TimeAt returns the wall-clock budget for the attempt-th retry (1-based):
+// BaseTime * Factor^attempt, so even the first retry runs with more room
+// than the pass that gave up.
+func (e Escalation) TimeAt(attempt int) time.Duration {
+	if e.BaseTime <= 0 {
+		return 0
+	}
+	b := float64(e.BaseTime)
+	for i := 0; i < attempt; i++ {
+		b *= e.growth()
+	}
+	return time.Duration(b)
+}
+
+// BacktracksAt returns the backtrack allowance for the attempt-th retry
+// (1-based): BaseBacktracks * Factor^attempt.
+func (e Escalation) BacktracksAt(attempt int) int {
+	if e.BaseBacktracks <= 0 {
+		return 0
+	}
+	b := float64(e.BaseBacktracks)
+	for i := 0; i < attempt; i++ {
+		b *= e.growth()
+	}
+	return int(b)
+}

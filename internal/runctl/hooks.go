@@ -22,6 +22,11 @@ const (
 	// ActSleep: delay the call (simulates a slow search so wall-clock
 	// machinery — signals, deadlines, checkpoint cadence — can engage).
 	ActSleep
+	// ActCorrupt: report to the caller that it should corrupt its own state
+	// at this site (exercises trust-but-verify machinery: the bit-parallel
+	// fault simulator flips one packed lane so the independent audit can be
+	// shown to catch the resulting bogus detection).
+	ActCorrupt
 )
 
 // InjectedPanic is the panic value used by ActPanic, so recover boundaries
@@ -107,9 +112,9 @@ func (h *Hooks) Enter(site string) Action {
 // ParseInjectSpec builds a harness from a comma-separated spec of
 // site:call:action rules, e.g. "generate:3:panic,justify:*:sleep=20ms".
 // call is a 1-based call number or "*" for every call; action is one of
-// panic, expire, or sleep=<duration>. Command-line tools expose this through
-// an environment variable so integration tests can inject faults into a
-// real process.
+// panic, expire, corrupt, or sleep=<duration>. Command-line tools expose
+// this through an environment variable so integration tests can inject
+// faults into a real process.
 func ParseInjectSpec(spec string) (*Hooks, error) {
 	h := NewHooks()
 	for _, part := range strings.Split(spec, ",") {
@@ -135,6 +140,8 @@ func ParseInjectSpec(spec string) (*Hooks, error) {
 			h.Arm(site, call, ActPanic)
 		case fields[2] == "expire":
 			h.Arm(site, call, ActExpire)
+		case fields[2] == "corrupt":
+			h.Arm(site, call, ActCorrupt)
 		case strings.HasPrefix(fields[2], "sleep="):
 			d, err := time.ParseDuration(strings.TrimPrefix(fields[2], "sleep="))
 			if err != nil {

@@ -1,8 +1,11 @@
 package runctl
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -42,14 +45,23 @@ func SaveJSON(path string, v any) error {
 	return nil
 }
 
-// LoadJSON reads path and unmarshals it into v.
+// LoadJSON reads path and unmarshals it into v. The file must contain
+// exactly one JSON document: anything after it — as left behind by a
+// truncated journal that a later writer appended to, which json.Unmarshal
+// alone would reject but a streaming decode would silently ignore — is an
+// error, so a corrupted journal is refused rather than half-parsed.
 func LoadJSON(path string, v any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("runctl: read journal: %w", err)
 	}
-	if err := json.Unmarshal(data, v); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("runctl: parse journal %s: %w", path, err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("runctl: journal %s: trailing data after the JSON document", path)
 	}
 	return nil
 }

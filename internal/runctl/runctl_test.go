@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -214,5 +215,76 @@ func TestParseInjectSpec(t *testing.T) {
 		if _, err := ParseInjectSpec(bad); err == nil {
 			t.Errorf("spec %q accepted", bad)
 		}
+	}
+}
+
+// A journal with anything after the JSON document — the signature of a
+// truncated file that a concurrent or crashed writer appended to — must be
+// refused, not half-parsed.
+func TestLoadJSONRejectsTrailingGarbage(t *testing.T) {
+	type doc struct{ A int }
+	dir := t.TempDir()
+	cases := map[string]string{
+		"concatenated": `{"A":1}{"A":2}`,
+		"text-suffix":  `{"A":1}garbage`,
+		"array-suffix": `{"A":1}[1,2]`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var v doc
+		if err := LoadJSON(path, &v); err == nil {
+			t.Errorf("%s: trailing garbage accepted", name)
+		} else if !strings.Contains(err.Error(), "trailing data") {
+			t.Errorf("%s: unclear error %v", name, err)
+		}
+	}
+	// Trailing whitespace is not garbage.
+	ok := filepath.Join(dir, "ok.json")
+	if err := os.WriteFile(ok, []byte("{\"A\":1}\n\n  "), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v doc
+	if err := LoadJSON(ok, &v); err != nil || v.A != 1 {
+		t.Errorf("trailing whitespace rejected: %v", err)
+	}
+}
+
+func TestParseInjectSpecCorrupt(t *testing.T) {
+	h, err := ParseInjectSpec("faultsim.word:2:corrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Enter("faultsim.word") != ActNone {
+		t.Fatal("corrupt rule fired on call 1")
+	}
+	if h.Enter("faultsim.word") != ActCorrupt {
+		t.Fatal("corrupt rule did not fire on call 2")
+	}
+}
+
+// Escalation grows both budget dimensions exponentially from the first
+// retry on, and a zero-valued Factor still escalates.
+func TestEscalationGrowth(t *testing.T) {
+	e := Escalation{MaxAttempts: 3, BaseTime: time.Second, BaseBacktracks: 100}
+	if got := e.TimeAt(1); got != 2*time.Second {
+		t.Errorf("TimeAt(1) = %s, want 2s", got)
+	}
+	if got := e.TimeAt(3); got != 8*time.Second {
+		t.Errorf("TimeAt(3) = %s, want 8s", got)
+	}
+	if got := e.BacktracksAt(2); got != 400 {
+		t.Errorf("BacktracksAt(2) = %d, want 400", got)
+	}
+	e.Factor = 10
+	if got := e.BacktracksAt(1); got != 1000 {
+		t.Errorf("factor 10: BacktracksAt(1) = %d, want 1000", got)
+	}
+	// Unset bases stay unset (callers fill them in).
+	var zero Escalation
+	if zero.TimeAt(1) != 0 || zero.BacktracksAt(1) != 0 {
+		t.Error("zero bases escalated to nonzero budgets")
 	}
 }

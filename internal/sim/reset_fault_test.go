@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"gahitec/internal/fault"
+	"gahitec/internal/logic"
+	"gahitec/internal/netlist"
+)
+
+func lookup(t *testing.T, c *netlist.Circuit, name string) netlist.ID {
+	t.Helper()
+	id, ok := c.Lookup(name)
+	if !ok {
+		t.Fatalf("no node %q in %s", name, c.Name)
+	}
+	return id
+}
+
+// Reset under an injected stem fault must hold the stuck line at its stuck
+// value from power-on — the HITEC detection model depends on the faulty
+// machine never seeing the stem at X — while every fault-free flip-flop and
+// gate goes back to unknown.
+func TestSerialResetUnderStemFault(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	ff := lookup(t, c, "G5")
+	s := NewSerial(c)
+	s.InjectFault(fault.Fault{Node: ff, Pin: fault.StemPin, Stuck: logic.One})
+
+	check := func(when string) {
+		t.Helper()
+		if got := s.Value(ff); got != logic.One {
+			t.Errorf("%s: stuck stem G5 = %s, want 1", when, got)
+		}
+		for _, other := range c.DFFs {
+			if other != ff && s.Value(other) != logic.X {
+				t.Errorf("%s: fault-free FF %s = %s, want X", when, c.Nodes[other].Name, s.Value(other))
+			}
+		}
+	}
+	check("after inject")
+
+	// Drive the machine into a binary state, then reset: only the stuck stem
+	// survives the power cycle.
+	for i := 0; i < 4; i++ {
+		s.Step(vec(t, "0010"))
+	}
+	s.Reset()
+	check("after mid-sequence reset")
+
+	// SetState cannot override the stuck stem either.
+	s.SetState(vec(t, "000"))
+	if got := s.Value(ff); got != logic.One {
+		t.Errorf("SetState overrode stuck stem: G5 = %s, want 1", got)
+	}
+
+	// Clearing the fault releases the line on the next reset.
+	s.ClearFault()
+	if got := s.Value(ff); got != logic.X {
+		t.Errorf("after ClearFault: G5 = %s, want X", got)
+	}
+}
+
+// A branch (input-pin) fault lives on the gate's fanin read, not on a node
+// value, so Reset must leave every node at plain power-on X — but evaluation
+// must still see the stuck pin.
+func TestSerialResetUnderBranchFault(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	g17 := lookup(t, c, "G17") // G17 = NOT(G11); stuck pin 0 at 0 forces G17 = 1
+	s := NewSerial(c)
+	s.InjectFault(fault.Fault{Node: g17, Pin: 0, Stuck: logic.Zero})
+
+	for i := range c.Nodes {
+		id := netlist.ID(i)
+		k := c.Nodes[i].Kind
+		if k != netlist.KConst0 && k != netlist.KConst1 && s.Value(id) != logic.X {
+			t.Errorf("after reset, node %s = %s, want X", c.Nodes[i].Name, s.Value(id))
+		}
+	}
+	out := s.Eval(vec(t, "0000"))
+	if out[0] != logic.One {
+		t.Errorf("G17 with in0 stuck-at-0 = %s, want 1", out[0])
+	}
+}
