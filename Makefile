@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench golden fuzz-smoke
+.PHONY: build test check bench bench-json golden fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ check: build
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Machine-readable benchmark snapshot: one JSON record per benchmark (name,
+# ns/op, allocs/op, custom metrics) in a date-stamped file for cross-commit
+# diffing.
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./... | \
+		$(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
 
 # Short fuzz pass over the .bench parser: no panics, accepted inputs
 # round-trip. CI runs this on every push; run with a longer -fuzztime to dig.

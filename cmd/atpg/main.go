@@ -27,6 +27,18 @@
 //	atpg -circuit s298 -audit -retry 2
 //	atpg -circuit s298 -audit=strict    # CI gate: non-zero exit on miscompare
 //
+// The run is observable end to end: -trace streams one JSON event per line
+// (NDJSON) for every phase span and GA generation, -metrics writes the
+// aggregated counters and histograms as JSON when the run ends (metrics
+// survive checkpoint/resume: a resumed run's final counters equal an
+// uninterrupted run's), -progress prints a rate-limited live status line to
+// stderr, and -pprof serves net/http/pprof plus /debug/vars and /debug/obs
+// (the live metrics snapshot) on the given address.
+//
+//	atpg -circuit s298 -trace run.ndjson -metrics run.json -progress
+//	atpg -circuit div -pprof localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile
+//
 // The GAHITEC_FAULT_INJECT environment variable arms the runctl
 // fault-injection harness (e.g. "generate:*:sleep=20ms" or
 // "faultsim.word:3:corrupt"); it exists for the resilience integration
@@ -36,9 +48,14 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -53,6 +70,7 @@ import (
 	"gahitec/internal/hybrid"
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
+	"gahitec/internal/obs"
 	"gahitec/internal/pattern"
 	"gahitec/internal/report"
 	"gahitec/internal/runctl"
@@ -111,7 +129,7 @@ func main() {
 
 // run is the whole tool behind a testable seam: flags in, exit status out,
 // all exits through a single return path.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("atpg", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -131,6 +149,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		resume      = fs.String("resume", "", "resume a gahitec/hitec run from this checkpoint journal")
 		timeout     = fs.Duration("timeout", 0, "overall wall-clock budget for the run (0: none)")
 		retries     = fs.Int("retry", 0, "retry quarantined faults up to N times with escalated budgets")
+		traceOut    = fs.String("trace", "", "stream an NDJSON event trace of the run to this file")
+		metricsOut  = fs.String("metrics", "", "write aggregated run metrics (JSON) to this file when the run ends")
+		progressOn  = fs.Bool("progress", false, "print a live progress line to stderr at fault boundaries")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
 	)
 	var auditFlag auditMode
 	fs.Var(&auditFlag, "audit", "independently verify every detection on the serial reference simulator (true, false or strict)")
@@ -181,6 +203,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if (auditFlag.enabled || *retries > 0) && (*mode == "simga" || *mode == "alternating") {
 		return fail("-audit and -retry require -mode gahitec or hitec")
 	}
+	if (*traceOut != "" || *metricsOut != "" || *progressOn) && (*mode == "simga" || *mode == "alternating") {
+		return fail("-trace, -metrics and -progress require -mode gahitec or hitec")
+	}
+
+	// Telemetry: one recorder feeds the NDJSON trace (-trace), the aggregated
+	// metrics written at exit (-metrics), and the /debug/obs endpoint (-pprof
+	// alone arms a metrics-only recorder so /debug/obs serves live counters).
+	// The deferred finalizer runs on every exit path — including an interrupt
+	// — so the trace is flushed and the metrics written even at exit 130.
+	var rec *obs.Recorder
+	if *traceOut != "" || *metricsOut != "" || *pprofAddr != "" {
+		var sink io.Writer
+		var traceFile *os.File
+		var traceBuf *bufio.Writer
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return fail("%v", err)
+			}
+			traceFile, traceBuf = f, bufio.NewWriter(f)
+			sink = traceBuf
+		}
+		rec = obs.New(sink)
+		defer func() {
+			warn := func(what string, err error) {
+				fmt.Fprintf(stderr, "atpg: %s: %v\n", what, err)
+				if code == 0 {
+					code = 1
+				}
+			}
+			if err := rec.Err(); err != nil {
+				warn("trace", err)
+			}
+			if traceBuf != nil {
+				err := traceBuf.Flush()
+				if cerr := traceFile.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					warn("trace", err)
+				}
+			}
+			if *metricsOut != "" {
+				if err := runctl.SaveJSON(*metricsOut, rec.MetricsSnapshot()); err != nil {
+					warn("metrics", err)
+				}
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr, rec, stderr); err != nil {
+			return fail("pprof: %v", err)
+		}
+	}
 	switch *mode {
 	case "simga":
 		r := simgen.RunCtx(ctx, c, faults, simgen.Options{Seed: *seed, SeqLen: seqLen / 2, MaxRounds: 300})
@@ -214,6 +290,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Hooks = hooks
 	cfg.Audit = auditFlag.enabled
 	cfg.Retry = runctl.Escalation{MaxAttempts: *retries}
+	cfg.Obs = rec
+	if *progressOn {
+		var last time.Time
+		cfg.Progress = func(p hybrid.Progress) {
+			// Rate-limit to ~2 lines/s, but always print a pass's last fault.
+			if time.Since(last) < 500*time.Millisecond && p.FaultIndex < p.PassTargets {
+				return
+			}
+			last = time.Now()
+			fmt.Fprintf(stderr, "atpg: pass %d/%d fault %d/%d detected %d/%d (%.1f%%) vectors %d elapsed %s eta %s\n",
+				p.Pass, p.PassCount, p.FaultIndex, p.PassTargets, p.Detected, p.TotalFaults,
+				100*p.Coverage(), p.Vectors,
+				report.FormatDuration(p.Elapsed), report.FormatDuration(p.ETA))
+		}
+	}
 	if *interactive {
 		reader := bufio.NewReader(os.Stdin)
 		cfg.Continue = func(p hybrid.PassStats) bool {
@@ -300,7 +391,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, report.Phases(res))
 	}
 
-	code := writeSet(stdout, fail, c, *out, res.Targets, res.TestSet, faults, *compactSet)
+	code = writeSet(stdout, fail, c, *out, res.Targets, res.TestSet, faults, *compactSet)
 	if code == 0 && auditFlag.strict && res.Audit != nil && !res.Audit.Clean() {
 		fmt.Fprintf(stderr, "atpg: strict audit failed: %d claim(s) not confirmed at their claimed vector\n",
 			res.Audit.ConfirmedOther+res.Audit.Unverified)
@@ -367,6 +458,41 @@ func writeSet(stdout io.Writer, fail func(string, ...any) int, c *netlist.Circui
 	}
 	fmt.Fprintf(stdout, "wrote %d vectors (%d sequences) to %s\n", set.NumVectors(), len(set.Sequences), path)
 	return 0
+}
+
+// servePprof serves the standard pprof and expvar endpoints plus /debug/obs
+// (the recorder's live metrics snapshot; null when telemetry is off) on addr.
+// It returns once the listener is bound — so a bad address fails the run
+// immediately — and serving continues in the background for the life of the
+// process. A private mux keeps repeated in-process runs (tests) from
+// colliding on DefaultServeMux registrations.
+func servePprof(addr string, rec *obs.Recorder, stderr io.Writer) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec.MetricsSnapshot()); err != nil {
+			fmt.Fprintf(stderr, "atpg: pprof: %v\n", err)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "atpg: pprof serving on http://%s/debug/pprof/\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(stderr, "atpg: pprof: %v\n", err)
+		}
+	}()
+	return nil
 }
 
 func loadCircuit(name, file string) (*netlist.Circuit, error) {

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -11,6 +14,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"gahitec/internal/obs"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -238,4 +243,206 @@ func TestInterruptResumeIntegration(t *testing.T) {
 	if !bytes.Equal(refBytes, resBytes) {
 		t.Errorf("test sets diverged:\n--- uninterrupted ---\n%s--- resumed ---\n%s", refBytes, resBytes)
 	}
+}
+
+// The -trace stream is parseable NDJSON, the -metrics snapshot reconciles
+// with the run, -progress writes live status lines, and /debug/obs serves
+// the metrics while a -pprof server is up.
+func TestTelemetryFlags(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.ndjson")
+	metrics := filepath.Join(dir, "run.json")
+	var out, errw bytes.Buffer
+	code := run([]string{"-circuit", "s27", "-seed", "1", "-scale", "1000",
+		"-trace", trace, "-metrics", metrics, "-progress", "-pprof", "127.0.0.1:0"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d:\n%s\n%s", code, out.String(), errw.String())
+	}
+
+	// Trace: every line parses, and the core span phases appear.
+	tf, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	sc := bufio.NewScanner(tf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	seen := map[string]bool{}
+	for sc.Scan() {
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("trace line %d: %v", lines+1, err)
+		}
+		seen[e.Phase] = true
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, phase := range []string{"target", "excite_prop", "fault_sim", "run"} {
+		if !seen[phase] {
+			t.Errorf("trace has no %q events", phase)
+		}
+	}
+
+	// Metrics: parse and sanity-check against the printed coverage line.
+	var m obs.Metrics
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if m.Spans["target"] == 0 || m.Counters["excite_prop:success"] == 0 {
+		t.Errorf("metrics missing core counters: %+v", m)
+	}
+
+	// Progress: at least one live line went to stderr.
+	if !strings.Contains(errw.String(), "atpg: pass ") {
+		t.Errorf("no progress lines on stderr:\n%s", errw.String())
+	}
+
+	// pprof: the announced address serves /debug/obs with a JSON snapshot.
+	addr := regexp.MustCompile(`pprof serving on http://([^/]+)/`).FindStringSubmatch(errw.String())
+	if addr == nil {
+		t.Fatalf("no pprof address announced:\n%s", errw.String())
+	}
+	resp, err := http.Get("http://" + addr[1] + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var served obs.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		t.Fatalf("/debug/obs not JSON: %v", err)
+	}
+	if served.Spans["target"] != m.Spans["target"] {
+		t.Errorf("/debug/obs target spans %d != metrics file %d", served.Spans["target"], m.Spans["target"])
+	}
+}
+
+// Telemetry flags are rejected where no hybrid run exists to instrument.
+func TestTelemetryFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-circuit", "s27", "-mode", "simga", "-progress"}, &out, &out); code != 1 {
+		t.Errorf("simga -progress: exit %d, want 1", code)
+	}
+	if code := run([]string{"-circuit", "s27", "-mode", "alternating", "-trace", "x"}, &out, &out); code != 1 {
+		t.Errorf("alternating -trace: exit %d, want 1", code)
+	}
+	if code := run([]string{"-circuit", "s27", "-pprof", "256.0.0.1:bad"}, &out, &out); code != 1 {
+		t.Errorf("bad -pprof addr: exit %d, want 1", code)
+	}
+}
+
+// stripWallClock drops the wall-clock-dependent metrics before comparing an
+// interrupted+resumed run against an uninterrupted one: the resumed run
+// re-does the interrupted fault, so durations differ while counts must not.
+func stripWallClock(m *obs.Metrics) {
+	m.PhaseNS = nil
+	for name := range m.Histograms {
+		if strings.HasPrefix(name, "phase_ms:") {
+			delete(m.Histograms, name)
+		}
+	}
+}
+
+// The telemetry acceptance scenario end to end through the real binary: a
+// SIGINT-interrupted run resumed from its checkpoint journal must produce a
+// -metrics snapshot counter-for-counter identical to the same-seed run left
+// uninterrupted (wall-clock metrics aside).
+func TestResumeMetricsMatchUninterrupted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the atpg binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "atpg")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	base := []string{"-circuit", "s27", "-seed", "3", "-scale", "1000"}
+	refMetrics := filepath.Join(dir, "ref.json")
+	ref := exec.Command(bin, append(base, "-metrics", refMetrics)...)
+	if out, err := ref.CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+
+	// The interrupted run needs its own recorder: the checkpoint journal
+	// carries the metrics snapshot only when the run is recording, and the
+	// resumed run merges that snapshot as its baseline.
+	journal := filepath.Join(dir, "run.json")
+	intrMetrics := filepath.Join(dir, "intr.json")
+	intr := exec.Command(bin, append(base, "-checkpoint", journal, "-checkpoint-every", "1", "-metrics", intrMetrics)...)
+	intr.Env = append(os.Environ(), "GAHITEC_FAULT_INJECT=generate:*:sleep=100ms")
+	var intrOut bytes.Buffer
+	intr.Stdout, intr.Stderr = &intrOut, &intrOut
+	if err := intr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(journal); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			intr.Process.Kill()
+			t.Fatalf("no checkpoint journal appeared:\n%s", intrOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := intr.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := intr.Wait(); err == nil {
+		t.Fatalf("interrupted run exited cleanly:\n%s", intrOut.String())
+	}
+
+	resMetrics := filepath.Join(dir, "res.json")
+	res := exec.Command(bin, append(base, "-resume", journal, "-metrics", resMetrics)...)
+	if out, err := res.CombinedOutput(); err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, out)
+	}
+
+	var want, got obs.Metrics
+	for path, dst := range map[string]*obs.Metrics{refMetrics: &want, resMetrics: &got} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(raw, dst); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+	stripWallClock(&want)
+	stripWallClock(&got)
+	if !maps(want.Counters).equal(got.Counters) {
+		t.Errorf("counters diverged:\nuninterrupted: %v\nresumed:       %v", want.Counters, got.Counters)
+	}
+	if !maps(want.Spans).equal(got.Spans) {
+		t.Errorf("spans diverged:\nuninterrupted: %v\nresumed:       %v", want.Spans, got.Spans)
+	}
+	wantH, _ := json.Marshal(want.Histograms)
+	gotH, _ := json.Marshal(got.Histograms)
+	if !bytes.Equal(wantH, gotH) {
+		t.Errorf("value histograms diverged:\nuninterrupted: %s\nresumed:       %s", wantH, gotH)
+	}
+}
+
+// maps is a tiny comparison helper for the int64-valued metric maps.
+type maps map[string]int64
+
+func (a maps) equal(b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench` output into a JSON benchmark
+// report: one record per benchmark with iterations, ns/op, B/op, allocs/op,
+// and any custom metrics (the paper-table Det/Vec/Unt columns the benchmarks
+// report). It reads the benchmark output on stdin and writes JSON to stdout
+// or, with -o, atomically to a file — `make bench-json` wires it to a
+// date-stamped BENCH_<date>.json so runs can be diffed across commits.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH_2026-08-06.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"gahitec/internal/runctl"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	// Metrics holds the benchmark's custom b.ReportMetric values by unit
+	// (e.g. "detected", "vectors", "untestable").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write the JSON report to this file (atomically) instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	results, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines in input")
+		return 1
+	}
+	if *out != "" {
+		if err := runctl.SaveJSON(*out, results); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+		return 0
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parse extracts benchmark result lines from go test output. A line is a
+// result when it starts with "Benchmark", its second field is the iteration
+// count, and the rest are "<value> <unit>" pairs.
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", fields[0], fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}

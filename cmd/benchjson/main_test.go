@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: gahitec
+BenchmarkTable2/s298/gahitec-8         	       1	  12345678 ns/op	       265.0 detected	      1456 vectors	        26.00 untestable
+BenchmarkPackedSim-8                   	 1000000	      1234 ns/op	     456 B/op	       7 allocs/op
+BenchmarkNoMetrics-8                   	       2	    999999 ns/op
+PASS
+ok  	gahitec	12.3s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+
+	r0 := results[0]
+	if r0.Name != "BenchmarkTable2/s298/gahitec-8" || r0.Iterations != 1 || r0.NsPerOp != 12345678 {
+		t.Errorf("bad first result: %+v", r0)
+	}
+	if r0.Metrics["detected"] != 265 || r0.Metrics["vectors"] != 1456 || r0.Metrics["untestable"] != 26 {
+		t.Errorf("bad custom metrics: %v", r0.Metrics)
+	}
+
+	r1 := results[1]
+	if r1.NsPerOp != 1234 || r1.BytesPerOp != 456 || r1.AllocsPerOp != 7 {
+		t.Errorf("bad memory columns: %+v", r1)
+	}
+	if len(r1.Metrics) != 0 {
+		t.Errorf("unexpected custom metrics: %v", r1.Metrics)
+	}
+
+	if results[2].Name != "BenchmarkNoMetrics-8" {
+		t.Errorf("bad third result: %+v", results[2])
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	in := "BenchmarkHeaderOnly\nBenchmarkOdd-8 1 5 ns/op trailing\nnothing here\n"
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from junk, want 0: %+v", len(results), results)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-o", path}, strings.NewReader(sample), &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(raw, &results); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("file has %d results, want 3", len(results))
+	}
+}
+
+func TestRunEmptyInputFails(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(nil, strings.NewReader("no benchmarks\n"), &out, &errw); code != 1 {
+		t.Errorf("empty input: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,197 @@
+// Command tracestat summarizes an NDJSON run trace written by atpg -trace:
+// per-phase span counts, outcome mix, and wall-time breakdown, plus GA
+// convergence statistics from the per-generation point events.
+//
+// Usage:
+//
+//	atpg -circuit s298 -trace run.ndjson
+//	tracestat run.ndjson
+//	tracestat -top 10 run.ndjson     # also list the costliest faults
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gahitec/internal/obs"
+	"gahitec/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// phaseAgg accumulates one phase's spans.
+type phaseAgg struct {
+	name     string
+	count    int
+	durUS    int64
+	outcomes map[string]int
+}
+
+// faultAgg accumulates span time attributed to one fault label.
+type faultAgg struct {
+	fault string
+	durUS int64
+	spans int
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracestat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 0, "also list the N faults with the most span time")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: tracestat [-top N] trace.ndjson")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	if err := summarize(f, stdout, *top); err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// summarize reads the NDJSON stream and prints the breakdown.
+func summarize(r io.Reader, w io.Writer, top int) error {
+	phases := map[string]*phaseAgg{}
+	faults := map[string]*faultAgg{}
+	var events, spans, points int
+	var gaGens, gaSolves int
+	var gaBestSum float64
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		events++
+		switch e.Ev {
+		case "span":
+			spans++
+			p := phases[e.Phase]
+			if p == nil {
+				p = &phaseAgg{name: e.Phase, outcomes: map[string]int{}}
+				phases[e.Phase] = p
+			}
+			p.count++
+			p.durUS += e.DurUS
+			p.outcomes[e.Name]++
+			if e.Fault != "" {
+				fa := faults[e.Fault]
+				if fa == nil {
+					fa = &faultAgg{fault: e.Fault}
+					faults[e.Fault] = fa
+				}
+				fa.spans++
+				fa.durUS += e.DurUS
+			}
+		case "point":
+			points++
+			if e.Phase == "ga_justify" && e.Name == "generation" {
+				gaGens++
+				gaBestSum += e.Attrs["best"]
+				if e.Attrs["best"] >= 1 {
+					gaSolves++
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if events == 0 {
+		return fmt.Errorf("no events in trace")
+	}
+
+	fmt.Fprintf(w, "trace: %d events (%d spans, %d points)\n\n", events, spans, points)
+	fmt.Fprintf(w, "%-12s %7s %9s %9s  %s\n", "Phase", "Spans", "Time", "Mean", "Outcomes")
+	fmt.Fprintln(w, strings.Repeat("-", 76))
+	var order []*phaseAgg
+	for _, p := range phases {
+		order = append(order, p)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].durUS > order[j].durUS })
+	for _, p := range order {
+		mean := time.Duration(0)
+		if p.count > 0 {
+			mean = time.Duration(p.durUS/int64(p.count)) * time.Microsecond
+		}
+		fmt.Fprintf(w, "%-12s %7d %9s %9s  %s\n",
+			p.name, p.count,
+			report.FormatDuration(time.Duration(p.durUS)*time.Microsecond),
+			report.FormatDuration(mean),
+			outcomeMix(p.outcomes))
+	}
+
+	if gaGens > 0 {
+		fmt.Fprintf(w, "\nGA convergence: %d generations traced, mean best fitness %.3f, %d solved-generation events\n",
+			gaGens, gaBestSum/float64(gaGens), gaSolves)
+	}
+
+	if top > 0 && len(faults) > 0 {
+		var fo []*faultAgg
+		for _, fa := range faults {
+			fo = append(fo, fa)
+		}
+		sort.Slice(fo, func(i, j int) bool { return fo[i].durUS > fo[j].durUS })
+		if top > len(fo) {
+			top = len(fo)
+		}
+		fmt.Fprintf(w, "\ncostliest faults:\n")
+		for _, fa := range fo[:top] {
+			fmt.Fprintf(w, "  %-24s %9s in %d spans\n", fa.fault,
+				report.FormatDuration(time.Duration(fa.durUS)*time.Microsecond), fa.spans)
+		}
+	}
+	return nil
+}
+
+// outcomeMix renders a phase's outcome histogram as "success:81 aborted:7",
+// most frequent first.
+func outcomeMix(m map[string]int) string {
+	type kv struct {
+		k string
+		v int
+	}
+	var s []kv
+	for k, v := range m {
+		s = append(s, kv{k, v})
+	}
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].v != s[j].v {
+			return s[i].v > s[j].v
+		}
+		return s[i].k < s[j].k
+	})
+	var b strings.Builder
+	for i, e := range s {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", e.k, e.v)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/fault"
+	"gahitec/internal/hybrid"
+	"gahitec/internal/obs"
+)
+
+const s27 = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+// writeTrace runs a real GA-HITEC schedule with the recorder streaming to a
+// file, so the summary below reads exactly what atpg -trace would produce.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	c, err := bench.ParseString(s27, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New(f)
+	cfg := hybrid.GAHITECConfig(16, 0.05)
+	cfg.Seed = 5
+	cfg.Obs = rec
+	hybrid.Run(c, fault.Collapse(c), cfg)
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarizeRealTrace(t *testing.T) {
+	path := writeTrace(t)
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"-top", "3", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"trace:", "Phase", "Spans", "Outcomes",
+		"target", "excite_prop", "ga_justify", "fault_sim",
+		"GA convergence:", "costliest faults:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(nil, &out, &errw); code != 2 {
+		t.Errorf("no args: exit %d", code)
+	}
+	if code := run([]string{"/nonexistent/trace.ndjson"}, &out, &errw); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.ndjson")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, &out, &errw); code != 1 {
+		t.Errorf("bad trace: exit %d", code)
+	}
+
+	empty := filepath.Join(t.TempDir(), "empty.ndjson")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{empty}, &out, &errw); code != 1 {
+		t.Errorf("empty trace: exit %d", code)
+	}
+}

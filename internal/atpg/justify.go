@@ -28,7 +28,8 @@ func (e *Engine) Justify(target logic.Vector, lim Limits) JustifyResult {
 
 // JustifyCtx is Justify bounded additionally by ctx: cancellation or the
 // context deadline aborts the search on the engine's usual check cadence.
-func (e *Engine) JustifyCtx(ctx context.Context, target logic.Vector, lim Limits) JustifyResult {
+func (e *Engine) JustifyCtx(ctx context.Context, target logic.Vector, lim Limits) (res JustifyResult) {
+	defer func() { e.record("justify", res.Status, res.Backtracks) }()
 	lim = lim.withDefaults(e.c.SeqDepth())
 	if target.CountKnown() == 0 {
 		return JustifyResult{Status: Success}
@@ -73,7 +74,8 @@ func (e *Engine) JustifyDual(f fault.Fault, targetGood, targetFaulty logic.Vecto
 }
 
 // JustifyDualCtx is JustifyDual bounded additionally by ctx.
-func (e *Engine) JustifyDualCtx(ctx context.Context, f fault.Fault, targetGood, targetFaulty logic.Vector, lim Limits) JustifyResult {
+func (e *Engine) JustifyDualCtx(ctx context.Context, f fault.Fault, targetGood, targetFaulty logic.Vector, lim Limits) (res JustifyResult) {
+	defer func() { e.record("justify_dual", res.Status, res.Backtracks) }()
 	lim = lim.withDefaults(e.c.SeqDepth())
 	if targetGood.CountKnown() == 0 && targetFaulty.CountKnown() == 0 {
 		return JustifyResult{Status: Success}

@@ -6,6 +6,7 @@ import (
 	"gahitec/internal/fault"
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
+	"gahitec/internal/obs"
 	"gahitec/internal/runctl"
 	"gahitec/internal/scoap"
 )
@@ -30,6 +31,7 @@ type Engine struct {
 	distPO []int32
 	guide  *scoap.Measures
 	hooks  *runctl.Hooks
+	rec    *obs.Recorder
 }
 
 // NewEngine returns a deterministic ATPG engine for the circuit, with
@@ -42,6 +44,21 @@ func NewEngine(c *netlist.Circuit) *Engine {
 // every Generate/Justify call (sites "generate", "justify", "justify-dual").
 // A nil harness is inert; this is test machinery.
 func (e *Engine) SetHooks(h *runctl.Hooks) { e.hooks = h }
+
+// SetObs installs the telemetry recorder. Every Generate/Justify call counts
+// itself and feeds the backtracks-per-fault histogram on completion. A nil
+// recorder is inert.
+func (e *Engine) SetObs(r *obs.Recorder) { e.rec = r }
+
+// record charges one completed deterministic search to the telemetry.
+func (e *Engine) record(kind string, status Status, backtracks int) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.Counter("atpg."+kind, 1)
+	e.rec.Counter("atpg."+kind+":"+status.String(), 1)
+	e.rec.Observe("backtracks", float64(backtracks))
+}
 
 // SetGuided enables or disables SCOAP backtrace guidance (the ablation
 // benchmarks compare both).
@@ -88,7 +105,8 @@ func (e *Engine) GenerateNth(f fault.Fault, lim Limits, skip int) Result {
 // GenerateNthCtx is GenerateNth bounded additionally by ctx. The context,
 // the Limits deadline and the backtrack allowance are folded into one
 // runctl.Budget checked on a cheap cadence inside the search.
-func (e *Engine) GenerateNthCtx(ctx context.Context, f fault.Fault, lim Limits, skip int) Result {
+func (e *Engine) GenerateNthCtx(ctx context.Context, f fault.Fault, lim Limits, skip int) (res Result) {
+	defer func() { e.record("generate", res.Status, res.Backtracks) }()
 	lim = lim.withDefaults(e.c.SeqDepth())
 	budget := runctl.NewBudget(ctx, lim.Deadline, lim.MaxBacktracks)
 	if e.hooks.Enter("generate") == runctl.ActExpire {

@@ -26,6 +26,7 @@ import (
 	"gahitec/internal/fault"
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
+	"gahitec/internal/obs"
 	"gahitec/internal/sim"
 )
 
@@ -142,10 +143,20 @@ func (r *Report) VerifiedDetections() int { return r.Confirmed + r.ConfirmedOthe
 // Unverified with Serial -1 rather than rejected, so a corrupted detection
 // log is surfaced through the same demotion path as a miscompare.
 func Verify(ctx context.Context, c *netlist.Circuit, testSet [][]logic.Vector, claims []Claim) (*Report, error) {
+	return VerifyObs(ctx, c, testSet, claims, nil)
+}
+
+// VerifyObs is Verify with run telemetry: the whole replay is one "audit"
+// span (outcome "clean" or "dirty"), every miscompare emits a point event,
+// and the per-verdict counters reconcile with the report. A nil recorder
+// makes it identical to Verify.
+func VerifyObs(ctx context.Context, c *netlist.Circuit, testSet [][]logic.Vector, claims []Claim, rec *obs.Recorder) (*Report, error) {
 	var seq []logic.Vector
 	for _, s := range testSet {
 		seq = append(seq, s...)
 	}
+
+	sp := rec.StartSpan("audit", "", 0)
 
 	// One good-machine replay serves every claim.
 	good := sim.NewSerial(c)
@@ -157,10 +168,11 @@ func Verify(ctx context.Context, c *netlist.Circuit, testSet [][]logic.Vector, c
 	rep := &Report{Vectors: len(seq), Claims: len(claims)}
 	for _, cl := range claims {
 		if err := ctx.Err(); err != nil {
+			sp.End("cancelled", nil)
 			return nil, err
 		}
-		rec := auditClaim(c, cl, seq, goodOut)
-		switch rec.Verdict {
+		r := auditClaim(c, cl, seq, goodOut)
+		switch r.Verdict {
 		case Confirmed:
 			rep.Confirmed++
 		case ConfirmedOther:
@@ -168,8 +180,26 @@ func Verify(ctx context.Context, c *netlist.Circuit, testSet [][]logic.Vector, c
 		default:
 			rep.Unverified++
 		}
-		rep.Records = append(rep.Records, rec)
+		rec.Counter("audit."+r.Verdict.String(), 1)
+		if r.Verdict != Confirmed {
+			rec.Point("audit", "miscompare", r.Fault.String(c), 0, obs.Attrs{
+				"claimed_vector": float64(r.Claimed),
+				"serial_vector":  float64(r.Serial),
+			})
+		}
+		rep.Records = append(rep.Records, r)
 	}
+	outcome := "clean"
+	if !rep.Clean() {
+		outcome = "dirty"
+	}
+	sp.End(outcome, obs.Attrs{
+		"claims":          float64(rep.Claims),
+		"vectors":         float64(rep.Vectors),
+		"confirmed":       float64(rep.Confirmed),
+		"confirmed_other": float64(rep.ConfirmedOther),
+		"demoted":         float64(rep.Unverified),
+	})
 	return rep, nil
 }
 

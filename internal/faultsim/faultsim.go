@@ -16,6 +16,7 @@ import (
 	"gahitec/internal/fault"
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
+	"gahitec/internal/obs"
 	"gahitec/internal/runctl"
 	"gahitec/internal/sim"
 )
@@ -47,11 +48,17 @@ type Simulator struct {
 	nVectors   int
 
 	hooks *runctl.Hooks // fault-injection harness; nil when disarmed
+	rec   *obs.Recorder // telemetry recorder; nil when disabled
 }
 
 // SetHooks installs the fault-injection harness consulted at SiteWord. A nil
 // harness is inert.
 func (s *Simulator) SetHooks(h *runctl.Hooks) { s.hooks = h }
+
+// SetObs installs the telemetry recorder: every ApplySequence call becomes a
+// "fault_sim" grading span with the vectors applied, the faults graded, and
+// the newly detected count. A nil recorder is inert.
+func (s *Simulator) SetObs(r *obs.Recorder) { s.rec = r }
 
 // New returns a Simulator over the given fault list. All machines start in
 // the all-unknown state (stuck flip-flop stems start at their stuck value).
@@ -129,6 +136,8 @@ func (s *Simulator) ApplySequence(seq []logic.Vector) []fault.Fault {
 	if len(seq) == 0 {
 		return nil
 	}
+	sp := s.rec.StartSpan("fault_sim", "", 0)
+	graded := len(s.remaining)
 	// Record good PO values and next-states once.
 	goodOut := make([]logic.Vector, len(seq))
 	for i, in := range seq {
@@ -157,6 +166,11 @@ func (s *Simulator) ApplySequence(seq []logic.Vector) []fault.Fault {
 	}
 	s.remaining = keepF
 	s.fstate = keepS
+	sp.End("graded", obs.Attrs{
+		"vectors": float64(len(seq)),
+		"faults":  float64(graded),
+		"newly":   float64(len(newly)),
+	})
 	return newly
 }
 

@@ -52,6 +52,21 @@ type Config struct {
 	// The justification drivers wire it to their context so a cancelled or
 	// timed-out run stops the GA between generations.
 	Stop func() bool
+
+	// Observer, if non-nil, is called after every generation's evaluation
+	// with that generation's convergence statistics. The justification
+	// drivers forward these to the telemetry recorder as per-generation
+	// trajectory events.
+	Observer func(GenerationStats)
+}
+
+// GenerationStats is one generation's convergence snapshot.
+type GenerationStats struct {
+	Generation  int     // 1-based
+	BestFitness float64 // best fitness in the just-evaluated population
+	BestEver    float64 // best fitness seen across all generations so far
+	Solved      bool    // this generation produced a full solution
+	Evaluations int     // cumulative individual evaluations
 }
 
 func (c *Config) setDefaults() error {
@@ -135,10 +150,23 @@ func Run(cfg Config, eval EvalFunc) (Result, error) {
 		er := eval(pop)
 		res.Generations = gen + 1
 		res.Evaluations += len(pop)
+		genBest := pop[0].Fitness
 		for i := range pop {
+			if pop[i].Fitness > genBest {
+				genBest = pop[i].Fitness
+			}
 			if pop[i].Fitness > res.Best.Fitness {
 				res.Best = pop[i].Clone()
 			}
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(GenerationStats{
+				Generation:  gen + 1,
+				BestFitness: genBest,
+				BestEver:    res.Best.Fitness,
+				Solved:      er.Solved >= 0,
+				Evaluations: res.Evaluations,
+			})
 		}
 		if er.Solved >= 0 {
 			res.Best = pop[er.Solved].Clone()

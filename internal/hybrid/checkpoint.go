@@ -6,13 +6,14 @@ import (
 	"gahitec/internal/fault"
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
+	"gahitec/internal/obs"
 )
 
 // CheckpointVersion is the journal format version written by this build.
 // Version 2 added the circuit structural fingerprint and the quarantine
-// list; version-1 journals are refused rather than resumed with unchecked
-// assumptions.
-const CheckpointVersion = 2
+// list; version 3 added the telemetry metrics snapshot. Older journals are
+// refused rather than resumed with unchecked assumptions.
+const CheckpointVersion = 3
 
 // Checkpoint is a resumable snapshot of a hybrid run, always taken at a
 // fault boundary (never mid-search). It records everything Resume needs to
@@ -67,6 +68,13 @@ type Checkpoint struct {
 	// phase, in capture order, so a resumed run retries exactly what the
 	// uninterrupted run would have.
 	Quarantine []SavedQuarantine `json:"quarantine,omitempty"`
+
+	// Obs is the telemetry metrics snapshot at this boundary (nil when the
+	// run had no recorder). Resume merges it into the fresh recorder, so a
+	// resumed run's final counters equal an uninterrupted run's — the
+	// interrupted tail past the boundary never reaches the journal, exactly
+	// like the rest of the run state.
+	Obs *obs.Metrics `json:"obs,omitempty"`
 }
 
 // SavedQuarantine is the JSON form of one quarantine entry.

@@ -18,6 +18,7 @@ import (
 	"gahitec/internal/faultsim"
 	"gahitec/internal/ga"
 	"gahitec/internal/logic"
+	"gahitec/internal/obs"
 	"gahitec/internal/runctl"
 )
 
@@ -112,6 +113,20 @@ type Config struct {
 	// fault simulator; test machinery.
 	Hooks *runctl.Hooks
 
+	// Obs, if non-nil, is the run-telemetry recorder, threaded exactly like
+	// Hooks: per-fault spans are emitted at the same boundaries where the
+	// Phases counters increment (excitation/propagation, GA and
+	// deterministic justification, verification, fault-sim grading, audit
+	// replay, quarantine/retry), and its metrics snapshot rides in every
+	// checkpoint so a resumed run's telemetry equals an uninterrupted
+	// run's. A nil recorder costs one pointer check per site.
+	Obs *obs.Recorder
+
+	// Progress, if non-nil, is called at every fault boundary with a live
+	// snapshot of the run (cmd/atpg -progress wires it to a rate-limited
+	// stderr line). The callback runs on the run's goroutine; keep it cheap.
+	Progress func(Progress)
+
 	// Audit independently re-verifies every detection claim at the end of
 	// the run: the final test set is replayed on the serial reference
 	// simulator (internal/audit), one claimed fault at a time. Claims the
@@ -167,6 +182,30 @@ func HITECConfig(passes int, scale float64) Config {
 		bt *= 10
 	}
 	return cfg
+}
+
+// Progress is a live snapshot of a run at a fault boundary.
+type Progress struct {
+	Pass        int // 1-based pass number (schedule passes, then retry)
+	PassCount   int // scheduled passes
+	FaultIndex  int // faults targeted so far within this pass
+	PassTargets int // faults in this pass's target snapshot
+	Detected    int // faults detected so far (cumulative)
+	TotalFaults int
+	Vectors     int           // vectors generated so far
+	Elapsed     time.Duration // cumulative run wall clock
+	// ETA extrapolates the remainder of this pass from the per-fault pace
+	// observed since the pass (or the resume point) began. Zero until one
+	// fault has completed.
+	ETA time.Duration
+}
+
+// Coverage returns detected / total.
+func (p Progress) Coverage() float64 {
+	if p.TotalFaults == 0 {
+		return 0
+	}
+	return float64(p.Detected) / float64(p.TotalFaults)
 }
 
 // PassStats reports cumulative results at the end of a pass, matching the

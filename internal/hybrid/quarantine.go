@@ -6,6 +6,7 @@ import (
 	"gahitec/internal/audit"
 	"gahitec/internal/fault"
 	"gahitec/internal/faultsim"
+	"gahitec/internal/obs"
 )
 
 // QuarantineReason classifies why a fault was set aside for the end-of-run
@@ -77,6 +78,19 @@ type RetryStats struct {
 // "detected" is no longer in the simulator's fault list, and only the audit
 // reason routes it back into the retry queue.
 func (r *runner) quarantineFault(f fault.Fault, reason QuarantineReason) *Quarantined {
+	if _, seen := r.quar[f]; !seen {
+		r.cfg.Obs.Counter("quarantine."+reason.String(), 1)
+		r.cfg.Obs.Point("quarantine", "captured", r.faultLabel(f), 0, obs.Attrs{
+			"reason": float64(reason),
+		})
+	}
+	return r.captureQuarantine(f, reason)
+}
+
+// captureQuarantine is quarantineFault without the telemetry — the restore
+// path uses it directly, because the checkpoint's metrics snapshot already
+// counts the restored captures.
+func (r *runner) captureQuarantine(f fault.Fault, reason QuarantineReason) *Quarantined {
 	if q, ok := r.quar[f]; ok {
 		if reason == ReasonAudit {
 			q.Reason = ReasonAudit
@@ -97,7 +111,7 @@ func (r *runner) runAudit() bool {
 	for _, d := range r.res.Detections {
 		claims = append(claims, audit.Claim{Fault: d.Fault, Vector: d.Vector})
 	}
-	rep, err := audit.Verify(r.ctx, r.c, r.res.TestSet, claims)
+	rep, err := audit.VerifyObs(r.ctx, r.c, r.res.TestSet, claims, r.cfg.Obs)
 	if err != nil {
 		return false
 	}
@@ -163,6 +177,7 @@ func (r *runner) retryQuarantined() bool {
 			MaxBacktracks:   esc.BacktracksAt(attempt),
 			JustifyAttempts: last.JustifyAttempts,
 		}
+		retryPass := len(r.cfg.Passes) + 1
 		for _, q := range queue {
 			if r.expired() {
 				return false
@@ -172,10 +187,22 @@ func (r *runner) retryQuarantined() bool {
 			r.res.Retry.EscalatedTime = int64(pass.TimePerFault)
 			r.res.Retry.EscalatedBacktracks = pass.MaxBacktracks
 			retried = true
+			sp := r.cfg.Obs.StartSpan("target", r.faultLabel(q.Fault), retryPass)
 			var accepted bool
-			ok := r.guard(func() { _, accepted = r.targetFault(q.Fault, pass) })
+			ok := r.guard(func() { _, accepted = r.targetFault(q.Fault, pass, retryPass) })
 			if r.expired() {
+				sp.End("interrupted", nil)
 				return false
+			}
+			switch {
+			case !ok:
+				sp.End("panic", nil)
+			case accepted:
+				sp.End("detected", obs.Attrs{"attempt": float64(attempt)})
+			case r.untestable[q.Fault]:
+				sp.End("untestable", nil)
+			default:
+				sp.End("undecided", nil)
 			}
 			if ok && (accepted || r.untestable[q.Fault]) {
 				q.Resolved = true

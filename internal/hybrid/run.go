@@ -12,6 +12,7 @@ import (
 	"gahitec/internal/justify"
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
+	"gahitec/internal/obs"
 	"gahitec/internal/runctl"
 )
 
@@ -104,7 +105,21 @@ func newRunner(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cf
 	}
 	r.engine.SetHooks(cfg.Hooks)
 	r.fsim.SetHooks(cfg.Hooks)
+	r.engine.SetObs(cfg.Obs)
+	// The fault simulator's recorder is attached in run(), after any
+	// restore: a resume replays the checkpointed test set through the
+	// simulator, and that replay must not be re-billed — the checkpoint's
+	// metrics snapshot already accounts for the original grading.
 	return r
+}
+
+// faultLabel renders a fault for telemetry events; free when telemetry is
+// off.
+func (r *runner) faultLabel(f fault.Fault) string {
+	if r.cfg.Obs == nil {
+		return ""
+	}
+	return f.String(r.c)
 }
 
 // expired reports whether the run context is done or its deadline has
@@ -133,6 +148,11 @@ func (r *runner) restore(ck *Checkpoint) error {
 	r.res.Passes = append(r.res.Passes, ck.Passes...)
 	r.res.Phases = ck.Phases
 	r.res.FirstPanic = ck.FirstPanic
+	if ck.Obs != nil {
+		if err := r.cfg.Obs.MergeMetrics(ck.Obs); err != nil {
+			return fmt.Errorf("hybrid: checkpoint metrics: %w", err)
+		}
+	}
 	r.prevElapsed = time.Duration(ck.ElapsedNS)
 	r.preprocessDone = ck.PreprocessDone
 	for _, sq := range ck.Quarantine {
@@ -144,7 +164,7 @@ func (r *runner) restore(ck *Checkpoint) error {
 		if err != nil {
 			return err
 		}
-		q := r.quarantineFault(f, reason)
+		q := r.captureQuarantine(f, reason)
 		q.Attempts = sq.Attempts
 		q.Resolved = sq.Resolved
 	}
@@ -181,6 +201,7 @@ func (r *runner) restore(ck *Checkpoint) error {
 // run drives the schedule from the runner's (possibly restored) position.
 func (r *runner) run() *Result {
 	r.start = time.Now()
+	r.fsim.SetObs(r.cfg.Obs)
 	if r.cfg.PreprocessUntestable && !r.preprocessDone {
 		if !r.preprocess() {
 			return r.interrupted()
@@ -219,6 +240,12 @@ func (r *runner) run() *Result {
 			Aborted:    remaining,
 		}
 		r.res.Passes = append(r.res.Passes, stats)
+		r.cfg.Obs.Point("run", "pass_end", "", pi+1, obs.Attrs{
+			"detected":   float64(stats.Detected),
+			"vectors":    float64(stats.Vectors),
+			"untestable": float64(stats.Untestable),
+			"aborted":    float64(stats.Aborted),
+		})
 		r.noteBoundary(pi+1, 0, len(r.res.TestSet), true)
 		if r.cfg.Continue != nil && pi < len(r.cfg.Passes)-1 && !r.cfg.Continue(stats) {
 			break
@@ -301,6 +328,7 @@ func (r *runner) snapshot(pi, fi, passStartSeqs int) *Checkpoint {
 		Passes:         append([]PassStats(nil), r.res.Passes...),
 		Phases:         r.res.Phases,
 		FirstPanic:     r.res.FirstPanic,
+		Obs:            r.cfg.Obs.MetricsSnapshot(),
 	}
 	ck.TestSet = make([][]string, len(r.res.TestSet))
 	for i, seq := range r.res.TestSet {
@@ -344,8 +372,11 @@ func (r *runner) guard(fn func()) (ok bool) {
 // deadline) stops it between faults and aborts the in-flight search.
 // It returns false when interrupted.
 func (r *runner) preprocess() bool {
+	sp := r.cfg.Obs.StartSpan("preprocess", "", 0)
+	screened := len(r.fsim.Remaining())
 	for _, f := range r.fsim.Remaining() {
 		if r.expired() {
+			sp.End("interrupted", nil)
 			return false
 		}
 		var res atpg.Result
@@ -360,6 +391,10 @@ func (r *runner) preprocess() bool {
 			r.res.Phases.Preprocessed++
 		}
 	}
+	sp.End("done", obs.Attrs{
+		"screened":   float64(screened),
+		"untestable": float64(r.res.Phases.Preprocessed),
+	})
 	return true
 }
 
@@ -383,6 +418,7 @@ func (r *runner) runPass(pi int, pass Pass, fi0 int, targets []fault.Fault, pass
 			stillRemaining[f] = true
 		}
 	}
+	passT0 := time.Now()
 	for fi := fi0; fi < len(targets); fi++ {
 		if r.expired() {
 			return false
@@ -391,30 +427,55 @@ func (r *runner) runPass(pi int, pass Pass, fi0 int, targets []fault.Fault, pass
 		if !stillRemaining[f] || r.untestable[f] {
 			continue
 		}
+		sp := r.cfg.Obs.StartSpan("target", r.faultLabel(f), pi+1)
 		var newly []fault.Fault
 		var accepted bool
-		ok := r.guard(func() { newly, accepted = r.targetFault(f, pass) })
+		ok := r.guard(func() { newly, accepted = r.targetFault(f, pass, pi+1) })
 		if r.expired() {
 			// The run context died while this fault's search was in flight,
 			// possibly clipping it mid-search. Its outcome is not what an
 			// uninterrupted run would have computed, so it must not reach
 			// the checkpoint stream: interrupt here and let the previous
 			// boundary's snapshot stand as the last consistent state.
+			sp.End("interrupted", nil)
 			return false
 		}
 		switch {
 		case !ok:
 			r.quarantineFault(f, ReasonPanic)
+			sp.End("panic", nil)
 		case accepted:
 			for _, g := range newly {
 				delete(stillRemaining, g)
 			}
-		case !r.untestable[f]:
+			sp.End("detected", obs.Attrs{"newly": float64(len(newly))})
+		case r.untestable[f]:
+			sp.End("untestable", nil)
+		default:
 			// Undecided: the fault's budget expired without a test or an
 			// untestability proof. Quarantine it for the end-of-run retry.
 			r.quarantineFault(f, ReasonBudget)
+			sp.End("undecided", nil)
 		}
 		r.noteBoundary(pi, fi+1, passStartSeqs, false)
+		if r.cfg.Progress != nil {
+			done := fi + 1 - fi0
+			var eta time.Duration
+			if done > 0 {
+				eta = time.Duration(int64(time.Since(passT0)) / int64(done) * int64(len(targets)-fi-1))
+			}
+			r.cfg.Progress(Progress{
+				Pass:        pi + 1,
+				PassCount:   len(r.cfg.Passes),
+				FaultIndex:  fi + 1,
+				PassTargets: len(targets),
+				Detected:    r.fsim.NumDetected(),
+				TotalFaults: r.res.TotalFaults,
+				Vectors:     r.fsim.NumVectors(),
+				Elapsed:     r.elapsed(),
+				ETA:         eta,
+			})
+		}
 	}
 	return true
 }
@@ -426,7 +487,7 @@ func (r *runner) runPass(pi int, pass Pass, fi0 int, targets []fault.Fault, pass
 // fault's whole budget — the pass's wall-clock allowance and the run
 // context — is carried by a derived context; the engine folds it into its
 // search budget.
-func (r *runner) targetFault(f fault.Fault, pass Pass) ([]fault.Fault, bool) {
+func (r *runner) targetFault(f fault.Fault, pass Pass, passNo int) ([]fault.Fault, bool) {
 	fctx := r.ctx
 	if pass.TimePerFault > 0 {
 		var cancel context.CancelFunc
@@ -438,25 +499,34 @@ func (r *runner) targetFault(f fault.Fault, pass Pass) ([]fault.Fault, bool) {
 		MaxBacktracks: pass.MaxBacktracks,
 	}
 	r.res.Phases.Targeted++
+	label := r.faultLabel(f)
 
 	for attempt := 0; attempt < pass.JustifyAttempts; attempt++ {
 		if attempt > 0 {
 			r.res.Phases.PropBacktracks++
 		}
+		epsp := r.cfg.Obs.StartSpan("excite_prop", label, passNo)
 		gen := r.engine.GenerateNthCtx(fctx, f, lim, attempt)
 		switch gen.Status {
 		case atpg.Untestable:
+			epsp.End("untestable", nil)
 			if attempt == 0 && !r.untestable[f] {
 				r.untestable[f] = true
 				r.res.Untestable = append(r.res.Untestable, f)
 			}
 			return nil, false
 		case atpg.Aborted:
+			epsp.End("aborted", nil)
 			return nil, false
 		}
 		r.res.Phases.ExciteProp++
+		epsp.End("success", obs.Attrs{
+			"attempt":    float64(attempt),
+			"backtracks": float64(gen.Backtracks),
+			"frames":     float64(gen.Frames),
+		})
 
-		seq, ok := r.justifyAndBuild(fctx, f, pass, gen)
+		seq, ok := r.justifyAndBuild(fctx, f, pass, passNo, gen)
 		if !ok {
 			if fctx.Err() != nil {
 				return nil, false
@@ -465,23 +535,33 @@ func (r *runner) targetFault(f fault.Fault, pass Pass) ([]fault.Fault, bool) {
 		}
 
 		// Confirm with the independent fault simulator before counting.
-		if det, _ := faultsim.DetectsFrom(r.c, f, r.fsim.GoodState(), nil, seq); !det {
+		vsp := r.cfg.Obs.StartSpan("verify", label, passNo)
+		det, _ := faultsim.DetectsFrom(r.c, f, r.fsim.GoodState(), nil, seq)
+		if !det {
+			vsp.End("reject", obs.Attrs{"seq_len": float64(len(seq))})
 			r.res.Phases.VerifyFailures++
 			if fctx.Err() != nil {
 				return nil, false
 			}
 			continue
 		}
+		vsp.End("accept", obs.Attrs{"seq_len": float64(len(seq))})
+		r.cfg.Obs.Observe("seq_len", float64(len(seq)))
 		r.res.TestSet = append(r.res.TestSet, seq)
 		r.res.Targets = append(r.res.Targets, f)
 		newly := r.fsim.ApplySequence(seq)
 		// Incidental = detected without being this attempt's target. When an
 		// audit-demoted fault is re-targeted it is no longer in the
 		// simulator's fault list, so the target may be absent from newly.
+		incidental := 0
 		for _, g := range newly {
 			if g != f {
-				r.res.Phases.IncidentalDetects++
+				incidental++
 			}
+		}
+		r.res.Phases.IncidentalDetects += incidental
+		if incidental > 0 {
+			r.cfg.Obs.Counter("incidental_detects", int64(incidental))
 		}
 		return newly, true
 	}
@@ -491,11 +571,13 @@ func (r *runner) targetFault(f fault.Fault, pass Pass) ([]fault.Fault, bool) {
 // justifyAndBuild runs state justification for one propagation solution and,
 // on success, assembles the full candidate test sequence (justification
 // prefix + excitation/propagation vectors, X positions filled randomly).
-func (r *runner) justifyAndBuild(ctx context.Context, f fault.Fault, pass Pass, gen atpg.Result) ([]logic.Vector, bool) {
+func (r *runner) justifyAndBuild(ctx context.Context, f fault.Fault, pass Pass, passNo int, gen atpg.Result) ([]logic.Vector, bool) {
+	label := r.faultLabel(f)
 	var prefix []logic.Vector
 	switch pass.Method {
 	case MethodGA:
 		r.res.Phases.GAJustifyCalls++
+		sp := r.cfg.Obs.StartSpan("ga_justify", label, passNo)
 		req := justify.Request{
 			TargetGood:   gen.RequiredGood,
 			TargetFaulty: gen.RequiredFaulty,
@@ -512,14 +594,27 @@ func (r *runner) justifyAndBuild(ctx context.Context, f fault.Fault, pass Pass, 
 			Crossover:   r.cfg.Crossover,
 			Overlapping: r.cfg.Overlapping,
 			Hooks:       r.cfg.Hooks,
+			Obs:         r.cfg.Obs,
+			ObsFault:    label,
+			ObsPass:     passNo,
 		})
 		if !jres.Found {
+			sp.End("miss", obs.Attrs{
+				"generations": float64(jres.Generations),
+				"evaluations": float64(jres.Evaluations),
+			})
 			return nil, false
 		}
 		r.res.Phases.GAJustifyFound++
+		sp.End("found", obs.Attrs{
+			"generations": float64(jres.Generations),
+			"evaluations": float64(jres.Evaluations),
+			"seq_len":     float64(len(jres.Sequence)),
+		})
 		prefix = jres.Sequence
 	case MethodDet:
 		r.res.Phases.DetJustifyCalls++
+		sp := r.cfg.Obs.StartSpan("det_justify", label, passNo)
 		lim := atpg.Limits{
 			MaxFrames:     r.cfg.MaxFrames,
 			MaxBacktracks: pass.MaxBacktracks,
@@ -531,9 +626,14 @@ func (r *runner) justifyAndBuild(ctx context.Context, f fault.Fault, pass Pass, 
 			jres = r.engine.JustifyDualCtx(ctx, f, gen.RequiredGood, gen.RequiredFaulty, lim)
 		}
 		if jres.Status != atpg.Success {
+			sp.End("miss", obs.Attrs{"backtracks": float64(jres.Backtracks)})
 			return nil, false
 		}
 		r.res.Phases.DetJustifyFound++
+		sp.End("found", obs.Attrs{
+			"backtracks": float64(jres.Backtracks),
+			"frames":     float64(jres.Frames),
+		})
 		prefix = r.fillX(jres.Vectors)
 	}
 	seq := make([]logic.Vector, 0, len(prefix)+len(gen.Vectors))

@@ -23,6 +23,7 @@ import (
 	"gahitec/internal/ga"
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
+	"gahitec/internal/obs"
 	"gahitec/internal/runctl"
 	"gahitec/internal/sim"
 )
@@ -62,6 +63,15 @@ type Options struct {
 	// Hooks, if non-nil, is the fault-injection harness consulted at entry
 	// (site "ga"); test machinery.
 	Hooks *runctl.Hooks
+
+	// Obs, if non-nil, is the telemetry recorder: the GA emits one
+	// "generation" trajectory point per generation (best fitness plus the
+	// matched-flip-flop counts behind it) and, on success, feeds the
+	// generations-to-solution and solution-length histograms. ObsFault and
+	// ObsPass scope the emitted events; both may be zero.
+	Obs      *obs.Recorder
+	ObsFault string
+	ObsPass  int
 }
 
 func (o *Options) setDefaults(c *netlist.Circuit) {
@@ -150,6 +160,7 @@ func GACtx(ctx context.Context, c *netlist.Circuit, req Request, opt Options) Re
 		opt:        opt,
 		goodSim:    sim.NewPatternSim(c),
 		solvedLane: -1,
+		trackGen:   opt.Obs != nil,
 	}
 	if req.Fault != nil {
 		ev.faultSim = sim.NewPatternSim(c)
@@ -167,6 +178,18 @@ func GACtx(ctx context.Context, c *netlist.Circuit, req Request, opt Options) Re
 		Seed:           opt.Seed,
 		Stop:           func() bool { return ctx.Err() != nil },
 	}
+	if opt.Obs != nil {
+		cfg.Observer = func(gs ga.GenerationStats) {
+			opt.Obs.Point("ga_justify", "generation", opt.ObsFault, opt.ObsPass, obs.Attrs{
+				"gen":          float64(gs.Generation),
+				"best":         gs.BestFitness,
+				"best_ever":    gs.BestEver,
+				"good_match":   float64(ev.genBestGM),
+				"faulty_match": float64(ev.genBestFM),
+				"evaluations":  float64(gs.Evaluations),
+			})
+		}
+	}
 	res, err := ga.Run(cfg, ev.evaluate)
 	if err != nil {
 		// Config errors are programming errors here; surface as not found.
@@ -182,6 +205,7 @@ func GACtx(ctx context.Context, c *netlist.Circuit, req Request, opt Options) Re
 		seq := genesToVectors(res.Best.Genes, len(c.PIs))
 		repairAll(opt.Constraints, seq)
 		out.Sequence = seq[:ev.solvedPrefix]
+		opt.Obs.Observe("ga_generations", float64(res.Generations))
 	}
 	return out
 }
@@ -206,12 +230,22 @@ type evaluator struct {
 
 	solvedLane   int // within-batch lane of the solving individual
 	solvedPrefix int // vectors needed by the solving individual
+
+	// Per-generation convergence tracking for the telemetry trajectory:
+	// the matched-flip-flop counts behind the generation's best fitness.
+	trackGen   bool
+	genBestFit float64
+	genBestGM  int // good-machine flip-flops matched by the generation's best
+	genBestFM  int // faulty-machine flip-flops matched by the generation's best
 }
 
 // evaluate scores the whole population, 64 individuals per simulator pass.
 func (ev *evaluator) evaluate(pop []ga.Individual) ga.EvalResult {
 	nPI := len(ev.c.PIs)
 	solved := -1
+	if ev.trackGen {
+		ev.genBestFit, ev.genBestGM, ev.genBestFM = -1, 0, 0
+	}
 	for base := 0; base < len(pop); base += logic.Lanes {
 		end := base + logic.Lanes
 		if end > len(pop) {
@@ -302,6 +336,9 @@ func (ev *evaluator) evaluateBatch(batch []ga.Individual, nPI int) int {
 			fm = ev.req.TargetFaulty.Matches(ev.faultSim.StateLane(l))
 		}
 		batch[l].Fitness = w*float64(gm) + (1-w)*float64(fm)
+		if ev.trackGen && batch[l].Fitness > ev.genBestFit {
+			ev.genBestFit, ev.genBestGM, ev.genBestFM = batch[l].Fitness, gm, fm
+		}
 	}
 	if solvedLane >= 0 {
 		ev.solvedLane = solvedLane

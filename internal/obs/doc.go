@@ -1,0 +1,19 @@
+// Package obs is the run-telemetry layer of the test generator: a nil-safe,
+// concurrency-safe Recorder that captures a structured NDJSON event stream
+// (per-fault spans for excitation/propagation, GA and deterministic state
+// justification, fault-simulation grading, audit replay, and quarantine/
+// retry, plus per-generation GA convergence points) and aggregated metrics
+// (monotonic counters, fixed-bucket histograms, and per-phase wall time).
+//
+// The Recorder is threaded through configuration exactly like runctl.Hooks:
+// a nil *Recorder is inert and every method is safe to call on it, so the
+// engines pay one nil check when telemetry is disabled. Metrics snapshots
+// are plain JSON and mergeable, which is how a checkpointed run's telemetry
+// survives an interrupt: the snapshot stored in the checkpoint journal is
+// merged into the resumed process's fresh Recorder, and the resumed run's
+// final metrics equal an uninterrupted run's (for the deterministic
+// quantities; wall-clock timings differ by construction).
+//
+// Event streams are analyzed offline with cmd/tracestat, which renders a
+// per-phase time/cost breakdown from a trace file.
+package obs

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Metrics is the aggregated, JSON-serializable side of a Recorder: monotonic
+// counters, completed-span counts and cumulative wall time per phase, and
+// fixed-bucket histograms. Two snapshots merge by field-wise addition, which
+// is what makes checkpoint/resume telemetry equal an uninterrupted run's.
+type Metrics struct {
+	// Counters holds monotonic counters. Span outcomes are folded in as
+	// "<phase>:<outcome>" so they reconcile against the engines' own
+	// aggregate counters.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Spans counts completed spans per phase.
+	Spans map[string]int64 `json:"spans,omitempty"`
+	// PhaseNS is cumulative wall time per phase in nanoseconds. Wall-clock
+	// fields are the only metrics expected to differ between an interrupted+
+	// resumed run and an uninterrupted one.
+	PhaseNS map[string]int64 `json:"phase_ns,omitempty"`
+	// Histograms holds fixed-bucket value distributions. Per-phase duration
+	// histograms use the "phase_ms:" name prefix (milliseconds).
+	Histograms map[string]*Histogram `json:"histograms,omitempty"`
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Counters:   make(map[string]int64),
+		Spans:      make(map[string]int64),
+		PhaseNS:    make(map[string]int64),
+		Histograms: make(map[string]*Histogram),
+	}
+}
+
+// Histogram is a fixed-bucket histogram: Counts[i] samples fell at or below
+// Bounds[i], Counts[len(Bounds)] is the overflow bucket.
+type Histogram struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // len(Bounds)+1, last = overflow
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+// NewHistogram returns an empty histogram over ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.Bounds) && v > h.Bounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.Count++
+	h.Sum += v
+	if h.Count == 1 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 1 || v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the sample mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Merge adds another histogram's samples; bucket bounds must match.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.Bounds) != len(o.Bounds) {
+		return fmt.Errorf("obs: histogram bounds mismatch: %d vs %d buckets", len(h.Bounds), len(o.Bounds))
+	}
+	for i, b := range h.Bounds {
+		if b != o.Bounds[i] {
+			return fmt.Errorf("obs: histogram bound %d mismatch: %g vs %g", i, b, o.Bounds[i])
+		}
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	if o.Count > 0 {
+		if h.Count == 0 || o.Min < h.Min {
+			h.Min = o.Min
+		}
+		if h.Count == 0 || o.Max > h.Max {
+			h.Max = o.Max
+		}
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	return nil
+}
+
+func (h *Histogram) clone() *Histogram {
+	c := *h
+	c.Bounds = append([]float64(nil), h.Bounds...)
+	c.Counts = append([]int64(nil), h.Counts...)
+	return &c
+}
+
+// Bucket bounds per metric family. Every build shares this registry, so
+// histograms from a checkpoint always merge cleanly into a fresh Recorder.
+var (
+	backtrackBounds  = []float64{0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000}
+	generationBounds = []float64{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 48, 64}
+	seqLenBounds     = []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256}
+	durationMSBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+	genericBounds    = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+)
+
+// boundsFor picks the bucket bounds for a histogram name.
+func boundsFor(name string) []float64 {
+	switch {
+	case strings.HasPrefix(name, "phase_ms:"):
+		return durationMSBounds
+	case name == "backtracks":
+		return backtrackBounds
+	case name == "ga_generations":
+		return generationBounds
+	case name == "seq_len":
+		return seqLenBounds
+	}
+	return genericBounds
+}
+
+func (m *Metrics) addCounter(name string, delta int64) {
+	if m.Counters == nil {
+		m.Counters = make(map[string]int64)
+	}
+	m.Counters[name] += delta
+}
+
+func (m *Metrics) observe(name string, v float64) {
+	if m.Histograms == nil {
+		m.Histograms = make(map[string]*Histogram)
+	}
+	h := m.Histograms[name]
+	if h == nil {
+		h = NewHistogram(boundsFor(name))
+		m.Histograms[name] = h
+	}
+	h.Observe(v)
+}
+
+func (m *Metrics) addSpan(phase, outcome string, d time.Duration) {
+	if m.Spans == nil {
+		m.Spans = make(map[string]int64)
+	}
+	if m.PhaseNS == nil {
+		m.PhaseNS = make(map[string]int64)
+	}
+	m.Spans[phase]++
+	m.PhaseNS[phase] += int64(d)
+	if outcome != "" {
+		m.addCounter(phase+":"+outcome, 1)
+	}
+	m.observe("phase_ms:"+phase, float64(d.Microseconds())/1000)
+}
+
+// Clone returns a deep copy.
+func (m *Metrics) Clone() *Metrics {
+	if m == nil {
+		return nil
+	}
+	c := NewMetrics()
+	for k, v := range m.Counters {
+		c.Counters[k] = v
+	}
+	for k, v := range m.Spans {
+		c.Spans[k] = v
+	}
+	for k, v := range m.PhaseNS {
+		c.PhaseNS[k] = v
+	}
+	for k, h := range m.Histograms {
+		c.Histograms[k] = h.clone()
+	}
+	return c
+}
+
+// Merge adds another metrics set into this one. The first histogram bounds
+// mismatch aborts with an error (remaining fields are still summed for the
+// histograms already merged; callers treat the error as fatal).
+func (m *Metrics) Merge(o *Metrics) error {
+	if o == nil {
+		return nil
+	}
+	for k, v := range o.Counters {
+		m.addCounter(k, v)
+	}
+	if m.Spans == nil {
+		m.Spans = make(map[string]int64)
+	}
+	for k, v := range o.Spans {
+		m.Spans[k] += v
+	}
+	if m.PhaseNS == nil {
+		m.PhaseNS = make(map[string]int64)
+	}
+	for k, v := range o.PhaseNS {
+		m.PhaseNS[k] += v
+	}
+	if m.Histograms == nil {
+		m.Histograms = make(map[string]*Histogram)
+	}
+	for k, h := range o.Histograms {
+		mine := m.Histograms[k]
+		if mine == nil {
+			m.Histograms[k] = h.clone()
+			continue
+		}
+		if err := mine.Merge(h); err != nil {
+			return fmt.Errorf("%v (histogram %q)", err, k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attrs carries numeric attributes attached to an event. Values are float64
+// so trace consumers can aggregate without per-key type switches.
+type Attrs map[string]float64
+
+// Event is one NDJSON trace line. Spans carry a duration and an outcome;
+// points are instantaneous (a GA generation, a pass boundary, a quarantine).
+type Event struct {
+	Seq   uint64  `json:"seq"`
+	TMS   float64 `json:"t_ms"` // milliseconds since the recorder started
+	Ev    string  `json:"ev"`   // "span" or "point"
+	Phase string  `json:"phase"`
+	// Name is the span's outcome ("success", "aborted", ...) or the point's
+	// event name ("generation", "pass_end", ...).
+	Name  string `json:"name,omitempty"`
+	DurUS int64  `json:"dur_us,omitempty"` // span duration, microseconds
+	Fault string `json:"fault,omitempty"`  // fault label, when fault-scoped
+	Pass  int    `json:"pass,omitempty"`   // 1-based pass number, when known
+	Attrs Attrs  `json:"attrs,omitempty"`
+}
+
+// Recorder captures an event stream and aggregated metrics. All methods are
+// safe on a nil receiver (they do nothing) and safe for concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	sink  io.Writer // NDJSON event sink; nil drops events (metrics only)
+	enc   *json.Encoder
+	start time.Time
+	now   func() time.Time // test seam; defaults to time.Now
+	seq   uint64
+	err   error // first sink write error; later events are dropped
+	m     *Metrics
+}
+
+// New returns a Recorder. A nil sink records metrics only; a non-nil sink
+// additionally receives one JSON event per line (NDJSON).
+func New(sink io.Writer) *Recorder {
+	r := &Recorder{
+		sink:  sink,
+		start: time.Now(),
+		now:   time.Now,
+		m:     NewMetrics(),
+	}
+	if sink != nil {
+		r.enc = json.NewEncoder(sink)
+	}
+	return r
+}
+
+// Err returns the first event-sink write error, if any. Metrics keep
+// accumulating after a sink failure; only the event stream stops.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// emit writes one event line; callers hold no locks.
+func (r *Recorder) emit(ev string, phase, name string, durUS int64, fault string, pass int, attrs Attrs) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.enc == nil || r.err != nil {
+		return
+	}
+	r.seq++
+	e := Event{
+		Seq:   r.seq,
+		TMS:   float64(r.now().Sub(r.start).Microseconds()) / 1000,
+		Ev:    ev,
+		Phase: phase,
+		Name:  name,
+		DurUS: durUS,
+		Fault: fault,
+		Pass:  pass,
+		Attrs: attrs,
+	}
+	if err := r.enc.Encode(&e); err != nil {
+		r.err = err
+	}
+}
+
+// Counter adds delta to the named monotonic counter.
+func (r *Recorder) Counter(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.m.addCounter(name, delta)
+	r.mu.Unlock()
+}
+
+// Observe records one sample into the named histogram. Bucket bounds come
+// from the per-metric registry (see boundsFor).
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.m.observe(name, v)
+	r.mu.Unlock()
+}
+
+// Point emits an instantaneous event. Fault and pass may be zero-valued when
+// the event is not scoped to a fault or pass.
+func (r *Recorder) Point(phase, name, fault string, pass int, attrs Attrs) {
+	if r == nil {
+		return
+	}
+	r.emit("point", phase, name, 0, fault, pass, attrs)
+}
+
+// Span is an in-flight phase measurement. The zero Span (and any Span from a
+// nil Recorder) is inert: End does nothing.
+type Span struct {
+	r     *Recorder
+	phase string
+	fault string
+	pass  int
+	t0    time.Time
+}
+
+// StartSpan begins timing one unit of work in a phase. End completes it.
+func (r *Recorder) StartSpan(phase, fault string, pass int) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, phase: phase, fault: fault, pass: pass, t0: r.now()}
+}
+
+// End completes the span: it emits a trace event, counts the span and its
+// outcome ("<phase>:<outcome>"), accumulates the phase's wall time, and
+// feeds the per-phase duration histogram ("phase_ms:<phase>").
+func (s Span) End(outcome string, attrs Attrs) {
+	if s.r == nil {
+		return
+	}
+	d := s.r.now().Sub(s.t0)
+	s.r.mu.Lock()
+	s.r.m.addSpan(s.phase, outcome, d)
+	s.r.mu.Unlock()
+	s.r.emit("span", s.phase, outcome, d.Microseconds(), s.fault, s.pass, attrs)
+}
+
+// MetricsSnapshot returns a deep copy of the accumulated metrics (nil from a
+// nil Recorder). Snapshots are what checkpoints persist and -metrics writes.
+func (r *Recorder) MetricsSnapshot() *Metrics {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m.Clone()
+}
+
+// MergeMetrics folds a previously captured snapshot into the live metrics —
+// the resume path: a fresh process's Recorder inherits the checkpointed
+// totals, and everything recorded afterwards adds on top. Histogram bucket
+// bounds must match (they do between builds sharing a bounds registry).
+func (r *Recorder) MergeMetrics(o *Metrics) error {
+	if r == nil || o == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m.Merge(o)
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil Recorder must be fully inert: every method callable, zero effect.
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Counter("x", 1)
+	r.Observe("backtracks", 3)
+	r.Point("p", "n", "f", 1, Attrs{"a": 1})
+	sp := r.StartSpan("phase", "fault", 2)
+	sp.End("ok", nil)
+	if r.MetricsSnapshot() != nil {
+		t.Error("nil recorder returned a snapshot")
+	}
+	if err := r.MergeMetrics(NewMetrics()); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+	if r.Err() != nil {
+		t.Errorf("nil Err: %v", r.Err())
+	}
+	// The zero Span is inert too (the shape guard/recover paths leave behind).
+	var zero Span
+	zero.End("ignored", Attrs{"x": 1})
+}
+
+func TestEventStreamIsParseableNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf)
+	r.Point("run", "pass_end", "", 1, Attrs{"detected": 10})
+	sp := r.StartSpan("excite_prop", "G1 s-a-0", 2)
+	sp.End("success", Attrs{"backtracks": 3})
+	r.Point("ga_justify", "generation", "G1 s-a-0", 2, Attrs{"gen": 1, "best": 4.5})
+
+	out := buf.String()
+	var prev uint64
+	n := 0
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v: %s", n, err, sc.Text())
+		}
+		if e.Seq <= prev {
+			t.Errorf("seq not strictly increasing: %d after %d", e.Seq, prev)
+		}
+		prev = e.Seq
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("got %d events, want 3", n)
+	}
+	for _, want := range []string{`"ev":"span"`, `"ev":"point"`, `"phase":"excite_prop"`, `"name":"success"`, `"fault":"G1 s-a-0"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stream missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanAggregation(t *testing.T) {
+	r := New(nil)
+	// Deterministic clock: each call advances 1ms.
+	var tick int64
+	r.now = func() time.Time {
+		tick++
+		return time.Unix(0, tick*int64(time.Millisecond))
+	}
+	for i := 0; i < 3; i++ {
+		sp := r.StartSpan("det_justify", "", 1)
+		if i == 2 {
+			sp.End("found", nil)
+		} else {
+			sp.End("unjustified", nil)
+		}
+	}
+	m := r.MetricsSnapshot()
+	if m.Spans["det_justify"] != 3 {
+		t.Errorf("spans = %d, want 3", m.Spans["det_justify"])
+	}
+	if m.Counters["det_justify:found"] != 1 || m.Counters["det_justify:unjustified"] != 2 {
+		t.Errorf("outcome counters wrong: %v", m.Counters)
+	}
+	if m.PhaseNS["det_justify"] != int64(3*time.Millisecond) {
+		t.Errorf("phase time = %d ns, want 3ms", m.PhaseNS["det_justify"])
+	}
+	h := m.Histograms["phase_ms:det_justify"]
+	if h == nil || h.Count != 3 {
+		t.Fatalf("duration histogram missing or wrong: %+v", h)
+	}
+}
+
+func TestHistogramBucketsAndStats(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0, 1, 5, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 1, 1} // <=1: {0,1}; <=10: {5,10}; <=100: {11}; over: {1000}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Count != 6 || h.Min != 0 || h.Max != 1000 {
+		t.Errorf("stats wrong: count=%d min=%g max=%g", h.Count, h.Min, h.Max)
+	}
+	if got := h.Mean(); got != 1027.0/6 {
+		t.Errorf("mean = %g", got)
+	}
+}
+
+// Merging a snapshot into a live recorder is the resume path: totals add.
+func TestMergeMetricsIsAdditive(t *testing.T) {
+	a := New(nil)
+	a.Counter("excite_prop:success", 5)
+	a.Observe("backtracks", 10)
+	sp := a.StartSpan("target", "", 1)
+	sp.End("detected", nil)
+
+	b := New(nil)
+	b.Counter("excite_prop:success", 7)
+	b.Observe("backtracks", 99999) // overflow bucket
+	if err := b.MergeMetrics(a.MetricsSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	m := b.MetricsSnapshot()
+	if m.Counters["excite_prop:success"] != 12 {
+		t.Errorf("merged counter = %d, want 12", m.Counters["excite_prop:success"])
+	}
+	if m.Spans["target"] != 1 || m.Counters["target:detected"] != 1 {
+		t.Errorf("merged spans wrong: %v / %v", m.Spans, m.Counters)
+	}
+	h := m.Histograms["backtracks"]
+	if h.Count != 2 || h.Min != 10 || h.Max != 99999 {
+		t.Errorf("merged histogram wrong: %+v", h)
+	}
+
+	// Mismatched bounds are refused, not silently mis-binned.
+	bad := NewMetrics()
+	bad.Histograms["backtracks"] = NewHistogram([]float64{1, 2})
+	bad.Histograms["backtracks"].Observe(1)
+	if err := b.MergeMetrics(bad); err == nil {
+		t.Error("bounds mismatch accepted")
+	}
+}
+
+// Snapshot must be a deep copy: mutating the live recorder afterwards must
+// not change an already-taken snapshot (checkpoints depend on this).
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	r := New(nil)
+	r.Counter("c", 1)
+	r.Observe("backtracks", 5)
+	snap := r.MetricsSnapshot()
+	r.Counter("c", 10)
+	r.Observe("backtracks", 6)
+	if snap.Counters["c"] != 1 {
+		t.Errorf("snapshot counter mutated: %d", snap.Counters["c"])
+	}
+	if snap.Histograms["backtracks"].Count != 1 {
+		t.Errorf("snapshot histogram mutated: %d", snap.Histograms["backtracks"].Count)
+	}
+}
+
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	r := New(nil)
+	r.Counter("c", 3)
+	r.Observe("seq_len", 17)
+	r.StartSpan("audit", "", 0).End("clean", nil)
+	blob, err := json.Marshal(r.MetricsSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Metrics
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c"] != 3 || back.Spans["audit"] != 1 || back.Histograms["seq_len"].Count != 1 {
+		t.Errorf("round trip lost data: %s", blob)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter("n", 1)
+				r.Observe("backtracks", float64(i))
+				r.StartSpan("p", "", 0).End("ok", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	m := r.MetricsSnapshot()
+	if m.Counters["n"] != 800 || m.Spans["p"] != 800 || m.Histograms["backtracks"].Count != 800 {
+		t.Errorf("lost updates: %v %v", m.Counters, m.Spans)
+	}
+	// Every concurrent event line must still be standalone-parseable.
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("corrupt line: %v", err)
+		}
+		lines++
+	}
+	if lines != 800 {
+		t.Errorf("got %d event lines, want 800", lines)
+	}
+}
+
+// A failing sink stops the event stream but never the metrics.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, errSink
+	}
+	return len(p), nil
+}
+
+var errSink = errors.New("sink full")
+
+func TestSinkErrorStopsEventsKeepsMetrics(t *testing.T) {
+	r := New(&failWriter{})
+	for i := 0; i < 5; i++ {
+		r.Point("p", "n", "", 0, nil)
+	}
+	if r.Err() == nil {
+		t.Error("sink error not surfaced")
+	}
+	r.Counter("after", 1)
+	if r.MetricsSnapshot().Counters["after"] != 1 {
+		t.Error("metrics stopped with the sink")
+	}
+}

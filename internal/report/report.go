@@ -15,16 +15,17 @@ import (
 
 // FormatDuration renders a duration in the paper's style: seconds below one
 // minute ("49.5s"), minutes below an hour ("5.96m"), hours above ("2.39h").
+// Values that %.3g would round up to a full unit ("60s", "60m") roll over to
+// the next unit instead, so 59.99s prints as "1m", never "60s".
 func FormatDuration(d time.Duration) string {
 	s := d.Seconds()
-	switch {
-	case s < 60:
-		return fmt.Sprintf("%.3gs", s)
-	case s < 3600:
-		return fmt.Sprintf("%.3gm", s/60)
-	default:
-		return fmt.Sprintf("%.3gh", s/3600)
+	if v := fmt.Sprintf("%.3g", s); s < 60 && v != "60" {
+		return v + "s"
 	}
+	if v := fmt.Sprintf("%.3g", s/60); s < 3600 && v != "60" {
+		return v + "m"
+	}
+	return fmt.Sprintf("%.3gh", s/3600)
 }
 
 // Row is one circuit's results for a side-by-side table.

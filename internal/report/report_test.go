@@ -1,6 +1,9 @@
 package report
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -8,12 +11,33 @@ import (
 	"gahitec/internal/hybrid"
 )
 
+var update = flag.Bool("update", false, "rewrite golden files")
+
 func TestFormatDuration(t *testing.T) {
 	cases := map[time.Duration]string{
 		49500 * time.Millisecond:                   "49.5s",
 		time.Duration(5.96 * float64(time.Minute)): "5.96m",
 		time.Duration(2.39 * float64(time.Hour)):   "2.39h",
 		100 * time.Millisecond:                     "0.1s",
+	}
+	for in, want := range cases {
+		if got := FormatDuration(in); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Durations that %.3g rounds up to a whole unit must roll over rather than
+// print an out-of-range value like "60s" or "60m".
+func TestFormatDurationUnitBoundaries(t *testing.T) {
+	cases := map[time.Duration]string{
+		59900 * time.Millisecond:   "59.9s", // below rounding threshold: stays in seconds
+		59990 * time.Millisecond:   "1m",    // %.3g would say "60s"
+		60 * time.Second:           "1m",
+		61 * time.Second:           "1.02m",
+		3599900 * time.Millisecond: "1h", // 59.998m: %.3g would say "60m"
+		3600 * time.Second:         "1h",
+		3660 * time.Second:         "1.02h",
 	}
 	for in, want := range cases {
 		if got := FormatDuration(in); got != want {
@@ -50,6 +74,38 @@ func TestSideBySide(t *testing.T) {
 	out = SideBySide(rows, false)
 	if !strings.Contains(out, "-") {
 		t.Error("nil baseline should render dashes")
+	}
+}
+
+// The full side-by-side layout — column widths, separators, dash fills for a
+// shorter baseline — is pinned by a golden file. Re-bless after an
+// intentional layout change with:
+//
+//	go test ./internal/report/ -run TestSideBySideGolden -update
+func TestSideBySideGolden(t *testing.T) {
+	short := fakeResult(2)
+	rows := []Row{
+		{Circuit: "s298", SeqDepth: 8, TotalFaults: 308, GA: fakeResult(3), HT: fakeResult(3)},
+		{Circuit: "s344", SeqDepth: 6, TotalFaults: 342, GA: fakeResult(3), HT: short},
+		{Circuit: "s386", SeqDepth: 0, TotalFaults: 384, GA: fakeResult(1), HT: nil},
+	}
+	got := SideBySide(rows, true)
+
+	golden := filepath.Join("testdata", "side_by_side.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (re-bless with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("layout diverged from %s (re-bless with -update):\n--- got ---\n%s--- want ---\n%s", golden, got, want)
 	}
 }
 

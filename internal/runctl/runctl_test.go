@@ -252,6 +252,92 @@ func TestLoadJSONRejectsTrailingGarbage(t *testing.T) {
 	}
 }
 
+// Each malformed spec is refused with an error that names both the failure
+// and the offending rule, so a bad GAHITEC_FAULT_INJECT value is diagnosable
+// from the message alone.
+func TestParseInjectSpecErrorMessages(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"generate", "bad inject rule"},
+		{"generate:3", "bad inject rule"},
+		{"a:x:panic", "bad call number"},
+		{"a:0:panic", "bad call number"},
+		{"a:-2:expire", "bad call number"},
+		{"a:1:explode", "unknown action"},
+		{"a:1:sleep=", "bad sleep duration"},
+		{"a:1:sleep=fast", "bad sleep duration"},
+		{"ok:*:panic,broken:1:nope", "unknown action"},
+	}
+	for _, tc := range cases {
+		h, err := ParseInjectSpec(tc.spec)
+		if err == nil {
+			t.Errorf("spec %q accepted", tc.spec)
+			continue
+		}
+		if h != nil {
+			t.Errorf("spec %q: non-nil hooks alongside error", tc.spec)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("spec %q: error %q does not mention %q", tc.spec, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), strings.SplitN(tc.spec, ",", 2)[0]) &&
+			!strings.Contains(err.Error(), "broken:1:nope") {
+			t.Errorf("spec %q: error %q does not quote the offending rule", tc.spec, err)
+		}
+	}
+}
+
+// Empty specs and stray separators arm nothing rather than erroring, so an
+// unset-but-exported environment variable is harmless.
+func TestParseInjectSpecEmptyRules(t *testing.T) {
+	for _, spec := range []string{"", " ", ",", " , ,", "a:1:panic,,b:*:expire"} {
+		h, err := ParseInjectSpec(spec)
+		if err != nil {
+			t.Errorf("spec %q rejected: %v", spec, err)
+			continue
+		}
+		if h == nil {
+			t.Errorf("spec %q: nil hooks", spec)
+		}
+	}
+	h, err := ParseInjectSpec("a:1:panic,,b:*:expire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Enter("b") != ActExpire {
+		t.Fatal("rule after empty segment not armed")
+	}
+}
+
+// When several armed rules match the same site and call, the first one armed
+// wins — the documented contract that lets a test stack a broad every-call
+// rule behind a targeted override without the override being shadowed.
+func TestHooksEnterFirstArmedRuleWins(t *testing.T) {
+	h := NewHooks()
+	h.Arm("site", 2, ActExpire)
+	h.Arm("site", 0, ActCorrupt)
+	h.Arm("site", 2, ActPanic)
+
+	// Call 1: only the every-call rule matches.
+	if act := h.Enter("site"); act != ActCorrupt {
+		t.Fatalf("call 1: got action %d, want ActCorrupt", act)
+	}
+	// Call 2: all three match; the first armed (expire) wins, so the
+	// later panic rule must not fire.
+	if act := h.Enter("site"); act != ActExpire {
+		t.Fatalf("call 2: got action %d, want ActExpire", act)
+	}
+	// Call 3: back to the every-call rule.
+	if act := h.Enter("site"); act != ActCorrupt {
+		t.Fatalf("call 3: got action %d, want ActCorrupt", act)
+	}
+	if n := h.Calls("site"); n != 3 {
+		t.Fatalf("call count %d, want 3", n)
+	}
+}
+
 func TestParseInjectSpecCorrupt(t *testing.T) {
 	h, err := ParseInjectSpec("faultsim.word:2:corrupt")
 	if err != nil {
