@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json golden fuzz-smoke
+.PHONY: build test check bench bench-json golden fuzz-smoke soak
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,12 @@ fuzz-smoke:
 # Re-bless the cmd/atpg golden files after an intentional output change.
 golden:
 	$(GO) test ./cmd/atpg/ -run TestPassStatisticsGolden -update
+
+# Short fault-injection soak under the race detector: every injected failure
+# (engine panic, watchdog stall, audit miscompare) must yield a crash-repro
+# bundle that -repro reproduces. CI runs the three modes as a matrix.
+soak:
+	$(GO) build -race -o atpg-race ./cmd/atpg
+	./scripts/soak.sh panic
+	./scripts/soak.sh stall
+	./scripts/soak.sh corrupt

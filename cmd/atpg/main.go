@@ -39,6 +39,17 @@
 //	atpg -circuit div -pprof localhost:6060 &
 //	go tool pprof http://localhost:6060/debug/pprof/profile
 //
+// The run can be supervised: -watchdog-ceiling and -watchdog-stall arm a
+// per-fault watchdog that hard-preempts a search exceeding its wall-clock
+// ceiling or going heartbeat-silent, -mem-soft-mb/-mem-hard-mb arm a memory
+// governor that deterministically degrades per-fault search effort under
+// heap pressure, and -bundle-dir collects a crash-repro bundle for every
+// panic, watchdog preemption, budget exhaustion or audit miscompare. A
+// bundle replays deterministically in single-fault isolation:
+//
+//	atpg -circuit s298 -watchdog-stall 2s -bundle-dir bundles/
+//	atpg -repro bundles/bundle-001-panic-n12-s13-sa1-p2.json   # exit 4 on mismatch
+//
 // The GAHITEC_FAULT_INJECT environment variable arms the runctl
 // fault-injection harness (e.g. "generate:*:sleep=20ms" or
 // "faultsim.word:3:corrupt"); it exists for the resilience integration
@@ -75,6 +86,7 @@ import (
 	"gahitec/internal/report"
 	"gahitec/internal/runctl"
 	"gahitec/internal/simgen"
+	"gahitec/internal/supervise"
 )
 
 // exitInterrupted is the conventional exit status after SIGINT.
@@ -83,6 +95,10 @@ const exitInterrupted = 130
 // exitAuditFailed is returned by -audit=strict when any detection claim
 // fails independent verification.
 const exitAuditFailed = 3
+
+// exitReproMismatch is returned by -repro when the replay does not reproduce
+// the outcome the bundle recorded.
+const exitReproMismatch = 4
 
 // auditMode is the -audit flag: a boolean flag ("-audit", "-audit=false")
 // that also accepts the value "strict".
@@ -153,6 +169,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		metricsOut  = fs.String("metrics", "", "write aggregated run metrics (JSON) to this file when the run ends")
 		progressOn  = fs.Bool("progress", false, "print a live progress line to stderr at fault boundaries")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
+		traceMax    = fs.Int64("trace-max-bytes", 0, "rotate the -trace file, keeping roughly the last N bytes across two segments (0: unbounded)")
+		wdCeiling   = fs.Duration("watchdog-ceiling", 0, "hard-preempt any per-fault search running longer than this (0: off)")
+		wdStall     = fs.Duration("watchdog-stall", 0, "hard-preempt any per-fault search heartbeat-silent for this long (0: off)")
+		memSoftMB   = fs.Int("mem-soft-mb", 0, "heap size that triggers soft search degradation (0: off)")
+		memHardMB   = fs.Int("mem-hard-mb", 0, "heap size that triggers hard search degradation (0: off)")
+		bundleDir   = fs.String("bundle-dir", "", "write a crash-repro bundle here for every panic, preemption, budget exhaustion or audit miscompare")
+		reproPath   = fs.String("repro", "", "replay a crash-repro bundle and verify it reproduces (exit 4 on mismatch)")
 	)
 	var auditFlag auditMode
 	fs.Var(&auditFlag, "audit", "independently verify every detection on the serial reference simulator (true, false or strict)")
@@ -176,11 +199,123 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 
 	var hooks *runctl.Hooks
-	if spec := os.Getenv("GAHITEC_FAULT_INJECT"); spec != "" {
+	injectSpec := os.Getenv("GAHITEC_FAULT_INJECT")
+	if injectSpec != "" {
 		var err error
-		if hooks, err = runctl.ParseInjectSpec(spec); err != nil {
+		if hooks, err = runctl.ParseInjectSpec(injectSpec); err != nil {
 			return fail("%v", err)
 		}
+	}
+
+	// The two simulation-first generators have no hybrid run to instrument;
+	// reject their incompatible flags before any output file is created.
+	if *reproPath == "" && (*mode == "simga" || *mode == "alternating") {
+		if auditFlag.enabled || *retries > 0 {
+			return fail("-audit and -retry require -mode gahitec or hitec")
+		}
+		if *traceOut != "" || *metricsOut != "" || *progressOn {
+			return fail("-trace, -metrics and -progress require -mode gahitec or hitec")
+		}
+	}
+
+	// Telemetry: one recorder feeds the NDJSON trace (-trace), the aggregated
+	// metrics written at exit (-metrics), and the /debug/obs endpoint (-pprof
+	// alone arms a metrics-only recorder so /debug/obs serves live counters).
+	// With -trace-max-bytes the trace rotates in place, keeping the tail of
+	// the run instead of growing without bound. The deferred finalizer runs
+	// on every exit path — including an interrupt — so the trace is flushed
+	// and the metrics written even at exit 130.
+	var rec *obs.Recorder
+	if *traceOut != "" || *metricsOut != "" || *pprofAddr != "" {
+		var sink io.Writer
+		var closeTrace func() error
+		if *traceOut != "" {
+			if *traceMax > 0 {
+				rw, err := obs.NewRotatingWriter(*traceOut, *traceMax)
+				if err != nil {
+					return fail("%v", err)
+				}
+				sink, closeTrace = rw, rw.Close
+			} else {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					return fail("%v", err)
+				}
+				bw := bufio.NewWriter(f)
+				sink = bw
+				closeTrace = func() error {
+					err := bw.Flush()
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+					return err
+				}
+			}
+		}
+		rec = obs.New(sink)
+		defer func() {
+			warn := func(what string, err error) {
+				fmt.Fprintf(stderr, "atpg: %s: %v\n", what, err)
+				if code == 0 {
+					code = 1
+				}
+			}
+			if err := rec.Err(); err != nil {
+				warn("trace", err)
+			}
+			if closeTrace != nil {
+				if err := closeTrace(); err != nil {
+					warn("trace", err)
+				}
+			}
+			if *metricsOut != "" {
+				if err := runctl.SaveJSON(*metricsOut, rec.MetricsSnapshot()); err != nil {
+					warn("metrics", err)
+				}
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		shutdown, err := servePprof(ctx, *pprofAddr, rec, stderr)
+		if err != nil {
+			return fail("pprof: %v", err)
+		}
+		// Drain the server before run returns, so the port is free the
+		// moment the caller gets the exit status.
+		defer shutdown()
+	}
+
+	// -repro is a separate entry point: load the bundle, resolve its circuit
+	// (the bundle names it; -circuit/-bench may override for an un-embedded
+	// netlist) and replay the recorded failure in single-fault isolation.
+	if *reproPath != "" {
+		b, err := supervise.LoadBundle(*reproPath)
+		if err != nil {
+			return fail("%v", err)
+		}
+		cname := *circuitName
+		if cname == "" && *benchFile == "" {
+			cname = b.Circuit
+		}
+		c, err := loadCircuit(cname, *benchFile)
+		if err != nil {
+			return fail("%v", err)
+		}
+		rep, err := hybrid.Repro(ctx, c, b, rec)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(stdout, "repro %s: %s fault n%d pin %d s-a-%s pass %d\n",
+			filepath.Base(*reproPath), rep.Kind, b.Fault.Node, b.Fault.Pin, b.Fault.Stuck, b.Pass)
+		if rep.Detail != "" {
+			fmt.Fprintf(stdout, "  %s\n", rep.Detail)
+		}
+		if !rep.Match {
+			fmt.Fprintf(stdout, "MISMATCH: expected %q, replay produced %q\n", rep.Expected, rep.Outcome)
+			return exitReproMismatch
+		}
+		fmt.Fprintf(stdout, "reproduced: %q\n", rep.Outcome)
+		return 0
 	}
 
 	c, err := loadCircuit(*circuitName, *benchFile)
@@ -199,64 +334,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 
 	// The two simulation-first generators report a single summary line and
 	// share the vector-dump path. They honor cancellation but have no
-	// checkpoint journal — nor the audit/retry machinery.
-	if (auditFlag.enabled || *retries > 0) && (*mode == "simga" || *mode == "alternating") {
-		return fail("-audit and -retry require -mode gahitec or hitec")
-	}
-	if (*traceOut != "" || *metricsOut != "" || *progressOn) && (*mode == "simga" || *mode == "alternating") {
-		return fail("-trace, -metrics and -progress require -mode gahitec or hitec")
-	}
-
-	// Telemetry: one recorder feeds the NDJSON trace (-trace), the aggregated
-	// metrics written at exit (-metrics), and the /debug/obs endpoint (-pprof
-	// alone arms a metrics-only recorder so /debug/obs serves live counters).
-	// The deferred finalizer runs on every exit path — including an interrupt
-	// — so the trace is flushed and the metrics written even at exit 130.
-	var rec *obs.Recorder
-	if *traceOut != "" || *metricsOut != "" || *pprofAddr != "" {
-		var sink io.Writer
-		var traceFile *os.File
-		var traceBuf *bufio.Writer
-		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				return fail("%v", err)
-			}
-			traceFile, traceBuf = f, bufio.NewWriter(f)
-			sink = traceBuf
-		}
-		rec = obs.New(sink)
-		defer func() {
-			warn := func(what string, err error) {
-				fmt.Fprintf(stderr, "atpg: %s: %v\n", what, err)
-				if code == 0 {
-					code = 1
-				}
-			}
-			if err := rec.Err(); err != nil {
-				warn("trace", err)
-			}
-			if traceBuf != nil {
-				err := traceBuf.Flush()
-				if cerr := traceFile.Close(); err == nil {
-					err = cerr
-				}
-				if err != nil {
-					warn("trace", err)
-				}
-			}
-			if *metricsOut != "" {
-				if err := runctl.SaveJSON(*metricsOut, rec.MetricsSnapshot()); err != nil {
-					warn("metrics", err)
-				}
-			}
-		}()
-	}
-	if *pprofAddr != "" {
-		if err := servePprof(*pprofAddr, rec, stderr); err != nil {
-			return fail("pprof: %v", err)
-		}
-	}
+	// checkpoint journal — nor the audit/retry machinery (flag compatibility
+	// was validated above, before the telemetry files were opened).
 	switch *mode {
 	case "simga":
 		r := simgen.RunCtx(ctx, c, faults, simgen.Options{Seed: *seed, SeqLen: seqLen / 2, MaxRounds: 300})
@@ -291,6 +370,29 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	cfg.Audit = auditFlag.enabled
 	cfg.Retry = runctl.Escalation{MaxAttempts: *retries}
 	cfg.Obs = rec
+	cfg.InjectSpec = injectSpec
+	cfg.Watchdog = supervise.Watchdog{Ceiling: *wdCeiling, Stall: *wdStall}
+	if *memSoftMB > 0 || *memHardMB > 0 {
+		cfg.Governor = &supervise.Governor{
+			SoftBytes: uint64(*memSoftMB) << 20,
+			HardBytes: uint64(*memHardMB) << 20,
+		}
+	}
+	if *bundleDir != "" {
+		if err := os.MkdirAll(*bundleDir, 0o755); err != nil {
+			return fail("%v", err)
+		}
+		ordinal := 0
+		cfg.Bundle = func(b *supervise.Bundle) {
+			ordinal++
+			p := filepath.Join(*bundleDir, b.FileName(ordinal))
+			if err := b.Save(p); err != nil {
+				fmt.Fprintf(stderr, "atpg: bundle: %v\n", err)
+			} else {
+				fmt.Fprintf(stderr, "atpg: crash-repro bundle written to %s\n", p)
+			}
+		}
+	}
 	if *progressOn {
 		var last time.Time
 		cfg.Progress = func(p hybrid.Progress) {
@@ -299,10 +401,16 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 				return
 			}
 			last = time.Now()
+			// No progress yet means no rate to extrapolate: show a sentinel
+			// instead of a bogus (zero or absurd) estimate.
+			eta := "--:--"
+			if p.ETA > 0 {
+				eta = report.FormatDuration(p.ETA)
+			}
 			fmt.Fprintf(stderr, "atpg: pass %d/%d fault %d/%d detected %d/%d (%.1f%%) vectors %d elapsed %s eta %s\n",
 				p.Pass, p.PassCount, p.FaultIndex, p.PassTargets, p.Detected, p.TotalFaults,
 				100*p.Coverage(), p.Vectors,
-				report.FormatDuration(p.Elapsed), report.FormatDuration(p.ETA))
+				report.FormatDuration(p.Elapsed), eta)
 		}
 	}
 	if *interactive {
@@ -463,10 +571,13 @@ func writeSet(stdout io.Writer, fail func(string, ...any) int, c *netlist.Circui
 // servePprof serves the standard pprof and expvar endpoints plus /debug/obs
 // (the recorder's live metrics snapshot; null when telemetry is off) on addr.
 // It returns once the listener is bound — so a bad address fails the run
-// immediately — and serving continues in the background for the life of the
-// process. A private mux keeps repeated in-process runs (tests) from
-// colliding on DefaultServeMux registrations.
-func servePprof(addr string, rec *obs.Recorder, stderr io.Writer) error {
+// immediately — and serving continues in the background for the rest of the
+// run. The server shuts down gracefully (draining in-flight requests, then
+// releasing the port) when the run context is cancelled — SIGINT/SIGTERM or
+// -timeout — or when the returned function is called, whichever comes first;
+// calling both is safe. A private mux keeps repeated in-process runs (tests)
+// from colliding on DefaultServeMux registrations.
+func servePprof(ctx context.Context, addr string, rec *obs.Recorder, stderr io.Writer) (shutdown func(), err error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
@@ -484,15 +595,27 @@ func servePprof(addr string, rec *obs.Recorder, stderr io.Writer) error {
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(stderr, "atpg: pprof serving on http://%s/debug/pprof/\n", ln.Addr())
+	srv := &http.Server{Handler: mux}
 	go func() {
-		if err := http.Serve(ln, mux); err != nil {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(stderr, "atpg: pprof: %v\n", err)
 		}
 	}()
-	return nil
+	stop := func() {
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			srv.Close() // drain timed out; release the port regardless
+		}
+	}
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return stop, nil
 }
 
 func loadCircuit(name, file string) (*netlist.Circuit, error) {

@@ -6,16 +6,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"gahitec/internal/obs"
+	"gahitec/internal/supervise"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -116,7 +119,7 @@ func TestAuditCatchesInjectedCorruption(t *testing.T) {
 	if !strings.Contains(corrupted, "miscompare:") || !strings.Contains(corrupted, "reference never detects") {
 		t.Fatalf("missing structured miscompare record:\n%s", corrupted)
 	}
-	if !strings.Contains(corrupted, "1 audit)") {
+	if !strings.Contains(corrupted, "1 audit,") {
 		t.Fatalf("demoted fault not quarantined under the audit reason:\n%s", corrupted)
 	}
 
@@ -299,27 +302,95 @@ func TestTelemetryFlags(t *testing.T) {
 		t.Errorf("metrics missing core counters: %+v", m)
 	}
 
-	// Progress: at least one live line went to stderr.
+	// Progress: at least one live line went to stderr, and the line for a
+	// pass's last fault (nothing left to extrapolate) shows the ETA
+	// sentinel instead of a bogus zero countdown.
 	if !strings.Contains(errw.String(), "atpg: pass ") {
 		t.Errorf("no progress lines on stderr:\n%s", errw.String())
 	}
+	if !strings.Contains(errw.String(), "eta --:--") {
+		t.Errorf("no ETA sentinel on the pass-final progress lines:\n%s", errw.String())
+	}
 
-	// pprof: the announced address serves /debug/obs with a JSON snapshot.
+	// pprof: the server was announced, and — since the run has returned —
+	// its port has been released (graceful shutdown is part of run's exit
+	// path, not process teardown).
 	addr := regexp.MustCompile(`pprof serving on http://([^/]+)/`).FindStringSubmatch(errw.String())
 	if addr == nil {
 		t.Fatalf("no pprof address announced:\n%s", errw.String())
 	}
-	resp, err := http.Get("http://" + addr[1] + "/debug/obs")
-	if err != nil {
-		t.Fatal(err)
+	if conn, err := net.Dial("tcp", addr[1]); err == nil {
+		conn.Close()
+		t.Errorf("pprof port %s still accepting connections after run returned", addr[1])
 	}
-	defer resp.Body.Close()
+}
+
+// syncBuffer is a bytes.Buffer safe to read while another goroutine (the run
+// under test) is writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// While a run is in flight, /debug/obs serves a live JSON metrics snapshot;
+// when the run context is cancelled (-timeout here, SIGINT/SIGTERM in the
+// field) the server shuts down and the port is released by the time run
+// returns.
+func TestPprofServesLiveAndReleasesPort(t *testing.T) {
+	var out bytes.Buffer
+	var errw syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		// A schedule long enough to poll mid-run, cut short by -timeout so
+		// the shutdown path under test is the context-cancellation one.
+		done <- run([]string{"-circuit", "s344", "-seed", "1", "-scale", "1000",
+			"-timeout", "5s", "-pprof", "127.0.0.1:0"}, &out, &errw)
+	}()
+
+	addrRE := regexp.MustCompile(`pprof serving on http://([^/]+)/`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("pprof address never announced:\n%s", errw.String())
+		}
+		if m := addrRE.FindStringSubmatch(errw.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/debug/obs")
+	if err != nil {
+		t.Fatalf("live /debug/obs: %v", err)
+	}
 	var served obs.Metrics
-	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+	err = json.NewDecoder(resp.Body).Decode(&served)
+	resp.Body.Close()
+	if err != nil {
 		t.Fatalf("/debug/obs not JSON: %v", err)
 	}
-	if served.Spans["target"] != m.Spans["target"] {
-		t.Errorf("/debug/obs target spans %d != metrics file %d", served.Spans["target"], m.Spans["target"])
+
+	code := <-done
+	if code != 0 && code != exitInterrupted {
+		t.Fatalf("run exited %d:\n%s\n%s", code, out.String(), errw.String())
+	}
+	if conn, err := net.Dial("tcp", addr); err == nil {
+		conn.Close()
+		t.Errorf("pprof port %s still accepting connections after run returned", addr)
 	}
 }
 
@@ -445,4 +516,144 @@ func (a maps) equal(b map[string]int64) bool {
 		}
 	}
 	return true
+}
+
+// A run that hits injected failures writes crash-repro bundles into
+// -bundle-dir, and -repro replays one and reports reproduction with exit 0 —
+// or exit 4 when the bundle's recorded outcome does not reproduce.
+func TestBundleDirAndRepro(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("GAHITEC_FAULT_INJECT", "generate:3:panic")
+	var out, errw bytes.Buffer
+	code := run([]string{"-circuit", "s27", "-seed", "1", "-scale", "1000",
+		"-bundle-dir", dir}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d:\n%s\n%s", code, out.String(), errw.String())
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "bundle-*-panic-*.json"))
+	if err != nil || len(matches) != 1 {
+		ents, _ := os.ReadDir(dir)
+		t.Fatalf("want exactly one panic bundle, got %v (dir: %v)", matches, ents)
+	}
+	if !strings.Contains(errw.String(), "crash-repro bundle written to") {
+		t.Errorf("bundle write not announced on stderr:\n%s", errw.String())
+	}
+
+	// The same injection spec must be armed for the replay: -repro re-arms
+	// it from the bundle, not from the environment.
+	t.Setenv("GAHITEC_FAULT_INJECT", "")
+	out.Reset()
+	code = run([]string{"-repro", matches[0]}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("-repro exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), `reproduced: "panic"`) {
+		t.Errorf("missing reproduction verdict:\n%s", out.String())
+	}
+
+	// Tamper with the recorded outcome: the replay still panics, which no
+	// longer matches, and -repro must say so with exit 4.
+	b, err := supervise.LoadBundle(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Kind = supervise.KindBudget
+	b.Outcome = "undecided"
+	tampered := filepath.Join(dir, "tampered.json")
+	if err := b.Save(tampered); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-repro", tampered}, &out, &errw); code != exitReproMismatch {
+		t.Fatalf("tampered -repro exited %d, want %d:\n%s", code, exitReproMismatch, out.String())
+	}
+	if !strings.Contains(out.String(), "MISMATCH") {
+		t.Errorf("missing mismatch notice:\n%s", out.String())
+	}
+}
+
+// An audit miscompare produces a data-driven bundle that -repro replays on
+// the serial reference simulator.
+func TestAuditBundleRepro(t *testing.T) {
+	dir := t.TempDir()
+	var bundle string
+	for k := 1; k <= 8 && bundle == ""; k++ {
+		t.Setenv("GAHITEC_FAULT_INJECT", fmt.Sprintf("faultsim.word:%d:corrupt", k))
+		var out, errw bytes.Buffer
+		sub := filepath.Join(dir, fmt.Sprintf("k%d", k))
+		code := run([]string{"-circuit", "s27", "-seed", "1", "-scale", "1000",
+			"-audit", "-bundle-dir", sub}, &out, &errw)
+		if code != 0 {
+			t.Fatalf("run exited %d:\n%s\n%s", code, out.String(), errw.String())
+		}
+		if m, _ := filepath.Glob(filepath.Join(sub, "bundle-*-audit_miscompare-*.json")); len(m) > 0 {
+			bundle = m[0]
+		}
+	}
+	if bundle == "" {
+		t.Fatal("no injection call produced a demotable fabricated detection")
+	}
+	t.Setenv("GAHITEC_FAULT_INJECT", "")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-repro", bundle}, &out, &errw); code != 0 {
+		t.Fatalf("-repro exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), `reproduced: "miscompare"`) {
+		t.Errorf("missing reproduction verdict:\n%s", out.String())
+	}
+}
+
+// A torn (truncated) checkpoint journal is rejected by -resume with an error
+// locating the damage, not resumed into garbage.
+func TestResumeRejectsTornJournal(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.json")
+	var out bytes.Buffer
+	code := run([]string{"-circuit", "s27", "-seed", "1", "-scale", "1000",
+		"-checkpoint", journal, "-checkpoint-every", "1"}, &out, &out)
+	if code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, out.String())
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journal, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-circuit", "s27", "-resume", journal}, &out, &out); code != 1 {
+		t.Fatalf("torn -resume exited %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "line ") {
+		t.Errorf("rejection does not locate the damage:\n%s", out.String())
+	}
+}
+
+// -trace-max-bytes bounds the NDJSON trace: the live file stays within the
+// cap, the rotated segment picks up the overflow, and every surviving line
+// is still valid JSON.
+func TestTraceRotationFlag(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.ndjson")
+	var out, errw bytes.Buffer
+	code := run([]string{"-circuit", "s27", "-seed", "1", "-scale", "1000",
+		"-trace", trace, "-trace-max-bytes", "8192"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d:\n%s\n%s", code, out.String(), errw.String())
+	}
+	for _, p := range []string{trace, trace + ".1"} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("%s: %v (rotation never happened?)", p, err)
+		}
+		if len(data) > 8192 {
+			t.Errorf("%s is %d bytes, cap 8192", p, len(data))
+		}
+		for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			if !json.Valid([]byte(line)) {
+				t.Fatalf("%s line %d is not JSON: %q", p, i+1, line)
+			}
+		}
+	}
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"gahitec/internal/logic"
+	"gahitec/internal/runctl"
 )
 
 // Status is the outcome of a Generate or Justify call.
@@ -71,6 +72,10 @@ type Limits struct {
 	// entry points the effective deadline is the earlier of this and the
 	// context's own.
 	Deadline time.Time
+	// Pulse, if non-nil, is beaten on every budget poll inside the search,
+	// so an external watchdog can tell a slow-but-alive search from a stuck
+	// one without the search code carrying heartbeat calls.
+	Pulse *runctl.Pulse
 }
 
 // DefaultLimits returns the limits used when a field is zero.

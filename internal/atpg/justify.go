@@ -34,7 +34,7 @@ func (e *Engine) JustifyCtx(ctx context.Context, target logic.Vector, lim Limits
 	if target.CountKnown() == 0 {
 		return JustifyResult{Status: Success}
 	}
-	budget := runctl.NewBudget(ctx, lim.Deadline, lim.MaxBacktracks)
+	budget := runctl.NewBudget(ctx, lim.Deadline, lim.MaxBacktracks).WithPulse(lim.Pulse)
 	if e.hooks.Enter("justify") == runctl.ActExpire {
 		budget.ForceExpire()
 	}
@@ -80,7 +80,7 @@ func (e *Engine) JustifyDualCtx(ctx context.Context, f fault.Fault, targetGood, 
 	if targetGood.CountKnown() == 0 && targetFaulty.CountKnown() == 0 {
 		return JustifyResult{Status: Success}
 	}
-	budget := runctl.NewBudget(ctx, lim.Deadline, lim.MaxBacktracks)
+	budget := runctl.NewBudget(ctx, lim.Deadline, lim.MaxBacktracks).WithPulse(lim.Pulse)
 	if e.hooks.Enter("justify-dual") == runctl.ActExpire {
 		budget.ForceExpire()
 	}

@@ -108,7 +108,7 @@ func (e *Engine) GenerateNth(f fault.Fault, lim Limits, skip int) Result {
 func (e *Engine) GenerateNthCtx(ctx context.Context, f fault.Fault, lim Limits, skip int) (res Result) {
 	defer func() { e.record("generate", res.Status, res.Backtracks) }()
 	lim = lim.withDefaults(e.c.SeqDepth())
-	budget := runctl.NewBudget(ctx, lim.Deadline, lim.MaxBacktracks)
+	budget := runctl.NewBudget(ctx, lim.Deadline, lim.MaxBacktracks).WithPulse(lim.Pulse)
 	if e.hooks.Enter("generate") == runctl.ActExpire {
 		budget.ForceExpire()
 	}

@@ -7,13 +7,15 @@ import (
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
 	"gahitec/internal/obs"
+	"gahitec/internal/supervise"
 )
 
 // CheckpointVersion is the journal format version written by this build.
 // Version 2 added the circuit structural fingerprint and the quarantine
-// list; version 3 added the telemetry metrics snapshot. Older journals are
-// refused rather than resumed with unchecked assumptions.
-const CheckpointVersion = 3
+// list; version 3 added the telemetry metrics snapshot; version 4 added
+// per-quarantine crash-repro bundles and the governor's degradation log.
+// Older journals are refused rather than resumed with unchecked assumptions.
+const CheckpointVersion = 4
 
 // Checkpoint is a resumable snapshot of a hybrid run, always taken at a
 // fault boundary (never mid-search). It records everything Resume needs to
@@ -75,14 +77,21 @@ type Checkpoint struct {
 	// interrupted tail past the boundary never reaches the journal, exactly
 	// like the rest of the run state.
 	Obs *obs.Metrics `json:"obs,omitempty"`
+
+	// Degradations is the governor's decision log up to this boundary, so a
+	// resumed run reports the complete degradation history.
+	Degradations []supervise.Decision `json:"degradations,omitempty"`
 }
 
-// SavedQuarantine is the JSON form of one quarantine entry.
+// SavedQuarantine is the JSON form of one quarantine entry. The bundle
+// rides along so a resumed run's retries replay from the same forked
+// sub-seed as the uninterrupted run's would.
 type SavedQuarantine struct {
-	Fault    SavedFault `json:"fault"`
-	Reason   string     `json:"reason"`
-	Attempts int        `json:"attempts,omitempty"`
-	Resolved bool       `json:"resolved,omitempty"`
+	Fault    SavedFault        `json:"fault"`
+	Reason   string            `json:"reason"`
+	Attempts int               `json:"attempts,omitempty"`
+	Resolved bool              `json:"resolved,omitempty"`
+	Bundle   *supervise.Bundle `json:"bundle,omitempty"`
 }
 
 // SavedFault is the JSON form of a fault site. Node indices are stable for
@@ -187,6 +196,11 @@ func (ck *Checkpoint) Validate(c *netlist.Circuit, cfg Config, totalFaults int) 
 		}
 		if _, err := parseReason(sq.Reason); err != nil {
 			return err
+		}
+		if sq.Bundle != nil {
+			if err := sq.Bundle.Validate(); err != nil {
+				return fmt.Errorf("hybrid: bad quarantine bundle: %w", err)
+			}
 		}
 	}
 	return nil

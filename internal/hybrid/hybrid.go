@@ -20,6 +20,7 @@ import (
 	"gahitec/internal/logic"
 	"gahitec/internal/obs"
 	"gahitec/internal/runctl"
+	"gahitec/internal/supervise"
 )
 
 // Method selects the state-justification approach of a pass.
@@ -140,6 +141,37 @@ type Config struct {
 	// Retry.MaxAttempts; bases default to the schedule's last pass). The
 	// zero value disables retries.
 	Retry runctl.Escalation
+
+	// Watchdog supervises every targeted-fault search: the search runs on a
+	// side goroutine fed by progress heartbeats (every engine budget poll and
+	// every GA generation beats the pulse), and a search that exceeds the
+	// wall-clock ceiling or goes heartbeat-silent is hard-preempted — its
+	// context cancelled and, if it still does not return, its goroutine
+	// abandoned — so one stuck fault cannot stall the whole run. Preempted
+	// faults are counted in Phases.Preempted and quarantined for retry. The
+	// zero value disables supervision (searches run inline, as before).
+	Watchdog supervise.Watchdog
+
+	// Governor, if non-nil, adapts per-fault search effort to memory
+	// pressure: it is sampled at every fault boundary (never from a timer,
+	// so a forced pressure schedule reproduces exactly), and its level
+	// shrinks the pass's GA population, generations, sequence length and
+	// backtrack allowance toward the schedule's earlier-pass scale. Every
+	// level change is recorded in Result.Degradations.
+	Governor *supervise.Governor
+
+	// Bundle, if non-nil, receives every crash-repro bundle captured during
+	// the run — on a recovered panic, a watchdog preemption, budget
+	// exhaustion, or an audit demotion. Bundles are self-contained and
+	// deterministic; cmd/atpg -repro replays one in isolation. The callback
+	// typically persists the bundle with its FileName.
+	Bundle func(*supervise.Bundle)
+
+	// InjectSpec is the raw fault-injection spec behind Hooks (as given to
+	// runctl.ParseInjectSpec); it is recorded — normalized to fire on every
+	// call — in captured bundles so a replay re-arms the same injected
+	// failure. Informational; Hooks alone drives the injection.
+	InjectSpec string
 }
 
 // GAHITECConfig builds the paper's Table I schedule. x is the base sequence
@@ -232,6 +264,26 @@ type PhaseStats struct {
 	IncidentalDetects int // faults dropped without being targeted
 	Preprocessed      int // untestables filtered by the preprocessing screen
 	Panics            int // faults aborted by a recovered engine panic
+	Preempted         int // faults aborted by a watchdog preemption
+}
+
+// add accumulates the per-attempt counter deltas of one supervised search
+// into the run totals. Only the counters the search body increments are
+// carried through d; driver-side counters (Targeted, IncidentalDetects,
+// Preprocessed, Panics, Preempted) stay zero in deltas.
+func (p *PhaseStats) add(d PhaseStats) {
+	p.Targeted += d.Targeted
+	p.ExciteProp += d.ExciteProp
+	p.GAJustifyCalls += d.GAJustifyCalls
+	p.GAJustifyFound += d.GAJustifyFound
+	p.DetJustifyCalls += d.DetJustifyCalls
+	p.DetJustifyFound += d.DetJustifyFound
+	p.PropBacktracks += d.PropBacktracks
+	p.VerifyFailures += d.VerifyFailures
+	p.IncidentalDetects += d.IncidentalDetects
+	p.Preprocessed += d.Preprocessed
+	p.Panics += d.Panics
+	p.Preempted += d.Preempted
 }
 
 // Result is the outcome of a full run.
@@ -269,6 +321,11 @@ type Result struct {
 	// final disposition; Retry summarizes the retry phase.
 	Quarantine []Quarantined
 	Retry      RetryStats
+
+	// Degradations is the governor's decision log: every load-shedding
+	// level change, in sampling order. Two runs with the same seed and the
+	// same pressure schedule produce identical logs.
+	Degradations []supervise.Decision
 }
 
 // FaultCoverage returns detected / total.

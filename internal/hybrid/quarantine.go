@@ -7,6 +7,7 @@ import (
 	"gahitec/internal/fault"
 	"gahitec/internal/faultsim"
 	"gahitec/internal/obs"
+	"gahitec/internal/supervise"
 )
 
 // QuarantineReason classifies why a fault was set aside for the end-of-run
@@ -23,7 +24,14 @@ const (
 	// ReasonAudit: the independent audit demoted the fault's detection claim
 	// — the serial reference simulator could not reproduce it.
 	ReasonAudit
+	// ReasonPreempt: the watchdog hard-preempted the fault's search (ceiling
+	// or stall) before it reached a decision.
+	ReasonPreempt
 )
+
+// NumQuarantineReasons is the number of distinct reasons, for per-reason
+// accounting arrays.
+const NumQuarantineReasons = 4
 
 func (q QuarantineReason) String() string {
 	switch q {
@@ -31,6 +39,8 @@ func (q QuarantineReason) String() string {
 		return "panic"
 	case ReasonAudit:
 		return "audit"
+	case ReasonPreempt:
+		return "preempt"
 	default:
 		return "budget"
 	}
@@ -44,6 +54,8 @@ func parseReason(s string) (QuarantineReason, error) {
 		return ReasonPanic, nil
 	case "audit":
 		return ReasonAudit, nil
+	case "preempt":
+		return ReasonPreempt, nil
 	}
 	return 0, fmt.Errorf("hybrid: unknown quarantine reason %q", s)
 }
@@ -57,6 +69,25 @@ type Quarantined struct {
 	// (for audit demotions, re-detected with a serially confirmed test) or
 	// proven untestable.
 	Resolved bool
+
+	// Bundle is the crash-repro bundle captured when the fault was
+	// quarantined: the deterministic description of the failing attempt.
+	// Retries replay from it (its forked sub-seed) instead of re-deriving
+	// state, and it rides in the checkpoint so a resumed run retries
+	// identically.
+	Bundle *supervise.Bundle
+}
+
+// retrySeed is the random stream of the attempt-th retry: the quarantined
+// attempt's own forked sub-seed offset per attempt, so retries replay from
+// the bundle deterministically without touching the master stream.
+func (q *Quarantined) retrySeed(attempt int) int64 {
+	if q.Bundle != nil {
+		return q.Bundle.SubSeed + int64(attempt)
+	}
+	// No bundle (quarantine restored from a degenerate journal): derive a
+	// deterministic seed from the fault site instead.
+	return int64(q.Fault.Node)<<16 + int64(q.Fault.Pin)<<2 + int64(attempt)
 }
 
 // RetryStats summarizes the quarantine-and-retry phase of a run.
@@ -116,10 +147,34 @@ func (r *runner) runAudit() bool {
 		return false
 	}
 	r.res.Audit = rep
-	for _, f := range rep.Demoted() {
-		r.quarantineFault(f, ReasonAudit)
+	for _, rec := range rep.Records {
+		if rec.Verdict != audit.Unverified {
+			continue
+		}
+		q := r.quarantineFault(rec.Fault, ReasonAudit)
+		r.captureAuditBundle(q, rec)
 	}
 	return true
+}
+
+// captureAuditBundle serializes the miscompare as a crash-repro bundle: the
+// full test set plus the demoted claim, replayable on the serial reference
+// in isolation. It replaces any earlier (budget/panic/preempt) bundle on the
+// entry — the miscompare artifact supersedes it — but not a previous audit
+// bundle for the same fault.
+func (r *runner) captureAuditBundle(q *Quarantined, rec audit.Record) {
+	if q.Bundle != nil && q.Bundle.Kind == supervise.KindAuditMiscompare {
+		return
+	}
+	b := r.newBundle(supervise.KindAuditMiscompare, "miscompare", rec.Fault)
+	b.SubSeed = r.rng.Int63() // seeds the retry stream; the replay itself is data-driven
+	b.ClaimVector = rec.Claimed
+	b.TestSet = make([][]string, len(r.res.TestSet))
+	for i, seq := range r.res.TestSet {
+		b.TestSet[i] = saveSeq(seq)
+	}
+	q.Bundle = b
+	r.emitBundle(b)
 }
 
 // retryQueue returns the quarantined faults still worth retrying: not yet
@@ -188,23 +243,21 @@ func (r *runner) retryQuarantined() bool {
 			r.res.Retry.EscalatedBacktracks = pass.MaxBacktracks
 			retried = true
 			sp := r.cfg.Obs.StartSpan("target", r.faultLabel(q.Fault), retryPass)
-			var accepted bool
-			ok := r.guard(func() { _, accepted = r.targetFault(q.Fault, pass, retryPass) })
+			// Retries replay from the quarantine bundle: the attempt's own
+			// forked sub-seed (offset per attempt) instead of a fresh master
+			// draw, so the retry phase is deterministic given the quarantine
+			// list alone — exactly what a resumed run restores.
+			_, accepted, outcome := r.superviseTarget(q.Fault, pass, retryPass, q.retrySeed(attempt))
 			if r.expired() {
 				sp.End("interrupted", nil)
 				return false
 			}
-			switch {
-			case !ok:
-				sp.End("panic", nil)
-			case accepted:
-				sp.End("detected", obs.Attrs{"attempt": float64(attempt)})
-			case r.untestable[q.Fault]:
-				sp.End("untestable", nil)
-			default:
-				sp.End("undecided", nil)
+			if accepted {
+				sp.End(outcome, obs.Attrs{"attempt": float64(attempt)})
+			} else {
+				sp.End(outcome, nil)
 			}
-			if ok && (accepted || r.untestable[q.Fault]) {
+			if accepted || outcome == "untestable" {
 				q.Resolved = true
 			}
 		}

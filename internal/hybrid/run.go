@@ -9,11 +9,10 @@ import (
 	"gahitec/internal/atpg"
 	"gahitec/internal/fault"
 	"gahitec/internal/faultsim"
-	"gahitec/internal/justify"
-	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
 	"gahitec/internal/obs"
 	"gahitec/internal/runctl"
+	"gahitec/internal/supervise"
 )
 
 // runner holds the mutable state of one test-generation run.
@@ -31,6 +30,7 @@ type runner struct {
 
 	quar      map[fault.Fault]*Quarantined
 	quarOrder []*Quarantined // quarantine entries in capture order
+	bundleSeq int            // crash-repro bundles captured so far
 
 	start       time.Time
 	prevElapsed time.Duration // accumulated before a resume
@@ -167,7 +167,12 @@ func (r *runner) restore(ck *Checkpoint) error {
 		q := r.captureQuarantine(f, reason)
 		q.Attempts = sq.Attempts
 		q.Resolved = sq.Resolved
+		q.Bundle = sq.Bundle
+		if q.Bundle != nil {
+			r.bundleSeq++ // ordinals continue after the restored captures
+		}
 	}
+	r.res.Degradations = append(r.res.Degradations, ck.Degradations...)
 
 	// Replay the accumulated test set: the fault simulator re-derives the
 	// detection state deterministically, and the pass's target snapshot is
@@ -202,6 +207,23 @@ func (r *runner) restore(ck *Checkpoint) error {
 func (r *runner) run() *Result {
 	r.start = time.Now()
 	r.fsim.SetObs(r.cfg.Obs)
+	if r.cfg.Governor != nil {
+		// Record every load-shedding decision on the Result and in the
+		// telemetry stream, chaining any observer the caller installed. The
+		// runner owns the governor for the duration of the run.
+		user := r.cfg.Governor.OnDecision
+		r.cfg.Governor.OnDecision = func(d supervise.Decision) {
+			r.res.Degradations = append(r.res.Degradations, d)
+			r.cfg.Obs.Point("governor", "decision", "", d.Pass, obs.Attrs{
+				"sample": float64(d.Sample),
+				"heap":   float64(d.Heap),
+				"level":  float64(levelOrd(d.To)),
+			})
+			if user != nil {
+				user(d)
+			}
+		}
+	}
 	if r.cfg.PreprocessUntestable && !r.preprocessDone {
 		if !r.preprocess() {
 			return r.interrupted()
@@ -340,8 +362,10 @@ func (r *runner) snapshot(pi, fi, passStartSeqs int) *Checkpoint {
 			Reason:   q.Reason.String(),
 			Attempts: q.Attempts,
 			Resolved: q.Resolved,
+			Bundle:   q.Bundle,
 		})
 	}
+	ck.Degradations = append([]supervise.Decision(nil), r.res.Degradations...)
 	return ck
 }
 
@@ -428,9 +452,7 @@ func (r *runner) runPass(pi int, pass Pass, fi0 int, targets []fault.Fault, pass
 			continue
 		}
 		sp := r.cfg.Obs.StartSpan("target", r.faultLabel(f), pi+1)
-		var newly []fault.Fault
-		var accepted bool
-		ok := r.guard(func() { newly, accepted = r.targetFault(f, pass, pi+1) })
+		newly, accepted, outcome := r.superviseTarget(f, pass, pi+1, r.rng.Int63())
 		if r.expired() {
 			// The run context died while this fault's search was in flight,
 			// possibly clipping it mid-search. Its outcome is not what an
@@ -440,29 +462,27 @@ func (r *runner) runPass(pi int, pass Pass, fi0 int, targets []fault.Fault, pass
 			sp.End("interrupted", nil)
 			return false
 		}
-		switch {
-		case !ok:
-			r.quarantineFault(f, ReasonPanic)
-			sp.End("panic", nil)
-		case accepted:
+		if accepted {
 			for _, g := range newly {
 				delete(stillRemaining, g)
 			}
-			sp.End("detected", obs.Attrs{"newly": float64(len(newly))})
-		case r.untestable[f]:
-			sp.End("untestable", nil)
-		default:
-			// Undecided: the fault's budget expired without a test or an
-			// untestability proof. Quarantine it for the end-of-run retry.
-			r.quarantineFault(f, ReasonBudget)
-			sp.End("undecided", nil)
+			sp.End(outcome, obs.Attrs{"newly": float64(len(newly))})
+		} else {
+			sp.End(outcome, nil)
 		}
 		r.noteBoundary(pi, fi+1, passStartSeqs, false)
 		if r.cfg.Progress != nil {
 			done := fi + 1 - fi0
 			var eta time.Duration
 			if done > 0 {
-				eta = time.Duration(int64(time.Since(passT0)) / int64(done) * int64(len(targets)-fi-1))
+				// Average-per-fault times remaining; dividing first keeps
+				// the arithmetic far from int64 overflow, and a clock step
+				// backwards is clamped rather than reported as a negative
+				// countdown.
+				eta = time.Since(passT0) / time.Duration(done) * time.Duration(len(targets)-fi-1)
+				if eta < 0 {
+					eta = 0
+				}
 			}
 			r.cfg.Progress(Progress{
 				Pass:        pi + 1,
@@ -480,181 +500,13 @@ func (r *runner) runPass(pi int, pass Pass, fi0 int, targets []fault.Fault, pass
 	return true
 }
 
-// targetFault runs the Fig. 1 flow for one fault. It returns the faults
-// newly detected by an accepted test, plus whether a test was accepted at
-// all — false means the fault ended the attempt undecided (budget expired
-// or proven untestable; the caller distinguishes via r.untestable). The
-// fault's whole budget — the pass's wall-clock allowance and the run
-// context — is carried by a derived context; the engine folds it into its
-// search budget.
-func (r *runner) targetFault(f fault.Fault, pass Pass, passNo int) ([]fault.Fault, bool) {
-	fctx := r.ctx
-	if pass.TimePerFault > 0 {
-		var cancel context.CancelFunc
-		fctx, cancel = context.WithDeadline(r.ctx, time.Now().Add(pass.TimePerFault))
-		defer cancel()
+// levelOrd maps a governor level name to its ordinal for telemetry attrs.
+func levelOrd(s string) int {
+	switch s {
+	case "soft":
+		return 1
+	case "hard":
+		return 2
 	}
-	lim := atpg.Limits{
-		MaxFrames:     r.cfg.MaxFrames,
-		MaxBacktracks: pass.MaxBacktracks,
-	}
-	r.res.Phases.Targeted++
-	label := r.faultLabel(f)
-
-	for attempt := 0; attempt < pass.JustifyAttempts; attempt++ {
-		if attempt > 0 {
-			r.res.Phases.PropBacktracks++
-		}
-		epsp := r.cfg.Obs.StartSpan("excite_prop", label, passNo)
-		gen := r.engine.GenerateNthCtx(fctx, f, lim, attempt)
-		switch gen.Status {
-		case atpg.Untestable:
-			epsp.End("untestable", nil)
-			if attempt == 0 && !r.untestable[f] {
-				r.untestable[f] = true
-				r.res.Untestable = append(r.res.Untestable, f)
-			}
-			return nil, false
-		case atpg.Aborted:
-			epsp.End("aborted", nil)
-			return nil, false
-		}
-		r.res.Phases.ExciteProp++
-		epsp.End("success", obs.Attrs{
-			"attempt":    float64(attempt),
-			"backtracks": float64(gen.Backtracks),
-			"frames":     float64(gen.Frames),
-		})
-
-		seq, ok := r.justifyAndBuild(fctx, f, pass, passNo, gen)
-		if !ok {
-			if fctx.Err() != nil {
-				return nil, false
-			}
-			continue // backtrack into propagation: try the next solution
-		}
-
-		// Confirm with the independent fault simulator before counting.
-		vsp := r.cfg.Obs.StartSpan("verify", label, passNo)
-		det, _ := faultsim.DetectsFrom(r.c, f, r.fsim.GoodState(), nil, seq)
-		if !det {
-			vsp.End("reject", obs.Attrs{"seq_len": float64(len(seq))})
-			r.res.Phases.VerifyFailures++
-			if fctx.Err() != nil {
-				return nil, false
-			}
-			continue
-		}
-		vsp.End("accept", obs.Attrs{"seq_len": float64(len(seq))})
-		r.cfg.Obs.Observe("seq_len", float64(len(seq)))
-		r.res.TestSet = append(r.res.TestSet, seq)
-		r.res.Targets = append(r.res.Targets, f)
-		newly := r.fsim.ApplySequence(seq)
-		// Incidental = detected without being this attempt's target. When an
-		// audit-demoted fault is re-targeted it is no longer in the
-		// simulator's fault list, so the target may be absent from newly.
-		incidental := 0
-		for _, g := range newly {
-			if g != f {
-				incidental++
-			}
-		}
-		r.res.Phases.IncidentalDetects += incidental
-		if incidental > 0 {
-			r.cfg.Obs.Counter("incidental_detects", int64(incidental))
-		}
-		return newly, true
-	}
-	return nil, false
-}
-
-// justifyAndBuild runs state justification for one propagation solution and,
-// on success, assembles the full candidate test sequence (justification
-// prefix + excitation/propagation vectors, X positions filled randomly).
-func (r *runner) justifyAndBuild(ctx context.Context, f fault.Fault, pass Pass, passNo int, gen atpg.Result) ([]logic.Vector, bool) {
-	label := r.faultLabel(f)
-	var prefix []logic.Vector
-	switch pass.Method {
-	case MethodGA:
-		r.res.Phases.GAJustifyCalls++
-		sp := r.cfg.Obs.StartSpan("ga_justify", label, passNo)
-		req := justify.Request{
-			TargetGood:   gen.RequiredGood,
-			TargetFaulty: gen.RequiredFaulty,
-			Fault:        &f,
-			StartGood:    r.fsim.GoodState(),
-		}
-		jres := justify.GACtx(ctx, r.c, req, justify.Options{
-			Population:  pass.Population,
-			Generations: pass.Generations,
-			SeqLen:      pass.SeqLen,
-			WeightGood:  r.cfg.WeightGood,
-			Seed:        r.rng.Int63(),
-			Selection:   r.cfg.Selection,
-			Crossover:   r.cfg.Crossover,
-			Overlapping: r.cfg.Overlapping,
-			Hooks:       r.cfg.Hooks,
-			Obs:         r.cfg.Obs,
-			ObsFault:    label,
-			ObsPass:     passNo,
-		})
-		if !jres.Found {
-			sp.End("miss", obs.Attrs{
-				"generations": float64(jres.Generations),
-				"evaluations": float64(jres.Evaluations),
-			})
-			return nil, false
-		}
-		r.res.Phases.GAJustifyFound++
-		sp.End("found", obs.Attrs{
-			"generations": float64(jres.Generations),
-			"evaluations": float64(jres.Evaluations),
-			"seq_len":     float64(len(jres.Sequence)),
-		})
-		prefix = jres.Sequence
-	case MethodDet:
-		r.res.Phases.DetJustifyCalls++
-		sp := r.cfg.Obs.StartSpan("det_justify", label, passNo)
-		lim := atpg.Limits{
-			MaxFrames:     r.cfg.MaxFrames,
-			MaxBacktracks: pass.MaxBacktracks,
-		}
-		var jres atpg.JustifyResult
-		if r.cfg.FaultFreeJustify {
-			jres = r.engine.JustifyCtx(ctx, gen.RequiredGood, lim)
-		} else {
-			jres = r.engine.JustifyDualCtx(ctx, f, gen.RequiredGood, gen.RequiredFaulty, lim)
-		}
-		if jres.Status != atpg.Success {
-			sp.End("miss", obs.Attrs{"backtracks": float64(jres.Backtracks)})
-			return nil, false
-		}
-		r.res.Phases.DetJustifyFound++
-		sp.End("found", obs.Attrs{
-			"backtracks": float64(jres.Backtracks),
-			"frames":     float64(jres.Frames),
-		})
-		prefix = r.fillX(jres.Vectors)
-	}
-	seq := make([]logic.Vector, 0, len(prefix)+len(gen.Vectors))
-	seq = append(seq, prefix...)
-	seq = append(seq, r.fillX(gen.Vectors)...)
-	return seq, true
-}
-
-// fillX replaces unassigned input bits with random binary values; random
-// fill maximizes incidental fault detection, which the fault simulator then
-// credits.
-func (r *runner) fillX(seq []logic.Vector) []logic.Vector {
-	out := make([]logic.Vector, len(seq))
-	for i, v := range seq {
-		w := v.Clone()
-		for j := range w {
-			if w[j] == logic.X {
-				w[j] = logic.FromBit(uint64(r.rng.Intn(2)))
-			}
-		}
-		out[i] = w
-	}
-	return out
+	return 0
 }

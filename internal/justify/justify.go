@@ -64,6 +64,10 @@ type Options struct {
 	// (site "ga"); test machinery.
 	Hooks *runctl.Hooks
 
+	// Pulse, if non-nil, is beaten once per GA generation (inside the stop
+	// check), so an external watchdog sees a generation-granular heartbeat.
+	Pulse *runctl.Pulse
+
 	// Obs, if non-nil, is the telemetry recorder: the GA emits one
 	// "generation" trajectory point per generation (best fitness plus the
 	// matched-flip-flop counts behind it) and, on success, feeds the
@@ -176,7 +180,10 @@ func GACtx(ctx context.Context, c *netlist.Circuit, req Request, opt Options) Re
 		Crossover:      opt.Crossover,
 		Overlapping:    opt.Overlapping,
 		Seed:           opt.Seed,
-		Stop:           func() bool { return ctx.Err() != nil },
+		Stop: func() bool {
+			opt.Pulse.Beat()
+			return ctx.Err() != nil
+		},
 	}
 	if opt.Obs != nil {
 		cfg.Observer = func(gs ga.GenerationStats) {

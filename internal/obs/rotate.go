@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// RotatingWriter is a size-capped NDJSON sink: events stream to path until
+// the segment would exceed maxBytes, then the segment is rotated to path.1
+// (replacing any previous rotation) and a fresh segment begins. A long run
+// therefore keeps at most the last ~2×maxBytes of trace — the newest events
+// plus one full predecessor segment — instead of growing without bound.
+//
+// Rotation happens only between writes. The recorder emits one complete
+// NDJSON line per Write (json.Encoder calls Write once per Encode), so both
+// segments always hold whole lines and every segment is independently
+// parseable. Not safe for concurrent use; the Recorder serializes writes
+// under its own lock.
+type RotatingWriter struct {
+	path     string
+	maxBytes int64
+
+	f    *os.File
+	buf  *bufio.Writer
+	size int64
+}
+
+// NewRotatingWriter creates (truncating) path and returns the writer.
+// maxBytes <= 0 disables rotation: the file grows without bound, matching a
+// plain file sink.
+func NewRotatingWriter(path string, maxBytes int64) (*RotatingWriter, error) {
+	w := &RotatingWriter{path: path, maxBytes: maxBytes}
+	if err := w.open(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *RotatingWriter) open() error {
+	f, err := os.Create(w.path)
+	if err != nil {
+		return fmt.Errorf("obs: create trace: %w", err)
+	}
+	w.f, w.buf, w.size = f, bufio.NewWriter(f), 0
+	return nil
+}
+
+// Write appends one NDJSON line, rotating first when the line would push the
+// current segment past the cap. A single line larger than the cap still goes
+// out whole — into a segment of its own.
+func (w *RotatingWriter) Write(p []byte) (int, error) {
+	if w.maxBytes > 0 && w.size > 0 && w.size+int64(len(p)) > w.maxBytes {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.buf.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// rotate closes the current segment, moves it to path.1 (replacing any
+// previous rotation) and starts a new one.
+func (w *RotatingWriter) rotate() error {
+	if err := w.closeSegment(); err != nil {
+		return err
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		return fmt.Errorf("obs: rotate trace: %w", err)
+	}
+	return w.open()
+}
+
+func (w *RotatingWriter) closeSegment() error {
+	err := w.buf.Flush()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("obs: close trace segment: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the current segment.
+func (w *RotatingWriter) Close() error { return w.closeSegment() }

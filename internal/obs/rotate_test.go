@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeLines pushes n numbered NDJSON-ish lines through w, each one Write
+// call, mirroring how json.Encoder feeds the sink.
+func writeLines(t *testing.T, w *RotatingWriter, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		line := fmt.Sprintf("{\"seq\":%d,\"pad\":\"%s\"}\n", i, strings.Repeat("x", 40))
+		if _, err := w.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func readLines(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	return out
+}
+
+func TestRotatingWriterKeepsLastSegments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	w, err := NewRotatingWriter(path, 600) // ~10 lines of ~58 bytes per segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeLines(t, w, 0, 100)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cur, old := readLines(t, path), readLines(t, path+".1")
+	if len(cur) == 0 || len(old) == 0 {
+		t.Fatalf("expected both segments populated, got %d + %d lines", len(cur), len(old))
+	}
+	// Both segments hold only whole lines that parse independently, and
+	// together they hold a contiguous tail of the stream ending at line 99.
+	var all []string
+	all = append(all, old...)
+	all = append(all, cur...)
+	first := -1
+	for i, line := range all {
+		var ev struct {
+			Seq int `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("segment line %d is not valid JSON: %v (%q)", i, err, line)
+		}
+		if first == -1 {
+			first = ev.Seq
+		}
+		if ev.Seq != first+i {
+			t.Fatalf("line %d has seq %d, want %d (tail must be contiguous)", i, ev.Seq, first+i)
+		}
+	}
+	if last := first + len(all) - 1; last != 99 {
+		t.Fatalf("tail ends at seq %d, want 99", last)
+	}
+	// Each segment respects the cap.
+	for _, p := range []string{path, path + ".1"} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() > 600 {
+			t.Fatalf("segment %s is %d bytes, cap 600 (err %v)", p, fi.Size(), err)
+		}
+	}
+}
+
+func TestRotatingWriterUncappedNeverRotates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	w, err := NewRotatingWriter(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeLines(t, w, 0, 50)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatalf("uncapped writer rotated: %v", err)
+	}
+	if got := readLines(t, path); len(got) != 50 {
+		t.Fatalf("got %d lines, want 50", len(got))
+	}
+}
+
+func TestRotatingWriterOversizeLineGoesOutWhole(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	w, err := NewRotatingWriter(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := "{\"seq\":0}\n"
+	big := fmt.Sprintf("{\"seq\":1,\"pad\":%q}\n", strings.Repeat("y", 300))
+	if _, err := w.Write([]byte(small)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte(big)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readLines(t, path); len(got) != 1 || got[0] != strings.TrimSuffix(big, "\n") {
+		t.Fatalf("current segment = %q, want the oversize line whole", got)
+	}
+	if got := readLines(t, path+".1"); len(got) != 1 {
+		t.Fatalf("rotated segment = %q, want the small line", got)
+	}
+}
+
+// TestRecorderOverRotatingWriter wires a real Recorder to the rotating sink
+// and checks the surviving trace parses as events.
+func TestRecorderOverRotatingWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	w, err := NewRotatingWriter(path, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := New(w)
+	for i := 0; i < 200; i++ {
+		rec.Point("test", "tick", "", 0, Attrs{"i": float64(i)})
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := readLines(t, path)
+	if len(lines) == 0 {
+		t.Fatal("no events survived in the current segment")
+	}
+	for _, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line does not parse: %v (%q)", err, line)
+		}
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("expected a rotated segment: %v", err)
+	}
+}

@@ -143,13 +143,14 @@ func Retry(res *hybrid.Result) string {
 	if rt.Quarantined == 0 {
 		return "quarantine: empty (every fault was decided in the schedule)\n"
 	}
-	var byReason [3]int
+	var byReason [hybrid.NumQuarantineReasons]int
 	for _, q := range res.Quarantine {
 		byReason[q.Reason]++
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "quarantine: %d faults (%d budget, %d panic, %d audit)\n",
-		rt.Quarantined, byReason[hybrid.ReasonBudget], byReason[hybrid.ReasonPanic], byReason[hybrid.ReasonAudit])
+	fmt.Fprintf(&b, "quarantine: %d faults (%d budget, %d panic, %d audit, %d preempt)\n",
+		rt.Quarantined, byReason[hybrid.ReasonBudget], byReason[hybrid.ReasonPanic],
+		byReason[hybrid.ReasonAudit], byReason[hybrid.ReasonPreempt])
 	if rt.Retried > 0 {
 		fmt.Fprintf(&b, "  retries: %d attempts, %d faults recovered, %d exhausted (escalated to %s / %d backtracks)\n",
 			rt.Retried, rt.Recovered, rt.Exhausted,
@@ -177,6 +178,12 @@ func Phases(res *hybrid.Result) string {
 	}
 	if p.Panics > 0 {
 		fmt.Fprintf(&b, "  faults aborted by panic         %6d\n", p.Panics)
+	}
+	if p.Preempted > 0 {
+		fmt.Fprintf(&b, "  searches preempted by watchdog  %6d\n", p.Preempted)
+	}
+	if len(res.Degradations) > 0 {
+		fmt.Fprintf(&b, "  governor degradations           %6d\n", len(res.Degradations))
 	}
 	return b.String()
 }

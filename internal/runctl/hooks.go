@@ -109,6 +109,51 @@ func (h *Hooks) Enter(site string) Action {
 	return act
 }
 
+// NormalizeInjectSpec rewrites every rule's call number to "*" so the spec
+// can be replayed outside its original run: a rule like "generate:17:panic"
+// fired on the seventeenth generate call of a whole campaign, but a
+// crash-repro bundle replays a single fault, where the same site is entered
+// only once or twice. Arming the site on every call reproduces the injected
+// failure regardless of the replay's call numbering. Malformed rules pass
+// through untouched — ParseInjectSpec will report them.
+func NormalizeInjectSpec(spec string) string {
+	parts := strings.Split(spec, ",")
+	for i, part := range parts {
+		fields := strings.SplitN(strings.TrimSpace(part), ":", 3)
+		if len(fields) != 3 {
+			continue
+		}
+		fields[1] = "*"
+		parts[i] = strings.Join(fields, ":")
+	}
+	return strings.Join(parts, ",")
+}
+
+// FilterInjectSpec reduces spec to the rules whose action name is in keep
+// (sleep rules match "sleep" regardless of duration) and normalizes the
+// survivors for single-fault replay. Crash-repro bundles use it so a replay
+// re-arms only the failure modes that can produce the bundled outcome: a
+// budget-exhaustion bundle captured while a panic rule was armed for some
+// other fault must not panic its own replay. Malformed rules are dropped.
+func FilterInjectSpec(spec string, keep ...string) string {
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.SplitN(strings.TrimSpace(part), ":", 3)
+		if len(fields) != 3 {
+			continue
+		}
+		action, _, _ := strings.Cut(fields[2], "=")
+		for _, k := range keep {
+			if action == k {
+				fields[1] = "*"
+				out = append(out, strings.Join(fields, ":"))
+				break
+			}
+		}
+	}
+	return strings.Join(out, ",")
+}
+
 // ParseInjectSpec builds a harness from a comma-separated spec of
 // site:call:action rules, e.g. "generate:3:panic,justify:*:sleep=20ms".
 // call is a 1-based call number or "*" for every call; action is one of

@@ -49,7 +49,9 @@ func SaveJSON(path string, v any) error {
 // exactly one JSON document: anything after it — as left behind by a
 // truncated journal that a later writer appended to, which json.Unmarshal
 // alone would reject but a streaming decode would silently ignore — is an
-// error, so a corrupted journal is refused rather than half-parsed.
+// error, so a corrupted journal is refused rather than half-parsed. Parse
+// errors carry the line and column of the offending byte, so a torn or
+// truncated journal is diagnosable from the message alone.
 func LoadJSON(path string, v any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -57,11 +59,39 @@ func LoadJSON(path string, v any) error {
 	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("runctl: parse journal %s: %w", path, err)
+		return fmt.Errorf("runctl: parse journal %s: %s: %w", path, locate(data, err), err)
 	}
 	var extra json.RawMessage
 	if err := dec.Decode(&extra); !errors.Is(err, io.EOF) {
 		return fmt.Errorf("runctl: journal %s: trailing data after the JSON document", path)
 	}
 	return nil
+}
+
+// locate renders the line:column position of a JSON decode error. Truncated
+// documents (unexpected EOF) point at the end of the data; syntax and type
+// errors carry their own byte offset.
+func locate(data []byte, err error) string {
+	off := int64(len(data))
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &syn):
+		off = syn.Offset
+	case errors.As(err, &typ):
+		off = typ.Offset
+	}
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	line, col := 1, 1
+	for _, b := range data[:off] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("line %d, column %d", line, col)
 }

@@ -1,0 +1,40 @@
+package runctl
+
+import "sync/atomic"
+
+// Pulse is a heartbeat counter shared between a search body and its
+// supervisor: the search beats it from its hot loops (one atomic increment),
+// and a watchdog goroutine samples the count to distinguish a search that is
+// merely slow from one that is wedged in code that never reaches a budget
+// check. A nil *Pulse is inert, so engines thread it unconditionally.
+//
+// Budgets beat an attached Pulse automatically on every Expired/Exhausted
+// poll, which puts a heartbeat at exactly the cadence the engines already
+// check their stop conditions — no extra call sites in the inner loops.
+type Pulse struct {
+	n atomic.Uint64
+}
+
+// Beat records one heartbeat. Safe on a nil receiver and for concurrent use.
+func (p *Pulse) Beat() {
+	if p == nil {
+		return
+	}
+	p.n.Add(1)
+}
+
+// Count returns the number of heartbeats so far (0 from a nil Pulse).
+func (p *Pulse) Count() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.n.Load()
+}
+
+// WithPulse attaches a heartbeat to the budget: every Expired (and therefore
+// Exhausted) call beats it before checking anything else. It returns the
+// budget for chaining and accepts a nil pulse (no-op).
+func (b *Budget) WithPulse(p *Pulse) *Budget {
+	b.pulse = p
+	return b
+}

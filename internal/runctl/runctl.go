@@ -42,6 +42,7 @@ type Budget struct {
 	backtracks int
 	tick       uint32
 	expired    bool
+	pulse      *Pulse // beaten on every Expired poll; nil: none
 }
 
 // NewBudget returns a budget over ctx with the given wall-clock deadline
@@ -62,6 +63,7 @@ func NewBudget(ctx context.Context, deadline time.Time, backtracks int) *Budget 
 // trips, Expired stays true. ForceExpire (used by the fault-injection
 // harness) trips it unconditionally.
 func (b *Budget) Expired() bool {
+	b.pulse.Beat()
 	if b.expired {
 		return true
 	}

@@ -1,0 +1,185 @@
+package supervise
+
+import (
+	"fmt"
+
+	"gahitec/internal/runctl"
+)
+
+// BundleVersion is the crash-repro bundle format version. Bundles are
+// refused, not guessed at, when the version does not match.
+const BundleVersion = 1
+
+// Bundle kinds: why the bundle was captured.
+const (
+	// KindPanic: the search body panicked (recovered by the supervisor).
+	KindPanic = "panic"
+	// KindAuditMiscompare: the end-of-run audit demoted a detection claim —
+	// the serial reference simulator could not reproduce it.
+	KindAuditMiscompare = "audit_miscompare"
+	// KindPreempt: the watchdog preempted the search (ceiling or stall).
+	KindPreempt = "watchdog_preempt"
+	// KindBudget: the fault stayed undecided after exhausting its per-fault
+	// budget in the final pass.
+	KindBudget = "budget_exhausted"
+)
+
+// BundleFault is the fault site in the same plain form the checkpoint
+// journal uses: a node index (stable for a given netlist, pinned by the
+// circuit fingerprint), a pin (-1 for an output stem) and a stuck value.
+type BundleFault struct {
+	Node  int    `json:"node"`
+	Pin   int    `json:"pin"`
+	Stuck string `json:"stuck"`
+	Name  string `json:"name,omitempty"` // human-readable, informational only
+}
+
+// BundlePass holds the effective per-fault search parameters of the attempt —
+// after any governor degradation, so the replay runs exactly what the
+// original attempt ran, not what the schedule prescribed.
+type BundlePass struct {
+	Method          string `json:"method"` // "GA" or "deterministic"
+	TimePerFaultNS  int64  `json:"time_per_fault_ns"`
+	Population      int    `json:"population,omitempty"`
+	Generations     int    `json:"generations,omitempty"`
+	SeqLen          int    `json:"seq_len,omitempty"`
+	MaxBacktracks   int    `json:"max_backtracks"`
+	JustifyAttempts int    `json:"justify_attempts"`
+}
+
+// BundleConfig holds the run-level knobs that shape a single-fault search.
+type BundleConfig struct {
+	MaxFrames        int     `json:"max_frames"`
+	WeightGood       float64 `json:"weight_good,omitempty"`
+	Selection        int     `json:"selection,omitempty"`
+	Crossover        int     `json:"crossover,omitempty"`
+	Overlapping      bool    `json:"overlapping,omitempty"`
+	FaultFreeJustify bool    `json:"fault_free_justify,omitempty"`
+}
+
+// Bundle is a self-contained, deterministic description of one fault
+// attempt, captured when something went wrong — a recovered panic, an audit
+// miscompare, a watchdog preemption or budget exhaustion — and replayable in
+// isolation with `atpg -repro <bundle>`. Everything the replay needs is in
+// the bundle: the circuit is identified by name and structural fingerprint,
+// the RNG position by the attempt's forked sub-seed, the machine state by
+// the good-machine state vector at the attempt's start, and the search
+// effort by the effective (possibly degraded) pass parameters.
+//
+// The struct is plain JSON, written atomically with runctl.SaveJSON.
+type Bundle struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+
+	Circuit     string `json:"circuit"`
+	Fingerprint string `json:"fingerprint"`
+
+	Fault BundleFault `json:"fault"`
+
+	// Seed is the run seed; SubSeed is the per-fault stream forked from it
+	// (one master draw per targeted fault), which is all the replay needs to
+	// reproduce the attempt's random choices. MasterDraws records the master
+	// stream position at the fork, for diagnosis only.
+	Seed        int64  `json:"seed"`
+	SubSeed     int64  `json:"sub_seed"`
+	MasterDraws uint64 `json:"master_draws"`
+
+	// StartGood is the good machine's flip-flop state when the attempt
+	// began (the state the GA justifier seeds from); StartVectors is how
+	// many test vectors had been applied to reach it.
+	StartGood    string `json:"start_good"`
+	StartVectors int    `json:"start_vectors"`
+
+	// Pass is the 1-based schedule pass of the attempt; Params are the
+	// effective search parameters after any governor degradation.
+	Pass   int          `json:"pass"`
+	Params BundlePass   `json:"params"`
+	Config BundleConfig `json:"config"`
+
+	// InjectSpec is the fault-injection spec active during the run,
+	// normalized with runctl.NormalizeInjectSpec so rules keyed to
+	// campaign-global call numbers fire in a single-fault replay too.
+	InjectSpec string `json:"inject_spec,omitempty"`
+
+	// Outcome is what the replay must reproduce: "panic", "undecided",
+	// "preempt_ceiling", "preempt_stall" or "miscompare".
+	Outcome string `json:"outcome"`
+
+	// Panic details (KindPanic).
+	PanicValue string `json:"panic_value,omitempty"`
+	PanicSite  string `json:"panic_site,omitempty"`
+
+	// Watchdog thresholds of the original run (KindPreempt), so the replay
+	// supervises the search the same way.
+	WatchdogCeilingNS int64 `json:"watchdog_ceiling_ns,omitempty"`
+	WatchdogStallNS   int64 `json:"watchdog_stall_ns,omitempty"`
+
+	// Audit-miscompare payload (KindAuditMiscompare): the full test set the
+	// claim was audited against (one string per vector, one slice per
+	// sequence) and the claimed detecting vector's global index. The replay
+	// re-runs the serial reference over the set and must reproduce the
+	// demotion: no detection at the claimed vector.
+	TestSet     [][]string `json:"test_set,omitempty"`
+	ClaimVector int        `json:"claim_vector,omitempty"`
+}
+
+// Validate checks the bundle's internal consistency before a replay trusts
+// any of it.
+func (b *Bundle) Validate() error {
+	switch {
+	case b.Version != BundleVersion:
+		return fmt.Errorf("supervise: bundle version %d, want %d", b.Version, BundleVersion)
+	case b.Circuit == "" || b.Fingerprint == "":
+		return fmt.Errorf("supervise: bundle has no circuit identity")
+	case b.Fault.Node < 0:
+		return fmt.Errorf("supervise: bundle fault node %d out of range", b.Fault.Node)
+	case b.Outcome == "":
+		return fmt.Errorf("supervise: bundle has no expected outcome")
+	}
+	switch b.Kind {
+	case KindPanic, KindPreempt, KindBudget:
+		if b.Pass < 1 {
+			return fmt.Errorf("supervise: bundle pass %d out of range", b.Pass)
+		}
+		if b.Params.Method != "GA" && b.Params.Method != "deterministic" {
+			return fmt.Errorf("supervise: bundle has unknown method %q", b.Params.Method)
+		}
+	case KindAuditMiscompare:
+		if len(b.TestSet) == 0 {
+			return fmt.Errorf("supervise: audit-miscompare bundle has no test set")
+		}
+		if b.ClaimVector < 0 {
+			return fmt.Errorf("supervise: audit-miscompare bundle claim vector %d out of range", b.ClaimVector)
+		}
+	default:
+		return fmt.Errorf("supervise: unknown bundle kind %q", b.Kind)
+	}
+	return nil
+}
+
+// Save writes the bundle to path atomically.
+func (b *Bundle) Save(path string) error { return runctl.SaveJSON(path, b) }
+
+// LoadBundle reads and validates a bundle from path.
+func LoadBundle(path string) (*Bundle, error) {
+	var b Bundle
+	if err := runctl.LoadJSON(path, &b); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return &b, nil
+}
+
+// FileName returns the bundle's canonical file name: kind, fault site and
+// pass, prefixed with a capture ordinal so multiple bundles from one run
+// sort in capture order. Deterministic — no timestamps.
+func (b *Bundle) FileName(ordinal int) string {
+	pin := "stem"
+	if b.Fault.Pin >= 0 {
+		pin = fmt.Sprintf("in%d", b.Fault.Pin)
+	}
+	return fmt.Sprintf("bundle-%03d-%s-n%d-%s-sa%s-p%d.json",
+		ordinal, b.Kind, b.Fault.Node, pin, b.Fault.Stuck, b.Pass)
+}

@@ -1,0 +1,138 @@
+package supervise
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Level is the governor's load-shedding level. Levels only ever tighten the
+// search (smaller populations, shorter sequences, fewer optional passes);
+// they never change which faults are targeted or in what order, so a
+// degraded run differs from a full one only in per-fault effort.
+type Level uint8
+
+const (
+	// LevelNormal: no pressure; run the configured schedule untouched.
+	LevelNormal Level = iota
+	// LevelSoft: heap above the soft threshold; shrink GA parameters toward
+	// the schedule's earlier-pass values and skip optional work.
+	LevelSoft
+	// LevelHard: heap above the hard threshold; run at the floor parameters.
+	LevelHard
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelSoft:
+		return "soft"
+	case LevelHard:
+		return "hard"
+	default:
+		return "normal"
+	}
+}
+
+// Decision records one governor level change, made at a deterministic
+// sampling point. The sequence of decisions is the run's degradation log:
+// with the same seed and the same pressure schedule, two runs produce
+// identical logs and bit-identical results.
+type Decision struct {
+	Sample int    `json:"sample"` // 1-based sampling point (fault boundary)
+	Pass   int    `json:"pass"`   // 1-based pass at the decision
+	Heap   uint64 `json:"heap"`   // sampled heap bytes
+	From   string `json:"from"`
+	To     string `json:"to"`
+}
+
+func (d Decision) String() string {
+	return fmt.Sprintf("sample %d pass %d: %s -> %s (heap %d bytes)", d.Sample, d.Pass, d.From, d.To, d.Heap)
+}
+
+// Governor maps sampled memory pressure to a load-shedding level. It must be
+// sampled only at deterministic points in the run (fault boundaries), never
+// from a timer goroutine: the sampled values may differ between runs, but
+// the decision points do not, so a forced pressure schedule yields a
+// reproducible run. A nil *Governor is inert and always reports LevelNormal.
+//
+// The governor is sticky upward within a pass and re-evaluates fully at
+// every sample, so pressure relief recovers the full schedule (no permanent
+// degradation from a transient spike).
+type Governor struct {
+	// SoftBytes and HardBytes are the heap thresholds; 0 disables the
+	// governor entirely (both must be set for LevelHard to be reachable).
+	SoftBytes uint64
+	HardBytes uint64
+
+	// Probe returns the current heap size. The default reads
+	// runtime.MemStats.HeapAlloc; tests inject a forced pressure schedule.
+	Probe func() uint64
+
+	// OnDecision, if non-nil, observes every level change.
+	OnDecision func(Decision)
+
+	level   Level
+	samples int
+}
+
+// Enabled reports whether any threshold is armed.
+func (g *Governor) Enabled() bool {
+	return g != nil && (g.SoftBytes > 0 || g.HardBytes > 0)
+}
+
+// Level returns the current level without sampling.
+func (g *Governor) Level() Level {
+	if g == nil {
+		return LevelNormal
+	}
+	return g.level
+}
+
+// Samples returns how many times the governor has been sampled.
+func (g *Governor) Samples() int {
+	if g == nil {
+		return 0
+	}
+	return g.samples
+}
+
+// Sample probes the heap once, updates the level, and reports it. pass is
+// the 1-based pass number, recorded on any resulting decision. Not safe for
+// concurrent use; the driver samples from the run goroutine only.
+func (g *Governor) Sample(pass int) Level {
+	if !g.Enabled() {
+		return LevelNormal
+	}
+	g.samples++
+	probe := g.Probe
+	if probe == nil {
+		probe = heapAlloc
+	}
+	heap := probe()
+	next := LevelNormal
+	switch {
+	case g.HardBytes > 0 && heap >= g.HardBytes:
+		next = LevelHard
+	case g.SoftBytes > 0 && heap >= g.SoftBytes:
+		next = LevelSoft
+	}
+	if next != g.level {
+		if g.OnDecision != nil {
+			g.OnDecision(Decision{
+				Sample: g.samples,
+				Pass:   pass,
+				Heap:   heap,
+				From:   g.level.String(),
+				To:     next.String(),
+			})
+		}
+		g.level = next
+	}
+	return g.level
+}
+
+// heapAlloc is the default probe: live heap bytes.
+func heapAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

@@ -1,0 +1,307 @@
+package supervise
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gahitec/internal/runctl"
+)
+
+func TestWatchdogDisabledRunsInline(t *testing.T) {
+	var w Watchdog
+	if w.Enabled() {
+		t.Fatal("zero watchdog reports enabled")
+	}
+	ran := false
+	v := w.Do(context.Background(), func(ctx context.Context, pulse *runctl.Pulse) {
+		ran = true
+		pulse.Beat()
+		pulse.Beat()
+	})
+	if !ran {
+		t.Fatal("body did not run")
+	}
+	if v.Outcome != Completed || v.Abandoned {
+		t.Fatalf("verdict = %+v, want completed", v)
+	}
+	if v.Beats != 2 {
+		t.Fatalf("Beats = %d, want 2", v.Beats)
+	}
+}
+
+func TestWatchdogCompletedUnderSupervision(t *testing.T) {
+	w := Watchdog{Ceiling: time.Second}
+	v := w.Do(context.Background(), func(ctx context.Context, pulse *runctl.Pulse) {
+		pulse.Beat()
+	})
+	if v.Outcome != Completed || v.Abandoned {
+		t.Fatalf("verdict = %+v, want completed", v)
+	}
+	if v.Beats != 1 {
+		t.Fatalf("Beats = %d, want 1", v.Beats)
+	}
+}
+
+func TestWatchdogCeilingPreemptsContextChecker(t *testing.T) {
+	// A cooperative body: never beats, but honours its context. The ceiling
+	// fires, the context is cancelled, and the body unwinds within grace.
+	w := Watchdog{Ceiling: 30 * time.Millisecond, Grace: time.Second}
+	v := w.Do(context.Background(), func(ctx context.Context, pulse *runctl.Pulse) {
+		<-ctx.Done()
+	})
+	if v.Outcome != PreemptedCeiling {
+		t.Fatalf("outcome = %v, want preempt_ceiling", v.Outcome)
+	}
+	if v.Abandoned {
+		t.Fatal("cooperative body reported abandoned")
+	}
+	if v.Elapsed < 30*time.Millisecond {
+		t.Fatalf("Elapsed = %v, under the ceiling", v.Elapsed)
+	}
+}
+
+func TestWatchdogStallPreemptsSilentBody(t *testing.T) {
+	// The body beats briskly, then goes silent while still consuming time.
+	// Ceiling is far away; the stall detector must fire.
+	release := make(chan struct{})
+	defer close(release)
+	w := Watchdog{Ceiling: time.Minute, Stall: 30 * time.Millisecond, Grace: 5 * time.Millisecond}
+	v := w.Do(context.Background(), func(ctx context.Context, pulse *runctl.Pulse) {
+		for i := 0; i < 100; i++ {
+			pulse.Beat()
+		}
+		<-release // heartbeat-silent, and ignores ctx: must be abandoned
+	})
+	if v.Outcome != PreemptedStall {
+		t.Fatalf("outcome = %v, want preempt_stall", v.Outcome)
+	}
+	if !v.Abandoned {
+		t.Fatal("uncooperative body not reported abandoned")
+	}
+	if v.Beats != 100 {
+		t.Fatalf("Beats = %d, want 100", v.Beats)
+	}
+}
+
+func TestWatchdogSteadyHeartbeatIsNotAStall(t *testing.T) {
+	// A body that keeps beating must run to completion even when it takes
+	// several stall windows of wall clock.
+	w := Watchdog{Stall: 40 * time.Millisecond}
+	v := w.Do(context.Background(), func(ctx context.Context, pulse *runctl.Pulse) {
+		for i := 0; i < 20; i++ {
+			pulse.Beat()
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+	if v.Outcome != Completed {
+		t.Fatalf("outcome = %v, want completed (elapsed %v, beats %d)", v.Outcome, v.Elapsed, v.Beats)
+	}
+}
+
+func TestWatchdogRecoversPanics(t *testing.T) {
+	for _, enabled := range []bool{false, true} {
+		var w Watchdog
+		if enabled {
+			w.Ceiling = time.Second
+		}
+		v := w.Do(context.Background(), func(ctx context.Context, pulse *runctl.Pulse) {
+			panic(runctl.InjectedPanic{Site: "generate"})
+		})
+		if v.Outcome != Panicked {
+			t.Fatalf("enabled=%v: outcome = %v, want panic", enabled, v.Outcome)
+		}
+		if v.PanicSite != "generate" {
+			t.Fatalf("enabled=%v: PanicSite = %q, want generate", enabled, v.PanicSite)
+		}
+		if !strings.Contains(v.PanicValue, "injected panic") || v.PanicStack == "" {
+			t.Fatalf("enabled=%v: panic details missing: %+v", enabled, v)
+		}
+	}
+}
+
+func TestWatchdogAbandonedBodyEventuallyObeysContext(t *testing.T) {
+	// After abandonment the body's context stays cancelled, so a body that
+	// eventually polls it can still unwind; its late result must not block.
+	var unwound atomic.Bool
+	w := Watchdog{Ceiling: 20 * time.Millisecond, Grace: time.Millisecond}
+	v := w.Do(context.Background(), func(ctx context.Context, pulse *runctl.Pulse) {
+		for ctx.Err() == nil {
+			time.Sleep(200 * time.Millisecond) // polls far too slowly
+		}
+		unwound.Store(true)
+	})
+	if !v.Abandoned {
+		t.Fatalf("verdict = %+v, want abandoned", v)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !unwound.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned body never unwound from the cancelled context")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestGovernorLevels(t *testing.T) {
+	heap := uint64(0)
+	var log []Decision
+	g := &Governor{
+		SoftBytes:  100,
+		HardBytes:  200,
+		Probe:      func() uint64 { return heap },
+		OnDecision: func(d Decision) { log = append(log, d) },
+	}
+	steps := []struct {
+		heap uint64
+		want Level
+	}{
+		{50, LevelNormal},
+		{100, LevelSoft},
+		{150, LevelSoft},
+		{250, LevelHard},
+		{150, LevelSoft}, // pressure relief recovers
+		{10, LevelNormal},
+	}
+	for i, s := range steps {
+		heap = s.heap
+		if got := g.Sample(1); got != s.want {
+			t.Fatalf("step %d (heap %d): level = %v, want %v", i, s.heap, got, s.want)
+		}
+	}
+	if g.Samples() != len(steps) {
+		t.Fatalf("Samples = %d, want %d", g.Samples(), len(steps))
+	}
+	wantLog := []string{
+		"sample 2 pass 1: normal -> soft (heap 100 bytes)",
+		"sample 4 pass 1: soft -> hard (heap 250 bytes)",
+		"sample 5 pass 1: hard -> soft (heap 150 bytes)",
+		"sample 6 pass 1: soft -> normal (heap 10 bytes)",
+	}
+	if len(log) != len(wantLog) {
+		t.Fatalf("decision log has %d entries, want %d: %v", len(log), len(wantLog), log)
+	}
+	for i, d := range log {
+		if d.String() != wantLog[i] {
+			t.Fatalf("decision %d = %q, want %q", i, d.String(), wantLog[i])
+		}
+	}
+}
+
+func TestGovernorNilAndDisabled(t *testing.T) {
+	var nilG *Governor
+	if nilG.Enabled() || nilG.Level() != LevelNormal || nilG.Samples() != 0 {
+		t.Fatal("nil governor is not inert")
+	}
+	if nilG.Sample(1) != LevelNormal {
+		t.Fatal("nil governor sampled to a non-normal level")
+	}
+	g := &Governor{Probe: func() uint64 { t.Fatal("disabled governor probed"); return 0 }}
+	if g.Enabled() {
+		t.Fatal("thresholdless governor reports enabled")
+	}
+	if g.Sample(1) != LevelNormal || g.Samples() != 0 {
+		t.Fatal("disabled governor did not no-op")
+	}
+}
+
+func TestGovernorDefaultProbeReadsHeap(t *testing.T) {
+	g := &Governor{SoftBytes: 1} // any live heap exceeds one byte
+	if got := g.Sample(1); got != LevelSoft {
+		t.Fatalf("level = %v, want soft (real heap should exceed 1 byte)", got)
+	}
+}
+
+func validBundle() *Bundle {
+	return &Bundle{
+		Version:     BundleVersion,
+		Kind:        KindPanic,
+		Circuit:     "s27",
+		Fingerprint: "abc123",
+		Fault:       BundleFault{Node: 5, Pin: -1, Stuck: "0"},
+		Seed:        1,
+		SubSeed:     42,
+		StartGood:   "XXX",
+		Pass:        1,
+		Params:      BundlePass{Method: "GA", Population: 8, Generations: 2, SeqLen: 4, MaxBacktracks: 100, JustifyAttempts: 1},
+		Outcome:     "panic",
+	}
+}
+
+func TestBundleValidate(t *testing.T) {
+	if err := validBundle().Validate(); err != nil {
+		t.Fatalf("valid bundle rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Bundle)
+	}{
+		{"bad version", func(b *Bundle) { b.Version = BundleVersion + 1 }},
+		{"no circuit", func(b *Bundle) { b.Circuit = "" }},
+		{"no fingerprint", func(b *Bundle) { b.Fingerprint = "" }},
+		{"bad node", func(b *Bundle) { b.Fault.Node = -1 }},
+		{"no outcome", func(b *Bundle) { b.Outcome = "" }},
+		{"bad kind", func(b *Bundle) { b.Kind = "mystery" }},
+		{"bad pass", func(b *Bundle) { b.Pass = 0 }},
+		{"bad method", func(b *Bundle) { b.Params.Method = "quantum" }},
+		{"miscompare without test set", func(b *Bundle) { b.Kind = KindAuditMiscompare }},
+		{"miscompare bad claim", func(b *Bundle) {
+			b.Kind = KindAuditMiscompare
+			b.TestSet = [][]string{{"0000"}}
+			b.ClaimVector = -1
+		}},
+	}
+	for _, tc := range cases {
+		b := validBundle()
+		tc.mut(b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: invalid bundle accepted", tc.name)
+		}
+	}
+}
+
+func TestBundleSaveLoadRoundTrip(t *testing.T) {
+	b := validBundle()
+	b.Kind = KindAuditMiscompare
+	b.Outcome = "miscompare"
+	b.TestSet = [][]string{{"0101", "1100"}, {"0011"}}
+	b.ClaimVector = 2
+	path := filepath.Join(t.TempDir(), b.FileName(1))
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != b.Kind || got.SubSeed != b.SubSeed || got.ClaimVector != b.ClaimVector ||
+		len(got.TestSet) != 2 || got.TestSet[0][1] != "1100" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestBundleLoadRejectsInvalid(t *testing.T) {
+	b := validBundle()
+	b.Kind = "mystery"
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(path); err == nil || !strings.Contains(err.Error(), "mystery") {
+		t.Fatalf("invalid bundle loaded: err = %v", err)
+	}
+}
+
+func TestBundleFileName(t *testing.T) {
+	b := validBundle()
+	if got, want := b.FileName(7), "bundle-007-panic-n5-stem-sa0-p1.json"; got != want {
+		t.Fatalf("FileName = %q, want %q", got, want)
+	}
+	b.Fault.Pin = 2
+	if got := b.FileName(12); !strings.Contains(got, "-in2-") {
+		t.Fatalf("pin fault FileName = %q, want in2 marker", got)
+	}
+}

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Short fault-injection soak: run the generator with one injected failure
+# mode, require that the injected failure produced a crash-repro bundle of
+# the matching kind, then require that -repro reproduces every bundle the
+# run wrote (exit 4 from -repro, a non-reproducing bundle, fails the soak).
+#
+# Usage: soak.sh panic|stall|corrupt
+#   BIN  generator binary (default: ./atpg-race, built with -race)
+#   DIR  bundle directory (default: soak-bundles; recreated)
+set -eu
+
+BIN=${BIN:-./atpg-race}
+DIR=${DIR:-soak-bundles}
+MODE=${1:?usage: soak.sh panic|stall|corrupt}
+
+atpg() {
+    inject=$1
+    shift
+    GAHITEC_FAULT_INJECT="$inject" "$BIN" -circuit s27 -seed 1 -scale 1000 \
+        -bundle-dir "$DIR" "$@"
+}
+
+require() {
+    ls "$DIR"/bundle-*-"$1"-*.json >/dev/null 2>&1 || {
+        echo "soak: injected failure produced no $1 bundle" >&2
+        exit 1
+    }
+}
+
+rm -rf "$DIR" && mkdir -p "$DIR"
+case "$MODE" in
+panic)
+    atpg "generate:3:panic"
+    require panic
+    ;;
+stall)
+    atpg "generate:5:sleep=5s" -watchdog-stall 500ms
+    require watchdog_preempt
+    ;;
+corrupt)
+    # Not every corrupted simulator word fabricates a demotable detection
+    # claim (corrupting an unknown output changes nothing); scan for a call
+    # that does.
+    k=1
+    while :; do
+        rm -rf "$DIR" && mkdir -p "$DIR"
+        atpg "faultsim.word:$k:corrupt" -audit
+        if ls "$DIR"/bundle-*-audit_miscompare-*.json >/dev/null 2>&1; then
+            break
+        fi
+        k=$((k + 1))
+        if [ "$k" -gt 8 ]; then
+            echo "soak: no corrupt call fabricated a demotable claim" >&2
+            exit 1
+        fi
+    done
+    ;;
+*)
+    echo "soak: unknown mode $MODE" >&2
+    exit 2
+    ;;
+esac
+
+status=0
+for b in "$DIR"/bundle-*.json; do
+    echo "== repro $b"
+    "$BIN" -repro "$b" || status=1
+done
+exit $status
