@@ -21,10 +21,13 @@ bench:
 
 # Machine-readable benchmark snapshot: one JSON record per benchmark (name,
 # ns/op, allocs/op, custom metrics) in a date-stamped file for cross-commit
-# diffing.
+# diffing. Staged through a file, not a pipe: a bench failure (e.g. the
+# per-package timeout on a slow host) must fail the target, not silently
+# truncate the snapshot.
 bench-json:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./... | \
-		$(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ -timeout 40m ./... > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json < bench.out
+	@rm bench.out
 
 # Short fuzz pass over the .bench parser: no panics, accepted inputs
 # round-trip. CI runs this on every push; run with a longer -fuzztime to dig.
@@ -37,9 +40,13 @@ golden:
 
 # Short fault-injection soak under the race detector: every injected failure
 # (engine panic, watchdog stall, audit miscompare) must yield a crash-repro
-# bundle that -repro reproduces. CI runs the three modes as a matrix.
+# bundle that -repro reproduces — serially, and again through the parallel
+# fault pipeline (WORKERS=4). CI runs the mode x workers grid as a matrix.
 soak:
 	$(GO) build -race -o atpg-race ./cmd/atpg
 	./scripts/soak.sh panic
 	./scripts/soak.sh stall
 	./scripts/soak.sh corrupt
+	WORKERS=4 ./scripts/soak.sh panic
+	WORKERS=4 ./scripts/soak.sh stall
+	WORKERS=4 ./scripts/soak.sh corrupt

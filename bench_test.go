@@ -490,3 +490,33 @@ func BenchmarkDeterministicATPG(b *testing.B) {
 	}
 	b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "faults/s")
 }
+
+// BenchmarkParallelWorkers measures the parallel fault pipeline against the
+// serial loop on one Table II circuit. With work-bounded budgets the outputs
+// are bit-identical by construction (internal/hybrid/parallel_test.go); this
+// benchmark uses the paper's wall-clock budgets, so its legs may diverge in
+// vectors — det/vec are reported to make that visible. Note the committed
+// BENCH snapshot comes from a single-CPU container: the ~3x it records at
+// workers=4 is budget overlap (concurrent searches share the CPU but their
+// per-fault wall-clock budgets elapse together), not parallel compute; the
+// 4-vCPU CI runners measure the real thing.
+func BenchmarkParallelWorkers(b *testing.B) {
+	c, err := circuits.Get("s298")
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.Collapse(c)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := hybrid.GAHITECConfig(seqLenFor(c), benchScale)
+				cfg.Seed = 1
+				cfg.Workers = workers
+				res := hybrid.Run(c, faults, cfg)
+				last := res.Passes[len(res.Passes)-1]
+				b.ReportMetric(float64(last.Detected), "det")
+				b.ReportMetric(float64(last.Vectors), "vec")
+			}
+		})
+	}
+}

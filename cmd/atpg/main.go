@@ -17,6 +17,16 @@
 //	atpg -circuit div -checkpoint run.json     # ^C writes the journal
 //	atpg -circuit div -resume run.json         # continues where it stopped
 //
+// The fault pipeline is parallel: -workers N (default GOMAXPROCS) runs up
+// to N per-fault searches concurrently behind an ordered-commit merge, so
+// the output — test set, statistics, telemetry, checkpoint journal — is
+// bit-identical to the serial run's for the same seed. The worker count is
+// outside the reproducibility contract: a journal written at one -workers
+// value resumes correctly at any other, and with the memory governor armed
+// the scheduler sheds workers before it sheds search effort.
+//
+//	atpg -circuit s298 -workers 4
+//
 // The generated test set can be independently verified: -audit replays
 // every claimed detection against the serial reference simulator and
 // demotes claims it cannot reproduce; -audit=strict additionally exits with
@@ -70,6 +80,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -170,6 +181,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		progressOn  = fs.Bool("progress", false, "print a live progress line to stderr at fault boundaries")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
 		traceMax    = fs.Int64("trace-max-bytes", 0, "rotate the -trace file, keeping roughly the last N bytes across two segments (0: unbounded)")
+		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent per-fault searches (gahitec/hitec modes); any value produces the same output as -workers 1")
 		wdCeiling   = fs.Duration("watchdog-ceiling", 0, "hard-preempt any per-fault search running longer than this (0: off)")
 		wdStall     = fs.Duration("watchdog-stall", 0, "hard-preempt any per-fault search heartbeat-silent for this long (0: off)")
 		memSoftMB   = fs.Int("mem-soft-mb", 0, "heap size that triggers soft search degradation (0: off)")
@@ -365,6 +377,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return fail("unknown mode %q", *mode)
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.PreprocessUntestable = *preprocess
 	cfg.Hooks = hooks
 	cfg.Audit = auditFlag.enabled
@@ -382,15 +395,18 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		if err := os.MkdirAll(*bundleDir, 0o755); err != nil {
 			return fail("%v", err)
 		}
-		ordinal := 0
+		// Bundles publish exclusively (fault site and attempt are part of the
+		// name, the ordinal is claimed via an exclusive link), so two runs
+		// sharing a -bundle-dir never clobber each other's captures.
+		next := 1
 		cfg.Bundle = func(b *supervise.Bundle) {
-			ordinal++
-			p := filepath.Join(*bundleDir, b.FileName(ordinal))
-			if err := b.Save(p); err != nil {
+			p, ord, err := supervise.SaveBundleIn(*bundleDir, b, next)
+			if err != nil {
 				fmt.Fprintf(stderr, "atpg: bundle: %v\n", err)
-			} else {
-				fmt.Fprintf(stderr, "atpg: crash-repro bundle written to %s\n", p)
+				return
 			}
+			next = ord + 1
+			fmt.Fprintf(stderr, "atpg: crash-repro bundle written to %s\n", p)
 		}
 	}
 	if *progressOn {

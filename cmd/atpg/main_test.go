@@ -657,3 +657,23 @@ func TestTraceRotationFlag(t *testing.T) {
 		}
 	}
 }
+
+// The -workers flag changes wall-clock only: the full report — pass table,
+// coverage, phase trace — is byte-identical (time columns normalized) for
+// any worker count, including the CLI default.
+func TestWorkersFlagOutputIdentical(t *testing.T) {
+	report := func(workersArgs ...string) string {
+		args := append([]string{"-circuit", "s27", "-seed", "1", "-scale", "1000", "-phases"}, workersArgs...)
+		var out bytes.Buffer
+		if code := run(args, &out, &out); code != 0 {
+			t.Fatalf("run %v exited %d:\n%s", args, code, out.String())
+		}
+		return normalize(out.String())
+	}
+	serial := report("-workers", "1")
+	for _, w := range []string{"3", "8"} {
+		if par := report("-workers", w); par != serial {
+			t.Errorf("-workers %s report diverged from serial:\n--- parallel ---\n%s--- serial ---\n%s", w, par, serial)
+		}
+	}
+}

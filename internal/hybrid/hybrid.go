@@ -84,6 +84,19 @@ type Config struct {
 	// HITEC proper. Exposed for the ablation benchmarks.
 	FaultFreeJustify bool
 
+	// Workers sizes the parallel fault pipeline: per-fault searches for up
+	// to Workers faults run concurrently and speculatively, with outcomes
+	// committed strictly in serial fault order, so the test set, report and
+	// checkpoint journal are bit-identical to a serial run with the same
+	// seed (per-fault wall-clock limits permitting, exactly as with
+	// Resume). 0 or 1 runs the classic serial loop. The worker count is
+	// deliberately outside the reproducibility contract: it may differ
+	// between runs, change mid-run under the scheduler, or change across a
+	// resume without affecting any output. With a Governor installed,
+	// memory pressure throttles the worker count before shedding per-fault
+	// search effort (see supervise.Scheduler).
+	Workers int
+
 	// PreprocessUntestable runs a cheap untestability screen over the fault
 	// list before the first pass (the speedup suggested in the paper's
 	// conclusions), removing provably untestable faults so the GA passes do

@@ -1,0 +1,263 @@
+package hybrid
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"gahitec/internal/atpg"
+	"gahitec/internal/fault"
+	"gahitec/internal/obs"
+	"gahitec/internal/parallel"
+	"gahitec/internal/runctl"
+	"gahitec/internal/supervise"
+)
+
+// This file is the parallel fault pipeline: the per-pass fault loop run
+// through the speculative ordered-commit pool (internal/parallel) instead of
+// inline. Up to Config.Workers per-fault searches execute concurrently, each
+// under its own watchdog supervision, against inputs speculated from the
+// committed run state: the predicted sub-seed (a shadow copy of the master
+// random stream), the committed good-machine state, and the scheduler's
+// current degradation level. Outcomes commit strictly in serial fault order
+// on the coordinator goroutine — detections, incidental-detection grading,
+// quarantine entries, crash-repro bundles, telemetry and checkpoint
+// boundaries all land exactly where the serial loop would put them — and any
+// commit that changes state later speculations read (an accepted test, a
+// degradation change) invalidates the outstanding speculative work. The
+// result is bit-identical to the serial run for a given seed; the worker
+// count only changes wall-clock time, never output (see DESIGN.md,
+// "Ordered-commit determinism").
+
+// workerExec is what one speculative search execution returns: the body's
+// in-place result plus the watchdog's verdict.
+type workerExec struct {
+	att *attemptResult
+	v   supervise.Verdict
+}
+
+// sampleScheduler is the parallel driver's counterpart of sampleGovernor:
+// one deterministic sample per committed targeted fault. It returns the
+// degradation level for this fault and the current worker-count target (0
+// when no scheduler is installed: leave the pool's cap alone).
+func (r *runner) sampleScheduler(passNo int) (supervise.Level, int) {
+	if r.sched == nil {
+		return supervise.LevelNormal, 0
+	}
+	return r.sched.Sample(passNo)
+}
+
+// runPassParallel is runPass with the fault loop run through the speculative
+// pool. Structure mirrors runPass exactly; every commit-side effect happens
+// in the same order, against the same state, as the serial loop's.
+func (r *runner) runPassParallel(pi int, pass Pass, fi0 int, targets []fault.Fault, passStartSeqs, workers int) bool {
+	if pass.JustifyAttempts < 1 {
+		pass.JustifyAttempts = 1
+	}
+	remaining := make(map[fault.Fault]bool, len(r.fsim.Remaining()))
+	for _, f := range r.fsim.Remaining() {
+		remaining[f] = true
+	}
+	stillRemaining := make(map[fault.Fault]bool, len(targets))
+	for _, f := range targets {
+		if remaining[f] {
+			stillRemaining[f] = true
+		}
+	}
+	passT0 := time.Now()
+	// The serial loop first reports progress after its first fault; with
+	// searches in flight that can be a while, so announce the pass position
+	// up front (ETA zero: the "--:--" sentinel until one fault commits).
+	r.reportProgress(pi, fi0, fi0, len(targets), passT0)
+
+	// shadow tracks the master random stream speculatively: re-synced to the
+	// committed position at every epoch, advanced one draw per predicted
+	// targeted fault, exactly as the commits will advance the master.
+	var shadow *runctl.Rand
+
+	return parallel.Run(r.ctx, parallel.Config[attempt, workerExec]{
+		Items:   len(targets) - fi0,
+		Workers: workers,
+		Reset: func() {
+			shadow = runctl.NewRand(r.cfg.Seed)
+			shadow.Skip(r.rng.Draws())
+		},
+		Spec: func(i int) (attempt, bool) {
+			f := targets[fi0+i]
+			if !stillRemaining[f] || r.untestable[f] {
+				return attempt{}, false
+			}
+			eff := effectivePass(pass, r.sched.Level())
+			at := r.newAttempt(f, eff, pi+1, shadow.Int63())
+			// The search body runs against a forked child recorder; its
+			// events and counters are adopted into the run recorder only if
+			// this speculation commits, so discarded attempts leave no trace.
+			at.rec = r.cfg.Obs.Fork()
+			at.engine = r.engine.WithObs(at.rec)
+			return at, true
+		},
+		Exec: func(ctx context.Context, at attempt) workerExec {
+			att := &attemptResult{}
+			v := r.cfg.Watchdog.Do(ctx, func(ctx context.Context, pulse *runctl.Pulse) {
+				r.searchFault(ctx, pulse, att, at)
+			})
+			return workerExec{att: att, v: v}
+		},
+		Commit: func(i int, at attempt, res workerExec) parallel.Directive {
+			fi := fi0 + i
+			if r.expired() {
+				return parallel.Directive{Verdict: parallel.Stop}
+			}
+			sp := r.cfg.Obs.StartSpan("target", at.label, pi+1)
+			subSeed := r.rng.Int63()
+			lvl, wtarget := r.sampleScheduler(pi + 1)
+			eff := effectivePass(pass, lvl)
+			att, v := res.att, res.v
+			invalidated := eff != at.pass
+			if subSeed != at.subSeed || eff != at.pass {
+				// The speculation ran against the wrong sub-seed or effort
+				// level (a scheduler decision landed at this very fault).
+				// Commit-order induction says the state inputs themselves are
+				// right, but re-run inline with the committed parameters —
+				// the serial fallback — rather than commit a wrong-effort
+				// result. The stale child recorder is simply dropped.
+				at = r.newAttempt(at.f, eff, pi+1, subSeed)
+				att, v = r.runAttempt(at)
+			} else {
+				// Merge the committed attempt's telemetry into the run
+				// recorder, in commit order. Fork and parent share a metrics
+				// schema, so adoption cannot fail.
+				_ = r.cfg.Obs.Adopt(at.rec)
+			}
+			r.res.Phases.Targeted++
+			newly, accepted, outcome := r.applyAttempt(at, att, v)
+			if r.expired() {
+				// As in the serial loop: the run context died while this
+				// fault was in flight, so its outcome must not reach the
+				// checkpoint stream — the previous boundary's snapshot is the
+				// last consistent state.
+				sp.End("interrupted", nil)
+				return parallel.Directive{Verdict: parallel.Stop}
+			}
+			if accepted {
+				for _, g := range newly {
+					delete(stillRemaining, g)
+				}
+				sp.End(outcome, obs.Attrs{"newly": float64(len(newly))})
+			} else {
+				sp.End(outcome, nil)
+			}
+			r.noteBoundary(pi, fi+1, passStartSeqs, false)
+			r.reportProgress(pi, fi0, fi+1, len(targets), passT0)
+			d := parallel.Directive{Workers: wtarget}
+			if accepted || invalidated {
+				// An accepted test changed the good-machine state, the
+				// detection set and the master-stream pace; a degradation
+				// change alters later attempts' effort. Either way the
+				// outstanding speculations were derived from a stale world.
+				d.Verdict = parallel.Invalidate
+			}
+			return d
+		},
+	})
+}
+
+// reportProgress emits the per-fault progress callback with the serial
+// loop's exact ETA arithmetic. fi is the number of pass slots committed so
+// far (index of the next fault), counting skipped slots, as in runPass.
+func (r *runner) reportProgress(pi, fi0, fi, passTargets int, passT0 time.Time) {
+	if r.cfg.Progress == nil {
+		return
+	}
+	var eta time.Duration
+	if done := fi - fi0; done > 0 {
+		eta = time.Since(passT0) / time.Duration(done) * time.Duration(passTargets-fi)
+		if eta < 0 {
+			eta = 0
+		}
+	}
+	r.cfg.Progress(Progress{
+		Pass:        pi + 1,
+		PassCount:   len(r.cfg.Passes),
+		FaultIndex:  fi,
+		PassTargets: passTargets,
+		Detected:    r.fsim.NumDetected(),
+		TotalFaults: r.res.TotalFaults,
+		Vectors:     r.fsim.NumVectors(),
+		Elapsed:     r.elapsed(),
+		ETA:         eta,
+	})
+}
+
+// screenOutcome is one preprocessing probe's result: the engine status, or a
+// recovered panic.
+type screenOutcome struct {
+	status   atpg.Status
+	panicked bool
+	panicMsg string
+}
+
+// screenSpec is one preprocessing probe's speculative input: the fault and
+// the forked recorder/engine pair charging it.
+type screenSpec struct {
+	f      fault.Fault
+	rec    *obs.Recorder
+	engine *atpg.Engine
+}
+
+// preprocessParallel is the untestability screen run through the pool. The
+// probes are mutually independent — no invalidation ever happens — so this
+// is a plain ordered fan-out: untestability marks, panic accounting and
+// engine telemetry commit in fault-list order, identical to the serial
+// screen.
+func (r *runner) preprocessParallel(workers int) bool {
+	sp := r.cfg.Obs.StartSpan("preprocess", "", 0)
+	faults := append([]fault.Fault(nil), r.fsim.Remaining()...)
+	ok := parallel.Run(r.ctx, parallel.Config[screenSpec, screenOutcome]{
+		Items:   len(faults),
+		Workers: workers,
+		Spec: func(i int) (screenSpec, bool) {
+			rec := r.cfg.Obs.Fork()
+			return screenSpec{f: faults[i], rec: rec, engine: r.engine.WithObs(rec)}, true
+		},
+		Exec: func(ctx context.Context, s screenSpec) (out screenOutcome) {
+			defer func() {
+				if p := recover(); p != nil {
+					out.panicked = true
+					out.panicMsg = fmt.Sprintf("%v\n\n%s", p, debug.Stack())
+				}
+			}()
+			res := s.engine.GenerateCtx(ctx, s.f, atpg.Limits{MaxFrames: 2, MaxBacktracks: 256})
+			out.status = res.Status
+			return out
+		},
+		Commit: func(i int, s screenSpec, out screenOutcome) parallel.Directive {
+			if r.expired() {
+				return parallel.Directive{Verdict: parallel.Stop}
+			}
+			_ = r.cfg.Obs.Adopt(s.rec)
+			switch {
+			case out.panicked:
+				r.res.Phases.Panics++
+				if r.res.FirstPanic == "" {
+					r.res.FirstPanic = out.panicMsg
+				}
+			case out.status == atpg.Untestable:
+				r.untestable[s.f] = true
+				r.res.Untestable = append(r.res.Untestable, s.f)
+				r.res.Phases.Preprocessed++
+			}
+			return parallel.Directive{}
+		},
+	}) // no Reset: probes read no committed state
+	if !ok {
+		sp.End("interrupted", nil)
+		return false
+	}
+	sp.End("done", obs.Attrs{
+		"screened":   float64(len(faults)),
+		"untestable": float64(r.res.Phases.Preprocessed),
+	})
+	return true
+}

@@ -146,7 +146,10 @@ func reproSearch(ctx context.Context, c *netlist.Circuit, b *supervise.Bundle, f
 		Ceiling: time.Duration(b.WatchdogCeilingNS),
 		Stall:   time.Duration(b.WatchdogStallNS),
 	}
-	at := attempt{f: f, pass: pass, passNo: b.Pass, subSeed: b.SubSeed, startGood: startGood}
+	at := attempt{
+		f: f, pass: pass, passNo: b.Pass, subSeed: b.SubSeed, startGood: startGood,
+		label: r.faultLabel(f), rec: rec, engine: r.engine,
+	}
 	att := &attemptResult{}
 	v := w.Do(ctx, func(ctx context.Context, pulse *runctl.Pulse) {
 		r.searchFault(ctx, pulse, att, at)

@@ -28,6 +28,12 @@ type runner struct {
 	untestable map[fault.Fault]bool
 	fp         string // circuit structural fingerprint, cached
 
+	// sched is the run-global scheduler of a parallel run (Config.Workers >
+	// 1 with a Governor installed): the Governor's thresholds promoted to
+	// worker-count throttling. Nil for serial runs, which sample the
+	// Governor directly.
+	sched *supervise.Scheduler
+
 	quar      map[fault.Fault]*Quarantined
 	quarOrder []*Quarantined // quarantine entries in capture order
 	bundleSeq int            // crash-repro bundles captured so far
@@ -207,6 +213,33 @@ func (r *runner) restore(ck *Checkpoint) error {
 func (r *runner) run() *Result {
 	r.start = time.Now()
 	r.fsim.SetObs(r.cfg.Obs)
+	workers := r.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 && r.cfg.Governor != nil {
+		// Promote the governor to the run-global scheduler: same thresholds
+		// and probe, but memory pressure throttles the worker count before
+		// it sheds per-fault search effort. The schedule passes sample the
+		// scheduler (at the same deterministic points the serial driver
+		// samples its governor); the serial retry tail still samples the
+		// governor itself.
+		r.sched = &supervise.Scheduler{
+			SoftBytes:  r.cfg.Governor.SoftBytes,
+			HardBytes:  r.cfg.Governor.HardBytes,
+			MaxWorkers: workers,
+			Probe:      r.cfg.Governor.Probe,
+			OnDecision: func(d supervise.Decision) {
+				r.res.Degradations = append(r.res.Degradations, d)
+				r.cfg.Obs.Point("governor", "decision", "", d.Pass, obs.Attrs{
+					"sample":  float64(d.Sample),
+					"heap":    float64(d.Heap),
+					"level":   float64(levelOrd(d.To)),
+					"workers": float64(d.ToWorkers),
+				})
+			},
+		}
+	}
 	if r.cfg.Governor != nil {
 		// Record every load-shedding decision on the Result and in the
 		// telemetry stream, chaining any observer the caller installed. The
@@ -225,7 +258,11 @@ func (r *runner) run() *Result {
 		}
 	}
 	if r.cfg.PreprocessUntestable && !r.preprocessDone {
-		if !r.preprocess() {
+		screen := r.preprocess
+		if workers > 1 {
+			screen = func() bool { return r.preprocessParallel(workers) }
+		}
+		if !screen() {
 			return r.interrupted()
 		}
 		r.preprocessDone = true
@@ -244,7 +281,20 @@ func (r *runner) run() *Result {
 			// turn comes.
 			targets = append([]fault.Fault(nil), r.fsim.Remaining()...)
 		}
-		if !r.runPass(pi, pass, fi0, targets, passStartSeqs) {
+		passOK := false
+		if workers > 1 {
+			// The pool's initial cap is the scheduler's current target, so
+			// throttling survives pass boundaries; without a scheduler the
+			// cap is simply the configured worker count.
+			poolCap := workers
+			if r.sched != nil {
+				poolCap = r.sched.Workers()
+			}
+			passOK = r.runPassParallel(pi, pass, fi0, targets, passStartSeqs, poolCap)
+		} else {
+			passOK = r.runPass(pi, pass, fi0, targets, passStartSeqs)
+		}
+		if !passOK {
 			return r.interrupted()
 		}
 		remaining := 0

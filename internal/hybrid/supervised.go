@@ -31,6 +31,16 @@ type attempt struct {
 	// startGood is a private copy of the good machine's state when the
 	// attempt began.
 	startGood logic.Vector
+
+	// label is the fault's telemetry label; rec is the recorder the search
+	// body charges and engine the ATPG engine bound to it. Serially these
+	// are the run recorder and engine; a speculative parallel attempt gets
+	// a forked child recorder instead, so an attempt that is invalidated
+	// and discarded leaves no trace in the run's metrics (the committed
+	// attempt's child is adopted into the parent at commit).
+	label  string
+	rec    *obs.Recorder
+	engine *atpg.Engine
 }
 
 // attemptResult is what the search body produces, mutated in place so the
@@ -50,23 +60,48 @@ type attemptResult struct {
 // "detected", "untestable", "undecided", "panic", "preempt_ceiling" or
 // "preempt_stall".
 func (r *runner) superviseTarget(f fault.Fault, pass Pass, passNo int, subSeed int64) (newly []fault.Fault, accepted bool, outcome string) {
-	eff := degradePass(pass, r.sampleGovernor(passNo))
-	if eff.JustifyAttempts < 1 {
-		eff.JustifyAttempts = 1
-	}
-	at := attempt{
+	eff := effectivePass(pass, r.sampleGovernor(passNo))
+	at := r.newAttempt(f, eff, passNo, subSeed)
+	r.res.Phases.Targeted++
+	att, verdict := r.runAttempt(at)
+	return r.applyAttempt(at, att, verdict)
+}
+
+// newAttempt captures one fault attempt's inputs from the committed run
+// state, bound to the run's own recorder and engine (the serial/inline
+// shape; the parallel driver substitutes a forked recorder).
+func (r *runner) newAttempt(f fault.Fault, eff Pass, passNo int, subSeed int64) attempt {
+	return attempt{
 		f:         f,
 		pass:      eff,
 		passNo:    passNo,
 		subSeed:   subSeed,
 		startGood: r.fsim.GoodState(),
+		label:     r.faultLabel(f),
+		rec:       r.cfg.Obs,
+		engine:    r.engine,
 	}
+}
+
+// runAttempt executes one attempt's search body under the configured
+// watchdog, blocking the calling goroutine until the body returns or is
+// abandoned.
+func (r *runner) runAttempt(at attempt) (*attemptResult, supervise.Verdict) {
 	att := &attemptResult{}
-	r.res.Phases.Targeted++
 	verdict := r.cfg.Watchdog.Do(r.ctx, func(ctx context.Context, pulse *runctl.Pulse) {
 		r.searchFault(ctx, pulse, att, at)
 	})
-	return r.applyAttempt(at, att, verdict)
+	return att, verdict
+}
+
+// effectivePass is the pass the attempt actually runs: the scheduled
+// parameters degraded to the sampled load-shedding level.
+func effectivePass(pass Pass, lvl supervise.Level) Pass {
+	eff := degradePass(pass, lvl)
+	if eff.JustifyAttempts < 1 {
+		eff.JustifyAttempts = 1
+	}
+	return eff
 }
 
 // sampleGovernor probes memory pressure at this fault boundary and records
@@ -209,14 +244,13 @@ func (r *runner) searchFault(ctx context.Context, pulse *runctl.Pulse, att *atte
 		MaxBacktracks: at.pass.MaxBacktracks,
 		Pulse:         pulse,
 	}
-	label := r.faultLabel(at.f)
 
 	for n := 0; n < at.pass.JustifyAttempts; n++ {
 		if n > 0 {
 			att.phases.PropBacktracks++
 		}
-		epsp := r.cfg.Obs.StartSpan("excite_prop", label, at.passNo)
-		gen := r.engine.GenerateNthCtx(fctx, at.f, lim, n)
+		epsp := at.rec.StartSpan("excite_prop", at.label, at.passNo)
+		gen := at.engine.GenerateNthCtx(fctx, at.f, lim, n)
 		switch gen.Status {
 		case atpg.Untestable:
 			epsp.End("untestable", nil)
@@ -244,7 +278,7 @@ func (r *runner) searchFault(ctx context.Context, pulse *runctl.Pulse, att *atte
 		}
 
 		// Confirm with the independent fault simulator before counting.
-		vsp := r.cfg.Obs.StartSpan("verify", label, at.passNo)
+		vsp := at.rec.StartSpan("verify", at.label, at.passNo)
 		det, _ := faultsim.DetectsFrom(r.c, at.f, at.startGood, nil, seq)
 		if !det {
 			vsp.End("reject", obs.Attrs{"seq_len": float64(len(seq))})
@@ -255,7 +289,7 @@ func (r *runner) searchFault(ctx context.Context, pulse *runctl.Pulse, att *atte
 			continue
 		}
 		vsp.End("accept", obs.Attrs{"seq_len": float64(len(seq))})
-		r.cfg.Obs.Observe("seq_len", float64(len(seq)))
+		at.rec.Observe("seq_len", float64(len(seq)))
 		att.seq, att.accepted = seq, true
 		return
 	}
@@ -266,13 +300,12 @@ func (r *runner) searchFault(ctx context.Context, pulse *runctl.Pulse, att *atte
 // prefix + excitation/propagation vectors, X positions filled randomly from
 // the attempt's forked stream).
 func (r *runner) justifyAndBuild(ctx context.Context, pulse *runctl.Pulse, at attempt, att *attemptResult, gen atpg.Result, rng *runctl.Rand) ([]logic.Vector, bool) {
-	label := r.faultLabel(at.f)
 	f := at.f
 	var prefix []logic.Vector
 	switch at.pass.Method {
 	case MethodGA:
 		att.phases.GAJustifyCalls++
-		sp := r.cfg.Obs.StartSpan("ga_justify", label, at.passNo)
+		sp := at.rec.StartSpan("ga_justify", at.label, at.passNo)
 		req := justify.Request{
 			TargetGood:   gen.RequiredGood,
 			TargetFaulty: gen.RequiredFaulty,
@@ -290,8 +323,8 @@ func (r *runner) justifyAndBuild(ctx context.Context, pulse *runctl.Pulse, at at
 			Overlapping: r.cfg.Overlapping,
 			Hooks:       r.cfg.Hooks,
 			Pulse:       pulse,
-			Obs:         r.cfg.Obs,
-			ObsFault:    label,
+			Obs:         at.rec,
+			ObsFault:    at.label,
 			ObsPass:     at.passNo,
 		})
 		if !jres.Found {
@@ -310,7 +343,7 @@ func (r *runner) justifyAndBuild(ctx context.Context, pulse *runctl.Pulse, at at
 		prefix = jres.Sequence
 	case MethodDet:
 		att.phases.DetJustifyCalls++
-		sp := r.cfg.Obs.StartSpan("det_justify", label, at.passNo)
+		sp := at.rec.StartSpan("det_justify", at.label, at.passNo)
 		lim := atpg.Limits{
 			MaxFrames:     r.cfg.MaxFrames,
 			MaxBacktracks: at.pass.MaxBacktracks,
@@ -318,9 +351,9 @@ func (r *runner) justifyAndBuild(ctx context.Context, pulse *runctl.Pulse, at at
 		}
 		var jres atpg.JustifyResult
 		if r.cfg.FaultFreeJustify {
-			jres = r.engine.JustifyCtx(ctx, gen.RequiredGood, lim)
+			jres = at.engine.JustifyCtx(ctx, gen.RequiredGood, lim)
 		} else {
-			jres = r.engine.JustifyDualCtx(ctx, f, gen.RequiredGood, gen.RequiredFaulty, lim)
+			jres = at.engine.JustifyDualCtx(ctx, f, gen.RequiredGood, gen.RequiredFaulty, lim)
 		}
 		if jres.Status != atpg.Success {
 			sp.End("miss", obs.Attrs{"backtracks": float64(jres.Backtracks)})

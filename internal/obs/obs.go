@@ -38,6 +38,13 @@ type Recorder struct {
 	seq   uint64
 	err   error // first sink write error; later events are dropped
 	m     *Metrics
+
+	// Forked children buffer their event stream here until the parent
+	// adopts them (see Fork/Adopt); buffer is false when the parent has no
+	// event sink, so children skip the buffering work too.
+	forked bool
+	buffer bool
+	buf    []Event
 }
 
 // New returns a Recorder. A nil sink records metrics only; a non-nil sink
@@ -70,6 +77,22 @@ func (r *Recorder) Err() error {
 func (r *Recorder) emit(ev string, phase, name string, durUS int64, fault string, pass int, attrs Attrs) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.forked {
+		if r.buffer {
+			// Seq stays zero; the adopting parent assigns its own.
+			r.buf = append(r.buf, Event{
+				TMS:   float64(r.now().Sub(r.start).Microseconds()) / 1000,
+				Ev:    ev,
+				Phase: phase,
+				Name:  name,
+				DurUS: durUS,
+				Fault: fault,
+				Pass:  pass,
+				Attrs: attrs,
+			})
+		}
+		return
+	}
 	if r.enc == nil || r.err != nil {
 		return
 	}
@@ -88,6 +111,60 @@ func (r *Recorder) emit(ev string, phase, name string, durUS int64, fault string
 	if err := r.enc.Encode(&e); err != nil {
 		r.err = err
 	}
+}
+
+// Fork returns a child recorder for one speculative unit of work: the child
+// accumulates its own metrics and buffers its event stream in memory, sharing
+// nothing mutable with the parent, so concurrent attempts can each record
+// into their own child. A child whose work is committed is folded back with
+// Adopt; a discarded child is simply dropped, leaving no trace in the parent.
+// Fork of a nil recorder returns nil (which is itself a valid, inert child).
+func (r *Recorder) Fork() *Recorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Recorder{
+		start:  r.start, // children timestamp on the parent's clock
+		now:    r.now,
+		m:      NewMetrics(),
+		forked: true,
+		buffer: r.enc != nil,
+	}
+}
+
+// Adopt folds a forked child into r: the child's buffered events are
+// re-emitted on the parent's sink in the order the child recorded them, with
+// parent-assigned sequence numbers, and the child's metrics merge into the
+// parent's. Adoption is the commit point that makes a parallel run's
+// telemetry equal a serial run's: only adopted children contribute. The
+// child must be quiescent (its work finished) and must not be used again.
+func (r *Recorder) Adopt(c *Recorder) error {
+	if r == nil || c == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case r.forked:
+		if r.buffer {
+			r.buf = append(r.buf, c.buf...)
+		}
+	case r.enc != nil && r.err == nil:
+		for i := range c.buf {
+			r.seq++
+			c.buf[i].Seq = r.seq
+			if err := r.enc.Encode(&c.buf[i]); err != nil {
+				r.err = err
+				break
+			}
+		}
+	}
+	c.buf = nil
+	return r.m.Merge(c.m)
 }
 
 // Counter adds delta to the named monotonic counter.

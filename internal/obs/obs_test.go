@@ -249,3 +249,112 @@ func TestSinkErrorStopsEventsKeepsMetrics(t *testing.T) {
 		t.Error("metrics stopped with the sink")
 	}
 }
+
+// Forked children buffer events and metrics privately; adoption folds them
+// into the parent in order with parent-assigned sequence numbers, and a
+// dropped child leaves no trace.
+func TestForkAdoptCommitsChildInOrder(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf)
+	r.Counter("before", 1)
+
+	kept := r.Fork()
+	kept.Counter("child", 2)
+	sp := kept.StartSpan("excite_prop", "G1 s-a-0", 1)
+	sp.End("success", nil)
+	kept.Point("ga_justify", "generation", "G1 s-a-0", 1, nil)
+
+	dropped := r.Fork()
+	dropped.Counter("child", 100)
+	dropped.Point("ga_justify", "generation", "G9 s-a-1", 1, nil)
+
+	// Nothing from either child is visible before adoption.
+	if got := r.MetricsSnapshot().Counters["child"]; got != 0 {
+		t.Fatalf("child counter leaked before adoption: %d", got)
+	}
+	if err := r.Adopt(kept); err != nil {
+		t.Fatalf("adopt: %v", err)
+	}
+	r.Counter("after", 1)
+	// dropped is discarded without adoption: no trace.
+
+	m := r.MetricsSnapshot()
+	if m.Counters["child"] != 2 {
+		t.Errorf("child counter = %d, want 2", m.Counters["child"])
+	}
+	if m.Spans["excite_prop"] != 1 {
+		t.Errorf("excite_prop spans = %d, want 1", m.Spans["excite_prop"])
+	}
+	var prev uint64
+	n := 0
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line: %v", err)
+		}
+		if e.Seq <= prev {
+			t.Errorf("seq not strictly increasing: %d after %d", e.Seq, prev)
+		}
+		if e.Fault == "G9 s-a-1" {
+			t.Errorf("dropped child's event reached the parent stream: %s", sc.Text())
+		}
+		prev = e.Seq
+		n++
+	}
+	if n != 2 { // kept child's span + point; counters emit no events
+		t.Fatalf("got %d events, want 2", n)
+	}
+}
+
+// Fork is nil-safe end to end: a nil recorder forks a nil child, and both
+// sides of Adopt tolerate nil.
+func TestForkAdoptNilSafe(t *testing.T) {
+	var r *Recorder
+	c := r.Fork()
+	if c != nil {
+		t.Fatalf("nil recorder forked a non-nil child")
+	}
+	c.Counter("x", 1)
+	if err := r.Adopt(c); err != nil {
+		t.Fatalf("nil adopt: %v", err)
+	}
+	live := New(nil)
+	if err := live.Adopt(nil); err != nil {
+		t.Fatalf("adopt nil child: %v", err)
+	}
+}
+
+// Children of a sink-less recorder skip event buffering but still carry
+// metrics, and concurrent children never corrupt the parent.
+func TestForkConcurrentChildren(t *testing.T) {
+	r := New(nil)
+	var wg sync.WaitGroup
+	children := make([]*Recorder, 8)
+	for i := range children {
+		children[i] = r.Fork()
+	}
+	for _, c := range children {
+		wg.Add(1)
+		go func(c *Recorder) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Counter("n", 1)
+				c.Observe("seq_len", float64(j%7))
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, c := range children {
+		if err := r.Adopt(c); err != nil {
+			t.Fatalf("adopt: %v", err)
+		}
+	}
+	m := r.MetricsSnapshot()
+	if m.Counters["n"] != 800 {
+		t.Errorf("counter n = %d, want 800", m.Counters["n"])
+	}
+	if m.Histograms["seq_len"].Count != 800 {
+		t.Errorf("histogram count = %d, want 800", m.Histograms["seq_len"].Count)
+	}
+}

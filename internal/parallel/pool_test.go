@@ -1,0 +1,289 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Commits must arrive strictly in item order regardless of completion order.
+func TestCommitsInItemOrder(t *testing.T) {
+	const items = 64
+	var got []int
+	ok := Run(context.Background(), Config[int, int]{
+		Items:   items,
+		Workers: 8,
+		Spec:    func(i int) (int, bool) { return i, true },
+		Exec: func(_ context.Context, s int) int {
+			// Reverse the natural completion order inside each window.
+			time.Sleep(time.Duration(7-s%8) * time.Millisecond)
+			return s * 2
+		},
+		Commit: func(i int, spec, res int) Directive {
+			if spec != i || res != i*2 {
+				t.Errorf("commit %d: spec %d res %d", i, spec, res)
+			}
+			got = append(got, i)
+			return Directive{}
+		},
+	})
+	if !ok {
+		t.Fatal("Run reported stopped")
+	}
+	if len(got) != items {
+		t.Fatalf("%d commits, want %d", len(got), items)
+	}
+	for i, g := range got {
+		if g != i {
+			t.Fatalf("commit order broken at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+// The serial-dependence model the hybrid driver relies on: each item's input
+// is the sum of all previously committed items, every commit invalidates,
+// and the pool must still deliver exactly the serial sequence — the commit
+// always sees a spec derived from the fully committed state.
+func TestSpeculationMatchesSerialUnderInvalidation(t *testing.T) {
+	const items = 40
+	// Serial reference.
+	var want []int
+	sum := 0
+	for i := 0; i < items; i++ {
+		want = append(want, sum+i)
+		sum += want[i]
+	}
+
+	var got []int
+	sum = 0
+	shadow := 0
+	ok := Run(context.Background(), Config[int, int]{
+		Items:   items,
+		Workers: 4,
+		Reset:   func() { shadow = sum },
+		Spec: func(i int) (int, bool) {
+			s := shadow
+			shadow += s + i // mirror the commit's update speculatively
+			return s, true
+		},
+		Exec: func(_ context.Context, s int) int {
+			time.Sleep(time.Duration(s%3) * time.Millisecond)
+			return s // the "work" carries its input forward
+		},
+		Commit: func(i int, spec, res int) Directive {
+			if res != sum {
+				t.Errorf("commit %d ran against base %d, committed base is %d", i, res, sum)
+			}
+			got = append(got, res+i)
+			sum += res + i
+			return Directive{Verdict: Invalidate}
+		},
+	})
+	if !ok {
+		t.Fatal("Run reported stopped")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d commits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("commit %d = %d, want %d (serial)", i, got[i], want[i])
+		}
+	}
+}
+
+// Skipped items never execute and never commit; skips interleave freely
+// with real work.
+func TestSkippedItems(t *testing.T) {
+	const items = 30
+	var execs, commits atomic.Int32
+	var order []int
+	ok := Run(context.Background(), Config[int, int]{
+		Items:   items,
+		Workers: 3,
+		Spec:    func(i int) (int, bool) { return i, i%2 == 1 },
+		Exec: func(_ context.Context, s int) int {
+			execs.Add(1)
+			return s
+		},
+		Commit: func(i int, spec, res int) Directive {
+			commits.Add(1)
+			order = append(order, i)
+			return Directive{}
+		},
+	})
+	if !ok {
+		t.Fatal("Run reported stopped")
+	}
+	if execs.Load() != items/2 || commits.Load() != items/2 {
+		t.Fatalf("execs %d commits %d, want %d each", execs.Load(), commits.Load(), items/2)
+	}
+	for k, i := range order {
+		if i != 2*k+1 {
+			t.Fatalf("commit order %v, want odd items ascending", order)
+		}
+	}
+}
+
+// Stop discards uncommitted work, cancels in-flight jobs, and joins every
+// worker before Run returns.
+func TestStopDiscardsInFlight(t *testing.T) {
+	const items = 32
+	var running atomic.Int32
+	var commits int
+	ok := Run(context.Background(), Config[int, int]{
+		Items:   items,
+		Workers: 4,
+		Spec:    func(i int) (int, bool) { return i, true },
+		Exec: func(ctx context.Context, s int) int {
+			running.Add(1)
+			defer running.Add(-1)
+			if s > 5 {
+				// Late items park until cancelled: Stop must not wait on a
+				// timeout, only on cancellation.
+				<-ctx.Done()
+			}
+			return s
+		},
+		Commit: func(i int, spec, res int) Directive {
+			commits++
+			if i == 5 {
+				return Directive{Verdict: Stop}
+			}
+			return Directive{}
+		},
+	})
+	if ok {
+		t.Fatal("Run did not report stopped")
+	}
+	if commits != 6 {
+		t.Fatalf("%d commits, want 6", commits)
+	}
+	if n := running.Load(); n != 0 {
+		t.Fatalf("%d workers still running after Run returned", n)
+	}
+}
+
+// A lowered worker cap gates new dispatches: after the first commit drops
+// the cap to one, no two post-throttle jobs ever overlap. (Pre-throttle
+// stale jobs may still be finishing — the cap never kills running work — so
+// only jobs specced after the throttle are measured.)
+func TestWorkerCapThrottles(t *testing.T) {
+	const items = 24
+	type job struct {
+		item  int
+		fresh bool // specced after the throttle commit
+	}
+	var cur, peak atomic.Int32
+	throttled := false
+	ok := Run(context.Background(), Config[job, int]{
+		Items:   items,
+		Workers: 6,
+		Spec:    func(i int) (job, bool) { return job{item: i, fresh: throttled}, true },
+		Exec: func(_ context.Context, s job) int {
+			if s.fresh {
+				n := cur.Add(1)
+				defer cur.Add(-1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			return s.item
+		},
+		Commit: func(i int, s job, res int) Directive {
+			if !throttled {
+				throttled = true
+				// Invalidate so every pre-throttle speculative job is
+				// re-specced; from here on at most one job may run.
+				return Directive{Verdict: Invalidate, Workers: 1}
+			}
+			if !s.fresh {
+				t.Errorf("item %d committed from a pre-throttle spec", i)
+			}
+			return Directive{}
+		},
+	})
+	if !ok {
+		t.Fatal("Run reported stopped")
+	}
+	if p := peak.Load(); p != 1 {
+		t.Fatalf("post-throttle peak concurrency %d, want exactly 1", p)
+	}
+}
+
+// Specs are issued in ascending order, at most once per item per epoch, and
+// re-issued from the commit cursor after an invalidation.
+func TestSpecOrderPerEpoch(t *testing.T) {
+	const items = 12
+	type call struct{ epoch, item int }
+	var calls []call
+	epoch := 0
+	last := -1
+	ok := Run(context.Background(), Config[int, int]{
+		Items:   items,
+		Workers: 2,
+		Window:  4,
+		Reset: func() {
+			epoch++
+			last = -1
+		},
+		Spec: func(i int) (int, bool) {
+			if i <= last {
+				t.Errorf("epoch %d: spec %d after %d", epoch, i, last)
+			}
+			last = i
+			calls = append(calls, call{epoch, i})
+			return i, true
+		},
+		Exec: func(_ context.Context, s int) int { return s },
+		Commit: func(i int, spec, res int) Directive {
+			if i == 4 {
+				return Directive{Verdict: Invalidate}
+			}
+			return Directive{}
+		},
+	})
+	if !ok {
+		t.Fatal("Run reported stopped")
+	}
+	seen := map[call]bool{}
+	for _, c := range calls {
+		if seen[c] {
+			t.Fatalf("item %d specced twice in epoch %d", c.item, c.epoch)
+		}
+		seen[c] = true
+	}
+	// After the invalidation at item 4, the new epoch re-specs from item 5.
+	if !seen[call{2, 5}] {
+		t.Fatalf("second epoch did not re-spec from the cursor: %v", calls)
+	}
+}
+
+// An empty item list trivially succeeds; a cancelled context still lets the
+// coordinator drive commits to a Stop decision downstream.
+func TestEdgeCases(t *testing.T) {
+	if !Run(context.Background(), Config[int, int]{Items: 0}) {
+		t.Fatal("empty run reported stopped")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var commits int
+	ok := Run(ctx, Config[int, int]{
+		Items:   3,
+		Workers: 2,
+		Spec:    func(i int) (int, bool) { return i, true },
+		Exec:    func(ctx context.Context, s int) int { return s },
+		Commit: func(i int, spec, res int) Directive {
+			commits++
+			return Directive{Verdict: Stop} // driver notices expiry and stops
+		},
+	})
+	if ok || commits != 1 {
+		t.Fatalf("cancelled run: ok=%v commits=%d, want stopped after 1", ok, commits)
+	}
+}

@@ -1,7 +1,11 @@
 package supervise
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"gahitec/internal/runctl"
 )
@@ -90,11 +94,14 @@ type Bundle struct {
 	StartGood    string `json:"start_good"`
 	StartVectors int    `json:"start_vectors"`
 
-	// Pass is the 1-based schedule pass of the attempt; Params are the
-	// effective search parameters after any governor degradation.
-	Pass   int          `json:"pass"`
-	Params BundlePass   `json:"params"`
-	Config BundleConfig `json:"config"`
+	// Pass is the 1-based schedule pass of the attempt; Attempt counts the
+	// retry attempts already spent on the fault when the bundle was captured
+	// (0: first failure); Params are the effective search parameters after
+	// any governor degradation.
+	Pass    int          `json:"pass"`
+	Attempt int          `json:"attempt,omitempty"`
+	Params  BundlePass   `json:"params"`
+	Config  BundleConfig `json:"config"`
 
 	// InjectSpec is the fault-injection spec active during the run,
 	// normalized with runctl.NormalizeInjectSpec so rules keyed to
@@ -160,6 +167,51 @@ func (b *Bundle) Validate() error {
 // Save writes the bundle to path atomically.
 func (b *Bundle) Save(path string) error { return runctl.SaveJSON(path, b) }
 
+// SaveBundleIn writes b into dir under its canonical FileName, claiming the
+// first free capture ordinal at or above next, and returns the path written
+// and the ordinal claimed. Unlike Save — whose rename silently replaces an
+// existing file — publication is exclusive: the bundle is written to a
+// unique temporary file and linked into place, which fails (instead of
+// clobbering) when another writer already owns the name, so concurrent
+// writers racing for the same ordinal each end up with their own file.
+func SaveBundleIn(dir string, b *Bundle, next int) (string, int, error) {
+	data, err := json.MarshalIndent(b, "", " ")
+	if err != nil {
+		return "", 0, fmt.Errorf("supervise: marshal bundle: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".bundle.tmp*")
+	if err != nil {
+		return "", 0, fmt.Errorf("supervise: create bundle temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", 0, fmt.Errorf("supervise: write bundle: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", 0, fmt.Errorf("supervise: sync bundle: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", 0, fmt.Errorf("supervise: close bundle: %w", err)
+	}
+	if next < 1 {
+		next = 1
+	}
+	for ordinal := next; ; ordinal++ {
+		path := filepath.Join(dir, b.FileName(ordinal))
+		switch err := os.Link(tmpName, path); {
+		case err == nil:
+			return path, ordinal, nil
+		case errors.Is(err, os.ErrExist):
+			continue // another writer claimed this ordinal; take the next
+		default:
+			return "", 0, fmt.Errorf("supervise: publish bundle: %w", err)
+		}
+	}
+}
+
 // LoadBundle reads and validates a bundle from path.
 func LoadBundle(path string) (*Bundle, error) {
 	var b Bundle
@@ -172,14 +224,17 @@ func LoadBundle(path string) (*Bundle, error) {
 	return &b, nil
 }
 
-// FileName returns the bundle's canonical file name: kind, fault site and
-// pass, prefixed with a capture ordinal so multiple bundles from one run
-// sort in capture order. Deterministic — no timestamps.
+// FileName returns the bundle's canonical file name: kind, fault site, pass
+// and retry attempt, prefixed with a capture ordinal so multiple bundles
+// from one run sort in capture order. Deterministic — no timestamps. The
+// fault site and attempt make the name unique per attempt even when two
+// writers race for the same ordinal; SaveBundleIn resolves ordinal
+// collisions themselves atomically.
 func (b *Bundle) FileName(ordinal int) string {
 	pin := "stem"
 	if b.Fault.Pin >= 0 {
 		pin = fmt.Sprintf("in%d", b.Fault.Pin)
 	}
-	return fmt.Sprintf("bundle-%03d-%s-n%d-%s-sa%s-p%d.json",
-		ordinal, b.Kind, b.Fault.Node, pin, b.Fault.Stuck, b.Pass)
+	return fmt.Sprintf("bundle-%03d-%s-n%d-%s-sa%s-p%d-a%d.json",
+		ordinal, b.Kind, b.Fault.Node, pin, b.Fault.Stuck, b.Pass, b.Attempt)
 }

@@ -42,10 +42,20 @@ type Decision struct {
 	Heap   uint64 `json:"heap"`   // sampled heap bytes
 	From   string `json:"from"`
 	To     string `json:"to"`
+
+	// Worker-count throttling, recorded only by the global Scheduler (zero
+	// for plain Governor decisions, and omitted from the JSON so version-4
+	// checkpoints round-trip unchanged).
+	FromWorkers int `json:"from_workers,omitempty"`
+	ToWorkers   int `json:"to_workers,omitempty"`
 }
 
 func (d Decision) String() string {
-	return fmt.Sprintf("sample %d pass %d: %s -> %s (heap %d bytes)", d.Sample, d.Pass, d.From, d.To, d.Heap)
+	s := fmt.Sprintf("sample %d pass %d: %s -> %s (heap %d bytes)", d.Sample, d.Pass, d.From, d.To, d.Heap)
+	if d.FromWorkers != d.ToWorkers {
+		s += fmt.Sprintf(", workers %d -> %d", d.FromWorkers, d.ToWorkers)
+	}
+	return s
 }
 
 // Governor maps sampled memory pressure to a load-shedding level. It must be

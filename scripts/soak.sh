@@ -5,19 +5,24 @@
 # run wrote (exit 4 from -repro, a non-reproducing bundle, fails the soak).
 #
 # Usage: soak.sh panic|stall|corrupt
-#   BIN  generator binary (default: ./atpg-race, built with -race)
-#   DIR  bundle directory (default: soak-bundles; recreated)
+#   BIN      generator binary (default: ./atpg-race, built with -race)
+#   DIR      bundle directory (default: soak-bundles; recreated)
+#   WORKERS  concurrent per-fault searches (default 1). With WORKERS>1 the
+#            injection switches to every-call rules ("site:*:action"):
+#            call-numbered rules are unreliable under speculation, where a
+#            numbered call may fire inside a discarded speculative attempt.
 set -eu
 
 BIN=${BIN:-./atpg-race}
 DIR=${DIR:-soak-bundles}
+WORKERS=${WORKERS:-1}
 MODE=${1:?usage: soak.sh panic|stall|corrupt}
 
 atpg() {
     inject=$1
     shift
     GAHITEC_FAULT_INJECT="$inject" "$BIN" -circuit s27 -seed 1 -scale 1000 \
-        -bundle-dir "$DIR" "$@"
+        -workers "$WORKERS" -bundle-dir "$DIR" "$@"
 }
 
 require() {
@@ -30,30 +35,45 @@ require() {
 rm -rf "$DIR" && mkdir -p "$DIR"
 case "$MODE" in
 panic)
-    atpg "generate:3:panic"
+    if [ "$WORKERS" -gt 1 ]; then
+        atpg "generate:*:panic"
+    else
+        atpg "generate:3:panic"
+    fi
     require panic
     ;;
 stall)
-    atpg "generate:5:sleep=5s" -watchdog-stall 500ms
+    if [ "$WORKERS" -gt 1 ]; then
+        atpg "generate:*:sleep=5s" -watchdog-stall 500ms
+    else
+        atpg "generate:5:sleep=5s" -watchdog-stall 500ms
+    fi
     require watchdog_preempt
     ;;
 corrupt)
-    # Not every corrupted simulator word fabricates a demotable detection
-    # claim (corrupting an unknown output changes nothing); scan for a call
-    # that does.
-    k=1
-    while :; do
-        rm -rf "$DIR" && mkdir -p "$DIR"
-        atpg "faultsim.word:$k:corrupt" -audit
-        if ls "$DIR"/bundle-*-audit_miscompare-*.json >/dev/null 2>&1; then
-            break
-        fi
-        k=$((k + 1))
-        if [ "$k" -gt 8 ]; then
-            echo "soak: no corrupt call fabricated a demotable claim" >&2
-            exit 1
-        fi
-    done
+    if [ "$WORKERS" -gt 1 ]; then
+        # Corrupting every simulator word fabricates plenty of demotable
+        # claims; no call scan needed (or possible) under speculation.
+        atpg "faultsim.word:*:corrupt" -audit
+        require audit_miscompare
+    else
+        # Not every corrupted simulator word fabricates a demotable detection
+        # claim (corrupting an unknown output changes nothing); scan for a
+        # call that does.
+        k=1
+        while :; do
+            rm -rf "$DIR" && mkdir -p "$DIR"
+            atpg "faultsim.word:$k:corrupt" -audit
+            if ls "$DIR"/bundle-*-audit_miscompare-*.json >/dev/null 2>&1; then
+                break
+            fi
+            k=$((k + 1))
+            if [ "$k" -gt 8 ]; then
+                echo "soak: no corrupt call fabricated a demotable claim" >&2
+                exit 1
+            fi
+        done
+    fi
     ;;
 *)
     echo "soak: unknown mode $MODE" >&2
