@@ -5,9 +5,11 @@ GO ?= go
 build:
 	$(GO) build ./...
 
-# Tier-1: the full suite, as the roadmap verifies it.
+# Tier-1: the full suite, as the roadmap verifies it. Shuffled: test order
+# dependencies are bugs, and a durable-service codebase full of resume and
+# recovery paths is exactly where hidden state between tests would hide.
 test: build
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Robustness tier: static analysis plus the short-mode suite under the race
 # detector (the resilience paths — cancellation, checkpointing, panic
@@ -44,9 +46,11 @@ golden:
 # fault pipeline (WORKERS=4). CI runs the mode x workers grid as a matrix.
 soak:
 	$(GO) build -race -o atpg-race ./cmd/atpg
+	$(GO) build -race -o atpgd-race ./cmd/atpgd
 	./scripts/soak.sh panic
 	./scripts/soak.sh stall
 	./scripts/soak.sh corrupt
 	WORKERS=4 ./scripts/soak.sh panic
 	WORKERS=4 ./scripts/soak.sh stall
 	WORKERS=4 ./scripts/soak.sh corrupt
+	./scripts/soak.sh daemon

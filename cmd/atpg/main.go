@@ -264,6 +264,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 				}
 			}
 		}
+		if sink != nil {
+			// Trace appends go through the retrying writer: a transient
+			// write failure (injectable at trace.write) is retried with
+			// backoff, a persistent one degrades the recorder — events stop,
+			// metrics keep accumulating — instead of failing the run.
+			sink = &runctl.RetryWriter{W: sink, Hooks: hooks, Site: "trace.write"}
+		}
 		rec = obs.New(sink)
 		defer func() {
 			warn := func(what string, err error) {
@@ -272,12 +279,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 					code = 1
 				}
 			}
+			// A lost trace is degraded telemetry, not a failed run: the test
+			// set and metrics are intact, so warn without touching the exit
+			// code.
 			if err := rec.Err(); err != nil {
-				warn("trace", err)
+				fmt.Fprintf(stderr, "atpg: trace: %v (events dropped; run unaffected)\n", err)
 			}
 			if closeTrace != nil {
 				if err := closeTrace(); err != nil {
-					warn("trace", err)
+					fmt.Fprintf(stderr, "atpg: trace: %v (run unaffected)\n", err)
 				}
 			}
 			if *metricsOut != "" {
@@ -398,14 +408,28 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		// Bundles publish exclusively (fault site and attempt are part of the
 		// name, the ordinal is claimed via an exclusive link), so two runs
 		// sharing a -bundle-dir never clobber each other's captures.
+		// Publication retries transient disk failures (injectable at
+		// bundle.publish) and then degrades: a bundle that cannot be written
+		// costs the post-mortem artifact, never the run.
 		next := 1
 		cfg.Bundle = func(b *supervise.Bundle) {
-			p, ord, err := supervise.SaveBundleIn(*bundleDir, b, next)
+			var p string
+			err := runctl.Retry(runctl.WriteAttempts, runctl.WriteBackoff, func() error {
+				if hooks.Enter("bundle.publish") == runctl.ActFail {
+					return runctl.InjectedFailure{Site: "bundle.publish"}
+				}
+				var ord int
+				var err error
+				p, ord, err = supervise.SaveBundleIn(*bundleDir, b, next)
+				if err == nil {
+					next = ord + 1
+				}
+				return err
+			})
 			if err != nil {
-				fmt.Fprintf(stderr, "atpg: bundle: %v\n", err)
+				fmt.Fprintf(stderr, "atpg: bundle: %v (continuing without the bundle)\n", err)
 				return
 			}
-			next = ord + 1
 			fmt.Fprintf(stderr, "atpg: crash-repro bundle written to %s\n", p)
 		}
 	}
@@ -454,9 +478,18 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 	if ckptPath != "" {
 		cfg.CheckpointEvery = *ckptEvery
+		// Journal writes retry transient disk failures (injectable at
+		// checkpoint.write); if the disk stays broken the run degrades to
+		// running without checkpoints — and says so once — rather than
+		// spamming a warning per fault or aborting a healthy run.
+		ckptDown := false
 		cfg.Checkpoint = func(ck *hybrid.Checkpoint) {
-			if err := runctl.SaveJSON(ckptPath, ck); err != nil {
-				fmt.Fprintf(stderr, "atpg: checkpoint: %v\n", err)
+			if ckptDown {
+				return
+			}
+			if err := runctl.SaveJSONRetry(hooks, "checkpoint.write", ckptPath, ck); err != nil {
+				ckptDown = true
+				fmt.Fprintf(stderr, "atpg: checkpoint: %v; continuing without checkpointing\n", err)
 			}
 		}
 	}

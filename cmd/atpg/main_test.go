@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"gahitec/internal/obs"
+	"gahitec/internal/runctl"
 	"gahitec/internal/supervise"
 )
 
@@ -675,5 +676,94 @@ func TestWorkersFlagOutputIdentical(t *testing.T) {
 		if par := report("-workers", w); par != serial {
 			t.Errorf("-workers %s report diverged from serial:\n--- parallel ---\n%s--- serial ---\n%s", w, par, serial)
 		}
+	}
+}
+
+// The disk-write injection sites, end to end. A transient checkpoint
+// failure must be absorbed by the retry (journal present, no degradation
+// notice); a persistent one must degrade the run to checkpoint-less — with
+// a notice — and still exit 0 with a full test set.
+func TestCheckpointWriteRetriesThenDegrades(t *testing.T) {
+	base := func(ckpt string) []string {
+		return []string{"-circuit", "s27", "-seed", "1", "-scale", "1000",
+			"-checkpoint", ckpt, "-checkpoint-every", "1"}
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	t.Setenv("GAHITEC_FAULT_INJECT", "checkpoint.write:1:fail")
+	var out, errw bytes.Buffer
+	if code := run(base(ckpt), &out, &errw); code != 0 {
+		t.Fatalf("transient checkpoint failure exited %d:\n%s", code, errw.String())
+	}
+	if strings.Contains(errw.String(), "continuing without checkpointing") {
+		t.Fatalf("one transient failure must be retried, not degrade the run:\n%s", errw.String())
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("journal missing after retried write: %v", err)
+	}
+
+	ckpt = filepath.Join(t.TempDir(), "run.ckpt")
+	t.Setenv("GAHITEC_FAULT_INJECT", "checkpoint.write:*:fail")
+	out.Reset()
+	errw.Reset()
+	if code := run(base(ckpt), &out, &errw); code != 0 {
+		t.Fatalf("persistent checkpoint failure exited %d:\n%s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "continuing without checkpointing") {
+		t.Fatalf("missing degradation notice:\n%s", errw.String())
+	}
+	if n := strings.Count(errw.String(), "continuing without checkpointing"); n != 1 {
+		t.Errorf("degradation notice printed %d times, want once", n)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Errorf("no journal should be published when every write fails (err=%v)", err)
+	}
+	if !strings.Contains(out.String(), "fault coverage") {
+		t.Errorf("degraded run did not finish normally:\n%s", out.String())
+	}
+}
+
+// A persistently failing bundle publication costs the post-mortem artifact,
+// never the run: the panic is still quarantined, the degradation announced,
+// and the exit code stays 0.
+func TestBundlePublishDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("GAHITEC_FAULT_INJECT", "bundle.publish:*:fail,generate:3:panic")
+	var out, errw bytes.Buffer
+	code := run([]string{"-circuit", "s27", "-seed", "1", "-scale", "1000",
+		"-bundle-dir", dir}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "continuing without the bundle") {
+		t.Fatalf("missing bundle degradation notice:\n%s", errw.String())
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "bundle-*.json")); len(matches) != 0 {
+		t.Errorf("no bundle should be published when every write fails, got %v", matches)
+	}
+}
+
+// A persistently failing trace sink degrades telemetry, not the run: events
+// stop, the run exits 0, and the aggregated metrics are still written.
+func TestTraceWriteFailureDoesNotFailRun(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.ndjson")
+	metrics := filepath.Join(dir, "metrics.json")
+	t.Setenv("GAHITEC_FAULT_INJECT", "trace.write:*:fail")
+	var out, errw bytes.Buffer
+	code := run([]string{"-circuit", "s27", "-seed", "1", "-scale", "1000",
+		"-trace", trace, "-metrics", metrics}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("trace failure changed the exit code to %d:\n%s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "run unaffected") {
+		t.Fatalf("missing trace degradation notice:\n%s", errw.String())
+	}
+	var m obs.Metrics
+	if err := runctl.LoadJSON(metrics, &m); err != nil {
+		t.Fatalf("metrics must survive a dead trace sink: %v", err)
+	}
+	if len(m.Counters) == 0 {
+		t.Error("metrics written but empty")
 	}
 }

@@ -1,0 +1,188 @@
+// Command atpgd is the durable test-generation service: cmd/atpg's engine
+// behind a crash-safe job queue. Clients POST job specs (an embedded
+// benchmark name or an inline .bench netlist plus generator knobs) to an
+// HTTP API; the daemon persists each job to disk before acknowledging it,
+// executes jobs concurrently through internal/hybrid under per-job
+// watchdog and memory-governor supervision, and checkpoints running jobs on
+// the schema-v4 journal so a crash — up to and including SIGKILL — loses at
+// most the work since the last checkpoint. On restart the daemon resumes
+// interrupted jobs from their checkpoints and produces output bit-identical
+// to an uninterrupted run (per-fault wall-clock limits permitting).
+//
+// Failed attempts retry with exponential backoff until the attempt budget
+// parks the job in the dead-letter state, where its directory — last error,
+// checkpoint, crash-repro bundles replayable with atpg -repro — remains the
+// post-mortem artifact. Under memory pressure the daemon degrades
+// gracefully: each job sheds its own search workers first, a fleet-wide
+// scheduler then stops filling job slots, and admission control (429 +
+// Retry-After) refuses new work once the backlog hits -max-queue.
+//
+// API summary (see README.md "Running as a service"):
+//
+//	POST /jobs                submit a job spec; 201 with the job record
+//	GET  /jobs                list jobs
+//	GET  /jobs/{id}           job status + progress
+//	GET  /jobs/{id}/events    live NDJSON trace as SSE; ends with event: end
+//	GET  /jobs/{id}/result    result.json of a done job
+//	GET  /jobs/{id}/tests     tests.txt of a done job
+//	GET  /jobs/{id}/artifacts list / download everything in the job dir
+//	POST /jobs/{id}/cancel    cancel a pending or running job
+//	GET  /healthz             liveness + backlog
+//	GET  /debug/obs           live fleet metrics; /debug/fleet, /debug/pprof
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gahitec/internal/jobq"
+	"gahitec/internal/obs"
+	"gahitec/internal/runctl"
+	"gahitec/internal/supervise"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the daemon body, factored for tests: it serves until ctx is
+// cancelled, then shuts down gracefully — in-flight attempts checkpoint and
+// release their jobs before the process exits, so the next start resumes
+// them. Exit code 0 on a clean shutdown, non-zero on a setup failure.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("atpgd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "localhost:8475", "HTTP listen address")
+		dataDir     = fs.String("data", "atpgd-data", "queue state directory (jobs survive restarts here)")
+		slots       = fs.Int("jobs", 2, "concurrent job slots")
+		maxQueue    = fs.Int("max-queue", 64, "admission cap on pending+running jobs; 429 past it (0: unlimited)")
+		retryBase   = fs.Duration("retry-base", 2*time.Second, "backoff before a failed job's first retry (doubles per attempt)")
+		retryCap    = fs.Duration("retry-cap", time.Minute, "upper bound on retry backoff")
+		maxAttempts = fs.Int("max-attempts", 3, "failed attempts before a job is dead-lettered")
+		wdCeiling   = fs.Duration("watchdog-ceiling", 0, "hard-preempt any per-fault search running longer than this (0: off)")
+		wdStall     = fs.Duration("watchdog-stall", 0, "hard-preempt any per-fault search heartbeat-silent for this long (0: off)")
+		memSoftMB   = fs.Int("mem-soft-mb", 0, "heap size that triggers graceful degradation (0: off)")
+		memHardMB   = fs.Int("mem-hard-mb", 0, "heap size that triggers hard degradation (0: off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger := log.New(stderr, "atpgd: ", log.LstdFlags|log.Lmsgprefix)
+	fail := func(format string, a ...any) int {
+		logger.Printf(format, a...)
+		return 1
+	}
+
+	injectSpec := os.Getenv("GAHITEC_FAULT_INJECT")
+	var hooks *runctl.Hooks
+	if injectSpec != "" {
+		var err error
+		if hooks, err = runctl.ParseInjectSpec(injectSpec); err != nil {
+			return fail("GAHITEC_FAULT_INJECT: %v", err)
+		}
+		logger.Printf("fault injection armed: %s", injectSpec)
+	}
+
+	q, warnings, err := jobq.Open(*dataDir)
+	if err != nil {
+		return fail("%v", err)
+	}
+	for _, w := range warnings {
+		logger.Printf("%s", w)
+	}
+	q.RetryBase, q.RetryCap, q.MaxAttempts = *retryBase, *retryCap, *maxAttempts
+	if n := q.Backlog(); n > 0 {
+		logger.Printf("recovered %d unfinished job(s) from %s", n, *dataDir)
+	}
+
+	// One metrics-only recorder aggregates fleet counters for /debug/obs;
+	// per-job traces go to each job's own trace.ndjson, not here.
+	rec := obs.New(nil)
+
+	// Graceful degradation is layered (see jobq.Runner): per-job governors
+	// shed search workers first; the fleet scheduler is the backstop that
+	// stops filling job slots. Both probe the same shared heap.
+	fleetLog := &decisionLog{}
+	var fleet *supervise.Scheduler
+	var governor supervise.Governor
+	if *memSoftMB > 0 || *memHardMB > 0 {
+		soft, hard := uint64(*memSoftMB)<<20, uint64(*memHardMB)<<20
+		governor = supervise.Governor{SoftBytes: soft, HardBytes: hard}
+		fleet = &supervise.Scheduler{
+			SoftBytes:  soft,
+			HardBytes:  hard,
+			MaxWorkers: *slots,
+			// Two calm samples before refilling slots: a heap hovering at
+			// the threshold must not thrash job admission.
+			DwellSamples: 2,
+			OnDecision:   fleetLog.add,
+		}
+	}
+
+	runner := &jobq.Runner{
+		Queue:      q,
+		Slots:      *slots,
+		Watchdog:   supervise.Watchdog{Ceiling: *wdCeiling, Stall: *wdStall},
+		Governor:   governor,
+		Fleet:      fleet,
+		Hooks:      hooks,
+		InjectSpec: injectSpec,
+		Logf:       logger.Printf,
+		Obs:        rec,
+	}
+
+	srv := &server{
+		ctx:        ctx,
+		q:          q,
+		maxQueue:   *maxQueue,
+		retryAfter: *retryBase,
+		rec:        rec,
+		fleet:      fleet,
+		fleetLog:   fleetLog,
+		logf:       logger.Printf,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail("listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Printf("serve: %v", err)
+		}
+	}()
+	logger.Printf("serving on http://%s (data %s, %d slot(s))", ln.Addr(), *dataDir, *slots)
+	fmt.Fprintf(stdout, "atpgd: listening on %s\n", ln.Addr())
+
+	runnerDone := make(chan struct{})
+	go func() {
+		defer close(runnerDone)
+		runner.Run(ctx)
+	}()
+
+	<-ctx.Done()
+	logger.Printf("shutting down: interrupting jobs so they checkpoint and release")
+	// The runner first: Run returns only after every in-flight attempt has
+	// observed the interrupt, written its final checkpoint and released its
+	// job back to pending — the durability handshake a restart depends on.
+	<-runnerDone
+	sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		httpSrv.Close()
+	}
+	logger.Printf("shutdown complete: unfinished jobs released with checkpoints")
+	return 0
+}

@@ -1,0 +1,350 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gahitec/internal/jobq"
+	"gahitec/internal/obs"
+)
+
+// newTestServer builds the HTTP layer over a fresh queue, optionally with a
+// live runner draining it, and returns the server plus the queue.
+func newTestServer(t *testing.T, maxQueue int, withRunner bool) (*server, *jobq.Queue) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	q, _, err := jobq.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	q.RetryBase = 10 * time.Millisecond
+	s := &server{
+		ctx:        ctx,
+		q:          q,
+		maxQueue:   maxQueue,
+		retryAfter: 2 * time.Second,
+		rec:        obs.New(nil),
+		fleetLog:   &decisionLog{},
+		logf:       t.Logf,
+	}
+	runnerDone := make(chan struct{})
+	if withRunner {
+		r := &jobq.Runner{Queue: q, Slots: 2, Logf: t.Logf, Obs: s.rec}
+		go func() {
+			defer close(runnerDone)
+			r.Run(ctx)
+		}()
+	} else {
+		close(runnerDone)
+	}
+	t.Cleanup(func() {
+		cancel()
+		<-runnerDone
+	})
+	return s, q
+}
+
+// do runs one request through the handler and returns the response.
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func submitJob(t *testing.T, h http.Handler, spec string) jobq.Info {
+	t.Helper()
+	w := do(t, h, "POST", "/jobs", spec)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("submit = %d: %s", w.Code, w.Body)
+	}
+	var info jobq.Info
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	return info
+}
+
+func waitState(t *testing.T, q *jobq.Queue, id string, want jobq.State, timeout time.Duration) jobq.Info {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		info, ok := q.Info(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if info.Status.State == want {
+			return info
+		}
+		if info.Status.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s = %s (last error %q), want %s",
+				id, info.Status.State, info.Status.LastError, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestSubmitRunAndFetchArtifacts(t *testing.T) {
+	s, q := newTestServer(t, 0, true)
+	h := s.handler()
+	info := submitJob(t, h, `{"circuit":"s27","seed":1,"scale":1000,"checkpoint_every":1}`)
+	waitState(t, q, info.ID, jobq.Done, 60*time.Second)
+
+	if w := do(t, h, "GET", "/jobs/"+info.ID+"/result", ""); w.Code != http.StatusOK {
+		t.Fatalf("result = %d: %s", w.Code, w.Body)
+	} else if !strings.Contains(w.Body.String(), `"circuit": "s27"`) {
+		t.Fatalf("result body: %s", w.Body)
+	}
+	if w := do(t, h, "GET", "/jobs/"+info.ID+"/tests", ""); w.Code != http.StatusOK ||
+		!strings.Contains(w.Body.String(), "# circuit: s27") {
+		t.Fatalf("tests = %d: %.120s", w.Code, w.Body)
+	}
+	w := do(t, h, "GET", "/jobs/"+info.ID+"/artifacts", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "tests.txt") {
+		t.Fatalf("artifacts = %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, h, "GET", "/jobs/"+info.ID+"/artifacts/metrics.json", ""); w.Code != http.StatusOK {
+		t.Fatalf("artifact download = %d", w.Code)
+	}
+	if w := do(t, h, "POST", "/jobs/"+info.ID+"/cancel", ""); w.Code != http.StatusConflict {
+		t.Fatalf("cancel of done job = %d, want 409", w.Code)
+	}
+	if w := do(t, h, "GET", "/jobs", ""); w.Code != http.StatusOK ||
+		!strings.Contains(w.Body.String(), info.ID) {
+		t.Fatalf("list = %d: %s", w.Code, w.Body)
+	}
+
+	// The event stream of a finished job replays its whole trace and closes
+	// with the end frame carrying the final record.
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/jobs/" + info.ID + "/events")
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	defer resp.Body.Close()
+	events, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading events: %v", err)
+	}
+	if !strings.Contains(string(events), "data: ") ||
+		!strings.Contains(string(events), "event: end") {
+		t.Fatalf("event stream missing frames:\n%.300s", events)
+	}
+	if !strings.Contains(string(events), `"done"`) {
+		t.Fatalf("end frame missing final state:\n%.300s", events)
+	}
+}
+
+func TestAdmissionControlReturns429(t *testing.T) {
+	s, _ := newTestServer(t, 1, false)
+	h := s.handler()
+	spec := `{"circuit":"s27","seed":1}`
+	first := submitJob(t, h, spec)
+	w := do(t, h, "POST", "/jobs", spec)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("second submit = %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+	if w := do(t, h, "POST", "/jobs/"+first.ID+"/cancel", ""); w.Code != http.StatusOK {
+		t.Fatalf("cancel = %d: %s", w.Code, w.Body)
+	}
+	// Cancelling freed the backlog slot; admission reopens.
+	submitJob(t, h, spec)
+}
+
+func TestCancelLifecycle(t *testing.T) {
+	s, q := newTestServer(t, 0, false)
+	h := s.handler()
+	info := submitJob(t, h, `{"circuit":"s27","seed":1}`)
+	if w := do(t, h, "POST", "/jobs/"+info.ID+"/cancel", ""); w.Code != http.StatusOK {
+		t.Fatalf("cancel = %d: %s", w.Code, w.Body)
+	}
+	got, _ := q.Info(info.ID)
+	if got.Status.State != jobq.Cancelled {
+		t.Fatalf("state = %s, want cancelled", got.Status.State)
+	}
+	if w := do(t, h, "POST", "/jobs/"+info.ID+"/cancel", ""); w.Code != http.StatusConflict {
+		t.Fatalf("second cancel = %d, want 409", w.Code)
+	}
+	if w := do(t, h, "POST", "/jobs/job-999999/cancel", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("cancel of unknown job = %d, want 404", w.Code)
+	}
+}
+
+func TestBadSpecsRejected(t *testing.T) {
+	s, _ := newTestServer(t, 0, false)
+	h := s.handler()
+	for _, body := range []string{
+		`{"circuit":"s27","sed":1}`,                  // unknown field (typo)
+		`{}`,                                         // no circuit at all
+		`{"circuit":"s27","bench":"INPUT(a)"}`,       // both sources
+		`{"circuit":"s27","mode":"vintage"}`,         // unknown mode
+		`{"circuit":"s27","inject_spec":"nonsense"}`, // malformed inject spec
+	} {
+		if w := do(t, h, "POST", "/jobs", body); w.Code != http.StatusBadRequest {
+			t.Errorf("submit %s = %d, want 400", body, w.Code)
+		}
+	}
+}
+
+func TestResultBeforeDoneConflicts(t *testing.T) {
+	s, _ := newTestServer(t, 0, false)
+	h := s.handler()
+	info := submitJob(t, h, `{"circuit":"s27","seed":1}`)
+	if w := do(t, h, "GET", "/jobs/"+info.ID+"/result", ""); w.Code != http.StatusConflict {
+		t.Fatalf("result of pending job = %d, want 409", w.Code)
+	}
+	if w := do(t, h, "GET", "/jobs/job-999999/result", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("result of unknown job = %d, want 404", w.Code)
+	}
+}
+
+func TestArtifactTraversalBlocked(t *testing.T) {
+	s, _ := newTestServer(t, 0, false)
+	h := s.handler()
+	info := submitJob(t, h, `{"circuit":"s27","seed":1}`)
+	// Escaped dots survive routing and reach the handler decoded; the
+	// IsLocal guard must refuse them.
+	w := do(t, h, "GET", "/jobs/"+info.ID+"/artifacts/%2e%2e/%2e%2e/secret", "")
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("traversal = %d, want 400", w.Code)
+	}
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	s, _ := newTestServer(t, 0, false)
+	h := s.handler()
+	if w := do(t, h, "GET", "/healthz", ""); w.Code != http.StatusOK ||
+		!strings.Contains(w.Body.String(), `"ok"`) {
+		t.Fatalf("healthz = %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, h, "GET", "/debug/obs", ""); w.Code != http.StatusOK {
+		t.Fatalf("debug/obs = %d", w.Code)
+	}
+	w := do(t, h, "GET", "/debug/fleet", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"enabled": false`) {
+		t.Fatalf("debug/fleet = %d: %s", w.Code, w.Body)
+	}
+}
+
+// TestDaemonRestartResumesJob drives the real run() entrypoint: submit a
+// job, shut the daemon down mid-run (the graceful path: checkpoint and
+// release), restart it on the same data directory and watch the same job
+// run to done. The kill -9 variant of this lives in scripts/soak.sh daemon
+// mode; the bit-identity contract is proved in internal/jobq's chaos test.
+func TestDaemonRestartResumesJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full daemon lifecycle; skipped with -short")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("probe port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	data := t.TempDir()
+	args := []string{"-addr", addr, "-data", data, "-jobs", "1"}
+	base := "http://" + addr
+
+	start := func(ctx context.Context) chan int {
+		code := make(chan int, 1)
+		go func() { code <- run(ctx, args, io.Discard, testWriter{t}) }()
+		return code
+	}
+	waitHealthy := func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon never became healthy: %v", err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	code1 := start(ctx1)
+	waitHealthy()
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"circuit":"s27","seed":1,"scale":1000,"checkpoint_every":1}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var info jobq.Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	// Let the attempt start, then shut down mid-run.
+	time.Sleep(150 * time.Millisecond)
+	cancel1()
+	if c := <-code1; c != 0 {
+		t.Fatalf("first daemon exited %d", c)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	code2 := start(ctx2)
+	waitHealthy()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/jobs/" + info.ID)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var got jobq.Info
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatalf("poll decode: %v (%s)", err, body)
+		}
+		if got.Status.State == jobq.Done {
+			break
+		}
+		if got.Status.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job = %s (last error %q), want done", got.Status.State, got.Status.LastError)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	resp, err = http.Get(base + "/jobs/" + info.ID + "/result")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("result after restart: %v (%v)", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	cancel2()
+	if c := <-code2; c != 0 {
+		t.Fatalf("second daemon exited %d", c)
+	}
+}
+
+// testWriter adapts t.Logf for the daemon's stderr so failures show its log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}

@@ -1,0 +1,341 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"gahitec/internal/jobq"
+	"gahitec/internal/obs"
+	"gahitec/internal/supervise"
+)
+
+// server is the daemon's HTTP API over one jobq.Queue. Handlers only read
+// and transition queue state — execution lives in the runner — so every
+// endpoint stays responsive while jobs run.
+type server struct {
+	ctx        context.Context // daemon lifetime: event streams end with it
+	q          *jobq.Queue
+	maxQueue   int           // admission cap on Backlog (0: unlimited)
+	retryAfter time.Duration // Retry-After hint on 429
+	rec        *obs.Recorder
+	fleet      *supervise.Scheduler
+	fleetLog   *decisionLog
+	logf       func(format string, args ...any)
+}
+
+// decisionLog collects fleet scheduler decisions for /debug/fleet. The
+// scheduler itself is sampled only from the runner loop; the mutex covers
+// the handoff to concurrent debug readers.
+type decisionLog struct {
+	mu sync.Mutex
+	d  []supervise.Decision
+}
+
+func (l *decisionLog) add(d supervise.Decision) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.d = append(l.d, d)
+}
+
+func (l *decisionLog) snapshot() []supervise.Decision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]supervise.Decision(nil), l.d...)
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.submit)
+	mux.HandleFunc("GET /jobs", s.list)
+	mux.HandleFunc("GET /jobs/{id}", s.info)
+	mux.HandleFunc("GET /jobs/{id}/events", s.events)
+	mux.HandleFunc("GET /jobs/{id}/result", s.artifactFor(jobq.Done, "result.json"))
+	mux.HandleFunc("GET /jobs/{id}/tests", s.artifactFor(jobq.Done, "tests.txt"))
+	mux.HandleFunc("GET /jobs/{id}/artifacts", s.artifacts)
+	mux.HandleFunc("GET /jobs/{id}/artifacts/{path...}", s.artifact)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /debug/obs", s.debugObs)
+	mux.HandleFunc("GET /debug/fleet", s.debugFleet)
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func jsonError(w http.ResponseWriter, status int, format string, a ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, a...)})
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec jobq.Spec
+	if err := dec.Decode(&spec); err != nil {
+		jsonError(w, http.StatusBadRequest, "decoding spec: %v", err)
+		return
+	}
+	// Admission control: past the backlog cap the durable answer is "not
+	// now", not an unbounded queue — the jobs we did accept keep their
+	// latency bounds, and the client knows when to come back.
+	if s.maxQueue > 0 && s.q.Backlog() >= s.maxQueue {
+		retry := int(s.retryAfter / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		jsonError(w, http.StatusTooManyRequests,
+			"queue full (%d jobs in flight); retry after %ds", s.maxQueue, retry)
+		return
+	}
+	j, err := s.q.Submit(spec)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	circuit := j.Spec.Circuit
+	if circuit == "" {
+		circuit = "inline netlist"
+	}
+	s.logf("accepted %s (%s, seed %d)", j.ID, circuit, j.Spec.Seed)
+	info, _ := s.q.Info(j.ID)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *server) list(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.q.List())
+}
+
+func (s *server) info(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.q.Info(r.PathValue("id"))
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no job %s", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.q.Get(id); !ok {
+		jsonError(w, http.StatusNotFound, "no job %s", id)
+		return
+	}
+	if err := s.q.Cancel(id); err != nil {
+		jsonError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	info, _ := s.q.Info(id)
+	writeJSON(w, http.StatusOK, info)
+}
+
+// artifactFor serves one named artifact of a job once it has reached the
+// given state (the result and test set exist only for done jobs).
+func (s *server) artifactFor(state jobq.State, name string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		j, ok := s.q.Get(id)
+		if !ok {
+			jsonError(w, http.StatusNotFound, "no job %s", id)
+			return
+		}
+		if info, _ := s.q.Info(id); info.Status.State != state {
+			jsonError(w, http.StatusConflict, "job %s is %s; %s exists once it is %s",
+				id, info.Status.State, name, state)
+			return
+		}
+		http.ServeFile(w, r, filepath.Join(j.Dir, name))
+	}
+}
+
+// artifacts lists every file in the job directory (journal, checkpoint,
+// trace, bundles, outputs) with sizes, as relative paths that feed straight
+// back into /artifacts/{path}.
+func (s *server) artifacts(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.q.Get(id)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no job %s", id)
+		return
+	}
+	type entry struct {
+		Path string `json:"path"`
+		Size int64  `json:"size"`
+	}
+	var out []entry
+	err := filepath.WalkDir(j.Dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(j.Dir, path)
+		if err != nil {
+			return err
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return err
+		}
+		out = append(out, entry{Path: filepath.ToSlash(rel), Size: fi.Size()})
+		return nil
+	})
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "listing artifacts: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) artifact(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.q.Get(id)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no job %s", id)
+		return
+	}
+	// PathValue is decoded, so escaped traversal ("%2e%2e") lands here as
+	// literal dots; IsLocal rejects anything that could leave the job dir.
+	rel := r.PathValue("path")
+	if !filepath.IsLocal(rel) {
+		jsonError(w, http.StatusBadRequest, "artifact path must stay inside the job directory")
+		return
+	}
+	http.ServeFile(w, r, filepath.Join(j.Dir, filepath.FromSlash(rel)))
+}
+
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"jobs":    len(s.q.List()),
+		"backlog": s.q.Backlog(),
+	})
+}
+
+func (s *server) debugObs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.rec.MetricsSnapshot())
+}
+
+func (s *server) debugFleet(w http.ResponseWriter, _ *http.Request) {
+	resp := struct {
+		Enabled   bool                 `json:"enabled"`
+		Level     string               `json:"level"`
+		Workers   int                  `json:"workers"`
+		Decisions []supervise.Decision `json:"decisions"`
+	}{
+		Enabled:   s.fleet.Enabled(),
+		Level:     s.fleet.Level().String(),
+		Workers:   s.fleet.Workers(),
+		Decisions: s.fleetLog.snapshot(),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// events streams the job's NDJSON trace as server-sent events: every trace
+// line becomes one data: frame, live appends follow via the tail's wakeup
+// (with a poll fallback between attempts), and the stream finishes with an
+// "event: end" frame carrying the job's final record once the job is
+// terminal and the trace is fully drained.
+func (s *server) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.q.Get(id)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no job %s", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		jsonError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	var rd *bufio.Reader
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	var pending []byte
+	// drain forwards every complete trace line appended since the last
+	// call. A torn final line (the writer mid-append) stays pending until
+	// its newline arrives.
+	drain := func() {
+		if f == nil {
+			var err error
+			if f, err = os.Open(j.TracePath()); err != nil {
+				return // no attempt has started yet
+			}
+			rd = bufio.NewReader(f)
+		}
+		for {
+			chunk, err := rd.ReadBytes('\n')
+			pending = append(pending, chunk...)
+			if n := len(pending); n > 0 && pending[n-1] == '\n' {
+				fmt.Fprintf(w, "data: %s\n\n", bytes.TrimRight(pending, "\n"))
+				pending = pending[:0]
+				fl.Flush()
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+	for {
+		drain()
+		info, ok := s.q.Info(id)
+		if !ok {
+			return
+		}
+		if info.Status.State.Terminal() {
+			// The state flipped after our drain; anything the final attempt
+			// wrote before its transition is on disk now — drain once more
+			// so the stream never truncates the tail of the trace.
+			drain()
+			payload, _ := json.Marshal(info)
+			fmt.Fprintf(w, "event: end\ndata: %s\n\n", payload)
+			fl.Flush()
+			return
+		}
+		var wake <-chan struct{}
+		if t := j.Tail(); t != nil {
+			wake = t.Wait()
+		}
+		timer := time.NewTimer(500 * time.Millisecond)
+		select {
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		case <-s.ctx.Done(): // daemon shutting down; let Shutdown drain us
+			timer.Stop()
+			return
+		case <-wake:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+}

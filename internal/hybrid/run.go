@@ -228,7 +228,10 @@ func (r *runner) run() *Result {
 			SoftBytes:  r.cfg.Governor.SoftBytes,
 			HardBytes:  r.cfg.Governor.HardBytes,
 			MaxWorkers: workers,
-			Probe:      r.cfg.Governor.Probe,
+			// Two calm samples before any scale-up: heap hovering at a
+			// threshold must not thrash the pool every other fault.
+			DwellSamples: 2,
+			Probe:        r.cfg.Governor.Probe,
 			OnDecision: func(d supervise.Decision) {
 				r.res.Degradations = append(r.res.Degradations, d)
 				r.cfg.Obs.Point("governor", "decision", "", d.Pass, obs.Attrs{

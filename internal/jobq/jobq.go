@@ -1,0 +1,543 @@
+// Package jobq is the durable job substrate behind cmd/atpgd: a crash-safe
+// on-disk queue of test-generation jobs plus a runner that executes them
+// through internal/hybrid under per-job supervision.
+//
+// Durability contract. Every piece of queue state lives in one directory per
+// job and is written atomically (temp + fsync + rename, via the runctl
+// journal machinery), so a daemon killed at any instant — including SIGKILL,
+// which runs no handlers — loses at most the work since the job's last
+// checkpoint, never the queue's integrity:
+//
+//	<dir>/jobs/job-000001/
+//	    job.json         spec + status, the queue's source of truth
+//	    circuit.bench    the netlist, when submitted inline
+//	    checkpoint.json  hybrid schema-v4 journal (while running)
+//	    trace.ndjson     append-only obs event stream (SSE feeds from it)
+//	    bundles/         crash-repro bundles captured by the run
+//	    tests.txt        generated test set (on completion)
+//	    result.json      deterministic run summary (on completion)
+//	    metrics.json     merged obs metrics (on completion)
+//
+// On Open, jobs found in the running state are returned to pending — a dead
+// daemon is not the job's fault, so the attempt counter is not charged — and
+// their checkpoint journal makes the next attempt resume where the last one
+// stopped, producing output bit-identical to an uninterrupted run (per-fault
+// wall-clock limits permitting, exactly as with hybrid.Resume).
+//
+// Failure handling. A failed attempt re-enters the queue with exponential
+// backoff until its attempt budget is exhausted, then parks in the dead
+// state (dead-letter): its directory — last error, checkpoint, crash-repro
+// bundles — stays on disk as the post-mortem artifact, and the bundles
+// replay under atpg -repro.
+package jobq
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gahitec/internal/hybrid"
+	"gahitec/internal/runctl"
+)
+
+// State is a job's lifecycle position: pending -> running -> done, with
+// failed attempts looping back to pending (after a backoff) until the
+// attempt budget parks the job in dead. Cancelled is terminal.
+type State string
+
+const (
+	Pending   State = "pending"
+	Running   State = "running"
+	Done      State = "done"
+	Dead      State = "dead" // dead-letter: attempt budget exhausted
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether the state can no longer change.
+func (s State) Terminal() bool { return s == Done || s == Dead || s == Cancelled }
+
+// Spec is what a client submits: the circuit plus the generator knobs, a
+// subset of cmd/atpg's flags. Exactly one of Circuit (embedded benchmark
+// name) or Bench (inline netlist text) must be set.
+type Spec struct {
+	Circuit string `json:"circuit,omitempty"` // embedded benchmark name
+	Bench   string `json:"bench,omitempty"`   // inline .bench netlist text
+
+	Mode       string  `json:"mode,omitempty"`  // gahitec (default) or hitec
+	Seed       int64   `json:"seed"`            // random seed (0 is a valid seed)
+	Scale      float64 `json:"scale,omitempty"` // per-fault time-limit scale (default 0.03)
+	X          int     `json:"x,omitempty"`     // base GA sequence length (0: 8x depth)
+	Workers    int     `json:"workers,omitempty"`
+	Preprocess bool    `json:"preprocess,omitempty"`
+	Audit      bool    `json:"audit,omitempty"`
+	Retry      int     `json:"retry,omitempty"` // in-run quarantine retries
+
+	// CheckpointEvery is the journal cadence in targeted faults (default 16).
+	// Smaller values tighten the durability window at the cost of more
+	// journal writes.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+
+	// Priority orders claims: higher first, submission order within a
+	// priority.
+	Priority int `json:"priority,omitempty"`
+
+	// MaxAttempts overrides the queue's attempt budget for this job
+	// (0: use the queue default).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+
+	// InjectSpec arms the runctl fault-injection harness for this job only
+	// (same syntax as GAHITEC_FAULT_INJECT). Test machinery: the chaos suite
+	// uses it to force transient and permanent failures on individual jobs.
+	InjectSpec string `json:"inject_spec,omitempty"`
+}
+
+// Validate rejects specs the runner could never execute. Called on Submit so
+// a bad spec fails the HTTP request, not a later attempt.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Circuit == "" && s.Bench == "":
+		return fmt.Errorf("jobq: spec needs one of circuit or bench")
+	case s.Circuit != "" && s.Bench != "":
+		return fmt.Errorf("jobq: spec has both circuit and bench; use one")
+	}
+	switch s.Mode {
+	case "", "gahitec", "hitec":
+	default:
+		return fmt.Errorf("jobq: unknown mode %q (want gahitec or hitec)", s.Mode)
+	}
+	if s.Scale < 0 || s.X < 0 || s.Workers < 0 || s.Retry < 0 ||
+		s.CheckpointEvery < 0 || s.MaxAttempts < 0 {
+		return fmt.Errorf("jobq: negative knob in spec")
+	}
+	if s.InjectSpec != "" {
+		if _, err := runctl.ParseInjectSpec(s.InjectSpec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Status is the mutable half of a job's on-disk record.
+type Status struct {
+	State       State  `json:"state"`
+	Attempts    int    `json:"attempts"`                // failed attempts charged so far
+	MaxAttempts int    `json:"max_attempts"`            // budget resolved at submit
+	NextRetryMS int64  `json:"next_retry_ms,omitempty"` // unix ms; pending retry gate
+	LastError   string `json:"last_error,omitempty"`
+	Interrupts  int    `json:"interrupts,omitempty"` // daemon restarts absorbed mid-run
+	SubmittedMS int64  `json:"submitted_ms"`
+	StartedMS   int64  `json:"started_ms,omitempty"`
+	FinishedMS  int64  `json:"finished_ms,omitempty"`
+}
+
+// Job is one queued run. ID, Seq, Dir and Spec are immutable after Submit;
+// status is guarded by the queue's lock (read it via Queue.Info).
+type Job struct {
+	ID   string
+	Seq  int
+	Dir  string
+	Spec Spec
+
+	status     Status
+	cancel     func() // interrupts the in-flight attempt (guarded by queue mu)
+	userCancel bool
+
+	// hooks caches the harness parsed from Spec.InjectSpec so call counters
+	// span attempts, exactly like the process-level GAHITEC_FAULT_INJECT
+	// harness: a rule like "site:1:fail" injects one transient failure per
+	// daemon lifetime, not one per attempt. (A daemon restart resets the
+	// counters — the same thing a real crash does to real transient state.)
+	hooks *runctl.Hooks
+
+	progress atomic.Pointer[hybrid.Progress]
+	tail     atomic.Pointer[Tail]
+}
+
+// Progress returns the latest fault-boundary snapshot of a running attempt,
+// or nil before the first boundary.
+func (j *Job) Progress() *hybrid.Progress { return j.progress.Load() }
+
+// Tail returns the live trace sink of a running attempt, or nil when no
+// attempt is in flight. SSE followers use it to wake on appends.
+func (j *Job) Tail() *Tail { return j.tail.Load() }
+
+// TracePath returns the job's NDJSON trace file.
+func (j *Job) TracePath() string { return filepath.Join(j.Dir, "trace.ndjson") }
+
+// BundleDir returns the job's crash-repro bundle directory.
+func (j *Job) BundleDir() string { return filepath.Join(j.Dir, "bundles") }
+
+// Info is a consistent snapshot of a job for listings and status endpoints.
+type Info struct {
+	ID       string           `json:"id"`
+	Spec     Spec             `json:"spec"`
+	Status   Status           `json:"status"`
+	Progress *hybrid.Progress `json:"progress,omitempty"`
+}
+
+// Queue is the crash-safe on-disk job queue. All state transitions persist
+// the job's journal before they are visible in memory, so a crash between
+// any two statements recovers to a consistent queue.
+type Queue struct {
+	// RetryBase is the backoff before the first retry of a failed attempt;
+	// it doubles per attempt (default 2s). RetryCap bounds the doubling
+	// (default 1 minute).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+
+	// MaxAttempts is the default attempt budget before a job parks in the
+	// dead-letter state (default 3); Spec.MaxAttempts overrides per job.
+	MaxAttempts int
+
+	// Now is the queue's clock; tests pin it for deterministic backoff.
+	Now func() time.Time
+
+	dir     string
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	nextSeq int
+	wake    chan struct{}
+}
+
+// Open loads (or creates) a queue rooted at dir. Jobs interrupted mid-run by
+// the previous process — still marked running — return to pending with their
+// checkpoint intact and no attempt charged; half-submitted temp directories
+// are swept; jobs whose journal does not parse are skipped and reported in
+// warnings (their directories are left on disk for inspection).
+func Open(dir string) (*Queue, []string, error) {
+	q := &Queue{
+		RetryBase:   2 * time.Second,
+		RetryCap:    time.Minute,
+		MaxAttempts: 3,
+		Now:         time.Now,
+		dir:         dir,
+		jobs:        make(map[string]*Job),
+		nextSeq:     1,
+		wake:        make(chan struct{}, 1),
+	}
+	jobs := filepath.Join(dir, "jobs")
+	if err := os.MkdirAll(jobs, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobq: open queue: %w", err)
+	}
+	entries, err := os.ReadDir(jobs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobq: open queue: %w", err)
+	}
+	var warnings []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			os.RemoveAll(filepath.Join(jobs, name))
+			continue
+		}
+		if !e.IsDir() || !strings.HasPrefix(name, "job-") {
+			continue
+		}
+		j := &Job{ID: name, Dir: filepath.Join(jobs, name)}
+		var file jobFile
+		if err := runctl.LoadJSON(filepath.Join(j.Dir, "job.json"), &file); err != nil {
+			warnings = append(warnings, fmt.Sprintf("jobq: skipping %s: %v", name, err))
+			continue
+		}
+		if _, err := fmt.Sscanf(name, "job-%d", &j.Seq); err != nil || file.ID != name {
+			warnings = append(warnings, fmt.Sprintf("jobq: skipping %s: journal names %q", name, file.ID))
+			continue
+		}
+		j.Spec, j.status = file.Spec, file.Status
+		if j.status.State == Running {
+			// The previous daemon died mid-attempt. That is not the job's
+			// fault: return it to pending uncharged. Its checkpoint journal
+			// (if any attempt reached one) resumes the run.
+			j.status.State = Pending
+			j.status.Interrupts++
+			if err := q.persistLocked(j); err != nil {
+				return nil, warnings, err
+			}
+		}
+		q.jobs[j.ID] = j
+		if j.Seq >= q.nextSeq {
+			q.nextSeq = j.Seq + 1
+		}
+	}
+	return q, warnings, nil
+}
+
+// jobFile is the on-disk job journal.
+type jobFile struct {
+	ID     string `json:"id"`
+	Spec   Spec   `json:"spec"`
+	Status Status `json:"status"`
+}
+
+func (q *Queue) persistLocked(j *Job) error {
+	return runctl.SaveJSON(filepath.Join(j.Dir, "job.json"),
+		&jobFile{ID: j.ID, Spec: j.Spec, Status: j.status})
+}
+
+func (q *Queue) nowMS() int64 { return q.Now().UnixMilli() }
+
+// signal wakes the runner loop without blocking or stacking signals.
+func (q *Queue) signal() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Wake returns the channel the runner selects on: it receives after any
+// submit or retry-scheduling transition.
+func (q *Queue) Wake() <-chan struct{} { return q.wake }
+
+// Submit validates spec, assigns the next ID and persists the job. The job
+// directory is staged under a temp name and renamed into place, so a crash
+// mid-submit leaves either a complete job or sweepable garbage, never a
+// half-written entry.
+func (q *Queue) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	id := fmt.Sprintf("job-%06d", q.nextSeq)
+	jobs := filepath.Join(q.dir, "jobs")
+	stage := filepath.Join(jobs, ".tmp-"+id)
+	final := filepath.Join(jobs, id)
+	if err := os.MkdirAll(stage, 0o755); err != nil {
+		return nil, fmt.Errorf("jobq: submit: %w", err)
+	}
+	discard := func(err error) (*Job, error) {
+		os.RemoveAll(stage)
+		return nil, fmt.Errorf("jobq: submit: %w", err)
+	}
+	j := &Job{
+		ID:   id,
+		Seq:  q.nextSeq,
+		Dir:  final,
+		Spec: spec,
+		status: Status{
+			State:       Pending,
+			MaxAttempts: q.attemptBudget(spec),
+			SubmittedMS: q.nowMS(),
+		},
+	}
+	if spec.Bench != "" {
+		if err := os.WriteFile(filepath.Join(stage, "circuit.bench"), []byte(spec.Bench), 0o644); err != nil {
+			return discard(err)
+		}
+	}
+	if err := runctl.SaveJSON(filepath.Join(stage, "job.json"),
+		&jobFile{ID: id, Spec: spec, Status: j.status}); err != nil {
+		return discard(err)
+	}
+	if err := os.Rename(stage, final); err != nil {
+		return discard(err)
+	}
+	q.nextSeq++
+	q.jobs[id] = j
+	q.signal()
+	return j, nil
+}
+
+func (q *Queue) attemptBudget(spec Spec) int {
+	if spec.MaxAttempts > 0 {
+		return spec.MaxAttempts
+	}
+	if q.MaxAttempts > 0 {
+		return q.MaxAttempts
+	}
+	return 3
+}
+
+// Get returns the job by ID.
+func (q *Queue) Get(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// Info returns a consistent snapshot of one job.
+func (q *Queue) Info(id string) (Info, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Info{}, false
+	}
+	return q.infoLocked(j), true
+}
+
+func (q *Queue) infoLocked(j *Job) Info {
+	return Info{ID: j.ID, Spec: j.Spec, Status: j.status, Progress: j.Progress()}
+}
+
+// List returns snapshots of every job in submission order.
+func (q *Queue) List() []Info {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Info, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		out = append(out, q.infoLocked(j))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Backlog counts the jobs that still need the runner — pending and running —
+// which is what admission control compares against its queue cap.
+func (q *Queue) Backlog() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, j := range q.jobs {
+		if j.status.State == Pending || j.status.State == Running {
+			n++
+		}
+	}
+	return n
+}
+
+// Claim picks the best eligible pending job — highest priority, then oldest —
+// marks it running and returns it. When nothing is eligible it returns nil
+// plus how long until the next backoff gate opens (0: nothing scheduled).
+func (q *Queue) Claim() (*Job, time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.nowMS()
+	var best *Job
+	var soonest int64
+	for _, j := range q.jobs {
+		if j.status.State != Pending {
+			continue
+		}
+		if j.status.NextRetryMS > now {
+			if soonest == 0 || j.status.NextRetryMS < soonest {
+				soonest = j.status.NextRetryMS
+			}
+			continue
+		}
+		if best == nil ||
+			j.Spec.Priority > best.Spec.Priority ||
+			(j.Spec.Priority == best.Spec.Priority && j.Seq < best.Seq) {
+			best = j
+		}
+	}
+	if best == nil {
+		if soonest == 0 {
+			return nil, 0
+		}
+		return nil, time.Duration(soonest-now) * time.Millisecond
+	}
+	best.status.State = Running
+	best.status.NextRetryMS = 0
+	if best.status.StartedMS == 0 {
+		best.status.StartedMS = now
+	}
+	if err := q.persistLocked(best); err != nil {
+		// Leave the job pending rather than run it unjournaled: a crash
+		// while it ran would re-run a job the disk still calls pending.
+		best.status.State = Pending
+		return nil, 0
+	}
+	return best, 0
+}
+
+// setCancel registers (or clears, with nil) the cancel function of a running
+// attempt and reports whether the user already asked for cancellation.
+func (q *Queue) setCancel(j *Job, cancel func()) (userCancelled bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.cancel = cancel
+	return j.userCancel
+}
+
+// Cancel stops a job: a pending job parks immediately; a running job has its
+// attempt interrupted and parks once the runner observes the interrupt.
+func (q *Queue) Cancel(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("jobq: no job %s", id)
+	}
+	switch j.status.State {
+	case Pending:
+		j.status.State = Cancelled
+		j.status.FinishedMS = q.nowMS()
+		return q.persistLocked(j)
+	case Running:
+		j.userCancel = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return nil
+	default:
+		return fmt.Errorf("jobq: job %s is already %s", id, j.status.State)
+	}
+}
+
+// Complete parks a finished job in the done state.
+func (q *Queue) Complete(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.status.State = Done
+	j.status.LastError = ""
+	j.status.FinishedMS = q.nowMS()
+	return q.persistLocked(j)
+}
+
+// Release returns a running job to pending without charging an attempt: the
+// attempt was interrupted (daemon shutdown), not failed. The checkpoint
+// journal written by the interrupted attempt resumes it.
+func (q *Queue) Release(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.status.State = Pending
+	j.status.Interrupts++
+	err := q.persistLocked(j)
+	q.signal()
+	return err
+}
+
+// MarkCancelled parks a running job whose attempt was interrupted by Cancel.
+func (q *Queue) MarkCancelled(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.status.State = Cancelled
+	j.status.FinishedMS = q.nowMS()
+	return q.persistLocked(j)
+}
+
+// Fail charges one failed attempt. Within budget the job re-enters pending
+// behind an exponential backoff (RetryBase doubling per failure, capped at
+// RetryCap); past it — or when permanent is set, for failures no retry can
+// fix, like an unparsable netlist — the job parks in the dead-letter state.
+func (q *Queue) Fail(j *Job, cause error, permanent bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.status.Attempts++
+	j.status.LastError = cause.Error()
+	if permanent || j.status.Attempts >= j.status.MaxAttempts {
+		j.status.State = Dead
+		j.status.FinishedMS = q.nowMS()
+		return q.persistLocked(j)
+	}
+	shift := j.status.Attempts - 1
+	if shift > 16 { // past any sane budget; avoid shifting into the sign bit
+		shift = 16
+	}
+	backoff := q.RetryBase << shift
+	if q.RetryCap > 0 && backoff > q.RetryCap {
+		backoff = q.RetryCap
+	}
+	j.status.State = Pending
+	j.status.NextRetryMS = q.nowMS() + backoff.Milliseconds()
+	err := q.persistLocked(j)
+	q.signal()
+	return err
+}

@@ -1,0 +1,337 @@
+package jobq
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gahitec/internal/runctl"
+)
+
+// testClock is a settable queue clock for deterministic backoff tests.
+type testClock struct{ now time.Time }
+
+func (c *testClock) Now() time.Time          { return c.now }
+func (c *testClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newClock() *testClock                   { return &testClock{now: time.UnixMilli(1_000_000)} }
+func openTestQueue(t *testing.T) (*Queue, *testClock, string) {
+	t.Helper()
+	dir := t.TempDir()
+	q, warns, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("fresh queue warned: %v", warns)
+	}
+	clk := newClock()
+	q.Now = clk.Now
+	return q, clk, dir
+}
+
+func TestSubmitValidation(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	for _, spec := range []Spec{
+		{},                                     // no circuit
+		{Circuit: "s27", Bench: "INPUT(a)"},    // both
+		{Circuit: "s27", Mode: "nope"},         // bad mode
+		{Circuit: "s27", Scale: -1},            // negative knob
+		{Circuit: "s27", InjectSpec: "broken"}, // bad inject spec
+	} {
+		if _, err := q.Submit(spec); err == nil {
+			t.Fatalf("Submit(%+v) accepted an invalid spec", spec)
+		}
+	}
+	if _, err := q.Submit(Spec{Circuit: "s27", Seed: 1}); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestQueuePersistsAcrossReopen(t *testing.T) {
+	q, _, dir := openTestQueue(t)
+	j1, err := q.Submit(Spec{Circuit: "s27", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := q.Submit(Spec{Bench: "INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.ID != "job-000001" || j2.ID != "job-000002" {
+		t.Fatalf("IDs = %s, %s", j1.ID, j2.ID)
+	}
+	if err := q.Complete(j1); err != nil {
+		t.Fatal(err)
+	}
+
+	q2, warns, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("reopen warned: %v", warns)
+	}
+	if got := q2.List(); len(got) != 2 ||
+		got[0].Status.State != Done || got[1].Status.State != Pending {
+		t.Fatalf("reopened queue = %+v", got)
+	}
+	// The inline netlist survives on disk.
+	if b, err := os.ReadFile(filepath.Join(dir, "jobs", "job-000002", "circuit.bench")); err != nil || !strings.Contains(string(b), "NOT(a)") {
+		t.Fatalf("staged netlist: %q, %v", b, err)
+	}
+	// IDs keep counting after the restart.
+	j3, err := q2.Submit(Spec{Circuit: "s27"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID != "job-000003" {
+		t.Fatalf("post-reopen ID = %s, want job-000003", j3.ID)
+	}
+}
+
+func TestReopenReturnsRunningJobToPendingUncharged(t *testing.T) {
+	q, _, dir := openTestQueue(t)
+	if _, err := q.Submit(Spec{Circuit: "s27"}); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := q.Claim()
+	if j == nil {
+		t.Fatal("claim returned nothing")
+	}
+	// The daemon dies here (no Release): disk says running.
+	q2, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := q2.Info(j.ID)
+	if !ok || info.Status.State != Pending {
+		t.Fatalf("recovered job = %+v, want pending", info)
+	}
+	if info.Status.Attempts != 0 {
+		t.Fatalf("daemon death charged %d attempt(s) to the job", info.Status.Attempts)
+	}
+	if info.Status.Interrupts != 1 {
+		t.Fatalf("Interrupts = %d, want 1", info.Status.Interrupts)
+	}
+}
+
+func TestFailBackoffThenDeadLetter(t *testing.T) {
+	q, clk, _ := openTestQueue(t)
+	q.RetryBase = 2 * time.Second
+	q.MaxAttempts = 3
+	if _, err := q.Submit(Spec{Circuit: "s27"}); err != nil {
+		t.Fatal(err)
+	}
+
+	j, _ := q.Claim()
+	if err := q.Fail(j, os.ErrPermission, false); err != nil {
+		t.Fatal(err)
+	}
+	// First failure: pending behind a 2s gate.
+	if got, wait := q.Claim(); got != nil || wait != 2*time.Second {
+		t.Fatalf("claim after failure = %v, wait %v; want gated 2s", got, wait)
+	}
+	clk.advance(2 * time.Second)
+	j, _ = q.Claim()
+	if j == nil {
+		t.Fatal("backoff gate did not open")
+	}
+	// Second failure: 4s gate (doubled).
+	if err := q.Fail(j, os.ErrPermission, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, wait := q.Claim(); wait != 4*time.Second {
+		t.Fatalf("second backoff = %v, want 4s", wait)
+	}
+	clk.advance(4 * time.Second)
+	j, _ = q.Claim()
+	// Third failure exhausts the budget: dead-letter.
+	if err := q.Fail(j, os.ErrPermission, false); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := q.Info(j.ID)
+	if info.Status.State != Dead || info.Status.Attempts != 3 {
+		t.Fatalf("after budget: %+v, want dead after 3 attempts", info.Status)
+	}
+	if info.Status.LastError == "" {
+		t.Fatal("dead-letter job lost its last error")
+	}
+}
+
+func TestPermanentFailureSkipsRetries(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	if _, err := q.Submit(Spec{Circuit: "s27"}); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := q.Claim()
+	if err := q.Fail(j, os.ErrInvalid, true); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := q.Info(j.ID); info.Status.State != Dead {
+		t.Fatalf("permanent failure left job %s", info.Status.State)
+	}
+}
+
+func TestClaimOrdersByPriorityThenAge(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	a, _ := q.Submit(Spec{Circuit: "s27"})
+	b, _ := q.Submit(Spec{Circuit: "s27", Priority: 5})
+	c, _ := q.Submit(Spec{Circuit: "s27", Priority: 5})
+	for i, want := range []*Job{b, c, a} {
+		got, _ := q.Claim()
+		if got == nil || got.ID != want.ID {
+			t.Fatalf("claim %d = %v, want %s", i, got, want.ID)
+		}
+	}
+}
+
+func TestCancelPendingAndRunning(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	a, _ := q.Submit(Spec{Circuit: "s27"})
+	b, _ := q.Submit(Spec{Circuit: "s27"})
+	if err := q.Cancel(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := q.Info(b.ID); info.Status.State != Cancelled {
+		t.Fatalf("pending cancel left %s", info.Status.State)
+	}
+	if err := q.Cancel(b.ID); err == nil {
+		t.Fatal("cancelling a terminal job succeeded")
+	}
+
+	j, _ := q.Claim()
+	if j.ID != a.ID {
+		t.Fatalf("claimed %s, want %s", j.ID, a.ID)
+	}
+	fired := false
+	q.setCancel(j, func() { fired = true })
+	if err := q.Cancel(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !fired || !q.userCancelled(j) {
+		t.Fatal("running cancel did not interrupt the attempt")
+	}
+	if err := q.MarkCancelled(j); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := q.Info(a.ID); info.Status.State != Cancelled {
+		t.Fatalf("running cancel parked as %s", info.Status.State)
+	}
+}
+
+func TestOpenSweepsTempAndWarnsOnCorrupt(t *testing.T) {
+	q, _, dir := openTestQueue(t)
+	if _, err := q.Submit(Spec{Circuit: "s27"}); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-submit leaves a temp dir; a torn journal leaves garbage.
+	jobs := filepath.Join(dir, "jobs")
+	if err := os.MkdirAll(filepath.Join(jobs, ".tmp-job-000009"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(jobs, "job-000007"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobs, "job-000007", "job.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	q2, warns, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "job-000007") {
+		t.Fatalf("warnings = %v, want one about job-000007", warns)
+	}
+	if _, err := os.Stat(filepath.Join(jobs, ".tmp-job-000009")); !os.IsNotExist(err) {
+		t.Fatal("half-submitted temp dir survived recovery")
+	}
+	if got := q2.List(); len(got) != 1 {
+		t.Fatalf("recovered %d jobs, want 1 (the valid one)", len(got))
+	}
+	// The corrupt directory is left for inspection, and its seq is not
+	// reused: the journal is the source of truth, not the dir name.
+	if _, err := os.Stat(filepath.Join(jobs, "job-000007")); err != nil {
+		t.Fatal("corrupt job dir was deleted, losing the post-mortem")
+	}
+}
+
+func TestBacklogCountsOnlyLiveJobs(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	a, _ := q.Submit(Spec{Circuit: "s27"})
+	q.Submit(Spec{Circuit: "s27"})
+	if got := q.Backlog(); got != 2 {
+		t.Fatalf("backlog = %d, want 2", got)
+	}
+	j, _ := q.Claim()
+	if got := q.Backlog(); got != 2 { // running still occupies the queue
+		t.Fatalf("backlog after claim = %d, want 2", got)
+	}
+	_ = a
+	if err := q.Complete(j); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Backlog(); got != 1 {
+		t.Fatalf("backlog after completion = %d, want 1", got)
+	}
+}
+
+func TestTailFollowersWakeOnAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	tl, err := OpenTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := tl.Wait()
+	select {
+	case <-ch:
+		t.Fatal("woke before any append")
+	default:
+	}
+	if _, err := tl.Write([]byte("{\"a\":1}\n")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("append did not wake the follower")
+	}
+	// Close wakes followers too, and further writes are refused.
+	ch = tl.Wait()
+	if err := tl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("close did not wake the follower")
+	}
+	if _, err := tl.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+	if err := tl.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	if b, err := os.ReadFile(path); err != nil || string(b) != "{\"a\":1}\n" {
+		t.Fatalf("trace = %q, %v", b, err)
+	}
+}
+
+func TestSpecInjectHooksOverrideProcessHooks(t *testing.T) {
+	proc := runctl.NewHooks()
+	r := &Runner{Hooks: proc, InjectSpec: "x:1:panic"}
+	j := &Job{Spec: Spec{InjectSpec: "jobq.attempt:1:fail"}}
+	h, spec := r.hooksFor(j)
+	if h == proc || spec != "jobq.attempt:1:fail" {
+		t.Fatal("job-level inject spec did not override the process harness")
+	}
+	if act := h.Enter("jobq.attempt"); act != runctl.ActFail {
+		t.Fatalf("job harness action = %v, want ActFail", act)
+	}
+	h2, _ := r.hooksFor(&Job{})
+	if h2 != proc {
+		t.Fatal("job without inject spec must use the process harness")
+	}
+}

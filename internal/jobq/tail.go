@@ -1,0 +1,69 @@
+package jobq
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Tail is a job's live NDJSON trace sink: an append-only file plus a change
+// broadcast, so SSE followers can stream the file and wake on the next
+// append instead of polling. Appends are advisory telemetry — they are not
+// fsynced per line; durability of the trace matters only up to the last
+// flush, and the queue's correctness never depends on it. Safe for one
+// writer (the obs.Recorder serializes its writes) and any number of
+// followers.
+type Tail struct {
+	mu      sync.Mutex
+	f       *os.File
+	changed chan struct{}
+	closed  bool
+}
+
+// OpenTail opens (creating or appending to) the trace file at path. A
+// resumed attempt appends after the previous attempt's events, so a
+// follower replaying the file sees the job's whole history.
+func OpenTail(path string) (*Tail, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobq: open trace: %w", err)
+	}
+	return &Tail{f: f, changed: make(chan struct{})}, nil
+}
+
+// Write appends one NDJSON line and wakes every waiting follower.
+func (t *Tail) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return 0, fmt.Errorf("jobq: trace closed")
+	}
+	n, err := t.f.Write(p)
+	if n > 0 {
+		close(t.changed)
+		t.changed = make(chan struct{})
+	}
+	return n, err
+}
+
+// Wait returns a channel closed at the next append (or at Close). Grab it
+// before reading to end-of-file: read, and only if nothing new appeared,
+// select on the channel — that order cannot miss a wakeup.
+func (t *Tail) Wait() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.changed
+}
+
+// Close flushes the attempt's trace and wakes followers one last time, so
+// they re-check the job state and notice the attempt ended.
+func (t *Tail) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	close(t.changed)
+	return t.f.Close()
+}

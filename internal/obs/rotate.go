@@ -4,13 +4,23 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
-// RotatingWriter is a size-capped NDJSON sink: events stream to path until
-// the segment would exceed maxBytes, then the segment is rotated to path.1
-// (replacing any previous rotation) and a fresh segment begins. A long run
-// therefore keeps at most the last ~2×maxBytes of trace — the newest events
-// plus one full predecessor segment — instead of growing without bound.
+// RotatingWriter is a size-capped NDJSON sink: events stream to the current
+// segment until it would exceed maxBytes, then the segment is rotated to
+// path.1 (replacing any previous rotation) and a fresh segment begins; Close
+// publishes the final segment at path. A long run therefore keeps at most
+// the last ~2×maxBytes of trace — the newest events plus one full
+// predecessor segment — instead of growing without bound.
+//
+// Crash safety: the segment being written is a hidden temp file in path's
+// directory, and a segment reaches a published name (path or path.1) only by
+// flush + fsync + rename, never by in-place append. A writer killed at any
+// instant — mid-write, mid-rotation, between the two renames — can therefore
+// never leave a truncated or torn file at a published name: readers see
+// either the previous complete segment or the new complete segment, and the
+// only possibly-torn file is the hidden temp, which the next run sweeps.
 //
 // Rotation happens only between writes. The recorder emits one complete
 // NDJSON line per Write (json.Encoder calls Write once per Encode), so both
@@ -21,16 +31,25 @@ type RotatingWriter struct {
 	path     string
 	maxBytes int64
 
-	f    *os.File
+	f    *os.File // current segment: a hidden temp, published on rotate/Close
 	buf  *bufio.Writer
 	size int64
 }
 
-// NewRotatingWriter creates (truncating) path and returns the writer.
-// maxBytes <= 0 disables rotation: the file grows without bound, matching a
-// plain file sink.
+// NewRotatingWriter starts a trace at path and returns the writer. Stale
+// published segments and abandoned temps from a previous (possibly crashed)
+// run are removed first, so a fresh run never shows a prior run's events.
+// maxBytes <= 0 disables rotation: the whole trace is published at path on
+// Close, matching a plain file sink.
 func NewRotatingWriter(path string, maxBytes int64) (*RotatingWriter, error) {
 	w := &RotatingWriter{path: path, maxBytes: maxBytes}
+	os.Remove(path)
+	os.Remove(path + ".1")
+	if stale, err := filepath.Glob(filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".seg*")); err == nil {
+		for _, s := range stale {
+			os.Remove(s)
+		}
+	}
 	if err := w.open(); err != nil {
 		return nil, err
 	}
@@ -38,9 +57,9 @@ func NewRotatingWriter(path string, maxBytes int64) (*RotatingWriter, error) {
 }
 
 func (w *RotatingWriter) open() error {
-	f, err := os.Create(w.path)
+	f, err := os.CreateTemp(filepath.Dir(w.path), "."+filepath.Base(w.path)+".seg*")
 	if err != nil {
-		return fmt.Errorf("obs: create trace: %w", err)
+		return fmt.Errorf("obs: create trace segment: %w", err)
 	}
 	w.f, w.buf, w.size = f, bufio.NewWriter(f), 0
 	return nil
@@ -60,28 +79,36 @@ func (w *RotatingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// rotate closes the current segment, moves it to path.1 (replacing any
-// previous rotation) and starts a new one.
+// rotate publishes the current segment at path.1 (replacing any previous
+// rotation) and starts a new one.
 func (w *RotatingWriter) rotate() error {
-	if err := w.closeSegment(); err != nil {
+	if err := w.publish(w.path + ".1"); err != nil {
 		return err
-	}
-	if err := os.Rename(w.path, w.path+".1"); err != nil {
-		return fmt.Errorf("obs: rotate trace: %w", err)
 	}
 	return w.open()
 }
 
-func (w *RotatingWriter) closeSegment() error {
+// publish makes the current segment durable and atomically visible at name:
+// flush the buffer, fsync, close, then rename the temp into place. Any
+// failure leaves the temp behind (for the next run's sweep) and the
+// published name untouched.
+func (w *RotatingWriter) publish(name string) error {
+	tmp := w.f.Name()
 	err := w.buf.Flush()
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		return fmt.Errorf("obs: close trace segment: %w", err)
 	}
+	if err := os.Rename(tmp, name); err != nil {
+		return fmt.Errorf("obs: publish trace segment: %w", err)
+	}
 	return nil
 }
 
-// Close flushes and closes the current segment.
-func (w *RotatingWriter) Close() error { return w.closeSegment() }
+// Close publishes the final segment at path.
+func (w *RotatingWriter) Close() error { return w.publish(w.path) }

@@ -158,3 +158,78 @@ func TestRecorderOverRotatingWriter(t *testing.T) {
 		t.Fatalf("expected a rotated segment: %v", err)
 	}
 }
+
+// TestRotatingWriterCrashPoints abandons the writer — no Close, simulating a
+// kill — after every single write of a stream long enough to rotate several
+// times, and asserts the crash-safety contract: at no crash point does a
+// published name (path or path.1) hold a truncated or torn segment. Only the
+// hidden temp may be incomplete, and a successor writer sweeps it.
+func TestRotatingWriterCrashPoints(t *testing.T) {
+	const writes = 40
+	for k := 1; k <= writes; k++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "trace.ndjson")
+		w, err := NewRotatingWriter(path, 150) // ~2-3 lines per segment
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeLines(t, w, 0, k)
+		// Crash: walk away without Close. Published names must be intact.
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("crash after write %d: %s exists before Close (err %v); the live segment leaked to a published name", k, path, err)
+		}
+		if data, err := os.ReadFile(path + ".1"); err == nil {
+			if len(data) == 0 || data[len(data)-1] != '\n' {
+				t.Fatalf("crash after write %d: rotated segment does not end in newline: %q", k, data)
+			}
+			for i, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+				var ev struct {
+					Seq int `json:"seq"`
+				}
+				if err := json.Unmarshal([]byte(line), &ev); err != nil {
+					t.Fatalf("crash after write %d: rotated segment line %d is torn: %v (%q)", k, i, err, line)
+				}
+			}
+		} else if !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+		// The abandoned temp is swept by the next run's writer.
+		w2, err := NewRotatingWriter(path, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		temps, _ := filepath.Glob(filepath.Join(dir, ".trace.ndjson.seg*"))
+		if len(temps) != 1 {
+			t.Fatalf("crash after write %d: %d temps after restart, want 1 (the new live segment): %v", k, len(temps), temps)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRotatingWriterSweepsStaleSegments: a fresh writer must not let a prior
+// run's published segments masquerade as this run's trace.
+func TestRotatingWriterSweepsStaleSegments(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.ndjson")
+	for _, p := range []string{path, path + ".1"} {
+		if err := os.WriteFile(p, []byte("{\"seq\":-1}\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := NewRotatingWriter(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeLines(t, w, 0, 3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatalf("stale rotated segment survived New: %v", err)
+	}
+	if got := readLines(t, path); len(got) != 3 {
+		t.Fatalf("got %d lines, want 3 fresh ones", len(got))
+	}
+}

@@ -27,6 +27,12 @@ const (
 	// fault simulator flips one packed lane so the independent audit can be
 	// shown to catch the resulting bogus detection).
 	ActCorrupt
+	// ActFail: report a transient failure to the caller (typically an I/O
+	// error from a disk-write site: checkpoint journal, bundle publication,
+	// trace sink). The caller translates it into an InjectedFailure error so
+	// retry-with-backoff and degrade-instead-of-abort paths can be exercised
+	// without a real full disk.
+	ActFail
 )
 
 // InjectedPanic is the panic value used by ActPanic, so recover boundaries
@@ -35,6 +41,14 @@ type InjectedPanic struct{ Site string }
 
 func (p InjectedPanic) Error() string {
 	return fmt.Sprintf("runctl: injected panic at %q", p.Site)
+}
+
+// InjectedFailure is the error a caller returns when ActFail fires at one of
+// its sites, so tests can tell an injected disk failure from a genuine one.
+type InjectedFailure struct{ Site string }
+
+func (f InjectedFailure) Error() string {
+	return fmt.Sprintf("runctl: injected failure at %q", f.Site)
 }
 
 // rule arms one action at one site. Call 0 means every call; call k>0 means
@@ -157,7 +171,7 @@ func FilterInjectSpec(spec string, keep ...string) string {
 // ParseInjectSpec builds a harness from a comma-separated spec of
 // site:call:action rules, e.g. "generate:3:panic,justify:*:sleep=20ms".
 // call is a 1-based call number or "*" for every call; action is one of
-// panic, expire, corrupt, or sleep=<duration>. Command-line tools expose
+// panic, expire, corrupt, fail, or sleep=<duration>. Command-line tools expose
 // this through an environment variable so integration tests can inject
 // faults into a real process.
 func ParseInjectSpec(spec string) (*Hooks, error) {
@@ -187,6 +201,8 @@ func ParseInjectSpec(spec string) (*Hooks, error) {
 			h.Arm(site, call, ActExpire)
 		case fields[2] == "corrupt":
 			h.Arm(site, call, ActCorrupt)
+		case fields[2] == "fail":
+			h.Arm(site, call, ActFail)
 		case strings.HasPrefix(fields[2], "sleep="):
 			d, err := time.ParseDuration(strings.TrimPrefix(fields[2], "sleep="))
 			if err != nil {

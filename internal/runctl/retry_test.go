@@ -1,0 +1,137 @@
+package runctl
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Retry(3, 0, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryReturnsLastErrorWhenExhausted(t *testing.T) {
+	calls := 0
+	want := errors.New("permanent")
+	err := Retry(3, 0, func() error { calls++; return want })
+	if !errors.Is(err, want) {
+		t.Fatalf("Retry = %v, want %v", err, want)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryClampsAttempts(t *testing.T) {
+	calls := 0
+	Retry(0, 0, func() error { calls++; return errors.New("x") })
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (attempts<1 clamps to one try)", calls)
+	}
+}
+
+func TestParseInjectSpecFail(t *testing.T) {
+	h, err := ParseInjectSpec("checkpoint.write:2:fail")
+	if err != nil {
+		t.Fatalf("ParseInjectSpec: %v", err)
+	}
+	if act := h.Enter("checkpoint.write"); act != ActNone {
+		t.Fatalf("call 1: action = %v, want ActNone", act)
+	}
+	if act := h.Enter("checkpoint.write"); act != ActFail {
+		t.Fatalf("call 2: action = %v, want ActFail", act)
+	}
+}
+
+func TestSaveJSONRetryRecoversFromInjectedFailure(t *testing.T) {
+	h, err := ParseInjectSpec("journal.write:1:fail")
+	if err != nil {
+		t.Fatalf("ParseInjectSpec: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "j.json")
+	if err := SaveJSONRetry(h, "journal.write", path, map[string]int{"a": 1}); err != nil {
+		t.Fatalf("SaveJSONRetry: %v", err)
+	}
+	var got map[string]int
+	if err := LoadJSON(path, &got); err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+	if got["a"] != 1 {
+		t.Fatalf("journal round-trip: got %v", got)
+	}
+	if n := h.Calls("journal.write"); n != 2 {
+		t.Fatalf("site entered %d times, want 2 (fail then retry)", n)
+	}
+}
+
+func TestSaveJSONRetryExhaustsBudget(t *testing.T) {
+	h, err := ParseInjectSpec("journal.write:*:fail")
+	if err != nil {
+		t.Fatalf("ParseInjectSpec: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "j.json")
+	saveErr := SaveJSONRetry(h, "journal.write", path, 1)
+	var inj InjectedFailure
+	if !errors.As(saveErr, &inj) || inj.Site != "journal.write" {
+		t.Fatalf("SaveJSONRetry = %v, want InjectedFailure at journal.write", saveErr)
+	}
+	if n := h.Calls("journal.write"); n != WriteAttempts {
+		t.Fatalf("site entered %d times, want %d", n, WriteAttempts)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("journal published despite every attempt failing (stat err %v)", err)
+	}
+}
+
+func TestRetryWriterRecoversAndExhausts(t *testing.T) {
+	h, err := ParseInjectSpec("trace.write:1:fail")
+	if err != nil {
+		t.Fatalf("ParseInjectSpec: %v", err)
+	}
+	var buf bytes.Buffer
+	w := &RetryWriter{W: &buf, Hooks: h, Site: "trace.write"}
+	if n, err := w.Write([]byte("line\n")); err != nil || n != 5 {
+		t.Fatalf("Write = %d, %v; want 5, nil", n, err)
+	}
+	if buf.String() != "line\n" {
+		t.Fatalf("payload written %q, want one copy despite the retry", buf.String())
+	}
+
+	hAll, err := ParseInjectSpec("trace.write:*:fail")
+	if err != nil {
+		t.Fatalf("ParseInjectSpec: %v", err)
+	}
+	buf.Reset()
+	w = &RetryWriter{W: &buf, Hooks: hAll, Site: "trace.write"}
+	_, werr := w.Write([]byte("line\n"))
+	var inj InjectedFailure
+	if !errors.As(werr, &inj) {
+		t.Fatalf("Write = %v, want InjectedFailure after exhausted budget", werr)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("underlying writer saw %q despite every attempt failing", buf.String())
+	}
+}
+
+func TestRetryWriterNilHooks(t *testing.T) {
+	var buf bytes.Buffer
+	w := &RetryWriter{W: &buf, Site: "trace.write"}
+	if _, err := w.Write([]byte("x\n")); err != nil {
+		t.Fatalf("Write with nil hooks: %v", err)
+	}
+}

@@ -21,7 +21,8 @@ package supervise
 //	hard pressure:  drop straight to 1 worker; at 1 worker, Level -> Hard
 //	soft pressure:  halve the workers toward 1; at 1 worker, Level -> Soft
 //	no pressure:    restore Level -> Normal first, then double the workers
-//	                back toward MaxWorkers
+//	                back toward MaxWorkers — but only after DwellSamples
+//	                consecutive calm samples (see DwellSamples)
 //
 // The invariant is that effort is shed only at one worker (Level > Normal
 // implies Workers() == 1), and concurrency is restored only at full effort.
@@ -44,9 +45,22 @@ type Scheduler struct {
 	// OnDecision, if non-nil, observes every level or worker-count change.
 	OnDecision func(Decision)
 
+	// DwellSamples is the minimum number of consecutive pressure-free
+	// samples required before a relaxation step (level restore or worker
+	// scale-up). It damps oscillation: when the heap hovers around a
+	// threshold, alternating soft/normal samples would otherwise halve and
+	// double the pool on every other sample, thrashing worker goroutines
+	// and spamming the decision log. With a dwell, any pressure sample
+	// resets the calm counter, so flapping pressure sheds monotonically and
+	// stays shed until the heap is calm for DwellSamples samples in a row.
+	// 0 or 1 relaxes on the first calm sample (the pre-dwell behavior).
+	// Shedding is never dwell-gated — pressure always acts immediately.
+	DwellSamples int
+
 	level   Level
 	workers int
 	samples int
+	calm    int
 }
 
 // Enabled reports whether any threshold is armed.
@@ -115,6 +129,15 @@ func (s *Scheduler) Sample(pass int) (Level, int) {
 	case s.SoftBytes > 0 && heap >= s.SoftBytes:
 		pressure = LevelSoft
 	}
+	if pressure > LevelNormal {
+		s.calm = 0
+	} else {
+		s.calm++
+	}
+	dwell := s.DwellSamples
+	if dwell < 1 {
+		dwell = 1
+	}
 
 	level, workers := s.level, s.workers
 	switch {
@@ -129,6 +152,9 @@ func (s *Scheduler) Sample(pass int) (Level, int) {
 		}
 	case pressure > LevelNormal:
 		level = pressure
+	case s.calm < dwell:
+		// Calm, but not for long enough: hold the shed state so flapping
+		// pressure can't thrash the pool up and down every other sample.
 	case level > LevelNormal:
 		// Pressure relieved: restore effort before concurrency, mirroring
 		// the shedding order.

@@ -3,6 +3,7 @@ package supervise
 import (
 	"context"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -469,5 +470,111 @@ func TestSaveBundleInSkipsTakenOrdinals(t *testing.T) {
 	}
 	if !strings.Contains(path, "bundle-002-") {
 		t.Fatalf("second save path %q does not carry ordinal 2", path)
+	}
+}
+
+// Rapid soft/normal pressure oscillation — the heap hovering around the
+// threshold — must not thrash the pool: with the dwell armed, every pressure
+// sample resets the calm counter, so during the flap the worker count only
+// ever ratchets down, and scale-ups resume only after DwellSamples
+// consecutive calm samples. The decision log is a pure function of the
+// pressure schedule, so two identical runs log identically.
+func TestSchedulerOscillationDoesNotThrash(t *testing.T) {
+	run := func() ([]Decision, []int) {
+		heap := uint64(0)
+		var log []Decision
+		s := &Scheduler{
+			SoftBytes:    100,
+			HardBytes:    400,
+			MaxWorkers:   8,
+			DwellSamples: 2,
+			Probe:        func() uint64 { return heap },
+			OnDecision:   func(d Decision) { log = append(log, d) },
+		}
+		var workers []int
+		sample := func(h uint64) {
+			heap = h
+			_, w := s.Sample(1)
+			workers = append(workers, w)
+		}
+		for i := 0; i < 8; i++ { // soft/normal flap, 16 samples
+			sample(150)
+			sample(50)
+		}
+		for i := 0; i < 8; i++ { // sustained calm
+			sample(50)
+		}
+		return log, workers
+	}
+
+	log, workers := run()
+	// No thrash: during the 16-sample flap the pool only ratchets down.
+	for i := 1; i < 16; i++ {
+		if workers[i] > workers[i-1] {
+			t.Fatalf("flap sample %d scaled up %d -> %d workers mid-oscillation", i+1, workers[i-1], workers[i])
+		}
+	}
+	want := []struct {
+		sample, fromW, toW int
+		from, to           Level
+	}{
+		{1, 8, 4, LevelNormal, LevelNormal},  // shed on first soft sample
+		{3, 4, 2, LevelNormal, LevelNormal},  // calm sample 2 held (dwell)
+		{5, 2, 1, LevelNormal, LevelNormal},  // monotone to one worker
+		{7, 1, 1, LevelNormal, LevelSoft},    // then effort sheds
+		{17, 1, 1, LevelSoft, LevelNormal},   // 2nd calm sample: effort first
+		{18, 1, 2, LevelNormal, LevelNormal}, // then concurrency
+		{19, 2, 4, LevelNormal, LevelNormal},
+		{20, 4, 8, LevelNormal, LevelNormal},
+	}
+	if len(log) != len(want) {
+		t.Fatalf("%d decisions, want %d: %+v", len(log), len(want), log)
+	}
+	for i, w := range want {
+		d := log[i]
+		if d.Sample != w.sample || d.FromWorkers != w.fromW || d.ToWorkers != w.toW ||
+			d.From != w.from.String() || d.To != w.to.String() {
+			t.Fatalf("decision %d = %+v, want sample %d workers %d->%d level %v->%v",
+				i, d, w.sample, w.fromW, w.toW, w.from, w.to)
+		}
+	}
+
+	log2, _ := run()
+	if !reflect.DeepEqual(log, log2) {
+		t.Fatalf("decision log not deterministic:\n%+v\n%+v", log, log2)
+	}
+}
+
+// Hard/normal oscillation: the drop to one worker is immediate and the
+// dwell keeps the pool shed for the whole flap.
+func TestSchedulerHardOscillationStaysShed(t *testing.T) {
+	heap := uint64(0)
+	s := &Scheduler{
+		SoftBytes:    100,
+		HardBytes:    400,
+		MaxWorkers:   8,
+		DwellSamples: 3,
+		Probe:        func() uint64 { return heap },
+	}
+	heap = 500
+	if _, w := s.Sample(1); w != 1 {
+		t.Fatalf("first hard sample left %d workers, want 1", w)
+	}
+	for i := 0; i < 6; i++ { // hard/normal flap: never recovers
+		heap = 50
+		s.Sample(1)
+		heap = 500
+		if lvl, w := s.Sample(1); w != 1 || lvl > LevelHard {
+			t.Fatalf("flap %d: (%v, %d), want workers pinned at 1", i, lvl, w)
+		}
+	}
+	heap = 50
+	for i := 0; i < 3; i++ { // dwell not yet satisfied
+		if _, w := s.Sample(1); w != 1 {
+			t.Fatalf("calm sample %d scaled up to %d workers before the dwell elapsed", i+1, w)
+		}
+	}
+	if _, w := s.Sample(1); w != 2 {
+		t.Fatalf("first post-dwell sample: %d workers, want 2", w)
 	}
 }

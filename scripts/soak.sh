@@ -4,19 +4,27 @@
 # the matching kind, then require that -repro reproduces every bundle the
 # run wrote (exit 4 from -repro, a non-reproducing bundle, fails the soak).
 #
-# Usage: soak.sh panic|stall|corrupt
+# Usage: soak.sh panic|stall|corrupt|daemon
 #   BIN      generator binary (default: ./atpg-race, built with -race)
-#   DIR      bundle directory (default: soak-bundles; recreated)
+#   DBIN     daemon binary for daemon mode (default: ./atpgd-race)
+#   DIR      work directory (default: soak-bundles; recreated)
 #   WORKERS  concurrent per-fault searches (default 1). With WORKERS>1 the
 #            injection switches to every-call rules ("site:*:action"):
 #            call-numbered rules are unreliable under speculation, where a
 #            numbered call may fire inside a discarded speculative attempt.
+#
+# daemon mode soaks the durable service instead: start atpgd, submit a job,
+# SIGKILL the daemon mid-run (after its first checkpoint), restart it on the
+# same data directory — twice if the job is still running — and require the
+# resumed job's test set and result to be bit-identical to the same job run
+# uninterrupted in a fresh daemon.
 set -eu
 
 BIN=${BIN:-./atpg-race}
+DBIN=${DBIN:-./atpgd-race}
 DIR=${DIR:-soak-bundles}
 WORKERS=${WORKERS:-1}
-MODE=${1:?usage: soak.sh panic|stall|corrupt}
+MODE=${1:?usage: soak.sh panic|stall|corrupt|daemon}
 
 atpg() {
     inject=$1
@@ -74,6 +82,119 @@ corrupt)
             fi
         done
     fi
+    ;;
+daemon)
+    SPEC='{"circuit":"s27","seed":1,"scale":1000,"checkpoint_every":1}'
+    DPID=""
+    trap '[ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true' EXIT
+
+    # start_daemon DATA-DIR: launch atpgd on an ephemeral port against the
+    # given data directory and set ADDR from its listen announcement.
+    start_daemon() {
+        : >"$DIR/daemon.out"
+        "$DBIN" -addr 127.0.0.1:0 -data "$1" -jobs 1 \
+            >"$DIR/daemon.out" 2>>"$DIR/daemon.log" &
+        DPID=$!
+        i=0
+        until grep -q 'listening on' "$DIR/daemon.out" 2>/dev/null; do
+            i=$((i + 1))
+            if [ "$i" -gt 100 ]; then
+                echo "soak: daemon never announced its address" >&2
+                cat "$DIR/daemon.log" >&2
+                exit 1
+            fi
+            sleep 0.1
+        done
+        ADDR=$(sed -n 's/^atpgd: listening on //p' "$DIR/daemon.out" | tail -1)
+    }
+
+    job_state() {
+        curl -s "http://$ADDR/jobs/$JOB" \
+            | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' | head -1
+    }
+
+    # wait_done: poll until the job is done; anything else terminal fails.
+    wait_done() {
+        i=0
+        while :; do
+            state=$(job_state)
+            case "$state" in
+            done) return 0 ;;
+            dead | cancelled)
+                echo "soak: job ended $state" >&2
+                curl -s "http://$ADDR/jobs/$JOB" >&2
+                exit 1
+                ;;
+            esac
+            i=$((i + 1))
+            if [ "$i" -gt 1200 ]; then
+                echo "soak: job never finished (state $state)" >&2
+                exit 1
+            fi
+            sleep 0.1
+        done
+    }
+
+    # Interrupted leg: submit, then SIGKILL the daemon as soon as the job
+    # has journaled its first checkpoint — mid-run, with no handler given a
+    # chance to run — and restart it on the same data directory. A second
+    # kill exercises repeated recovery when the resumed run is still going.
+    start_daemon "$DIR/data"
+    JOB=$(curl -s -X POST "http://$ADDR/jobs" -d "$SPEC" \
+        | sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p' | head -1)
+    [ -n "$JOB" ] || { echo "soak: submit failed" >&2; exit 1; }
+    kills=0
+    while [ "$kills" -lt 2 ]; do
+        i=0
+        while [ ! -f "$DIR/data/jobs/$JOB/checkpoint.json" ]; do
+            state=$(job_state)
+            [ "$state" = done ] && break 2
+            i=$((i + 1))
+            if [ "$i" -gt 300 ]; then
+                echo "soak: job never checkpointed (state $state)" >&2
+                exit 1
+            fi
+            sleep 0.1
+        done
+        kill -9 "$DPID"
+        wait "$DPID" 2>/dev/null || true
+        kills=$((kills + 1))
+        echo "== soak: SIGKILL $kills delivered mid-job; restarting"
+        start_daemon "$DIR/data"
+    done
+    wait_done
+    curl -s "http://$ADDR/jobs/$JOB/tests" >"$DIR/resumed-tests.txt"
+    curl -s "http://$ADDR/jobs/$JOB/result" >"$DIR/resumed-result.json"
+    kill "$DPID" 2>/dev/null || true
+    wait "$DPID" 2>/dev/null || true
+
+    # Reference leg: the same spec, uninterrupted, in a fresh daemon.
+    start_daemon "$DIR/ref"
+    JOB=$(curl -s -X POST "http://$ADDR/jobs" -d "$SPEC" \
+        | sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p' | head -1)
+    [ -n "$JOB" ] || { echo "soak: reference submit failed" >&2; exit 1; }
+    wait_done
+    curl -s "http://$ADDR/jobs/$JOB/tests" >"$DIR/reference-tests.txt"
+    curl -s "http://$ADDR/jobs/$JOB/result" >"$DIR/reference-result.json"
+    kill "$DPID" 2>/dev/null || true
+    wait "$DPID" 2>/dev/null || true
+    DPID=""
+
+    cmp "$DIR/resumed-tests.txt" "$DIR/reference-tests.txt" || {
+        echo "soak: resumed test set differs from uninterrupted reference" >&2
+        exit 1
+    }
+    # elapsed_ms is wall clock, the one field outside the contract.
+    for f in resumed reference; do
+        sed 's/"elapsed_ms": [0-9]*/"elapsed_ms": 0/' \
+            "$DIR/$f-result.json" >"$DIR/$f-result.cmp"
+    done
+    cmp "$DIR/resumed-result.cmp" "$DIR/reference-result.cmp" || {
+        echo "soak: resumed result differs from uninterrupted reference" >&2
+        exit 1
+    }
+    echo "== soak: resumed output bit-identical after $kills SIGKILLs"
+    exit 0
     ;;
 *)
     echo "soak: unknown mode $MODE" >&2
