@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json golden fuzz-smoke soak
+.PHONY: build test check bench bench-json bench-check golden fuzz-smoke soak
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,35 @@ bench-json:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ -timeout 40m ./... > bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json < bench.out
 	@rm bench.out
+
+# Bench-regression gate: run a fresh benchmark snapshot and diff it against
+# the newest committed BENCH_*.json. Timing columns may grow up to
+# BENCH_THRESHOLD percent (CI raises it — shared runners are noisy); the
+# quality columns (detected / vectors / untestable) may drift up to
+# BENCH_QUALITY percent in the bad direction — the bench per-fault budgets
+# bind, so those counts move with machine speed and load — while the
+# collapsed fault count must not change at all, and a vanished benchmark is
+# lost coverage. The baseline is read from HEAD, not the working tree, so a
+# freshly generated snapshot with today's date can never be compared against
+# itself. The report lands in bench-compare.txt; CI uploads it as an
+# artifact. The defaults look loose because benchtime=1x with binding
+# budgets makes even B/op swing ~2x run to run: this gate catches collapses,
+# not drift — tighten -threshold via benchjson directly on quiet hardware
+# with a longer benchtime.
+BENCH_THRESHOLD ?= 200
+BENCH_QUALITY ?= 25
+BENCH_BASELINE ?= $(shell git ls-files 'BENCH_*.json' | sort | tail -1)
+bench-check:
+	@test -n "$(BENCH_BASELINE)" || \
+		{ echo "bench-check: no committed BENCH_*.json baseline"; exit 2; }
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ -timeout 40m ./... > bench.out
+	$(GO) run ./cmd/benchjson -o bench-new.json < bench.out
+	@rm bench.out
+	git show HEAD:$(BENCH_BASELINE) > bench-baseline.json
+	@$(GO) run ./cmd/benchjson -compare bench-baseline.json bench-new.json \
+		-threshold $(BENCH_THRESHOLD) -quality-threshold $(BENCH_QUALITY) \
+		> bench-compare.txt; \
+	status=$$?; cat bench-compare.txt; exit $$status
 
 # Short fuzz pass over the .bench parser: no panics, accepted inputs
 # round-trip. CI runs this on every push; run with a longer -fuzztime to dig.

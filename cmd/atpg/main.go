@@ -93,6 +93,7 @@ import (
 	"gahitec/internal/logic"
 	"gahitec/internal/netlist"
 	"gahitec/internal/obs"
+	"gahitec/internal/obs/promexport"
 	"gahitec/internal/pattern"
 	"gahitec/internal/report"
 	"gahitec/internal/runctl"
@@ -181,6 +182,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		progressOn  = fs.Bool("progress", false, "print a live progress line to stderr at fault boundaries")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof, /debug/vars and /debug/obs on this address (e.g. localhost:6060)")
 		traceMax    = fs.Int64("trace-max-bytes", 0, "rotate the -trace file, keeping roughly the last N bytes across two segments (0: unbounded)")
+		runIDFlag   = fs.String("run-id", "", "run correlation ID stamped on telemetry (default: minted when telemetry is armed; a -resume with no -run-id keeps the journal's)")
 		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent per-fault searches (gahitec/hitec modes); any value produces the same output as -workers 1")
 		wdCeiling   = fs.Duration("watchdog-ceiling", 0, "hard-preempt any per-fault search running longer than this (0: off)")
 		wdStall     = fs.Duration("watchdog-stall", 0, "hard-preempt any per-fault search heartbeat-silent for this long (0: off)")
@@ -393,6 +395,18 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	cfg.Audit = auditFlag.enabled
 	cfg.Retry = runctl.Escalation{MaxAttempts: *retries}
 	cfg.Obs = rec
+	// Correlation: an explicit -run-id always wins; otherwise a fresh run
+	// with telemetry armed mints one (a -resume adopts the journal's inside
+	// hybrid.Resume, so leave the config empty there). The ID only ever
+	// appears in telemetry — the notice goes to stderr so stdout stays
+	// byte-identical with or without one.
+	cfg.RunID = *runIDFlag
+	if cfg.RunID == "" && rec != nil && *resume == "" {
+		cfg.RunID = obs.NewRunID()
+	}
+	if cfg.RunID != "" {
+		fmt.Fprintf(stderr, "atpg: run id %s\n", cfg.RunID)
+	}
 	cfg.InjectSpec = injectSpec
 	cfg.Watchdog = supervise.Watchdog{Ceiling: *wdCeiling, Stall: *wdStall}
 	if *memSoftMB > 0 || *memHardMB > 0 {
@@ -634,6 +648,12 @@ func servePprof(ctx context.Context, addr string, rec *obs.Recorder, stderr io.W
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := promexport.Write(w, rec.MetricsSnapshot(), nil); err != nil {
+			fmt.Fprintf(stderr, "atpg: pprof: %v\n", err)
+		}
+	})
 	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -28,6 +28,7 @@
 //	GET  /jobs/{id}/artifacts list / download everything in the job dir
 //	POST /jobs/{id}/cancel    cancel a pending or running job
 //	GET  /healthz             liveness + backlog
+//	GET  /metrics             Prometheus text-format scrape surface
 //	GET  /debug/obs           live fleet metrics; /debug/fleet, /debug/pprof
 package main
 
@@ -75,6 +76,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		wdStall     = fs.Duration("watchdog-stall", 0, "hard-preempt any per-fault search heartbeat-silent for this long (0: off)")
 		memSoftMB   = fs.Int("mem-soft-mb", 0, "heap size that triggers graceful degradation (0: off)")
 		memHardMB   = fs.Int("mem-hard-mb", 0, "heap size that triggers hard degradation (0: off)")
+		keepAlive   = fs.Duration("sse-keepalive", 15*time.Second, "SSE comment keep-alive cadence on idle event streams (0: off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -151,6 +153,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		rec:        rec,
 		fleet:      fleet,
 		fleetLog:   fleetLog,
+		keepAlive:  *keepAlive,
 		logf:       logger.Printf,
 	}
 	ln, err := net.Listen("tcp", *addr)

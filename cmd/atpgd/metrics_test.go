@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gahitec/internal/obs/promexport"
+)
+
+// The scrape surface: /metrics must be valid Prometheus text format (our own
+// parser is the referee) and must carry the per-state job census, backlog,
+// retry and scheduler gauges alongside the fleet recorder's counters.
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, 0, false)
+	h := s.handler()
+	submitJob(t, h, `{"circuit":"s27","seed":1}`)
+	submitJob(t, h, `{"circuit":"s27","seed":2}`)
+	s.rec.Counter("jobq.attempts", 3)
+	s.rec.Observe("backtracks", 12)
+
+	w := do(t, h, "GET", "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	sc, err := promexport.Parse(strings.NewReader(w.Body.String()))
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition format: %v\n%s", err, w.Body)
+	}
+
+	if v, ok := sc.Value("gahitec_jobs", map[string]string{"state": "pending"}); !ok || v != 2 {
+		t.Errorf("jobs{pending} = %g, ok=%v; want 2", v, ok)
+	}
+	// Every lifecycle state exports a series even at zero, so dashboards and
+	// alerts never see a vanishing metric.
+	for _, state := range []string{"pending", "running", "done", "dead", "cancelled"} {
+		if _, ok := sc.Value("gahitec_jobs", map[string]string{"state": state}); !ok {
+			t.Errorf("missing gahitec_jobs{state=%q}", state)
+		}
+	}
+	if v, ok := sc.Value("gahitec_backlog_depth", nil); !ok || v != 2 {
+		t.Errorf("backlog_depth = %g, ok=%v; want 2", v, ok)
+	}
+	if _, ok := sc.Value("gahitec_job_retries", nil); !ok {
+		t.Error("missing gahitec_job_retries")
+	}
+	// Scheduler gauges exist even with no scheduler installed (nil is inert).
+	if v, ok := sc.Value("gahitec_scheduler_enabled", nil); !ok || v != 0 {
+		t.Errorf("scheduler_enabled = %g, ok=%v; want 0", v, ok)
+	}
+	if _, ok := sc.Value("gahitec_scheduler_level", map[string]string{"level": "normal"}); !ok {
+		t.Error("missing gahitec_scheduler_level{level=\"normal\"}")
+	}
+	if v, ok := sc.Value("gahitec_counter_total", map[string]string{"counter": "jobq.attempts"}); !ok || v != 3 {
+		t.Errorf("counter jobq.attempts = %g, ok=%v; want 3", v, ok)
+	}
+	if v, ok := sc.Value("gahitec_backtracks_count", nil); !ok || v != 1 {
+		t.Errorf("backtracks histogram count = %g, ok=%v; want 1", v, ok)
+	}
+}
+
+// An idle SSE stream must emit comment keep-alives so proxies and client
+// read-timeouts keep the connection alive while a job is between trace
+// lines. A pending job with no runner produces no trace at all — every frame
+// the client sees must be a keep-alive comment.
+func TestSSEKeepAlive(t *testing.T) {
+	s, _ := newTestServer(t, 0, false)
+	s.keepAlive = 20 * time.Millisecond
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	info := submitJob(t, ts.Config.Handler, `{"circuit":"s27","seed":1}`)
+	resp, err := http.Get(ts.URL + "/jobs/" + info.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	rd := bufio.NewReader(resp.Body)
+	type lineErr struct {
+		line string
+		err  error
+	}
+	lines := make(chan lineErr, 16)
+	go func() {
+		for {
+			l, err := rd.ReadString('\n')
+			lines <- lineErr{l, err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	got := 0
+	deadline := time.After(5 * time.Second)
+	for got < 3 {
+		select {
+		case le := <-lines:
+			if le.err != nil {
+				t.Fatalf("stream ended after %d keep-alive(s): %v", got, le.err)
+			}
+			switch line := strings.TrimRight(le.line, "\n"); {
+			case line == "":
+				// frame separator
+			case strings.HasPrefix(line, ":"):
+				got++
+			default:
+				t.Fatalf("idle stream produced a non-comment frame: %q", line)
+			}
+		case <-deadline:
+			t.Fatalf("saw %d keep-alive frame(s) in 5s, want 3", got)
+		}
+	}
+}
+
+// Submit must hand back the run correlation ID so a client can slice fleet
+// telemetry by run from the moment of submission.
+func TestSubmitReturnsRunID(t *testing.T) {
+	s, q := newTestServer(t, 0, false)
+	info := submitJob(t, s.handler(), `{"circuit":"s27","seed":1}`)
+	if info.RunID == "" {
+		t.Fatal("submit response has no run_id")
+	}
+	j, _ := q.Get(info.ID)
+	if j.RunID != info.RunID {
+		t.Fatalf("info run_id %q != job run ID %q", info.RunID, j.RunID)
+	}
+}

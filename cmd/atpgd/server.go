@@ -17,6 +17,7 @@ import (
 
 	"gahitec/internal/jobq"
 	"gahitec/internal/obs"
+	"gahitec/internal/obs/promexport"
 	"gahitec/internal/supervise"
 )
 
@@ -31,6 +32,7 @@ type server struct {
 	rec        *obs.Recorder
 	fleet      *supervise.Scheduler
 	fleetLog   *decisionLog
+	keepAlive  time.Duration // SSE comment cadence on idle streams (0: off)
 	logf       func(format string, args ...any)
 }
 
@@ -66,6 +68,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/artifacts/{path...}", s.artifact)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
 	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /debug/obs", s.debugObs)
 	mux.HandleFunc("GET /debug/fleet", s.debugFleet)
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
@@ -232,6 +235,44 @@ func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// metrics is the Prometheus scrape surface: the fleet recorder's counters
+// and histograms (rendered by promexport) plus instantaneous gauges — the
+// queue census and the fleet scheduler's state — sampled at scrape time.
+func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
+	counts := s.q.Counts()
+	gauges := []promexport.Gauge{
+		{Name: "gahitec_backlog_depth", Help: "Jobs still needing the runner (pending + running).",
+			Value: float64(counts.Backlog)},
+		{Name: "gahitec_job_retries", Help: "Failed attempts charged across all jobs.",
+			Value: float64(counts.Retries)},
+		{Name: "gahitec_scheduler_enabled", Help: "Whether the fleet scheduler is throttling job slots (0/1).",
+			Value: boolGauge(s.fleet.Enabled())},
+		{Name: "gahitec_scheduler_workers", Help: "Job slots the fleet scheduler currently grants.",
+			Value: float64(s.fleet.Workers())},
+		{Name: "gahitec_scheduler_level", Help: "Fleet degradation level (0 normal, 1 soft, 2 hard).",
+			Labels: map[string]string{"level": s.fleet.Level().String()},
+			Value:  float64(s.fleet.Level())},
+	}
+	for state, n := range counts.States {
+		gauges = append(gauges, promexport.Gauge{
+			Name: "gahitec_jobs", Help: "Jobs by lifecycle state.",
+			Labels: map[string]string{"state": string(state)},
+			Value:  float64(n),
+		})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := promexport.Write(w, s.rec.MetricsSnapshot(), gauges); err != nil {
+		s.logf("metrics: %v", err)
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func (s *server) debugObs(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.rec.MetricsSnapshot())
 }
@@ -281,6 +322,11 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 	var pending []byte
+	// lastFrame times the keep-alive: a comment frame (": keep-alive") goes
+	// out whenever the stream has been silent for the configured cadence, so
+	// proxies and client read-timeouts see traffic even while a long job is
+	// between trace lines. Comments are invisible to SSE consumers by spec.
+	lastFrame := time.Now()
 	// drain forwards every complete trace line appended since the last
 	// call. A torn final line (the writer mid-append) stays pending until
 	// its newline arrives.
@@ -298,6 +344,7 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 			if n := len(pending); n > 0 && pending[n-1] == '\n' {
 				fmt.Fprintf(w, "data: %s\n\n", bytes.TrimRight(pending, "\n"))
 				pending = pending[:0]
+				lastFrame = time.Now()
 				fl.Flush()
 			}
 			if err != nil {
@@ -307,6 +354,11 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 	}
 	for {
 		drain()
+		if s.keepAlive > 0 && time.Since(lastFrame) >= s.keepAlive {
+			fmt.Fprint(w, ": keep-alive\n\n")
+			lastFrame = time.Now()
+			fl.Flush()
+		}
 		info, ok := s.q.Info(id)
 		if !ok {
 			return
@@ -325,7 +377,11 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 		if t := j.Tail(); t != nil {
 			wake = t.Wait()
 		}
-		timer := time.NewTimer(500 * time.Millisecond)
+		poll := 500 * time.Millisecond
+		if s.keepAlive > 0 && s.keepAlive < poll {
+			poll = s.keepAlive
+		}
+		timer := time.NewTimer(poll)
 		select {
 		case <-r.Context().Done():
 			timer.Stop()

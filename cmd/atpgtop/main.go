@@ -1,0 +1,338 @@
+// Command atpgtop is a live terminal view of an atpgd fleet: it scrapes the
+// daemon's /metrics endpoint (Prometheus text format, parsed with the same
+// promexport parser the tests use) and the /jobs listing, follows the SSE
+// event stream of every running job to show what phase each run is in right
+// now, and redraws a top-style screen every refresh interval.
+//
+//	atpgtop -addr http://localhost:8475            # live view, ^C to quit
+//	atpgtop -addr http://localhost:8475 -once      # one snapshot to stdout
+//	atpgtop -once -check                           # also exit 1 unless the
+//	                                               # scrape parses and carries
+//	                                               # the required series
+//
+// -once prints a single snapshot without clearing the screen — scriptable,
+// and what the CI soak leg runs (with -check) to assert the scrape surface
+// stays parseable and complete.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"gahitec/internal/jobq"
+	"gahitec/internal/obs/promexport"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("atpgtop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "http://localhost:8475", "atpgd base URL")
+		interval = fs.Duration("interval", time.Second, "refresh cadence of the live view")
+		once     = fs.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+		check    = fs.Bool("check", false, "with -once: exit nonzero unless the /metrics scrape parses and carries the required series")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+	tr := newEventTracker(ctx, client, base)
+	defer tr.stop()
+
+	draw := func(clear bool) error {
+		scrape, serr := fetchMetrics(client, base)
+		jobs, jerr := fetchJobs(client, base)
+		if serr != nil && jerr != nil {
+			return fmt.Errorf("%s unreachable: %v", base, serr)
+		}
+		tr.follow(jobs)
+		var b strings.Builder
+		if clear {
+			b.WriteString("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(&b, base, scrape, jobs, tr.lastEvents())
+		_, err := io.WriteString(stdout, b.String())
+		return err
+	}
+
+	if *once {
+		if err := draw(false); err != nil {
+			fmt.Fprintf(stderr, "atpgtop: %v\n", err)
+			return 1
+		}
+		if *check {
+			if err := checkScrape(client, base); err != nil {
+				fmt.Fprintf(stderr, "atpgtop: check failed: %v\n", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, "scrape check: ok")
+		}
+		return 0
+	}
+	for {
+		if err := draw(true); err != nil {
+			fmt.Fprintf(stderr, "atpgtop: %v\n", err)
+		}
+		timer := time.NewTimer(*interval)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			fmt.Fprintln(stdout)
+			return 0
+		case <-timer.C:
+		}
+	}
+}
+
+func fetchMetrics(client *http.Client, base string) (*promexport.Scrape, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	return promexport.Parse(resp.Body)
+}
+
+func fetchJobs(client *http.Client, base string) ([]jobq.Info, error) {
+	resp, err := client.Get(base + "/jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/jobs: %s", resp.Status)
+	}
+	var jobs []jobq.Info
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		return nil, fmt.Errorf("/jobs: %v", err)
+	}
+	return jobs, nil
+}
+
+// requiredSeries is what the CI soak leg asserts a healthy daemon exports:
+// the job census, backlog, retry and scheduler gauges. (Phase histograms and
+// span counters appear once a job has run; -check runs after the soak job
+// completes, so one representative of those is required too.)
+var requiredSeries = []string{
+	"gahitec_jobs",
+	"gahitec_backlog_depth",
+	"gahitec_job_retries",
+	"gahitec_scheduler_enabled",
+	"gahitec_scheduler_workers",
+	"gahitec_scheduler_level",
+	"gahitec_spans_total",
+	"gahitec_phase_duration_ms_bucket",
+	"gahitec_counter_total",
+}
+
+func checkScrape(client *http.Client, base string) error {
+	scrape, err := fetchMetrics(client, base)
+	if err != nil {
+		return err
+	}
+	var missing []string
+	for _, name := range requiredSeries {
+		found := false
+		for _, s := range scrape.Samples {
+			if s.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("missing required series: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// eventTracker follows the SSE stream of every running job and remembers the
+// most recent event line's phase, so the table shows what each run is doing
+// between refreshes. Followers start and die with the jobs they follow.
+type eventTracker struct {
+	ctx    context.Context
+	client *http.Client
+	base   string
+
+	mu        sync.Mutex
+	last      map[string]string // job ID -> "phase/name" of the latest event
+	following map[string]context.CancelFunc
+}
+
+func newEventTracker(ctx context.Context, client *http.Client, base string) *eventTracker {
+	return &eventTracker{
+		ctx:       ctx,
+		client:    client,
+		base:      base,
+		last:      make(map[string]string),
+		following: make(map[string]context.CancelFunc),
+	}
+}
+
+func (t *eventTracker) stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, cancel := range t.following {
+		cancel()
+	}
+	t.following = make(map[string]context.CancelFunc)
+}
+
+// follow reconciles the follower set against the current job list: running
+// jobs gain a follower, jobs no longer running lose theirs.
+func (t *eventTracker) follow(jobs []jobq.Info) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	running := make(map[string]bool)
+	for _, j := range jobs {
+		if j.Status.State != jobq.Running {
+			continue
+		}
+		running[j.ID] = true
+		if _, ok := t.following[j.ID]; ok {
+			continue
+		}
+		fctx, cancel := context.WithCancel(t.ctx)
+		t.following[j.ID] = cancel
+		go t.followOne(fctx, j.ID)
+	}
+	for id, cancel := range t.following {
+		if !running[id] {
+			cancel()
+			delete(t.following, id)
+		}
+	}
+}
+
+func (t *eventTracker) followOne(ctx context.Context, id string) {
+	req, err := http.NewRequestWithContext(ctx, "GET", t.base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return
+	}
+	// The stream is long-lived by design; the per-request client timeout
+	// would kill it, so this request runs on a timeout-free shadow client.
+	client := &http.Client{Transport: t.client.Transport}
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	rd := bufio.NewReader(resp.Body)
+	for {
+		line, err := rd.ReadString('\n')
+		if s, ok := strings.CutPrefix(strings.TrimRight(line, "\n"), "data: "); ok {
+			var ev struct {
+				Ev    string `json:"ev"`
+				Phase string `json:"phase"`
+				Name  string `json:"name"`
+				Fault string `json:"fault"`
+			}
+			if json.Unmarshal([]byte(s), &ev) == nil && ev.Phase != "" {
+				label := ev.Phase
+				if ev.Fault != "" {
+					label += " " + ev.Fault
+				}
+				t.mu.Lock()
+				t.last[id] = label
+				t.mu.Unlock()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (t *eventTracker) lastEvents() map[string]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]string, len(t.last))
+	for k, v := range t.last {
+		out[k] = v
+	}
+	return out
+}
+
+// gauge reads one value out of the scrape, rendering "-" when the series is
+// absent (metrics endpoint down or series not yet exported).
+func gauge(sc *promexport.Scrape, name string, labels map[string]string) string {
+	if sc == nil {
+		return "-"
+	}
+	if v, ok := sc.Value(name, labels); ok {
+		return fmt.Sprintf("%g", v)
+	}
+	return "-"
+}
+
+func render(w io.Writer, base string, sc *promexport.Scrape, jobs []jobq.Info, events map[string]string) {
+	level := "-"
+	if sc != nil {
+		for _, s := range sc.Samples {
+			if s.Name == "gahitec_scheduler_level" {
+				level = s.Label("level")
+			}
+		}
+	}
+	fmt.Fprintf(w, "atpgtop — %s\n", base)
+	fmt.Fprintf(w, "backlog %s   retries %s   sched workers %s   degradation %s\n",
+		gauge(sc, "gahitec_backlog_depth", nil),
+		gauge(sc, "gahitec_job_retries", nil),
+		gauge(sc, "gahitec_scheduler_workers", nil),
+		level)
+	fmt.Fprintf(w, "jobs: %s pending  %s running  %s done  %s dead  %s cancelled\n\n",
+		gauge(sc, "gahitec_jobs", map[string]string{"state": "pending"}),
+		gauge(sc, "gahitec_jobs", map[string]string{"state": "running"}),
+		gauge(sc, "gahitec_jobs", map[string]string{"state": "done"}),
+		gauge(sc, "gahitec_jobs", map[string]string{"state": "dead"}),
+		gauge(sc, "gahitec_jobs", map[string]string{"state": "cancelled"}))
+
+	fmt.Fprintf(w, "%-12s %-18s %-10s %-6s %-12s %-10s %-5s %s\n",
+		"JOB", "RUN", "STATE", "PASS", "FAULTS", "DETECTED", "TRY", "PHASE")
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+	for _, j := range jobs {
+		pass, faults, det := "-", "-", "-"
+		if p := j.Progress; p != nil {
+			pass = fmt.Sprintf("%d/%d", p.Pass, p.PassCount)
+			faults = fmt.Sprintf("%d/%d", p.FaultIndex, p.PassTargets)
+			det = fmt.Sprintf("%d/%d", p.Detected, p.TotalFaults)
+		}
+		phase := events[j.ID]
+		if j.Status.State != jobq.Running {
+			phase = ""
+		}
+		if phase == "" && j.Status.LastError != "" && j.Status.State == jobq.Dead {
+			phase = "err: " + j.Status.LastError
+		}
+		fmt.Fprintf(w, "%-12s %-18s %-10s %-6s %-12s %-10s %-5d %s\n",
+			j.ID, j.RunID, j.Status.State, pass, faults, det, j.Status.Attempts, phase)
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(w, "(no jobs)")
+	}
+}

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gahitec/internal/hybrid"
+	"gahitec/internal/jobq"
+	"gahitec/internal/obs"
+	"gahitec/internal/obs/promexport"
+)
+
+// fakeDaemon serves the three endpoints atpgtop consumes, backed by canned
+// data: /metrics rendered by the real exporter (so the round trip exercises
+// the same writer the daemon uses), /jobs as JSON, and a per-job SSE stream.
+func fakeDaemon(t *testing.T, jobs []jobq.Info, events map[string][]obs.Event) *httptest.Server {
+	t.Helper()
+	rec := obs.New(nil)
+	rec.Counter("jobq.attempts", 4)
+	rec.StartSpan("target", "fault-x", 1).End("detected", nil)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		gauges := []promexport.Gauge{
+			{Name: "gahitec_backlog_depth", Help: "jobs waiting or running", Value: 2},
+			{Name: "gahitec_job_retries", Value: 1},
+			{Name: "gahitec_scheduler_enabled", Value: 1},
+			{Name: "gahitec_scheduler_workers", Value: 4},
+			{Name: "gahitec_scheduler_level", Labels: map[string]string{"level": "soft"}, Value: 1},
+		}
+		for _, state := range []string{"pending", "running", "done", "dead", "cancelled"} {
+			var n float64
+			for _, j := range jobs {
+				if string(j.Status.State) == state {
+					n++
+				}
+			}
+			gauges = append(gauges, promexport.Gauge{
+				Name: "gahitec_jobs", Labels: map[string]string{"state": state}, Value: n,
+			})
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := promexport.Write(w, rec.MetricsSnapshot(), gauges); err != nil {
+			t.Errorf("write metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(jobs)
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		for _, ev := range events[r.PathValue("id")] {
+			b, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "data: %s\n\n", b)
+		}
+		fl.Flush()
+		<-r.Context().Done() // hold the stream open like the real daemon
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func testJobs() []jobq.Info {
+	return []jobq.Info{
+		{
+			ID:    "j-0001",
+			RunID: "r0123456789abcdef",
+			Status: jobq.Status{
+				State:    jobq.Running,
+				Attempts: 1,
+			},
+			Progress: &hybrid.Progress{
+				Pass: 2, PassCount: 3,
+				FaultIndex: 7, PassTargets: 32,
+				Detected: 21, TotalFaults: 32,
+			},
+		},
+		{
+			ID:    "j-0002",
+			RunID: "rfedcba9876543210",
+			Status: jobq.Status{
+				State:     jobq.Dead,
+				Attempts:  3,
+				LastError: "parse: not a netlist",
+			},
+		},
+	}
+}
+
+// -once renders a full snapshot: fleet header gauges, degradation level, and
+// one table row per job with run ID, progress fractions and attempt count.
+func TestOnceSnapshot(t *testing.T) {
+	ts := fakeDaemon(t, testJobs(), nil)
+	var out, errb strings.Builder
+	if code := run(context.Background(), []string{"-addr", ts.URL, "-once"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"backlog 2",
+		"retries 1",
+		"sched workers 4",
+		"degradation soft",
+		"1 running",
+		"1 dead",
+		"j-0001",
+		"r0123456789abcdef",
+		"2/3",   // pass
+		"7/32",  // faults this pass
+		"21/32", // detected/total
+		"j-0002",
+		"err: parse: not a netlist",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "\x1b[2J") {
+		t.Error("-once must not clear the screen")
+	}
+}
+
+// -check passes against a healthy scrape (the fake daemon exports everything
+// the real one does) and fails when a required series is missing.
+func TestCheckScrape(t *testing.T) {
+	ts := fakeDaemon(t, testJobs(), nil)
+	var out, errb strings.Builder
+	if code := run(context.Background(), []string{"-addr", ts.URL, "-once", "-check"}, &out, &errb); code != 0 {
+		t.Fatalf("check against healthy daemon = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "scrape check: ok") {
+		t.Errorf("missing check confirmation:\n%s", out.String())
+	}
+
+	// A daemon that stopped exporting the job census must fail the gate.
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/metrics":
+			fmt.Fprint(w, "# TYPE gahitec_backlog_depth gauge\ngahitec_backlog_depth 0\n")
+		case "/jobs":
+			fmt.Fprint(w, "[]")
+		}
+	}))
+	defer broken.Close()
+	out.Reset()
+	errb.Reset()
+	if code := run(context.Background(), []string{"-addr", broken.URL, "-once", "-check"}, &out, &errb); code == 0 {
+		t.Fatal("check against incomplete scrape passed, want failure")
+	}
+	if !strings.Contains(errb.String(), "gahitec_jobs") {
+		t.Errorf("failure does not name the missing series: %s", errb.String())
+	}
+}
+
+// An unreachable daemon is a clean error exit, not a panic or a hang.
+func TestOnceUnreachable(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-addr", "http://127.0.0.1:1", "-once"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unreachable") {
+		t.Errorf("stderr = %q, want unreachable notice", errb.String())
+	}
+}
+
+// The event tracker follows running jobs' SSE streams and surfaces the most
+// recent event's phase in the table.
+func TestEventTrackerFollowsRunningJobs(t *testing.T) {
+	jobs := testJobs()
+	events := map[string][]obs.Event{
+		"j-0001": {
+			{Ev: "point", Phase: "ga", Name: "generation"},
+			{Ev: "span", Phase: "target", Name: "detected", Fault: "g17/0"},
+		},
+	}
+	ts := fakeDaemon(t, jobs, events)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	client := &http.Client{Timeout: 10 * time.Second}
+	tr := newEventTracker(ctx, client, ts.URL)
+	defer tr.stop()
+	tr.follow(jobs)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := tr.lastEvents()["j-0001"]; got == "target g17/0" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lastEvents = %v, want j-0001 -> %q", tr.lastEvents(), "target g17/0")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The dead job must not be followed.
+	tr.mu.Lock()
+	_, followed := tr.following["j-0002"]
+	tr.mu.Unlock()
+	if followed {
+		t.Error("tracker follows a dead job")
+	}
+
+	// Once the job leaves running, its follower is cancelled.
+	jobs[0].Status.State = jobq.Done
+	tr.follow(jobs)
+	tr.mu.Lock()
+	n := len(tr.following)
+	tr.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d follower(s) after all jobs finished, want 0", n)
+	}
+}
+
+// Live mode redraws until the context is cancelled, clearing the screen each
+// frame, and exits cleanly.
+func TestLiveModeStopsOnCancel(t *testing.T) {
+	ts := fakeDaemon(t, testJobs(), nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	var frames atomic.Int32
+	out := writerFunc(func(p []byte) (int, error) {
+		if strings.Contains(string(p), "\x1b[2J") {
+			if frames.Add(1) >= 2 {
+				cancel()
+			}
+		}
+		return len(p), nil
+	})
+	var errb strings.Builder
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", ts.URL, "-interval", "10ms"}, out, &errb)
+	}()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run = %d, stderr: %s", code, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("live mode did not exit after cancel")
+	}
+	if frames.Load() < 2 {
+		t.Fatalf("saw %d frame(s), want >= 2", frames.Load())
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// metricDirection says which way a custom benchmark metric is allowed to
+// move. These are quality columns from the paper tables, but the benchmarks
+// run with compressed per-fault wall-clock budgets (benchScale), so the
+// budgets bind and the counts drift with machine speed and load — a small
+// bad-direction move is noise, a large one is a correctness regression. The
+// quality threshold draws that line; fault-universe counts come from pure
+// collapsing and stay exact. Direction +1 means higher is better, -1 lower
+// is better, 0 means the value must not change at all.
+var metricDirection = map[string]int{
+	"detected":   +1, // fault detections: fewer is a regression
+	"untestable": +1, // untestable identifications: fewer is a regression
+	"vectors":    -1, // test-set length: more is a regression
+	"faults":     0,  // collapsed fault universe: any change needs a re-bless
+}
+
+// directionOf resolves a metric's direction: the exact table first, then the
+// name families the paper-table benchmarks report (ga_det, ht_det_p1,
+// ga_unt, ht_vec, ...). Unknown metrics are informational only. Rate units
+// ("/s") are handled separately as throughput before this is consulted.
+func directionOf(unit string) (dir int, known bool) {
+	if d, ok := metricDirection[unit]; ok {
+		return d, true
+	}
+	switch {
+	case strings.Contains(unit, "det"):
+		return +1, true
+	case strings.Contains(unit, "unt"):
+		return +1, true
+	case strings.Contains(unit, "vec"):
+		return -1, true
+	}
+	return 0, false
+}
+
+// compareReports diffs two benchmark snapshots. Timing columns (ns/op, B/op,
+// allocs/op) regress when they grow more than threshold percent; throughput
+// rates ("/s" units) regress when they drop more than threshold percent;
+// directional quality metrics regress when they move in the bad direction by
+// more than qualityThreshold percent (0 = any bad move fails); benchmarks
+// missing from the new snapshot are lost coverage and regress. The report is
+// written to w; the return value is the regression count.
+func compareReports(w io.Writer, oldPath, newPath string, oldRes, newRes []Result, threshold, qualityThreshold float64) int {
+	oldBy := make(map[string]Result, len(oldRes))
+	for _, r := range oldRes {
+		oldBy[r.Name] = r
+	}
+	newBy := make(map[string]Result, len(newRes))
+	for _, r := range newRes {
+		newBy[r.Name] = r
+	}
+
+	fmt.Fprintf(w, "benchmark comparison: %s -> %s (threshold %g%%)\n\n", oldPath, newPath, threshold)
+	regressions := 0
+	names := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := oldBy[name]
+		n, ok := newBy[name]
+		if !ok {
+			fmt.Fprintf(w, "REGRESSION  %s: benchmark missing from new snapshot\n", name)
+			regressions++
+			continue
+		}
+		regressions += compareTiming(w, name, "ns/op", o.NsPerOp, n.NsPerOp, threshold)
+		regressions += compareTiming(w, name, "B/op", o.BytesPerOp, n.BytesPerOp, threshold)
+		regressions += compareTiming(w, name, "allocs/op", o.AllocsPerOp, n.AllocsPerOp, threshold)
+		for _, unit := range sortedMetricNames(o.Metrics) {
+			ov, nv := o.Metrics[unit], n.Metrics[unit]
+			if strings.HasSuffix(unit, "/s") {
+				// Throughput rate: a wall-clock measurement like ns/op, so
+				// it shares the timing threshold — regress on a drop beyond
+				// it, anything else is informational.
+				if ov > 0 && nv < ov && (1-nv/ov)*100 > threshold {
+					fmt.Fprintf(w, "REGRESSION  %s: %s %g -> %g (-%.1f%% > %g%%)\n",
+						name, unit, ov, nv, (1-nv/ov)*100, threshold)
+					regressions++
+				} else if ov != nv {
+					fmt.Fprintf(w, "changed     %s: %s %g -> %g\n", name, unit, ov, nv)
+				}
+				continue
+			}
+			dir, known := directionOf(unit)
+			badMove := known && (dir == 0 || float64(dir)*(nv-ov) < 0)
+			switch {
+			case ov == nv:
+			case badMove && (dir == 0 || ov == 0 || pctAbs(ov, nv) > qualityThreshold):
+				fmt.Fprintf(w, "REGRESSION  %s: %s %g -> %g\n", name, unit, ov, nv)
+				regressions++
+			case badMove:
+				fmt.Fprintf(w, "tolerated   %s: %s %g -> %g (-%.1f%% within %g%%)\n",
+					name, unit, ov, nv, pctAbs(ov, nv), qualityThreshold)
+			case known:
+				fmt.Fprintf(w, "improved    %s: %s %g -> %g\n", name, unit, ov, nv)
+			default:
+				fmt.Fprintf(w, "changed     %s: %s %g -> %g\n", name, unit, ov, nv)
+			}
+		}
+	}
+	for _, r := range newRes {
+		if _, ok := oldBy[r.Name]; !ok {
+			fmt.Fprintf(w, "new         %s: not in old snapshot\n", r.Name)
+		}
+	}
+	fmt.Fprintf(w, "\n%d benchmark(s) compared, %d regression(s)\n", len(oldBy), regressions)
+	return regressions
+}
+
+// pctAbs is the magnitude of the old -> new move in percent of old.
+func pctAbs(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 100
+	}
+	pct := (newV/oldV - 1) * 100
+	if pct < 0 {
+		return -pct
+	}
+	return pct
+}
+
+func compareTiming(w io.Writer, name, unit string, oldV, newV, threshold float64) int {
+	if oldV <= 0 || newV <= oldV {
+		return 0
+	}
+	pct := (newV/oldV - 1) * 100
+	if pct <= threshold {
+		return 0
+	}
+	fmt.Fprintf(w, "REGRESSION  %s: %s %g -> %g (+%.1f%% > %g%%)\n", name, unit, oldV, newV, pct, threshold)
+	return 1
+}
+
+func sortedMetricNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func loadSnapshot(path string) ([]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res []Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return res, nil
+}
+
+// runCompare implements `benchjson -compare old.json new.json [-threshold N]
+// [-quality-threshold N]`.
+func runCompare(oldPath, newPath string, threshold, qualityThreshold float64, stdout, stderr io.Writer) int {
+	oldRes, err := loadSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newRes, err := loadSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	var report strings.Builder
+	regressions := compareReports(&report, oldPath, newPath, oldRes, newRes, threshold, qualityThreshold)
+	io.WriteString(stdout, report.String())
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "benchjson: %d regression(s) against %s\n", regressions, oldPath)
+		return 1
+	}
+	return 0
+}

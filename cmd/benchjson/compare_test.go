@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, name string, res []Result) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseline() []Result {
+	return []Result{
+		{Name: "BenchmarkTable2/s298", NsPerOp: 1e6, Metrics: map[string]float64{
+			"detected": 265, "vectors": 1456, "untestable": 26,
+		}},
+		{Name: "BenchmarkPackedSim", NsPerOp: 1000, BytesPerOp: 456, AllocsPerOp: 7},
+	}
+}
+
+// Identical snapshots pass; flags may trail the positional file arguments,
+// matching the documented `-compare old.json new.json -threshold 10` form.
+func TestCompareIdenticalPasses(t *testing.T) {
+	oldPath := writeSnapshot(t, "old.json", baseline())
+	newPath := writeSnapshot(t, "new.json", baseline())
+	var out, errw bytes.Buffer
+	code := run([]string{"-compare", oldPath, newPath, "-threshold", "10"}, strings.NewReader(""), &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "0 regression(s)") {
+		t.Errorf("report:\n%s", out.String())
+	}
+}
+
+// Timing growth beyond the threshold regresses; growth inside it passes.
+func TestCompareTimingThreshold(t *testing.T) {
+	oldPath := writeSnapshot(t, "old.json", baseline())
+
+	slower := baseline()
+	slower[1].NsPerOp = 1200 // +20%
+	newPath := writeSnapshot(t, "new.json", slower)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-compare", oldPath, newPath, "-threshold", "10"}, strings.NewReader(""), &out, &errw); code != 1 {
+		t.Fatalf("+20%% at 10%% threshold: exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "ns/op") {
+		t.Errorf("report does not name the ns/op regression:\n%s", out.String())
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-compare", oldPath, newPath, "-threshold", "25"}, strings.NewReader(""), &out, &errw); code != 0 {
+		t.Fatalf("+20%% at 25%% threshold: exit %d, want 0\n%s%s", code, out.String(), errw.String())
+	}
+}
+
+// Deterministic quality metrics ignore the timing threshold: any move in the
+// bad direction fails, moves in the good direction are improvements.
+func TestCompareQualityMetricsAreDirectional(t *testing.T) {
+	oldPath := writeSnapshot(t, "old.json", baseline())
+
+	worse := baseline()
+	worse[0].Metrics["detected"] = 264  // one fewer detection
+	worse[0].Metrics["vectors"] = 1400  // fewer vectors: improvement
+	newPath := writeSnapshot(t, "new.json", worse)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-compare", oldPath, newPath, "-threshold", "1000"}, strings.NewReader(""), &out, &errw); code != 1 {
+		t.Fatalf("lost detection: exit %d, want 1\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "REGRESSION") || !strings.Contains(got, "detected 265 -> 264") {
+		t.Errorf("report does not flag the detection loss:\n%s", got)
+	}
+	if !strings.Contains(got, "improved") || !strings.Contains(got, "vectors 1456 -> 1400") {
+		t.Errorf("report does not credit the shorter test set:\n%s", got)
+	}
+}
+
+// The paper-table benchmarks report their quality columns as ga_det /
+// ht_det_p1 / ga_unt / ht_vec (plus the collapsed fault count); the gate
+// resolves those families by name, and a changed fault universe always
+// requires a deliberate baseline re-bless.
+func TestComparePaperTableMetricFamilies(t *testing.T) {
+	base := []Result{{Name: "BenchmarkTable2/s298", NsPerOp: 1e6, Metrics: map[string]float64{
+		"faults": 525, "ga_det": 451, "ht_det_p1": 421, "ga_unt": 15, "ht_vec": 62,
+	}}}
+	oldPath := writeSnapshot(t, "old.json", base)
+
+	for _, tc := range []struct {
+		unit string
+		val  float64
+		want int
+	}{
+		{"ga_det", 450, 1},    // lost a detection
+		{"ga_det", 452, 0},    // gained one: improvement
+		{"ht_det_p1", 420, 1}, // pass-1 detections count too
+		{"ga_unt", 14, 1},     // lost an untestability proof
+		{"ht_vec", 63, 1},     // longer test set
+		{"ht_vec", 61, 0},     // shorter: improvement
+		{"faults", 526, 1},    // fault universe changed either way
+		{"faults", 524, 1},
+	} {
+		mod := []Result{{Name: base[0].Name, NsPerOp: base[0].NsPerOp, Metrics: map[string]float64{}}}
+		for k, v := range base[0].Metrics {
+			mod[0].Metrics[k] = v
+		}
+		mod[0].Metrics[tc.unit] = tc.val
+		newPath := writeSnapshot(t, "new.json", mod)
+		var out, errw bytes.Buffer
+		code := run([]string{"-compare", oldPath, newPath, "-threshold", "1000"}, strings.NewReader(""), &out, &errw)
+		if code != tc.want {
+			t.Errorf("%s -> %g: exit %d, want %d\n%s", tc.unit, tc.val, code, tc.want, out.String())
+		}
+	}
+}
+
+// -quality-threshold tolerates bad-direction drift up to the band: the bench
+// per-fault budgets bind, so quality counts move with machine load. Beyond
+// the band still regresses, and the fault universe stays exact regardless.
+func TestCompareQualityThresholdBand(t *testing.T) {
+	base := []Result{{Name: "BenchmarkTable2/s298", NsPerOp: 1e6, Metrics: map[string]float64{
+		"faults": 525, "ht_det": 428, "ht_vec": 62,
+	}}}
+	oldPath := writeSnapshot(t, "old.json", base)
+
+	drift := []Result{{Name: base[0].Name, NsPerOp: 1e6, Metrics: map[string]float64{
+		"faults": 525, "ht_det": 410, "ht_vec": 64, // -4.2% det, +3.2% vec
+	}}}
+	newPath := writeSnapshot(t, "new.json", drift)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-compare", oldPath, newPath, "-quality-threshold", "25"}, strings.NewReader(""), &out, &errw); code != 0 {
+		t.Fatalf("drift inside the band: exit %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "tolerated") {
+		t.Errorf("in-band drift not reported as tolerated:\n%s", out.String())
+	}
+
+	out.Reset()
+	collapse := []Result{{Name: base[0].Name, NsPerOp: 1e6, Metrics: map[string]float64{
+		"faults": 525, "ht_det": 300, "ht_vec": 62, // -29.9% det: a collapse
+	}}}
+	collapsePath := writeSnapshot(t, "collapse.json", collapse)
+	if code := run([]string{"-compare", oldPath, collapsePath, "-quality-threshold", "25"}, strings.NewReader(""), &out, &errw); code != 1 {
+		t.Fatalf("collapse beyond the band: exit %d, want 1\n%s", code, out.String())
+	}
+
+	// The collapsed fault universe is deterministic: it ignores the band.
+	out.Reset()
+	universe := []Result{{Name: base[0].Name, NsPerOp: 1e6, Metrics: map[string]float64{
+		"faults": 524, "ht_det": 428, "ht_vec": 62,
+	}}}
+	universePath := writeSnapshot(t, "universe.json", universe)
+	if code := run([]string{"-compare", oldPath, universePath, "-quality-threshold", "25"}, strings.NewReader(""), &out, &errw); code != 1 {
+		t.Fatalf("fault-universe change inside the band: exit %d, want 1\n%s", code, out.String())
+	}
+}
+
+// "/s" units are throughput rates, not quality counts — faultvec/s must not
+// fall into the "vec" family. They regress on a drop beyond the timing
+// threshold; a rise is never a regression.
+func TestCompareThroughputRates(t *testing.T) {
+	base := []Result{{Name: "BenchmarkFaultSimThroughput", NsPerOp: 1000, Metrics: map[string]float64{
+		"faultvec/s": 1.7e6,
+	}}}
+	oldPath := writeSnapshot(t, "old.json", base)
+
+	faster := []Result{{Name: base[0].Name, NsPerOp: 1000, Metrics: map[string]float64{
+		"faultvec/s": 1.8e6,
+	}}}
+	fasterPath := writeSnapshot(t, "faster.json", faster)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-compare", oldPath, fasterPath, "-threshold", "10"}, strings.NewReader(""), &out, &errw); code != 0 {
+		t.Fatalf("throughput rise flagged as regression: exit %d\n%s", code, out.String())
+	}
+
+	out.Reset()
+	slower := []Result{{Name: base[0].Name, NsPerOp: 1000, Metrics: map[string]float64{
+		"faultvec/s": 0.8e6, // -53%
+	}}}
+	slowerPath := writeSnapshot(t, "slower.json", slower)
+	if code := run([]string{"-compare", oldPath, slowerPath, "-threshold", "10"}, strings.NewReader(""), &out, &errw); code != 1 {
+		t.Fatalf("throughput collapse: exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "faultvec/s") {
+		t.Errorf("report does not name the rate:\n%s", out.String())
+	}
+}
+
+// A benchmark that vanished from the new snapshot is lost coverage.
+func TestCompareMissingBenchmarkRegresses(t *testing.T) {
+	oldPath := writeSnapshot(t, "old.json", baseline())
+	newPath := writeSnapshot(t, "new.json", baseline()[:1])
+	var out, errw bytes.Buffer
+	if code := run([]string{"-compare", oldPath, newPath}, strings.NewReader(""), &out, &errw); code != 1 {
+		t.Fatalf("missing benchmark: exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "missing from new snapshot") {
+		t.Errorf("report:\n%s", out.String())
+	}
+}
+
+// The committed trajectory must pass against itself — this is the self-check
+// `make bench-check` relies on, run against the real repository snapshot.
+func TestCommittedTrajectoryPassesSelfCompare(t *testing.T) {
+	matches, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		t.Skipf("no committed BENCH_*.json snapshots: %v", err)
+	}
+	latest := matches[len(matches)-1]
+	var out, errw bytes.Buffer
+	if code := run([]string{"-compare", latest, latest, "-threshold", "10"}, strings.NewReader(""), &out, &errw); code != 0 {
+		t.Fatalf("self-compare of %s: exit %d\n%s%s", latest, code, out.String(), errw.String())
+	}
+}
+
+// Unreadable and empty snapshots are usage errors (exit 2), distinct from a
+// regression verdict (exit 1) so CI can tell "broken gate" from "failed gate".
+func TestCompareBadInputs(t *testing.T) {
+	oldPath := writeSnapshot(t, "old.json", baseline())
+	var out, errw bytes.Buffer
+	if code := run([]string{"-compare", oldPath, filepath.Join(t.TempDir(), "absent.json")}, strings.NewReader(""), &out, &errw); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	if code := run([]string{"-compare", oldPath}, strings.NewReader(""), &out, &errw); code != 2 {
+		t.Errorf("one file: exit %d, want 2", code)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte("[]"), 0o644)
+	if code := run([]string{"-compare", oldPath, empty}, strings.NewReader(""), &out, &errw); code != 2 {
+		t.Errorf("empty snapshot: exit %d, want 2", code)
+	}
+}

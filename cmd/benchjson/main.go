@@ -5,9 +5,19 @@
 // or, with -o, atomically to a file — `make bench-json` wires it to a
 // date-stamped BENCH_<date>.json so runs can be diffed across commits.
 //
+// With -compare it becomes the bench-regression gate: it diffs two snapshots
+// and exits nonzero when a benchmark got slower (or a "/s" throughput rate
+// dropped) beyond -threshold percent, when a quality metric (detected,
+// vectors, untestable) moved the wrong way beyond -quality-threshold percent
+// (0 = any bad move fails; the bench budgets bind, so the counts drift with
+// machine speed), when the collapsed fault count changed at all, or when a
+// benchmark disappeared. `make bench-check` runs it against the newest
+// committed BENCH_*.json.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH_2026-08-06.json
+//	benchjson -compare BENCH_2026-08-06.json new.json -threshold 10 -quality-threshold 25
 package main
 
 import (
@@ -44,7 +54,35 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "", "write the JSON report to this file (atomically) instead of stdout")
-	if err := fs.Parse(args); err != nil {
+	compare := fs.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json [-threshold pct]")
+	threshold := fs.Float64("threshold", 10, "with -compare: allowed timing growth (or throughput drop) in percent before a regression")
+	qualityThreshold := fs.Float64("quality-threshold", 0, "with -compare: allowed bad-direction drift in percent for quality metrics (detections, vectors, untestable); 0 fails on any bad move")
+	// Accept flags after positionals (`-compare old.json new.json -threshold
+	// 10`): re-parse whenever a flag-looking token follows a positional.
+	var pos []string
+	rest := args
+	for {
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		rest = fs.Args()
+		for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+			pos = append(pos, rest[0])
+			rest = rest[1:]
+		}
+		if len(rest) == 0 {
+			break
+		}
+	}
+	if *compare {
+		if len(pos) != 2 {
+			fmt.Fprintln(stderr, "benchjson: -compare needs exactly two snapshot files (old.json new.json)")
+			return 2
+		}
+		return runCompare(pos[0], pos[1], *threshold, *qualityThreshold, stdout, stderr)
+	}
+	if len(pos) > 0 {
+		fmt.Fprintf(stderr, "benchjson: unexpected argument %q (reads benchmark output on stdin)\n", pos[0])
 		return 2
 	}
 	results, err := parse(stdin)

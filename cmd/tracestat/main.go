@@ -7,6 +7,14 @@
 //	atpg -circuit s298 -trace run.ndjson
 //	tracestat run.ndjson
 //	tracestat -top 10 run.ndjson     # also list the costliest faults
+//	tracestat a.ndjson b.ndjson      # summarize several traces as one stream
+//	tracestat -rotated run.ndjson    # size-capped trace: read run.ndjson.1
+//	                                 # (the older rotated segment) first
+//
+// Multiple files are concatenated in argument order, so the one summary
+// covers, e.g., every job trace of a fleet data directory. With -rotated the
+// older RotatingWriter segment (path.1) is read before the live segment —
+// the chronological order the writer produced them in.
 package main
 
 import (
@@ -47,86 +55,121 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tracestat", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	top := fs.Int("top", 0, "also list the N faults with the most span time")
+	rotated := fs.Bool("rotated", false, "treat each file as a RotatingWriter trace: read its .1 segment (older events) first when present")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: tracestat [-top N] trace.ndjson")
+	if fs.NArg() < 1 {
+		fmt.Fprintln(stderr, "usage: tracestat [-top N] [-rotated] trace.ndjson [more.ndjson ...]")
 		return 2
 	}
-	f, err := os.Open(fs.Arg(0))
-	if err != nil {
-		fmt.Fprintf(stderr, "tracestat: %v\n", err)
-		return 1
+	var paths []string
+	for _, p := range fs.Args() {
+		if *rotated {
+			// The rotated segment holds the run's older events; reading it
+			// first restores the chronological stream the writer produced.
+			if _, err := os.Stat(p + ".1"); err == nil {
+				paths = append(paths, p+".1")
+			}
+		}
+		paths = append(paths, p)
 	}
-	defer f.Close()
-	if err := summarize(f, stdout, *top); err != nil {
+	var srcs []source
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracestat: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		srcs = append(srcs, source{name: p, r: f})
+	}
+	if err := summarize(srcs, stdout, *top); err != nil {
 		fmt.Fprintf(stderr, "tracestat: %v\n", err)
 		return 1
 	}
 	return 0
 }
 
-// summarize reads the NDJSON stream and prints the breakdown.
-func summarize(r io.Reader, w io.Writer, top int) error {
+// source is one named trace stream feeding the shared summary.
+type source struct {
+	name string
+	r    io.Reader
+}
+
+// summarize reads the NDJSON streams in order and prints one combined
+// breakdown.
+func summarize(srcs []source, w io.Writer, top int) error {
 	phases := map[string]*phaseAgg{}
 	faults := map[string]*faultAgg{}
+	runs := map[string]int{}
 	var events, spans, points int
 	var gaGens, gaSolves int
 	var gaBestSum float64
 
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var e obs.Event
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return fmt.Errorf("line %d: %w", line, err)
-		}
-		events++
-		switch e.Ev {
-		case "span":
-			spans++
-			p := phases[e.Phase]
-			if p == nil {
-				p = &phaseAgg{name: e.Phase, outcomes: map[string]int{}}
-				phases[e.Phase] = p
+	for _, src := range srcs {
+		sc := bufio.NewScanner(src.r)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			if len(sc.Bytes()) == 0 {
+				continue
 			}
-			p.count++
-			p.durUS += e.DurUS
-			p.outcomes[e.Name]++
-			if e.Fault != "" {
-				fa := faults[e.Fault]
-				if fa == nil {
-					fa = &faultAgg{fault: e.Fault}
-					faults[e.Fault] = fa
+			var e obs.Event
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				return fmt.Errorf("%s: line %d: %w", src.name, line, err)
+			}
+			events++
+			if e.Run != "" {
+				runs[e.Run]++
+			}
+			switch e.Ev {
+			case "span":
+				spans++
+				p := phases[e.Phase]
+				if p == nil {
+					p = &phaseAgg{name: e.Phase, outcomes: map[string]int{}}
+					phases[e.Phase] = p
 				}
-				fa.spans++
-				fa.durUS += e.DurUS
-			}
-		case "point":
-			points++
-			if e.Phase == "ga_justify" && e.Name == "generation" {
-				gaGens++
-				gaBestSum += e.Attrs["best"]
-				if e.Attrs["best"] >= 1 {
-					gaSolves++
+				p.count++
+				p.durUS += e.DurUS
+				p.outcomes[e.Name]++
+				if e.Fault != "" {
+					fa := faults[e.Fault]
+					if fa == nil {
+						fa = &faultAgg{fault: e.Fault}
+						faults[e.Fault] = fa
+					}
+					fa.spans++
+					fa.durUS += e.DurUS
+				}
+			case "point":
+				points++
+				if e.Phase == "ga_justify" && e.Name == "generation" {
+					gaGens++
+					gaBestSum += e.Attrs["best"]
+					if e.Attrs["best"] >= 1 {
+						gaSolves++
+					}
 				}
 			}
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return err
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("%s: %w", src.name, err)
+		}
 	}
 	if events == 0 {
 		return fmt.Errorf("no events in trace")
 	}
 
-	fmt.Fprintf(w, "trace: %d events (%d spans, %d points)\n\n", events, spans, points)
+	if len(srcs) > 1 {
+		fmt.Fprintf(w, "trace: %d events (%d spans, %d points) from %d files%s\n\n",
+			events, spans, points, len(srcs), runSummary(runs))
+	} else {
+		fmt.Fprintf(w, "trace: %d events (%d spans, %d points)%s\n\n",
+			events, spans, points, runSummary(runs))
+	}
 	fmt.Fprintf(w, "%-12s %7s %9s %9s  %s\n", "Phase", "Spans", "Time", "Mean", "Outcomes")
 	fmt.Fprintln(w, strings.Repeat("-", 76))
 	var order []*phaseAgg
@@ -167,6 +210,21 @@ func summarize(r io.Reader, w io.Writer, top int) error {
 		}
 	}
 	return nil
+}
+
+// runSummary renders the run correlation IDs seen in the stream: the ID
+// itself when the whole stream is one run, a count when traces from several
+// runs were combined, nothing for traces predating run IDs.
+func runSummary(runs map[string]int) string {
+	switch len(runs) {
+	case 0:
+		return ""
+	case 1:
+		for id := range runs {
+			return ", run " + id
+		}
+	}
+	return fmt.Sprintf(", %d distinct runs", len(runs))
 }
 
 // outcomeMix renders a phase's outcome histogram as "success:81 aborted:7",

@@ -36,6 +36,12 @@ type Checkpoint struct {
 	// garbage; Validate refuses the mismatch instead.
 	Fingerprint string `json:"fingerprint"`
 
+	// RunID is the run correlation ID (Config.RunID), carried so a resumed
+	// run keeps the identity it was submitted under. Optional — journals
+	// from builds or runs without one still load (the field is informational
+	// and never affects replayed state).
+	RunID string `json:"run_id,omitempty"`
+
 	Seed        int64 `json:"seed"`
 	TotalFaults int   `json:"total_faults"`
 

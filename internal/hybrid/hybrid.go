@@ -68,6 +68,13 @@ type Config struct {
 	// Seed drives every stochastic component (GA populations, X-fill).
 	Seed int64
 
+	// RunID is the run correlation ID (obs.NewRunID): stamped on every
+	// trace event, recorded in checkpoint journals (so a resumed run keeps
+	// its identity) and in crash-repro bundles. Purely telemetry — it never
+	// influences the search or any deterministic output. Empty disables
+	// stamping; Resume adopts the journal's ID when this is empty.
+	RunID string
+
 	// MaxFrames bounds forward propagation and backward justification
 	// windows (0: 4x sequential depth).
 	MaxFrames int

@@ -112,6 +112,9 @@ func newRunner(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cf
 	r.engine.SetHooks(cfg.Hooks)
 	r.fsim.SetHooks(cfg.Hooks)
 	r.engine.SetObs(cfg.Obs)
+	if cfg.RunID != "" {
+		cfg.Obs.SetRunID(cfg.RunID)
+	}
 	// The fault simulator's recorder is attached in run(), after any
 	// restore: a resume replays the checkpointed test set through the
 	// simulator, and that replay must not be re-billed — the checkpoint's
@@ -154,6 +157,12 @@ func (r *runner) restore(ck *Checkpoint) error {
 	r.res.Passes = append(r.res.Passes, ck.Passes...)
 	r.res.Phases = ck.Phases
 	r.res.FirstPanic = ck.FirstPanic
+	// A resumed run keeps the identity it was submitted under: the journal's
+	// correlation ID wins unless the caller explicitly re-identified the run.
+	if r.cfg.RunID == "" && ck.RunID != "" {
+		r.cfg.RunID = ck.RunID
+		r.cfg.Obs.SetRunID(ck.RunID)
+	}
 	if ck.Obs != nil {
 		if err := r.cfg.Obs.MergeMetrics(ck.Obs); err != nil {
 			return fmt.Errorf("hybrid: checkpoint metrics: %w", err)
@@ -389,6 +398,7 @@ func (r *runner) snapshot(pi, fi, passStartSeqs int) *Checkpoint {
 	ck := &Checkpoint{
 		Version:        CheckpointVersion,
 		Circuit:        r.c.Name,
+		RunID:          r.cfg.RunID,
 		Fingerprint:    r.fp,
 		Seed:           r.cfg.Seed,
 		TotalFaults:    r.res.TotalFaults,

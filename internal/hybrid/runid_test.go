@@ -1,0 +1,83 @@
+package hybrid
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gahitec/internal/fault"
+	"gahitec/internal/obs"
+)
+
+// The correlation contract: a run's ID rides the checkpoint journal, a
+// resume with no explicit ID adopts it, and every trace line of both the
+// interrupted and the resumed halves carries the same ID — so telemetry from
+// one logical run slices as one stream however many times it was restarted.
+func TestRunIDSurvivesResume(t *testing.T) {
+	c := mustParse(t, s27, "s27")
+	faults := fault.Collapse(c)
+
+	runID := obs.NewRunID()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var firstTrace bytes.Buffer
+	var last *Checkpoint
+	boundaries := 0
+	cfg := deterministicConfig(31)
+	cfg.RunID = runID
+	cfg.Obs = obs.New(&firstTrace)
+	cfg.CheckpointEvery = 1
+	cfg.Checkpoint = func(ck *Checkpoint) {
+		last = ck
+		boundaries++
+		if boundaries == 3 {
+			cancel()
+		}
+	}
+	part := RunCtx(ctx, c, faults, cfg)
+	if !part.Interrupted {
+		t.Skip("run finished before the interrupt landed")
+	}
+	if last == nil {
+		t.Fatal("no snapshot emitted before interrupt")
+	}
+	if last.RunID != runID {
+		t.Fatalf("checkpoint run ID = %q, want %q", last.RunID, runID)
+	}
+
+	// Resume with an EMPTY Config.RunID: the journal's identity must win.
+	var resumeTrace bytes.Buffer
+	rcfg := deterministicConfig(31)
+	rcfg.Obs = obs.New(&resumeTrace)
+	if _, err := Resume(context.Background(), c, faults, rcfg, last); err != nil {
+		t.Fatal(err)
+	}
+	if got := rcfg.Obs.RunID(); got != runID {
+		t.Errorf("resumed recorder run ID = %q, want %q", got, runID)
+	}
+
+	for name, trace := range map[string]string{
+		"interrupted": firstTrace.String(),
+		"resumed":     resumeTrace.String(),
+	} {
+		sc := bufio.NewScanner(strings.NewReader(trace))
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		lines := 0
+		for sc.Scan() {
+			var e obs.Event
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				t.Fatalf("%s line %d: %v", name, lines, err)
+			}
+			if e.Run != runID {
+				t.Fatalf("%s line %d run = %q, want %q", name, lines, e.Run, runID)
+			}
+			lines++
+		}
+		if lines == 0 {
+			t.Fatalf("%s trace is empty", name)
+		}
+	}
+}

@@ -396,6 +396,7 @@ func (r *runner) newBundle(kind, outcome string, f fault.Fault) *supervise.Bundl
 	return &supervise.Bundle{
 		Version:     supervise.BundleVersion,
 		Kind:        kind,
+		RunID:       r.cfg.RunID,
 		Circuit:     r.c.Name,
 		Fingerprint: r.fp,
 		Fault: supervise.BundleFault{

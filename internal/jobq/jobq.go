@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"gahitec/internal/hybrid"
+	"gahitec/internal/obs"
 	"gahitec/internal/runctl"
 )
 
@@ -135,13 +136,19 @@ type Status struct {
 	FinishedMS  int64  `json:"finished_ms,omitempty"`
 }
 
-// Job is one queued run. ID, Seq, Dir and Spec are immutable after Submit;
-// status is guarded by the queue's lock (read it via Queue.Info).
+// Job is one queued run. ID, Seq, Dir, Spec and RunID are immutable after
+// Submit; status is guarded by the queue's lock (read it via Queue.Info).
 type Job struct {
 	ID   string
 	Seq  int
 	Dir  string
 	Spec Spec
+
+	// RunID is the run correlation ID minted at Submit (obs.NewRunID) and
+	// journaled with the job, so every attempt — across daemon restarts —
+	// stamps the same ID on its trace lines, SSE events, checkpoint journal,
+	// crash-repro bundles and, if the job dead-letters, its final record.
+	RunID string
 
 	status     Status
 	cancel     func() // interrupts the in-flight attempt (guarded by queue mu)
@@ -175,6 +182,7 @@ func (j *Job) BundleDir() string { return filepath.Join(j.Dir, "bundles") }
 // Info is a consistent snapshot of a job for listings and status endpoints.
 type Info struct {
 	ID       string           `json:"id"`
+	RunID    string           `json:"run_id,omitempty"`
 	Spec     Spec             `json:"spec"`
 	Status   Status           `json:"status"`
 	Progress *hybrid.Progress `json:"progress,omitempty"`
@@ -248,7 +256,13 @@ func Open(dir string) (*Queue, []string, error) {
 			warnings = append(warnings, fmt.Sprintf("jobq: skipping %s: journal names %q", name, file.ID))
 			continue
 		}
-		j.Spec, j.status = file.Spec, file.Status
+		j.Spec, j.status, j.RunID = file.Spec, file.Status, file.RunID
+		if j.RunID == "" && !j.status.State.Terminal() {
+			// Journal from a build predating correlation IDs: mint one now so
+			// the job's remaining attempts are correlated. Persisted below for
+			// recovered jobs and on the next transition otherwise.
+			j.RunID = obs.NewRunID()
+		}
 		if j.status.State == Running {
 			// The previous daemon died mid-attempt. That is not the job's
 			// fault: return it to pending uncharged. Its checkpoint journal
@@ -270,13 +284,14 @@ func Open(dir string) (*Queue, []string, error) {
 // jobFile is the on-disk job journal.
 type jobFile struct {
 	ID     string `json:"id"`
+	RunID  string `json:"run_id,omitempty"`
 	Spec   Spec   `json:"spec"`
 	Status Status `json:"status"`
 }
 
 func (q *Queue) persistLocked(j *Job) error {
 	return runctl.SaveJSON(filepath.Join(j.Dir, "job.json"),
-		&jobFile{ID: j.ID, Spec: j.Spec, Status: j.status})
+		&jobFile{ID: j.ID, RunID: j.RunID, Spec: j.Spec, Status: j.status})
 }
 
 func (q *Queue) nowMS() int64 { return q.Now().UnixMilli() }
@@ -315,10 +330,11 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 		return nil, fmt.Errorf("jobq: submit: %w", err)
 	}
 	j := &Job{
-		ID:   id,
-		Seq:  q.nextSeq,
-		Dir:  final,
-		Spec: spec,
+		ID:    id,
+		Seq:   q.nextSeq,
+		Dir:   final,
+		Spec:  spec,
+		RunID: obs.NewRunID(),
 		status: Status{
 			State:       Pending,
 			MaxAttempts: q.attemptBudget(spec),
@@ -331,7 +347,7 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 		}
 	}
 	if err := runctl.SaveJSON(filepath.Join(stage, "job.json"),
-		&jobFile{ID: id, Spec: spec, Status: j.status}); err != nil {
+		&jobFile{ID: id, RunID: j.RunID, Spec: spec, Status: j.status}); err != nil {
 		return discard(err)
 	}
 	if err := os.Rename(stage, final); err != nil {
@@ -373,7 +389,7 @@ func (q *Queue) Info(id string) (Info, bool) {
 }
 
 func (q *Queue) infoLocked(j *Job) Info {
-	return Info{ID: j.ID, Spec: j.Spec, Status: j.status, Progress: j.Progress()}
+	return Info{ID: j.ID, RunID: j.RunID, Spec: j.Spec, Status: j.status, Progress: j.Progress()}
 }
 
 // List returns snapshots of every job in submission order.
@@ -400,6 +416,33 @@ func (q *Queue) Backlog() int {
 		}
 	}
 	return n
+}
+
+// Counts is a consistent census of the queue for the /metrics scrape: jobs
+// per lifecycle state, the backlog (pending + running), and the total failed
+// attempts charged across all jobs.
+type Counts struct {
+	States  map[State]int
+	Backlog int
+	Retries int
+}
+
+// Counts takes the census under one lock acquisition, so the scraped gauges
+// are mutually consistent.
+func (q *Queue) Counts() Counts {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c := Counts{States: map[State]int{
+		Pending: 0, Running: 0, Done: 0, Dead: 0, Cancelled: 0,
+	}}
+	for _, j := range q.jobs {
+		c.States[j.status.State]++
+		c.Retries += j.status.Attempts
+		if j.status.State == Pending || j.status.State == Running {
+			c.Backlog++
+		}
+	}
+	return c
 }
 
 // Claim picks the best eligible pending job — highest priority, then oldest —

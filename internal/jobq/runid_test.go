@@ -1,0 +1,188 @@
+package jobq
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"gahitec/internal/obs"
+	"gahitec/internal/runctl"
+)
+
+// A job's run correlation ID is minted once at Submit and journaled, so it
+// survives queue reopens (the daemon restarting, kill -9 included) and every
+// attempt stamps the same ID: the trace lines written by the attempt before
+// the restart and after it belong to one stream.
+func TestRunIDSurvivesRestartAndStampsTrace(t *testing.T) {
+	q, _, dir := openTestQueue(t)
+	j, err := q.Submit(Spec{Circuit: "s27", Seed: 1, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runID := j.RunID
+	if runID == "" {
+		t.Fatal("Submit minted no run ID")
+	}
+	if info, _ := q.Info(j.ID); info.RunID != runID {
+		t.Fatalf("Info.RunID = %q, want %q", info.RunID, runID)
+	}
+
+	// First attempt: interrupt it mid-run, like a daemon shutdown would.
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Runner{Queue: q, Logf: t.Logf}
+	go func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if j.Progress() != nil {
+				cancel()
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		cancel()
+	}()
+	r.Run(ctx)
+
+	// Simulate the crash boundary: reopen the queue from disk.
+	q2, warns, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range warns {
+		t.Logf("reopen: %s", w)
+	}
+	j2, ok := q2.Get(j.ID)
+	if !ok {
+		t.Fatalf("job %s vanished across reopen", j.ID)
+	}
+	if j2.RunID != runID {
+		t.Fatalf("run ID changed across reopen: %q -> %q", runID, j2.RunID)
+	}
+
+	// Second attempt resumes from the checkpoint and finishes.
+	r2 := &Runner{Queue: q2, Logf: t.Logf}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			if info, _ := q2.Info(j.ID); info.Status.State.Terminal() {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		cancel2()
+	}()
+	r2.Run(ctx2)
+	info, _ := q2.Info(j.ID)
+	if info.Status.State != Done {
+		t.Fatalf("job = %s (last error %q), want done", info.Status.State, info.Status.LastError)
+	}
+
+	// Every line of the job's trace — both attempts appended to the same
+	// file — carries the submit-time run ID.
+	f, err := os.Open(j2.TracePath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("trace line %d: %v", lines, err)
+		}
+		if e.Run != runID {
+			t.Fatalf("trace line %d run = %q, want %q", lines, e.Run, runID)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("trace is empty")
+	}
+}
+
+// A completed job folds its engine metrics — spans, phase wall time, the
+// per-phase duration histograms — into the runner's fleet recorder, which is
+// what the daemon's /metrics scrape renders.
+func TestFleetRecorderAggregatesCompletedJob(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	j, err := q.Submit(Spec{Circuit: "s27", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := obs.New(nil)
+	r := &Runner{Queue: q, Logf: t.Logf, Obs: fleet}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			if info, _ := q.Info(j.ID); info.Status.State.Terminal() {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		cancel()
+	}()
+	r.Run(ctx)
+	if info, _ := q.Info(j.ID); info.Status.State != Done {
+		t.Fatalf("job = %s, want done", info.Status.State)
+	}
+	m := fleet.MetricsSnapshot()
+	if m.Counters["jobq.completed"] != 1 {
+		t.Errorf("jobq.completed = %d, want 1", m.Counters["jobq.completed"])
+	}
+	if len(m.Spans) == 0 {
+		t.Error("no engine spans reached the fleet recorder")
+	}
+	found := false
+	for name, h := range m.Histograms {
+		if strings.HasPrefix(name, "phase_ms:") && h.Count > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no per-phase duration histogram in fleet metrics: %v", m.Histograms)
+	}
+}
+
+// A dead-lettered job's final record — job.json, the post-mortem artifact —
+// carries the run ID, so the failure correlates back to its telemetry.
+func TestDeadLetterRecordCarriesRunID(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	q.MaxAttempts = 1
+	j, err := q.Submit(Spec{Bench: "not a netlist", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Runner{Queue: q, Logf: t.Logf}
+	go func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if info, _ := q.Info(j.ID); info.Status.State.Terminal() {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		cancel()
+	}()
+	r.Run(ctx)
+	if info, _ := q.Info(j.ID); info.Status.State != Dead {
+		t.Fatalf("job = %s, want dead", info.Status.State)
+	}
+	var file struct {
+		RunID string `json:"run_id"`
+	}
+	if err := runctl.LoadJSON(strings.TrimSuffix(j.Dir, "/")+"/job.json", &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.RunID != j.RunID {
+		t.Fatalf("dead-letter record run_id = %q, want %q", file.RunID, j.RunID)
+	}
+}

@@ -188,7 +188,9 @@ func (r *Runner) execute(ctx context.Context, j *Job) {
 		tail.Close()
 	}()
 	rec := obs.New(&runctl.RetryWriter{W: tail, Hooks: hooks, Site: "trace.write"})
+	rec.SetRunID(j.RunID)
 	cfg.Obs = rec
+	cfg.RunID = j.RunID
 
 	// Checkpoint journal: the durability contract. Writes retry with
 	// backoff; if the disk stays broken the attempt degrades to running
@@ -277,6 +279,14 @@ func (r *Runner) execute(ctx context.Context, j *Job) {
 		return
 	}
 	os.Remove(ckPath) // the journal has served its purpose
+	// Fold the run's engine metrics (spans, phase times, histograms) into
+	// the fleet recorder so the daemon's /metrics aggregates them. Exactly
+	// once per job, at completion: the final snapshot already includes any
+	// checkpoint-restored totals, so merging earlier attempts too would
+	// double-count resumed work.
+	if err := r.Obs.MergeMetrics(rec.MetricsSnapshot()); err != nil {
+		r.logf("jobq: %s: fleet metrics merge: %v", j.ID, err)
+	}
 	r.Obs.Counter("jobq.completed", 1)
 	r.logf("jobq: %s: done (%d/%d detected)", j.ID, detected(res), res.TotalFaults)
 	if err := r.Queue.Complete(j); err != nil {

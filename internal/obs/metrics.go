@@ -80,6 +80,46 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket counts,
+// interpolating linearly inside the bucket that crosses the target rank —
+// the standard fixed-bucket estimator, so a rank landing exactly on a bucket
+// boundary returns that bound. Samples in the overflow bucket pin the
+// estimate to the observed Max (the only upper bound known for them); with
+// no samples Quantile returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, n := range h.Counts {
+		prev := cum
+		cum += n
+		if float64(cum) < rank || n == 0 {
+			continue
+		}
+		if i == len(h.Bounds) {
+			return h.Max
+		}
+		lo := h.Min
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		if lo > hi { // Min above the bucket's bound: degenerate, clamp
+			lo = hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(n)
+	}
+	return h.Max
+}
+
 // Merge adds another histogram's samples; bucket bounds must match.
 func (h *Histogram) Merge(o *Histogram) error {
 	if len(h.Bounds) != len(o.Bounds) {

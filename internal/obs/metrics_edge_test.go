@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// Merging histograms with different bucket layouts must fail loudly — a
+// silent field-wise add over mismatched bounds would corrupt both streams.
+func TestMergeMismatchedHistogramBounds(t *testing.T) {
+	a := NewMetrics()
+	a.Histograms["h"] = NewHistogram([]float64{1, 2, 3})
+	a.Histograms["h"].Observe(1)
+
+	count := NewMetrics()
+	count.Histograms["h"] = NewHistogram([]float64{1, 2})
+	if err := a.Merge(count); err == nil {
+		t.Fatal("merge with different bucket count succeeded")
+	}
+
+	values := NewMetrics()
+	values.Histograms["h"] = NewHistogram([]float64{1, 2, 4})
+	if err := a.Merge(values); err == nil {
+		t.Fatal("merge with different bucket bounds succeeded")
+	}
+	// The failed merges must not have disturbed the original counts.
+	if got := a.Histograms["h"].Count; got != 1 {
+		t.Fatalf("count after failed merges = %d, want 1", got)
+	}
+}
+
+// An empty snapshot merged into a populated one is a no-op, and a populated
+// snapshot merged into an empty one clones everything — including Min/Max,
+// which naive zero-value merging would clobber.
+func TestMergeEmptyAndPopulated(t *testing.T) {
+	pop := NewMetrics()
+	pop.addCounter("c", 7)
+	pop.observe("backtracks", 5)
+	pop.observe("backtracks", 100)
+
+	empty := NewMetrics()
+	if err := pop.Merge(empty); err != nil {
+		t.Fatalf("empty-into-populated: %v", err)
+	}
+	h := pop.Histograms["backtracks"]
+	if h.Count != 2 || h.Min != 5 || h.Max != 100 {
+		t.Fatalf("populated disturbed by empty merge: count=%d min=%g max=%g", h.Count, h.Min, h.Max)
+	}
+
+	// Merging an empty histogram of the same family is also a no-op on
+	// Min/Max: a zero-count histogram has no samples to contribute.
+	emptyH := NewMetrics()
+	emptyH.Histograms["backtracks"] = NewHistogram(backtrackBounds)
+	if err := pop.Merge(emptyH); err != nil {
+		t.Fatalf("empty-histogram merge: %v", err)
+	}
+	if h.Count != 2 || h.Min != 5 || h.Max != 100 {
+		t.Fatalf("min/max clobbered by empty histogram: count=%d min=%g max=%g", h.Count, h.Min, h.Max)
+	}
+
+	fresh := NewMetrics()
+	if err := fresh.Merge(pop); err != nil {
+		t.Fatalf("populated-into-empty: %v", err)
+	}
+	if fresh.Counters["c"] != 7 {
+		t.Fatalf("counter = %d, want 7", fresh.Counters["c"])
+	}
+	g := fresh.Histograms["backtracks"]
+	if g.Count != 2 || g.Min != 5 || g.Max != 100 {
+		t.Fatalf("clone into empty lost samples: count=%d min=%g max=%g", g.Count, g.Min, g.Max)
+	}
+	// The clone must be deep: mutating the destination must not reach back.
+	g.Observe(1)
+	if h.Count != 2 {
+		t.Fatal("merge aliased the source histogram's counts")
+	}
+}
+
+func TestQuantileAtBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	// Four samples, one per bucket edge region: ranks land exactly on
+	// cumulative bucket boundaries for q = 0.25, 0.5, 0.75.
+	for _, v := range []float64{10, 20, 30, 40} {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.25, 10}, // rank 1 = exactly the first bucket's upper bound
+		{0.5, 20},  // rank 2 = exactly the second bound
+		{0.75, 30}, // rank 3 = exactly the third bound
+		{1.0, 40},  // overflow bucket pins to the observed Max
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+
+	// Interpolation inside a bucket: two samples in (10,20]; the median rank
+	// falls halfway through that bucket.
+	h2 := NewHistogram([]float64{10, 20})
+	h2.Observe(12)
+	h2.Observe(18)
+	if got := h2.Quantile(0.5); got != 15 {
+		t.Errorf("interpolated median = %g, want 15", got)
+	}
+
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+}
+
+// Every event line of a run carries the run correlation ID, forked children
+// included: a child buffers its events unstamped and the adopting parent
+// stamps its own ID, so a fleet's mixed trace slices cleanly by run.
+func TestRunIDOnEveryEventLine(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf)
+	r.SetRunID("r0123456789abcdef")
+	r.Point("run", "start", "", 0, nil)
+	c := r.Fork()
+	sp := c.StartSpan("target", "G1 s-a-0", 1)
+	sp.End("detected", nil)
+	if err := r.Adopt(c); err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	sp = r.StartSpan("verify", "", 1)
+	sp.End("accept", nil)
+
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	n := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if e.Run != "r0123456789abcdef" {
+			t.Fatalf("event %d run = %q, want the recorder's run ID", n, e.Run)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("got %d events, want 3", n)
+	}
+	if r.RunID() != "r0123456789abcdef" {
+		t.Fatalf("RunID() = %q", r.RunID())
+	}
+}
+
+func TestNewRunIDShapeAndUniqueness(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if a == b {
+		t.Fatalf("two minted run IDs collided: %s", a)
+	}
+	for _, id := range []string{a, b} {
+		if len(id) != 17 || id[0] != 'r' {
+			t.Fatalf("run ID %q not in r<16 hex> form", id)
+		}
+	}
+	// Nil-receiver safety, like every other Recorder method.
+	var nilRec *Recorder
+	nilRec.SetRunID("x")
+	if nilRec.RunID() != "" {
+		t.Fatal("nil recorder returned a run ID")
+	}
+}

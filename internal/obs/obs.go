@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"io"
 	"sync"
@@ -14,7 +16,11 @@ type Attrs map[string]float64
 // Event is one NDJSON trace line. Spans carry a duration and an outcome;
 // points are instantaneous (a GA generation, a pass boundary, a quarantine).
 type Event struct {
-	Seq   uint64  `json:"seq"`
+	Seq uint64 `json:"seq"`
+	// Run is the run correlation ID (see Recorder.SetRunID): the same value
+	// on every line of a run's trace, across resumes, so a fleet's mixed
+	// telemetry can be sliced back into per-run streams.
+	Run   string  `json:"run,omitempty"`
 	TMS   float64 `json:"t_ms"` // milliseconds since the recorder started
 	Ev    string  `json:"ev"`   // "span" or "point"
 	Phase string  `json:"phase"`
@@ -36,6 +42,7 @@ type Recorder struct {
 	start time.Time
 	now   func() time.Time // test seam; defaults to time.Now
 	seq   uint64
+	runID string
 	err   error // first sink write error; later events are dropped
 	m     *Metrics
 
@@ -62,6 +69,41 @@ func New(sink io.Writer) *Recorder {
 	return r
 }
 
+// NewRunID mints a fresh run correlation ID: 16 hex characters of entropy
+// behind an "r" prefix. IDs are opaque — equality is their only semantics.
+func NewRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not a reason to lose telemetry; fall back to
+		// the clock, which still tells concurrent submissions apart in
+		// practice.
+		return "r" + hex.EncodeToString([]byte(time.Now().Format("150405.000")))[:16]
+	}
+	return "r" + hex.EncodeToString(b[:])
+}
+
+// SetRunID sets the correlation ID stamped on every subsequent event line.
+// A resumed run calls it with the ID restored from its checkpoint journal,
+// so one logical run keeps one ID across any number of interruptions.
+func (r *Recorder) SetRunID(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.runID = id
+	r.mu.Unlock()
+}
+
+// RunID returns the correlation ID, or "" when none was set.
+func (r *Recorder) RunID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runID
+}
+
 // Err returns the first event-sink write error, if any. Metrics keep
 // accumulating after a sink failure; only the event stream stops.
 func (r *Recorder) Err() error {
@@ -79,7 +121,8 @@ func (r *Recorder) emit(ev string, phase, name string, durUS int64, fault string
 	defer r.mu.Unlock()
 	if r.forked {
 		if r.buffer {
-			// Seq stays zero; the adopting parent assigns its own.
+			// Seq stays zero and Run empty; the adopting parent assigns its
+			// own sequence numbers and stamps its own run ID.
 			r.buf = append(r.buf, Event{
 				TMS:   float64(r.now().Sub(r.start).Microseconds()) / 1000,
 				Ev:    ev,
@@ -99,6 +142,7 @@ func (r *Recorder) emit(ev string, phase, name string, durUS int64, fault string
 	r.seq++
 	e := Event{
 		Seq:   r.seq,
+		Run:   r.runID,
 		TMS:   float64(r.now().Sub(r.start).Microseconds()) / 1000,
 		Ev:    ev,
 		Phase: phase,
@@ -157,6 +201,7 @@ func (r *Recorder) Adopt(c *Recorder) error {
 		for i := range c.buf {
 			r.seq++
 			c.buf[i].Seq = r.seq
+			c.buf[i].Run = r.runID
 			if err := r.enc.Encode(&c.buf[i]); err != nil {
 				r.err = err
 				break

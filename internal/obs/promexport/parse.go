@@ -1,0 +1,311 @@
+package promexport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed series line: a metric name, its label set, and the
+// scraped value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for one label name ("" when absent).
+func (s Sample) Label(k string) string { return s.Labels[k] }
+
+// Scrape is a parsed exposition: samples in document order plus the declared
+// family types.
+type Scrape struct {
+	Samples []Sample
+	// Types maps family name to its declared TYPE (counter, gauge, histogram).
+	Types map[string]string
+}
+
+// Value returns the value of the first sample matching name and all given
+// label constraints, with ok=false when no sample matches.
+func (sc *Scrape) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range sc.Samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Parse reads a Prometheus text-format exposition and validates it: metric
+// and label names must be legal, label values properly quoted, values float-
+// parseable, samples must follow a TYPE declaration for their family, and
+// histogram families must have cumulative buckets ending in a +Inf bucket
+// that equals _count. It is the verification half of Write — tests and the
+// CI scrape assertion run every exposition through it.
+func Parse(r io.Reader) (*Scrape, error) {
+	sc := &Scrape{Types: map[string]string{}}
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for br.Scan() {
+		lineNo++
+		line := br.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := sc.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if sc.Types[familyOf(s.Name)] == "" {
+			return nil, fmt.Errorf("line %d: sample %q precedes its # TYPE declaration", lineNo, s.Name)
+		}
+		sc.Samples = append(sc.Samples, s)
+	}
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	if err := sc.validateHistograms(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func (sc *Scrape) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("illegal metric name %q in TYPE line", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if prev, ok := sc.Types[name]; ok && prev != typ {
+			return fmt.Errorf("family %q re-declared as %s (was %s)", name, typ, prev)
+		}
+		sc.Types[name] = typ
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("no value on sample line %q", line)
+	}
+	s.Name = rest[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("illegal metric name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("malformed sample line %q", line)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0]=='{' and returns
+// the index one past the closing brace.
+func parseLabels(s string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("unterminated label block in %q", s)
+		}
+		name := s[i : i+eq]
+		if !validLabelName(name) {
+			return 0, fmt.Errorf("illegal label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %q value not quoted", name)
+		}
+		val, n, err := parseQuoted(s[i:])
+		if err != nil {
+			return 0, fmt.Errorf("label %q: %v", name, err)
+		}
+		out[name] = val
+		i += n
+	}
+}
+
+// parseQuoted parses a leading double-quoted string with \\, \", and \n
+// escapes, returning the unescaped value and the bytes consumed.
+func parseQuoted(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted string")
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// familyOf strips the histogram/summary sample suffixes so _bucket/_sum/
+// _count lines resolve to their declared family.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	return validMetricName(s) && !strings.Contains(s, ":")
+}
+
+// validateHistograms checks every declared histogram family: buckets must be
+// cumulative (non-decreasing in le order), must end with le="+Inf", and the
+// +Inf bucket must equal the series' _count.
+func (sc *Scrape) validateHistograms() error {
+	type key struct{ family, labels string }
+	buckets := map[key][]Sample{}
+	counts := map[key]float64{}
+	for _, s := range sc.Samples {
+		fam := familyOf(s.Name)
+		if sc.Types[fam] != "histogram" {
+			continue
+		}
+		k := key{fam, labelsMinusLE(s.Labels)}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			buckets[k] = append(buckets[k], s)
+		case strings.HasSuffix(s.Name, "_count"):
+			counts[k] = s.Value
+		}
+	}
+	for k, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool {
+			a, _ := parseFloat(bs[i].Label("le"))
+			b, _ := parseFloat(bs[j].Label("le"))
+			return a < b
+		})
+		prev := math.Inf(-1)
+		last := bs[len(bs)-1]
+		if last.Label("le") != "+Inf" {
+			return fmt.Errorf("histogram %s{%s}: missing le=\"+Inf\" bucket", k.family, k.labels)
+		}
+		for _, b := range bs {
+			if b.Value < prev {
+				return fmt.Errorf("histogram %s{%s}: buckets not cumulative at le=%q", k.family, k.labels, b.Label("le"))
+			}
+			prev = b.Value
+		}
+		if c, ok := counts[k]; !ok || c != last.Value {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %g != _count %g", k.family, k.labels, last.Value, c)
+		}
+	}
+	return nil
+}
+
+func labelsMinusLE(labels map[string]string) string {
+	parts := make([]string, 0, len(labels))
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

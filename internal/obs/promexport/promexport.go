@@ -1,0 +1,231 @@
+// Package promexport renders obs.Metrics snapshots in the Prometheus text
+// exposition format (version 0.0.4), the lingua franca every scrape-based
+// monitoring stack speaks. The exporter is a pure formatter over an immutable
+// snapshot — no registries, no background goroutines — so servers compose it
+// with whatever liveness gauges they own (queue depth, scheduler state) at
+// scrape time.
+//
+// Naming conventions (documented in DESIGN.md §10):
+//
+//   - obs counters become one label-keyed family,
+//     gahitec_counter_total{counter="<name>"} — counter names like
+//     "target:detected" contain colons and stay readable as label values
+//     where they would be illegal (or misleading) as metric names.
+//   - per-phase span counts become gahitec_spans_total{phase="..."} and
+//     cumulative phase wall time gahitec_phase_wall_seconds_total{phase="..."}.
+//   - "phase_ms:<phase>" histograms share one family,
+//     gahitec_phase_duration_ms{phase="..."}; every other histogram exports
+//     as gahitec_<name>. Buckets are cumulative with a terminal +Inf, plus
+//     _sum and _count, exactly as Prometheus histograms require.
+//   - caller-supplied gauges export under their given (sanitized) names.
+package promexport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gahitec/internal/obs"
+)
+
+// Gauge is one instantaneous value a server contributes alongside the obs
+// snapshot: queue depths, worker counts, degradation levels. Gauges with the
+// same Name form one family and must share the same Help text.
+type Gauge struct {
+	Name   string
+	Help   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Write renders the snapshot and gauges as Prometheus text format. Either m
+// or gauges may be nil/empty. Output ordering is deterministic (families and
+// series sorted by name/labels) so scrapes diff cleanly in tests and goldens.
+func Write(w io.Writer, m *obs.Metrics, gauges []Gauge) error {
+	bw := bufio.NewWriter(w)
+	writeGauges(bw, gauges)
+	if m != nil {
+		writeCounters(bw, m)
+		writeSpans(bw, m)
+		writeHistograms(bw, m)
+	}
+	return bw.Flush()
+}
+
+func writeGauges(w *bufio.Writer, gauges []Gauge) {
+	byFamily := map[string][]Gauge{}
+	for _, g := range gauges {
+		name := sanitizeName(g.Name)
+		byFamily[name] = append(byFamily[name], g)
+	}
+	for _, name := range sortedKeys(byFamily) {
+		fam := byFamily[name]
+		if fam[0].Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(fam[0].Help))
+		}
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		lines := make([]string, 0, len(fam))
+		for _, g := range fam {
+			lines = append(lines, name+labelString(g.Labels)+" "+formatValue(g.Value))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+}
+
+func writeCounters(w *bufio.Writer, m *obs.Metrics) {
+	if len(m.Counters) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "# HELP gahitec_counter_total Monotonic engine counters, keyed by obs counter name.")
+	fmt.Fprintln(w, "# TYPE gahitec_counter_total counter")
+	for _, k := range sortedKeys(m.Counters) {
+		fmt.Fprintf(w, "gahitec_counter_total{counter=\"%s\"} %d\n", escapeLabel(k), m.Counters[k])
+	}
+}
+
+func writeSpans(w *bufio.Writer, m *obs.Metrics) {
+	if len(m.Spans) > 0 {
+		fmt.Fprintln(w, "# HELP gahitec_spans_total Completed spans per phase.")
+		fmt.Fprintln(w, "# TYPE gahitec_spans_total counter")
+		for _, k := range sortedKeys(m.Spans) {
+			fmt.Fprintf(w, "gahitec_spans_total{phase=\"%s\"} %d\n", escapeLabel(k), m.Spans[k])
+		}
+	}
+	if len(m.PhaseNS) > 0 {
+		fmt.Fprintln(w, "# HELP gahitec_phase_wall_seconds_total Cumulative wall time per phase.")
+		fmt.Fprintln(w, "# TYPE gahitec_phase_wall_seconds_total counter")
+		for _, k := range sortedKeys(m.PhaseNS) {
+			fmt.Fprintf(w, "gahitec_phase_wall_seconds_total{phase=\"%s\"} %s\n",
+				escapeLabel(k), formatValue(float64(m.PhaseNS[k])/1e9))
+		}
+	}
+}
+
+// phasePrefix is the obs histogram-name prefix that folds into the shared
+// per-phase duration family.
+const phasePrefix = "phase_ms:"
+
+func writeHistograms(w *bufio.Writer, m *obs.Metrics) {
+	// Group histogram names into families: every "phase_ms:<phase>" series
+	// shares the gahitec_phase_duration_ms family (label phase=<phase>);
+	// anything else is its own label-less family.
+	type series struct {
+		labels map[string]string
+		h      *obs.Histogram
+	}
+	families := map[string][]series{}
+	for name, h := range m.Histograms {
+		if strings.HasPrefix(name, phasePrefix) {
+			families["gahitec_phase_duration_ms"] = append(families["gahitec_phase_duration_ms"],
+				series{labels: map[string]string{"phase": strings.TrimPrefix(name, phasePrefix)}, h: h})
+			continue
+		}
+		families["gahitec_"+sanitizeName(name)] = append(families["gahitec_"+sanitizeName(name)], series{h: h})
+	}
+	for _, fam := range sortedKeys(families) {
+		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+		ss := families[fam]
+		sort.Slice(ss, func(i, j int) bool {
+			return labelString(ss[i].labels) < labelString(ss[j].labels)
+		})
+		for _, s := range ss {
+			writeHistogramSeries(w, fam, s.labels, s.h)
+		}
+	}
+}
+
+func writeHistogramSeries(w *bufio.Writer, fam string, labels map[string]string, h *obs.Histogram) {
+	// obs histograms store per-bucket counts; Prometheus buckets are
+	// cumulative, ending in the mandatory +Inf bucket equal to _count.
+	cum := int64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", fam, labelStringWith(labels, "le", formatValue(b)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", fam, labelStringWith(labels, "le", "+Inf"), h.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", fam, labelString(labels), formatValue(h.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", fam, labelString(labels), h.Count)
+}
+
+// sanitizeName maps an arbitrary string onto the Prometheus metric-name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]*. Colons are reserved for recording rules
+// by convention, so they are rewritten too.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	// %q handles backslash and quote escaping; Prometheus additionally wants
+	// newlines as \n, which %q already produces.
+	return strings.TrimSuffix(strings.TrimPrefix(strconv.Quote(s), `"`), `"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func labelString(labels map[string]string) string {
+	return labelStringWith(labels, "", "")
+}
+
+// labelStringWith renders {k="v",...} with an optional extra pre-escaped
+// label (used for le="..." bucket bounds). Returns "" for no labels.
+func labelStringWith(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	parts := make([]string, 0, len(labels)+1)
+	for _, k := range sortedKeys(labels) {
+		parts = append(parts, fmt.Sprintf("%s=\"%s\"", sanitizeLabelName(k), escapeLabel(labels[k])))
+	}
+	if extraKey != "" {
+		parts = append(parts, fmt.Sprintf("%s=\"%s\"", extraKey, extraVal))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func sanitizeLabelName(s string) string {
+	// Label names share the metric-name alphabet minus colons.
+	return strings.ReplaceAll(sanitizeName(s), ":", "_")
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

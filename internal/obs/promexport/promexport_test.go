@@ -1,0 +1,156 @@
+package promexport
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gahitec/internal/obs"
+)
+
+// snapshot builds a Metrics with every family kind populated, exercising the
+// label-escaping and histogram paths.
+func snapshot(t *testing.T) *obs.Metrics {
+	t.Helper()
+	var buf bytes.Buffer
+	r := obs.New(&buf)
+	r.Counter("target:detected", 5)
+	r.Counter(`odd"name\with specials`, 1)
+	r.Observe("backtracks", 3)
+	r.Observe("backtracks", 7000)
+	sp := r.StartSpan("target", "G1 s-a-0", 1)
+	sp.End("detected", nil)
+	sp = r.StartSpan("ga", "", 1)
+	sp.End("improved", nil)
+	return r.MetricsSnapshot()
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	gauges := []Gauge{
+		{Name: "gahitec_jobs", Help: "Jobs by state.", Labels: map[string]string{"state": "queued"}, Value: 3},
+		{Name: "gahitec_jobs", Labels: map[string]string{"state": "running"}, Value: 1},
+		{Name: "gahitec_scheduler_workers", Help: "Granted worker slots.", Value: 4},
+	}
+	var out bytes.Buffer
+	if err := Write(&out, snapshot(t), gauges); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	sc, err := Parse(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("Parse rejected our own output:\n%s\nerror: %v", out.String(), err)
+	}
+
+	// 5 from the explicit Counter, plus 1 folded in by the span outcome
+	// ("target" span ending "detected").
+	if v, ok := sc.Value("gahitec_counter_total", map[string]string{"counter": "target:detected"}); !ok || v != 6 {
+		t.Errorf("counter target:detected = %g, ok=%v; want 6", v, ok)
+	}
+	// Span outcomes fold into the same counter family.
+	if v, ok := sc.Value("gahitec_counter_total", map[string]string{"counter": "ga:improved"}); !ok || v != 1 {
+		t.Errorf("counter ga:improved = %g, ok=%v; want 1", v, ok)
+	}
+	if v, ok := sc.Value(`gahitec_counter_total`, map[string]string{"counter": `odd"name\with specials`}); !ok || v != 1 {
+		t.Errorf("escaped counter = %g, ok=%v; want round-tripped value 1", v, ok)
+	}
+	if v, ok := sc.Value("gahitec_jobs", map[string]string{"state": "queued"}); !ok || v != 3 {
+		t.Errorf("gauge jobs{queued} = %g, ok=%v; want 3", v, ok)
+	}
+	if v, ok := sc.Value("gahitec_spans_total", map[string]string{"phase": "target"}); !ok || v != 1 {
+		t.Errorf("spans{target} = %g, ok=%v; want 1", v, ok)
+	}
+	if _, ok := sc.Value("gahitec_phase_wall_seconds_total", map[string]string{"phase": "ga"}); !ok {
+		t.Error("missing phase wall time series for ga")
+	}
+
+	// Histograms: per-phase durations share one family; backtracks is its own.
+	if sc.Types["gahitec_phase_duration_ms"] != "histogram" {
+		t.Errorf("phase duration family type = %q", sc.Types["gahitec_phase_duration_ms"])
+	}
+	if v, ok := sc.Value("gahitec_backtracks_count", nil); !ok || v != 2 {
+		t.Errorf("backtracks _count = %g, ok=%v; want 2", v, ok)
+	}
+	if v, ok := sc.Value("gahitec_backtracks_sum", nil); !ok || v != 7003 {
+		t.Errorf("backtracks _sum = %g, ok=%v; want 7003", v, ok)
+	}
+	if v, ok := sc.Value("gahitec_backtracks_bucket", map[string]string{"le": "+Inf"}); !ok || v != 2 {
+		t.Errorf("backtracks +Inf bucket = %g, ok=%v; want 2", v, ok)
+	}
+	if _, ok := sc.Value("gahitec_phase_duration_ms_bucket", map[string]string{"phase": "target", "le": "+Inf"}); !ok {
+		t.Error("missing +Inf bucket for phase_duration_ms{phase=target}")
+	}
+}
+
+func TestWriteDeterministicOrder(t *testing.T) {
+	m := snapshot(t)
+	var a, b bytes.Buffer
+	if err := Write(&a, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, m.Clone(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two writes of the same snapshot differ")
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var out bytes.Buffer
+	if err := Write(&out, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("empty exposition not empty: %q", out.String())
+	}
+	if _, err := Parse(strings.NewReader("")); err != nil {
+		t.Errorf("Parse of empty input: %v", err)
+	}
+}
+
+func TestGaugeInfinity(t *testing.T) {
+	var out bytes.Buffer
+	if err := Write(&out, nil, []Gauge{{Name: "g", Value: math.Inf(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Parse(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("g", nil); !ok || !math.IsInf(v, 1) {
+		t.Errorf("g = %g, ok=%v; want +Inf", v, ok)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for name, input := range map[string]string{
+		"no type decl":        "foo 1\n",
+		"bad metric name":     "# TYPE 9foo gauge\n9foo 1\n",
+		"bad value":           "# TYPE foo gauge\nfoo one\n",
+		"unterminated labels": "# TYPE foo gauge\nfoo{a=\"b 1\n",
+		"unquoted label":      "# TYPE foo gauge\nfoo{a=b} 1\n",
+		"unknown type":        "# TYPE foo widget\nfoo 1\n",
+		"colon in label name": "# TYPE foo gauge\nfoo{a:b=\"c\"} 1\n",
+		"missing inf bucket": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"inf bucket != count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+	} {
+		if _, err := Parse(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: Parse accepted malformed input %q", name, input)
+		}
+	}
+}
+
+func TestParseAcceptsTimestampAndComments(t *testing.T) {
+	input := "# scraped by test\n# TYPE foo gauge\nfoo{a=\"b\"} 1.5 1712345678\n"
+	sc, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if v, ok := sc.Value("foo", map[string]string{"a": "b"}); !ok || v != 1.5 {
+		t.Errorf("foo = %g, ok=%v; want 1.5", v, ok)
+	}
+}

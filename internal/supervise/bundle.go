@@ -75,6 +75,11 @@ type Bundle struct {
 	Version int    `json:"version"`
 	Kind    string `json:"kind"`
 
+	// RunID is the run correlation ID of the run that captured the bundle
+	// (empty when the run had none), linking the bundle to its trace lines,
+	// SSE events and dead-letter record. Informational: replays ignore it.
+	RunID string `json:"run_id,omitempty"`
+
 	Circuit     string `json:"circuit"`
 	Fingerprint string `json:"fingerprint"`
 

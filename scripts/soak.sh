@@ -163,6 +163,16 @@ daemon)
         start_daemon "$DIR/data"
     done
     wait_done
+    # Scrape gate: with a completed job aggregated into the fleet recorder,
+    # /metrics must parse as Prometheus text format and carry every required
+    # series — atpgtop -check is the referee, the same check operators run.
+    echo "== soak: scraping /metrics"
+    go run ./cmd/atpgtop -addr "http://$ADDR" -once -check \
+        >"$DIR/metrics-scrape.txt" 2>&1 || {
+        echo "soak: /metrics scrape check failed" >&2
+        cat "$DIR/metrics-scrape.txt" >&2
+        exit 1
+    }
     curl -s "http://$ADDR/jobs/$JOB/tests" >"$DIR/resumed-tests.txt"
     curl -s "http://$ADDR/jobs/$JOB/result" >"$DIR/resumed-result.json"
     kill "$DPID" 2>/dev/null || true
