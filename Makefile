@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json bench-check golden fuzz-smoke soak
+.PHONY: build test check bench bench-json bench-check golden fuzz-smoke soak fsck-smoke
 
 build:
 	$(GO) build ./...
@@ -83,3 +83,13 @@ soak:
 	WORKERS=4 ./scripts/soak.sh stall
 	WORKERS=4 ./scripts/soak.sh corrupt
 	./scripts/soak.sh daemon
+	./scripts/soak.sh fsck
+
+# Durable-state corruption smoke: flip a byte in a sealed artifact, require
+# atpg fsck to quarantine it and heal the tree, tear the trace mid-record and
+# require an in-place repair, and require the recovered run's output to be
+# bit-identical to an undamaged reference. The fast standalone slice of the
+# soak grid for iterating on internal/durable.
+fsck-smoke:
+	$(GO) build -race -o atpg-race ./cmd/atpg
+	./scripts/soak.sh fsck

@@ -60,10 +60,25 @@
 //	atpg -circuit s298 -watchdog-stall 2s -bundle-dir bundles/
 //	atpg -repro bundles/bundle-001-panic-n12-s13-sa1-p2.json   # exit 4 on mismatch
 //
+// Persisted artifacts — checkpoint journals, metrics snapshots, test-set
+// dumps, crash-repro bundles — are sealed in a checksummed envelope (see
+// internal/durable) and published atomically with directory fsync, so a
+// crash or a flipped bit is detected on read instead of trusted. The fsck
+// subcommand scans a data directory, verifies every artifact, repairs what
+// it can (reseals legacy files, truncates torn NDJSON tails, sweeps
+// abandoned temps) and quarantines what it cannot to corrupt/ alongside a
+// report; it exits 5 when anything had to be quarantined:
+//
+//	atpg fsck atpgd-data          # verify and heal
+//	atpg fsck -n atpgd-data       # scan only, change nothing
+//
+// A -resume pointed at a corrupt journal quarantines it and starts clean —
+// with a notice — rather than resuming into garbage or aborting.
+//
 // The GAHITEC_FAULT_INJECT environment variable arms the runctl
-// fault-injection harness (e.g. "generate:*:sleep=20ms" or
-// "faultsim.word:3:corrupt"); it exists for the resilience integration
-// tests.
+// fault-injection harness (e.g. "generate:*:sleep=20ms",
+// "faultsim.word:3:corrupt" or "vfs.write:2:torn=64"); it exists for the
+// resilience integration tests.
 package main
 
 import (
@@ -88,6 +103,7 @@ import (
 	"gahitec/internal/bench"
 	"gahitec/internal/circuits"
 	"gahitec/internal/compact"
+	"gahitec/internal/durable"
 	"gahitec/internal/fault"
 	"gahitec/internal/hybrid"
 	"gahitec/internal/logic"
@@ -111,6 +127,13 @@ const exitAuditFailed = 3
 // exitReproMismatch is returned by -repro when the replay does not reproduce
 // the outcome the bundle recorded.
 const exitReproMismatch = 4
+
+// exitFsckUnrepairable is returned by the fsck subcommand when any artifact
+// had to be quarantined — damage was detected that repair could not undo
+// without losing data. Repairs that lose nothing (resealing legacy
+// artifacts, truncating torn NDJSON tails, sweeping abandoned temps) leave
+// the exit status 0.
+const exitFsckUnrepairable = 5
 
 // auditMode is the -audit flag: a boolean flag ("-audit", "-audit=false")
 // that also accepts the value "strict".
@@ -158,6 +181,11 @@ func main() {
 // run is the whole tool behind a testable seam: flags in, exit status out,
 // all exits through a single return path.
 func run(args []string, stdout, stderr io.Writer) (code int) {
+	// Subcommands dispatch before flag parsing; everything else is the
+	// classic flags-only invocation.
+	if len(args) > 0 && args[0] == "fsck" {
+		return runFsck(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("atpg", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -220,6 +248,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			return fail("%v", err)
 		}
 	}
+	// Every durable artifact this run publishes goes through one filesystem
+	// seam: the real disk, behind the fault-injection harness when armed, so
+	// the crash-consistency tests can tear any write at any byte offset.
+	dfs := durable.WithHooks(hooks)
 
 	// The two simulation-first generators have no hybrid run to instrument;
 	// reject their incompatible flags before any output file is created.
@@ -293,7 +325,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 				}
 			}
 			if *metricsOut != "" {
-				if err := runctl.SaveJSON(*metricsOut, rec.MetricsSnapshot()); err != nil {
+				if err := durable.SaveJSON(dfs, *metricsOut, durable.KindMetrics, rec.MetricsSnapshot()); err != nil {
 					warn("metrics", err)
 				}
 			}
@@ -366,7 +398,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintf(stdout, "\nsimulation-based GA: %d/%d detected (%.2f%%), %d vectors, %d rounds, %s\n",
 			r.Detected, len(faults), 100*float64(r.Detected)/float64(len(faults)),
 			r.Vectors(), r.Rounds, report.FormatDuration(r.Elapsed))
-		return writeSet(stdout, fail, c, *out, nil, r.TestSet, faults, *compactSet)
+		return writeSet(stdout, fail, dfs, c, *out, nil, r.TestSet, faults, *compactSet)
 	case "alternating":
 		r := hybrid.RunAlternatingCtx(ctx, c, faults, hybrid.AlternatingConfig{
 			Sim:             simgen.Options{SeqLen: seqLen / 2, MaxRounds: 300},
@@ -376,7 +408,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintf(stdout, "\nalternating hybrid: %d/%d detected (%.2f%%), %d vectors, %d interludes, %s\n",
 			r.Detected, len(faults), 100*float64(r.Detected)/float64(len(faults)),
 			r.Vectors, r.Interludes, report.FormatDuration(r.Elapsed))
-		return writeSet(stdout, fail, c, *out, nil, r.TestSet, faults, *compactSet)
+		return writeSet(stdout, fail, dfs, c, *out, nil, r.TestSet, faults, *compactSet)
 	}
 
 	var cfg hybrid.Config
@@ -501,7 +533,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			if ckptDown {
 				return
 			}
-			if err := runctl.SaveJSONRetry(hooks, "checkpoint.write", ckptPath, ck); err != nil {
+			if err := durable.SaveJSONRetry(dfs, hooks, "checkpoint.write", ckptPath, durable.KindCheckpoint, ck); err != nil {
 				ckptDown = true
 				fmt.Fprintf(stderr, "atpg: checkpoint: %v; continuing without checkpointing\n", err)
 			}
@@ -509,18 +541,34 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 
 	var res *hybrid.Result
+	resumed := false
 	if *resume != "" {
 		var ck hybrid.Checkpoint
-		if err := runctl.LoadJSON(*resume, &ck); err != nil {
+		err := durable.LoadJSON(durable.Disk, *resume, durable.KindCheckpoint, &ck)
+		switch {
+		case durable.IsCorrupt(err):
+			// A journal that fails its integrity check must never be resumed
+			// into garbage — and never silently discarded either. Preserve the
+			// evidence in corrupt/ next to the journal, say so, and start the
+			// run clean; the fresh run re-journals to the same path.
+			moved, _, qerr := durable.Quarantine(filepath.Dir(*resume), *resume, err)
+			if qerr != nil {
+				return fail("corrupt checkpoint %s: %v (quarantine also failed: %v)", *resume, err, qerr)
+			}
+			fmt.Fprintf(stderr, "atpg: corrupt checkpoint quarantined to %s (%v); starting clean\n", moved, err)
+		case err != nil:
 			return fail("%v", err)
+		default:
+			res, err = hybrid.Resume(ctx, c, faults, cfg, &ck)
+			if err != nil {
+				return fail("%v", err)
+			}
+			fmt.Fprintf(stdout, "resumed from %s: pass %d, fault %d, %d sequences restored\n",
+				*resume, ck.PassIndex+1, ck.FaultIndex, len(ck.TestSet))
+			resumed = true
 		}
-		res, err = hybrid.Resume(ctx, c, faults, cfg, &ck)
-		if err != nil {
-			return fail("%v", err)
-		}
-		fmt.Fprintf(stdout, "resumed from %s: pass %d, fault %d, %d sequences restored\n",
-			*resume, ck.PassIndex+1, ck.FaultIndex, len(ck.TestSet))
-	} else {
+	}
+	if !resumed {
 		res = hybrid.RunCtx(ctx, c, faults, cfg)
 	}
 
@@ -562,7 +610,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprint(stdout, report.Phases(res))
 	}
 
-	code = writeSet(stdout, fail, c, *out, res.Targets, res.TestSet, faults, *compactSet)
+	code = writeSet(stdout, fail, dfs, c, *out, res.Targets, res.TestSet, faults, *compactSet)
 	if code == 0 && auditFlag.strict && res.Audit != nil && !res.Audit.Clean() {
 		fmt.Fprintf(stderr, "atpg: strict audit failed: %d claim(s) not confirmed at their claimed vector\n",
 			res.Audit.ConfirmedOther+res.Audit.Unverified)
@@ -571,12 +619,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	return code
 }
 
-// writeSet optionally compacts and writes a test set in the pattern format.
-// The file is written through a buffered writer into a temp file that is
-// flushed, synced and renamed into place only on success, so an interrupted
-// or failed dump never leaves a truncated vector file for downstream
-// faultsim to silently mis-grade. Returns the process exit status.
-func writeSet(stdout io.Writer, fail func(string, ...any) int, c *netlist.Circuit, path string, targets []fault.Fault, testSet [][]logic.Vector, faults []fault.Fault, compactSet bool) int {
+// writeSet optionally compacts and writes a test set in the pattern format,
+// sealed in the durable envelope (a '#'-prefixed header the pattern parser
+// reads as a comment) and published atomically — temp file, fsync, rename,
+// directory fsync — so an interrupted or failed dump never leaves a
+// truncated vector file for downstream faultsim to silently mis-grade, and
+// a later bit flip is detected by fsck instead of mis-graded. Returns the
+// process exit status.
+func writeSet(stdout io.Writer, fail func(string, ...any) int, dfs durable.FS, c *netlist.Circuit, path string, targets []fault.Fault, testSet [][]logic.Vector, faults []fault.Fault, compactSet bool) int {
 	if compactSet {
 		compacted, st := compact.Run(c, faults, testSet)
 		testSet = compacted
@@ -599,35 +649,45 @@ func writeSet(stdout io.Writer, fail func(string, ...any) int, c *netlist.Circui
 		set.Sequences = append(set.Sequences, q)
 	}
 
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fail("%v", err)
-	}
-	tmpName := tmp.Name()
-	discard := func(err error) int {
-		tmp.Close()
-		os.Remove(tmpName)
+	var buf strings.Builder
+	if err := set.Write(&buf); err != nil {
 		return fail("writing %s: %v", path, err)
 	}
-	bw := bufio.NewWriter(tmp)
-	if err := set.Write(bw); err != nil {
-		return discard(err)
-	}
-	if err := bw.Flush(); err != nil {
-		return discard(err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return discard(err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fail("writing %s: %v", path, err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := durable.WriteSealed(dfs, path, durable.KindTests, []byte(buf.String())); err != nil {
 		return fail("writing %s: %v", path, err)
 	}
 	fmt.Fprintf(stdout, "wrote %d vectors (%d sequences) to %s\n", set.NumVectors(), len(set.Sequences), path)
+	return 0
+}
+
+// runFsck is the fsck subcommand: scan a data directory, verify every
+// recognized artifact's envelope and payload, repair what can be repaired
+// without losing data, and quarantine the rest to corrupt/ with a report.
+// Exit 0 means every artifact is now verifiably intact; exit 5 means damage
+// was found that only quarantine could contain.
+func runFsck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("atpg fsck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dryRun := fs.Bool("n", false, "scan only: report what a repair pass would do without changing the disk")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: atpg fsck [-n] <data-dir>")
+		return 2
+	}
+	rep, err := durable.Fsck(fs.Arg(0), !*dryRun)
+	if err != nil {
+		fmt.Fprintf(stderr, "atpg: fsck: %v\n", err)
+		return 1
+	}
+	for _, p := range rep.Problems {
+		fmt.Fprintf(stderr, "atpg: fsck: %s\n", p)
+	}
+	fmt.Fprintln(stdout, rep)
+	if !rep.Clean() {
+		return exitFsckUnrepairable
+	}
 	return 0
 }
 

@@ -17,8 +17,9 @@ import (
 	"testing"
 	"time"
 
+	"gahitec/internal/durable"
+	"gahitec/internal/hybrid"
 	"gahitec/internal/obs"
-	"gahitec/internal/runctl"
 	"gahitec/internal/supervise"
 )
 
@@ -290,14 +291,11 @@ func TestTelemetryFlags(t *testing.T) {
 		}
 	}
 
-	// Metrics: parse and sanity-check against the printed coverage line.
+	// Metrics: open the sealed snapshot and sanity-check it against the
+	// printed coverage line.
 	var m obs.Metrics
-	raw, err := os.ReadFile(metrics)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := json.Unmarshal(raw, &m); err != nil {
-		t.Fatalf("metrics not JSON: %v", err)
+	if err := durable.LoadJSON(durable.Disk, metrics, durable.KindMetrics, &m); err != nil {
+		t.Fatalf("metrics: %v", err)
 	}
 	if m.Spans["target"] == 0 || m.Counters["excite_prop:success"] == 0 {
 		t.Errorf("metrics missing core counters: %+v", m)
@@ -481,11 +479,7 @@ func TestResumeMetricsMatchUninterrupted(t *testing.T) {
 
 	var want, got obs.Metrics
 	for path, dst := range map[string]*obs.Metrics{refMetrics: &want, resMetrics: &got} {
-		raw, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := json.Unmarshal(raw, dst); err != nil {
+		if err := durable.LoadJSON(durable.Disk, path, durable.KindMetrics, dst); err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
 	}
@@ -604,9 +598,10 @@ func TestAuditBundleRepro(t *testing.T) {
 	}
 }
 
-// A torn (truncated) checkpoint journal is rejected by -resume with an error
-// locating the damage, not resumed into garbage.
-func TestResumeRejectsTornJournal(t *testing.T) {
+// A torn (truncated) checkpoint journal must never be resumed into garbage —
+// and never silently discarded: -resume quarantines it to corrupt/ next to
+// the journal, announces what happened, and runs the job clean to completion.
+func TestResumeQuarantinesTornJournal(t *testing.T) {
 	dir := t.TempDir()
 	journal := filepath.Join(dir, "run.json")
 	var out bytes.Buffer
@@ -623,11 +618,96 @@ func TestResumeRejectsTornJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if code := run([]string{"-circuit", "s27", "-resume", journal}, &out, &out); code != 1 {
-		t.Fatalf("torn -resume exited %d, want 1:\n%s", code, out.String())
+	var errw bytes.Buffer
+	if code := run([]string{"-circuit", "s27", "-seed", "1", "-scale", "1000",
+		"-resume", journal}, &out, &errw); code != 0 {
+		t.Fatalf("corrupt -resume exited %d, want 0 (clean restart):\n%s\n%s", code, out.String(), errw.String())
 	}
-	if !strings.Contains(out.String(), "line ") {
-		t.Errorf("rejection does not locate the damage:\n%s", out.String())
+	if !strings.Contains(errw.String(), "corrupt checkpoint quarantined") {
+		t.Fatalf("missing quarantine notice:\n%s", errw.String())
+	}
+	if !strings.Contains(out.String(), "fault coverage") {
+		t.Errorf("clean restart did not finish normally:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "resumed from") {
+		t.Errorf("corrupt journal must not be resumed:\n%s", out.String())
+	}
+	// The evidence survives in corrupt/ with its report, and the restarted
+	// run re-journaled a fresh, verifiable checkpoint to the original path.
+	moved := filepath.Join(durable.CorruptDir(dir), "run.json")
+	if _, err := os.Stat(moved); err != nil {
+		t.Errorf("quarantined journal missing: %v", err)
+	}
+	var qrep durable.QuarantineReport
+	if err := durable.LoadJSON(durable.Disk, moved+".report.json", durable.KindReport, &qrep); err != nil {
+		t.Errorf("quarantine report: %v", err)
+	}
+	var ck hybrid.Checkpoint
+	if err := durable.LoadJSON(durable.Disk, journal, durable.KindCheckpoint, &ck); err != nil {
+		t.Errorf("restarted run left no verifiable journal: %v", err)
+	}
+}
+
+// The fsck subcommand end to end: a clean tree scans clean, a single flipped
+// payload byte is detected and quarantined with exit 5 (dry-run -n reports
+// the same damage without touching the disk), and a second pass over the
+// healed tree exits 0.
+func TestFsckSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "checkpoint.json")
+	vectors := filepath.Join(dir, "tests.txt")
+	var out, errw bytes.Buffer
+	code := run([]string{"-circuit", "s27", "-seed", "1", "-scale", "1000",
+		"-checkpoint", journal, "-checkpoint-every", "1", "-o", vectors}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d:\n%s\n%s", code, out.String(), errw.String())
+	}
+
+	fsck := func(args ...string) (int, string, string) {
+		var o, e bytes.Buffer
+		c := run(append([]string{"fsck"}, args...), &o, &e)
+		return c, o.String(), e.String()
+	}
+	if c, o, e := fsck(dir); c != 0 {
+		t.Fatalf("clean tree fsck exited %d:\n%s%s", c, o, e)
+	}
+
+	data, err := os.ReadFile(vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x01
+	if err := os.WriteFile(vectors, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dry run: same verdict, nothing moved.
+	if c, o, e := fsck("-n", dir); c != exitFsckUnrepairable {
+		t.Fatalf("dry-run fsck on damage exited %d, want %d:\n%s%s", c, exitFsckUnrepairable, o, e)
+	}
+	if _, err := os.Stat(vectors); err != nil {
+		t.Fatalf("-n must not move files: %v", err)
+	}
+
+	c, o, e := fsck(dir)
+	if c != exitFsckUnrepairable {
+		t.Fatalf("fsck on damage exited %d, want %d:\n%s%s", c, exitFsckUnrepairable, o, e)
+	}
+	if !strings.Contains(o, "QUARANTINED") {
+		t.Errorf("report does not flag the quarantine:\n%s", o)
+	}
+	moved := filepath.Join(durable.CorruptDir(dir), "tests.txt")
+	if _, err := os.Stat(moved); err != nil {
+		t.Errorf("quarantined artifact missing: %v", err)
+	}
+	var qrep durable.QuarantineReport
+	if err := durable.LoadJSON(durable.Disk, moved+".report.json", durable.KindReport, &qrep); err != nil {
+		t.Errorf("quarantine report: %v", err)
+	}
+
+	// The tree is healed: the journal still verifies, the damage is contained.
+	if c, o, e := fsck(dir); c != 0 {
+		t.Fatalf("healed tree fsck exited %d:\n%s%s", c, o, e)
 	}
 }
 
@@ -760,7 +840,7 @@ func TestTraceWriteFailureDoesNotFailRun(t *testing.T) {
 		t.Fatalf("missing trace degradation notice:\n%s", errw.String())
 	}
 	var m obs.Metrics
-	if err := runctl.LoadJSON(metrics, &m); err != nil {
+	if err := durable.LoadJSON(durable.Disk, metrics, durable.KindMetrics, &m); err != nil {
 		t.Fatalf("metrics must survive a dead trace sink: %v", err)
 	}
 	if len(m.Counters) == 0 {

@@ -17,6 +17,18 @@
 // scheduler then stops filling job slots, and admission control (429 +
 // Retry-After) refuses new work once the backlog hits -max-queue.
 //
+// Every persisted artifact is sealed in a checksummed envelope (see
+// internal/durable). At startup the daemon runs a heal scan over the data
+// directory: legacy artifacts are resealed, torn NDJSON tails truncated,
+// and anything failing its integrity check is quarantined to corrupt/ with
+// a report — jobs then recover from their last provably-good checkpoint or
+// restart clean, never from garbage. -fsck runs the same scan and exits (5
+// when artifacts had to be quarantined). When the disk starts failing
+// journal writes mid-run (ENOSPC, EIO) the queue degrades to read-only-disk
+// mode: running jobs keep draining with in-memory (volatile) state, new
+// submissions are refused, and the gahitec_durability_degraded and
+// gahitec_quarantined_artifacts gauges surface it all on /metrics.
+//
 // API summary (see README.md "Running as a service"):
 //
 //	POST /jobs                submit a job spec; 201 with the job record
@@ -45,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"gahitec/internal/durable"
 	"gahitec/internal/jobq"
 	"gahitec/internal/obs"
 	"gahitec/internal/runctl"
@@ -77,6 +90,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		memSoftMB   = fs.Int("mem-soft-mb", 0, "heap size that triggers graceful degradation (0: off)")
 		memHardMB   = fs.Int("mem-hard-mb", 0, "heap size that triggers hard degradation (0: off)")
 		keepAlive   = fs.Duration("sse-keepalive", 15*time.Second, "SSE comment keep-alive cadence on idle event streams (0: off)")
+		fsckOnly    = fs.Bool("fsck", false, "verify and repair the data directory, print the report, and exit (5 if artifacts were quarantined)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -97,13 +111,55 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		logger.Printf("fault injection armed: %s", injectSpec)
 	}
 
-	q, warnings, err := jobq.Open(*dataDir)
+	// -fsck is a run-and-exit mode: verify every artifact in the data
+	// directory, heal what can be healed, quarantine the rest, and report —
+	// the same scan atpg fsck performs, wired to the daemon's data flag.
+	if *fsckOnly {
+		rep, err := durable.Fsck(*dataDir, true)
+		if err != nil {
+			return fail("fsck: %v", err)
+		}
+		for _, p := range rep.Problems {
+			logger.Printf("fsck: %s", p)
+		}
+		fmt.Fprintln(stdout, rep)
+		if !rep.Clean() {
+			return 5
+		}
+		return 0
+	}
+
+	// Startup heal scan: before the queue trusts anything on disk, verify
+	// and repair the whole tree. Corrupt artifacts are quarantined to
+	// corrupt/ with reports — the queue then recovers from what provably
+	// survived (jobs fall back to their last good checkpoint or a clean
+	// restart) instead of resuming into garbage.
+	fsckQuarantined := 0
+	if _, err := os.Stat(*dataDir); err == nil {
+		rep, err := durable.Fsck(*dataDir, true)
+		if err != nil {
+			return fail("startup fsck: %v", err)
+		}
+		for _, p := range rep.Problems {
+			logger.Printf("fsck: %s", p)
+		}
+		if rep.Resealed+rep.Truncated+rep.Swept+rep.Quarantined > 0 {
+			logger.Printf("startup %s", rep)
+		}
+		fsckQuarantined = rep.Quarantined
+	}
+
+	// The queue's disk runs behind the durable VFS seam: with
+	// GAHITEC_FAULT_INJECT armed, vfs.* rules tear journal writes at chosen
+	// byte offsets; without it this is the plain disk.
+	q, warnings, err := jobq.OpenFS(durable.WithHooks(hooks), *dataDir)
 	if err != nil {
 		return fail("%v", err)
 	}
 	for _, w := range warnings {
 		logger.Printf("%s", w)
 	}
+	q.NoteQuarantined(fsckQuarantined)
 	q.RetryBase, q.RetryCap, q.MaxAttempts = *retryBase, *retryCap, *maxAttempts
 	if n := q.Backlog(); n > 0 {
 		logger.Printf("recovered %d unfinished job(s) from %s", n, *dataDir)

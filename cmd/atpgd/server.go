@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"gahitec/internal/durable"
 	"gahitec/internal/jobq"
 	"gahitec/internal/obs"
 	"gahitec/internal/obs/promexport"
@@ -62,8 +63,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.list)
 	mux.HandleFunc("GET /jobs/{id}", s.info)
 	mux.HandleFunc("GET /jobs/{id}/events", s.events)
-	mux.HandleFunc("GET /jobs/{id}/result", s.artifactFor(jobq.Done, "result.json"))
-	mux.HandleFunc("GET /jobs/{id}/tests", s.artifactFor(jobq.Done, "tests.txt"))
+	mux.HandleFunc("GET /jobs/{id}/result", s.artifactFor(jobq.Done, "result.json", durable.KindResult, "application/json"))
+	mux.HandleFunc("GET /jobs/{id}/tests", s.artifactFor(jobq.Done, "tests.txt", durable.KindTests, "text/plain; charset=utf-8"))
 	mux.HandleFunc("GET /jobs/{id}/artifacts", s.artifacts)
 	mux.HandleFunc("GET /jobs/{id}/artifacts/{path...}", s.artifact)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
@@ -155,8 +156,12 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // artifactFor serves one named artifact of a job once it has reached the
-// given state (the result and test set exist only for done jobs).
-func (s *server) artifactFor(state jobq.State, name string) http.HandlerFunc {
+// given state (the result and test set exist only for done jobs). The
+// artifact is stored sealed in the durable envelope; the handler verifies
+// the seal and serves the payload — a flipped bit on disk becomes a 500
+// naming the corruption, never silently corrupt output. (The raw sealed
+// bytes stay available under /artifacts/{path}.)
+func (s *server) artifactFor(state jobq.State, name, kind, contentType string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		j, ok := s.q.Get(id)
@@ -169,7 +174,21 @@ func (s *server) artifactFor(state jobq.State, name string) http.HandlerFunc {
 				id, info.Status.State, name, state)
 			return
 		}
-		http.ServeFile(w, r, filepath.Join(j.Dir, name))
+		payload, _, err := durable.ReadSealed(durable.Disk, filepath.Join(j.Dir, name), kind)
+		switch {
+		case os.IsNotExist(err):
+			jsonError(w, http.StatusNotFound, "job %s has no %s", id, name)
+			return
+		case durable.IsCorrupt(err):
+			s.logf("%s: %s: %v", id, name, err)
+			jsonError(w, http.StatusInternalServerError, "%s failed its integrity check: %v (run atpg fsck on the data directory)", name, err)
+			return
+		case err != nil:
+			jsonError(w, http.StatusInternalServerError, "reading %s: %v", name, err)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Write(payload)
 	}
 }
 
@@ -245,6 +264,12 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 			Value: float64(counts.Backlog)},
 		{Name: "gahitec_job_retries", Help: "Failed attempts charged across all jobs.",
 			Value: float64(counts.Retries)},
+		{Name: "gahitec_durability_degraded", Help: "Whether the queue is shedding persistence because the disk is failing journal writes (0/1).",
+			Value: boolGauge(counts.Degraded)},
+		{Name: "gahitec_quarantined_artifacts", Help: "Corrupt artifacts moved to corrupt/ with a report since the daemon started.",
+			Value: float64(counts.Quarantined)},
+		{Name: "gahitec_volatile_jobs", Help: "Jobs whose latest transition could not be journaled (in-memory only; a crash replays them uncharged).",
+			Value: float64(counts.Volatile)},
 		{Name: "gahitec_scheduler_enabled", Help: "Whether the fleet scheduler is throttling job slots (0/1).",
 			Value: boolGauge(s.fleet.Enabled())},
 		{Name: "gahitec_scheduler_workers", Help: "Job slots the fleet scheduler currently grants.",

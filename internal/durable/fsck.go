@@ -1,0 +1,296 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Report is what an fsck pass found (and, in repair mode, did). The counters
+// partition the scanned artifacts; Problems carries one human-readable line
+// per issue. Clean() is the exit-status contract: corruption that could only
+// be quarantined — evidence preserved, data lost — is not clean, while
+// repairs that lost nothing (resealing a legacy artifact, truncating a torn
+// NDJSON tail, sweeping an abandoned temp) are.
+type Report struct {
+	Root        string   `json:"root"`
+	Scanned     int      `json:"scanned"`               // artifacts examined
+	Verified    int      `json:"verified"`              // envelope present and intact
+	Legacy      int      `json:"legacy"`                // envelope-less but internally valid
+	Resealed    int      `json:"resealed,omitempty"`    // legacy artifacts given envelopes
+	Truncated   int      `json:"truncated,omitempty"`   // NDJSON torn tails cut back
+	Swept       int      `json:"swept,omitempty"`       // abandoned temps removed
+	Quarantined int      `json:"quarantined,omitempty"` // unrepairable, moved to corrupt/
+	Problems    []string `json:"problems,omitempty"`
+}
+
+// Clean reports whether the scan found no unrepairable damage.
+func (r *Report) Clean() bool { return r.Quarantined == 0 }
+
+func (r *Report) String() string {
+	s := fmt.Sprintf("fsck %s: %d scanned, %d verified, %d legacy",
+		r.Root, r.Scanned, r.Verified, r.Legacy)
+	if r.Resealed > 0 {
+		s += fmt.Sprintf(", %d resealed", r.Resealed)
+	}
+	if r.Truncated > 0 {
+		s += fmt.Sprintf(", %d truncated", r.Truncated)
+	}
+	if r.Swept > 0 {
+		s += fmt.Sprintf(", %d swept", r.Swept)
+	}
+	if r.Quarantined > 0 {
+		s += fmt.Sprintf(", %d QUARANTINED", r.Quarantined)
+	}
+	return s
+}
+
+func (r *Report) problem(format string, args ...any) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+}
+
+// Artifact classes fsck knows how to check.
+type fileClass uint8
+
+const (
+	classSkip       fileClass = iota // not ours; leave alone
+	classSealedJSON                  // enveloped artifact whose payload is JSON
+	classSealedText                  // enveloped artifact with opaque payload
+	classNDJSON                      // append-only NDJSON stream, line-granular
+	classTemp                        // abandoned write temp, sweepable
+)
+
+// classify maps a basename onto its artifact class and expected envelope
+// kind. Unknown files are skipped: fsck verifies what the system wrote, it
+// does not police what else lives on the disk.
+func classify(base string) (string, fileClass) {
+	switch base {
+	case "job.json":
+		return KindJob, classSealedJSON
+	case "checkpoint.json":
+		return KindCheckpoint, classSealedJSON
+	case "result.json":
+		return KindResult, classSealedJSON
+	case "metrics.json":
+		return KindMetrics, classSealedJSON
+	case "tests.txt":
+		return KindTests, classSealedText
+	case "circuit.bench":
+		return KindCircuit, classSealedText
+	}
+	switch {
+	case strings.HasPrefix(base, "bundle-") && strings.HasSuffix(base, ".json"):
+		return KindBundle, classSealedJSON
+	case strings.HasSuffix(base, ".ndjson") || strings.HasSuffix(base, ".ndjson.1"):
+		return "", classNDJSON
+	case strings.HasPrefix(base, ".") && (strings.Contains(base, ".tmp") || strings.Contains(base, ".seg")):
+		return "", classTemp
+	}
+	return "", classSkip
+}
+
+// Fsck scans the data directory rooted at root, verifies every artifact it
+// recognizes, and — in repair mode — heals what it can: legacy envelope-less
+// artifacts are resealed, torn NDJSON tails are truncated back to the last
+// complete line, abandoned write temps (including half-submitted .tmp-* job
+// stagings) are swept, and artifacts that fail their integrity check are
+// quarantined to corrupt/ with a report. With repair false nothing on disk
+// changes; the counters report what a repair pass would do. The corrupt/
+// directory itself is never rescanned — quarantined evidence stays as found.
+//
+// Fsck runs on the real disk, not the fault-injecting VFS: it is the recovery
+// path that must work when everything else failed.
+func Fsck(root string, repair bool) (*Report, error) {
+	rep := &Report{Root: root}
+	if _, err := os.Stat(root); err != nil {
+		return nil, fmt.Errorf("durable: fsck: %w", err)
+	}
+	walkErr := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil // removed mid-walk (a parent was quarantined)
+			}
+			rep.problem("%s: %v", path, err)
+			return nil
+		}
+		base := d.Name()
+		if d.IsDir() {
+			if path != root && base == filepath.Base(CorruptDir(root)) {
+				return fs.SkipDir
+			}
+			if strings.HasPrefix(base, ".tmp-") {
+				// Half-submitted job staging from a crash mid-Submit.
+				rep.Swept++
+				rep.problem("%s: abandoned staging directory", path)
+				if repair {
+					os.RemoveAll(path)
+				}
+				return fs.SkipDir
+			}
+			return nil
+		}
+		kind, class := classify(base)
+		switch class {
+		case classSkip:
+			return nil
+		case classTemp:
+			rep.Swept++
+			rep.problem("%s: abandoned write temp", path)
+			if repair {
+				os.Remove(path)
+			}
+			return nil
+		case classNDJSON:
+			rep.Scanned++
+			fsckNDJSON(rep, root, path, repair)
+			return nil
+		}
+		rep.Scanned++
+		if fsckSealed(rep, root, path, kind, class, repair) && base == "job.json" {
+			// An unusable job journal condemns its whole directory: the queue
+			// cannot run the job, and the checkpoint/trace/bundles inside are
+			// the evidence of whatever happened to it. Move it all.
+			return fs.SkipDir
+		}
+		return nil
+	})
+	if walkErr != nil {
+		return rep, fmt.Errorf("durable: fsck: %w", walkErr)
+	}
+	return rep, nil
+}
+
+// quarantine records unrepairable damage and, in repair mode, moves the
+// evidence. It reports whether the target was (or would be) moved.
+func quarantine(rep *Report, root, target string, repair bool, cause error) {
+	rep.Quarantined++
+	rep.problem("%s: %v", target, cause)
+	if !repair {
+		return
+	}
+	if moved, _, err := Quarantine(root, target, cause); err != nil {
+		rep.problem("%s: quarantine failed: %v", target, err)
+	} else {
+		rep.problem("%s: quarantined to %s", target, moved)
+	}
+}
+
+// fsckSealed verifies one enveloped artifact. It returns true when the
+// artifact was condemned (so job.json callers can skip the rest of the job
+// directory).
+func fsckSealed(rep *Report, root, path, wantKind string, class fileClass, repair bool) bool {
+	target := path
+	if filepath.Base(path) == "job.json" {
+		target = filepath.Dir(path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		rep.problem("%s: %v", path, err)
+		return false
+	}
+	kind, payload, oerr := Open(data)
+	switch {
+	case oerr == ErrNoEnvelope:
+		if err := validPayload(path, data, class); err != nil {
+			quarantine(rep, root, target, repair, err)
+			return true
+		}
+		rep.Legacy++
+		if repair {
+			if err := WriteSealed(Disk, path, wantKind, data); err != nil {
+				rep.problem("%s: reseal failed: %v", path, err)
+			} else {
+				rep.Resealed++
+			}
+		}
+		return false
+	case oerr != nil:
+		quarantine(rep, root, target, repair, oerr)
+		return true
+	case kind != wantKind:
+		quarantine(rep, root, target, repair, &CorruptError{Path: path,
+			Reason: fmt.Sprintf("envelope kind %q, want %q (artifact misplaced?)", kind, wantKind)})
+		return true
+	}
+	if err := validPayload(path, payload, class); err != nil {
+		quarantine(rep, root, target, repair, err)
+		return true
+	}
+	rep.Verified++
+	return false
+}
+
+// validPayload applies the per-class payload check: JSON artifacts must hold
+// valid JSON, and a job journal must name the job directory it lives in —
+// the cross-check that catches a journal renamed into the wrong directory
+// even when its envelope is intact.
+func validPayload(path string, payload []byte, class fileClass) error {
+	if class != classSealedJSON {
+		return nil
+	}
+	if !json.Valid(payload) {
+		return &CorruptError{Path: path, Reason: "payload is not valid JSON"}
+	}
+	if filepath.Base(path) == "job.json" {
+		var idDoc struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(payload, &idDoc); err != nil {
+			return &CorruptError{Path: path, Reason: fmt.Sprintf("unreadable job journal: %v", err)}
+		}
+		if dir := filepath.Base(filepath.Dir(path)); idDoc.ID != dir {
+			return &CorruptError{Path: path,
+				Reason: fmt.Sprintf("journal names %q but lives in %q", idDoc.ID, dir)}
+		}
+	}
+	return nil
+}
+
+// fsckNDJSON checks an append-only NDJSON stream line by line. Integrity here
+// is line-granular, not whole-file: the stream is appended to across
+// attempts, so a crash legitimately leaves a torn final line, which repair
+// truncates back to the last complete record. Garbage in the middle —
+// followed by lines a later attempt appended — cannot be repaired by
+// truncation without losing good data, so the whole file is quarantined.
+func fsckNDJSON(rep *Report, root, path string, repair bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		rep.problem("%s: %v", path, err)
+		return
+	}
+	lastGood := 0
+	sawBad := false
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // unterminated tail: torn final write
+		}
+		line := bytes.TrimSpace(data[off : off+nl])
+		off += nl + 1
+		if len(line) == 0 || json.Valid(line) {
+			if sawBad {
+				quarantine(rep, root, path, repair, &CorruptError{Path: path,
+					Reason: "invalid NDJSON record followed by valid ones (mid-stream corruption)"})
+				return
+			}
+			lastGood = off
+		} else {
+			sawBad = true
+		}
+	}
+	if lastGood == len(data) {
+		rep.Verified++
+		return
+	}
+	rep.Truncated++
+	rep.problem("%s: torn tail after byte %d (%d bytes dropped)", path, lastGood, len(data)-lastGood)
+	if repair {
+		if err := os.Truncate(path, int64(lastGood)); err != nil {
+			rep.problem("%s: truncate failed: %v", path, err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedJobDir lays out one healthy sealed job directory under root/jobs.
+func seedJobDir(t *testing.T, root, id string) string {
+	t.Helper()
+	dir := filepath.Join(root, "jobs", id)
+	if err := os.MkdirAll(filepath.Join(dir, "bundles"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(WriteSealed(Disk, filepath.Join(dir, "job.json"), KindJob,
+		[]byte(`{"id": "`+id+`", "spec": {"seed": 1}, "status": {"state": "done"}}`)))
+	must(WriteSealed(Disk, filepath.Join(dir, "result.json"), KindResult, []byte(`{"detected": 3}`)))
+	must(WriteSealed(Disk, filepath.Join(dir, "tests.txt"), KindTests, []byte("# tests\n0101\n")))
+	must(os.WriteFile(filepath.Join(dir, "trace.ndjson"),
+		[]byte(`{"ev":"start"}`+"\n"+`{"ev":"done"}`+"\n"), 0o644))
+	return dir
+}
+
+func TestFsckCleanTree(t *testing.T) {
+	root := t.TempDir()
+	seedJobDir(t, root, "job-000001")
+	rep, err := Fsck(root, true)
+	if err != nil {
+		t.Fatalf("Fsck: %v", err)
+	}
+	if !rep.Clean() || rep.Quarantined != 0 || rep.Verified != 4 {
+		t.Fatalf("clean tree: %+v", rep)
+	}
+}
+
+func TestFsckDetectsSingleFlippedByte(t *testing.T) {
+	root := t.TempDir()
+	dir := seedJobDir(t, root, "job-000001")
+	path := filepath.Join(dir, "result.json")
+	data, _ := os.ReadFile(path)
+	data[len(data)-2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || rep.Quarantined != 1 {
+		t.Fatalf("flipped byte undetected: %+v", rep)
+	}
+	// Evidence moved, report written.
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatal("corrupt artifact left in place")
+	}
+	moved := filepath.Join(CorruptDir(root), "result.json")
+	if _, serr := os.Stat(moved); serr != nil {
+		t.Fatalf("evidence not in corrupt/: %v", serr)
+	}
+	var qr QuarantineReport
+	if err := LoadJSON(Disk, moved+".report.json", KindReport, &qr); err != nil {
+		t.Fatalf("quarantine report: %v", err)
+	}
+	if !strings.Contains(qr.Reason, "checksum") {
+		t.Fatalf("report reason %q does not explain the checksum failure", qr.Reason)
+	}
+	// A second pass over the healed tree is clean: quarantine is terminal.
+	rep2, err := Fsck(root, true)
+	if err != nil || !rep2.Clean() {
+		t.Fatalf("second pass: %+v, %v", rep2, err)
+	}
+}
+
+func TestFsckResealsLegacyArtifacts(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "jobs", "job-000001")
+	os.MkdirAll(dir, 0o755)
+	// A PR6-era data dir: plain JSON, no envelopes.
+	os.WriteFile(filepath.Join(dir, "job.json"),
+		[]byte(`{"id": "job-000001", "status": {"state": "pending"}}`), 0o644)
+	os.WriteFile(filepath.Join(dir, "checkpoint.json"), []byte(`{"pass": 1}`), 0o644)
+
+	rep, err := Fsck(root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Legacy != 2 || rep.Resealed != 2 {
+		t.Fatalf("legacy tree: %+v", rep)
+	}
+	// The reseal produced verifiable envelopes with the payload intact.
+	var ck map[string]int
+	if err := LoadJSON(Disk, filepath.Join(dir, "checkpoint.json"), KindCheckpoint, &ck); err != nil || ck["pass"] != 1 {
+		t.Fatalf("resealed checkpoint: (%v, %v)", ck, err)
+	}
+	rep2, _ := Fsck(root, true)
+	if rep2.Verified != 2 || rep2.Legacy != 0 {
+		t.Fatalf("after reseal: %+v", rep2)
+	}
+}
+
+func TestFsckQuarantinesWholeJobDirOnBadJournal(t *testing.T) {
+	root := t.TempDir()
+	dir := seedJobDir(t, root, "job-000001")
+	// The journal names a different job: an intact envelope around a lie.
+	if err := WriteSealed(Disk, filepath.Join(dir, "job.json"), KindJob,
+		[]byte(`{"id": "job-000099"}`)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatalf("mismatched journal undetected: %+v", rep)
+	}
+	if _, serr := os.Stat(dir); !os.IsNotExist(serr) {
+		t.Fatal("condemned job directory left in jobs/")
+	}
+	if _, serr := os.Stat(filepath.Join(CorruptDir(root), "job-000001", "trace.ndjson")); serr != nil {
+		t.Fatalf("evidence (trace) did not move with the directory: %v", serr)
+	}
+}
+
+func TestFsckRepairsTornNDJSONTail(t *testing.T) {
+	root := t.TempDir()
+	dir := seedJobDir(t, root, "job-000001")
+	trace := filepath.Join(dir, "trace.ndjson")
+	f, _ := os.OpenFile(trace, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString(`{"ev":"to`) // torn mid-record, no newline
+	f.Close()
+
+	rep, err := Fsck(root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Truncated != 1 {
+		t.Fatalf("torn tail: %+v", rep)
+	}
+	data, _ := os.ReadFile(trace)
+	if string(data) != `{"ev":"start"}`+"\n"+`{"ev":"done"}`+"\n" {
+		t.Fatalf("trace after repair: %q", data)
+	}
+}
+
+func TestFsckQuarantinesMidStreamNDJSONGarbage(t *testing.T) {
+	root := t.TempDir()
+	dir := seedJobDir(t, root, "job-000001")
+	trace := filepath.Join(dir, "trace.ndjson")
+	os.WriteFile(trace,
+		[]byte(`{"ev":"start"}`+"\n"+`GARBAGE@@`+"\n"+`{"ev":"done"}`+"\n"), 0o644)
+	rep, err := Fsck(root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || rep.Quarantined != 1 {
+		t.Fatalf("mid-stream garbage: %+v", rep)
+	}
+	if _, serr := os.Stat(trace); !os.IsNotExist(serr) {
+		t.Fatal("unrepairable trace left in place")
+	}
+}
+
+func TestFsckSweepsTempsAndStagings(t *testing.T) {
+	root := t.TempDir()
+	seedJobDir(t, root, "job-000001")
+	os.MkdirAll(filepath.Join(root, "jobs", ".tmp-job-000002"), 0o755)
+	os.WriteFile(filepath.Join(root, "jobs", "job-000001", ".checkpoint.json.tmp123"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(root, "jobs", "job-000001", ".trace.ndjson.seg4"), []byte("y"), 0o644)
+
+	rep, err := Fsck(root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Swept != 3 {
+		t.Fatalf("sweep: %+v", rep)
+	}
+	if _, serr := os.Stat(filepath.Join(root, "jobs", ".tmp-job-000002")); !os.IsNotExist(serr) {
+		t.Fatal("staging directory not swept")
+	}
+}
+
+func TestFsckDryRunTouchesNothing(t *testing.T) {
+	root := t.TempDir()
+	dir := seedJobDir(t, root, "job-000001")
+	path := filepath.Join(dir, "result.json")
+	data, _ := os.ReadFile(path)
+	data[len(data)-2] ^= 0x01
+	os.WriteFile(path, data, 0o644)
+
+	rep, err := Fsck(root, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || rep.Quarantined != 1 {
+		t.Fatalf("dry run must still detect: %+v", rep)
+	}
+	if _, serr := os.Stat(path); serr != nil {
+		t.Fatal("dry run moved the artifact")
+	}
+	if _, serr := os.Stat(CorruptDir(root)); !os.IsNotExist(serr) {
+		t.Fatal("dry run created corrupt/")
+	}
+}
+
+func TestFsckSkipsQuarantinedEvidence(t *testing.T) {
+	root := t.TempDir()
+	seedJobDir(t, root, "job-000001")
+	// Pre-existing evidence: garbage that an earlier pass quarantined.
+	os.MkdirAll(CorruptDir(root), 0o755)
+	os.WriteFile(filepath.Join(CorruptDir(root), "checkpoint.json"), []byte("@@@"), 0o644)
+	rep, err := Fsck(root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fsck rescanned quarantined evidence: %+v", rep)
+	}
+}
+
+func TestQuarantineCollisionSuffixes(t *testing.T) {
+	root := t.TempDir()
+	cause := errors.New("checksum mismatch")
+	for i := 0; i < 3; i++ {
+		p := filepath.Join(root, "checkpoint.json")
+		os.WriteFile(p, []byte("bad"), 0o644)
+		if _, _, err := Quarantine(root, p, cause); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	for _, name := range []string{"checkpoint.json", "checkpoint.json.1", "checkpoint.json.2"} {
+		if _, err := os.Stat(filepath.Join(CorruptDir(root), name)); err != nil {
+			t.Fatalf("missing evidence %s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package durable
+
+// Artifact kinds: the envelope's record of what class of artifact a file is,
+// verified on every read so a valid-but-misplaced artifact (a result journal
+// renamed over a checkpoint, say) is corruption, not confusion. The constants
+// live here so writers (jobq, supervise, the CLI) and fsck agree on them.
+const (
+	// KindJob is a jobq job journal (job.json): spec + status, the queue's
+	// source of truth for one job.
+	KindJob = "jobq.job"
+	// KindCheckpoint is a hybrid checkpoint journal (checkpoint.json).
+	KindCheckpoint = "hybrid.checkpoint"
+	// KindResult is a completed job's deterministic summary (result.json).
+	KindResult = "jobq.result"
+	// KindMetrics is a completed job's merged obs metrics (metrics.json).
+	KindMetrics = "obs.metrics"
+	// KindTests is a generated pattern-format test set (tests.txt). The
+	// pattern format treats '#' as a comment, so the sealed file still parses.
+	KindTests = "jobq.tests"
+	// KindCircuit is an inline netlist staged at submit (circuit.bench); the
+	// .bench format likewise comments '#' lines.
+	KindCircuit = "jobq.circuit"
+	// KindBundle is a crash-repro bundle (bundles/bundle-*.json).
+	KindBundle = "supervise.bundle"
+	// KindReport is a quarantine report written next to quarantined evidence.
+	KindReport = "durable.report"
+)

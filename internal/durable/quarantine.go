@@ -1,0 +1,66 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gahitec/internal/runctl"
+)
+
+// QuarantineReport is the structured evidence record written beside every
+// quarantined artifact, sealed under KindReport: what was moved, from where,
+// and why its integrity check failed. Corruption is never silently skipped —
+// the report is the audit trail an operator (or a test) reads to learn what
+// the disk lost.
+type QuarantineReport struct {
+	Original   string `json:"original"` // path the artifact was quarantined from
+	Moved      string `json:"moved"`    // where the evidence lives now
+	Reason     string `json:"reason"`
+	DetectedMS int64  `json:"detected_ms"` // unix ms at detection
+}
+
+// CorruptDir returns the quarantine directory of a data dir rooted at root.
+// Everything under it is evidence: never rewritten, never rescanned by fsck.
+func CorruptDir(root string) string { return filepath.Join(root, "corrupt") }
+
+// Quarantine moves target (a file or a whole directory) into root's corrupt/
+// subdirectory and writes a sealed report beside it. The destination name is
+// the target's basename, suffixed .1, .2, ... when earlier evidence already
+// claimed it. Quarantining runs on the real disk deliberately — it is the
+// recovery path, and armed vfs.* fault rules must not be able to destroy the
+// evidence they caused to exist.
+func Quarantine(root, target string, cause error) (moved, report string, err error) {
+	dir := CorruptDir(root)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", fmt.Errorf("durable: quarantine %s: %w", target, err)
+	}
+	base := filepath.Base(target)
+	moved = filepath.Join(dir, base)
+	for i := 1; ; i++ {
+		if _, serr := os.Lstat(moved); os.IsNotExist(serr) {
+			break
+		}
+		moved = filepath.Join(dir, fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := os.Rename(target, moved); err != nil {
+		return "", "", fmt.Errorf("durable: quarantine %s: %w", target, err)
+	}
+	// Make the move durable on both ends before the report claims it
+	// happened.
+	runctl.SyncDir(filepath.Dir(target))
+	runctl.SyncDir(dir)
+	report = moved + ".report.json"
+	rep := &QuarantineReport{
+		Original:   target,
+		Moved:      moved,
+		Reason:     cause.Error(),
+		DetectedMS: time.Now().UnixMilli(),
+	}
+	if err := SaveJSON(Disk, report, KindReport, rep); err != nil {
+		// The evidence moved; a failed report must not undo that.
+		return moved, "", fmt.Errorf("durable: quarantine report for %s: %w", target, err)
+	}
+	return moved, report, nil
+}

@@ -1,0 +1,208 @@
+package durable
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+
+	"gahitec/internal/runctl"
+)
+
+// File is the write-side handle the atomic publication protocol needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the seam between artifact publication and the disk. Production code
+// uses Disk; tests and the chaos harness swap in NewFaultFS, whose injected
+// failures exercise every crash point of the temp+fsync+rename+dirsync
+// protocol without a real broken disk.
+type FS interface {
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	// Link hard-links oldname to newname, failing with os.ErrExist when
+	// newname is taken — the exclusive-claim primitive bundle publication
+	// uses.
+	Link(oldname, newname string) error
+	// SyncDir fsyncs a directory, making renamed-in entries durable.
+	SyncDir(dir string) error
+	ReadFile(name string) ([]byte, error)
+}
+
+// Disk is the real filesystem.
+var Disk FS = diskFS{}
+
+type diskFS struct{}
+
+func (diskFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (diskFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (diskFS) Remove(name string) error                     { return os.Remove(name) }
+func (diskFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (diskFS) Link(oldname, newname string) error           { return os.Link(oldname, newname) }
+func (diskFS) SyncDir(dir string) error                     { return runctl.SyncDir(dir) }
+func (diskFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+
+// InjectedIOError is the error a fault-injected VFS operation fails with.
+// It wraps the errno the rule simulates, so errors.Is(err, syscall.ENOSPC)
+// works on an injected full disk exactly as on a real one.
+type InjectedIOError struct {
+	Site string
+	Op   string
+	Err  error
+}
+
+func (e *InjectedIOError) Error() string {
+	return fmt.Sprintf("durable: injected %s failure at %q: %v", e.Op, e.Site, e.Err)
+}
+
+func (e *InjectedIOError) Unwrap() error { return e.Err }
+
+// Fault-injection sites consulted by the fault-injecting FS, one per VFS
+// operation. Rules arm against these through GAHITEC_FAULT_INJECT, e.g.
+// "vfs.write:3:torn=17" tears the third write anywhere in the process after
+// its 17th byte, and "vfs.rename:1:lostdir" makes the first publication
+// vanish the way a crash before the directory fsync would.
+const (
+	SiteCreate  = "vfs.create"
+	SiteWrite   = "vfs.write"
+	SiteSync    = "vfs.sync"
+	SiteRename  = "vfs.rename"
+	SiteLink    = "vfs.link"
+	SiteSyncDir = "vfs.syncdir"
+	SiteRead    = "vfs.read"
+)
+
+// NewFaultFS wraps inner with the runctl fault-injection harness. A nil
+// harness (or hooks with no vfs.* rules) behaves exactly like inner.
+func NewFaultFS(inner FS, hooks *runctl.Hooks) FS {
+	return &faultFS{inner: inner, hooks: hooks}
+}
+
+// WithHooks returns the FS a command-line tool should run its durable state
+// on: the real disk, behind the fault-injection seam when a harness is
+// armed.
+func WithHooks(hooks *runctl.Hooks) FS {
+	if hooks == nil {
+		return Disk
+	}
+	return NewFaultFS(Disk, hooks)
+}
+
+type faultFS struct {
+	inner FS
+	hooks *runctl.Hooks
+}
+
+// ioErr translates an armed rule into the error it simulates; ActNone (and
+// actions that only make sense elsewhere) return nil.
+func ioErr(site, op string, act runctl.Action) error {
+	switch act {
+	case runctl.ActFail:
+		return &InjectedIOError{Site: site, Op: op, Err: syscall.EIO}
+	case runctl.ActENOSPC:
+		return &InjectedIOError{Site: site, Op: op, Err: syscall.ENOSPC}
+	}
+	return nil
+}
+
+func (f *faultFS) CreateTemp(dir, pattern string) (File, error) {
+	act, _ := f.hooks.EnterIO(SiteCreate)
+	if err := ioErr(SiteCreate, "create", act); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, hooks: f.hooks}, nil
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	act, _ := f.hooks.EnterIO(SiteRename)
+	if err := ioErr(SiteRename, "rename", act); err != nil {
+		return err
+	}
+	if act == runctl.ActLostDir {
+		// The writer is told the publish succeeded, but the directory entry
+		// is gone — the exact state a crash leaves when the rename reached
+		// the journal but the directory fsync never happened. Recovery code
+		// must treat the artifact as absent, not as an error.
+		f.inner.Remove(oldpath)
+		return nil
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(name string) error                     { return f.inner.Remove(name) }
+func (f *faultFS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+
+func (f *faultFS) Link(oldname, newname string) error {
+	act, _ := f.hooks.EnterIO(SiteLink)
+	if err := ioErr(SiteLink, "link", act); err != nil {
+		return err
+	}
+	if act == runctl.ActLostDir {
+		return nil // claimed, never durable: the entry is lost
+	}
+	return f.inner.Link(oldname, newname)
+}
+
+func (f *faultFS) SyncDir(dir string) error {
+	act, _ := f.hooks.EnterIO(SiteSyncDir)
+	if err := ioErr(SiteSyncDir, "syncdir", act); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+func (f *faultFS) ReadFile(name string) ([]byte, error) {
+	act, _ := f.hooks.EnterIO(SiteRead)
+	if err := ioErr(SiteRead, "read", act); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+type faultFile struct {
+	File
+	hooks *runctl.Hooks
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	act, arg := f.hooks.EnterIO(SiteWrite)
+	switch act {
+	case runctl.ActTorn:
+		// Persist a prefix, then fail hard: the bytes a crash mid-write
+		// leaves behind. The offset is the rule's argument, so tests can
+		// place the tear at any byte of the payload.
+		n := min(arg, len(p))
+		if n > 0 {
+			f.File.Write(p[:n])
+		}
+		return n, &InjectedIOError{Site: SiteWrite, Op: "write", Err: syscall.EIO}
+	case runctl.ActShort:
+		n := min(arg, len(p))
+		if n > 0 {
+			f.File.Write(p[:n])
+		}
+		return n, io.ErrShortWrite
+	}
+	if err := ioErr(SiteWrite, "write", act); err != nil {
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	act, _ := f.hooks.EnterIO(SiteSync)
+	if err := ioErr(SiteSync, "sync", act); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gahitec/internal/circuits"
+	"gahitec/internal/durable"
 	"gahitec/internal/hybrid"
 	"gahitec/internal/obs"
 	"gahitec/internal/runctl"
@@ -104,7 +105,7 @@ func mustReadFile(t *testing.T, path string) []byte {
 func loadSummary(t *testing.T, dir string) Summary {
 	t.Helper()
 	var s Summary
-	if err := runctl.LoadJSON(filepath.Join(dir, "result.json"), &s); err != nil {
+	if err := durable.LoadJSON(durable.Disk, filepath.Join(dir, "result.json"), durable.KindResult, &s); err != nil {
 		t.Fatalf("load result.json: %v", err)
 	}
 	return s
@@ -113,7 +114,7 @@ func loadSummary(t *testing.T, dir string) Summary {
 func loadMetrics(t *testing.T, dir string) *obs.Metrics {
 	t.Helper()
 	var m obs.Metrics
-	if err := runctl.LoadJSON(filepath.Join(dir, "metrics.json"), &m); err != nil {
+	if err := durable.LoadJSON(durable.Disk, filepath.Join(dir, "metrics.json"), durable.KindMetrics, &m); err != nil {
 		t.Fatalf("load metrics.json: %v", err)
 	}
 	return &m

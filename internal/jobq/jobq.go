@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gahitec/internal/durable"
 	"gahitec/internal/hybrid"
 	"gahitec/internal/obs"
 	"gahitec/internal/runctl"
@@ -154,6 +155,12 @@ type Job struct {
 	cancel     func() // interrupts the in-flight attempt (guarded by queue mu)
 	userCancel bool
 
+	// volatile marks a job whose in-memory state is ahead of its journal:
+	// a transition could not be persisted (broken disk) and the queue chose
+	// to degrade rather than die. A crash loses the volatile transition —
+	// the job replays from its last journaled state, uncharged.
+	volatile bool
+
 	// hooks caches the harness parsed from Spec.InjectSpec so call counters
 	// span attempts, exactly like the process-level GAHITEC_FAULT_INJECT
 	// harness: a rule like "site:1:fail" injects one transient failure per
@@ -206,24 +213,43 @@ type Queue struct {
 	Now func() time.Time
 
 	dir     string
+	fsys    durable.FS
 	mu      sync.Mutex
 	jobs    map[string]*Job
 	nextSeq int
 	wake    chan struct{}
+
+	// degraded is the read-only-disk flag: the last journal persist failed
+	// (ENOSPC, EIO, ...), so the queue is shedding persistence — in-memory
+	// transitions proceed, jobs go volatile — instead of dying. The next
+	// successful persist clears it. quarantined counts artifacts moved to
+	// corrupt/ over this queue's lifetime (journals at Open, checkpoints at
+	// resume). Both are exported through Counts for the /metrics scrape.
+	degraded    bool
+	quarantined int
 }
 
-// Open loads (or creates) a queue rooted at dir. Jobs interrupted mid-run by
-// the previous process — still marked running — return to pending with their
-// checkpoint intact and no attempt charged; half-submitted temp directories
-// are swept; jobs whose journal does not parse are skipped and reported in
-// warnings (their directories are left on disk for inspection).
+// Open loads (or creates) a queue rooted at dir on the real disk; see OpenFS.
 func Open(dir string) (*Queue, []string, error) {
+	return OpenFS(durable.Disk, dir)
+}
+
+// OpenFS loads (or creates) a queue rooted at dir, with all journal I/O going
+// through fsys (the fault-injection seam). Jobs interrupted mid-run by the
+// previous process — still marked running — return to pending with their
+// checkpoint intact and no attempt charged; half-submitted temp directories
+// are swept; jobs whose journal fails its integrity check, does not parse, or
+// names the wrong job ID are quarantined — the whole job directory moves to
+// corrupt/ with a structured report, never silently skipped — and reported in
+// warnings. The quarantined count is surfaced through Counts for /metrics.
+func OpenFS(fsys durable.FS, dir string) (*Queue, []string, error) {
 	q := &Queue{
 		RetryBase:   2 * time.Second,
 		RetryCap:    time.Minute,
 		MaxAttempts: 3,
 		Now:         time.Now,
 		dir:         dir,
+		fsys:        fsys,
 		jobs:        make(map[string]*Job),
 		nextSeq:     1,
 		wake:        make(chan struct{}, 1),
@@ -237,6 +263,18 @@ func Open(dir string) (*Queue, []string, error) {
 		return nil, nil, fmt.Errorf("jobq: open queue: %w", err)
 	}
 	var warnings []string
+	// quarantineJob condemns a job directory whose journal cannot be
+	// trusted: the evidence moves to corrupt/ intact. Quarantining runs on
+	// the real disk — it is the recovery path.
+	quarantineJob := func(j *Job, cause error) {
+		moved, _, qerr := durable.Quarantine(q.dir, j.Dir, cause)
+		if qerr != nil {
+			warnings = append(warnings, fmt.Sprintf("jobq: %s: %v; quarantine also failed: %v", j.ID, cause, qerr))
+			return
+		}
+		q.quarantined++
+		warnings = append(warnings, fmt.Sprintf("jobq: quarantined %s to %s: %v", j.ID, moved, cause))
+	}
 	for _, e := range entries {
 		name := e.Name()
 		if strings.HasPrefix(name, ".tmp-") {
@@ -248,12 +286,12 @@ func Open(dir string) (*Queue, []string, error) {
 		}
 		j := &Job{ID: name, Dir: filepath.Join(jobs, name)}
 		var file jobFile
-		if err := runctl.LoadJSON(filepath.Join(j.Dir, "job.json"), &file); err != nil {
-			warnings = append(warnings, fmt.Sprintf("jobq: skipping %s: %v", name, err))
+		if err := durable.LoadJSON(fsys, filepath.Join(j.Dir, "job.json"), durable.KindJob, &file); err != nil {
+			quarantineJob(j, err)
 			continue
 		}
 		if _, err := fmt.Sscanf(name, "job-%d", &j.Seq); err != nil || file.ID != name {
-			warnings = append(warnings, fmt.Sprintf("jobq: skipping %s: journal names %q", name, file.ID))
+			quarantineJob(j, fmt.Errorf("journal names %q", file.ID))
 			continue
 		}
 		j.Spec, j.status, j.RunID = file.Spec, file.Status, file.RunID
@@ -269,9 +307,10 @@ func Open(dir string) (*Queue, []string, error) {
 			// (if any attempt reached one) resumes the run.
 			j.status.State = Pending
 			j.status.Interrupts++
-			if err := q.persistLocked(j); err != nil {
-				return nil, warnings, err
-			}
+			// Persist-or-degrade even during recovery: a daemon that can
+			// read its queue but not write it should still start and drain
+			// what it can.
+			q.persistOrDegradeLocked(j)
 		}
 		q.jobs[j.ID] = j
 		if j.Seq >= q.nextSeq {
@@ -290,8 +329,54 @@ type jobFile struct {
 }
 
 func (q *Queue) persistLocked(j *Job) error {
-	return runctl.SaveJSON(filepath.Join(j.Dir, "job.json"),
+	err := durable.SaveJSON(q.fsys, filepath.Join(j.Dir, "job.json"), durable.KindJob,
 		&jobFile{ID: j.ID, RunID: j.RunID, Spec: j.Spec, Status: j.status})
+	if err == nil {
+		j.volatile = false
+		q.degraded = false
+	}
+	return err
+}
+
+// persistOrDegradeLocked is the transition policy for jobs already in the
+// queue: when the journal cannot be written (ENOSPC, EIO — a disk that broke
+// under us), the queue sheds persistence instead of dying. The in-memory
+// transition stands, the job is marked volatile (a crash replays it from the
+// last journaled state, uncharged — the same contract as a daemon kill), and
+// the queue raises its degraded flag for the durability_degraded metric.
+// Admission (Submit) stays strict: new work is refused while the disk is
+// broken, existing work keeps draining.
+func (q *Queue) persistOrDegradeLocked(j *Job) error {
+	err := q.persistLocked(j)
+	if err == nil {
+		return nil
+	}
+	q.degraded = true
+	j.volatile = true
+	return nil
+}
+
+// Degraded reports whether the queue is currently shedding persistence
+// because its last journal write failed.
+func (q *Queue) Degraded() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.degraded
+}
+
+// NoteQuarantined records artifacts quarantined on the queue's behalf after
+// Open (a corrupt checkpoint discarded at resume, or a pre-open fsck pass).
+func (q *Queue) NoteQuarantined(n int) {
+	q.mu.Lock()
+	q.quarantined += n
+	q.mu.Unlock()
+}
+
+// Quarantined returns how many artifacts this queue has quarantined.
+func (q *Queue) Quarantined() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.quarantined
 }
 
 func (q *Queue) nowMS() int64 { return q.Now().UnixMilli() }
@@ -342,16 +427,22 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 		},
 	}
 	if spec.Bench != "" {
-		if err := os.WriteFile(filepath.Join(stage, "circuit.bench"), []byte(spec.Bench), 0o644); err != nil {
+		// Sealed like every artifact; the .bench format comments '#' lines,
+		// so the envelope header is transparent to the parser.
+		if err := durable.WriteSealed(q.fsys, filepath.Join(stage, "circuit.bench"),
+			durable.KindCircuit, []byte(spec.Bench)); err != nil {
 			return discard(err)
 		}
 	}
-	if err := runctl.SaveJSON(filepath.Join(stage, "job.json"),
+	if err := durable.SaveJSON(q.fsys, filepath.Join(stage, "job.json"), durable.KindJob,
 		&jobFile{ID: id, RunID: j.RunID, Spec: spec, Status: j.status}); err != nil {
 		return discard(err)
 	}
-	if err := os.Rename(stage, final); err != nil {
+	if err := q.fsys.Rename(stage, final); err != nil {
 		return discard(err)
+	}
+	if err := q.fsys.SyncDir(jobs); err != nil {
+		return nil, fmt.Errorf("jobq: submit: %w", err)
 	}
 	q.nextSeq++
 	q.jobs[id] = j
@@ -419,12 +510,17 @@ func (q *Queue) Backlog() int {
 }
 
 // Counts is a consistent census of the queue for the /metrics scrape: jobs
-// per lifecycle state, the backlog (pending + running), and the total failed
-// attempts charged across all jobs.
+// per lifecycle state, the backlog (pending + running), the total failed
+// attempts charged across all jobs, plus the durability health — artifacts
+// quarantined to corrupt/, jobs running volatile (transition unjournaled),
+// and whether the queue is currently shedding persistence.
 type Counts struct {
-	States  map[State]int
-	Backlog int
-	Retries int
+	States      map[State]int
+	Backlog     int
+	Retries     int
+	Quarantined int
+	Volatile    int
+	Degraded    bool
 }
 
 // Counts takes the census under one lock acquisition, so the scraped gauges
@@ -434,12 +530,15 @@ func (q *Queue) Counts() Counts {
 	defer q.mu.Unlock()
 	c := Counts{States: map[State]int{
 		Pending: 0, Running: 0, Done: 0, Dead: 0, Cancelled: 0,
-	}}
+	}, Quarantined: q.quarantined, Degraded: q.degraded}
 	for _, j := range q.jobs {
 		c.States[j.status.State]++
 		c.Retries += j.status.Attempts
 		if j.status.State == Pending || j.status.State == Running {
 			c.Backlog++
+		}
+		if j.volatile {
+			c.Volatile++
 		}
 	}
 	return c
@@ -481,12 +580,11 @@ func (q *Queue) Claim() (*Job, time.Duration) {
 	if best.status.StartedMS == 0 {
 		best.status.StartedMS = now
 	}
-	if err := q.persistLocked(best); err != nil {
-		// Leave the job pending rather than run it unjournaled: a crash
-		// while it ran would re-run a job the disk still calls pending.
-		best.status.State = Pending
-		return nil, 0
-	}
+	// Persist-or-degrade: on a broken disk the claim proceeds volatile. A
+	// crash re-runs a job the disk still calls pending — the same uncharged
+	// replay as a daemon kill, and better than a queue that stops draining
+	// because it cannot journal.
+	q.persistOrDegradeLocked(best)
 	return best, 0
 }
 
@@ -512,7 +610,7 @@ func (q *Queue) Cancel(id string) error {
 	case Pending:
 		j.status.State = Cancelled
 		j.status.FinishedMS = q.nowMS()
-		return q.persistLocked(j)
+		return q.persistOrDegradeLocked(j)
 	case Running:
 		j.userCancel = true
 		if j.cancel != nil {
@@ -531,7 +629,7 @@ func (q *Queue) Complete(j *Job) error {
 	j.status.State = Done
 	j.status.LastError = ""
 	j.status.FinishedMS = q.nowMS()
-	return q.persistLocked(j)
+	return q.persistOrDegradeLocked(j)
 }
 
 // Release returns a running job to pending without charging an attempt: the
@@ -542,7 +640,7 @@ func (q *Queue) Release(j *Job) error {
 	defer q.mu.Unlock()
 	j.status.State = Pending
 	j.status.Interrupts++
-	err := q.persistLocked(j)
+	err := q.persistOrDegradeLocked(j)
 	q.signal()
 	return err
 }
@@ -553,7 +651,7 @@ func (q *Queue) MarkCancelled(j *Job) error {
 	defer q.mu.Unlock()
 	j.status.State = Cancelled
 	j.status.FinishedMS = q.nowMS()
-	return q.persistLocked(j)
+	return q.persistOrDegradeLocked(j)
 }
 
 // Fail charges one failed attempt. Within budget the job re-enters pending
@@ -568,7 +666,7 @@ func (q *Queue) Fail(j *Job, cause error, permanent bool) error {
 	if permanent || j.status.Attempts >= j.status.MaxAttempts {
 		j.status.State = Dead
 		j.status.FinishedMS = q.nowMS()
-		return q.persistLocked(j)
+		return q.persistOrDegradeLocked(j)
 	}
 	shift := j.status.Attempts - 1
 	if shift > 16 { // past any sane budget; avoid shifting into the sign bit
@@ -580,7 +678,7 @@ func (q *Queue) Fail(j *Job, cause error, permanent bool) error {
 	}
 	j.status.State = Pending
 	j.status.NextRetryMS = q.nowMS() + backoff.Milliseconds()
-	err := q.persistLocked(j)
+	err := q.persistOrDegradeLocked(j)
 	q.signal()
 	return err
 }

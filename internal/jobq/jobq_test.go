@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"gahitec/internal/durable"
 	"gahitec/internal/runctl"
 )
 
@@ -221,7 +222,7 @@ func TestCancelPendingAndRunning(t *testing.T) {
 	}
 }
 
-func TestOpenSweepsTempAndWarnsOnCorrupt(t *testing.T) {
+func TestOpenSweepsTempAndQuarantinesCorrupt(t *testing.T) {
 	q, _, dir := openTestQueue(t)
 	if _, err := q.Submit(Spec{Circuit: "s27"}); err != nil {
 		t.Fatal(err)
@@ -251,10 +252,105 @@ func TestOpenSweepsTempAndWarnsOnCorrupt(t *testing.T) {
 	if got := q2.List(); len(got) != 1 {
 		t.Fatalf("recovered %d jobs, want 1 (the valid one)", len(got))
 	}
-	// The corrupt directory is left for inspection, and its seq is not
-	// reused: the journal is the source of truth, not the dir name.
-	if _, err := os.Stat(filepath.Join(jobs, "job-000007")); err != nil {
-		t.Fatal("corrupt job dir was deleted, losing the post-mortem")
+	// The corrupt directory is quarantined — out of jobs/, preserved under
+	// corrupt/ with a structured report — never skipped in place or deleted.
+	if _, err := os.Stat(filepath.Join(jobs, "job-000007")); !os.IsNotExist(err) {
+		t.Fatal("corrupt job dir left in jobs/ (skip-and-forget)")
+	}
+	moved := filepath.Join(durable.CorruptDir(dir), "job-000007")
+	if _, err := os.Stat(filepath.Join(moved, "job.json")); err != nil {
+		t.Fatalf("quarantine lost the evidence: %v", err)
+	}
+	var rep durable.QuarantineReport
+	if err := durable.LoadJSON(durable.Disk, moved+".report.json", durable.KindReport, &rep); err != nil {
+		t.Fatalf("quarantine report: %v", err)
+	}
+	if c := q2.Counts(); c.Quarantined != 1 {
+		t.Fatalf("Counts.Quarantined = %d, want 1", c.Quarantined)
+	}
+}
+
+// TestOpenQuarantinesWrongIDJournal: a journal whose envelope is intact but
+// whose payload names a different job is the misplaced-artifact case — it
+// must quarantine, not load under the wrong identity.
+func TestOpenQuarantinesWrongIDJournal(t *testing.T) {
+	q, _, dir := openTestQueue(t)
+	if _, err := q.Submit(Spec{Circuit: "s27"}); err != nil {
+		t.Fatal(err)
+	}
+	// Copy job-000001's (valid, sealed) journal into a new job-000002 dir.
+	jobs := filepath.Join(dir, "jobs")
+	if err := os.MkdirAll(filepath.Join(jobs, "job-000002"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(jobs, "job-000001", "job.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobs, "job-000002", "job.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q2, warns, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "job-000002") {
+		t.Fatalf("warnings = %v", warns)
+	}
+	if got := q2.List(); len(got) != 1 || got[0].ID != "job-000001" {
+		t.Fatalf("recovered %v, want only job-000001", got)
+	}
+	if _, err := os.Stat(filepath.Join(durable.CorruptDir(dir), "job-000002")); err != nil {
+		t.Fatalf("mismatched journal not quarantined: %v", err)
+	}
+}
+
+// TestQueueDegradesOnBrokenDisk: when the journal write fails mid-flight
+// (ENOSPC), lifecycle transitions keep working in memory — the job goes
+// volatile, the queue reports degraded — and a later successful persist
+// clears the flag. Submit, by contrast, stays strict.
+func TestQueueDegradesOnBrokenDisk(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	j, err := q.Submit(Spec{Circuit: "s27"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break the disk out from under the queue.
+	h := runctl.NewHooks()
+	h.Arm(durable.SiteWrite, 0, runctl.ActENOSPC)
+	q.fsys = durable.NewFaultFS(durable.Disk, h)
+
+	claimed, _ := q.Claim()
+	if claimed == nil || claimed.ID != j.ID {
+		t.Fatal("degraded queue stopped draining")
+	}
+	c := q.Counts()
+	if !c.Degraded || c.Volatile != 1 {
+		t.Fatalf("counts after broken persist: %+v", c)
+	}
+	if !q.Degraded() {
+		t.Fatal("Degraded() = false on a broken disk")
+	}
+	// Admission stays strict: new work is refused while the disk is broken.
+	if _, err := q.Submit(Spec{Circuit: "s27"}); err == nil {
+		t.Fatal("Submit accepted work on a broken disk")
+	}
+	// Disk heals: the next transition persists and clears the degradation.
+	q.fsys = durable.Disk
+	if err := q.Complete(claimed); err != nil {
+		t.Fatal(err)
+	}
+	c = q.Counts()
+	if c.Degraded || c.Volatile != 0 {
+		t.Fatalf("counts after heal: %+v", c)
+	}
+	// And the healed journal matches the in-memory state.
+	q2, _, err := Open(q.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, ok := q2.Info(j.ID); !ok || info.Status.State != Done {
+		t.Fatalf("reloaded state = %+v", info)
 	}
 }
 

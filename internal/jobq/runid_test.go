@@ -9,8 +9,8 @@ import (
 	"testing"
 	"time"
 
+	"gahitec/internal/durable"
 	"gahitec/internal/obs"
-	"gahitec/internal/runctl"
 )
 
 // A job's run correlation ID is minted once at Submit and journaled, so it
@@ -179,7 +179,7 @@ func TestDeadLetterRecordCarriesRunID(t *testing.T) {
 	var file struct {
 		RunID string `json:"run_id"`
 	}
-	if err := runctl.LoadJSON(strings.TrimSuffix(j.Dir, "/")+"/job.json", &file); err != nil {
+	if err := durable.LoadJSON(durable.Disk, strings.TrimSuffix(j.Dir, "/")+"/job.json", durable.KindJob, &file); err != nil {
 		t.Fatal(err)
 	}
 	if file.RunID != j.RunID {

@@ -12,6 +12,7 @@ import (
 
 	"gahitec/internal/bench"
 	"gahitec/internal/circuits"
+	"gahitec/internal/durable"
 	"gahitec/internal/fault"
 	"gahitec/internal/hybrid"
 	"gahitec/internal/netlist"
@@ -201,7 +202,8 @@ func (r *Runner) execute(ctx context.Context, j *Job) {
 		if ckptDown {
 			return
 		}
-		if err := runctl.SaveJSONRetry(hooks, "checkpoint.write", ckPath, ck); err != nil {
+		if err := durable.SaveJSONRetry(r.Queue.fsys, hooks, "checkpoint.write",
+			ckPath, durable.KindCheckpoint, ck); err != nil {
 			ckptDown = true
 			r.logf("jobq: %s: checkpoint: %v; continuing without checkpointing", j.ID, err)
 		}
@@ -222,7 +224,7 @@ func (r *Runner) execute(ctx context.Context, j *Job) {
 			}
 			var ord int
 			var err error
-			p, ord, err = supervise.SaveBundleIn(j.BundleDir(), b, next)
+			p, ord, err = supervise.SaveBundleInFS(r.Queue.fsys, j.BundleDir(), b, next)
 			if err == nil {
 				next = ord + 1
 			}
@@ -237,19 +239,25 @@ func (r *Runner) execute(ctx context.Context, j *Job) {
 	cfg.Progress = func(p hybrid.Progress) { j.progress.Store(&p) }
 
 	// Resume from the last attempt's checkpoint when one exists; a journal
-	// that fails to load or validate is discarded (with a warning) and the
-	// job restarts from scratch — a corrupt checkpoint must cost progress,
-	// not park the job.
+	// that fails its integrity check or does not validate is quarantined —
+	// to corrupt/ with a report, never silently deleted — and the job
+	// restarts from scratch: a corrupt checkpoint must cost progress, not
+	// park the job, and must leave evidence, not vanish.
 	var res *hybrid.Result
 	if _, serr := os.Stat(ckPath); serr == nil {
 		var ck hybrid.Checkpoint
-		lerr := runctl.LoadJSON(ckPath, &ck)
+		lerr := durable.LoadJSON(r.Queue.fsys, ckPath, durable.KindCheckpoint, &ck)
 		if lerr == nil {
 			res, lerr = hybrid.Resume(jctx, c, faults, cfg, &ck)
 		}
 		if lerr != nil {
-			r.logf("jobq: %s: checkpoint rejected: %v; restarting from scratch", j.ID, lerr)
-			os.Remove(ckPath)
+			if moved, _, qerr := durable.Quarantine(r.Queue.dir, ckPath, lerr); qerr != nil {
+				r.logf("jobq: %s: checkpoint rejected: %v; quarantine failed (%v), discarding", j.ID, lerr, qerr)
+				os.Remove(ckPath)
+			} else {
+				r.Queue.NoteQuarantined(1)
+				r.logf("jobq: %s: checkpoint rejected: %v; quarantined to %s, restarting from scratch", j.ID, lerr, moved)
+			}
 			res = hybrid.RunCtx(jctx, c, faults, cfg)
 		}
 	} else {
@@ -270,7 +278,7 @@ func (r *Runner) execute(ctx context.Context, j *Job) {
 		return
 	}
 
-	if err := writeArtifacts(j, c, res, rec); err != nil {
+	if err := writeArtifacts(r.Queue.fsys, j, c, res, rec); err != nil {
 		r.fail(j, err, false)
 		return
 	}
@@ -316,17 +324,18 @@ func (q *Queue) userCancelled(j *Job) bool {
 }
 
 // circuit resolves the job's netlist: the embedded benchmark by name, or the
-// inline netlist staged at submit.
+// inline netlist staged at submit. The staged file's envelope is verified
+// before the parser sees a byte; netlists staged by earlier builds (no
+// envelope) are accepted as-is.
 func (j *Job) circuit() (*netlist.Circuit, error) {
 	if j.Spec.Circuit != "" {
 		return circuits.Get(j.Spec.Circuit)
 	}
-	f, err := os.Open(filepath.Join(j.Dir, "circuit.bench"))
+	payload, _, err := durable.ReadSealed(durable.Disk, filepath.Join(j.Dir, "circuit.bench"), durable.KindCircuit)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return bench.Parse(f, j.ID)
+	return bench.Parse(bytes.NewReader(payload), j.ID)
 }
 
 // config maps a Spec onto a hybrid.Config, mirroring cmd/atpg's defaults.
@@ -401,10 +410,11 @@ func detected(res *hybrid.Result) int {
 
 // writeArtifacts publishes a completed run: tests.txt (the pattern-format
 // test set), result.json (the deterministic summary) and metrics.json (the
-// merged obs metrics, checkpoint-restored counts included). All three write
-// atomically, so a crash mid-publish leaves complete old artifacts or
-// complete new ones, never torn files.
-func writeArtifacts(j *Job, c *netlist.Circuit, res *hybrid.Result, rec *obs.Recorder) error {
+// merged obs metrics, checkpoint-restored counts included). All three are
+// sealed in checksummed envelopes and written atomically, so a crash
+// mid-publish leaves complete old artifacts or complete new ones, never torn
+// files — and a later bit flip in any of them is detectable.
+func writeArtifacts(fsys durable.FS, j *Job, c *netlist.Circuit, res *hybrid.Result, rec *obs.Recorder) error {
 	set := &pattern.Set{Circuit: c.Name}
 	for _, pi := range c.PIs {
 		set.Inputs = append(set.Inputs, c.Nodes[pi].Name)
@@ -420,7 +430,8 @@ func writeArtifacts(j *Job, c *netlist.Circuit, res *hybrid.Result, rec *obs.Rec
 	if err := set.Write(&buf); err != nil {
 		return fmt.Errorf("jobq: render tests: %w", err)
 	}
-	if err := saveFileAtomic(filepath.Join(j.Dir, "tests.txt"), buf.Bytes()); err != nil {
+	if err := durable.WriteSealed(fsys, filepath.Join(j.Dir, "tests.txt"),
+		durable.KindTests, buf.Bytes()); err != nil {
 		return err
 	}
 
@@ -445,38 +456,8 @@ func writeArtifacts(j *Job, c *netlist.Circuit, res *hybrid.Result, rec *obs.Rec
 		elapsed = p.Elapsed
 	}
 	sum.ElapsedMS = elapsed.Milliseconds()
-	if err := runctl.SaveJSON(filepath.Join(j.Dir, "result.json"), sum); err != nil {
+	if err := durable.SaveJSON(fsys, filepath.Join(j.Dir, "result.json"), durable.KindResult, sum); err != nil {
 		return err
 	}
-	return runctl.SaveJSON(filepath.Join(j.Dir, "metrics.json"), rec.MetricsSnapshot())
-}
-
-// saveFileAtomic writes data to path via temp + fsync + rename, the same
-// contract as runctl.SaveJSON for non-JSON artifacts.
-func saveFileAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("jobq: write %s: %w", path, err)
-	}
-	tmpName := tmp.Name()
-	discard := func(err error) error {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("jobq: write %s: %w", path, err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		return discard(err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return discard(err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("jobq: write %s: %w", path, err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("jobq: write %s: %w", path, err)
-	}
-	return nil
+	return durable.SaveJSON(fsys, filepath.Join(j.Dir, "metrics.json"), durable.KindMetrics, rec.MetricsSnapshot())
 }

@@ -1,0 +1,294 @@
+package jobq
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gahitec/internal/durable"
+	"gahitec/internal/runctl"
+)
+
+// reopenTorture reopens the queue with the fault-injecting VFS armed, the
+// way atpgd wires GAHITEC_FAULT_INJECT vfs.* rules into jobq.OpenFS.
+func reopenTorture(t *testing.T, dir string, hooks *runctl.Hooks) *Queue {
+	t.Helper()
+	q, warnings, err := OpenFS(durable.NewFaultFS(durable.Disk, hooks), dir)
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	for _, w := range warnings {
+		t.Logf("open warning: %s", w)
+	}
+	q.RetryBase = 10 * time.Millisecond
+	q.RetryCap = 50 * time.Millisecond
+	return q
+}
+
+// TestTortureTornWritesKillFsckResume is the crash-consistency torture
+// acceptance: a mixed fleet of jobs is repeatedly "SIGKILLed" mid-run while
+// seeded-random torn writes, short writes, sync failures and rename failures
+// tear the queue's disk at randomized call numbers and byte offsets. After
+// every kill an fsck pass must find the tree either verifiably intact or
+// repairable without data loss — atomic sealed publication means a torn
+// write never reaches a published artifact, so nothing should ever need
+// quarantine — and the resumed fleet must finish with test sets
+// bit-identical to an uninterrupted reference run.
+//
+// The injected faults here are the error-returning kind (the writer sees the
+// failure and retries, degrades or charges the attempt). The
+// succeeds-but-vanishes faults (lostdir) are exercised by the targeted VFS
+// and bundle tests: replaying one faithfully requires the process to die at
+// that exact instant, which an in-process round that keeps running cannot
+// model without fabricating states no real crash produces.
+func TestTortureTornWritesKillFsckResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test runs full generator jobs; skipped with -short")
+	}
+
+	// MaxAttempts is generous: injected artifact-publication failures charge
+	// attempts, and the point of the torture is that charged retries still
+	// converge on bit-identical output — not that the budget is never touched.
+	specs := []Spec{
+		{Circuit: "s27", Seed: 1, Scale: 1000, CheckpointEvery: 1, MaxAttempts: 10},
+		{Circuit: "s27", Seed: 3, Mode: "hitec", Scale: 1000, CheckpointEvery: 1, MaxAttempts: 10},
+		{Bench: "INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n", Seed: 2, Scale: 1000, CheckpointEvery: 1, MaxAttempts: 10},
+	}
+
+	// Uninterrupted reference leg.
+	ref := openChaos(t, t.TempDir())
+	var refIDs []string
+	for _, spec := range specs {
+		j, err := ref.Submit(spec)
+		if err != nil {
+			t.Fatalf("Submit reference: %v", err)
+		}
+		refIDs = append(refIDs, j.ID)
+	}
+	drainUntil(t, ref, 2, 300*time.Second, func() bool { return allTerminal(ref) })
+
+	// Torture leg: same specs, then kill rounds under injection.
+	dir := t.TempDir()
+	q := openChaos(t, dir)
+	var ids []string
+	for _, spec := range specs {
+		j, err := q.Submit(spec)
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		ids = append(ids, j.ID)
+	}
+
+	rng := rand.New(rand.NewSource(0xD1CE))
+	for round := 1; round <= 4; round++ {
+		// A fresh randomized injection schedule per incarnation: which vfs
+		// call tears, and at which byte offset, varies every round.
+		var rules []string
+		for i := 0; i < 3; i++ {
+			call := 1 + rng.Intn(25)
+			switch rng.Intn(4) {
+			case 0:
+				rules = append(rules, fmt.Sprintf("vfs.write:%d:torn=%d", call, rng.Intn(256)))
+			case 1:
+				rules = append(rules, fmt.Sprintf("vfs.write:%d:short=%d", call, rng.Intn(64)))
+			case 2:
+				rules = append(rules, fmt.Sprintf("vfs.sync:%d:fail", call))
+			case 3:
+				rules = append(rules, fmt.Sprintf("vfs.rename:%d:fail", call))
+			}
+		}
+		spec := strings.Join(rules, ",")
+		hooks, err := runctl.ParseInjectSpec(spec)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		t.Logf("round %d: injecting %s", round, spec)
+		q = reopenTorture(t, dir, hooks)
+		cycleEnd := time.Now().Add(300 * time.Millisecond)
+		drainUntil(t, q, 2, 30*time.Second, func() bool {
+			return time.Now().After(cycleEnd) || allTerminal(q)
+		})
+		simulateKill9(t, q)
+
+		// Crash debris: the half-written publication temp a kill -9 strands
+		// mid-write. fsck must sweep it, never mistake it for an artifact.
+		debris := filepath.Join(dir, "jobs", ids[0], ".job.json.tmp-torture")
+		if err := os.WriteFile(debris,
+			[]byte("#%gahitec-durable v1 kind=jobq.job len=999 crc32c=deadbeef\n{\"torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		rep, err := durable.Fsck(dir, true)
+		if err != nil {
+			t.Fatalf("fsck after kill %d: %v", round, err)
+		}
+		for _, p := range rep.Problems {
+			t.Logf("round %d fsck: %s", round, p)
+		}
+		t.Logf("round %d: %s", round, rep)
+		if !rep.Clean() {
+			t.Fatalf("round %d: fsck had to quarantine — a torn write reached a published artifact:\n%s",
+				round, rep)
+		}
+		if rep.Swept == 0 {
+			t.Errorf("round %d: the stranded publication temp was not swept", round)
+		}
+	}
+
+	// Final incarnation, injection disarmed: the fleet must drain to done
+	// and match the uninterrupted reference bit for bit.
+	q = openChaos(t, dir)
+	drainUntil(t, q, 2, 300*time.Second, func() bool { return allTerminal(q) })
+	jobDir := func(q *Queue, id string) string {
+		j, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		return j.Dir
+	}
+	for i, id := range ids {
+		info, _ := q.Info(id)
+		if info.Status.State != Done {
+			t.Fatalf("tortured job %s = %s (last error %q), want done",
+				id, info.Status.State, info.Status.LastError)
+		}
+		compareArtifacts(t, id, jobDir(q, id), jobDir(ref, refIDs[i]))
+	}
+
+	// And the healed tree verifies end to end.
+	rep, err := durable.Fsck(dir, true)
+	if err != nil || !rep.Clean() {
+		t.Fatalf("final fsck not clean (err=%v):\n%s", err, rep)
+	}
+}
+
+// flipByte XORs one mid-payload byte of a sealed artifact in place — the
+// single-bit rot the envelope checksum exists to catch.
+func flipByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlippedByteEveryArtifactClassDetected flips a single byte in one
+// artifact of every persisted class — job journal, checkpoint, result,
+// metrics, test set, inline netlist, crash bundle — and requires each to be
+// detected and quarantined with a report by one fsck pass, with the service
+// then starting on the healed tree and finishing the surviving jobs.
+func TestFlippedByteEveryArtifactClassDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full generator jobs; skipped with -short")
+	}
+	dir := t.TempDir()
+	q := openChaos(t, dir)
+
+	// Job A (inline netlist, finishes fast) supplies the done-job artifacts:
+	// result.json, metrics.json, tests.txt, circuit.bench.
+	a, err := q.Submit(Spec{Bench: "INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n", Seed: 1, Scale: 1000, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Job B is interrupted mid-run so a checkpoint journal stays on disk.
+	b, err := q.Submit(Spec{Circuit: "s298", Seed: 2, Scale: 1000, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Job C never runs; its job.json is the flip target, and a condemned
+	// journal takes the whole job directory into quarantine with it.
+	c, err := q.Submit(Spec{Circuit: "s27", Seed: 3, Scale: 1000, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	aDone := func() bool {
+		info, _ := q.Info(a.ID)
+		return info.Status.State == Done
+	}
+	bCheckpointed := func() bool {
+		_, err := os.Stat(filepath.Join(b.Dir, "checkpoint.json"))
+		return err == nil
+	}
+	drainUntil(t, q, 1, 120*time.Second, func() bool { return aDone() && bCheckpointed() })
+
+	// A synthesized crash bundle covers the bundle class.
+	bundleDir := filepath.Join(a.Dir, "bundles")
+	if err := os.MkdirAll(bundleDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bundlePath := filepath.Join(bundleDir, "bundle-001-panic-n1-in0-sa0-p1-a0.json")
+	if err := durable.SaveJSON(durable.Disk, bundlePath, durable.KindBundle,
+		map[string]any{"schema": 1, "kind": "panic"}); err != nil {
+		t.Fatal(err)
+	}
+
+	targets := []string{
+		filepath.Join(a.Dir, "result.json"),
+		filepath.Join(a.Dir, "metrics.json"),
+		filepath.Join(a.Dir, "tests.txt"),
+		filepath.Join(a.Dir, "circuit.bench"),
+		bundlePath,
+		filepath.Join(b.Dir, "checkpoint.json"),
+		filepath.Join(c.Dir, "job.json"),
+	}
+	for _, path := range targets {
+		flipByte(t, path)
+	}
+
+	rep, err := durable.Fsck(dir, true)
+	if err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	for _, p := range rep.Problems {
+		t.Logf("fsck: %s", p)
+	}
+	if rep.Quarantined != len(targets) {
+		t.Fatalf("fsck quarantined %d artifacts, want %d (one per flipped class):\n%s",
+			rep.Quarantined, len(targets), rep)
+	}
+	// Every flip left evidence: the artifact in corrupt/ plus its report.
+	// Job C was condemned whole, so its evidence is the directory itself.
+	evidence := []string{"result.json", "metrics.json", "tests.txt", "circuit.bench",
+		filepath.Base(bundlePath), "checkpoint.json", c.ID}
+	for _, name := range evidence {
+		moved := filepath.Join(durable.CorruptDir(dir), name)
+		if _, err := os.Stat(moved); err != nil {
+			t.Errorf("quarantined %s missing: %v", name, err)
+			continue
+		}
+		var qrep durable.QuarantineReport
+		if err := durable.LoadJSON(durable.Disk, moved+".report.json", durable.KindReport, &qrep); err != nil {
+			t.Errorf("%s quarantine report: %v", name, err)
+		}
+	}
+
+	// The healed tree scans clean and the daemon starts on it: job A stays
+	// done (its journal is intact; the lost artifacts are the quarantined
+	// evidence), job B restarts clean without its checkpoint and finishes,
+	// job C is gone — quarantined whole, never half-trusted.
+	rep, err = durable.Fsck(dir, true)
+	if err != nil || !rep.Clean() {
+		t.Fatalf("second fsck not clean (err=%v):\n%s", err, rep)
+	}
+	q2 := openChaos(t, dir)
+	if _, ok := q2.Get(c.ID); ok {
+		t.Errorf("condemned job %s still in the queue", c.ID)
+	}
+	if info, ok := q2.Info(a.ID); !ok || info.Status.State != Done {
+		t.Errorf("job %s no longer done after fsck", a.ID)
+	}
+	drainUntil(t, q2, 1, 300*time.Second, func() bool { return allTerminal(q2) })
+	if info, _ := q2.Info(b.ID); info.Status.State != Done {
+		t.Errorf("job %s = %s (last error %q), want done after clean restart",
+			b.ID, info.Status.State, info.Status.LastError)
+	}
+}

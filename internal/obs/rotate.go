@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"gahitec/internal/durable"
 )
 
 // RotatingWriter is a size-capped NDJSON sink: events stream to the current
@@ -16,11 +18,17 @@ import (
 //
 // Crash safety: the segment being written is a hidden temp file in path's
 // directory, and a segment reaches a published name (path or path.1) only by
-// flush + fsync + rename, never by in-place append. A writer killed at any
-// instant — mid-write, mid-rotation, between the two renames — can therefore
-// never leave a truncated or torn file at a published name: readers see
-// either the previous complete segment or the new complete segment, and the
-// only possibly-torn file is the hidden temp, which the next run sweeps.
+// flush + fsync + rename + parent-directory fsync, never by in-place append.
+// A writer killed at any instant — mid-write, mid-rotation, between the two
+// renames — can therefore never leave a truncated or torn file at a
+// published name: readers see either the previous complete segment or the
+// new complete segment, and the only possibly-torn file is the hidden temp,
+// which the next run (and atpg fsck) sweeps. Segments stay raw NDJSON — no
+// envelope — because SSE followers and tracestat stream them line by line;
+// integrity is line-granular and fsck repairs a torn tail by truncation.
+//
+// All disk I/O goes through a durable.FS, so the chaos harness can tear or
+// fail any byte of any step via the vfs.* fault-injection sites.
 //
 // Rotation happens only between writes. The recorder emits one complete
 // NDJSON line per Write (json.Encoder calls Write once per Encode), so both
@@ -28,21 +36,28 @@ import (
 // parseable. Not safe for concurrent use; the Recorder serializes writes
 // under its own lock.
 type RotatingWriter struct {
+	fsys     durable.FS
 	path     string
 	maxBytes int64
 
-	f    *os.File // current segment: a hidden temp, published on rotate/Close
+	f    durable.File // current segment: a hidden temp, published on rotate/Close
 	buf  *bufio.Writer
 	size int64
 }
 
-// NewRotatingWriter starts a trace at path and returns the writer. Stale
+// NewRotatingWriter starts a trace at path on the real disk; see
+// NewRotatingWriterFS.
+func NewRotatingWriter(path string, maxBytes int64) (*RotatingWriter, error) {
+	return NewRotatingWriterFS(durable.Disk, path, maxBytes)
+}
+
+// NewRotatingWriterFS starts a trace at path and returns the writer. Stale
 // published segments and abandoned temps from a previous (possibly crashed)
 // run are removed first, so a fresh run never shows a prior run's events.
 // maxBytes <= 0 disables rotation: the whole trace is published at path on
 // Close, matching a plain file sink.
-func NewRotatingWriter(path string, maxBytes int64) (*RotatingWriter, error) {
-	w := &RotatingWriter{path: path, maxBytes: maxBytes}
+func NewRotatingWriterFS(fsys durable.FS, path string, maxBytes int64) (*RotatingWriter, error) {
+	w := &RotatingWriter{fsys: fsys, path: path, maxBytes: maxBytes}
 	os.Remove(path)
 	os.Remove(path + ".1")
 	if stale, err := filepath.Glob(filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".seg*")); err == nil {
@@ -57,7 +72,7 @@ func NewRotatingWriter(path string, maxBytes int64) (*RotatingWriter, error) {
 }
 
 func (w *RotatingWriter) open() error {
-	f, err := os.CreateTemp(filepath.Dir(w.path), "."+filepath.Base(w.path)+".seg*")
+	f, err := w.fsys.CreateTemp(filepath.Dir(w.path), "."+filepath.Base(w.path)+".seg*")
 	if err != nil {
 		return fmt.Errorf("obs: create trace segment: %w", err)
 	}
@@ -89,9 +104,9 @@ func (w *RotatingWriter) rotate() error {
 }
 
 // publish makes the current segment durable and atomically visible at name:
-// flush the buffer, fsync, close, then rename the temp into place. Any
-// failure leaves the temp behind (for the next run's sweep) and the
-// published name untouched.
+// flush the buffer, fsync, close, rename the temp into place, then fsync the
+// parent directory so the entry survives a crash. Any failure leaves the
+// temp behind (for the next run's sweep) and the published name untouched.
 func (w *RotatingWriter) publish(name string) error {
 	tmp := w.f.Name()
 	err := w.buf.Flush()
@@ -104,8 +119,11 @@ func (w *RotatingWriter) publish(name string) error {
 	if err != nil {
 		return fmt.Errorf("obs: close trace segment: %w", err)
 	}
-	if err := os.Rename(tmp, name); err != nil {
+	if err := w.fsys.Rename(tmp, name); err != nil {
 		return fmt.Errorf("obs: publish trace segment: %w", err)
+	}
+	if err := w.fsys.SyncDir(filepath.Dir(name)); err != nil {
+		return fmt.Errorf("obs: sync trace directory: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gahitec/internal/durable"
+	"gahitec/internal/runctl"
+)
+
+// traceLine renders one deterministic NDJSON event of stable width.
+func traceLine(n int) []byte {
+	return []byte(fmt.Sprintf(`{"ev":"tick","n":"%04d"}`+"\n", n))
+}
+
+// checkPublished asserts that every published segment name holds only
+// complete, parseable NDJSON lines — the whole-segments-only guarantee.
+func checkPublished(t *testing.T, path string, context string) {
+	t.Helper()
+	for _, name := range []string{path, path + ".1"} {
+		data, err := os.ReadFile(name)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", context, err)
+		}
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			t.Fatalf("%s: %s ends mid-line: %q", context, name, data)
+		}
+		for i, line := range splitLines(data) {
+			if !json.Valid(line) {
+				t.Fatalf("%s: %s line %d invalid: %q", context, name, i+1, line)
+			}
+		}
+	}
+}
+
+func splitLines(data []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			out = append(out, data[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// TestRotatingWriterTornPublishEveryOffset is the rotation half of the
+// crash-point coverage: tear the flush of a rotating segment at a sweep of
+// byte offsets. Whatever byte dies, published names must hold only complete
+// segments (or nothing), and fsck must leave the directory clean.
+func TestRotatingWriterTornPublishEveryOffset(t *testing.T) {
+	lineLen := len(traceLine(0))
+	// Cap at ~3 lines so the 4th write forces a rotation; the tear hits the
+	// rotation's flush, whose payload is the whole buffered segment.
+	cap := int64(3 * lineLen)
+	for offset := 0; offset <= 3*lineLen; offset += 7 {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "trace.ndjson")
+		h := runctl.NewHooks()
+		h.ArmIO(durable.SiteWrite, 1, runctl.ActTorn, offset)
+		fsys := durable.NewFaultFS(durable.Disk, h)
+		w, err := NewRotatingWriterFS(fsys, path, cap)
+		if err != nil {
+			t.Fatalf("offset %d: %v", offset, err)
+		}
+		sawFailure := false
+		for n := 0; n < 8; n++ {
+			if _, err := w.Write(traceLine(n)); err != nil {
+				sawFailure = true
+				break
+			}
+		}
+		if !sawFailure {
+			if err := w.Close(); err != nil {
+				sawFailure = true
+			}
+		}
+		if !sawFailure {
+			t.Fatalf("offset %d: torn write never surfaced", offset)
+		}
+		checkPublished(t, path, fmt.Sprintf("offset %d", offset))
+		rep, err := durable.Fsck(dir, true)
+		if err != nil {
+			t.Fatalf("offset %d: fsck: %v", offset, err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("offset %d: fsck found damage: %+v", offset, rep)
+		}
+		if debris, _ := filepath.Glob(filepath.Join(dir, ".trace.ndjson.seg*")); len(debris) != 0 {
+			t.Fatalf("offset %d: segment temps survived fsck: %v", offset, debris)
+		}
+	}
+}
+
+// TestRotatingWriterShortWritePublish covers the retryable sibling: a short
+// write fails the publish the same way, leaving published names whole.
+func TestRotatingWriterShortWritePublish(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.ndjson")
+	h := runctl.NewHooks()
+	h.ArmIO(durable.SiteWrite, 1, runctl.ActShort, 9)
+	fsys := durable.NewFaultFS(durable.Disk, h)
+	w, err := NewRotatingWriterFS(fsys, path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(traceLine(1))
+	w.Write(traceLine(2))
+	if err := w.Close(); err == nil {
+		t.Fatal("short write on final publish reported success")
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatal("failed publish left a file at the published name")
+	}
+	if rep, ferr := durable.Fsck(dir, true); ferr != nil || !rep.Clean() {
+		t.Fatalf("fsck after short write: %+v, %v", rep, ferr)
+	}
+}
+
+// TestRotatingWriterRenameAndSyncDirFaults fails the last two steps of the
+// publish protocol. A failed rename keeps the published name untouched; a
+// lost directory entry leaves the name absent; both states are clean.
+func TestRotatingWriterRenameAndSyncDirFaults(t *testing.T) {
+	for _, tc := range []struct {
+		site string
+		act  runctl.Action
+	}{
+		{durable.SiteRename, runctl.ActFail},
+		{durable.SiteRename, runctl.ActLostDir},
+		{durable.SiteSyncDir, runctl.ActFail},
+	} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "trace.ndjson")
+		h := runctl.NewHooks()
+		h.Arm(tc.site, 1, tc.act)
+		fsys := durable.NewFaultFS(durable.Disk, h)
+		w, err := NewRotatingWriterFS(fsys, path, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write(traceLine(1))
+		err = w.Close()
+		if tc.act == runctl.ActLostDir {
+			if err != nil {
+				t.Fatalf("%s/lostdir: writer must see success: %v", tc.site, err)
+			}
+			if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+				t.Fatalf("%s/lostdir: entry visible", tc.site)
+			}
+		} else if err == nil {
+			t.Fatalf("%s: injected failure reported success", tc.site)
+		}
+		checkPublished(t, path, tc.site)
+		if rep, ferr := durable.Fsck(dir, true); ferr != nil || !rep.Clean() {
+			t.Fatalf("%s: fsck: %+v, %v", tc.site, rep, ferr)
+		}
+	}
+}
+
+// TestRotatingWriterSurvivingSegmentsAfterTornRotation: after a torn
+// rotation, a fresh writer (the next attempt) starts clean over the same
+// path, exactly like the post-crash sweep.
+func TestRotatingWriterSurvivingSegmentsAfterTornRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.ndjson")
+	h := runctl.NewHooks()
+	h.ArmIO(durable.SiteWrite, 1, runctl.ActTorn, 5)
+	fsys := durable.NewFaultFS(durable.Disk, h)
+	w, err := NewRotatingWriterFS(fsys, path, int64(2*len(traceLine(0))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 6; n++ {
+		if _, err := w.Write(traceLine(n)); err != nil {
+			break
+		}
+	}
+	// Next attempt: plain disk, same path. The constructor sweeps debris.
+	w2, err := NewRotatingWriter(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Write(traceLine(100))
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(traceLine(100)) {
+		t.Fatalf("restarted trace holds stale data: %q", data)
+	}
+	if temps, _ := filepath.Glob(filepath.Join(dir, ".trace.ndjson.seg*")); len(temps) != 0 {
+		t.Fatalf("restart did not sweep temps: %v", temps)
+	}
+}

@@ -33,6 +33,22 @@ const (
 	// retry-with-backoff and degrade-instead-of-abort paths can be exercised
 	// without a real full disk.
 	ActFail
+	// ActTorn: at a byte-stream site, persist only the first Arg bytes of
+	// the payload and then fail hard — a torn write, the on-disk state a
+	// crash mid-write leaves behind. The durable VFS translates it.
+	ActTorn
+	// ActShort: at a byte-stream site, persist only the first Arg bytes and
+	// report a short write (io.ErrShortWrite) — the retryable sibling of a
+	// torn write.
+	ActShort
+	// ActENOSPC: fail the call with syscall.ENOSPC, so disk-full shedding
+	// (degraded read-only-disk mode) is exercisable without filling a disk.
+	ActENOSPC
+	// ActLostDir: at a rename site, report success while the directory entry
+	// is lost — the state a crash leaves when the parent directory was never
+	// fsynced after the rename. The durable VFS translates it by discarding
+	// the source instead of linking it into place.
+	ActLostDir
 )
 
 // InjectedPanic is the panic value used by ActPanic, so recover boundaries
@@ -52,12 +68,14 @@ func (f InjectedFailure) Error() string {
 }
 
 // rule arms one action at one site. Call 0 means every call; call k>0 means
-// only the k-th call (1-based) at that site.
+// only the k-th call (1-based) at that site. arg carries the action's
+// parameter (the byte offset of a torn or short write).
 type rule struct {
 	site   string
 	call   int
 	action Action
 	sleep  time.Duration
+	arg    int
 }
 
 // Hooks is the fault-injection harness: a set of armed rules consulted at
@@ -85,6 +103,14 @@ func (h *Hooks) Arm(site string, call int, action Action, d ...time.Duration) {
 	h.rules = append(h.rules, r)
 }
 
+// ArmIO installs a rule whose action carries a byte-offset argument
+// (ActTorn, ActShort); arg is ignored by the other actions.
+func (h *Hooks) ArmIO(site string, call int, action Action, arg int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rules = append(h.rules, rule{site: site, call: call, action: action, arg: arg})
+}
+
 // Calls returns how many times site has been entered.
 func (h *Hooks) Calls(site string) int {
 	if h == nil {
@@ -99,16 +125,24 @@ func (h *Hooks) Calls(site string) int {
 // panics, ActSleep sleeps, and ActExpire is returned for the caller to
 // translate (typically Budget.ForceExpire). Safe on a nil receiver.
 func (h *Hooks) Enter(site string) Action {
+	act, _ := h.EnterIO(site)
+	return act
+}
+
+// EnterIO is Enter for I/O sites: it additionally returns the armed rule's
+// byte-offset argument (meaningful for ActTorn and ActShort, zero
+// otherwise). Safe on a nil receiver.
+func (h *Hooks) EnterIO(site string) (Action, int) {
 	if h == nil {
-		return ActNone
+		return ActNone, 0
 	}
 	h.mu.Lock()
 	n := h.calls[site] + 1
 	h.calls[site] = n
-	act, sleep := ActNone, time.Duration(0)
+	act, sleep, arg := ActNone, time.Duration(0), 0
 	for _, r := range h.rules {
 		if r.site == site && (r.call == 0 || r.call == n) {
-			act, sleep = r.action, r.sleep
+			act, sleep, arg = r.action, r.sleep, r.arg
 			break
 		}
 	}
@@ -118,9 +152,9 @@ func (h *Hooks) Enter(site string) Action {
 		panic(InjectedPanic{Site: site})
 	case ActSleep:
 		time.Sleep(sleep)
-		return ActNone
+		return ActNone, 0
 	}
-	return act
+	return act, arg
 }
 
 // NormalizeInjectSpec rewrites every rule's call number to "*" so the spec
@@ -171,9 +205,12 @@ func FilterInjectSpec(spec string, keep ...string) string {
 // ParseInjectSpec builds a harness from a comma-separated spec of
 // site:call:action rules, e.g. "generate:3:panic,justify:*:sleep=20ms".
 // call is a 1-based call number or "*" for every call; action is one of
-// panic, expire, corrupt, fail, or sleep=<duration>. Command-line tools expose
-// this through an environment variable so integration tests can inject
-// faults into a real process.
+// panic, expire, corrupt, fail, enospc, lostdir, sleep=<duration>,
+// torn=<bytes> or short=<bytes>. Command-line tools expose this through an
+// environment variable so integration tests can inject faults into a real
+// process; the durable VFS consults the vfs.* sites so disk-level failures
+// (torn and short writes, EIO, ENOSPC, failed renames, lost directory
+// entries) are injectable at any byte offset.
 func ParseInjectSpec(spec string) (*Hooks, error) {
 	h := NewHooks()
 	for _, part := range strings.Split(spec, ",") {
@@ -203,6 +240,21 @@ func ParseInjectSpec(spec string) (*Hooks, error) {
 			h.Arm(site, call, ActCorrupt)
 		case fields[2] == "fail":
 			h.Arm(site, call, ActFail)
+		case fields[2] == "enospc":
+			h.Arm(site, call, ActENOSPC)
+		case fields[2] == "lostdir":
+			h.Arm(site, call, ActLostDir)
+		case strings.HasPrefix(fields[2], "torn="), strings.HasPrefix(fields[2], "short="):
+			name, val, _ := strings.Cut(fields[2], "=")
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("runctl: bad byte offset in %q", part)
+			}
+			act := ActTorn
+			if name == "short" {
+				act = ActShort
+			}
+			h.ArmIO(site, call, act, n)
 		case strings.HasPrefix(fields[2], "sleep="):
 			d, err := time.ParseDuration(strings.TrimPrefix(fields[2], "sleep="))
 			if err != nil {

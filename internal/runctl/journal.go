@@ -8,11 +8,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // SaveJSON marshals v and writes it to path atomically: the bytes go to a
 // temporary file in the same directory, which is fsynced and renamed over
-// path. A reader (or a resumed run) therefore never observes a torn or
+// path, after which the parent directory is fsynced too — a rename alone is
+// atomic but not durable, and a crash could otherwise lose the new directory
+// entry. A reader (or a resumed run) therefore never observes a torn or
 // truncated journal, even if the writer is killed mid-write.
 func SaveJSON(path string, v any) error {
 	data, err := json.MarshalIndent(v, "", " ")
@@ -42,7 +45,29 @@ func SaveJSON(path string, v any) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("runctl: publish journal: %w", err)
 	}
+	if err := SyncDir(dir); err != nil {
+		return fmt.Errorf("runctl: sync journal directory: %w", err)
+	}
 	return nil
+}
+
+// SyncDir fsyncs a directory, making previously renamed-in entries durable.
+// Filesystems that refuse to fsync directories (some network and overlay
+// mounts return EINVAL) are tolerated: the rename is still atomic, only the
+// crash-durability of the entry reverts to the mount's semantics.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+		return nil
+	}
+	return serr
 }
 
 // LoadJSON reads path and unmarshals it into v. The file must contain
@@ -57,13 +82,19 @@ func LoadJSON(path string, v any) error {
 	if err != nil {
 		return fmt.Errorf("runctl: read journal: %w", err)
 	}
+	return ParseJSON(path, data, v)
+}
+
+// ParseJSON decodes data (named name in errors) into v under LoadJSON's
+// strict contract: exactly one JSON document, positioned parse errors.
+func ParseJSON(name string, data []byte, v any) error {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("runctl: parse journal %s: %s: %w", path, locate(data, err), err)
+		return fmt.Errorf("runctl: parse journal %s: %s: %w", name, locate(data, err), err)
 	}
 	var extra json.RawMessage
 	if err := dec.Decode(&extra); !errors.Is(err, io.EOF) {
-		return fmt.Errorf("runctl: journal %s: trailing data after the JSON document", path)
+		return fmt.Errorf("runctl: journal %s: trailing data after the JSON document", name)
 	}
 	return nil
 }

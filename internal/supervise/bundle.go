@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"gahitec/internal/durable"
 	"gahitec/internal/runctl"
 )
 
@@ -169,27 +170,41 @@ func (b *Bundle) Validate() error {
 	return nil
 }
 
-// Save writes the bundle to path atomically.
-func (b *Bundle) Save(path string) error { return runctl.SaveJSON(path, b) }
+// Save writes the bundle to path atomically, sealed in the durable envelope.
+func (b *Bundle) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", " ")
+	if err != nil {
+		return fmt.Errorf("supervise: marshal bundle: %w", err)
+	}
+	return durable.WriteSealed(durable.Disk, path, durable.KindBundle, data)
+}
 
-// SaveBundleIn writes b into dir under its canonical FileName, claiming the
+// SaveBundleIn writes b into dir on the real disk; see SaveBundleInFS.
+func SaveBundleIn(dir string, b *Bundle, next int) (string, int, error) {
+	return SaveBundleInFS(durable.Disk, dir, b, next)
+}
+
+// SaveBundleInFS writes b into dir under its canonical FileName, claiming the
 // first free capture ordinal at or above next, and returns the path written
 // and the ordinal claimed. Unlike Save — whose rename silently replaces an
-// existing file — publication is exclusive: the bundle is written to a
+// existing file — publication is exclusive: the sealed bundle is written to a
 // unique temporary file and linked into place, which fails (instead of
 // clobbering) when another writer already owns the name, so concurrent
-// writers racing for the same ordinal each end up with their own file.
-func SaveBundleIn(dir string, b *Bundle, next int) (string, int, error) {
+// writers racing for the same ordinal each end up with their own file. The
+// claimed entry is made durable with a directory fsync; every step is a
+// crash point the fault-injecting FS can hit.
+func SaveBundleInFS(fsys durable.FS, dir string, b *Bundle, next int) (string, int, error) {
 	data, err := json.MarshalIndent(b, "", " ")
 	if err != nil {
 		return "", 0, fmt.Errorf("supervise: marshal bundle: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, ".bundle.tmp*")
+	data = durable.Seal(durable.KindBundle, data)
+	tmp, err := fsys.CreateTemp(dir, ".bundle.tmp*")
 	if err != nil {
 		return "", 0, fmt.Errorf("supervise: create bundle temp: %w", err)
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName)
+	defer fsys.Remove(tmpName)
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return "", 0, fmt.Errorf("supervise: write bundle: %w", err)
@@ -206,8 +221,11 @@ func SaveBundleIn(dir string, b *Bundle, next int) (string, int, error) {
 	}
 	for ordinal := next; ; ordinal++ {
 		path := filepath.Join(dir, b.FileName(ordinal))
-		switch err := os.Link(tmpName, path); {
+		switch err := fsys.Link(tmpName, path); {
 		case err == nil:
+			if err := fsys.SyncDir(dir); err != nil {
+				return "", 0, fmt.Errorf("supervise: sync bundle directory: %w", err)
+			}
 			return path, ordinal, nil
 		case errors.Is(err, os.ErrExist):
 			continue // another writer claimed this ordinal; take the next
@@ -217,10 +235,16 @@ func SaveBundleIn(dir string, b *Bundle, next int) (string, int, error) {
 	}
 }
 
-// LoadBundle reads and validates a bundle from path.
+// LoadBundle reads and validates a bundle from path. The envelope is verified
+// first (a bundle from a build predating envelopes is accepted as-is), so a
+// tampered or torn bundle is refused as corrupt before any field is trusted.
 func LoadBundle(path string) (*Bundle, error) {
+	payload, _, err := durable.ReadSealed(durable.Disk, path, durable.KindBundle)
+	if err != nil {
+		return nil, err
+	}
 	var b Bundle
-	if err := runctl.LoadJSON(path, &b); err != nil {
+	if err := runctl.ParseJSON(path, payload, &b); err != nil {
 		return nil, err
 	}
 	if err := b.Validate(); err != nil {

@@ -1,0 +1,157 @@
+package supervise
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"gahitec/internal/durable"
+	"gahitec/internal/runctl"
+)
+
+// sealedBundleLen returns how many bytes a sealed validBundle occupies, so
+// torn-write offsets can sweep the whole artifact.
+func sealedBundleLen(t *testing.T) int {
+	t.Helper()
+	data, err := json.MarshalIndent(validBundle(), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(durable.Seal(durable.KindBundle, data))
+}
+
+// TestSaveBundleInTornWriteEveryOffset is the ordinal-claiming half of the
+// crash-point coverage: a write torn at any byte offset must fail the
+// publication, leave no bundle file visible, and leave the directory in a
+// state fsck calls clean (the hidden temp is sweepable debris, not damage).
+func TestSaveBundleInTornWriteEveryOffset(t *testing.T) {
+	total := sealedBundleLen(t)
+	for offset := 0; offset < total; offset += 13 {
+		dir := t.TempDir()
+		h := runctl.NewHooks()
+		h.ArmIO(durable.SiteWrite, 1, runctl.ActTorn, offset)
+		fsys := durable.NewFaultFS(durable.Disk, h)
+		if _, _, err := SaveBundleInFS(fsys, dir, validBundle(), 1); err == nil {
+			t.Fatalf("offset %d: torn publication reported success", offset)
+		} else if !errors.Is(err, syscall.EIO) {
+			t.Fatalf("offset %d: err = %v, want wrapped EIO", offset, err)
+		}
+		if bundles, _ := filepath.Glob(filepath.Join(dir, "bundle-*.json")); len(bundles) != 0 {
+			t.Fatalf("offset %d: torn write published %v", offset, bundles)
+		}
+		rep, err := durable.Fsck(dir, true)
+		if err != nil {
+			t.Fatalf("offset %d: fsck: %v", offset, err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("offset %d: fsck found damage: %+v", offset, rep)
+		}
+		if debris, _ := filepath.Glob(filepath.Join(dir, ".*")); len(debris) != 0 {
+			t.Fatalf("offset %d: debris survived fsck: %v", offset, debris)
+		}
+	}
+}
+
+// TestSaveBundleInFaultAtEveryStep fails each step of the publication
+// protocol in turn. Whatever step dies, the directory must hold either no
+// bundle or one complete, loadable bundle — never a torn one.
+func TestSaveBundleInFaultAtEveryStep(t *testing.T) {
+	for _, site := range []string{
+		durable.SiteCreate, durable.SiteWrite, durable.SiteSync,
+		durable.SiteLink, durable.SiteSyncDir,
+	} {
+		dir := t.TempDir()
+		h := runctl.NewHooks()
+		h.Arm(site, 1, runctl.ActFail)
+		fsys := durable.NewFaultFS(durable.Disk, h)
+		_, _, err := SaveBundleInFS(fsys, dir, validBundle(), 1)
+		if err == nil {
+			t.Fatalf("site %s: injected failure reported success", site)
+		}
+		bundles, _ := filepath.Glob(filepath.Join(dir, "bundle-*.json"))
+		for _, p := range bundles {
+			// A failure after the link (the directory fsync) legitimately
+			// leaves the bundle visible — but then it must be complete.
+			if _, lerr := LoadBundle(p); lerr != nil {
+				t.Fatalf("site %s: published bundle unreadable: %v", site, lerr)
+			}
+		}
+		if rep, ferr := durable.Fsck(dir, true); ferr != nil || !rep.Clean() {
+			t.Fatalf("site %s: fsck after failure: %+v, %v", site, rep, ferr)
+		}
+	}
+}
+
+// TestSaveBundleInShortWriteRetriesToSuccess pairs the retryable failure
+// mode with the retry loop the jobq runner wraps around publication.
+func TestSaveBundleInShortWriteRetriesToSuccess(t *testing.T) {
+	dir := t.TempDir()
+	h := runctl.NewHooks()
+	h.ArmIO(durable.SiteWrite, 1, runctl.ActShort, 10)
+	fsys := durable.NewFaultFS(durable.Disk, h)
+	var path string
+	err := runctl.Retry(runctl.WriteAttempts, 0, func() error {
+		var err error
+		path, _, err = SaveBundleInFS(fsys, dir, validBundle(), 1)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("retry did not absorb the short write: %v", err)
+	}
+	if _, err := LoadBundle(path); err != nil {
+		t.Fatalf("bundle after retried publish: %v", err)
+	}
+}
+
+// TestSaveBundleInLostDirEntry models the crash between link and directory
+// fsync: the writer is told the claim succeeded but the entry is gone. The
+// state must read as "no bundle" — absent, not torn — and fsck must be clean.
+func TestSaveBundleInLostDirEntry(t *testing.T) {
+	dir := t.TempDir()
+	h := runctl.NewHooks()
+	h.Arm(durable.SiteLink, 1, runctl.ActLostDir)
+	fsys := durable.NewFaultFS(durable.Disk, h)
+	path, _, err := SaveBundleInFS(fsys, dir, validBundle(), 1)
+	if err != nil {
+		t.Fatalf("lostdir must look like success to the writer: %v", err)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatal("entry visible after lostdir")
+	}
+	if rep, ferr := durable.Fsck(dir, true); ferr != nil || !rep.Clean() {
+		t.Fatalf("fsck after lostdir: %+v, %v", rep, ferr)
+	}
+	// The next attempt reclaims the ordinal cleanly.
+	if _, ord, err := SaveBundleInFS(durable.Disk, dir, validBundle(), 1); err != nil || ord != 1 {
+		t.Fatalf("reclaim after lostdir: ordinal %d, err %v", ord, err)
+	}
+}
+
+// TestBundleSingleFlippedByteDetected: the artifact-class guarantee for
+// bundles — one flipped byte anywhere is detected at load and quarantined by
+// fsck, never silently replayed.
+func TestBundleSingleFlippedByteDetected(t *testing.T) {
+	dir := t.TempDir()
+	path, _, err := SaveBundleIn(dir, validBundle(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(path); !durable.IsCorrupt(err) {
+		t.Fatalf("flipped byte loaded: err = %v", err)
+	}
+	rep, err := durable.Fsck(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || rep.Quarantined != 1 {
+		t.Fatalf("fsck missed the flip: %+v", rep)
+	}
+}

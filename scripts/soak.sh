@@ -4,7 +4,7 @@
 # the matching kind, then require that -repro reproduces every bundle the
 # run wrote (exit 4 from -repro, a non-reproducing bundle, fails the soak).
 #
-# Usage: soak.sh panic|stall|corrupt|daemon
+# Usage: soak.sh panic|stall|corrupt|daemon|fsck
 #   BIN      generator binary (default: ./atpg-race, built with -race)
 #   DBIN     daemon binary for daemon mode (default: ./atpgd-race)
 #   DIR      work directory (default: soak-bundles; recreated)
@@ -17,14 +17,22 @@
 # SIGKILL the daemon mid-run (after its first checkpoint), restart it on the
 # same data directory — twice if the job is still running — and require the
 # resumed job's test set and result to be bit-identical to the same job run
-# uninterrupted in a fresh daemon.
+# uninterrupted in a fresh daemon. After every SIGKILL, atpg fsck must pass
+# over the data directory: a kill mid-write may strand sweepable temps, but
+# must never corrupt a published artifact.
+#
+# fsck mode is the durable-state corruption leg: flip one byte in a sealed
+# artifact and require atpg fsck to detect and quarantine it (exit 5) and a
+# second pass to come back clean (exit 0); truncate the NDJSON trace
+# mid-line and require fsck to repair it in place; then require the
+# restarted run's test set to be bit-identical to an undamaged reference.
 set -eu
 
 BIN=${BIN:-./atpg-race}
 DBIN=${DBIN:-./atpgd-race}
 DIR=${DIR:-soak-bundles}
 WORKERS=${WORKERS:-1}
-MODE=${1:?usage: soak.sh panic|stall|corrupt|daemon}
+MODE=${1:?usage: soak.sh panic|stall|corrupt|daemon|fsck}
 
 atpg() {
     inject=$1
@@ -159,6 +167,14 @@ daemon)
         kill -9 "$DPID"
         wait "$DPID" 2>/dev/null || true
         kills=$((kills + 1))
+        # Crash-consistency gate: whatever instant the SIGKILL landed at, the
+        # data directory must verify — sweepable debris is fine, a corrupt
+        # published artifact (fsck exit 5) is a torn-write bug.
+        echo "== soak: fsck after SIGKILL $kills"
+        "$BIN" fsck "$DIR/data" || {
+            echo "soak: fsck found unrepairable damage after SIGKILL $kills" >&2
+            exit 1
+        }
         echo "== soak: SIGKILL $kills delivered mid-job; restarting"
         start_daemon "$DIR/data"
     done
@@ -204,6 +220,81 @@ daemon)
         exit 1
     }
     echo "== soak: resumed output bit-identical after $kills SIGKILLs"
+    exit 0
+    ;;
+fsck)
+    DATA="$DIR/data"
+    mkdir -p "$DATA"
+
+    # flip_byte FILE: invert the low bit of the second-to-last byte — the
+    # single-bit rot the artifact checksum exists to catch.
+    flip_byte() {
+        size=$(wc -c <"$1")
+        off=$((size - 2))
+        byte=$(dd if="$1" bs=1 skip="$off" count=1 2>/dev/null | od -An -tu1 | tr -d ' \n')
+        printf "$(printf '\\%03o' $((byte ^ 1)))" \
+            | dd of="$1" bs=1 seek="$off" conv=notrunc 2>/dev/null
+    }
+
+    # Reference run and the run whose artifacts get damaged: same seed, same
+    # flags, so their sealed outputs are bit-identical end to end.
+    "$BIN" -circuit s27 -seed 1 -scale 1000 -workers "$WORKERS" \
+        -o "$DIR/ref-tests.txt"
+    "$BIN" -circuit s27 -seed 1 -scale 1000 -workers "$WORKERS" \
+        -checkpoint "$DATA/checkpoint.json" -checkpoint-every 1 \
+        -trace "$DATA/trace.ndjson" -o "$DATA/tests.txt"
+    cmp "$DATA/tests.txt" "$DIR/ref-tests.txt" || {
+        echo "soak: sealed test sets diverged before any damage" >&2
+        exit 1
+    }
+
+    # An undamaged tree scans clean.
+    "$BIN" fsck "$DATA" || { echo "soak: clean tree failed fsck" >&2; exit 1; }
+
+    # Leg 1: one flipped byte must be detected and quarantined (exit 5),
+    # evidence preserved, and the healed tree must scan clean (exit 0).
+    flip_byte "$DATA/tests.txt"
+    set +e
+    "$BIN" fsck "$DATA"
+    rc=$?
+    set -e
+    [ "$rc" -eq 5 ] || {
+        echo "soak: fsck on a flipped byte exited $rc, want 5 (quarantined)" >&2
+        exit 1
+    }
+    [ -f "$DATA/corrupt/tests.txt" ] && [ -f "$DATA/corrupt/tests.txt.report.json" ] || {
+        echo "soak: quarantined artifact or its report missing" >&2
+        ls -R "$DATA" >&2
+        exit 1
+    }
+    "$BIN" fsck "$DATA" || {
+        echo "soak: healed tree still fails fsck (exit $?)" >&2
+        exit 1
+    }
+
+    # Leg 2: a trace torn mid-line is repairable — truncated back to the
+    # last complete record, losing nothing that was whole. Still exit 0.
+    tsize=$(wc -c <"$DATA/trace.ndjson")
+    dd if=/dev/null of="$DATA/trace.ndjson" bs=1 seek=$((tsize - 7)) 2>/dev/null
+    "$BIN" fsck "$DATA" >"$DIR/fsck-trace.out" || {
+        echo "soak: torn trace tail must be repaired, not fatal" >&2
+        exit 1
+    }
+    grep -q "truncated" "$DIR/fsck-trace.out" || {
+        echo "soak: fsck did not report the trace repair" >&2
+        cat "$DIR/fsck-trace.out" >&2
+        exit 1
+    }
+
+    # Restart after the damage: the journal survived, the rerun must land on
+    # the same bits as the untouched reference.
+    "$BIN" -circuit s27 -seed 1 -scale 1000 -workers "$WORKERS" \
+        -o "$DATA/tests.txt"
+    cmp "$DATA/tests.txt" "$DIR/ref-tests.txt" || {
+        echo "soak: post-recovery test set differs from reference" >&2
+        exit 1
+    }
+    echo "== soak: corruption detected, quarantined, healed; output bit-identical"
     exit 0
     ;;
 *)
