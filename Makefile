@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json bench-check golden fuzz-smoke soak fsck-smoke
+.PHONY: build test check bench bench-json bench-check golden fuzz-smoke soak fsck-smoke loadgen-smoke
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,7 @@ golden:
 soak:
 	$(GO) build -race -o atpg-race ./cmd/atpg
 	$(GO) build -race -o atpgd-race ./cmd/atpgd
+	$(GO) build -race -o atpgload-race ./cmd/atpgload
 	./scripts/soak.sh panic
 	./scripts/soak.sh stall
 	./scripts/soak.sh corrupt
@@ -84,6 +85,18 @@ soak:
 	WORKERS=4 ./scripts/soak.sh corrupt
 	./scripts/soak.sh daemon
 	./scripts/soak.sh fsck
+	./scripts/soak.sh load
+
+# Overload smoke: a scaled-down chaos loadgen run — 2 tenants x 20 jobs
+# against a race-built daemon with one SIGKILL mid-run — asserting the same
+# report contract as the full soak leg (zero lost/duplicated jobs, fairness,
+# bounded submit p99). Fast enough to run while iterating on the dispatcher.
+loadgen-smoke:
+	$(GO) build -race -o atpgd-race ./cmd/atpgd
+	$(GO) build -race -o atpgload-race ./cmd/atpgload
+	./atpgload-race -daemon ./atpgd-race \
+		-daemon-args "-jobs 2 -max-queue 16 -admit-every 250ms -admit-throttle-age 2s -admit-shed-age 5s" \
+		-tenants 2 -jobs 20 -kill -timeout 5m -report loadgen-report.json
 
 # Durable-state corruption smoke: flip a byte in a sealed artifact, require
 # atpg fsck to quarantine it and heal the tree, tear the trace mid-record and

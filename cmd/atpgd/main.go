@@ -91,6 +91,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		memHardMB   = fs.Int("mem-hard-mb", 0, "heap size that triggers hard degradation (0: off)")
 		keepAlive   = fs.Duration("sse-keepalive", 15*time.Second, "SSE comment keep-alive cadence on idle event streams (0: off)")
 		fsckOnly    = fs.Bool("fsck", false, "verify and repair the data directory, print the report, and exit (5 if artifacts were quarantined)")
+
+		// Slow-client and slowloris hardening.
+		readHeaderTimeout = fs.Duration("read-header-timeout", 5*time.Second, "per-request limit on reading the headers (slowloris guard; 0: none)")
+		readTimeout       = fs.Duration("read-timeout", 30*time.Second, "per-request limit on reading headers+body (0: none)")
+		idleTimeout       = fs.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle limit (0: none)")
+		maxBody           = fs.Int64("max-body", 1<<20, "request-body byte cap on job submission")
+		sseWrite          = fs.Duration("sse-write-timeout", 10*time.Second, "per-frame write deadline on event streams; a subscriber that cannot take a frame in this long is unsubscribed (0: none)")
+		sseMaxLag         = fs.Int64("sse-max-lag", 4<<20, "bytes an event-stream subscriber may fall behind the trace writer before the stream skips to the live tail (0: unbounded)")
+
+		// Multi-tenant fair-share quotas (the per-tenant defaults; 0: unlimited).
+		tenantMaxRunning = fs.Int("tenant-max-running", 0, "per-tenant cap on concurrently running jobs")
+		tenantMaxQueued  = fs.Int("tenant-max-queued", 0, "per-tenant cap on queued jobs; submits past it get 429")
+		tenantCPUSeconds = fs.Float64("tenant-cpu-seconds", 0, "per-tenant execution budget (attempt wall-clock seconds) per accounting window")
+		retryJitter      = fs.Float64("retry-jitter", 0.25, "deterministic jitter fraction stretching retry backoffs (0..1; decorrelates mass-failure retries)")
+
+		// Graduated admission control (throttle -> shed) on top of the
+		// backlog cap; ages act on the oldest dispatchable pending job.
+		admitEvery  = fs.Duration("admit-every", time.Second, "admission-control sampling cadence")
+		throttleAge = fs.Duration("admit-throttle-age", 30*time.Second, "queue-head age that starts refusing submits with 429 (0: off)")
+		shedAge     = fs.Duration("admit-shed-age", 2*time.Minute, "queue-head age that starts shedding queued jobs (0: off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -161,6 +181,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	q.NoteQuarantined(fsckQuarantined)
 	q.RetryBase, q.RetryCap, q.MaxAttempts = *retryBase, *retryCap, *maxAttempts
+	q.RetryJitter = *retryJitter
+	q.DefaultQuota = jobq.TenantQuota{
+		MaxRunning: *tenantMaxRunning,
+		MaxQueued:  *tenantMaxQueued,
+		CPUSeconds: *tenantCPUSeconds,
+	}
 	if n := q.Backlog(); n > 0 {
 		logger.Printf("recovered %d unfinished job(s) from %s", n, *dataDir)
 	}
@@ -169,10 +195,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// per-job traces go to each job's own trace.ndjson, not here.
 	rec := obs.New(nil)
 
+	// Scheduling decisions land in the fleet counters (and the daemon log
+	// for quota denials and sheds — pick events would swamp it). Called with
+	// the queue lock held: count and return, nothing that reenters the queue.
+	q.OnEvent = func(ev jobq.Event) {
+		rec.Counter("tenant."+ev.Kind, 1)
+		if ev.Kind != "pick" {
+			logger.Printf("tenant %s: %s %s %s", ev.Tenant, ev.Kind, ev.Job, ev.Detail)
+		}
+	}
+
 	// Graceful degradation is layered (see jobq.Runner): per-job governors
 	// shed search workers first; the fleet scheduler is the backstop that
 	// stops filling job slots. Both probe the same shared heap.
 	fleetLog := &decisionLog{}
+	fleetLog.workers.Store(int32(*slots))
 	var fleet *supervise.Scheduler
 	var governor supervise.Governor
 	if *memSoftMB > 0 || *memHardMB > 0 {
@@ -201,22 +238,87 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Obs:        rec,
 	}
 
+	// Graduated admission control: the loop below samples measured load —
+	// fleet memory level (via the race-free decision-log mirror), backlog,
+	// queue-head age — and the handlers act on the resulting level. At shed,
+	// the loop also trims the queue back inside the backlog budget; shed
+	// jobs are journaled and wait for POST /jobs/{id}/resubmit.
+	admit := &admitState{}
+	admission := &supervise.Admission{
+		Memory:       fleetLog.memLevel,
+		MaxBacklog:   *maxQueue,
+		ThrottleAge:  *throttleAge,
+		ShedAge:      *shedAge,
+		DwellSamples: 2,
+		OnDecision:   admit.add,
+	}
+
 	srv := &server{
 		ctx:        ctx,
 		q:          q,
 		maxQueue:   *maxQueue,
 		retryAfter: *retryBase,
+		maxBody:    *maxBody,
 		rec:        rec,
 		fleet:      fleet,
 		fleetLog:   fleetLog,
+		admit:      admit,
 		keepAlive:  *keepAlive,
+		sseWrite:   *sseWrite,
+		sseMaxLag:  *sseMaxLag,
 		logf:       logger.Printf,
 	}
+	go func() {
+		every := *admitEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+			level := admission.Sample(q.Backlog(), q.OldestPendingAge())
+			prev := admit.Level()
+			admit.set(level)
+			if level != prev {
+				logger.Printf("admission: %s -> %s (backlog %d, queue age %s)",
+					prev, level, q.Backlog(), q.OldestPendingAge().Round(time.Second))
+			}
+			if level == supervise.AdmitShed {
+				// Trim the queue back inside the backlog budget; at least one
+				// job goes so sustained shed-level load always makes progress.
+				n := q.Backlog() - *maxQueue
+				if n < 1 {
+					n = 1
+				}
+				infos := q.Shed(n)
+				if len(infos) > 0 {
+					admit.noteShed(len(infos))
+					rec.Counter("admission.shed_jobs", int64(len(infos)))
+					for _, info := range infos {
+						logger.Printf("shed %s (tenant %s, priority %d); resubmit with POST /jobs/%s/resubmit",
+							info.ID, info.Spec.Tenant, info.Spec.Priority, info.ID)
+					}
+				}
+			}
+		}
+	}()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fail("listen: %v", err)
 	}
-	httpSrv := &http.Server{Handler: srv.handler()}
+	// No global WriteTimeout: event streams are long-lived by design. Slow
+	// SSE consumers are bounded per frame by -sse-write-timeout instead.
+	httpSrv := &http.Server{
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			logger.Printf("serve: %v", err)

@@ -32,6 +32,7 @@ func newTestServer(t *testing.T, maxQueue int, withRunner bool) (*server, *jobq.
 		retryAfter: 2 * time.Second,
 		rec:        obs.New(nil),
 		fleetLog:   &decisionLog{},
+		admit:      &admitState{},
 		logf:       t.Logf,
 	}
 	runnerDone := make(chan struct{})

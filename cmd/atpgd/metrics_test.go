@@ -63,6 +63,22 @@ func TestMetricsEndpoint(t *testing.T) {
 	if v, ok := sc.Value("gahitec_backtracks_count", nil); !ok || v != 1 {
 		t.Errorf("backtracks histogram count = %g, ok=%v; want 1", v, ok)
 	}
+	// Per-tenant fair-share series: both jobs rode the default tenant.
+	if v, ok := sc.Value("gahitec_tenant_jobs", map[string]string{"tenant": "default", "state": "pending"}); !ok || v != 2 {
+		t.Errorf("tenant_jobs{default,pending} = %g, ok=%v; want 2", v, ok)
+	}
+	for _, name := range []string{"gahitec_tenant_cpu_ms", "gahitec_tenant_picks_total",
+		"gahitec_tenant_quota_denied_total", "gahitec_tenant_shed_total", "gahitec_tenant_requeued_total"} {
+		if _, ok := sc.Value(name, map[string]string{"tenant": "default"}); !ok {
+			t.Errorf("missing %s{tenant=\"default\"}", name)
+		}
+	}
+	if _, ok := sc.Value("gahitec_admission_level", map[string]string{"level": "accept"}); !ok {
+		t.Error("missing gahitec_admission_level{level=\"accept\"}")
+	}
+	if _, ok := sc.Value("gahitec_admission_shed_total", nil); !ok {
+		t.Error("missing gahitec_admission_shed_total")
+	}
 }
 
 // An idle SSE stream must emit comment keep-alives so proxies and client

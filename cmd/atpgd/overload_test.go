@@ -1,0 +1,276 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"gahitec/internal/jobq"
+	"gahitec/internal/supervise"
+)
+
+// doHdr is do() with request headers.
+func doHdr(t *testing.T, h http.Handler, method, path, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestSubmitTenantHeader: X-Tenant sets the job's tenant; a spec field that
+// contradicts the header is a client bug, rejected outright.
+func TestSubmitTenantHeader(t *testing.T) {
+	s, q := newTestServer(t, 0, false)
+	h := s.handler()
+	w := doHdr(t, h, "POST", "/jobs", `{"circuit":"s27","seed":1}`, map[string]string{"X-Tenant": "team-a"})
+	if w.Code != http.StatusCreated {
+		t.Fatalf("submit = %d: %s", w.Code, w.Body)
+	}
+	var info jobq.Info
+	json.Unmarshal(w.Body.Bytes(), &info)
+	j, _ := q.Get(info.ID)
+	if j.Tenant() != "team-a" {
+		t.Fatalf("tenant = %q, want team-a", j.Tenant())
+	}
+	w = doHdr(t, h, "POST", "/jobs", `{"circuit":"s27","tenant":"team-b"}`, map[string]string{"X-Tenant": "team-a"})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("contradictory tenant = %d, want 400", w.Code)
+	}
+	// Invalid tenant names bounce with 400 through spec validation.
+	w = doHdr(t, h, "POST", "/jobs", `{"circuit":"s27"}`, map[string]string{"X-Tenant": "no spaces"})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("invalid tenant = %d, want 400", w.Code)
+	}
+}
+
+// TestTenantQuota429: a tenant over its queue-depth quota gets 429 +
+// Retry-After — retryable, not a permanent rejection — while other tenants
+// keep submitting.
+func TestTenantQuota429(t *testing.T) {
+	s, q := newTestServer(t, 0, false)
+	q.Quotas = map[string]jobq.TenantQuota{"noisy": {MaxQueued: 1}}
+	h := s.handler()
+	if w := doHdr(t, h, "POST", "/jobs", `{"circuit":"s27"}`, map[string]string{"X-Tenant": "noisy"}); w.Code != http.StatusCreated {
+		t.Fatalf("first submit = %d", w.Code)
+	}
+	w := doHdr(t, h, "POST", "/jobs", `{"circuit":"s27"}`, map[string]string{"X-Tenant": "noisy"})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit = %d, want 429: %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("quota 429 missing Retry-After")
+	}
+	if !strings.Contains(w.Body.String(), "queue-depth") {
+		t.Fatalf("quota 429 body does not name the quota: %s", w.Body)
+	}
+	if w := doHdr(t, h, "POST", "/jobs", `{"circuit":"s27"}`, map[string]string{"X-Tenant": "polite"}); w.Code != http.StatusCreated {
+		t.Fatalf("other tenant = %d, want 201", w.Code)
+	}
+}
+
+// TestAdmissionLevelGates: at throttle and shed the submit endpoint refuses
+// with 429, while resubmission of shed work stays open (it is how shed jobs
+// come back once the queue drains).
+func TestAdmissionLevelGates(t *testing.T) {
+	s, q := newTestServer(t, 0, false)
+	h := s.handler()
+	info := submitJob(t, h, `{"circuit":"s27","seed":1}`)
+
+	s.admit.set(supervise.AdmitThrottle)
+	if w := do(t, h, "POST", "/jobs", `{"circuit":"s27"}`); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("submit under throttle = %d, want 429", w.Code)
+	}
+	s.admit.set(supervise.AdmitShed)
+	if w := do(t, h, "POST", "/jobs", `{"circuit":"s27"}`); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("submit under shed = %d, want 429", w.Code)
+	}
+
+	// Shed the queued job (as the admission loop would) and resubmit it
+	// through the API: the full never-lost round trip.
+	shed := q.Shed(1)
+	if len(shed) != 1 || shed[0].ID != info.ID {
+		t.Fatalf("shed = %+v", shed)
+	}
+	if got, _ := q.Info(info.ID); got.Status.State != jobq.Shed {
+		t.Fatalf("state = %s, want shed", got.Status.State)
+	}
+	w := do(t, h, "POST", "/jobs/"+info.ID+"/resubmit", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("resubmit = %d: %s", w.Code, w.Body)
+	}
+	if got, _ := q.Info(info.ID); got.Status.State != jobq.Pending {
+		t.Fatalf("state after resubmit = %s, want pending", got.Status.State)
+	}
+	// Resubmit of a live job conflicts; unknown jobs 404.
+	if w := do(t, h, "POST", "/jobs/"+info.ID+"/resubmit", ""); w.Code != http.StatusConflict {
+		t.Fatalf("resubmit of pending job = %d, want 409", w.Code)
+	}
+	if w := do(t, h, "POST", "/jobs/job-999999/resubmit", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("resubmit of unknown job = %d, want 404", w.Code)
+	}
+}
+
+// TestSubmitBodyLimit: a netlist submission over the request-body cap is
+// refused with 413, not read to the end.
+func TestSubmitBodyLimit(t *testing.T) {
+	s, _ := newTestServer(t, 0, false)
+	s.maxBody = 4 << 10
+	h := s.handler()
+	big := fmt.Sprintf(`{"circuit":"s27","inject_spec":%q}`, strings.Repeat("x", 8<<10))
+	if w := do(t, h, "POST", "/jobs", big); w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit = %d, want 413", w.Code)
+	}
+	if w := do(t, h, "POST", "/jobs", `{"circuit":"s27"}`); w.Code != http.StatusCreated {
+		t.Fatalf("normal submit after oversize = %d", w.Code)
+	}
+}
+
+// TestSlowlorisHeaderTimeout: a client that opens a connection and trickles
+// headers must be cut off by ReadHeaderTimeout, not hold a connection slot
+// forever.
+func TestSlowlorisHeaderTimeout(t *testing.T) {
+	s, _ := newTestServer(t, 0, false)
+	srv := &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 100 * time.Millisecond,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Start a request and stall mid-headers.
+	if _, err := conn.Write([]byte("POST /jobs HTTP/1.1\r\nHost: x\r\nX-Slow:")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		// A 408 response also proves the server gave up on us.
+		t.Log("server answered the stalled request (408), connection closing")
+	}
+	// Either way the connection must now be dead: the next read hits EOF
+	// quickly instead of hanging for the full deadline.
+	start := time.Now()
+	io.Copy(io.Discard, conn)
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("connection survived %v past the header timeout", took)
+	}
+}
+
+// TestSSEDisconnectUnsubscribesPromptly: a subscriber that drops mid-stream
+// must be detected and its handler goroutine torn down — no goroutine or
+// file-handle leak per abandoned stream.
+func TestSSEDisconnectUnsubscribesPromptly(t *testing.T) {
+	s, _ := newTestServer(t, 0, false)
+	s.keepAlive = 20 * time.Millisecond
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// A pending job with no runner: the stream would otherwise idle forever.
+	info := submitJob(t, ts.Config.Handler, `{"circuit":"s27","seed":1}`)
+
+	before := runtime.NumGoroutine()
+	const subs = 8
+	for i := 0; i < subs; i++ {
+		resp, err := http.Get(ts.URL + "/jobs/" + info.ID + "/events")
+		if err != nil {
+			t.Fatalf("subscriber %d: %v", i, err)
+		}
+		// Read one frame so the handler is known to be live, then vanish.
+		buf := make([]byte, 64)
+		resp.Body.Read(buf)
+		resp.Body.Close()
+	}
+	// Every handler must notice its dead client and return. Poll: goroutine
+	// counts are noisy, but 8 leaked handlers are not noise.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after %d dropped subscribers", before, now, subs)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestSSESlowConsumerSkipsAhead: a subscriber that lags more than sseMaxLag
+// behind the trace writer is skipped to the live tail with an in-band
+// ": dropped" comment instead of replaying the whole backlog.
+func TestSSESlowConsumerSkipsAhead(t *testing.T) {
+	s, q := newTestServer(t, 0, false)
+	s.sseMaxLag = 1 << 10 // 1 KiB: tiny, so the test trips it instantly
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	info := submitJob(t, ts.Config.Handler, `{"circuit":"s27","seed":1}`)
+	j, _ := q.Get(info.ID)
+	// Fabricate a large trace backlog before the subscriber arrives.
+	f, err := os.Create(j.TracePath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(f, `{"seq":%d,"pad":%q}`+"\n", i, strings.Repeat("x", 100))
+	}
+	f.Close()
+
+	resp, err := http.Get(ts.URL + "/jobs/" + info.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Cancel the job so the stream terminates with the end frame.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		q.Cancel(info.ID)
+	}()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	if !strings.Contains(out, ": dropped ") {
+		t.Fatalf("no drop announcement in stream:\n%.400s", out)
+	}
+	if !strings.Contains(out, "event: end") {
+		t.Fatalf("stream did not finish:\n%.400s", out)
+	}
+	// The replayed portion must be bounded: far fewer than the 200 backlog
+	// lines survive the skip.
+	if n := strings.Count(out, "data: {"); n > 50 {
+		t.Fatalf("slow consumer still replayed %d backlog lines", n)
+	}
+	snap := s.rec.MetricsSnapshot()
+	if snap.Counters["sse.dropped_bytes"] == 0 {
+		t.Fatal("sse.dropped_bytes counter did not move")
+	}
+}

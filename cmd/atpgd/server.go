@@ -5,7 +5,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"net/http"
 	httppprof "net/http/pprof"
@@ -13,6 +15,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gahitec/internal/durable"
@@ -30,31 +33,93 @@ type server struct {
 	q          *jobq.Queue
 	maxQueue   int           // admission cap on Backlog (0: unlimited)
 	retryAfter time.Duration // Retry-After hint on 429
+	maxBody    int64         // request-body cap on submit (0: the 1 MiB default)
 	rec        *obs.Recorder
 	fleet      *supervise.Scheduler
 	fleetLog   *decisionLog
+	admit      *admitState
 	keepAlive  time.Duration // SSE comment cadence on idle streams (0: off)
+	sseWrite   time.Duration // per-frame write deadline on event streams (0: none)
+	sseMaxLag  int64         // bytes a subscriber may lag before skip-ahead (0: unbounded)
 	logf       func(format string, args ...any)
 }
 
 // decisionLog collects fleet scheduler decisions for /debug/fleet. The
 // scheduler itself is sampled only from the runner loop; the mutex covers
-// the handoff to concurrent debug readers.
+// the handoff to concurrent debug readers, and the level cell mirrors the
+// scheduler's current memory level for consumers on other goroutines (the
+// admission controller) that must not touch the scheduler's own state.
 type decisionLog struct {
-	mu sync.Mutex
-	d  []supervise.Decision
+	mu      sync.Mutex
+	d       []supervise.Decision
+	level   atomic.Int32
+	workers atomic.Int32
 }
 
 func (l *decisionLog) add(d supervise.Decision) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.d = append(l.d, d)
+	l.mu.Unlock()
+	for lv := supervise.LevelNormal; lv <= supervise.LevelHard; lv++ {
+		if lv.String() == d.To {
+			l.level.Store(int32(lv))
+		}
+	}
+	l.workers.Store(int32(d.ToWorkers))
 }
+
+// memLevel is the admission controller's (and the scrape handlers')
+// race-free view of fleet memory.
+func (l *decisionLog) memLevel() supervise.Level {
+	return supervise.Level(l.level.Load())
+}
+
+// slots mirrors the scheduler's current worker grant for scrape handlers.
+func (l *decisionLog) slots() int { return int(l.workers.Load()) }
 
 func (l *decisionLog) snapshot() []supervise.Decision {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]supervise.Decision(nil), l.d...)
+}
+
+// admitState is the handoff cell between the admission-control loop (the
+// only sampler) and the submit handlers and debug/metrics readers.
+type admitState struct {
+	mu    sync.Mutex
+	log   []supervise.AdmissionDecision
+	shed  int64 // queued jobs shed since start
+	level atomic.Int32
+}
+
+func (a *admitState) Level() supervise.AdmitLevel {
+	if a == nil {
+		return supervise.AdmitAccept
+	}
+	return supervise.AdmitLevel(a.level.Load())
+}
+
+func (a *admitState) set(l supervise.AdmitLevel) { a.level.Store(int32(l)) }
+
+func (a *admitState) add(d supervise.AdmissionDecision) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.log = append(a.log, d)
+}
+
+func (a *admitState) noteShed(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.shed += int64(n)
+}
+
+func (a *admitState) snapshot() ([]supervise.AdmissionDecision, int64) {
+	if a == nil {
+		return nil, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]supervise.AdmissionDecision(nil), a.log...), a.shed
 }
 
 func (s *server) handler() http.Handler {
@@ -68,6 +133,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/artifacts", s.artifacts)
 	mux.HandleFunc("GET /jobs/{id}/artifacts/{path...}", s.artifact)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
+	mux.HandleFunc("POST /jobs/{id}/resubmit", s.resubmit)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /debug/obs", s.debugObs)
@@ -92,29 +158,66 @@ func jsonError(w http.ResponseWriter, status int, format string, a ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, a...)})
 }
 
+// retryLater is the daemon's uniform 429: Retry-After plus a JSON body
+// naming why admission refused.
+func (s *server) retryLater(w http.ResponseWriter, format string, a ...any) {
+	retry := int(s.retryAfter / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	jsonError(w, http.StatusTooManyRequests, format+fmt.Sprintf("; retry after %ds", retry), a...)
+}
+
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	maxBody := s.maxBody
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var spec jobq.Spec
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			jsonError(w, http.StatusRequestEntityTooLarge,
+				"request body over the %d-byte limit", tooBig.Limit)
+			return
+		}
 		jsonError(w, http.StatusBadRequest, "decoding spec: %v", err)
 		return
 	}
-	// Admission control: past the backlog cap the durable answer is "not
-	// now", not an unbounded queue — the jobs we did accept keep their
-	// latency bounds, and the client knows when to come back.
-	if s.maxQueue > 0 && s.q.Backlog() >= s.maxQueue {
-		retry := int(s.retryAfter / time.Second)
-		if retry < 1 {
-			retry = 1
+	// Tenant identity rides the X-Tenant header (the spec field wins when
+	// both are set and agree; a mismatch is a client bug worth rejecting).
+	if h := r.Header.Get("X-Tenant"); h != "" {
+		if spec.Tenant != "" && spec.Tenant != h {
+			jsonError(w, http.StatusBadRequest,
+				"X-Tenant %q contradicts spec tenant %q", h, spec.Tenant)
+			return
 		}
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
-		jsonError(w, http.StatusTooManyRequests,
-			"queue full (%d jobs in flight); retry after %ds", s.maxQueue, retry)
+		spec.Tenant = h
+	}
+	// Graduated admission control. Level throttle and above: the durable
+	// answer is "not now", not an unbounded queue — the jobs we did accept
+	// keep their latency bounds, and the client knows when to come back.
+	if lvl := s.admit.Level(); lvl >= supervise.AdmitThrottle {
+		s.rec.Counter("admission.refused", 1)
+		s.retryLater(w, "admission control is %s (load)", lvl)
+		return
+	}
+	// The hard backlog cap backstops the admission loop's sampling cadence.
+	if s.maxQueue > 0 && s.q.Backlog() >= s.maxQueue {
+		s.rec.Counter("admission.refused", 1)
+		s.retryLater(w, "queue full (%d jobs in flight)", s.maxQueue)
 		return
 	}
 	j, err := s.q.Submit(spec)
+	if jobq.IsQuotaError(err) {
+		// Per-tenant quota, not a malformed request: retryable.
+		s.retryLater(w, "%v", err)
+		return
+	}
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -123,9 +226,33 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	if circuit == "" {
 		circuit = "inline netlist"
 	}
-	s.logf("accepted %s (%s, seed %d)", j.ID, circuit, j.Spec.Seed)
+	s.logf("accepted %s (%s, tenant %s, seed %d)", j.ID, circuit, j.Tenant(), j.Spec.Seed)
 	info, _ := s.q.Info(j.ID)
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// resubmit returns a shed or dead-lettered job to the pending queue: the
+// recovery half of the shedding contract (shed postpones work, never loses
+// it). Admission control does not gate resubmits — the job was already
+// accepted once and its netlist is already on disk — but the backlog cap
+// does, so resubmission cannot re-inflate an overloaded queue.
+func (s *server) resubmit(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.q.Get(id); !ok {
+		jsonError(w, http.StatusNotFound, "no job %s", id)
+		return
+	}
+	if s.maxQueue > 0 && s.q.Backlog() >= s.maxQueue {
+		s.retryLater(w, "queue full (%d jobs in flight)", s.maxQueue)
+		return
+	}
+	if err := s.q.Requeue(id); err != nil {
+		jsonError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.logf("resubmitted %s", id)
+	info, _ := s.q.Info(id)
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *server) list(w http.ResponseWriter, _ *http.Request) {
@@ -273,10 +400,10 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 		{Name: "gahitec_scheduler_enabled", Help: "Whether the fleet scheduler is throttling job slots (0/1).",
 			Value: boolGauge(s.fleet.Enabled())},
 		{Name: "gahitec_scheduler_workers", Help: "Job slots the fleet scheduler currently grants.",
-			Value: float64(s.fleet.Workers())},
+			Value: float64(s.fleetLog.slots())},
 		{Name: "gahitec_scheduler_level", Help: "Fleet degradation level (0 normal, 1 soft, 2 hard).",
-			Labels: map[string]string{"level": s.fleet.Level().String()},
-			Value:  float64(s.fleet.Level())},
+			Labels: map[string]string{"level": s.fleetLog.memLevel().String()},
+			Value:  float64(s.fleetLog.memLevel())},
 	}
 	for state, n := range counts.States {
 		gauges = append(gauges, promexport.Gauge{
@@ -284,6 +411,40 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 			Labels: map[string]string{"state": string(state)},
 			Value:  float64(n),
 		})
+	}
+	_, shedTotal := s.admit.snapshot()
+	gauges = append(gauges,
+		promexport.Gauge{Name: "gahitec_admission_level",
+			Help:   "Admission-control level (0 accept, 1 throttle, 2 shed).",
+			Labels: map[string]string{"level": s.admit.Level().String()},
+			Value:  float64(s.admit.Level())},
+		promexport.Gauge{Name: "gahitec_admission_shed_total",
+			Help:  "Queued jobs shed by admission control since the daemon started.",
+			Value: float64(shedTotal)},
+	)
+	for name, tc := range counts.Tenants {
+		lbl := map[string]string{"tenant": name}
+		for state, n := range tc.States {
+			gauges = append(gauges, promexport.Gauge{
+				Name: "gahitec_tenant_jobs", Help: "Jobs by tenant and lifecycle state.",
+				Labels: map[string]string{"tenant": name, "state": string(state)},
+				Value:  float64(n),
+			})
+		}
+		gauges = append(gauges,
+			promexport.Gauge{Name: "gahitec_tenant_cpu_ms",
+				Help: "Attempt wall-clock milliseconds charged to the tenant since start.", Labels: lbl, Value: float64(tc.CPUMillis)},
+			promexport.Gauge{Name: "gahitec_tenant_window_ms",
+				Help: "Attempt wall-clock milliseconds inside the tenant's current CPU-quota window.", Labels: lbl, Value: float64(tc.WindowMS)},
+			promexport.Gauge{Name: "gahitec_tenant_picks_total",
+				Help: "Fair-share dispatches won by the tenant.", Labels: lbl, Value: float64(tc.Picks)},
+			promexport.Gauge{Name: "gahitec_tenant_quota_denied_total",
+				Help: "Submits refused by the tenant's quotas.", Labels: lbl, Value: float64(tc.QuotaDenied)},
+			promexport.Gauge{Name: "gahitec_tenant_shed_total",
+				Help: "Jobs of the tenant shed under overload.", Labels: lbl, Value: float64(tc.Shed)},
+			promexport.Gauge{Name: "gahitec_tenant_requeued_total",
+				Help: "Shed or dead jobs of the tenant returned to the queue.", Labels: lbl, Value: float64(tc.Requeued)},
+		)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := promexport.Write(w, s.rec.MetricsSnapshot(), gauges); err != nil {
@@ -303,16 +464,25 @@ func (s *server) debugObs(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) debugFleet(w http.ResponseWriter, _ *http.Request) {
+	admissions, shed := s.admit.snapshot()
 	resp := struct {
-		Enabled   bool                 `json:"enabled"`
-		Level     string               `json:"level"`
-		Workers   int                  `json:"workers"`
-		Decisions []supervise.Decision `json:"decisions"`
+		Enabled    bool                           `json:"enabled"`
+		Level      string                         `json:"level"`
+		Workers    int                            `json:"workers"`
+		Decisions  []supervise.Decision           `json:"decisions"`
+		Admission  string                         `json:"admission"`
+		Shed       int64                          `json:"shed_jobs"`
+		Admissions []supervise.AdmissionDecision  `json:"admission_decisions"`
+		Tenants    map[string]jobq.TenantCounts   `json:"tenants"`
 	}{
-		Enabled:   s.fleet.Enabled(),
-		Level:     s.fleet.Level().String(),
-		Workers:   s.fleet.Workers(),
-		Decisions: s.fleetLog.snapshot(),
+		Enabled:    s.fleet.Enabled(),
+		Level:      s.fleetLog.memLevel().String(),
+		Workers:    s.fleetLog.slots(),
+		Decisions:  s.fleetLog.snapshot(),
+		Admission:  s.admit.Level().String(),
+		Shed:       shed,
+		Admissions: admissions,
+		Tenants:    s.q.Counts().Tenants,
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -322,6 +492,15 @@ func (s *server) debugFleet(w http.ResponseWriter, _ *http.Request) {
 // (with a poll fallback between attempts), and the stream finishes with an
 // "event: end" frame carrying the job's final record once the job is
 // terminal and the trace is fully drained.
+//
+// Subscribers are isolated from the runner twice over. The trace file itself
+// is the buffer — the runner appends to disk and never waits for a reader —
+// and the handler enforces its own bounds on each subscriber: every frame
+// write carries a deadline (a client that stops reading is torn down, not
+// waited on), any write error unsubscribes immediately, and a subscriber
+// that falls more than sseMaxLag bytes behind the writer is skipped ahead
+// to the live tail with a counted ": dropped" comment frame instead of
+// replaying an unbounded backlog to a consumer that cannot keep up.
 func (s *server) events(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.q.Get(id)
@@ -334,6 +513,7 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusInternalServerError, "response writer cannot stream")
 		return
 	}
+	rc := http.NewResponseController(w)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -347,42 +527,92 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 	var pending []byte
+	var offset int64 // bytes of trace consumed, for lag accounting
 	// lastFrame times the keep-alive: a comment frame (": keep-alive") goes
 	// out whenever the stream has been silent for the configured cadence, so
 	// proxies and client read-timeouts see traffic even while a long job is
 	// between trace lines. Comments are invisible to SSE consumers by spec.
 	lastFrame := time.Now()
+	// writeFrame pushes one frame under the per-write deadline; false means
+	// the subscriber is gone (or too slow to meet the deadline) and the
+	// handler must unsubscribe. Recorders without deadline support (tests)
+	// stream without one.
+	writeFrame := func(format string, a ...any) bool {
+		if s.sseWrite > 0 {
+			if err := rc.SetWriteDeadline(time.Now().Add(s.sseWrite)); err != nil &&
+				!errors.Is(err, http.ErrNotSupported) {
+				return false
+			}
+		}
+		if _, err := fmt.Fprintf(w, format, a...); err != nil {
+			s.rec.Counter("sse.write_errors", 1)
+			return false
+		}
+		lastFrame = time.Now()
+		fl.Flush()
+		return true
+	}
 	// drain forwards every complete trace line appended since the last
-	// call. A torn final line (the writer mid-append) stays pending until
-	// its newline arrives.
-	drain := func() {
+	// call; false unsubscribes. A torn final line (the writer mid-append)
+	// stays pending until its newline arrives.
+	drain := func() bool {
 		if f == nil {
 			var err error
 			if f, err = os.Open(j.TracePath()); err != nil {
-				return // no attempt has started yet
+				return true // no attempt has started yet
 			}
 			rd = bufio.NewReader(f)
 		}
+		// Bounded lag: skip a hopelessly behind subscriber to the live
+		// tail. The skip lands on a line boundary only by luck, so the
+		// pending partial line is discarded too; the drop is announced
+		// in-band and counted.
+		if s.sseMaxLag > 0 {
+			if fi, err := f.Stat(); err == nil && fi.Size()-offset > s.sseMaxLag {
+				end, err := f.Seek(0, io.SeekEnd)
+				if err == nil {
+					skipped := end - offset
+					offset = end
+					rd.Reset(f)
+					// Resync to the next complete line: everything up to the
+					// first newline after the seek belongs to a line whose
+					// head was skipped.
+					if rest, err := rd.ReadBytes('\n'); err == nil {
+						offset += int64(len(rest))
+						skipped += int64(len(rest))
+					}
+					pending = pending[:0]
+					s.rec.Counter("sse.dropped_bytes", skipped)
+					s.rec.Counter("sse.drops", 1)
+					if !writeFrame(": dropped %d bytes (slow consumer)\n\n", skipped) {
+						return false
+					}
+				}
+			}
+		}
 		for {
 			chunk, err := rd.ReadBytes('\n')
+			offset += int64(len(chunk))
 			pending = append(pending, chunk...)
 			if n := len(pending); n > 0 && pending[n-1] == '\n' {
-				fmt.Fprintf(w, "data: %s\n\n", bytes.TrimRight(pending, "\n"))
+				if !writeFrame("data: %s\n\n", bytes.TrimRight(pending, "\n")) {
+					return false
+				}
 				pending = pending[:0]
-				lastFrame = time.Now()
-				fl.Flush()
 			}
 			if err != nil {
-				return
+				return true
 			}
 		}
 	}
 	for {
-		drain()
+		if !drain() {
+			return
+		}
 		if s.keepAlive > 0 && time.Since(lastFrame) >= s.keepAlive {
-			fmt.Fprint(w, ": keep-alive\n\n")
-			lastFrame = time.Now()
-			fl.Flush()
+			if !writeFrame(": keep-alive\n\n") {
+				return
+			}
 		}
 		info, ok := s.q.Info(id)
 		if !ok {
@@ -392,10 +622,11 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 			// The state flipped after our drain; anything the final attempt
 			// wrote before its transition is on disk now — drain once more
 			// so the stream never truncates the tail of the trace.
-			drain()
+			if !drain() {
+				return
+			}
 			payload, _ := json.Marshal(info)
-			fmt.Fprintf(w, "event: end\ndata: %s\n\n", payload)
-			fl.Flush()
+			writeFrame("event: end\ndata: %s\n\n", payload)
 			return
 		}
 		var wake <-chan struct{}
@@ -409,6 +640,8 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 		timer := time.NewTimer(poll)
 		select {
 		case <-r.Context().Done():
+			// Client disconnected: unsubscribe promptly, before the next
+			// poll or trace line, so abandoned streams cannot accumulate.
 			timer.Stop()
 			return
 		case <-s.ctx.Done(): // daemon shutting down; let Shutdown drain us

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestChaosRunEndToEnd is the loadgen's own acceptance test: build the real
+// atpgd, spawn it, drive a multi-tenant run with mid-stream disconnects and
+// one SIGKILL+restart, and demand a passing report — zero lost or duplicated
+// jobs, bounded fairness, bounded submit latency. Scaled down from the soak
+// configuration so it fits a test run; scripts/soak.sh drives the full-size
+// version of the same scenario.
+func TestChaosRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e builds and kills a real daemon; skipped in -short")
+	}
+	dir := t.TempDir()
+	daemonBin := filepath.Join(dir, "atpgd")
+	build := exec.Command("go", "build", "-o", daemonBin, "gahitec/cmd/atpgd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build atpgd: %v\n%s", err, out)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	reportPath := filepath.Join(dir, "report.json")
+	code := run(ctx, []string{
+		"-daemon", daemonBin,
+		"-daemon-args", "-jobs 2 -max-queue 16 -admit-every 250ms -admit-throttle-age 2s -admit-shed-age 5s",
+		"-data", filepath.Join(dir, "data"),
+		"-tenants", "4",
+		"-jobs", "6",
+		"-kill",
+		"-timeout", "3m",
+		"-report", reportPath,
+	}, nullWriter{}, testWriter{t})
+	b, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("no report written: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if code != 0 || !rep.Pass {
+		t.Fatalf("chaos run failed (exit %d):\n%s", code, b)
+	}
+	if rep.Submitted != 24 || rep.Completed != 24 {
+		t.Fatalf("submitted %d / completed %d, want 24/24", rep.Submitted, rep.Completed)
+	}
+	if rep.Kills != 1 {
+		t.Fatalf("kills = %d, want exactly 1 SIGKILL+restart", rep.Kills)
+	}
+	if rep.Lost != 0 || rep.Duplicated != 0 {
+		t.Fatalf("lost=%d duplicated=%d after daemon SIGKILL", rep.Lost, rep.Duplicated)
+	}
+	if rep.Resubmitted < rep.Shed {
+		t.Fatalf("%d jobs shed but only %d resubmitted", rep.Shed, rep.Resubmitted)
+	}
+	if rep.Disconnects == 0 {
+		t.Fatal("no mid-stream SSE disconnects were exercised")
+	}
+}
+
+// testWriter routes harness logs through the test log so a failure carries
+// the play-by-play.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

@@ -1,0 +1,672 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"gahitec/internal/jobq"
+)
+
+// options configures one loadgen run.
+type options struct {
+	addr            string   // attach to a running daemon here, or
+	daemonBin       string   // spawn (and optionally SIGKILL) this atpgd binary
+	daemonArgs      []string // extra flags for the spawned daemon
+	dataDir         string   // spawned daemon's state directory
+	tenants         int
+	jobs            int // per tenant
+	kill            bool
+	maxRatio        float64
+	p99Max          time.Duration
+	timeout         time.Duration
+	seed            int64
+	disconnectEvery int // follow every Nth job's SSE stream and drop it
+	logf            func(format string, a ...any)
+}
+
+// ---------------------------------------------------------------------------
+// HTTP client
+
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+// retryAfter reads a 429's Retry-After header, clamped to something a load
+// generator is willing to wait.
+func retryAfter(resp *http.Response) time.Duration {
+	d := 500 * time.Millisecond
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			d = time.Duration(n) * time.Second
+		}
+	}
+	return min(max(d, 200*time.Millisecond), 3*time.Second)
+}
+
+// submit POSTs one job for tenant, riding out 429 backpressure and daemon
+// restarts. The returned latency covers only the accepted request: the
+// p99-submit bound measures how fast the daemon answers, not how long it
+// chose to refuse.
+func (c *client) submit(ctx context.Context, tenant string, spec jobq.Spec) (info jobq.Info, lat time.Duration, throttled int, err error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return info, 0, 0, err
+	}
+	for {
+		rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		req, _ := http.NewRequestWithContext(rctx, "POST", c.base+"/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", tenant)
+		start := time.Now()
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			cancel()
+			// The daemon may be mid-restart; that is the chaos we ordered.
+			if werr := sleepCtx(ctx, 250*time.Millisecond); werr != nil {
+				return info, 0, throttled, werr
+			}
+			continue
+		}
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		cancel()
+		switch resp.StatusCode {
+		case http.StatusCreated:
+			if err := json.Unmarshal(b, &info); err != nil {
+				return info, 0, throttled, fmt.Errorf("submit response: %w", err)
+			}
+			return info, time.Since(start), throttled, nil
+		case http.StatusTooManyRequests:
+			throttled++
+			if err := sleepCtx(ctx, retryAfter(resp)); err != nil {
+				return info, 0, throttled, err
+			}
+		default:
+			return info, 0, throttled, fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(b))
+		}
+	}
+}
+
+// list fetches the full job census.
+func (c *client) list(ctx context.Context) ([]jobq.Info, error) {
+	rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(rctx, "GET", c.base+"/jobs", nil)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("list: %s", resp.Status)
+	}
+	var infos []jobq.Info
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// resubmit pushes a shed job back into the queue. requeued reports whether
+// this call did the pushing: a 409 means someone (or a previous poll round)
+// already had, which is success but not our success.
+func (c *client) resubmit(ctx context.Context, id string) (requeued bool, err error) {
+	rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(rctx, "POST", c.base+"/jobs/"+id+"/resubmit", nil)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusConflict:
+		return false, nil
+	default:
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return false, fmt.Errorf("resubmit %s: %s: %s", id, resp.Status, bytes.TrimSpace(b))
+	}
+}
+
+// follow subscribes to a job's SSE stream, reads a handful of frames, and
+// hangs up mid-stream — the rude client the daemon must shrug off.
+func (c *client) follow(ctx context.Context, id string, frames int) {
+	rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(rctx, "GET", c.base+"/jobs/"+id+"/events", nil)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	rd := bufio.NewReader(resp.Body)
+	for i := 0; i < frames; i++ {
+		if _, err := rd.ReadString('\n'); err != nil {
+			return
+		}
+	}
+	// Drop the connection with the stream still open.
+}
+
+// waitHealthy polls /healthz until the daemon answers.
+func (c *client) waitHealthy(ctx context.Context, limit time.Duration) error {
+	deadline := time.Now().Add(limit)
+	for {
+		rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		req, _ := http.NewRequestWithContext(rctx, "GET", c.base+"/healthz", nil)
+		resp, err := c.hc.Do(req)
+		cancel()
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon not healthy after %v", limit)
+		}
+		if err := sleepCtx(ctx, 200*time.Millisecond); err != nil {
+			return err
+		}
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Daemon under test
+
+// daemon manages a spawned atpgd: start, SIGKILL, restart on the same
+// address, graceful stop.
+type daemon struct {
+	bin    string
+	data   string
+	args   []string
+	stderr io.Writer
+	logf   func(format string, a ...any)
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	addr string // resolved after first start; restarts rebind it
+}
+
+// start launches the daemon and waits for its listen announcement. The first
+// start binds an ephemeral port; restarts reuse the resolved address so
+// clients keep their base URL.
+func (d *daemon) start(ctx context.Context) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	addr := d.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	args := append([]string{"-addr", addr, "-data", d.data}, d.args...)
+	cmd := exec.Command(d.bin, args...)
+	cmd.Stderr = d.stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", fmt.Errorf("start %s: %w", d.bin, err)
+	}
+	got := make(chan string, 1)
+	go func() {
+		// Keep draining stdout for the daemon's whole life so it never
+		// blocks on a full pipe; only the first announcement matters.
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "atpgd: listening on "); ok {
+				select {
+				case got <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case a := <-got:
+		d.addr = a
+		d.cmd = cmd
+		return a, nil
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return "", errors.New("daemon never announced its listen address")
+	case <-ctx.Done():
+		cmd.Process.Kill()
+		cmd.Wait()
+		return "", ctx.Err()
+	}
+}
+
+// kill SIGKILLs the daemon — no warning, no flush, the crash we are testing
+// recovery from.
+func (d *daemon) kill() error {
+	d.mu.Lock()
+	cmd := d.cmd
+	d.cmd = nil
+	d.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return errors.New("no daemon to kill")
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		return err
+	}
+	cmd.Wait()
+	return nil
+}
+
+// stop shuts the daemon down gracefully, escalating to SIGKILL if it dawdles.
+func (d *daemon) stop() {
+	d.mu.Lock()
+	cmd := d.cmd
+	d.cmd = nil
+	d.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		<-done
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The harness
+
+// tracked is the loadgen's own ledger entry for one submitted job — the
+// ground truth the daemon's census is audited against.
+type tracked struct {
+	tenant    string
+	state     jobq.State
+	shed      int // times observed entering the shed state
+	resubmits int
+}
+
+// runLoad drives the whole scenario and returns the report. An error return
+// means the harness itself could not run (no daemon, bad options); scenario
+// failures are reported through Report.Pass instead.
+func runLoad(ctx context.Context, opt options, stderr io.Writer) (*Report, error) {
+	logf := opt.logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	start := time.Now()
+
+	var dmn *daemon
+	base := opt.addr
+	if base == "" {
+		if opt.daemonBin == "" {
+			return nil, errors.New("need -addr or -daemon")
+		}
+		dmn = &daemon{bin: opt.daemonBin, data: opt.dataDir, args: opt.daemonArgs, stderr: stderr, logf: logf}
+		a, err := dmn.start(ctx)
+		if err != nil {
+			return nil, err
+		}
+		base = a
+		defer dmn.stop()
+		logf("spawned %s on %s (data %s)", opt.daemonBin, a, opt.dataDir)
+	}
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	cli := &client{base: base, hc: &http.Client{}}
+	if err := cli.waitHealthy(ctx, 20*time.Second); err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, opt.timeout)
+	defer cancel()
+
+	total := opt.tenants * opt.jobs
+	var (
+		mu          sync.Mutex
+		jobs        = map[string]*tracked{}
+		latencies   []float64
+		throttled   int
+		disconnects int
+		errs        []string
+		kills       int
+	)
+	fail := func(format string, a ...any) {
+		msg := fmt.Sprintf(format, a...)
+		logf("ERROR: %s", msg)
+		mu.Lock()
+		errs = append(errs, msg)
+		mu.Unlock()
+	}
+	countDone := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for _, j := range jobs {
+			if j.state == jobq.Done {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Submitters: one goroutine per tenant, each pushing its batch as fast
+	// as admission control allows.
+	var wg sync.WaitGroup
+	var followers sync.WaitGroup
+	for t := 0; t < opt.tenants; t++ {
+		tenant := fmt.Sprintf("tenant-%d", t)
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			for i := 0; i < opt.jobs; i++ {
+				spec, err := jobSpec(opt.seed, tenant, i)
+				if err != nil {
+					fail("%v", err)
+					return
+				}
+				info, lat, retries, err := cli.submit(ctx, tenant, spec)
+				if err != nil {
+					if ctx.Err() == nil {
+						fail("submit %s/%d: %v", tenant, i, err)
+					}
+					return
+				}
+				mu.Lock()
+				jobs[info.ID] = &tracked{tenant: tenant}
+				latencies = append(latencies, float64(lat.Microseconds())/1000)
+				throttled += retries
+				mu.Unlock()
+				if opt.disconnectEvery > 0 && i%opt.disconnectEvery == 0 {
+					followers.Add(1)
+					go func(id string) {
+						defer followers.Done()
+						cli.follow(ctx, id, 3)
+						mu.Lock()
+						disconnects++
+						mu.Unlock()
+					}(info.ID)
+				}
+			}
+		}(tenant)
+	}
+	submittersDone := make(chan struct{})
+	go func() { wg.Wait(); close(submittersDone) }()
+
+	// The killer: once the run is genuinely mid-flight — a good chunk
+	// submitted, at least one job finished, work in progress — SIGKILL the
+	// daemon and restart it on the same port.
+	killed := make(chan struct{})
+	if opt.kill && dmn != nil {
+		go func() {
+			defer close(killed)
+			for {
+				if err := sleepCtx(ctx, 250*time.Millisecond); err != nil {
+					return
+				}
+				mu.Lock()
+				submitted := len(jobs)
+				mu.Unlock()
+				if submitted >= total*2/5 && countDone() >= 1 {
+					break
+				}
+			}
+			logf("SIGKILL daemon mid-run (%d jobs submitted, %d done)", func() int { mu.Lock(); defer mu.Unlock(); return len(jobs) }(), countDone())
+			if err := dmn.kill(); err != nil {
+				fail("kill daemon: %v", err)
+				return
+			}
+			sleepCtx(ctx, 500*time.Millisecond)
+			if _, err := dmn.start(ctx); err != nil {
+				if ctx.Err() == nil {
+					fail("restart daemon: %v", err)
+				}
+				return
+			}
+			if err := cli.waitHealthy(ctx, 20*time.Second); err != nil {
+				if ctx.Err() == nil {
+					fail("daemon not healthy after restart: %v", err)
+				}
+				return
+			}
+			mu.Lock()
+			kills++
+			mu.Unlock()
+			logf("daemon restarted, recovery verified by the census that follows")
+		}()
+	} else {
+		close(killed)
+	}
+
+	// Monitor: poll the census, resubmit anything shed, snapshot fairness
+	// the moment the first tenant completes its batch, and stop once every
+	// tracked job has landed (and the killer, if armed, has struck).
+	var (
+		shedTotal, resubmitted int
+		fairness               = -1.0
+		doneAtSnapshot         map[string]int
+	)
+	submittersFinished := func() bool {
+		select {
+		case <-submittersDone:
+			return true
+		default:
+			return false
+		}
+	}
+	killerFinished := func() bool {
+		select {
+		case <-killed:
+			return true
+		default:
+			return false
+		}
+	}
+poll:
+	for {
+		if err := sleepCtx(ctx, 250*time.Millisecond); err != nil {
+			fail("run deadline (%v) hit before all jobs landed", opt.timeout)
+			break
+		}
+		infos, err := cli.list(ctx)
+		if err != nil {
+			continue // daemon mid-restart; the next round will see it
+		}
+		var toResubmit []string
+		mu.Lock()
+		for _, in := range infos {
+			j, ok := jobs[in.ID]
+			if !ok {
+				continue // not ours (attach mode shares the daemon)
+			}
+			if in.Status.State == jobq.Shed {
+				if j.state != jobq.Shed {
+					j.shed++
+					shedTotal++
+				}
+				// Level-triggered, not edge-triggered: a resubmit that
+				// failed against a restarting daemon must be retried on
+				// the next round, not forgotten.
+				toResubmit = append(toResubmit, in.ID)
+			}
+			j.state = in.Status.State
+		}
+		perDone := map[string]int{}
+		for _, j := range jobs {
+			if j.state == jobq.Done {
+				perDone[j.tenant]++
+			}
+		}
+		allDone := len(jobs) == total
+		for _, j := range jobs {
+			if !j.state.Terminal() || j.state == jobq.Shed {
+				allDone = false
+			}
+		}
+		mu.Unlock()
+
+		for _, id := range toResubmit {
+			requeued, err := cli.resubmit(ctx, id)
+			if err != nil {
+				if ctx.Err() == nil {
+					logf("resubmit %s failed (will retry): %v", id, err)
+				}
+				continue
+			}
+			if !requeued {
+				continue
+			}
+			mu.Lock()
+			jobs[id].resubmits++
+			resubmitted++
+			mu.Unlock()
+			logf("resubmitted shed job %s", id)
+		}
+		if fairness < 0 && submittersFinished() {
+			for tenant, n := range perDone {
+				if n == opt.jobs { // first tenant over the line
+					fairness = ratio(perDone)
+					doneAtSnapshot = perDone
+					logf("fairness snapshot at %s completion: ratio %.2f %v", tenant, fairness, perDone)
+					break
+				}
+			}
+		}
+		if allDone && submittersFinished() && killerFinished() {
+			break poll
+		}
+	}
+	followers.Wait()
+
+	// Final census: audit the daemon's view against our ledger.
+	rep := &Report{
+		Tenants:       opt.tenants,
+		JobsPerTenant: opt.jobs,
+		Seed:          opt.seed,
+		Kill:          opt.kill,
+		MaxRatio:      opt.maxRatio,
+		P99MaxMS:      float64(opt.p99Max.Milliseconds()),
+		PerTenant:     map[string]*TenantReport{},
+	}
+	census, err := finalCensus(cli, opt.timeout)
+	if err != nil {
+		fail("final census: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	rep.Kills = kills
+	rep.Submitted = len(jobs)
+	rep.Shed = shedTotal
+	rep.Resubmitted = resubmitted
+	rep.Throttled = throttled
+	rep.Disconnects = disconnects
+	rep.Errors = errs
+	rep.ElapsedMS = time.Since(start).Milliseconds()
+	rep.SubmitP50MS = percentile(latencies, 50)
+	rep.SubmitP95MS = percentile(latencies, 95)
+	rep.SubmitP99MS = percentile(latencies, 99)
+
+	finalDone := map[string]int{}
+	rep.FinalStates = map[string]int{}
+	for id, j := range jobs {
+		tr := rep.PerTenant[j.tenant]
+		if tr == nil {
+			tr = &TenantReport{}
+			rep.PerTenant[j.tenant] = tr
+		}
+		tr.Submitted++
+		tr.Shed += j.shed
+		tr.Resubmitted += j.resubmits
+		n, present := census[id]
+		if !present {
+			rep.Lost++
+			continue
+		}
+		if n.copies > 1 {
+			rep.Duplicated++
+		}
+		rep.FinalStates[string(n.state)]++
+		switch n.state {
+		case jobq.Done:
+			rep.Completed++
+			tr.Completed++
+			finalDone[j.tenant]++
+		case jobq.Dead:
+			rep.Dead++
+			tr.Dead++
+		case jobq.Cancelled:
+			rep.Cancelled++
+		}
+	}
+	if fairness < 0 {
+		// The snapshot never fired (timeout, or nothing completed): judge
+		// fairness on the final census so the bound still binds.
+		fairness = ratio(finalDone)
+	}
+	rep.FairnessRatio = fairness
+	for tenant, n := range doneAtSnapshot {
+		if tr := rep.PerTenant[tenant]; tr != nil {
+			tr.DoneAtSnapshot = n
+		}
+	}
+	rep.evaluate()
+	return rep, nil
+}
+
+// censusEntry is one job's final state plus how many times its ID appeared —
+// a duplicate ID in the list is a bookkeeping disaster worth its own counter.
+type censusEntry struct {
+	state  jobq.State
+	copies int
+}
+
+// finalCensus lists the daemon's jobs with retries: the run may end moments
+// after a restart.
+func finalCensus(cli *client, limit time.Duration) (map[string]censusEntry, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), min(limit, 30*time.Second))
+	defer cancel()
+	var lastErr error
+	for {
+		infos, err := cli.list(ctx)
+		if err == nil {
+			census := make(map[string]censusEntry, len(infos))
+			for _, in := range infos {
+				e := census[in.ID]
+				e.state = in.Status.State
+				e.copies++
+				census[in.ID] = e
+			}
+			return census, nil
+		}
+		lastErr = err
+		if sleepCtx(ctx, 250*time.Millisecond) != nil {
+			return nil, lastErr
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command atpgload is the chaos load generator for atpgd: it synthesizes a
+// mixed-size circuit workload, drives it through N tenants at once, abandons
+// event streams mid-flight, optionally SIGKILLs the daemon in the middle of
+// the run, resubmits anything the daemon sheds, and then audits the final
+// census against its own ledger. The verdict — zero lost or duplicated jobs,
+// fair cross-tenant progress, bounded submit latency — is written as a
+// machine-checkable JSON report and reflected in the exit code.
+//
+// Two ways to point it at a daemon:
+//
+//	atpgload -addr localhost:8475 ...          # attach to a running atpgd
+//	atpgload -daemon ./atpgd -kill ...         # spawn one, and murder it mid-run
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("atpgload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "", "attach to a running atpgd at this host:port (empty: spawn one with -daemon)")
+		daemonBin  = fs.String("daemon", "", "path to an atpgd binary to spawn for the run")
+		daemonArgs = fs.String("daemon-args", "", "extra space-separated flags for the spawned daemon")
+		dataDir    = fs.String("data", "", "spawned daemon's state directory (default: a fresh temp dir)")
+		tenants    = fs.Int("tenants", 4, "number of synthetic tenants")
+		jobs       = fs.Int("jobs", 50, "jobs submitted per tenant")
+		kill       = fs.Bool("kill", false, "SIGKILL the spawned daemon mid-run and restart it")
+		maxRatio   = fs.Float64("max-ratio", 2.0, "fairness bound: max/min tenant completed-job ratio")
+		p99Submit  = fs.Duration("p99-submit", 2*time.Second, "bound on p99 accepted-submit latency")
+		timeout    = fs.Duration("timeout", 10*time.Minute, "overall run deadline")
+		reportPath = fs.String("report", "", "also write the JSON report to this path")
+		seed       = fs.Int64("seed", 1, "base seed for the synthesized circuit mix")
+		disconnect = fs.Int("disconnect-every", 4, "follow every Nth job's event stream and hang up mid-stream (0: off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger := log.New(stderr, "atpgload: ", log.LstdFlags|log.Lmsgprefix)
+	fail := func(format string, a ...any) int {
+		logger.Printf(format, a...)
+		return 1
+	}
+	switch {
+	case *tenants < 1 || *jobs < 1:
+		return fail("-tenants and -jobs must be at least 1")
+	case *addr == "" && *daemonBin == "":
+		return fail("need a target: -addr to attach, or -daemon to spawn")
+	case *addr != "" && *daemonBin != "":
+		return fail("-addr and -daemon are mutually exclusive")
+	case *kill && *daemonBin == "":
+		return fail("-kill needs a spawned daemon (-daemon); refusing to kill a shared one")
+	}
+	data := *dataDir
+	if data == "" && *daemonBin != "" {
+		var err error
+		if data, err = os.MkdirTemp("", "atpgload-*"); err != nil {
+			return fail("temp data dir: %v", err)
+		}
+		defer os.RemoveAll(data)
+	}
+
+	opt := options{
+		addr:            *addr,
+		daemonBin:       *daemonBin,
+		daemonArgs:      strings.Fields(*daemonArgs),
+		dataDir:         data,
+		tenants:         *tenants,
+		jobs:            *jobs,
+		kill:            *kill,
+		maxRatio:        *maxRatio,
+		p99Max:          *p99Submit,
+		timeout:         *timeout,
+		seed:            *seed,
+		disconnectEvery: *disconnect,
+		logf:            logger.Printf,
+	}
+	rep, err := runLoad(ctx, opt, stderr)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if *reportPath != "" {
+		if err := rep.write(*reportPath); err != nil {
+			return fail("write report: %v", err)
+		}
+	}
+	b, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Fprintf(stdout, "%s\n", b)
+	for _, a := range rep.Assertions {
+		mark := "ok  "
+		if !a.OK {
+			mark = "FAIL"
+		}
+		logger.Printf("%s %-18s %s", mark, a.Name, a.Detail)
+	}
+	if !rep.Pass {
+		return fail("run failed: %d/%d jobs completed", rep.Completed, rep.Submitted)
+	}
+	logger.Printf("pass: %d jobs, %d tenants, %d kill(s), %d shed/%d resubmitted, fairness %.2f, submit p99 %.1fms",
+		rep.Submitted, rep.Tenants, rep.Kills, rep.Shed, rep.Resubmitted, rep.FairnessRatio, rep.SubmitP99MS)
+	return 0
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gahitec/internal/bench"
+)
+
+// The synthesized workload must be deterministic — a failing run has to be
+// reproducible from its seed alone — and distinct across tenants and jobs.
+func TestJobSpecDeterministicAndDistinct(t *testing.T) {
+	a1, err := jobSpec(7, "tenant-0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := jobSpec(7, "tenant-0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Bench != a2.Bench || a1.Seed != a2.Seed {
+		t.Fatal("same (seed, tenant, idx) produced different specs")
+	}
+	b, err := jobSpec(7, "tenant-1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bench == a1.Bench {
+		t.Fatal("different tenants got the identical circuit")
+	}
+	c, err := jobSpec(7, "tenant-0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bench == a1.Bench {
+		t.Fatal("different job indices got the identical circuit")
+	}
+	if err := a1.Validate(); err != nil {
+		t.Fatalf("synthesized spec does not validate: %v", err)
+	}
+	// The inline netlist must be parseable .bench — the daemon's parser is
+	// the same package, so round-trip here proves the submission will land.
+	if _, err := bench.Parse(strings.NewReader(a1.Bench), "a1"); err != nil {
+		t.Fatalf("synthesized bench does not parse: %v", err)
+	}
+}
+
+// Every size class must synthesize: a ladder rung that errors out would
+// silently skew the mix toward the surviving classes.
+func TestSizeClassesAllSynthesize(t *testing.T) {
+	for i := range sizeClasses {
+		if _, err := jobSpec(1, "t", i); err != nil {
+			t.Errorf("class %s: %v", sizeClasses[i].name, err)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ms := []float64{5, 1, 4, 2, 3}
+	for _, tc := range []struct {
+		p, want float64
+	}{{50, 3}, {99, 5}, {100, 5}, {1, 1}} {
+		if got := percentile(ms, tc.p); got != tc.want {
+			t.Errorf("p%.0f = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Errorf("p99 of nothing = %g, want 0", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := ratio(map[string]int{"a": 10, "b": 5}); r != 2 {
+		t.Errorf("ratio = %g, want 2", r)
+	}
+	if r := ratio(map[string]int{"a": 4, "b": 4}); r != 1 {
+		t.Errorf("equal ratio = %g, want 1", r)
+	}
+	if r := ratio(map[string]int{"a": 3, "b": 0}); r != unboundedRatio {
+		t.Errorf("starved-tenant ratio = %g, want unbounded sentinel", r)
+	}
+	if r := ratio(map[string]int{"a": 0, "b": 0}); r != 1 {
+		t.Errorf("nothing-done ratio = %g, want vacuous 1", r)
+	}
+}
+
+// evaluate is the contract CI relies on: each failure mode must trip exactly
+// its own assertion.
+func TestReportEvaluate(t *testing.T) {
+	clean := func() *Report {
+		return &Report{
+			Submitted: 10, Completed: 10,
+			FairnessRatio: 1.5, MaxRatio: 2,
+			SubmitP99MS: 100, P99MaxMS: 2000,
+			Shed: 2, Resubmitted: 2,
+		}
+	}
+	r := clean()
+	r.evaluate()
+	if !r.Pass {
+		t.Fatalf("clean report failed: %+v", r.Assertions)
+	}
+	failing := []struct {
+		name    string
+		corrupt func(*Report)
+	}{
+		{"zero_lost", func(r *Report) { r.Lost = 1 }},
+		{"zero_duplicated", func(r *Report) { r.Duplicated = 1 }},
+		{"all_completed", func(r *Report) { r.Completed = 9; r.Dead = 1 }},
+		{"shed_resubmitted", func(r *Report) { r.Resubmitted = 1 }},
+		{"fairness", func(r *Report) { r.FairnessRatio = 2.5 }},
+		{"submit_p99", func(r *Report) { r.SubmitP99MS = 5000 }},
+		{"no_errors", func(r *Report) { r.Errors = []string{"boom"} }},
+	}
+	for _, tc := range failing {
+		r := clean()
+		tc.corrupt(r)
+		r.evaluate()
+		if r.Pass {
+			t.Errorf("%s: report still passes", tc.name)
+			continue
+		}
+		for _, a := range r.Assertions {
+			if a.OK == (a.Name == tc.name) {
+				t.Errorf("%s: assertion %s ok=%v", tc.name, a.Name, a.OK)
+			}
+		}
+	}
+	// Re-evaluating must not accumulate duplicate assertions.
+	r = clean()
+	r.evaluate()
+	n := len(r.Assertions)
+	r.evaluate()
+	if len(r.Assertions) != n {
+		t.Fatalf("assertions grew on re-evaluate: %d -> %d", n, len(r.Assertions))
+	}
+}
+
+// The report file is a machine interface: round-trip it.
+func TestReportWriteRoundTrip(t *testing.T) {
+	r := &Report{Submitted: 3, Completed: 3, MaxRatio: 2, FairnessRatio: 1,
+		PerTenant:   map[string]*TenantReport{"t0": {Submitted: 3, Completed: 3}},
+		FinalStates: map[string]int{"done": 3}}
+	r.evaluate()
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.write(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !back.Pass || back.Submitted != 3 || back.PerTenant["t0"].Completed != 3 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+	if back.FinalStates["done"] != 3 {
+		t.Fatalf("final states lost: %+v", back.FinalStates)
+	}
+}
+
+// Flag validation: the refusals that protect shared daemons.
+func TestRunFlagValidation(t *testing.T) {
+	for _, tc := range [][]string{
+		{},                             // no target at all
+		{"-addr", "x", "-daemon", "y"}, // both targets
+		{"-addr", "x", "-kill"},        // killing a daemon we did not spawn
+		{"-daemon", "y", "-tenants", "0"},
+	} {
+		if code := run(context.Background(), tc, nullWriter{}, nullWriter{}); code != 1 {
+			t.Errorf("run(%v) = %d, want 1", tc, code)
+		}
+	}
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Assertion is one machine-checkable acceptance criterion. CI greps the
+// report for `"pass": true`; humans read the detail strings.
+type Assertion struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+// TenantReport is the per-tenant slice of the final census.
+type TenantReport struct {
+	Submitted      int `json:"submitted"`
+	Completed      int `json:"completed"`
+	Dead           int `json:"dead"`
+	Shed           int `json:"shed"`
+	Resubmitted    int `json:"resubmitted"`
+	DoneAtSnapshot int `json:"done_at_snapshot"`
+}
+
+// Report is the loadgen's verdict: raw counts, the fairness snapshot, submit
+// latency percentiles, and the assertion list that decides the exit code.
+type Report struct {
+	Tenants       int   `json:"tenants"`
+	JobsPerTenant int   `json:"jobs_per_tenant"`
+	Seed          int64 `json:"seed"`
+	Kill          bool  `json:"kill"`
+	Kills         int   `json:"kills"`
+
+	Submitted   int `json:"submitted"`
+	Completed   int `json:"completed"`
+	Dead        int `json:"dead"`
+	Cancelled   int `json:"cancelled"`
+	Lost        int `json:"lost"`
+	Duplicated  int `json:"duplicated"`
+	Shed        int `json:"shed"`
+	Resubmitted int `json:"resubmitted"`
+	Throttled   int `json:"throttled_429"`
+	Disconnects int `json:"sse_disconnects"`
+
+	// FairnessRatio is max/min tenant completed-job count, sampled the
+	// moment the first tenant finishes its whole batch (the instant a
+	// starved tenant would show). -1 means the snapshot never fired and the
+	// final census was used instead.
+	FairnessRatio float64 `json:"fairness_ratio"`
+	MaxRatio      float64 `json:"max_ratio"`
+
+	SubmitP50MS float64 `json:"submit_p50_ms"`
+	SubmitP95MS float64 `json:"submit_p95_ms"`
+	SubmitP99MS float64 `json:"submit_p99_ms"`
+	P99MaxMS    float64 `json:"p99_max_ms"`
+	ElapsedMS   int64   `json:"elapsed_ms"`
+
+	// FinalStates is the daemon-side state census of tracked jobs at the
+	// end of the run — the first place to look when all_completed fails.
+	FinalStates map[string]int           `json:"final_states"`
+	PerTenant   map[string]*TenantReport `json:"per_tenant"`
+	Errors     []string                 `json:"errors,omitempty"`
+	Assertions []Assertion              `json:"assertions"`
+	Pass       bool                     `json:"pass"`
+}
+
+// unboundedRatio stands in for "some tenant completed nothing" — JSON has no
+// +Inf, and any finite bound fails against it, which is the point.
+const unboundedRatio = 1e9
+
+// ratio computes max/min over per-tenant completed counts.
+func ratio(done map[string]int) float64 {
+	lo, hi := math.MaxInt, 0
+	for _, n := range done {
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	switch {
+	case hi == 0:
+		return 1 // nothing finished anywhere: equal, if only vacuously
+	case lo == 0:
+		return unboundedRatio
+	default:
+		return float64(hi) / float64(lo)
+	}
+}
+
+// percentile returns the p-th percentile (0..100) of ms by nearest rank.
+func percentile(ms []float64, p float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), ms...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// evaluate derives the assertion list and the overall verdict from the
+// collected counts. Called once, after the final census.
+func (r *Report) evaluate() {
+	r.Assertions = nil
+	r.Pass = true
+	add := func(name string, ok bool, format string, a ...any) {
+		r.Assertions = append(r.Assertions, Assertion{name, ok, fmt.Sprintf(format, a...)})
+		if !ok {
+			r.Pass = false
+		}
+	}
+	add("zero_lost", r.Lost == 0,
+		"%d submitted job(s) missing from the final census", r.Lost)
+	add("zero_duplicated", r.Duplicated == 0,
+		"%d job ID(s) appeared more than once", r.Duplicated)
+	add("all_completed", r.Completed == r.Submitted,
+		"%d/%d jobs done (dead=%d cancelled=%d)", r.Completed, r.Submitted, r.Dead, r.Cancelled)
+	add("shed_resubmitted", r.Resubmitted >= r.Shed,
+		"%d shed, %d resubmitted", r.Shed, r.Resubmitted)
+	add("fairness", r.FairnessRatio <= r.MaxRatio,
+		"max/min tenant completed ratio %.2f (bound %.2f)", r.FairnessRatio, r.MaxRatio)
+	add("submit_p99", r.SubmitP99MS <= r.P99MaxMS,
+		"accepted-submit p99 %.1fms (bound %.0fms)", r.SubmitP99MS, r.P99MaxMS)
+	add("no_errors", len(r.Errors) == 0,
+		"%d harness error(s)", len(r.Errors))
+}
+
+// write renders the report as indented JSON at path.
+func (r *Report) write(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

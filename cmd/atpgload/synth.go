@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"gahitec/internal/bench"
+	"gahitec/internal/circuits"
+	"gahitec/internal/jobq"
+)
+
+// sizeClass is one rung of the mixed-workload ladder. The profiles are
+// deliberately small — the loadgen stresses the queue, the dispatcher and the
+// daemon's control plane, not the ATPG core — but each one is a real
+// sequential circuit with a real fault list, so every job exercises the full
+// submit → claim → run → artifact pipeline.
+type sizeClass struct {
+	name                     string
+	pi, po, ff, depth, gates int
+}
+
+// Sized for a load generator, not a benchmark suite: hundreds of jobs must
+// clear a single CI core in a couple of minutes, so the ladder tops out at
+// two flip-flops (sequential depth is what ATPG effort is superlinear in).
+var sizeClasses = []sizeClass{
+	{"small", 3, 2, 1, 1, 8},
+	{"medium", 4, 2, 1, 1, 12},
+	{"large", 4, 2, 2, 1, 12},
+}
+
+// jobSeed derives the deterministic seed for job idx of a tenant. Tenants
+// hash into disjoint streams so reordering tenant goroutines never changes
+// any individual job.
+func jobSeed(base int64, tenant string, idx int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(tenant))
+	return base ^ int64(h.Sum64()&0x7fffffff) + int64(idx)*7919
+}
+
+// jobSpec synthesizes the spec for job idx of a tenant: a circuit drawn from
+// the size ladder, inlined as .bench text so the daemon needs no filesystem
+// shared with the loadgen. The generous scale keeps the per-fault budget from
+// aborting on a slow CI box, so "every job completes" is a valid assertion.
+func jobSpec(base int64, tenant string, idx int) (jobq.Spec, error) {
+	cls := sizeClasses[idx%len(sizeClasses)]
+	seed := jobSeed(base, tenant, idx)
+	c, err := circuits.StandIn(circuits.Profile{
+		Name:  fmt.Sprintf("load_%s_%d", cls.name, idx),
+		PI:    cls.pi,
+		PO:    cls.po,
+		FF:    cls.ff,
+		Depth: cls.depth,
+		Gates: cls.gates,
+		Seed:  seed,
+	})
+	if err != nil {
+		return jobq.Spec{}, fmt.Errorf("synthesize job %s/%d: %w", tenant, idx, err)
+	}
+	return jobq.Spec{
+		Bench:           bench.WriteString(c),
+		Seed:            seed,
+		X:               2,
+		CheckpointEvery: 4,
+	}, nil
+}

@@ -145,6 +145,12 @@ var requiredSeries = []string{
 	"gahitec_spans_total",
 	"gahitec_phase_duration_ms_bucket",
 	"gahitec_counter_total",
+	// Fair-share and admission-control surface: per-tenant census plus the
+	// graduated admission level. (Tenant series appear with the first
+	// submission, like the phase histograms above.)
+	"gahitec_tenant_jobs",
+	"gahitec_admission_level",
+	"gahitec_admission_shed_total",
 }
 
 func checkScrape(client *http.Client, base string) error {
@@ -290,27 +296,92 @@ func gauge(sc *promexport.Scrape, name string, labels map[string]string) string 
 	return "-"
 }
 
+// tenantRow is one line of the per-tenant fair-share table, aggregated from
+// the gahitec_tenant_* scrape series.
+type tenantRow struct {
+	name                   string
+	pending, running, done int
+	cpuMS, picks, shed     float64
+}
+
+// tenantRows folds the per-tenant series into display rows, sorted by name.
+func tenantRows(sc *promexport.Scrape) []tenantRow {
+	if sc == nil {
+		return nil
+	}
+	rows := map[string]*tenantRow{}
+	row := func(name string) *tenantRow {
+		r := rows[name]
+		if r == nil {
+			r = &tenantRow{name: name}
+			rows[name] = r
+		}
+		return r
+	}
+	for _, s := range sc.Samples {
+		switch s.Name {
+		case "gahitec_tenant_jobs":
+			r := row(s.Label("tenant"))
+			switch s.Label("state") {
+			case "pending":
+				r.pending = int(s.Value)
+			case "running":
+				r.running = int(s.Value)
+			case "done":
+				r.done = int(s.Value)
+			}
+		case "gahitec_tenant_cpu_ms":
+			row(s.Label("tenant")).cpuMS = s.Value
+		case "gahitec_tenant_picks_total":
+			row(s.Label("tenant")).picks = s.Value
+		case "gahitec_tenant_shed_total":
+			row(s.Label("tenant")).shed = s.Value
+		}
+	}
+	out := make([]tenantRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
 func render(w io.Writer, base string, sc *promexport.Scrape, jobs []jobq.Info, events map[string]string) {
-	level := "-"
+	level, admit := "-", "-"
 	if sc != nil {
 		for _, s := range sc.Samples {
-			if s.Name == "gahitec_scheduler_level" {
+			switch s.Name {
+			case "gahitec_scheduler_level":
 				level = s.Label("level")
+			case "gahitec_admission_level":
+				admit = s.Label("level")
 			}
 		}
 	}
 	fmt.Fprintf(w, "atpgtop — %s\n", base)
-	fmt.Fprintf(w, "backlog %s   retries %s   sched workers %s   degradation %s\n",
+	fmt.Fprintf(w, "backlog %s   retries %s   sched workers %s   degradation %s   admission %s   shed %s\n",
 		gauge(sc, "gahitec_backlog_depth", nil),
 		gauge(sc, "gahitec_job_retries", nil),
 		gauge(sc, "gahitec_scheduler_workers", nil),
-		level)
+		level,
+		admit,
+		gauge(sc, "gahitec_admission_shed_total", nil))
 	fmt.Fprintf(w, "jobs: %s pending  %s running  %s done  %s dead  %s cancelled\n\n",
 		gauge(sc, "gahitec_jobs", map[string]string{"state": "pending"}),
 		gauge(sc, "gahitec_jobs", map[string]string{"state": "running"}),
 		gauge(sc, "gahitec_jobs", map[string]string{"state": "done"}),
 		gauge(sc, "gahitec_jobs", map[string]string{"state": "dead"}),
 		gauge(sc, "gahitec_jobs", map[string]string{"state": "cancelled"}))
+
+	if rows := tenantRows(sc); len(rows) > 0 {
+		fmt.Fprintf(w, "%-20s %8s %8s %8s %10s %8s %6s\n",
+			"TENANT", "PENDING", "RUNNING", "DONE", "CPU_MS", "PICKS", "SHED")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-20s %8d %8d %8d %10.0f %8.0f %6.0f\n",
+				r.name, r.pending, r.running, r.done, r.cpuMS, r.picks, r.shed)
+		}
+		fmt.Fprintln(w)
+	}
 
 	fmt.Fprintf(w, "%-12s %-18s %-10s %-6s %-12s %-10s %-5s %s\n",
 		"JOB", "RUN", "STATE", "PASS", "FAULTS", "DETECTED", "TRY", "PHASE")

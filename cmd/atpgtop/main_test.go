@@ -44,7 +44,17 @@ func fakeDaemon(t *testing.T, jobs []jobq.Info, events map[string][]obs.Event) *
 			gauges = append(gauges, promexport.Gauge{
 				Name: "gahitec_jobs", Labels: map[string]string{"state": state}, Value: n,
 			})
+			gauges = append(gauges, promexport.Gauge{
+				Name: "gahitec_tenant_jobs", Labels: map[string]string{"tenant": "default", "state": state}, Value: n,
+			})
 		}
+		gauges = append(gauges,
+			promexport.Gauge{Name: "gahitec_tenant_cpu_ms", Labels: map[string]string{"tenant": "default"}, Value: 1500},
+			promexport.Gauge{Name: "gahitec_tenant_picks_total", Labels: map[string]string{"tenant": "default"}, Value: 3},
+			promexport.Gauge{Name: "gahitec_tenant_shed_total", Labels: map[string]string{"tenant": "default"}, Value: 1},
+			promexport.Gauge{Name: "gahitec_admission_level", Labels: map[string]string{"level": "accept"}, Value: 0},
+			promexport.Gauge{Name: "gahitec_admission_shed_total", Value: 1},
+		)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := promexport.Write(w, rec.MetricsSnapshot(), gauges); err != nil {
 			t.Errorf("write metrics: %v", err)
@@ -119,6 +129,10 @@ func TestOnceSnapshot(t *testing.T) {
 		"21/32", // detected/total
 		"j-0002",
 		"err: parse: not a netlist",
+		"admission accept",
+		"TENANT",
+		"default",
+		"1500", // tenant cpu_ms column
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("snapshot missing %q:\n%s", want, got)

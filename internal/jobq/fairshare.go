@@ -1,0 +1,502 @@
+package jobq
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// DefaultTenant is the tenant charged for jobs submitted without an explicit
+// tenant. Single-user deployments never see another name.
+const DefaultTenant = "default"
+
+// TenantQuota bounds one tenant's share of the fleet. The zero value is
+// unlimited in every dimension, which is the pre-multi-tenant behaviour.
+type TenantQuota struct {
+	// MaxRunning caps the tenant's concurrently running jobs. A tenant at
+	// its cap is skipped by the dispatcher; its jobs stay pending and other
+	// tenants' work fills the slots (work conservation).
+	MaxRunning int
+
+	// MaxQueued caps the tenant's pending jobs at admission: a Submit past
+	// it fails with a QuotaError (HTTP 429 upstream), protecting the queue
+	// from a single tenant flooding the backlog.
+	MaxQueued int
+
+	// CPUSeconds is the tenant's execution budget per accounting window
+	// (Queue.CPUWindow, default one minute), measured in attempt wall-clock
+	// seconds. A tenant over budget is throttled — not failed: its pending
+	// jobs wait until the window rolls — unless the fleet is otherwise idle
+	// (work conservation again: an unused slot is never kept empty to
+	// punish a tenant).
+	CPUSeconds float64
+}
+
+// unlimited reports whether the quota constrains nothing.
+func (q TenantQuota) unlimited() bool {
+	return q.MaxRunning <= 0 && q.MaxQueued <= 0 && q.CPUSeconds <= 0
+}
+
+// QuotaError is an admission refusal: the tenant is over one of its quotas.
+// It is retryable — the daemon maps it to 429 + Retry-After, never to 4xx
+// permanent rejection.
+type QuotaError struct {
+	Tenant string
+	Quota  string // which quota bound: "queue-depth", "cpu"
+	Limit  string
+}
+
+func (e QuotaError) Error() string {
+	return fmt.Sprintf("jobq: tenant %s over its %s quota (%s); retry later", e.Tenant, e.Quota, e.Limit)
+}
+
+// IsQuotaError reports whether err is an admission-quota refusal.
+func IsQuotaError(err error) bool {
+	_, ok := err.(QuotaError)
+	return ok
+}
+
+// Event is one scheduling decision the queue reports to its observer:
+// fairness picks, quota denials, sheds and requeues all land here so the
+// daemon can count them per tenant and log them. Called with the queue lock
+// held — observers must record and return, never call back into the queue.
+type Event struct {
+	Kind   string // "pick", "quota_denied", "shed", "requeue"
+	Tenant string
+	Job    string
+	Detail string
+}
+
+// cpuCharge is one attempt's cost in the tenant's sliding CPU window.
+type cpuCharge struct {
+	atMS   int64
+	costMS int64
+}
+
+// tenantState is the dispatcher's per-tenant accounting. All fields are
+// guarded by the queue lock. Deficit and cost estimates are runtime state —
+// deliberately not journaled: fairness restarts fresh with the daemon, while
+// the jobs themselves (the durable part) survive.
+type tenantState struct {
+	// deficit is the deficit-round-robin counter, in cost units
+	// (milliseconds of attempt wall clock). Each dispatch round a tenant
+	// with eligible work accrues Quantum; claiming a job spends the job's
+	// estimated cost. Reset to zero whenever the tenant has nothing
+	// eligible, so an idle tenant cannot bank credit and later burst.
+	deficit int64
+
+	// estCostMS is an EWMA of the tenant's observed per-attempt cost, used
+	// to price the next claim. Starts at the quantum so an unknown tenant
+	// gets exactly one job per round — plain round-robin until measured.
+	estCostMS int64
+
+	// window is the sliding CPU-second ledger (pruned against CPUWindow).
+	window  []cpuCharge
+	cpuMS   int64 // lifetime attempt wall-clock, for the cpu_ms gauge
+	picks   int64
+	denied  int64
+	shed    int64
+	requeue int64
+}
+
+// TenantCounts is one tenant's slice of the queue census.
+type TenantCounts struct {
+	States      map[State]int `json:"states"`
+	CPUMillis   int64         `json:"cpu_ms"`
+	WindowMS    int64         `json:"window_ms"` // CPU consumed inside the current window
+	Picks       int64         `json:"picks"`
+	QuotaDenied int64         `json:"quota_denied"`
+	Shed        int64         `json:"shed"`
+	Requeued    int64         `json:"requeued"`
+}
+
+// validTenant enforces the tenant-name contract: it lands in file paths,
+// metric labels and log lines, so the charset is conservative.
+func validTenant(name string) error {
+	if len(name) > 64 {
+		return fmt.Errorf("jobq: tenant name over 64 bytes")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("jobq: tenant name %q: only letters, digits, '.', '_', '-' allowed", name)
+		}
+	}
+	return nil
+}
+
+// Tenant returns the job's tenant, defaulting for pre-tenant submissions.
+func (j *Job) Tenant() string {
+	if j.Spec.Tenant == "" {
+		return DefaultTenant
+	}
+	return j.Spec.Tenant
+}
+
+func (q *Queue) tenantLocked(name string) *tenantState {
+	if q.tenants == nil {
+		q.tenants = make(map[string]*tenantState)
+	}
+	t, ok := q.tenants[name]
+	if !ok {
+		t = &tenantState{estCostMS: q.quantumMS()}
+		q.tenants[name] = t
+	}
+	return t
+}
+
+// quotaFor resolves the effective quota: an explicit per-tenant entry wins,
+// else the queue-wide default.
+func (q *Queue) quotaFor(tenant string) TenantQuota {
+	if quota, ok := q.Quotas[tenant]; ok {
+		return quota
+	}
+	return q.DefaultQuota
+}
+
+func (q *Queue) quantumMS() int64 {
+	if q.Quantum <= 0 {
+		return 5000
+	}
+	return q.Quantum.Milliseconds()
+}
+
+func (q *Queue) cpuWindow() time.Duration {
+	if q.CPUWindow <= 0 {
+		return time.Minute
+	}
+	return q.CPUWindow
+}
+
+func (q *Queue) emitLocked(ev Event) {
+	if q.OnEvent != nil {
+		q.OnEvent(ev)
+	}
+}
+
+// windowMSLocked sums (after pruning) the tenant's CPU charges inside the
+// current accounting window.
+func (q *Queue) windowMSLocked(t *tenantState) int64 {
+	cut := q.nowMS() - q.cpuWindow().Milliseconds()
+	i := 0
+	for i < len(t.window) && t.window[i].atMS < cut {
+		i++
+	}
+	if i > 0 {
+		t.window = append(t.window[:0], t.window[i:]...)
+	}
+	var sum int64
+	for _, c := range t.window {
+		sum += c.costMS
+	}
+	return sum
+}
+
+// overCPULocked reports whether the tenant has exhausted its CPU-second
+// budget for the current window.
+func (q *Queue) overCPULocked(tenant string, t *tenantState) bool {
+	quota := q.quotaFor(tenant)
+	if quota.CPUSeconds <= 0 {
+		return false
+	}
+	return float64(q.windowMSLocked(t)) >= quota.CPUSeconds*1000
+}
+
+// ChargeCPU records one finished attempt's wall-clock cost against the job's
+// tenant: it feeds the sliding CPU-second window, the lifetime cpu_ms gauge,
+// and the EWMA the dispatcher prices the tenant's next claim with.
+func (q *Queue) ChargeCPU(j *Job, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ms := d.Milliseconds()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenantLocked(j.Tenant())
+	t.cpuMS += ms
+	t.window = append(t.window, cpuCharge{atMS: q.nowMS(), costMS: ms})
+	// EWMA with a floor of 1ms: a zero estimate would price every claim
+	// free and collapse DRR back to strict round-robin by job count.
+	t.estCostMS = (t.estCostMS + ms) / 2
+	if t.estCostMS < 1 {
+		t.estCostMS = 1
+	}
+}
+
+// claimable is one tenant's best pending job under the per-tenant order
+// (priority first, then submission order — the pre-tenant Claim order,
+// now scoped to the tenant).
+func betterClaim(a, b *Job) *Job {
+	if a == nil {
+		return b
+	}
+	if b.Spec.Priority > a.Spec.Priority ||
+		(b.Spec.Priority == a.Spec.Priority && b.Seq < a.Seq) {
+		return b
+	}
+	return a
+}
+
+// Claim picks the next job under deficit-round-robin fair share and marks it
+// running. Dispatch is two-level: DRR chooses the tenant — each round every
+// tenant with eligible work accrues one quantum of credit, and the first
+// tenant whose credit covers its estimated per-job cost wins — and within
+// the tenant, priority then submission order chooses the job, exactly the
+// old single-tenant order. Tenants at their running cap or over their CPU
+// window are skipped (their deficit resets, so throttling never banks
+// credit) — but when every tenant with pending work is CPU-throttled, the
+// dispatcher claims round-robin among them anyway rather than leave a slot
+// idle (work conservation; the concurrency cap alone is hard). With a
+// single unlimited tenant the dispatcher degenerates to the original
+// priority+FIFO claim.
+//
+// When nothing is claimable it returns nil plus how long until the next
+// backoff gate opens (0: nothing scheduled).
+func (q *Queue) Claim() (*Job, time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.nowMS()
+
+	// Census pass: per-tenant best eligible job, running counts, and the
+	// soonest retry gate for the idle hint.
+	heads := make(map[string]*Job)
+	running := make(map[string]int)
+	var soonest int64
+	for _, j := range q.jobs {
+		switch j.status.State {
+		case Running:
+			running[j.Tenant()]++
+			continue
+		case Pending:
+		default:
+			continue
+		}
+		if j.status.NextRetryMS > now {
+			if soonest == 0 || j.status.NextRetryMS < soonest {
+				soonest = j.status.NextRetryMS
+			}
+			continue
+		}
+		heads[j.Tenant()] = betterClaim(heads[j.Tenant()], j)
+	}
+	if len(heads) == 0 {
+		if soonest == 0 {
+			return nil, 0
+		}
+		return nil, time.Duration(soonest-now) * time.Millisecond
+	}
+
+	// Partition tenants with pending work into eligible (under quota) and
+	// throttled. Tenants with nothing pending lose their banked deficit.
+	var eligible, throttled []string
+	for name := range heads {
+		t := q.tenantLocked(name)
+		quota := q.quotaFor(name)
+		switch {
+		case quota.MaxRunning > 0 && running[name] >= quota.MaxRunning:
+			t.deficit = 0
+			// A tenant at its concurrency cap stays throttled even with
+			// idle slots: the cap bounds its blast radius, not its speed.
+		case q.overCPULocked(name, t):
+			t.deficit = 0
+			throttled = append(throttled, name)
+		default:
+			eligible = append(eligible, name)
+		}
+	}
+	for name, t := range q.tenants {
+		if _, has := heads[name]; !has {
+			t.deficit = 0
+		}
+	}
+	sort.Strings(eligible)
+	sort.Strings(throttled)
+
+	pick := func(name string) *Job {
+		j := heads[name]
+		t := q.tenantLocked(name)
+		t.picks++
+		q.lastPick = name
+		j.status.State = Running
+		j.status.NextRetryMS = 0
+		if j.status.StartedMS == 0 {
+			j.status.StartedMS = now
+		}
+		// Persist-or-degrade: on a broken disk the claim proceeds volatile,
+		// exactly as before the fair-share rework.
+		q.persistOrDegradeLocked(j)
+		q.emitLocked(Event{Kind: "pick", Tenant: name, Job: j.ID})
+		return j
+	}
+
+	if len(eligible) > 0 {
+		// Rotate so the round starts strictly after the last winner: a
+		// tenant cannot win twice in a row while peers hold enough credit.
+		start := sort.SearchStrings(eligible, q.lastPick)
+		if start < len(eligible) && eligible[start] == q.lastPick {
+			start++
+		}
+		start %= len(eligible)
+		rot := append(append([]string{}, eligible[start:]...), eligible[:start]...)
+
+		// Bounded DRR rounds: every round each tenant accrues one quantum,
+		// so within maxEst/quantum+1 rounds some deficit covers its cost.
+		quantum := q.quantumMS()
+		var maxEst int64
+		for _, name := range rot {
+			if e := q.tenantLocked(name).estCostMS; e > maxEst {
+				maxEst = e
+			}
+		}
+		rounds := int(maxEst/quantum) + 2
+		for r := 0; r < rounds; r++ {
+			for _, name := range rot {
+				t := q.tenantLocked(name)
+				t.deficit += quantum
+				if t.deficit >= t.estCostMS {
+					t.deficit -= t.estCostMS
+					return pick(name), 0
+				}
+			}
+		}
+		// Unreachable with quantum ≥ 1, but never strand a slot on a
+		// pricing bug: claim the rotation head.
+		return pick(rot[0]), 0
+	}
+
+	// Work conservation: every tenant with pending work is CPU-throttled.
+	// An idle slot helps nobody — claim from the least-recently-picked
+	// throttled tenant anyway; the window keeps long-run usage fair.
+	if len(throttled) > 0 {
+		start := sort.SearchStrings(throttled, q.lastPick)
+		if start < len(throttled) && throttled[start] == q.lastPick {
+			start++
+		}
+		return pick(throttled[start%len(throttled)]), 0
+	}
+
+	// Pending work exists but every owner is at its running cap.
+	if soonest == 0 {
+		return nil, 0
+	}
+	return nil, time.Duration(soonest-now) * time.Millisecond
+}
+
+// Shed parks up to n pending jobs in the shed state to relieve overload:
+// lowest priority first, newest first within a priority — the cheapest work
+// to postpone — never touching running jobs. Shed jobs are journaled (the
+// transition persists like any other), keep their directory and netlist, and
+// re-enter the queue through Requeue; nothing is lost. Returns the shed
+// snapshots, oldest-submitted first.
+func (q *Queue) Shed(n int) []Info {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n <= 0 {
+		return nil
+	}
+	var pending []*Job
+	for _, j := range q.jobs {
+		if j.status.State == Pending {
+			pending = append(pending, j)
+		}
+	}
+	sort.Slice(pending, func(a, b int) bool {
+		if pending[a].Spec.Priority != pending[b].Spec.Priority {
+			return pending[a].Spec.Priority < pending[b].Spec.Priority
+		}
+		return pending[a].Seq > pending[b].Seq
+	})
+	if n > len(pending) {
+		n = len(pending)
+	}
+	var out []Info
+	for _, j := range pending[:n] {
+		j.status.State = Shed
+		j.status.FinishedMS = q.nowMS()
+		q.persistOrDegradeLocked(j)
+		q.tenantLocked(j.Tenant()).shed++
+		q.emitLocked(Event{Kind: "shed", Tenant: j.Tenant(), Job: j.ID})
+		out = append(out, q.infoLocked(j))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Requeue returns a shed or dead-lettered job to the pending queue with a
+// fresh attempt budget and no backoff gate. Shed jobs resubmit this way by
+// contract (shedding postpones work, never loses it); dead jobs re-enter
+// after operator attention.
+func (q *Queue) Requeue(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("jobq: no job %s", id)
+	}
+	switch j.status.State {
+	case Shed, Dead:
+	default:
+		return fmt.Errorf("jobq: job %s is %s; only shed or dead jobs requeue", id, j.status.State)
+	}
+	j.status.State = Pending
+	j.status.Attempts = 0
+	j.status.NextRetryMS = 0
+	j.status.FinishedMS = 0
+	j.status.LastError = ""
+	// A requeue is a fresh submission: its wait starts now. Keeping the
+	// original timestamp would let one resubmitted job pin the queue-head
+	// age — and with it the admission level — at panic values forever.
+	j.status.SubmittedMS = q.nowMS()
+	j.userCancel = false
+	err := q.persistOrDegradeLocked(j)
+	q.tenantLocked(j.Tenant()).requeue++
+	q.emitLocked(Event{Kind: "requeue", Tenant: j.Tenant(), Job: j.ID})
+	q.signal()
+	return err
+}
+
+// retryJitter stretches a retry backoff by up to frac of itself, derived
+// deterministically (FNV-1a over the job's sequence number and attempt
+// count) so the same job's same attempt gates identically on every daemon —
+// replayable, yet decorrelated across jobs: a mass failure does not
+// re-dogpile the runner when every gate reopens on the same tick.
+func retryJitter(frac float64, backoff time.Duration, seq, attempt int) time.Duration {
+	if frac <= 0 || backoff <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	h := uint64(14695981039346656037)
+	for _, v := range [2]uint64{uint64(seq), uint64(attempt)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return time.Duration(float64(h%1000) / 999 * frac * float64(backoff))
+}
+
+// OldestPendingAge returns how long the oldest dispatchable pending job has
+// been waiting (zero when nothing is waiting). Retry-gated jobs do not
+// count: their wait is backoff, not overload.
+func (q *Queue) OldestPendingAge() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.nowMS()
+	var oldest int64
+	for _, j := range q.jobs {
+		if j.status.State != Pending || j.status.NextRetryMS > now {
+			continue
+		}
+		if oldest == 0 || j.status.SubmittedMS < oldest {
+			oldest = j.status.SubmittedMS
+		}
+	}
+	if oldest == 0 {
+		return 0
+	}
+	return time.Duration(now-oldest) * time.Millisecond
+}

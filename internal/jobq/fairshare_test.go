@@ -1,0 +1,404 @@
+package jobq
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// submitTenant is a test shim: one pending job for a tenant, optional priority.
+func submitTenant(t *testing.T, q *Queue, tenant string, prio int) *Job {
+	t.Helper()
+	j, err := q.Submit(Spec{Circuit: "s27", Seed: 1, Tenant: tenant, Priority: prio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestTenantValidation(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	for _, bad := range []string{"a b", "a/b", "a\nb", "ü", strings.Repeat("x", 65)} {
+		if _, err := q.Submit(Spec{Circuit: "s27", Tenant: bad}); err == nil {
+			t.Fatalf("tenant %q accepted", bad)
+		}
+	}
+	for _, ok := range []string{"", "team-a", "Team_B.2", strings.Repeat("x", 64)} {
+		if _, err := q.Submit(Spec{Circuit: "s27", Tenant: ok}); err != nil {
+			t.Fatalf("tenant %q rejected: %v", ok, err)
+		}
+	}
+}
+
+// TestClaimRoundRobinAcrossTenants: with no cost history, DRR degenerates to
+// plain round-robin by tenant — one job each per round — regardless of
+// submission order, so a tenant that floods first cannot monopolize the fleet.
+func TestClaimRoundRobinAcrossTenants(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	for i := 0; i < 6; i++ {
+		submitTenant(t, q, "flood", 0)
+	}
+	submitTenant(t, q, "a", 0)
+	submitTenant(t, q, "b", 0)
+	submitTenant(t, q, "a", 0)
+	submitTenant(t, q, "b", 0)
+
+	var order []string
+	for i := 0; i < 4; i++ {
+		j, _ := q.Claim()
+		if j == nil {
+			t.Fatalf("claim %d returned nil", i)
+		}
+		order = append(order, j.Tenant())
+	}
+	// First full rotation must visit all three tenants (alphabetical from
+	// the empty lastPick), then wrap.
+	want := []string{"a", "b", "flood", "a"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("claim order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestClaimPricesByCost: once ChargeCPU has measured that one tenant's jobs
+// cost ~4x the other's, the cheap tenant wins proportionally more picks —
+// fairness is by consumed wall clock, not by job count.
+func TestClaimPricesByCost(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	for i := 0; i < 12; i++ {
+		submitTenant(t, q, "cheap", 0)
+		submitTenant(t, q, "dear", 0)
+	}
+	// Teach the EWMA: quantum default 5000ms, so (5000+x)/2.
+	jc, _ := q.Get("job-000001")
+	jd, _ := q.Get("job-000002")
+	q.ChargeCPU(jc, 1*time.Second)  // est 3000ms
+	q.ChargeCPU(jd, 19*time.Second) // est 12000ms
+
+	picks := map[string]int{}
+	for i := 0; i < 10; i++ {
+		j, _ := q.Claim()
+		if j == nil {
+			t.Fatalf("claim %d returned nil", i)
+		}
+		picks[j.Tenant()]++
+	}
+	if picks["cheap"] <= picks["dear"] {
+		t.Fatalf("cost pricing: picks = %v, want cheap > dear", picks)
+	}
+	if picks["dear"] == 0 {
+		t.Fatalf("expensive tenant starved entirely: %v", picks)
+	}
+}
+
+// TestMaxQueuedQuota: the per-tenant queue-depth quota refuses the flooding
+// submit with a retryable QuotaError, without touching other tenants.
+func TestMaxQueuedQuota(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	q.Quotas = map[string]TenantQuota{"noisy": {MaxQueued: 2}}
+	var events []Event
+	q.OnEvent = func(ev Event) { events = append(events, ev) }
+
+	submitTenant(t, q, "noisy", 0)
+	submitTenant(t, q, "noisy", 0)
+	_, err := q.Submit(Spec{Circuit: "s27", Tenant: "noisy"})
+	if !IsQuotaError(err) {
+		t.Fatalf("third submit: err = %v, want QuotaError", err)
+	}
+	if !strings.Contains(err.Error(), "queue-depth") {
+		t.Fatalf("quota error names no quota: %v", err)
+	}
+	// Other tenants are unaffected, as is the unlimited default tenant.
+	submitTenant(t, q, "polite", 0)
+	submitTenant(t, q, "", 0)
+
+	n := 0
+	for _, ev := range events {
+		if ev.Kind == "quota_denied" && ev.Tenant == "noisy" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("quota_denied events = %d, want 1 (events: %+v)", n, events)
+	}
+	if c := q.Counts().Tenants["noisy"]; c.QuotaDenied != 1 {
+		t.Fatalf("census QuotaDenied = %d, want 1", c.QuotaDenied)
+	}
+}
+
+// TestMaxRunningQuotaIsHardButWorkConserving: a tenant at its concurrency cap
+// is skipped — its pending jobs wait — while other tenants' work still fills
+// the slots. When every tenant is capped, Claim returns nil rather than
+// overshooting (the cap bounds blast radius and is never traded for
+// utilization).
+func TestMaxRunningQuotaIsHardButWorkConserving(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	q.Quotas = map[string]TenantQuota{
+		"capped": {MaxRunning: 1},
+		"free":   {MaxRunning: 2},
+	}
+	for i := 0; i < 3; i++ {
+		submitTenant(t, q, "capped", 0)
+		submitTenant(t, q, "free", 0)
+	}
+	got := map[string]int{}
+	for {
+		j, _ := q.Claim()
+		if j == nil {
+			break
+		}
+		got[j.Tenant()]++
+	}
+	if got["capped"] != 1 || got["free"] != 2 {
+		t.Fatalf("claims under caps = %v, want capped:1 free:2", got)
+	}
+	// Completing a capped job frees its slot.
+	var jc *Job
+	for _, info := range q.List() {
+		if info.Status.State == Running && info.Spec.Tenant == "capped" {
+			jc, _ = q.Get(info.ID)
+		}
+	}
+	if err := q.Complete(jc); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := q.Claim()
+	if j == nil || j.Tenant() != "capped" {
+		t.Fatalf("after completion claim = %v, want capped job", j)
+	}
+}
+
+// TestCPUQuotaThrottlesUntilWindowRolls: a tenant that burns its CPU-second
+// budget is passed over while a peer has work, claimed anyway when it is the
+// only tenant with work (work conservation), and restored when the sliding
+// window forgets the charge.
+func TestCPUQuotaThrottlesUntilWindowRolls(t *testing.T) {
+	q, clk, _ := openTestQueue(t)
+	q.CPUWindow = time.Minute
+	q.Quotas = map[string]TenantQuota{"hot": {CPUSeconds: 5}}
+	submitTenant(t, q, "hot", 0)
+	submitTenant(t, q, "hot", 0)
+	submitTenant(t, q, "cool", 0)
+
+	jh, _ := q.Get("job-000001")
+	q.ChargeCPU(jh, 6*time.Second) // over the 5 CPU-second window budget
+
+	j, _ := q.Claim()
+	if j == nil || j.Tenant() != "cool" {
+		t.Fatalf("claim with throttled peer = %v, want cool", j)
+	}
+	// hot is the only tenant with pending work now: claimed despite the
+	// quota — an idle slot is never held empty to punish a tenant.
+	j, _ = q.Claim()
+	if j == nil || j.Tenant() != "hot" {
+		t.Fatalf("work-conserving claim = %v, want hot", j)
+	}
+	// Window rolls: the charge ages out and the tenant is plainly eligible.
+	clk.advance(2 * time.Minute)
+	j, _ = q.Claim()
+	if j == nil || j.Tenant() != "hot" {
+		t.Fatalf("claim after window roll = %v, want hot", j)
+	}
+	if c := q.Counts().Tenants["hot"]; c.WindowMS != 0 {
+		t.Fatalf("WindowMS after roll = %d, want 0", c.WindowMS)
+	}
+}
+
+// TestShedOrderAndRequeue: shedding takes the cheapest work to postpone —
+// lowest priority first, newest first within a priority — journals the
+// transition (it survives a reopen), and Requeue returns the job to pending
+// with a fresh attempt budget.
+func TestShedOrderAndRequeue(t *testing.T) {
+	q, _, dir := openTestQueue(t)
+	var events []Event
+	q.OnEvent = func(ev Event) { events = append(events, ev) }
+
+	jOldLow := submitTenant(t, q, "a", 0) // job-000001
+	jHigh := submitTenant(t, q, "b", 5)   // job-000002
+	jNewLow := submitTenant(t, q, "a", 0) // job-000003
+	shed := q.Shed(2)
+	if len(shed) != 2 || shed[0].ID != jOldLow.ID || shed[1].ID != jNewLow.ID {
+		t.Fatalf("shed = %+v, want [%s %s] (lowest priority, newest first)",
+			shed, jOldLow.ID, jNewLow.ID)
+	}
+	if info, _ := q.Info(jHigh.ID); info.Status.State != Pending {
+		t.Fatalf("high-priority job was shed")
+	}
+	if got := len(q.Shed(5)); got != 1 {
+		t.Fatalf("second shed took %d, want the 1 remaining pending job", got)
+	}
+
+	// The transition is durable.
+	q2, warns, err := Open(dir)
+	if err != nil || len(warns) != 0 {
+		t.Fatalf("reopen: %v %v", err, warns)
+	}
+	if info, _ := q2.Info(jNewLow.ID); info.Status.State != Shed {
+		t.Fatalf("reopened state = %s, want shed", info.Status.State)
+	}
+
+	// Requeue restores it; terminal-but-requeueable is the shed contract.
+	if err := q2.Requeue(jNewLow.ID); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := q2.Info(jNewLow.ID)
+	if info.Status.State != Pending || info.Status.Attempts != 0 || info.Status.FinishedMS != 0 {
+		t.Fatalf("requeued status = %+v, want fresh pending", info.Status)
+	}
+	if err := q2.Requeue(jNewLow.ID); err == nil {
+		t.Fatal("requeue of a pending job accepted")
+	}
+
+	n := 0
+	for _, ev := range events {
+		if ev.Kind == "shed" {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("shed events = %d, want 3", n)
+	}
+}
+
+// TestRetryJitterDeterminism: the jitter is a pure function of (seq, attempt)
+// — identical on every daemon, every replay — bounded by frac*backoff, and
+// decorrelated across jobs so a mass failure's retry gates spread out.
+func TestRetryJitterDeterminism(t *testing.T) {
+	backoff := 10 * time.Second
+	for seq := 0; seq < 50; seq++ {
+		for attempt := 1; attempt <= 3; attempt++ {
+			a := retryJitter(0.5, backoff, seq, attempt)
+			b := retryJitter(0.5, backoff, seq, attempt)
+			if a != b {
+				t.Fatalf("jitter(%d,%d) nondeterministic: %v != %v", seq, attempt, a, b)
+			}
+			if a < 0 || a > 5*time.Second {
+				t.Fatalf("jitter(%d,%d) = %v outside [0, frac*backoff]", seq, attempt, a)
+			}
+		}
+	}
+	distinct := map[time.Duration]bool{}
+	for seq := 0; seq < 50; seq++ {
+		distinct[retryJitter(0.5, backoff, seq, 1)] = true
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("only %d distinct jitters across 50 jobs; gates not decorrelated", len(distinct))
+	}
+	if retryJitter(0, backoff, 1, 1) != 0 {
+		t.Fatal("zero frac must disable jitter (the pre-jitter contract)")
+	}
+}
+
+// TestFailJitterIdenticalAcrossQueues: two independent queues gate the same
+// job's same attempt at the same instant — the determinism contract that
+// makes retry schedules replayable across daemon restarts.
+func TestFailJitterIdenticalAcrossQueues(t *testing.T) {
+	var gates []int64
+	for i := 0; i < 2; i++ {
+		q, _, _ := openTestQueue(t)
+		q.RetryJitter = 0.5
+		j := submitTenant(t, q, "a", 0)
+		if err := q.Fail(j, errBoom{}, false); err != nil {
+			t.Fatal(err)
+		}
+		info, _ := q.Info(j.ID)
+		gates = append(gates, info.Status.NextRetryMS)
+	}
+	if gates[0] != gates[1] {
+		t.Fatalf("jittered gates differ across queues: %d != %d", gates[0], gates[1])
+	}
+	// And the jitter actually engaged: the gate is strictly past the base
+	// backoff for this (seq, attempt) — pinned, so assert it directly.
+	q, clk, _ := openTestQueue(t)
+	q.RetryJitter = 0.5
+	j := submitTenant(t, q, "a", 0)
+	if err := q.Fail(j, errBoom{}, false); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := q.Info(j.ID)
+	base := clk.Now().UnixMilli() + (2 * time.Second).Milliseconds()
+	jit := retryJitter(0.5, 2*time.Second, j.Seq, 1)
+	if want := base + jit.Milliseconds(); info.Status.NextRetryMS != want {
+		t.Fatalf("gate = %d, want base %d + jitter %v", info.Status.NextRetryMS, base, jit)
+	}
+}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }
+
+// TestDeadLetterRequeueUnderConcurrentClaims: a dead-lettered job requeued
+// while claimers race must be dispatched exactly once — no duplicate claim,
+// no lost job — and the winning claim sees the fresh attempt budget.
+func TestDeadLetterRequeueUnderConcurrentClaims(t *testing.T) {
+	q, _, _ := openTestQueue(t)
+	j := submitTenant(t, q, "a", 0)
+	if err := q.Fail(j, errBoom{}, true); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := q.Info(j.ID); info.Status.State != Dead {
+		t.Fatalf("state = %s, want dead", info.Status.State)
+	}
+
+	const claimers = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	claimed := map[string]int{}
+	for i := 0; i < claimers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for n := 0; n < 200; n++ {
+				if got, _ := q.Claim(); got != nil {
+					mu.Lock()
+					claimed[got.ID]++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	close(start)
+	if err := q.Requeue(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if claimed[j.ID] != 1 {
+		t.Fatalf("requeued job claimed %d times, want exactly once", claimed[j.ID])
+	}
+	info, _ := q.Info(j.ID)
+	if info.Status.State != Running || info.Status.Attempts != 0 {
+		t.Fatalf("post-claim status = %+v, want running with fresh budget", info.Status)
+	}
+	if c := q.Counts().Tenants["a"]; c.Requeued != 1 || c.Picks != 1 {
+		t.Fatalf("census = %+v, want 1 requeue, 1 pick", c)
+	}
+}
+
+// TestOldestPendingAge: dispatchable pending jobs age; retry-gated jobs do
+// not count (their wait is backoff, not overload).
+func TestOldestPendingAge(t *testing.T) {
+	q, clk, _ := openTestQueue(t)
+	if got := q.OldestPendingAge(); got != 0 {
+		t.Fatalf("empty queue age = %v", got)
+	}
+	j := submitTenant(t, q, "a", 0)
+	clk.advance(7 * time.Second)
+	if got := q.OldestPendingAge(); got != 7*time.Second {
+		t.Fatalf("age = %v, want 7s", got)
+	}
+	// Gate it behind a retry: no longer counts as overload.
+	if c, _ := q.Claim(); c == nil {
+		t.Fatal("claim failed")
+	}
+	if err := q.Fail(j, errBoom{}, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.OldestPendingAge(); got != 0 {
+		t.Fatalf("retry-gated age = %v, want 0", got)
+	}
+}

@@ -58,10 +58,18 @@ const (
 	Done      State = "done"
 	Dead      State = "dead" // dead-letter: attempt budget exhausted
 	Cancelled State = "cancelled"
+
+	// Shed is load-shed parking: admission control postponed this queued
+	// job to relieve overload. The job's directory, netlist and journal are
+	// intact — it is never lost — and Requeue returns it to pending.
+	Shed State = "shed"
 )
 
-// Terminal reports whether the state can no longer change.
-func (s State) Terminal() bool { return s == Done || s == Dead || s == Cancelled }
+// Terminal reports whether the state changes only through explicit operator
+// action (Requeue for shed and dead jobs), never by the runner on its own.
+func (s State) Terminal() bool {
+	return s == Done || s == Dead || s == Cancelled || s == Shed
+}
 
 // Spec is what a client submits: the circuit plus the generator knobs, a
 // subset of cmd/atpg's flags. Exactly one of Circuit (embedded benchmark
@@ -69,6 +77,11 @@ func (s State) Terminal() bool { return s == Done || s == Dead || s == Cancelled
 type Spec struct {
 	Circuit string `json:"circuit,omitempty"` // embedded benchmark name
 	Bench   string `json:"bench,omitempty"`   // inline .bench netlist text
+
+	// Tenant names the principal this job is charged to, for fair-share
+	// scheduling and quota accounting (empty: DefaultTenant). Letters,
+	// digits, '.', '_' and '-' only, max 64 bytes.
+	Tenant string `json:"tenant,omitempty"`
 
 	Mode       string  `json:"mode,omitempty"`  // gahitec (default) or hitec
 	Seed       int64   `json:"seed"`            // random seed (0 is a valid seed)
@@ -115,6 +128,9 @@ func (s *Spec) Validate() error {
 	if s.Scale < 0 || s.X < 0 || s.Workers < 0 || s.Retry < 0 ||
 		s.CheckpointEvery < 0 || s.MaxAttempts < 0 {
 		return fmt.Errorf("jobq: negative knob in spec")
+	}
+	if err := validTenant(s.Tenant); err != nil {
+		return err
 	}
 	if s.InjectSpec != "" {
 		if _, err := runctl.ParseInjectSpec(s.InjectSpec); err != nil {
@@ -209,15 +225,44 @@ type Queue struct {
 	// dead-letter state (default 3); Spec.MaxAttempts overrides per job.
 	MaxAttempts int
 
+	// RetryJitter spreads retry gates: each backoff is stretched by up to
+	// this fraction, derived deterministically from the job's sequence
+	// number and attempt count (same job, same attempt -> same jitter, on
+	// any daemon). It decorrelates the retry stampede after a mass failure
+	// without breaking replayability. 0 disables (the seed behaviour).
+	RetryJitter float64
+
+	// DefaultQuota applies to every tenant without an entry in Quotas; the
+	// zero value (no limits) preserves single-tenant behaviour. Quotas maps
+	// tenant name -> explicit quota.
+	DefaultQuota TenantQuota
+	Quotas       map[string]TenantQuota
+
+	// Quantum is the deficit-round-robin credit each tenant with eligible
+	// work accrues per dispatch round, in attempt wall-clock cost
+	// (default 5s). Smaller quanta interleave tenants more finely.
+	Quantum time.Duration
+
+	// CPUWindow is the sliding accounting window for TenantQuota.CPUSeconds
+	// (default one minute).
+	CPUWindow time.Duration
+
+	// OnEvent, if non-nil, observes scheduling decisions (fairness picks,
+	// quota denials, sheds, requeues). Called with the queue lock held:
+	// record and return, do not call back into the queue.
+	OnEvent func(Event)
+
 	// Now is the queue's clock; tests pin it for deterministic backoff.
 	Now func() time.Time
 
-	dir     string
-	fsys    durable.FS
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	nextSeq int
-	wake    chan struct{}
+	dir      string
+	fsys     durable.FS
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	tenants  map[string]*tenantState
+	lastPick string // tenant that won the previous claim; the RR cursor
+	nextSeq  int
+	wake     chan struct{}
 
 	// degraded is the read-only-disk flag: the last journal persist failed
 	// (ENOSPC, EIO, ...), so the queue is shedding persistence — in-memory
@@ -403,6 +448,27 @@ func (q *Queue) Submit(spec Spec) (*Job, error) {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	// Per-tenant queue-depth quota: a single tenant cannot flood the
+	// backlog past its share, however large the fleet-wide cap is.
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if quota := q.quotaFor(tenant); quota.MaxQueued > 0 {
+		queued := 0
+		for _, j := range q.jobs {
+			if j.status.State == Pending && j.Tenant() == tenant {
+				queued++
+			}
+		}
+		if queued >= quota.MaxQueued {
+			q.tenantLocked(tenant).denied++
+			q.emitLocked(Event{Kind: "quota_denied", Tenant: tenant,
+				Detail: fmt.Sprintf("queue-depth %d", quota.MaxQueued)})
+			return nil, QuotaError{Tenant: tenant, Quota: "queue-depth",
+				Limit: fmt.Sprintf("%d queued jobs", quota.MaxQueued)}
+		}
+	}
 	id := fmt.Sprintf("job-%06d", q.nextSeq)
 	jobs := filepath.Join(q.dir, "jobs")
 	stage := filepath.Join(jobs, ".tmp-"+id)
@@ -521,6 +587,10 @@ type Counts struct {
 	Quarantined int
 	Volatile    int
 	Degraded    bool
+
+	// Tenants is the same census cut per tenant, plus the fair-share
+	// accounting (CPU consumption, picks, quota denials, sheds, requeues).
+	Tenants map[string]TenantCounts
 }
 
 // Counts takes the census under one lock acquisition, so the scraped gauges
@@ -529,8 +599,24 @@ func (q *Queue) Counts() Counts {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	c := Counts{States: map[State]int{
-		Pending: 0, Running: 0, Done: 0, Dead: 0, Cancelled: 0,
-	}, Quarantined: q.quarantined, Degraded: q.degraded}
+		Pending: 0, Running: 0, Done: 0, Dead: 0, Cancelled: 0, Shed: 0,
+	}, Quarantined: q.quarantined, Degraded: q.degraded,
+		Tenants: make(map[string]TenantCounts)}
+	tenant := func(name string) TenantCounts {
+		tc, ok := c.Tenants[name]
+		if !ok {
+			tc = TenantCounts{States: make(map[State]int)}
+			if t := q.tenants[name]; t != nil {
+				tc.CPUMillis = t.cpuMS
+				tc.WindowMS = q.windowMSLocked(t)
+				tc.Picks = t.picks
+				tc.QuotaDenied = t.denied
+				tc.Shed = t.shed
+				tc.Requeued = t.requeue
+			}
+		}
+		return tc
+	}
 	for _, j := range q.jobs {
 		c.States[j.status.State]++
 		c.Retries += j.status.Attempts
@@ -540,52 +626,18 @@ func (q *Queue) Counts() Counts {
 		if j.volatile {
 			c.Volatile++
 		}
+		tc := tenant(j.Tenant())
+		tc.States[j.status.State]++
+		c.Tenants[j.Tenant()] = tc
+	}
+	// Tenants with accounting but no live jobs (all quarantined, or only
+	// quota denials) still report: a denied tenant must be visible.
+	for name := range q.tenants {
+		if _, ok := c.Tenants[name]; !ok {
+			c.Tenants[name] = tenant(name)
+		}
 	}
 	return c
-}
-
-// Claim picks the best eligible pending job — highest priority, then oldest —
-// marks it running and returns it. When nothing is eligible it returns nil
-// plus how long until the next backoff gate opens (0: nothing scheduled).
-func (q *Queue) Claim() (*Job, time.Duration) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	now := q.nowMS()
-	var best *Job
-	var soonest int64
-	for _, j := range q.jobs {
-		if j.status.State != Pending {
-			continue
-		}
-		if j.status.NextRetryMS > now {
-			if soonest == 0 || j.status.NextRetryMS < soonest {
-				soonest = j.status.NextRetryMS
-			}
-			continue
-		}
-		if best == nil ||
-			j.Spec.Priority > best.Spec.Priority ||
-			(j.Spec.Priority == best.Spec.Priority && j.Seq < best.Seq) {
-			best = j
-		}
-	}
-	if best == nil {
-		if soonest == 0 {
-			return nil, 0
-		}
-		return nil, time.Duration(soonest-now) * time.Millisecond
-	}
-	best.status.State = Running
-	best.status.NextRetryMS = 0
-	if best.status.StartedMS == 0 {
-		best.status.StartedMS = now
-	}
-	// Persist-or-degrade: on a broken disk the claim proceeds volatile. A
-	// crash re-runs a job the disk still calls pending — the same uncharged
-	// replay as a daemon kill, and better than a queue that stops draining
-	// because it cannot journal.
-	q.persistOrDegradeLocked(best)
-	return best, 0
 }
 
 // setCancel registers (or clears, with nil) the cancel function of a running
@@ -676,6 +728,7 @@ func (q *Queue) Fail(j *Job, cause error, permanent bool) error {
 	if q.RetryCap > 0 && backoff > q.RetryCap {
 		backoff = q.RetryCap
 	}
+	backoff += retryJitter(q.RetryJitter, backoff, j.Seq, j.status.Attempts)
 	j.status.State = Pending
 	j.status.NextRetryMS = q.nowMS() + backoff.Milliseconds()
 	err := q.persistOrDegradeLocked(j)

@@ -143,6 +143,12 @@ func (r *Runner) hooksFor(j *Job) (*runctl.Hooks, string) {
 // attempt, never allowed to kill the daemon.
 func (r *Runner) execute(ctx context.Context, j *Job) {
 	r.Obs.Counter("jobq.attempts", 1)
+	// Charge the attempt's wall clock to the job's tenant whichever way the
+	// attempt ends — completion, failure, panic, or shutdown release. Fair
+	// sharing prices future claims off this charge, so an attempt that
+	// escapes the meter would let its tenant run for free.
+	start := time.Now()
+	defer func() { r.Queue.ChargeCPU(j, time.Since(start)) }()
 	defer func() {
 		if p := recover(); p != nil {
 			r.logf("jobq: %s: attempt panicked: %v\n%s", j.ID, p, debug.Stack())

@@ -1,0 +1,177 @@
+package supervise
+
+import "time"
+
+// AdmitLevel is the graduated admission-control state of a daemon under load.
+// Ordered by severity: escalation is immediate, relaxation is dwell-damped.
+type AdmitLevel int
+
+const (
+	// AdmitAccept: normal operation, every valid submit is queued.
+	AdmitAccept AdmitLevel = iota
+
+	// AdmitThrottle: the daemon refuses new submits with 429 + Retry-After
+	// but keeps draining the queue; nothing already accepted is touched.
+	AdmitThrottle
+
+	// AdmitShed: sustained overload — beyond refusing new work, the daemon
+	// sheds lowest-priority queued jobs (journaled, resubmittable; see
+	// jobq.Shed) to bring the backlog back inside its budget.
+	AdmitShed
+)
+
+func (l AdmitLevel) String() string {
+	switch l {
+	case AdmitThrottle:
+		return "throttle"
+	case AdmitShed:
+		return "shed"
+	default:
+		return "accept"
+	}
+}
+
+// AdmissionDecision is one logged admission-level change.
+type AdmissionDecision struct {
+	Sample   int    `json:"sample"`
+	Backlog  int    `json:"backlog"`
+	QueueAge int64  `json:"queue_age_ms"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Reason   string `json:"reason"` // what bound: "memory", "backlog", "queue-age", "calm"
+}
+
+// Admission is the fleet-level admission controller: it turns the measured
+// load — the memory view the fleet Scheduler already maintains, the queue
+// backlog, and the age of the oldest dispatchable job — into one of three
+// graduated responses (accept, throttle with 429, shed queued work).
+//
+// The controller decides levels only; acting on them (refusing submits,
+// calling jobq.Shed) is the daemon's job. Like the Scheduler it must be
+// sampled from one goroutine at deterministic points, escalates immediately,
+// and relaxes only after DwellSamples consecutive calm samples so load
+// hovering at a threshold cannot flap the daemon between accepting and
+// refusing on alternate samples.
+//
+// A nil *Admission always accepts.
+type Admission struct {
+	// Memory reports the fleet's current memory-degradation level (the
+	// Scheduler's: Soft -> throttle, Hard -> shed). A provider function
+	// rather than the Scheduler itself: the runner goroutine owns the
+	// scheduler's state machine, so the daemon hands admission a snapshot
+	// (e.g. an atomic updated from OnDecision) instead of letting two
+	// goroutines race on Scheduler fields. Nil means calm.
+	Memory func() Level
+
+	// MaxBacklog throttles when the backlog (pending+running) reaches it,
+	// and sheds when the backlog reaches 2x — the queue has grown past what
+	// refusal alone can drain. 0 disables backlog-driven decisions.
+	MaxBacklog int
+
+	// ThrottleAge and ShedAge act on the oldest dispatchable pending job's
+	// wait: a queue whose head is this stale is not keeping up regardless of
+	// depth. Zero disables the respective trigger.
+	ThrottleAge time.Duration
+	ShedAge     time.Duration
+
+	// DwellSamples damps relaxation exactly as Scheduler.DwellSamples does:
+	// any loaded sample resets the calm counter. 0 or 1 relaxes on the first
+	// calm sample.
+	DwellSamples int
+
+	// OnDecision, if non-nil, observes every level change.
+	OnDecision func(AdmissionDecision)
+
+	level   AdmitLevel
+	samples int
+	calm    int
+}
+
+// Level returns the current admission level without sampling.
+func (a *Admission) Level() AdmitLevel {
+	if a == nil {
+		return AdmitAccept
+	}
+	return a.level
+}
+
+// Sample folds one load measurement into the controller and returns the
+// resulting admission level. backlog is the queue's pending+running count;
+// queueAge the oldest dispatchable pending job's wait (jobq.OldestPendingAge).
+func (a *Admission) Sample(backlog int, queueAge time.Duration) AdmitLevel {
+	if a == nil {
+		return AdmitAccept
+	}
+	a.samples++
+
+	pressure, reason := AdmitAccept, ""
+	raise := func(l AdmitLevel, r string) {
+		if l > pressure {
+			pressure, reason = l, r
+		}
+	}
+	if a.Memory != nil {
+		switch a.Memory() {
+		case LevelHard:
+			raise(AdmitShed, "memory")
+		case LevelSoft:
+			raise(AdmitThrottle, "memory")
+		}
+	}
+	if a.MaxBacklog > 0 {
+		if backlog >= 2*a.MaxBacklog {
+			raise(AdmitShed, "backlog")
+		} else if backlog >= a.MaxBacklog {
+			raise(AdmitThrottle, "backlog")
+		}
+	}
+	if a.ShedAge > 0 && queueAge >= a.ShedAge {
+		raise(AdmitShed, "queue-age")
+	} else if a.ThrottleAge > 0 && queueAge >= a.ThrottleAge {
+		raise(AdmitThrottle, "queue-age")
+	}
+
+	if pressure > AdmitAccept {
+		a.calm = 0
+	} else {
+		a.calm++
+	}
+	dwell := a.DwellSamples
+	if dwell < 1 {
+		dwell = 1
+	}
+
+	level := a.level
+	switch {
+	case pressure > a.level:
+		// Escalation is immediate: overload must not wait out a dwell.
+		level = pressure
+	case pressure == a.level:
+		// Holding steady (including loaded-at-same-level: calm already reset).
+	case a.calm < dwell:
+		// Load relieved, but not for long enough to trust it.
+	default:
+		// Step down one level per dwell-worth of calm, mirroring the
+		// Scheduler: shed -> throttle -> accept, never straight down, so a
+		// shed burst is followed by a refuse-only period while the queue
+		// drains. A step consumes the accumulated calm.
+		level--
+		a.calm = 0
+		reason = "calm"
+	}
+
+	if level != a.level {
+		if a.OnDecision != nil {
+			a.OnDecision(AdmissionDecision{
+				Sample:   a.samples,
+				Backlog:  backlog,
+				QueueAge: queueAge.Milliseconds(),
+				From:     a.level.String(),
+				To:       level.String(),
+				Reason:   reason,
+			})
+		}
+		a.level = level
+	}
+	return a.level
+}

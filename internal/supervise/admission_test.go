@@ -1,0 +1,118 @@
+package supervise
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdmissionNilAlwaysAccepts(t *testing.T) {
+	var a *Admission
+	if a.Sample(1_000_000, time.Hour) != AdmitAccept || a.Level() != AdmitAccept {
+		t.Fatal("nil Admission did not accept")
+	}
+}
+
+// TestAdmissionGraduatesOnBacklog: accept below the cap, throttle at it, shed
+// at twice it — and the level relaxes one step per dwell-worth of calm, never
+// straight from shed to accept.
+func TestAdmissionGraduatesOnBacklog(t *testing.T) {
+	var log []AdmissionDecision
+	a := &Admission{
+		MaxBacklog:   10,
+		DwellSamples: 2,
+		OnDecision:   func(d AdmissionDecision) { log = append(log, d) },
+	}
+	if got := a.Sample(3, 0); got != AdmitAccept {
+		t.Fatalf("light load = %v", got)
+	}
+	if got := a.Sample(10, 0); got != AdmitThrottle {
+		t.Fatalf("at cap = %v, want throttle", got)
+	}
+	if got := a.Sample(20, 0); got != AdmitShed {
+		t.Fatalf("at 2x cap = %v, want shed", got)
+	}
+	// One calm sample is not enough under DwellSamples=2.
+	if got := a.Sample(0, 0); got != AdmitShed {
+		t.Fatalf("first calm sample relaxed immediately to %v", got)
+	}
+	if got := a.Sample(0, 0); got != AdmitThrottle {
+		t.Fatalf("after dwell = %v, want one step down to throttle", got)
+	}
+	// The step consumed the calm: two more samples to reach accept.
+	if got := a.Sample(0, 0); got != AdmitThrottle {
+		t.Fatalf("calm not reconsumed, got %v", got)
+	}
+	if got := a.Sample(0, 0); got != AdmitAccept {
+		t.Fatalf("final relax = %v, want accept", got)
+	}
+
+	want := []struct{ from, to, reason string }{
+		{"accept", "throttle", "backlog"},
+		{"throttle", "shed", "backlog"},
+		{"shed", "throttle", "calm"},
+		{"throttle", "accept", "calm"},
+	}
+	if len(log) != len(want) {
+		t.Fatalf("decision log has %d entries, want %d: %+v", len(log), len(want), log)
+	}
+	for i, w := range want {
+		if log[i].From != w.from || log[i].To != w.to || log[i].Reason != w.reason {
+			t.Fatalf("decision %d = %+v, want %+v", i, log[i], w)
+		}
+	}
+}
+
+// TestAdmissionFollowsFleetMemory: the fleet's memory level folds in — soft
+// pressure throttles, hard pressure sheds — through the Memory provider.
+func TestAdmissionFollowsFleetMemory(t *testing.T) {
+	mem := LevelNormal
+	a := &Admission{Memory: func() Level { return mem }}
+
+	if got := a.Sample(0, 0); got != AdmitAccept {
+		t.Fatalf("calm fleet = %v", got)
+	}
+	mem = LevelSoft
+	if got := a.Sample(0, 0); got != AdmitThrottle {
+		t.Fatalf("soft memory = %v, want throttle", got)
+	}
+	mem = LevelHard
+	if got := a.Sample(0, 0); got != AdmitShed {
+		t.Fatalf("hard memory = %v, want shed", got)
+	}
+	// Partial relief pins the level: pressure at throttle holds shed.
+	mem = LevelSoft
+	if got := a.Sample(0, 0); got != AdmitShed {
+		t.Fatalf("partial relief relaxed to %v", got)
+	}
+	mem = LevelNormal
+	if got := a.Sample(0, 0); got != AdmitThrottle {
+		t.Fatalf("full relief = %v, want one step down", got)
+	}
+}
+
+// TestAdmissionQueueAge: a stale queue head throttles, a very stale one
+// sheds, regardless of backlog depth.
+func TestAdmissionQueueAge(t *testing.T) {
+	a := &Admission{ThrottleAge: 10 * time.Second, ShedAge: time.Minute}
+	if got := a.Sample(1, 5*time.Second); got != AdmitAccept {
+		t.Fatalf("fresh head = %v", got)
+	}
+	if got := a.Sample(1, 15*time.Second); got != AdmitThrottle {
+		t.Fatalf("stale head = %v, want throttle", got)
+	}
+	if got := a.Sample(1, 2*time.Minute); got != AdmitShed {
+		t.Fatalf("ancient head = %v, want shed", got)
+	}
+}
+
+// TestAdmissionEscalationIsImmediate: dwell damps relaxation only; a calm
+// streak never delays an escalation.
+func TestAdmissionEscalationIsImmediate(t *testing.T) {
+	a := &Admission{MaxBacklog: 10, DwellSamples: 5}
+	for i := 0; i < 10; i++ {
+		a.Sample(0, 0)
+	}
+	if got := a.Sample(25, 0); got != AdmitShed {
+		t.Fatalf("overload after calm streak = %v, want immediate shed", got)
+	}
+}

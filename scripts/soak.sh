@@ -26,13 +26,22 @@
 # second pass to come back clean (exit 0); truncate the NDJSON trace
 # mid-line and require fsck to repair it in place; then require the
 # restarted run's test set to be bit-identical to an undamaged reference.
+#
+# load mode is the overload leg: atpgload spawns the daemon, drives 200
+# concurrent jobs across 4 tenants with SSE followers that hang up
+# mid-stream, SIGKILLs the daemon mid-run, resubmits everything admission
+# control sheds, and writes a machine-checkable JSON report. The soak
+# requires the report to pass: zero lost or duplicated jobs, every shed job
+# resubmitted, cross-tenant fairness within 2x, submit p99 bounded.
+#   LBIN  loadgen binary (default: ./atpgload-race)
 set -eu
 
 BIN=${BIN:-./atpg-race}
 DBIN=${DBIN:-./atpgd-race}
+LBIN=${LBIN:-./atpgload-race}
 DIR=${DIR:-soak-bundles}
 WORKERS=${WORKERS:-1}
-MODE=${1:?usage: soak.sh panic|stall|corrupt|daemon|fsck}
+MODE=${1:?usage: soak.sh panic|stall|corrupt|daemon|fsck|load}
 
 atpg() {
     inject=$1
@@ -295,6 +304,58 @@ fsck)
         exit 1
     }
     echo "== soak: corruption detected, quarantined, healed; output bit-identical"
+    exit 0
+    ;;
+load)
+    # Chaos loadgen leg: the acceptance scenario for the overload work. The
+    # admission knobs are tight enough that the initial burst sheds a few
+    # jobs (exercising the shed -> journal -> resubmit round trip) without
+    # pinning the daemon in permanent refusal.
+    "$LBIN" -daemon "$DBIN" -data "$DIR/data" \
+        -daemon-args "-jobs 4 -max-queue 48 -admit-every 500ms -admit-throttle-age 2s -admit-shed-age 5s -tenant-max-running 2" \
+        -tenants 4 -jobs 50 -kill -timeout 8m \
+        -report "$DIR/loadgen-report.json" >"$DIR/loadgen.out" 2>&1 || {
+        echo "soak: loadgen run failed" >&2
+        tail -40 "$DIR/loadgen.out" >&2
+        [ -f "$DIR/loadgen-report.json" ] && cat "$DIR/loadgen-report.json" >&2
+        exit 1
+    }
+    grep -q '"pass": true' "$DIR/loadgen-report.json" || {
+        echo "soak: loadgen report did not pass" >&2
+        cat "$DIR/loadgen-report.json" >&2
+        exit 1
+    }
+    # The survivor must still present a complete scrape surface, tenant
+    # series included — atpgtop -check is the referee.
+    "$DBIN" -addr 127.0.0.1:0 -data "$DIR/data" -jobs 1 >"$DIR/daemon.out" 2>>"$DIR/daemon.log" &
+    DPID=$!
+    trap 'kill -9 "$DPID" 2>/dev/null || true' EXIT
+    i=0
+    until grep -q 'listening on' "$DIR/daemon.out" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "soak: post-load daemon never came up" >&2; exit 1; }
+        sleep 0.1
+    done
+    ADDR=$(sed -n 's/^atpgd: listening on //p' "$DIR/daemon.out" | tail -1)
+    # Run one job in this process first: span and phase series exist only
+    # once the fleet recorder has seen a run, exactly like the daemon leg.
+    JOB=$(curl -s -X POST "http://$ADDR/jobs" -d '{"circuit":"s27","seed":1,"scale":1000}' \
+        | sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p' | head -1)
+    [ -n "$JOB" ] || { echo "soak: post-load submit failed" >&2; exit 1; }
+    i=0
+    until curl -s "http://$ADDR/jobs/$JOB" | grep -q '"state": "done"'; do
+        i=$((i + 1))
+        [ "$i" -gt 1200 ] && { echo "soak: post-load job never finished" >&2; exit 1; }
+        sleep 0.1
+    done
+    go run ./cmd/atpgtop -addr "http://$ADDR" -once -check >"$DIR/metrics-scrape.txt" 2>&1 || {
+        echo "soak: post-load /metrics scrape check failed" >&2
+        cat "$DIR/metrics-scrape.txt" >&2
+        exit 1
+    }
+    kill "$DPID" 2>/dev/null || true
+    wait "$DPID" 2>/dev/null || true
+    echo "== soak: overload run passed; report at $DIR/loadgen-report.json"
     exit 0
     ;;
 *)
